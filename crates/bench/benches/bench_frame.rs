@@ -1,0 +1,52 @@
+//! Frame-op throughput: filter / group-by / derive on the deal-closing
+//! table (the slicing/dicing path under every interactive view).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use whatif_datagen::deal_closing;
+use whatif_frame::expr::Expr;
+use whatif_frame::{AggSpec, Aggregation};
+
+fn bench_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &n in &[1_000usize, 10_000] {
+        let frame = deal_closing(n, 7).frame;
+        group.bench_with_input(BenchmarkId::new("filter_expr", n), &frame, |b, f| {
+            let predicate = Expr::col("Call").gt(Expr::lit_f64(4.0));
+            b.iter(|| f.filter_expr(&predicate).expect("valid predicate"))
+        });
+        group.bench_with_input(BenchmarkId::new("group_by", n), &frame, |b, f| {
+            b.iter(|| {
+                f.group_by(
+                    &["Account Industry"],
+                    &[AggSpec::new("Call", Aggregation::Mean)],
+                )
+                .expect("valid group by")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("derive", n), &frame, |b, f| {
+            let expr = Expr::col("Call")
+                .add(Expr::col("Chat"))
+                .gt(Expr::lit_f64(10.0));
+            b.iter(|| {
+                let mut f2 = f.clone();
+                f2.derive("engaged", &expr).expect("valid expr");
+                f2
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("numeric_matrix", n), &frame, |b, f| {
+            b.iter(|| {
+                f.numeric_matrix(&["Call", "Chat", "Demo", "Renewal"])
+                    .expect("numeric columns")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame);
+criterion_main!(benches);

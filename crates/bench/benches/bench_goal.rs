@@ -1,0 +1,34 @@
+//! Goal-inversion wall time per engine at a fixed evaluation budget —
+//! the time side of the optimizer comparison (the quality side is
+//! `repro opt-compare`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use whatif_bench::experiments::{train_deal_model, Scale};
+use whatif_core::goal::{Goal, GoalConfig, OptimizerChoice};
+
+fn bench_goal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goal_inversion");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let (_, model) = train_deal_model(Scale::Quick, 7);
+    let budget = 32usize;
+    let engines = [
+        ("bayesian", OptimizerChoice::Bayesian { n_calls: budget }),
+        ("random", OptimizerChoice::RandomSearch { n_evals: budget }),
+        ("nelder_mead", OptimizerChoice::NelderMead { max_evals: budget }),
+    ];
+    for (name, optimizer) in engines {
+        group.bench_with_input(BenchmarkId::new(name, budget), &model, |b, m| {
+            let mut cfg = GoalConfig::for_goal(Goal::Maximize);
+            cfg.optimizer = optimizer;
+            b.iter(|| m.goal_inversion(&cfg).expect("inversion"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_goal);
+criterion_main!(benches);

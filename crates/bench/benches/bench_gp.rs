@@ -1,0 +1,42 @@
+//! Gaussian-process posterior cost vs observation count — why the
+//! Bayesian optimizer's call budgets stay small (fit is O(n³),
+//! prediction O(n²)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+use whatif_optim::gp::{GaussianProcess, Kernel};
+
+fn observations(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>().sin()).collect();
+    (xs, ys)
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let kernel = Kernel::Matern52 { length_scale: 0.25 };
+    for &n in &[16usize, 64, 128] {
+        let (xs, ys) = observations(n, 6, 3);
+        group.bench_with_input(BenchmarkId::new("fit", n), &(xs.clone(), ys.clone()), |b, (xs, ys)| {
+            b.iter(|| GaussianProcess::fit(kernel, 1e-6, xs, ys).expect("fit"))
+        });
+        let gp = GaussianProcess::fit(kernel, 1e-6, &xs, &ys).expect("fit");
+        let query = vec![0.5; 6];
+        group.bench_with_input(BenchmarkId::new("predict", n), &gp, |b, gp| {
+            b.iter(|| gp.predict(&query).expect("predict"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Cost of the robustness machinery: retraining under a new seed and
+//! verifying importances (the §5 "multiplicity of models" concern turned
+//! into a measurable loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use whatif_bench::experiments::{train_deal_model, Scale};
+use whatif_core::model_backend::ModelConfig;
+use whatif_core::session::Session;
+use whatif_datagen::deal_closing;
+use whatif_learn::shapley::ShapleyConfig;
+
+fn bench_robustness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robustness");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let dataset = deal_closing(320, 7);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("kpi")
+        .with_drivers(&refs)
+        .expect("drivers");
+    let mut cfg = ModelConfig::default();
+    cfg.n_trees = 24;
+    cfg.max_depth = 8;
+
+    group.bench_function("retrain_and_rank", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut c = cfg.clone();
+            c.seed = seed;
+            let model = session.train(&c).expect("fit");
+            model.driver_importance().expect("importance")
+        })
+    });
+
+    let (_, model) = train_deal_model(Scale::Quick, 7);
+    group.bench_function("verify_importance", |b| {
+        let shap = ShapleyConfig {
+            n_permutations: 8,
+            n_rows: 16,
+            seed: 1,
+        };
+        b.iter(|| model.verify_importance(&shap).expect("verify"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_robustness);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Full sensitivity-analysis latency vs dataset size: perturb + rescore
+//! + compare, and the per-driver comparison sweep (Figure 2 H).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use whatif_bench::experiments::{train_deal_model, Scale};
+use whatif_core::perturbation::{Perturbation, PerturbationSet};
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensitivity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for (label, scale) in [("quick_320", Scale::Quick), ("full_1480", Scale::Full)] {
+        let (_, model) = train_deal_model(scale, 7);
+        let set = PerturbationSet::new(vec![Perturbation::percentage(
+            "Open Marketing Email",
+            40.0,
+        )]);
+        group.bench_with_input(BenchmarkId::new("single", label), &model, |b, m| {
+            b.iter(|| m.sensitivity(&set).expect("sensitivity"))
+        });
+        group.bench_with_input(BenchmarkId::new("per_data", label), &model, |b, m| {
+            b.iter(|| m.per_data_sensitivity(0, &set).expect("per data"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("comparison_5pt", label),
+            &model,
+            |b, m| {
+                b.iter(|| {
+                    m.comparison_analysis(&[-40.0, -20.0, 0.0, 20.0, 40.0])
+                        .expect("sweep")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

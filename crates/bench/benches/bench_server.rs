@@ -1,0 +1,83 @@
+//! End-to-end view-request latency through the JSON dispatcher — the
+//! "fast real-time response" budget the paper's §5 worries about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use whatif_core::model_backend::ModelConfig;
+use whatif_core::perturbation::Perturbation;
+use whatif_server::{Request, Response, ServerState, UseCase};
+
+fn prepared_state() -> (ServerState, u64) {
+    let state = ServerState::new();
+    let session = match state.handle(Request::LoadUseCase {
+        use_case: UseCase::DealClosing,
+        n_rows: Some(320),
+        seed: Some(7),
+    }) {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("unexpected: {other:?}"),
+    };
+    state.handle(Request::SelectKpi {
+        session,
+        kpi: "Deal Closed?".into(),
+    });
+    let mut cfg = ModelConfig::default();
+    cfg.n_trees = 24;
+    cfg.max_depth = 8;
+    assert!(!state
+        .handle(Request::Train {
+            session,
+            config: Some(cfg),
+        })
+        .is_error());
+    (state, session)
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let (state, session) = prepared_state();
+
+    group.bench_function("table_view_50", |b| {
+        b.iter(|| {
+            state.handle(Request::TableView {
+                session,
+                max_rows: 50,
+            })
+        })
+    });
+    group.bench_function("importance_view", |b| {
+        b.iter(|| {
+            state.handle(Request::DriverImportanceView {
+                session,
+                verify: false,
+            })
+        })
+    });
+    group.bench_function("sensitivity_view", |b| {
+        b.iter(|| {
+            state.handle(Request::SensitivityView {
+                session,
+                perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+            })
+        })
+    });
+    group.bench_function("sensitivity_json_roundtrip", |b| {
+        // Include the JSON encode/decode the wire adds.
+        b.iter(|| {
+            let resp = state.handle(Request::SensitivityView {
+                session,
+                perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+            });
+            let json = serde_json::to_string(&resp).expect("encode");
+            serde_json::from_str::<Response>(&json).expect("decode")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Shapley verification cost vs sample count — the price of the paper's
+//! "ensure the model coefficients are not misleading" check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use whatif_bench::experiments::{train_deal_model, Scale};
+use whatif_learn::shapley::{global_shapley_importance, shapley_row, ShapleyConfig};
+
+fn bench_shapley(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let (_, model) = train_deal_model(Scale::Quick, 7);
+    for &n_perm in &[8usize, 32] {
+        let cfg = ShapleyConfig {
+            n_permutations: n_perm,
+            n_rows: 16,
+            seed: 1,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("single_row", n_perm),
+            &model,
+            |b, m| {
+                let row = m.matrix().row(0).to_vec();
+                b.iter(|| shapley_row(m.predictor(), m.matrix(), &row, &cfg).expect("shapley"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("global_16_rows", n_perm),
+            &model,
+            |b, m| {
+                b.iter(|| {
+                    global_shapley_importance(m.predictor(), m.matrix(), &cfg).expect("shapley")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapley);
+criterion_main!(benches);

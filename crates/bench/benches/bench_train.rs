@@ -1,0 +1,64 @@
+//! Model-fit latency: interpretable linear/logistic models vs random
+//! forests — the cost side of the paper's §5 interpretability-vs-
+//! accuracy trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use whatif_core::model_backend::{ModelConfig, ModelKind};
+use whatif_core::session::Session;
+use whatif_datagen::{make_classification, make_regression};
+
+fn config(kind: ModelKind, n_trees: usize) -> ModelConfig {
+    let mut cfg = ModelConfig::default();
+    cfg.kind = kind;
+    cfg.n_trees = n_trees;
+    cfg.holdout_fraction = 0.0; // isolate the fit cost
+    cfg
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &n in &[500usize, 2_000] {
+        let reg = make_regression(n, 12, 6, 0.5, 3);
+        let reg_session = Session::new(reg.frame.clone())
+            .with_kpi(&reg.kpi)
+            .expect("kpi");
+        group.bench_with_input(BenchmarkId::new("linear", n), &reg_session, |b, s| {
+            let cfg = config(ModelKind::Linear, 0);
+            b.iter(|| s.train(&cfg).expect("fit"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("forest_regressor_40", n),
+            &reg_session,
+            |b, s| {
+                let cfg = config(ModelKind::RandomForest, 40);
+                b.iter(|| s.train(&cfg).expect("fit"))
+            },
+        );
+
+        let clf = make_classification(n, 12, 6, 0.5, 3);
+        let clf_session = Session::new(clf.frame.clone())
+            .with_kpi(&clf.kpi)
+            .expect("kpi");
+        group.bench_with_input(BenchmarkId::new("logistic", n), &clf_session, |b, s| {
+            let cfg = config(ModelKind::Logistic, 0);
+            b.iter(|| s.train(&cfg).expect("fit"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("forest_classifier_40", n),
+            &clf_session,
+            |b, s| {
+                let cfg = config(ModelKind::RandomForest, 40);
+                b.iter(|| s.train(&cfg).expect("fit"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,635 @@
+//! One function per paper artifact (see DESIGN.md §4 for the index).
+//!
+//! Every function returns a structured result whose fields carry both
+//! the paper's reported numbers and the reproduction's measured ones, so
+//! the `repro` binary, EXPERIMENTS.md, and the integration tests all
+//! read from the same source of truth.
+
+use whatif_core::goal::{Goal, GoalConfig, GoalInversionResult, OptimizerChoice};
+use whatif_core::importance::{DriverImportance, VerificationReport};
+use whatif_core::model_backend::ModelConfig;
+use whatif_core::perturbation::{Perturbation, PerturbationSet};
+use whatif_core::sensitivity::{ComparisonCurve, SensitivityResult};
+use whatif_core::session::Session;
+use whatif_core::{DriverConstraint, TrainedModel};
+use whatif_datagen::{deal_closing, marketing_mix, retention, Dataset};
+use whatif_learn::shapley::ShapleyConfig;
+use whatif_study::simulate::{simulate_rankings, RankingSummary, StudyConfig};
+use whatif_study::{figure3, simulate::LikertSummary};
+
+/// Paper constants from the Figure 2 walkthrough (§2).
+pub mod paper {
+    /// Deal-closing rate on the original data implied by §2 H/I
+    /// (43.24 − 1.35 and 90.54 − 48.65 both give 41.89).
+    pub const BASE_CLOSE_RATE: f64 = 0.4189;
+    /// KPI after the +40 % Open Marketing Email perturbation.
+    pub const SENSITIVITY_KPI: f64 = 0.4324;
+    /// Uplift of that perturbation.
+    pub const SENSITIVITY_UPLIFT: f64 = 0.0135;
+    /// Constrained goal inversion optimum (OME ∈ [+40 %, +80 %]).
+    pub const CONSTRAINED_KPI: f64 = 0.9054;
+    /// Uplift of the constrained optimum.
+    pub const CONSTRAINED_UPLIFT: f64 = 0.4865;
+    /// Top-3 drivers from §2 E.
+    pub const TOP3: [&str; 3] = ["Open Marketing Email", "Renewal", "Call"];
+    /// Bottom-3 drivers from §2 E (least important last).
+    pub const BOTTOM3: [&str; 3] = ["Meeting", "Initiate New Contact", "LinkedIn Contact"];
+}
+
+/// Experiment scale: `Full` reproduces the paper-sized configuration,
+/// `Quick` shrinks everything for fast CI/tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-sized (2000 prospects, 120 trees, 96 optimizer calls).
+    Full,
+    /// Test-sized (320 prospects, 24 trees, 32 optimizer calls).
+    Quick,
+}
+
+impl Scale {
+    fn deal_rows(self) -> usize {
+        match self {
+            Scale::Full => 2000,
+            Scale::Quick => 600,
+        }
+    }
+
+    fn retention_rows(self) -> usize {
+        match self {
+            Scale::Full => 1200,
+            Scale::Quick => 320,
+        }
+    }
+
+    fn model_config(self) -> ModelConfig {
+        let mut cfg = ModelConfig::default();
+        match self {
+            Scale::Full => {
+                cfg.n_trees = 120;
+                cfg.max_depth = 16;
+                cfg.max_features = Some(6);
+            }
+            Scale::Quick => {
+                cfg.n_trees = 24;
+                cfg.max_depth = 8;
+            }
+        }
+        cfg
+    }
+
+    fn optimizer_calls(self) -> usize {
+        match self {
+            Scale::Full => 96,
+            Scale::Quick => 32,
+        }
+    }
+
+    fn study_config(self) -> StudyConfig {
+        StudyConfig {
+            n_replications: match self {
+                Scale::Full => 2000,
+                Scale::Quick => 200,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Train the deal-closing model used by the Figure 2 experiments.
+///
+/// # Panics
+/// Panics on internal errors — experiments are top-level binaries and a
+/// failure should abort loudly.
+pub fn train_deal_model(scale: Scale, seed: u64) -> (Dataset, TrainedModel) {
+    let dataset = deal_closing(scale.deal_rows(), seed);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("KPI exists")
+        .with_drivers(&refs)
+        .expect("drivers exist");
+    let model = session
+        .train(&scale.model_config())
+        .expect("training succeeds");
+    (dataset, model)
+}
+
+/// Figure 2 E: driver importance + verification vs ground truth.
+#[derive(Debug, Clone)]
+pub struct ImportanceExperiment {
+    /// Model importances.
+    pub importance: DriverImportance,
+    /// Shapley/Pearson/Spearman verification.
+    pub verification: VerificationReport,
+    /// Ground-truth ranking from the generator.
+    pub truth_ranking: Vec<String>,
+    /// Paper's published top-3.
+    pub paper_top3: [&'static str; 3],
+    /// Paper's published bottom-3.
+    pub paper_bottom3: [&'static str; 3],
+    /// Model top-3 ∩ paper top-3 (0..=3).
+    pub top3_matches: usize,
+    /// Model bottom-3 ∩ paper bottom-3 (0..=3).
+    pub bottom3_matches: usize,
+}
+
+/// Run the Figure 2 E experiment.
+pub fn fig2_importance(scale: Scale, seed: u64) -> ImportanceExperiment {
+    let (dataset, model) = train_deal_model(scale, seed);
+    let importance = model.driver_importance().expect("model fitted");
+    let shapley = ShapleyConfig {
+        n_permutations: match scale {
+            Scale::Full => 24,
+            Scale::Quick => 10,
+        },
+        n_rows: match scale {
+            Scale::Full => 64,
+            Scale::Quick => 24,
+        },
+        seed,
+    };
+    let verification = model.verify_importance(&shapley).expect("verification runs");
+    let ranked = importance.ranked_names();
+    let top3_matches = ranked[..3]
+        .iter()
+        .filter(|d| paper::TOP3.contains(&d.as_ref()))
+        .count();
+    let bottom3_matches = ranked[ranked.len() - 3..]
+        .iter()
+        .filter(|d| paper::BOTTOM3.contains(&d.as_ref()))
+        .count();
+    ImportanceExperiment {
+        importance,
+        verification,
+        truth_ranking: dataset
+            .truth
+            .ranked_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        paper_top3: paper::TOP3,
+        paper_bottom3: paper::BOTTOM3,
+        top3_matches,
+        bottom3_matches,
+    }
+}
+
+/// Figure 2 H: the +40 % Open Marketing Email sensitivity run.
+#[derive(Debug, Clone)]
+pub struct SensitivityExperiment {
+    /// Measured result.
+    pub result: SensitivityResult,
+    /// Paper baseline KPI.
+    pub paper_baseline: f64,
+    /// Paper perturbed KPI.
+    pub paper_kpi: f64,
+    /// Paper uplift.
+    pub paper_uplift: f64,
+}
+
+/// Run the Figure 2 H experiment.
+pub fn fig2_sensitivity(scale: Scale, seed: u64) -> SensitivityExperiment {
+    let (_, model) = train_deal_model(scale, seed);
+    let set = PerturbationSet::new(vec![Perturbation::percentage(
+        "Open Marketing Email",
+        40.0,
+    )]);
+    SensitivityExperiment {
+        result: model.sensitivity(&set).expect("valid perturbation"),
+        paper_baseline: paper::BASE_CLOSE_RATE,
+        paper_kpi: paper::SENSITIVITY_KPI,
+        paper_uplift: paper::SENSITIVITY_UPLIFT,
+    }
+}
+
+/// Figure 2 I: free + constrained goal inversion.
+#[derive(Debug, Clone)]
+pub struct GoalExperiment {
+    /// Free maximization over default bounds.
+    pub free: GoalInversionResult,
+    /// Constrained run (OME ∈ [+40 %, +80 %]).
+    pub constrained: GoalInversionResult,
+    /// Paper's constrained optimum KPI.
+    pub paper_kpi: f64,
+    /// Paper's constrained uplift.
+    pub paper_uplift: f64,
+}
+
+/// Run the Figure 2 I experiment.
+pub fn fig2_goal_inversion(scale: Scale, seed: u64) -> GoalExperiment {
+    let (_, model) = train_deal_model(scale, seed);
+    let mut free_cfg = GoalConfig::for_goal(Goal::Maximize);
+    free_cfg.optimizer = OptimizerChoice::Bayesian {
+        n_calls: scale.optimizer_calls(),
+    };
+    free_cfg.seed = seed;
+    let free = model.goal_inversion(&free_cfg).expect("free inversion");
+
+    let mut con_cfg = GoalConfig::for_goal(Goal::Maximize).with_constraints(vec![
+        DriverConstraint::new("Open Marketing Email", 40.0, 80.0),
+    ]);
+    con_cfg.optimizer = OptimizerChoice::Bayesian {
+        n_calls: scale.optimizer_calls(),
+    };
+    con_cfg.seed = seed;
+    let constrained = model.goal_inversion(&con_cfg).expect("constrained inversion");
+
+    GoalExperiment {
+        free,
+        constrained,
+        paper_kpi: paper::CONSTRAINED_KPI,
+        paper_uplift: paper::CONSTRAINED_UPLIFT,
+    }
+}
+
+/// Figure 3: paper-vs-simulated Likert bars.
+pub fn fig3(scale: Scale) -> Vec<LikertSummary> {
+    figure3(&scale.study_config())
+}
+
+/// §4 rankings: simulated first/last-choice distribution.
+pub fn sec4_rankings(scale: Scale) -> RankingSummary {
+    simulate_rankings(&scale.study_config())
+}
+
+/// U1: marketing mix — importance ranking plus a budget-style
+/// constrained inversion.
+#[derive(Debug, Clone)]
+pub struct MarketingExperiment {
+    /// Channel importances from the (linear) sales model.
+    pub importance: DriverImportance,
+    /// Ground-truth channel ranking.
+    pub truth_ranking: Vec<String>,
+    /// Constrained maximization: every channel within ±50 % of current
+    /// spend (the "budget reality" constraint).
+    pub budget_result: GoalInversionResult,
+    /// Comparison sweep used to pick the channel to boost.
+    pub comparison: Vec<ComparisonCurve>,
+    /// Model confidence (holdout R²).
+    pub confidence: f64,
+}
+
+/// Run the U1 experiment.
+pub fn u1_marketing(scale: Scale, seed: u64) -> MarketingExperiment {
+    let days = match scale {
+        Scale::Full => 360,
+        Scale::Quick => 180,
+    };
+    let dataset = marketing_mix(days, seed);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("KPI exists")
+        .with_drivers(&refs)
+        .expect("drivers exist");
+    let model = session
+        .train(&scale.model_config())
+        .expect("training succeeds");
+    let importance = model.driver_importance().expect("model fitted");
+    let comparison = model
+        .comparison_analysis(&[-40.0, -20.0, 0.0, 20.0, 40.0])
+        .expect("sweep runs");
+    let mut cfg = GoalConfig::for_goal(Goal::Maximize).with_constraints(
+        dataset
+            .drivers
+            .iter()
+            .map(|d| DriverConstraint::new(d.clone(), -50.0, 50.0))
+            .collect(),
+    );
+    cfg.optimizer = OptimizerChoice::Bayesian {
+        n_calls: scale.optimizer_calls(),
+    };
+    cfg.seed = seed;
+    let budget_result = model.goal_inversion(&cfg).expect("inversion runs");
+    MarketingExperiment {
+        importance,
+        truth_ranking: dataset
+            .truth
+            .ranked_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        budget_result,
+        comparison,
+        confidence: model.confidence(),
+    }
+}
+
+/// U2: retention — the "remove the obvious predictor and rerun" episode.
+#[derive(Debug, Clone)]
+pub struct RetentionExperiment {
+    /// Importance with all drivers (Days Active dominates).
+    pub importance_full: DriverImportance,
+    /// Importance after removing the obvious predictor.
+    pub importance_reduced: DriverImportance,
+    /// The removed driver.
+    pub removed: String,
+    /// Maximization of retention after the removal.
+    pub goal: GoalInversionResult,
+    /// The negative driver the view renders in red.
+    pub negative_driver: String,
+}
+
+/// Run the U2 experiment.
+pub fn u2_retention(scale: Scale, seed: u64) -> RetentionExperiment {
+    let dataset = retention(scale.retention_rows(), seed);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("KPI exists")
+        .with_drivers(&refs)
+        .expect("drivers exist");
+    let model = session
+        .train(&scale.model_config())
+        .expect("training succeeds");
+    let importance_full = model.driver_importance().expect("model fitted");
+
+    let removed = "Days Active".to_owned();
+    let reduced_session = session
+        .without_drivers(&[&removed])
+        .expect("driver present");
+    let reduced_model = reduced_session
+        .train(&scale.model_config())
+        .expect("training succeeds");
+    let importance_reduced = reduced_model.driver_importance().expect("model fitted");
+
+    let mut cfg = GoalConfig::for_goal(Goal::Maximize);
+    cfg.optimizer = OptimizerChoice::Bayesian {
+        n_calls: scale.optimizer_calls(),
+    };
+    cfg.seed = seed;
+    let goal = reduced_model.goal_inversion(&cfg).expect("inversion runs");
+    RetentionExperiment {
+        importance_full,
+        importance_reduced,
+        removed,
+        goal,
+        negative_driver: "Support Tickets".to_owned(),
+    }
+}
+
+/// U3: deal closing — per-data drilldown and the "ideal customer
+/// journey" (goal-inversion driver values).
+#[derive(Debug, Clone)]
+pub struct DealExperiment {
+    /// A single prospect's predicted close probability before/after
+    /// doubling their marketing-email opens.
+    pub per_data_baseline: f64,
+    /// After the per-data perturbation.
+    pub per_data_perturbed: f64,
+    /// Comparison sweep across all drivers.
+    pub comparison: Vec<ComparisonCurve>,
+    /// The "ideal customer journey": recommended mean activity levels.
+    pub journey: Vec<(String, f64)>,
+}
+
+/// Run the U3 experiment.
+pub fn u3_deal(scale: Scale, seed: u64) -> DealExperiment {
+    let (_, model) = train_deal_model(scale, seed);
+    let set = PerturbationSet::new(vec![Perturbation::percentage(
+        "Open Marketing Email",
+        100.0,
+    )]);
+    let per_data = model
+        .per_data_sensitivity(0, &set)
+        .expect("row 0 exists");
+    let comparison = model
+        .comparison_analysis(&[-50.0, 0.0, 50.0, 100.0])
+        .expect("sweep runs");
+    let mut cfg = GoalConfig::for_goal(Goal::Maximize);
+    cfg.optimizer = OptimizerChoice::Bayesian {
+        n_calls: scale.optimizer_calls(),
+    };
+    cfg.seed = seed;
+    let goal = model.goal_inversion(&cfg).expect("inversion runs");
+    DealExperiment {
+        per_data_baseline: per_data.baseline,
+        per_data_perturbed: per_data.perturbed,
+        comparison,
+        journey: goal.driver_values,
+    }
+}
+
+/// Optimizer shoot-out: best KPI per evaluation budget, per engine —
+/// the "who wins, where's the crossover" series behind the goal bench.
+#[derive(Debug, Clone)]
+pub struct OptimizerComparison {
+    /// Engine label.
+    pub engine: &'static str,
+    /// `(budget, best KPI at that budget)` series.
+    pub series: Vec<(usize, f64)>,
+}
+
+/// Compare goal-inversion engines at equal budgets on the deal model.
+pub fn optimizer_comparison(scale: Scale, seed: u64) -> Vec<OptimizerComparison> {
+    let (_, model) = train_deal_model(scale, seed);
+    let budgets: &[usize] = match scale {
+        Scale::Full => &[16, 32, 64, 96],
+        Scale::Quick => &[8, 16, 32],
+    };
+    let engines: Vec<(&'static str, Box<dyn Fn(usize) -> OptimizerChoice>)> = vec![
+        (
+            "bayesian",
+            Box::new(|b| OptimizerChoice::Bayesian { n_calls: b }),
+        ),
+        (
+            "random",
+            Box::new(|b| OptimizerChoice::RandomSearch { n_evals: b }),
+        ),
+        (
+            "nelder-mead",
+            Box::new(|b| OptimizerChoice::NelderMead { max_evals: b }),
+        ),
+    ];
+    engines
+        .into_iter()
+        .map(|(name, make)| {
+            let series = budgets
+                .iter()
+                .map(|&b| {
+                    let mut cfg = GoalConfig::for_goal(Goal::Maximize);
+                    cfg.optimizer = make(b);
+                    cfg.seed = seed;
+                    let r = model.goal_inversion(&cfg).expect("inversion runs");
+                    (b, r.achieved_kpi)
+                })
+                .collect();
+            OptimizerComparison {
+                engine: name,
+                series,
+            }
+        })
+        .collect()
+}
+
+/// §5 robustness: stability of the importance ranking across model
+/// seeds (the "multiplicity of explanatory models" concern).
+#[derive(Debug, Clone)]
+pub struct RobustnessExperiment {
+    /// Mean pairwise Kendall tau between importance rankings across
+    /// differently-seeded forests.
+    pub mean_pairwise_tau: f64,
+    /// Fraction of seeds whose top-3 equals the modal top-3.
+    pub top3_stability: f64,
+    /// Seeds used.
+    pub n_seeds: usize,
+}
+
+/// Run the robustness experiment.
+pub fn robustness(scale: Scale, base_seed: u64) -> RobustnessExperiment {
+    let n_seeds = match scale {
+        Scale::Full => 8,
+        Scale::Quick => 4,
+    };
+    let dataset = deal_closing(scale.deal_rows(), base_seed);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("KPI exists")
+        .with_drivers(&refs)
+        .expect("drivers exist");
+    let mut scores: Vec<Vec<f64>> = Vec::with_capacity(n_seeds);
+    let mut top3s: Vec<Vec<String>> = Vec::with_capacity(n_seeds);
+    for s in 0..n_seeds {
+        let mut cfg = scale.model_config();
+        cfg.seed = base_seed.wrapping_add(s as u64 * 101);
+        let model = session.train(&cfg).expect("training succeeds");
+        let imp = model.driver_importance().expect("model fitted");
+        top3s.push(imp.top_k(3).into_iter().map(str::to_owned).collect());
+        scores.push(imp.scores.iter().map(|v| v.abs()).collect());
+    }
+    let mut taus = Vec::new();
+    for i in 0..n_seeds {
+        for j in (i + 1)..n_seeds {
+            taus.push(whatif_stats::kendall_tau(&scores[i], &scores[j]));
+        }
+    }
+    let mean_pairwise_tau = taus.iter().sum::<f64>() / taus.len().max(1) as f64;
+    // Modal top-3 set: count agreement with the first seed's set.
+    let reference: std::collections::HashSet<&String> = top3s[0].iter().collect();
+    let stable = top3s
+        .iter()
+        .filter(|t| t.iter().collect::<std::collections::HashSet<_>>() == reference)
+        .count();
+    RobustnessExperiment {
+        mean_pairwise_tau,
+        top3_stability: stable as f64 / n_seeds as f64,
+        n_seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_importance_experiment_matches_paper_shape() {
+        let e = fig2_importance(Scale::Quick, 7);
+        assert_eq!(e.importance.driver_names.len(), 12);
+        // At quick scale at least 2 of the paper's top-3 should surface
+        // and the verification measures should broadly agree.
+        assert!(e.top3_matches >= 2, "top3 matches {}", e.top3_matches);
+        assert!(e.verification.tau_pearson > 0.2, "tau {}", e.verification.tau_pearson);
+        assert_eq!(e.truth_ranking[0], "Open Marketing Email");
+    }
+
+    #[test]
+    fn quick_sensitivity_experiment_has_small_positive_uplift() {
+        let e = fig2_sensitivity(Scale::Quick, 7);
+        assert!(
+            e.result.uplift() > -0.01 && e.result.uplift() < 0.08,
+            "uplift {:.4}",
+            e.result.uplift()
+        );
+        assert!((e.result.baseline_kpi - e.paper_baseline).abs() < 0.1);
+    }
+
+    #[test]
+    fn quick_goal_experiment_lifts_kpi_substantially() {
+        let e = fig2_goal_inversion(Scale::Quick, 7);
+        assert!(
+            e.constrained.uplift() > 0.15,
+            "constrained uplift {:.4}",
+            e.constrained.uplift()
+        );
+        let ome = e
+            .constrained
+            .driver_percentages
+            .iter()
+            .find(|(d, _)| d == "Open Marketing Email")
+            .unwrap()
+            .1;
+        assert!((40.0..=80.0).contains(&ome));
+        assert!(e.free.achieved_kpi >= e.constrained.achieved_kpi - 0.05);
+    }
+
+    #[test]
+    fn fig3_and_rankings_run_quick() {
+        let bars = fig3(Scale::Quick);
+        assert_eq!(bars.len(), 8);
+        let rk = sec4_rankings(Scale::Quick);
+        assert!(rk.modal_agreement > 0.3);
+    }
+
+    #[test]
+    fn u1_marketing_runs_quick() {
+        let e = u1_marketing(Scale::Quick, 11);
+        assert_eq!(e.importance.driver_names.len(), 5);
+        assert_eq!(e.truth_ranking[0], "Internet");
+        assert!(e.budget_result.uplift() > 0.0);
+        for (_, pct) in &e.budget_result.driver_percentages {
+            assert!((-50.0..=50.0).contains(pct), "budget bound violated: {pct}");
+        }
+        assert!(e.confidence > 0.1, "confidence {}", e.confidence);
+    }
+
+    #[test]
+    fn u2_retention_removal_changes_ranking() {
+        let e = u2_retention(Scale::Quick, 13);
+        assert_eq!(e.importance_full.ranked_names()[0], "Days Active");
+        assert!(!e
+            .importance_reduced
+            .driver_names
+            .contains(&"Days Active".to_owned()));
+        assert!(e.goal.uplift() > 0.0);
+        assert!(e
+            .importance_full
+            .score_of(&e.negative_driver)
+            .unwrap()
+            .abs()
+            > 0.0);
+    }
+
+    #[test]
+    fn u3_deal_runs_quick() {
+        let e = u3_deal(Scale::Quick, 7);
+        assert!((0.0..=1.0).contains(&e.per_data_baseline));
+        assert!(e.per_data_perturbed >= 0.0);
+        assert_eq!(e.comparison.len(), 12);
+        assert_eq!(e.journey.len(), 12);
+        assert!(e.journey.iter().all(|(_, v)| *v >= 0.0));
+    }
+
+    #[test]
+    fn optimizer_comparison_runs_quick() {
+        let rows = optimizer_comparison(Scale::Quick, 7);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.series.len(), 3);
+            // Best-so-far KPI is non-decreasing in budget for seeded
+            // engines sharing a trajectory prefix... not guaranteed across
+            // independent runs, so just check sanity bounds.
+            assert!(r.series.iter().all(|(_, k)| (0.0..=1.0).contains(k)));
+        }
+    }
+
+    #[test]
+    fn robustness_is_high_on_clean_data() {
+        let e = robustness(Scale::Quick, 7);
+        assert_eq!(e.n_seeds, 4);
+        assert!(e.mean_pairwise_tau > 0.4, "tau {}", e.mean_pairwise_tau);
+        // Top-3 sets can wobble across seeds — that instability is the
+        // §5 robustness finding itself; just require it isn't chaotic.
+        assert!(e.top3_stability >= 0.25, "stability {}", e.top3_stability);
+    }
+}

@@ -1,0 +1,11 @@
+//! # whatif-bench
+//!
+//! The experiment harness of the SystemD reproduction: every table and
+//! figure of the paper's evaluation maps to a function in
+//! [`experiments`], runnable via the `repro` binary
+//! (`cargo run -p whatif-bench --bin repro --release -- all`), plus
+//! criterion micro-benchmarks under `benches/`.
+
+pub mod experiments;
+
+pub use experiments::Scale;

@@ -1,0 +1,177 @@
+//! Constrained Analysis (paper §2 I): per-driver low/high percentage
+//! bounds that regulate how goal inversion searches the perturbation
+//! space — the mechanism for injecting "domain knowledge such as
+//! business constraints and common sense".
+
+use crate::error::{CoreError, Result};
+use crate::model_backend::TrainedModel;
+use serde::{Deserialize, Serialize};
+use whatif_optim::Bounds;
+
+/// A low/high bound on one driver's *percentage perturbation*,
+/// e.g. "Open Marketing Email may only increase between 40 % and 80 %"
+/// is `DriverConstraint::new("Open Marketing Email", 40.0, 80.0)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriverConstraint {
+    /// Constrained driver.
+    pub driver: String,
+    /// Lowest allowed percentage change (≥ −100).
+    pub low_pct: f64,
+    /// Highest allowed percentage change.
+    pub high_pct: f64,
+}
+
+impl DriverConstraint {
+    /// Box constraint on a driver's percentage perturbation.
+    pub fn new(driver: impl Into<String>, low_pct: f64, high_pct: f64) -> DriverConstraint {
+        DriverConstraint {
+            driver: driver.into(),
+            low_pct,
+            high_pct,
+        }
+    }
+
+    /// Freeze a driver at its original values (0 % change) — how a user
+    /// excludes an unactionable driver from goal inversion.
+    pub fn frozen(driver: impl Into<String>) -> DriverConstraint {
+        DriverConstraint::new(driver, 0.0, 0.0)
+    }
+
+    /// Validate the interval.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] for inverted intervals or a low bound below
+    /// −100 % (which would flip value signs).
+    pub fn validate(&self) -> Result<()> {
+        if !self.low_pct.is_finite() || !self.high_pct.is_finite() {
+            return Err(CoreError::Config(format!(
+                "constraint on {:?} has non-finite bounds",
+                self.driver
+            )));
+        }
+        if self.low_pct > self.high_pct {
+            return Err(CoreError::Config(format!(
+                "constraint on {:?} is inverted: {} > {}",
+                self.driver, self.low_pct, self.high_pct
+            )));
+        }
+        if self.low_pct < -100.0 {
+            return Err(CoreError::Config(format!(
+                "constraint on {:?} goes below -100% ({}%)",
+                self.driver, self.low_pct
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Default percentage range for unconstrained drivers during goal
+/// inversion: activities can be cut in half or scaled up to 2.2×.
+pub const DEFAULT_LOW_PCT: f64 = -50.0;
+/// See [`DEFAULT_LOW_PCT`].
+pub const DEFAULT_HIGH_PCT: f64 = 120.0;
+
+/// Build optimizer bounds over percentage space in driver order:
+/// constrained drivers use their interval, others the defaults.
+///
+/// # Errors
+/// [`CoreError::Config`] for unknown/duplicate drivers or invalid
+/// intervals.
+pub fn build_bounds(
+    model: &TrainedModel,
+    constraints: &[DriverConstraint],
+    default_low: f64,
+    default_high: f64,
+) -> Result<Bounds> {
+    if default_low > default_high || default_low < -100.0 {
+        return Err(CoreError::Config(format!(
+            "invalid default percentage range [{default_low}, {default_high}]"
+        )));
+    }
+    let names = model.driver_names();
+    let mut lows = vec![default_low; names.len()];
+    let mut highs = vec![default_high; names.len()];
+    let mut seen: Vec<&str> = Vec::with_capacity(constraints.len());
+    for c in constraints {
+        c.validate()?;
+        if seen.contains(&c.driver.as_str()) {
+            return Err(CoreError::Config(format!(
+                "driver {:?} constrained more than once",
+                c.driver
+            )));
+        }
+        seen.push(&c.driver);
+        let j = model.driver_index(&c.driver)?;
+        lows[j] = c.low_pct;
+        highs[j] = c.high_pct;
+    }
+    Ok(Bounds::new(lows, highs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kpi::KpiKind;
+    use crate::model_backend::{ModelConfig, TrainedModel};
+    use whatif_learn::Matrix;
+
+    fn model() -> TrainedModel {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        TrainedModel::fit(
+            "y",
+            KpiKind::Continuous,
+            vec!["a".into(), "b".into()],
+            Matrix::from_rows(&rows).unwrap(),
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constraint_validation() {
+        assert!(DriverConstraint::new("a", 40.0, 80.0).validate().is_ok());
+        assert!(DriverConstraint::new("a", 80.0, 40.0).validate().is_err());
+        assert!(DriverConstraint::new("a", -150.0, 0.0).validate().is_err());
+        assert!(DriverConstraint::new("a", f64::NAN, 0.0).validate().is_err());
+        let frozen = DriverConstraint::frozen("a");
+        assert_eq!((frozen.low_pct, frozen.high_pct), (0.0, 0.0));
+        assert!(frozen.validate().is_ok());
+    }
+
+    #[test]
+    fn bounds_mix_constraints_and_defaults() {
+        let m = model();
+        let b = build_bounds(
+            &m,
+            &[DriverConstraint::new("a", 40.0, 80.0)],
+            DEFAULT_LOW_PCT,
+            DEFAULT_HIGH_PCT,
+        )
+        .unwrap();
+        assert_eq!(b.lows(), &[40.0, DEFAULT_LOW_PCT]);
+        assert_eq!(b.highs(), &[80.0, DEFAULT_HIGH_PCT]);
+    }
+
+    #[test]
+    fn bounds_errors() {
+        let m = model();
+        assert!(build_bounds(&m, &[DriverConstraint::new("zz", 0.0, 1.0)], -50.0, 250.0)
+            .is_err());
+        let dup = [
+            DriverConstraint::new("a", 0.0, 1.0),
+            DriverConstraint::new("a", 2.0, 3.0),
+        ];
+        assert!(build_bounds(&m, &dup, -50.0, 250.0).is_err());
+        assert!(build_bounds(&m, &[], 10.0, 0.0).is_err());
+        assert!(build_bounds(&m, &[], -200.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = DriverConstraint::new("a", 40.0, 80.0);
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(c, serde_json::from_str::<DriverConstraint>(&json).unwrap());
+    }
+}

@@ -1,0 +1,90 @@
+//! Unified error type over all substrate errors.
+
+use std::fmt;
+use whatif_frame::FrameError;
+use whatif_learn::LearnError;
+use whatif_optim::OptimError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors surfaced by the what-if analysis core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Propagated dataframe error.
+    Frame(FrameError),
+    /// Propagated model error.
+    Learn(LearnError),
+    /// Propagated optimizer error.
+    Optim(OptimError),
+    /// Invalid session/analysis configuration.
+    Config(String),
+    /// Specification parsing or execution failure.
+    Spec(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Frame(e) => write!(f, "frame error: {e}"),
+            CoreError::Learn(e) => write!(f, "model error: {e}"),
+            CoreError::Optim(e) => write!(f, "optimizer error: {e}"),
+            CoreError::Config(m) => write!(f, "configuration error: {m}"),
+            CoreError::Spec(m) => write!(f, "specification error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Frame(e) => Some(e),
+            CoreError::Learn(e) => Some(e),
+            CoreError::Optim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for CoreError {
+    fn from(e: FrameError) -> Self {
+        CoreError::Frame(e)
+    }
+}
+
+impl From<LearnError> for CoreError {
+    fn from(e: LearnError) -> Self {
+        CoreError::Learn(e)
+    }
+}
+
+impl From<OptimError> for CoreError {
+    fn from(e: OptimError) -> Self {
+        CoreError::Optim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = FrameError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("frame error"));
+        let e: CoreError = LearnError::NotFitted.into();
+        assert!(e.to_string().contains("model error"));
+        let e: CoreError = OptimError::Invalid("bad".into()).into();
+        assert!(e.to_string().contains("optimizer error"));
+        assert!(CoreError::Config("c".into()).to_string().contains("configuration"));
+        assert!(CoreError::Spec("s".into()).to_string().contains("specification"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: CoreError = LearnError::NotFitted.into();
+        assert!(e.source().is_some());
+        assert!(CoreError::Config("c".into()).source().is_none());
+    }
+}

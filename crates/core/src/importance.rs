@@ -1,0 +1,226 @@
+//! Driver Importance Analysis (paper §2 E, Figure 2 E).
+//!
+//! Importances come from the fitted model (standardized coefficients or
+//! signed impurity importances) and are *verified* against the paper's
+//! "traditional measures" — Shapley, Pearson, and Spearman — "to ensure
+//! that the model coefficients are not misleading".
+
+use crate::error::Result;
+use crate::model_backend::TrainedModel;
+use serde::{Deserialize, Serialize};
+use whatif_learn::shapley::{global_shapley_importance, ShapleyConfig};
+use whatif_stats::rank::{descending_abs_order, kendall_tau, top_k_overlap};
+use whatif_stats::{pearson, spearman};
+
+/// Signed driver importances in `[-1, 1]`, sorted views included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriverImportance {
+    /// Driver names aligned with [`DriverImportance::scores`].
+    pub driver_names: Vec<String>,
+    /// Signed importance per driver: extremes mean strong negative /
+    /// positive influence on the KPI, near zero means little influence.
+    pub scores: Vec<f64>,
+}
+
+impl DriverImportance {
+    /// Driver names ordered by descending |importance| — the bar-chart
+    /// order of the paper's importance view.
+    pub fn ranked_names(&self) -> Vec<&str> {
+        descending_abs_order(&self.scores)
+            .into_iter()
+            .map(|i| self.driver_names[i].as_str())
+            .collect()
+    }
+
+    /// The `k` most important drivers.
+    pub fn top_k(&self, k: usize) -> Vec<&str> {
+        let mut names = self.ranked_names();
+        names.truncate(k);
+        names
+    }
+
+    /// The `k` least important drivers (least important last).
+    pub fn bottom_k(&self, k: usize) -> Vec<&str> {
+        let names = self.ranked_names();
+        names[names.len().saturating_sub(k)..].to_vec()
+    }
+
+    /// Score of a named driver.
+    pub fn score_of(&self, driver: &str) -> Option<f64> {
+        self.driver_names
+            .iter()
+            .position(|n| n == driver)
+            .map(|i| self.scores[i])
+    }
+}
+
+/// The cross-check of model importances against traditional measures.
+///
+/// Agreement is measured on |importance| rankings (Kendall tau) and on
+/// top-3 membership — the checks a human performs when eyeballing the
+/// paper's verification step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Driver names aligned with all vectors below.
+    pub driver_names: Vec<String>,
+    /// Model-native importance (the scores being verified).
+    pub model_scores: Vec<f64>,
+    /// Pearson correlation of each driver with the KPI.
+    pub pearson: Vec<f64>,
+    /// Spearman rank correlation of each driver with the KPI.
+    pub spearman: Vec<f64>,
+    /// Signed Monte-Carlo Shapley importance (normalized to max |1|).
+    pub shapley: Vec<f64>,
+    /// Kendall tau between |model| and |Pearson| rankings.
+    pub tau_pearson: f64,
+    /// Kendall tau between |model| and |Spearman| rankings.
+    pub tau_spearman: f64,
+    /// Kendall tau between |model| and |Shapley| rankings.
+    pub tau_shapley: f64,
+    /// Top-3 overlap fractions against each measure, same order.
+    pub top3_overlap: [f64; 3],
+}
+
+impl VerificationReport {
+    /// A loose "not misleading" criterion: every agreement statistic is
+    /// positive and the mean top-3 overlap is at least `min_overlap`.
+    pub fn is_consistent(&self, min_overlap: f64) -> bool {
+        let taus = [self.tau_pearson, self.tau_spearman, self.tau_shapley];
+        let mean_overlap: f64 = self.top3_overlap.iter().sum::<f64>() / 3.0;
+        taus.iter().all(|t| !t.is_nan() && *t > 0.0) && mean_overlap >= min_overlap
+    }
+}
+
+impl TrainedModel {
+    /// Model-native driver importances (Figure 2 E).
+    ///
+    /// # Errors
+    /// Propagated learn errors.
+    pub fn driver_importance(&self) -> Result<DriverImportance> {
+        Ok(DriverImportance {
+            driver_names: self.driver_names().to_vec(),
+            scores: self.native_importances()?,
+        })
+    }
+
+    /// Verify model importances against Pearson, Spearman, and sampled
+    /// Shapley values.
+    ///
+    /// # Errors
+    /// Propagated learn errors.
+    pub fn verify_importance(&self, shapley: &ShapleyConfig) -> Result<VerificationReport> {
+        let model_scores = self.native_importances()?;
+        let y = self.targets();
+        let p = self.driver_names().len();
+        let mut pearson_v = Vec::with_capacity(p);
+        let mut spearman_v = Vec::with_capacity(p);
+        for j in 0..p {
+            let col = self.matrix().col(j);
+            pearson_v.push(pearson(&col, y));
+            spearman_v.push(spearman(&col, y));
+        }
+        let shap = global_shapley_importance(self.predictor(), self.matrix(), shapley)?;
+        let max_abs = shap
+            .signed
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let shapley_norm: Vec<f64> = shap.signed.iter().map(|v| v / max_abs).collect();
+
+        let abs = |v: &[f64]| -> Vec<f64> { v.iter().map(|x| x.abs()).collect() };
+        let model_abs = abs(&model_scores);
+        let tau_pearson = kendall_tau(&model_abs, &abs(&pearson_v));
+        let tau_spearman = kendall_tau(&model_abs, &abs(&spearman_v));
+        let tau_shapley = kendall_tau(&model_abs, &abs(&shapley_norm));
+        let k = 3.min(p);
+        let top3_overlap = [
+            top_k_overlap(&model_abs, &abs(&pearson_v), k),
+            top_k_overlap(&model_abs, &abs(&spearman_v), k),
+            top_k_overlap(&model_abs, &abs(&shapley_norm), k),
+        ];
+        Ok(VerificationReport {
+            driver_names: self.driver_names().to_vec(),
+            model_scores,
+            pearson: pearson_v,
+            spearman: spearman_v,
+            shapley: shapley_norm,
+            tau_pearson,
+            tau_spearman,
+            tau_shapley,
+            top3_overlap,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kpi::KpiKind;
+    use crate::model_backend::{ModelConfig, TrainedModel};
+    use whatif_learn::Matrix;
+
+    fn model() -> TrainedModel {
+        // y = 5*a - 3*b + 0*c
+        let rows: Vec<Vec<f64>> = (0..80)
+            .map(|i| {
+                vec![
+                    (i % 9) as f64,
+                    ((i * 4) % 11) as f64,
+                    ((i * 7) % 5) as f64,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0] - 3.0 * r[1]).collect();
+        TrainedModel::fit(
+            "y",
+            KpiKind::Continuous,
+            vec!["a".into(), "b".into(), "c".into()],
+            Matrix::from_rows(&rows).unwrap(),
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn importance_ranking_and_lookups() {
+        let imp = model().driver_importance().unwrap();
+        assert_eq!(imp.ranked_names()[0], "a");
+        assert_eq!(imp.ranked_names()[2], "c");
+        assert_eq!(imp.top_k(2), vec!["a", "b"]);
+        assert_eq!(imp.bottom_k(1), vec!["c"]);
+        assert!(imp.score_of("a").unwrap() > 0.0);
+        assert!(imp.score_of("b").unwrap() < 0.0);
+        assert!(imp.score_of("nope").is_none());
+        assert!(imp.score_of("c").unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn verification_agrees_on_clean_linear_data() {
+        let cfg = ShapleyConfig {
+            n_permutations: 16,
+            n_rows: 32,
+            seed: 1,
+        };
+        let report = model().verify_importance(&cfg).unwrap();
+        assert!(report.tau_pearson > 0.3, "tau_p {}", report.tau_pearson);
+        assert!(report.tau_spearman > 0.3);
+        assert!(report.tau_shapley > 0.3);
+        assert!(report.is_consistent(0.6), "{report:?}");
+        // Shapley signs match coefficients.
+        assert!(report.shapley[0] > 0.0);
+        assert!(report.shapley[1] < 0.0);
+        // Normalized to max |1|.
+        let max = report.shapley.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let imp = model().driver_importance().unwrap();
+        let json = serde_json::to_string(&imp).unwrap();
+        let back: DriverImportance = serde_json::from_str(&json).unwrap();
+        assert_eq!(imp, back);
+    }
+}

@@ -1,0 +1,147 @@
+//! KPI kind detection — the paper's model-selection switch: "linear
+//! regression models when the KPI objective is a continuous variable
+//! (e.g., sales) and classifiers when the KPI objective is a discrete
+//! variable (e.g., customer retained after 6 months or not)".
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use whatif_frame::{Column, DType};
+
+/// Whether a KPI column is treated as continuous or binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KpiKind {
+    /// Continuous objective (regression model).
+    Continuous,
+    /// Binary objective (classifier; KPI value = positive rate).
+    Binary,
+}
+
+/// Detect the KPI kind of a column:
+///
+/// * `bool` → [`KpiKind::Binary`];
+/// * numeric with values ⊆ {0, 1} → [`KpiKind::Binary`];
+/// * other numeric → [`KpiKind::Continuous`];
+/// * strings → error (the paper's UI deselects textual variables).
+///
+/// # Errors
+/// [`CoreError::Config`] for string or all-null columns.
+pub fn detect_kpi_kind(column: &Column) -> Result<KpiKind> {
+    if column.null_count() == column.len() {
+        return Err(CoreError::Config(format!(
+            "KPI column {:?} is entirely null",
+            column.name()
+        )));
+    }
+    match column.dtype() {
+        DType::Bool => Ok(KpiKind::Binary),
+        DType::Str => Err(CoreError::Config(format!(
+            "KPI column {:?} is textual; select a numeric or boolean KPI",
+            column.name()
+        ))),
+        DType::Float | DType::Int => {
+            let vals = column.to_f64_lossy()?;
+            let binary = vals
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| column.is_valid(i))
+                .all(|(_, &v)| v == 0.0 || v == 1.0);
+            Ok(if binary {
+                KpiKind::Binary
+            } else {
+                KpiKind::Continuous
+            })
+        }
+    }
+}
+
+/// Extract the KPI as `f64` targets (bools → 0/1). Nulls are rejected.
+///
+/// # Errors
+/// [`CoreError::Config`] when nulls are present.
+pub fn kpi_targets(column: &Column) -> Result<Vec<f64>> {
+    if column.null_count() > 0 {
+        return Err(CoreError::Config(format!(
+            "KPI column {:?} has {} null rows; filter them before analysis",
+            column.name(),
+            column.null_count()
+        )));
+    }
+    Ok(column.to_f64_lossy()?)
+}
+
+/// Extract binary labels from a KPI column detected as
+/// [`KpiKind::Binary`].
+///
+/// # Errors
+/// [`CoreError::Config`] if any value is not 0/1 or null.
+pub fn kpi_labels(column: &Column) -> Result<Vec<u8>> {
+    let targets = kpi_targets(column)?;
+    targets
+        .iter()
+        .map(|&v| {
+            if v == 0.0 {
+                Ok(0u8)
+            } else if v == 1.0 {
+                Ok(1u8)
+            } else {
+                Err(CoreError::Config(format!(
+                    "binary KPI {:?} contains non-binary value {v}",
+                    column.name()
+                )))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_is_binary() {
+        let c = Column::from_bool("won", vec![true, false]);
+        assert_eq!(detect_kpi_kind(&c).unwrap(), KpiKind::Binary);
+        assert_eq!(kpi_labels(&c).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn zero_one_numeric_is_binary() {
+        let c = Column::from_i64("flag", vec![0, 1, 1, 0]);
+        assert_eq!(detect_kpi_kind(&c).unwrap(), KpiKind::Binary);
+        let c = Column::from_f64("flag", vec![0.0, 1.0]);
+        assert_eq!(detect_kpi_kind(&c).unwrap(), KpiKind::Binary);
+    }
+
+    #[test]
+    fn general_numeric_is_continuous() {
+        let c = Column::from_f64("sales", vec![10.5, 20.0, 30.0]);
+        assert_eq!(detect_kpi_kind(&c).unwrap(), KpiKind::Continuous);
+        assert_eq!(kpi_targets(&c).unwrap(), vec![10.5, 20.0, 30.0]);
+        let c = Column::from_i64("count", vec![0, 1, 2]);
+        assert_eq!(detect_kpi_kind(&c).unwrap(), KpiKind::Continuous);
+    }
+
+    #[test]
+    fn string_kpi_is_rejected() {
+        let c = Column::from_str_values("name", vec!["a"]);
+        assert!(detect_kpi_kind(&c).is_err());
+    }
+
+    #[test]
+    fn all_null_kpi_is_rejected() {
+        let c = Column::from_f64_opt("x", vec![None, None]);
+        assert!(detect_kpi_kind(&c).is_err());
+    }
+
+    #[test]
+    fn nulls_rejected_in_targets() {
+        let c = Column::from_f64_opt("x", vec![Some(1.0), None]);
+        assert!(kpi_targets(&c).is_err());
+    }
+
+    #[test]
+    fn non_binary_labels_rejected() {
+        let c = Column::from_f64("x", vec![0.0, 0.5]);
+        assert!(kpi_labels(&c).is_err());
+    }
+}

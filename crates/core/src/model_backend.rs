@@ -1,0 +1,537 @@
+//! Model training backend: the paper's model-selection rule and the
+//! fitted-model handle every analysis runs through.
+
+use crate::error::{CoreError, Result};
+use crate::kpi::KpiKind;
+use serde::{Deserialize, Serialize};
+use whatif_learn::forest::ForestConfig;
+use whatif_learn::metrics::{accuracy, r2_score, roc_auc};
+use whatif_learn::model::{Classifier, Predictor, Regressor};
+use whatif_learn::split::train_test_split;
+use whatif_learn::tree::TreeConfig;
+use whatif_learn::{
+    LinearRegression, LogisticRegression, Matrix, RandomForestClassifier,
+    RandomForestRegressor,
+};
+
+/// Model family selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The paper's rule: continuous KPI → linear regression; binary KPI →
+    /// random-forest classifier.
+    Auto,
+    /// Linear regression (continuous KPIs only).
+    Linear,
+    /// Logistic regression (binary KPIs only) — the interpretable
+    /// classifier for the §5 interpretability-vs-accuracy discussion.
+    Logistic,
+    /// Random forest (classifier for binary, regressor for continuous).
+    RandomForest,
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model family.
+    pub kind: ModelKind,
+    /// Trees per forest (ignored by linear/logistic).
+    pub n_trees: usize,
+    /// Maximum tree depth (ignored by linear/logistic).
+    pub max_depth: usize,
+    /// Seed for all stochastic pieces.
+    pub seed: u64,
+    /// Features examined per split (`None` = family default: √p for
+    /// classification, p/3 for regression). Larger values let trees
+    /// condition on more drivers jointly, which raises the forest's
+    /// prediction ceiling in high-activity regions.
+    pub max_features: Option<usize>,
+    /// Worker threads for forest training.
+    pub n_threads: usize,
+    /// Held-out fraction used to estimate the model confidence shown in
+    /// the Goal Inversion view; `0` scores on training data instead.
+    pub holdout_fraction: f64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            kind: ModelKind::Auto,
+            n_trees: 100,
+            max_depth: 12,
+            seed: 0,
+            max_features: None,
+            n_threads: 4,
+            holdout_fraction: 0.2,
+        }
+    }
+}
+
+impl ModelConfig {
+    fn forest_config(&self, seed_offset: u64) -> ForestConfig {
+        let mut tree = TreeConfig::default();
+        tree.max_depth = self.max_depth;
+        tree.max_features = self.max_features;
+        ForestConfig {
+            n_trees: self.n_trees,
+            tree,
+            seed: self.seed.wrapping_add(seed_offset),
+            n_threads: self.n_threads,
+        }
+    }
+}
+
+/// The fitted model behind a [`TrainedModel`].
+enum FittedModel {
+    Linear(LinearRegression),
+    Logistic(LogisticRegression),
+    ForestClassifier(RandomForestClassifier),
+    ForestRegressor(RandomForestRegressor),
+}
+
+impl FittedModel {
+    fn predictor(&self) -> &dyn Predictor {
+        match self {
+            FittedModel::Linear(m) => m,
+            FittedModel::Logistic(m) => m,
+            FittedModel::ForestClassifier(m) => m,
+            FittedModel::ForestRegressor(m) => m,
+        }
+    }
+}
+
+/// A fitted driver→KPI model plus everything the four analyses need:
+/// the training matrix, targets, and a confidence score.
+///
+/// The KPI of a dataset is the **mean model prediction over its rows**:
+/// the deal-closing *rate* for classifiers, mean sales for regressors —
+/// exactly the blue/yellow bars of the paper's sensitivity view.
+pub struct TrainedModel {
+    kpi_name: String,
+    kpi_kind: KpiKind,
+    resolved_kind: ModelKind,
+    driver_names: Vec<String>,
+    x: Matrix,
+    y: Vec<f64>,
+    model: FittedModel,
+    confidence: f64,
+    baseline_kpi: f64,
+}
+
+impl TrainedModel {
+    /// Fit a model per `config` on the prepared matrix/targets.
+    ///
+    /// Called by [`crate::session::Session::train`]; exposed for direct
+    /// use by benchmarks.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] on kind/KPI mismatches, propagated learn
+    /// errors otherwise.
+    pub fn fit(
+        kpi_name: &str,
+        kpi_kind: KpiKind,
+        driver_names: Vec<String>,
+        x: Matrix,
+        y: Vec<f64>,
+        config: &ModelConfig,
+    ) -> Result<TrainedModel> {
+        let resolved = match (config.kind, kpi_kind) {
+            (ModelKind::Auto, KpiKind::Continuous) => ModelKind::Linear,
+            (ModelKind::Auto, KpiKind::Binary) => ModelKind::RandomForest,
+            (ModelKind::Linear, KpiKind::Continuous) => ModelKind::Linear,
+            (ModelKind::Linear, KpiKind::Binary) => {
+                return Err(CoreError::Config(
+                    "linear regression requires a continuous KPI; use Logistic or RandomForest"
+                        .to_owned(),
+                ))
+            }
+            (ModelKind::Logistic, KpiKind::Binary) => ModelKind::Logistic,
+            (ModelKind::Logistic, KpiKind::Continuous) => {
+                return Err(CoreError::Config(
+                    "logistic regression requires a binary KPI".to_owned(),
+                ))
+            }
+            (ModelKind::RandomForest, _) => ModelKind::RandomForest,
+        };
+        if x.n_rows() < 4 {
+            return Err(CoreError::Config(format!(
+                "need at least 4 rows to train, got {}",
+                x.n_rows()
+            )));
+        }
+
+        // Confidence: fit on a train split, score on the holdout.
+        let confidence = if config.holdout_fraction > 0.0 {
+            let (train_idx, test_idx) =
+                train_test_split(x.n_rows(), config.holdout_fraction, config.seed)?;
+            let take = |idx: &[usize]| -> (Matrix, Vec<f64>) {
+                let rows: Vec<Vec<f64>> = idx.iter().map(|&i| x.row(i).to_vec()).collect();
+                let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+                (
+                    Matrix::from_rows(&rows).expect("rows are uniform"),
+                    ys,
+                )
+            };
+            let (x_tr, y_tr) = take(&train_idx);
+            let (x_te, y_te) = take(&test_idx);
+            let m = fit_one(resolved, kpi_kind, &x_tr, &y_tr, config)?;
+            let preds = m.predictor().predict_matrix(&x_te)?;
+            score(kpi_kind, &y_te, &preds)
+        } else {
+            f64::NAN // filled below from training predictions
+        };
+
+        let model = fit_one(resolved, kpi_kind, &x, &y, config)?;
+        let train_preds = model.predictor().predict_matrix(&x)?;
+        let confidence = if confidence.is_nan() {
+            score(kpi_kind, &y, &train_preds)
+        } else {
+            confidence
+        };
+        let baseline_kpi = mean(&train_preds);
+
+        Ok(TrainedModel {
+            kpi_name: kpi_name.to_owned(),
+            kpi_kind,
+            resolved_kind: resolved,
+            driver_names,
+            x,
+            y,
+            model,
+            confidence,
+            baseline_kpi,
+        })
+    }
+
+    /// KPI column name.
+    pub fn kpi_name(&self) -> &str {
+        &self.kpi_name
+    }
+
+    /// Detected KPI kind.
+    pub fn kpi_kind(&self) -> KpiKind {
+        self.kpi_kind
+    }
+
+    /// The model family actually fitted (never [`ModelKind::Auto`]).
+    pub fn kind(&self) -> ModelKind {
+        self.resolved_kind
+    }
+
+    /// Driver names, aligned with matrix columns.
+    pub fn driver_names(&self) -> &[String] {
+        &self.driver_names
+    }
+
+    /// Index of a driver by name.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] for unknown drivers.
+    pub fn driver_index(&self, name: &str) -> Result<usize> {
+        self.driver_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| CoreError::Config(format!("unknown driver {name:?}")))
+    }
+
+    /// The training feature matrix (rows × drivers).
+    pub fn matrix(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// Training targets (0/1 for binary KPIs).
+    pub fn targets(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Model confidence: holdout R² (continuous) or ROC-AUC falling back
+    /// to accuracy (binary) — "the confidence of the model used" shown in
+    /// the Goal Inversion view.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The KPI achieved on the *original* dataset (blue bar).
+    pub fn baseline_kpi(&self) -> f64 {
+        self.baseline_kpi
+    }
+
+    /// Score a single driver row.
+    ///
+    /// # Errors
+    /// Propagated prediction errors (wrong width).
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        Ok(self.model.predictor().predict_row(row)?)
+    }
+
+    /// Mean prediction over an arbitrary matrix — the KPI of a
+    /// (possibly perturbed) dataset.
+    ///
+    /// # Errors
+    /// Propagated prediction errors (wrong column count).
+    pub fn kpi_for_matrix(&self, x: &Matrix) -> Result<f64> {
+        let preds = self.model.predictor().predict_matrix(x)?;
+        Ok(mean(&preds))
+    }
+
+    /// Borrow the underlying predictor (for Shapley verification etc.).
+    pub fn predictor(&self) -> &dyn Predictor {
+        self.model.predictor()
+    }
+
+    /// Model-native importances on the paper's `[-1, 1]` scale:
+    /// standardized coefficients for linear/logistic models; normalized
+    /// impurity importances signed by each driver's Pearson correlation
+    /// with the KPI for forests (impurity mass is unsigned by
+    /// construction; the correlation restores direction).
+    ///
+    /// # Errors
+    /// Propagated learn errors.
+    pub fn native_importances(&self) -> Result<Vec<f64>> {
+        match &self.model {
+            FittedModel::Linear(m) => Ok(m.standardized_coefficients()?.to_vec()),
+            FittedModel::Logistic(m) => Ok(m.standardized_coefficients()?.to_vec()),
+            FittedModel::ForestClassifier(m) => {
+                Ok(self.sign_by_correlation(m.feature_importances()?))
+            }
+            FittedModel::ForestRegressor(m) => {
+                Ok(self.sign_by_correlation(m.feature_importances()?))
+            }
+        }
+    }
+
+    fn sign_by_correlation(&self, unsigned: &[f64]) -> Vec<f64> {
+        (0..self.driver_names.len())
+            .map(|j| {
+                let col = self.x.col(j);
+                let r = whatif_stats::pearson(&col, &self.y);
+                let sign = if r.is_nan() || r >= 0.0 { 1.0 } else { -1.0 };
+                unsigned[j] * sign
+            })
+            .collect()
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn score(kind: KpiKind, y_true: &[f64], preds: &[f64]) -> f64 {
+    match kind {
+        KpiKind::Continuous => r2_score(y_true, preds),
+        KpiKind::Binary => {
+            let labels: Vec<u8> = y_true.iter().map(|&v| u8::from(v >= 0.5)).collect();
+            let auc = roc_auc(&labels, preds);
+            if auc.is_nan() {
+                let hard: Vec<u8> = preds.iter().map(|&p| u8::from(p >= 0.5)).collect();
+                accuracy(&labels, &hard)
+            } else {
+                auc
+            }
+        }
+    }
+}
+
+fn fit_one(
+    kind: ModelKind,
+    kpi_kind: KpiKind,
+    x: &Matrix,
+    y: &[f64],
+    config: &ModelConfig,
+) -> Result<FittedModel> {
+    Ok(match (kind, kpi_kind) {
+        (ModelKind::Linear, _) => {
+            let mut m = LinearRegression::new();
+            m.fit(x, y)?;
+            FittedModel::Linear(m)
+        }
+        (ModelKind::Logistic, _) => {
+            let labels: Vec<u8> = y.iter().map(|&v| u8::from(v >= 0.5)).collect();
+            let mut m = LogisticRegression::new().with_alpha(1e-3);
+            m.fit(x, &labels)?;
+            FittedModel::Logistic(m)
+        }
+        (ModelKind::RandomForest, KpiKind::Binary) => {
+            let labels: Vec<u8> = y.iter().map(|&v| u8::from(v >= 0.5)).collect();
+            let mut m = RandomForestClassifier::new(config.forest_config(1));
+            m.fit(x, &labels)?;
+            FittedModel::ForestClassifier(m)
+        }
+        (ModelKind::RandomForest, KpiKind::Continuous) => {
+            let mut m = RandomForestRegressor::new(config.forest_config(2));
+            m.fit(x, y)?;
+            FittedModel::ForestRegressor(m)
+        }
+        (ModelKind::Auto, _) => unreachable!("Auto resolved before fit_one"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn continuous_data() -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 12) as f64, ((i * 5) % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 4.0 * r[0] - 2.0 * r[1] + 1.0).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    fn binary_data() -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![(i % 10) as f64, ((i * 3) % 4) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| f64::from(u8::from(r[0] > 4.5))).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    fn names() -> Vec<String> {
+        vec!["a".into(), "b".into()]
+    }
+
+    #[test]
+    fn auto_selects_linear_for_continuous() {
+        let (x, y) = continuous_data();
+        let m = TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            x,
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(m.kind(), ModelKind::Linear);
+        assert!(m.confidence() > 0.99, "exact linear data: {}", m.confidence());
+    }
+
+    #[test]
+    fn auto_selects_forest_for_binary() {
+        let (x, y) = binary_data();
+        let mut cfg = ModelConfig::default();
+        cfg.n_trees = 20;
+        let m = TrainedModel::fit("won", KpiKind::Binary, names(), x, y, &cfg).unwrap();
+        assert_eq!(m.kind(), ModelKind::RandomForest);
+        assert!(m.confidence() > 0.9, "auc {}", m.confidence());
+        // Baseline KPI is a rate in [0, 1].
+        assert!((0.0..=1.0).contains(&m.baseline_kpi()));
+    }
+
+    #[test]
+    fn kind_kpi_mismatches_are_rejected() {
+        let (x, y) = binary_data();
+        let mut cfg = ModelConfig::default();
+        cfg.kind = ModelKind::Linear;
+        assert!(
+            TrainedModel::fit("won", KpiKind::Binary, names(), x.clone(), y.clone(), &cfg)
+                .is_err()
+        );
+        let (cx, cy) = continuous_data();
+        cfg.kind = ModelKind::Logistic;
+        assert!(TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            cx,
+            cy,
+            &cfg
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn forest_works_for_continuous_too() {
+        let (x, y) = continuous_data();
+        let mut cfg = ModelConfig::default();
+        cfg.kind = ModelKind::RandomForest;
+        cfg.n_trees = 20;
+        let m = TrainedModel::fit("sales", KpiKind::Continuous, names(), x, y, &cfg).unwrap();
+        assert_eq!(m.kind(), ModelKind::RandomForest);
+        assert!(m.confidence() > 0.7, "r2 {}", m.confidence());
+    }
+
+    #[test]
+    fn logistic_works_for_binary() {
+        let (x, y) = binary_data();
+        let mut cfg = ModelConfig::default();
+        cfg.kind = ModelKind::Logistic;
+        let m = TrainedModel::fit("won", KpiKind::Binary, names(), x, y, &cfg).unwrap();
+        assert_eq!(m.kind(), ModelKind::Logistic);
+        assert!(m.confidence() > 0.9);
+    }
+
+    #[test]
+    fn native_importances_are_signed_and_ranked() {
+        let (x, y) = continuous_data();
+        let m = TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            x,
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap();
+        let imp = m.native_importances().unwrap();
+        assert!(imp[0] > 0.0, "a drives KPI up");
+        assert!(imp[1] < 0.0, "b drives KPI down");
+        assert!(imp[0].abs() > imp[1].abs());
+        assert!(imp.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn forest_importances_get_correlation_signs() {
+        let (x, y) = binary_data();
+        let mut cfg = ModelConfig::default();
+        cfg.n_trees = 30;
+        let m = TrainedModel::fit("won", KpiKind::Binary, names(), x, y, &cfg).unwrap();
+        let imp = m.native_importances().unwrap();
+        assert!(imp[0] > 0.0, "positive driver gets positive sign: {imp:?}");
+        assert!(imp[0].abs() > imp[1].abs());
+    }
+
+    #[test]
+    fn too_few_rows_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(TrainedModel::fit(
+            "k",
+            KpiKind::Continuous,
+            vec!["a".into()],
+            x,
+            vec![1.0, 2.0],
+            &ModelConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn driver_index_lookup() {
+        let (x, y) = continuous_data();
+        let m = TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            x,
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(m.driver_index("b").unwrap(), 1);
+        assert!(m.driver_index("zz").is_err());
+        assert_eq!(m.kpi_name(), "sales");
+        assert_eq!(m.driver_names().len(), 2);
+    }
+
+    #[test]
+    fn zero_holdout_scores_on_training_data() {
+        let (x, y) = continuous_data();
+        let mut cfg = ModelConfig::default();
+        cfg.holdout_fraction = 0.0;
+        let m = TrainedModel::fit("sales", KpiKind::Continuous, names(), x, y, &cfg).unwrap();
+        assert!((m.confidence() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,247 @@
+//! Perturbations: the "what" of what-if (paper §2 F/G).
+//!
+//! The system supports the paper's two perturbation options — absolute
+//! deltas and percentage changes — applied to every data point ("a 40%
+//! increase on Open Marketing Email means increasing the marketing
+//! emails opened for every prospect by 40%") or to a single data point
+//! (per-data analysis).
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use whatif_learn::Matrix;
+
+/// How a driver is perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PerturbationKind {
+    /// Add a fixed delta to every value.
+    Absolute(f64),
+    /// Scale every value by `1 + pct/100`.
+    Percentage(f64),
+}
+
+/// One driver perturbation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Perturbation {
+    /// Driver column to perturb.
+    pub driver: String,
+    /// Kind and magnitude.
+    pub kind: PerturbationKind,
+}
+
+impl Perturbation {
+    /// Absolute delta perturbation.
+    pub fn absolute(driver: impl Into<String>, delta: f64) -> Perturbation {
+        Perturbation {
+            driver: driver.into(),
+            kind: PerturbationKind::Absolute(delta),
+        }
+    }
+
+    /// Percentage perturbation (`40.0` = +40 %).
+    pub fn percentage(driver: impl Into<String>, pct: f64) -> Perturbation {
+        Perturbation {
+            driver: driver.into(),
+            kind: PerturbationKind::Percentage(pct),
+        }
+    }
+
+    /// Apply to a single value.
+    pub fn apply_value(&self, v: f64) -> f64 {
+        match self.kind {
+            PerturbationKind::Absolute(delta) => v + delta,
+            PerturbationKind::Percentage(pct) => v * (1.0 + pct / 100.0),
+        }
+    }
+}
+
+/// A set of simultaneous perturbations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerturbationSet {
+    /// The perturbations, applied independently per driver.
+    pub perturbations: Vec<Perturbation>,
+    /// Clamp perturbed values at zero (business activity counts and
+    /// spends cannot go negative). Defaults to `true`.
+    pub clamp_non_negative: bool,
+}
+
+impl PerturbationSet {
+    /// A set with non-negative clamping on (the business-data default).
+    pub fn new(perturbations: Vec<Perturbation>) -> PerturbationSet {
+        PerturbationSet {
+            perturbations,
+            clamp_non_negative: true,
+        }
+    }
+
+    /// Disable the non-negative clamp (for data with legitimate negative
+    /// values).
+    pub fn without_clamp(mut self) -> PerturbationSet {
+        self.clamp_non_negative = false;
+        self
+    }
+
+    /// True when no perturbations are present.
+    pub fn is_empty(&self) -> bool {
+        self.perturbations.is_empty()
+    }
+
+    /// Validate that every perturbation's driver appears in
+    /// `driver_names` and no driver is perturbed twice.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] on unknown or duplicated drivers.
+    pub fn validate(&self, driver_names: &[String]) -> Result<()> {
+        let mut seen: Vec<&str> = Vec::with_capacity(self.perturbations.len());
+        for p in &self.perturbations {
+            if !driver_names.iter().any(|n| n == &p.driver) {
+                return Err(CoreError::Config(format!(
+                    "perturbation references unknown driver {:?}",
+                    p.driver
+                )));
+            }
+            if seen.contains(&p.driver.as_str()) {
+                return Err(CoreError::Config(format!(
+                    "driver {:?} perturbed more than once",
+                    p.driver
+                )));
+            }
+            seen.push(&p.driver);
+        }
+        Ok(())
+    }
+
+    /// Apply to an entire matrix whose columns are `driver_names`.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] per [`PerturbationSet::validate`].
+    pub fn apply_to_matrix(&self, x: &Matrix, driver_names: &[String]) -> Result<Matrix> {
+        self.validate(driver_names)?;
+        let mut out = x.clone();
+        for p in &self.perturbations {
+            let j = driver_names
+                .iter()
+                .position(|n| n == &p.driver)
+                .expect("validated above");
+            for i in 0..out.n_rows() {
+                let mut v = p.apply_value(out.get(i, j));
+                if self.clamp_non_negative {
+                    v = v.max(0.0);
+                }
+                out.set(i, j, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Apply to a single feature row.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] per [`PerturbationSet::validate`] or on a
+    /// row/driver length mismatch.
+    pub fn apply_to_row(&self, row: &[f64], driver_names: &[String]) -> Result<Vec<f64>> {
+        self.validate(driver_names)?;
+        if row.len() != driver_names.len() {
+            return Err(CoreError::Config(format!(
+                "row has {} values for {} drivers",
+                row.len(),
+                driver_names.len()
+            )));
+        }
+        let mut out = row.to_vec();
+        for p in &self.perturbations {
+            let j = driver_names
+                .iter()
+                .position(|n| n == &p.driver)
+                .expect("validated above");
+            out[j] = p.apply_value(out[j]);
+            if self.clamp_non_negative {
+                out[j] = out[j].max(0.0);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["a".into(), "b".into()]
+    }
+
+    fn matrix() -> Matrix {
+        Matrix::from_rows(&[vec![10.0, 1.0], vec![20.0, 2.0]]).unwrap()
+    }
+
+    #[test]
+    fn percentage_scales_all_rows() {
+        let set = PerturbationSet::new(vec![Perturbation::percentage("a", 40.0)]);
+        let out = set.apply_to_matrix(&matrix(), &names()).unwrap();
+        assert_eq!(out.col(0), vec![14.0, 28.0]);
+        assert_eq!(out.col(1), vec![1.0, 2.0], "untouched driver");
+    }
+
+    #[test]
+    fn absolute_adds_delta() {
+        let set = PerturbationSet::new(vec![Perturbation::absolute("b", 5.0)]);
+        let out = set.apply_to_matrix(&matrix(), &names()).unwrap();
+        assert_eq!(out.col(1), vec![6.0, 7.0]);
+    }
+
+    #[test]
+    fn multiple_drivers_at_once() {
+        let set = PerturbationSet::new(vec![
+            Perturbation::percentage("a", -50.0),
+            Perturbation::absolute("b", 1.0),
+        ]);
+        let out = set.apply_to_matrix(&matrix(), &names()).unwrap();
+        assert_eq!(out.col(0), vec![5.0, 10.0]);
+        assert_eq!(out.col(1), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn clamp_prevents_negative_counts() {
+        let set = PerturbationSet::new(vec![Perturbation::absolute("a", -15.0)]);
+        let out = set.apply_to_matrix(&matrix(), &names()).unwrap();
+        assert_eq!(out.col(0), vec![0.0, 5.0]);
+        let unclamped = PerturbationSet::new(vec![Perturbation::absolute("a", -15.0)])
+            .without_clamp()
+            .apply_to_matrix(&matrix(), &names())
+            .unwrap();
+        assert_eq!(unclamped.col(0), vec![-5.0, 5.0]);
+    }
+
+    #[test]
+    fn row_application() {
+        let set = PerturbationSet::new(vec![Perturbation::percentage("b", 100.0)]);
+        let out = set.apply_to_row(&[3.0, 4.0], &names()).unwrap();
+        assert_eq!(out, vec![3.0, 8.0]);
+        assert!(set.apply_to_row(&[1.0], &names()).is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let set = PerturbationSet::new(vec![Perturbation::percentage("zz", 1.0)]);
+        assert!(set.apply_to_matrix(&matrix(), &names()).is_err());
+        let dup = PerturbationSet::new(vec![
+            Perturbation::percentage("a", 1.0),
+            Perturbation::absolute("a", 1.0),
+        ]);
+        assert!(dup.validate(&names()).is_err());
+        let empty = PerturbationSet::new(vec![]);
+        assert!(empty.is_empty());
+        assert!(empty.validate(&names()).is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let set = PerturbationSet::new(vec![
+            Perturbation::percentage("a", 40.0),
+            Perturbation::absolute("b", -2.0),
+        ]);
+        let json = serde_json::to_string(&set).unwrap();
+        let back: PerturbationSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(set, back);
+    }
+}

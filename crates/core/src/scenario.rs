@@ -1,0 +1,234 @@
+//! Scenario management: "there are often multiple feasible choices with
+//! dynamic costs and trade-offs ... Systems should enable rapid
+//! discovery as well as management and tracking of these choices
+//! (options), making them first-class citizens of data analysis" (§1).
+//!
+//! A [`ScenarioLedger`] records every what-if outcome a user wants to
+//! keep — sensitivity runs, goal inversions — and supports comparing,
+//! ranking, and pruning them.
+
+use crate::goal::GoalInversionResult;
+use crate::perturbation::PerturbationSet;
+use crate::sensitivity::SensitivityResult;
+use serde::{Deserialize, Serialize};
+
+/// What kind of analysis produced a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// A manual sensitivity experiment.
+    Sensitivity,
+    /// A goal-inversion recommendation.
+    GoalInversion,
+}
+
+/// A recorded option: a named perturbation with its KPI outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Ledger-assigned id (stable within a ledger).
+    pub id: u64,
+    /// User-facing name.
+    pub name: String,
+    /// Source analysis.
+    pub kind: ScenarioKind,
+    /// The driver changes this scenario applies.
+    pub perturbations: PerturbationSet,
+    /// KPI achieved under the scenario.
+    pub kpi: f64,
+    /// KPI on the original data at record time.
+    pub baseline_kpi: f64,
+}
+
+impl Scenario {
+    /// KPI change versus baseline.
+    pub fn uplift(&self) -> f64 {
+        self.kpi - self.baseline_kpi
+    }
+}
+
+/// An ordered ledger of scenarios with monotonically increasing ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScenarioLedger {
+    scenarios: Vec<Scenario>,
+    next_id: u64,
+}
+
+impl ScenarioLedger {
+    /// Empty ledger.
+    pub fn new() -> ScenarioLedger {
+        ScenarioLedger::default()
+    }
+
+    /// Record a sensitivity outcome; returns the assigned id.
+    pub fn record_sensitivity(
+        &mut self,
+        name: impl Into<String>,
+        result: &SensitivityResult,
+    ) -> u64 {
+        self.push(Scenario {
+            id: 0,
+            name: name.into(),
+            kind: ScenarioKind::Sensitivity,
+            perturbations: result.perturbations.clone(),
+            kpi: result.perturbed_kpi,
+            baseline_kpi: result.baseline_kpi,
+        })
+    }
+
+    /// Record a goal-inversion outcome; returns the assigned id.
+    pub fn record_goal_inversion(
+        &mut self,
+        name: impl Into<String>,
+        result: &GoalInversionResult,
+    ) -> u64 {
+        self.push(Scenario {
+            id: 0,
+            name: name.into(),
+            kind: ScenarioKind::GoalInversion,
+            perturbations: result.as_perturbations(),
+            kpi: result.achieved_kpi,
+            baseline_kpi: result.baseline_kpi,
+        })
+    }
+
+    fn push(&mut self, mut scenario: Scenario) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        scenario.id = id;
+        self.scenarios.push(scenario);
+        id
+    }
+
+    /// All scenarios in recording order.
+    pub fn all(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Number of recorded scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: u64) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.id == id)
+    }
+
+    /// Remove by id; returns the removed scenario.
+    pub fn remove(&mut self, id: u64) -> Option<Scenario> {
+        let pos = self.scenarios.iter().position(|s| s.id == id)?;
+        Some(self.scenarios.remove(pos))
+    }
+
+    /// The scenario with the highest KPI.
+    pub fn best_by_kpi(&self) -> Option<&Scenario> {
+        self.scenarios
+            .iter()
+            .max_by(|a, b| a.kpi.partial_cmp(&b.kpi).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Scenarios sorted by descending uplift (the comparison table the
+    /// paper's options view implies).
+    pub fn ranked_by_uplift(&self) -> Vec<&Scenario> {
+        let mut v: Vec<&Scenario> = self.scenarios.iter().collect();
+        v.sort_by(|a, b| {
+            b.uplift()
+                .partial_cmp(&a.uplift())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturbation::{Perturbation, PerturbationSet};
+
+    fn sens(kpi: f64) -> SensitivityResult {
+        SensitivityResult {
+            kpi_name: "y".into(),
+            baseline_kpi: 0.4,
+            perturbed_kpi: kpi,
+            perturbations: PerturbationSet::new(vec![Perturbation::percentage("a", 40.0)]),
+        }
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut ledger = ScenarioLedger::new();
+        assert!(ledger.is_empty());
+        let id0 = ledger.record_sensitivity("plus 40", &sens(0.43));
+        let id1 = ledger.record_sensitivity("plus 80", &sens(0.47));
+        assert_eq!(ledger.len(), 2);
+        assert_ne!(id0, id1);
+        assert_eq!(ledger.get(id0).unwrap().name, "plus 40");
+        assert!(ledger.get(999).is_none());
+        assert_eq!(ledger.all()[1].id, id1);
+    }
+
+    #[test]
+    fn uplift_and_ranking() {
+        let mut ledger = ScenarioLedger::new();
+        ledger.record_sensitivity("small", &sens(0.43));
+        ledger.record_sensitivity("big", &sens(0.60));
+        ledger.record_sensitivity("bad", &sens(0.30));
+        let best = ledger.best_by_kpi().unwrap();
+        assert_eq!(best.name, "big");
+        assert!((best.uplift() - 0.2).abs() < 1e-12);
+        let ranked = ledger.ranked_by_uplift();
+        assert_eq!(
+            ranked.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["big", "small", "bad"]
+        );
+    }
+
+    #[test]
+    fn remove_preserves_ids() {
+        let mut ledger = ScenarioLedger::new();
+        let id0 = ledger.record_sensitivity("a", &sens(0.5));
+        let id1 = ledger.record_sensitivity("b", &sens(0.6));
+        let removed = ledger.remove(id0).unwrap();
+        assert_eq!(removed.name, "a");
+        assert!(ledger.remove(id0).is_none());
+        // New ids keep counting up; existing ids stay valid.
+        let id2 = ledger.record_sensitivity("c", &sens(0.7));
+        assert!(id2 > id1);
+        assert_eq!(ledger.get(id1).unwrap().name, "b");
+    }
+
+    #[test]
+    fn goal_inversion_scenarios() {
+        use crate::goal::{Goal, GoalInversionResult};
+        let r = GoalInversionResult {
+            goal: Goal::Maximize,
+            achieved_kpi: 0.9,
+            baseline_kpi: 0.42,
+            confidence: 0.8,
+            driver_percentages: vec![("a".into(), 250.0)],
+            driver_values: vec![("a".into(), 3.5)],
+            n_evals: 50,
+            converged: true,
+        };
+        let mut ledger = ScenarioLedger::new();
+        let id = ledger.record_goal_inversion("max out", &r);
+        let s = ledger.get(id).unwrap();
+        assert_eq!(s.kind, ScenarioKind::GoalInversion);
+        assert!((s.uplift() - 0.48).abs() < 1e-12);
+        assert_eq!(s.perturbations.perturbations.len(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut ledger = ScenarioLedger::new();
+        ledger.record_sensitivity("x", &sens(0.5));
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: ScenarioLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.all()[0].name, "x");
+    }
+}

@@ -1,0 +1,163 @@
+//! Single-driver goal seeking — the "Excel Goal Seek" baseline the
+//! paper's Related Work cites: "Excel's SOLVER and GOAL SEEK features
+//! allow solving for a desired output of a formula by changing its
+//! drivers ... albeit with limited interactivity and expressivity."
+//!
+//! This is deliberately the *weak* baseline: it changes one driver at a
+//! time, which the benchmark harness contrasts with the multi-driver
+//! Bayesian goal inversion of [`crate::goal`].
+
+use crate::error::{CoreError, Result};
+use crate::model_backend::TrainedModel;
+use crate::perturbation::{Perturbation, PerturbationSet};
+use serde::{Deserialize, Serialize};
+use whatif_optim::goal_seek::goal_seek;
+
+/// Outcome of a single-driver goal seek.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriverSeekResult {
+    /// The driver that was adjusted.
+    pub driver: String,
+    /// The KPI target sought.
+    pub target: f64,
+    /// Percentage change found for the driver.
+    pub pct: f64,
+    /// KPI achieved at that percentage.
+    pub achieved_kpi: f64,
+    /// KPI on the original data.
+    pub baseline_kpi: f64,
+    /// Whether |achieved − target| met the tolerance.
+    pub converged: bool,
+    /// Model evaluations spent.
+    pub n_evals: usize,
+}
+
+impl DriverSeekResult {
+    /// The recommendation as a reusable perturbation set.
+    pub fn as_perturbations(&self) -> PerturbationSet {
+        PerturbationSet::new(vec![Perturbation::percentage(self.driver.clone(), self.pct)])
+    }
+}
+
+impl TrainedModel {
+    /// Excel-style goal seek: find the percentage change of **one**
+    /// driver that brings the KPI to `target`, scanning
+    /// `[low_pct, high_pct]` and bisecting a bracket if one exists.
+    ///
+    /// When the target is unreachable by this driver alone (the common
+    /// case — and the paper's argument for multi-driver goal inversion),
+    /// the closest achievable point is returned with
+    /// `converged = false`.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] for unknown drivers or an invalid range.
+    pub fn goal_seek_driver(
+        &self,
+        driver: &str,
+        target: f64,
+        low_pct: f64,
+        high_pct: f64,
+        tolerance: f64,
+    ) -> Result<DriverSeekResult> {
+        self.driver_index(driver)?; // validates the name
+        if low_pct >= high_pct || low_pct < -100.0 {
+            return Err(CoreError::Config(format!(
+                "invalid percentage range [{low_pct}, {high_pct}]"
+            )));
+        }
+        let driver_names = self.driver_names().to_vec();
+        let kpi_at = |pct: f64| -> f64 {
+            let set = PerturbationSet::new(vec![Perturbation::percentage(
+                driver.to_owned(),
+                pct,
+            )]);
+            set.apply_to_matrix(self.matrix(), &driver_names)
+                .and_then(|m| self.kpi_for_matrix(&m))
+                .unwrap_or(f64::NAN)
+        };
+        let r = goal_seek(kpi_at, target, low_pct, high_pct, tolerance, 200)?;
+        Ok(DriverSeekResult {
+            driver: driver.to_owned(),
+            target,
+            pct: r.x,
+            achieved_kpi: r.f,
+            baseline_kpi: self.baseline_kpi(),
+            converged: r.converged,
+            n_evals: r.n_evals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::kpi::KpiKind;
+    use crate::model_backend::{ModelConfig, TrainedModel};
+    use whatif_learn::Matrix;
+
+    /// Exact linear model: y = 3*a - b; mean(a) = 4.5, mean(b) = 2.
+    fn model() -> TrainedModel {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 10) as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - r[1]).collect();
+        TrainedModel::fit(
+            "y",
+            KpiKind::Continuous,
+            vec!["a".into(), "b".into()],
+            Matrix::from_rows(&rows).unwrap(),
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn seeks_a_reachable_target_exactly() {
+        let m = model();
+        // baseline KPI = 3*4.5 - 2 = 11.5. Target 12.85 needs
+        // a +10% on `a` (adds 3*0.45 = 1.35).
+        let target = m.baseline_kpi() + 1.35;
+        let r = m
+            .goal_seek_driver("a", target, -50.0, 100.0, 1e-9)
+            .unwrap();
+        assert!(r.converged);
+        assert!((r.pct - 10.0).abs() < 1e-4, "pct {}", r.pct);
+        assert!((r.achieved_kpi - target).abs() < 1e-9);
+        // And the recommendation replays through the sensitivity view.
+        let sens = m.sensitivity(&r.as_perturbations()).unwrap();
+        assert!((sens.perturbed_kpi - r.achieved_kpi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_reports_best_effort() {
+        let m = model();
+        // One driver capped at +50% cannot triple the KPI.
+        let r = m
+            .goal_seek_driver("a", 100.0, -50.0, 50.0, 1e-6)
+            .unwrap();
+        assert!(!r.converged);
+        // Best effort is the cap.
+        assert!((r.pct - 50.0).abs() < 1.0, "pct {}", r.pct);
+        assert!(r.achieved_kpi < 100.0);
+    }
+
+    #[test]
+    fn negative_driver_seeks_downward_change() {
+        let m = model();
+        // Raising b lowers y; to lower the KPI by 0.2, b must rise 10%.
+        let target = m.baseline_kpi() - 0.2;
+        let r = m
+            .goal_seek_driver("b", target, -100.0, 100.0, 1e-9)
+            .unwrap();
+        assert!(r.converged);
+        assert!((r.pct - 10.0).abs() < 1e-4, "pct {}", r.pct);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let m = model();
+        assert!(m.goal_seek_driver("zz", 1.0, -10.0, 10.0, 1e-6).is_err());
+        assert!(m.goal_seek_driver("a", 1.0, 10.0, -10.0, 1e-6).is_err());
+        assert!(m.goal_seek_driver("a", 1.0, -150.0, 10.0, 1e-6).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Analysis sessions: dataset + KPI selection + driver selection
+//! (Figure 2 views B/C/D).
+
+use crate::error::{CoreError, Result};
+use crate::kpi::{detect_kpi_kind, kpi_targets, KpiKind};
+use crate::model_backend::{ModelConfig, TrainedModel};
+use whatif_frame::{DType, Frame};
+use whatif_learn::Matrix;
+
+/// A what-if session over one dataset.
+///
+/// The flow mirrors the paper's UI: load a table, pick the KPI, filter
+/// the driver list (textual columns are auto-deselected, like the
+/// walkthrough's `Account` variables), then train.
+#[derive(Debug, Clone)]
+pub struct Session {
+    frame: Frame,
+    kpi: Option<String>,
+    drivers: Vec<String>,
+}
+
+impl Session {
+    /// Start a session on a dataset. All numeric/boolean columns are
+    /// pre-selected as candidate drivers; textual columns are excluded.
+    pub fn new(frame: Frame) -> Session {
+        let drivers = frame
+            .columns()
+            .iter()
+            .filter(|c| c.dtype() != DType::Str)
+            .map(|c| c.name().to_owned())
+            .collect();
+        Session {
+            frame,
+            kpi: None,
+            drivers,
+        }
+    }
+
+    /// The underlying table.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Select the KPI column; it is removed from the driver list.
+    ///
+    /// # Errors
+    /// [`CoreError`] for unknown/textual/all-null KPI columns.
+    pub fn with_kpi(mut self, kpi: &str) -> Result<Session> {
+        let column = self.frame.column(kpi)?;
+        detect_kpi_kind(column)?; // validates dtype
+        self.kpi = Some(kpi.to_owned());
+        self.drivers.retain(|d| d != kpi);
+        Ok(self)
+    }
+
+    /// Replace the driver selection (Figure 2 D). Unknown, textual, or
+    /// KPI columns are rejected.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] on invalid driver selections.
+    pub fn with_drivers(mut self, drivers: &[&str]) -> Result<Session> {
+        if drivers.is_empty() {
+            return Err(CoreError::Config("driver selection cannot be empty".to_owned()));
+        }
+        let mut selected = Vec::with_capacity(drivers.len());
+        for &d in drivers {
+            let col = self.frame.column(d)?;
+            if col.dtype() == DType::Str {
+                return Err(CoreError::Config(format!(
+                    "driver {d:?} is textual; deselect it (like the paper's Account columns)"
+                )));
+            }
+            if Some(d) == self.kpi.as_deref() {
+                return Err(CoreError::Config(format!(
+                    "{d:?} is the KPI and cannot also be a driver"
+                )));
+            }
+            if selected.contains(&d.to_owned()) {
+                return Err(CoreError::Config(format!("driver {d:?} selected twice")));
+            }
+            selected.push(d.to_owned());
+        }
+        self.drivers = selected;
+        Ok(self)
+    }
+
+    /// Deselect named drivers (the paper's "remove an obvious predictor"
+    /// episode).
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] if a name is not currently selected or the
+    /// selection would become empty.
+    pub fn without_drivers(mut self, drivers: &[&str]) -> Result<Session> {
+        for &d in drivers {
+            let before = self.drivers.len();
+            self.drivers.retain(|x| x != d);
+            if self.drivers.len() == before {
+                return Err(CoreError::Config(format!(
+                    "driver {d:?} is not in the current selection"
+                )));
+            }
+        }
+        if self.drivers.is_empty() {
+            return Err(CoreError::Config(
+                "removing these drivers would leave none selected".to_owned(),
+            ));
+        }
+        Ok(self)
+    }
+
+    /// Selected KPI, if any.
+    pub fn kpi(&self) -> Option<&str> {
+        self.kpi.as_deref()
+    }
+
+    /// Detected KPI kind.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] before a KPI is selected.
+    pub fn kpi_kind(&self) -> Result<KpiKind> {
+        let kpi = self
+            .kpi
+            .as_deref()
+            .ok_or_else(|| CoreError::Config("no KPI selected".to_owned()))?;
+        detect_kpi_kind(self.frame.column(kpi)?)
+    }
+
+    /// Currently selected drivers.
+    pub fn drivers(&self) -> &[String] {
+        &self.drivers
+    }
+
+    /// Train a model on the current selection.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] when no KPI is selected or drivers contain
+    /// nulls; propagated learn errors otherwise.
+    pub fn train(&self, config: &ModelConfig) -> Result<TrainedModel> {
+        let kpi = self
+            .kpi
+            .as_deref()
+            .ok_or_else(|| CoreError::Config("no KPI selected".to_owned()))?;
+        if self.drivers.is_empty() {
+            return Err(CoreError::Config("no drivers selected".to_owned()));
+        }
+        let kpi_col = self.frame.column(kpi)?;
+        let kind = detect_kpi_kind(kpi_col)?;
+        let y = kpi_targets(kpi_col)?;
+        let refs: Vec<&str> = self.drivers.iter().map(String::as_str).collect();
+        let flat = self.frame.numeric_matrix(&refs)?;
+        let x = Matrix::from_vec(flat, self.frame.n_rows(), self.drivers.len())?;
+        TrainedModel::fit(kpi, kind, self.drivers.clone(), x, y, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatif_frame::Column;
+
+    fn frame() -> Frame {
+        Frame::from_columns(vec![
+            Column::from_str_values("name", vec!["a"; 40]),
+            Column::from_f64("x1", (0..40).map(|i| (i % 8) as f64).collect()),
+            Column::from_i64("x2", (0..40).map(|i| (i % 5) as i64).collect()),
+            Column::from_f64("sales", (0..40).map(|i| 2.0 * (i % 8) as f64 + 3.0).collect()),
+            Column::from_bool("won", (0..40).map(|i| i % 8 > 3).collect()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn textual_columns_are_auto_deselected() {
+        let s = Session::new(frame());
+        assert!(!s.drivers().contains(&"name".to_owned()));
+        assert_eq!(s.drivers().len(), 4);
+    }
+
+    #[test]
+    fn kpi_selection_removes_it_from_drivers() {
+        let s = Session::new(frame()).with_kpi("sales").unwrap();
+        assert_eq!(s.kpi(), Some("sales"));
+        assert!(!s.drivers().contains(&"sales".to_owned()));
+        assert_eq!(s.kpi_kind().unwrap(), KpiKind::Continuous);
+        let s = Session::new(frame()).with_kpi("won").unwrap();
+        assert_eq!(s.kpi_kind().unwrap(), KpiKind::Binary);
+    }
+
+    #[test]
+    fn invalid_kpis_rejected() {
+        assert!(Session::new(frame()).with_kpi("name").is_err());
+        assert!(Session::new(frame()).with_kpi("ghost").is_err());
+        assert!(Session::new(frame()).kpi_kind().is_err());
+    }
+
+    #[test]
+    fn driver_selection_validation() {
+        let s = Session::new(frame()).with_kpi("sales").unwrap();
+        let ok = s.clone().with_drivers(&["x1", "x2"]).unwrap();
+        assert_eq!(ok.drivers(), &["x1".to_owned(), "x2".to_owned()]);
+        assert!(s.clone().with_drivers(&[]).is_err());
+        assert!(s.clone().with_drivers(&["name"]).is_err());
+        assert!(s.clone().with_drivers(&["sales"]).is_err(), "KPI as driver");
+        assert!(s.clone().with_drivers(&["x1", "x1"]).is_err());
+        assert!(s.clone().with_drivers(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn without_drivers_removes_and_validates() {
+        let s = Session::new(frame()).with_kpi("sales").unwrap();
+        let s2 = s.clone().without_drivers(&["x2"]).unwrap();
+        assert!(!s2.drivers().contains(&"x2".to_owned()));
+        assert!(s.clone().without_drivers(&["nope"]).is_err());
+        assert!(s
+            .clone()
+            .without_drivers(&["x1", "x2", "won"])
+            .is_err());
+    }
+
+    #[test]
+    fn train_end_to_end() {
+        let s = Session::new(frame())
+            .with_kpi("sales")
+            .unwrap()
+            .with_drivers(&["x1", "x2"])
+            .unwrap();
+        let m = s.train(&ModelConfig::default()).unwrap();
+        assert_eq!(m.kpi_name(), "sales");
+        assert!(m.confidence() > 0.95);
+        // sales = 2*x1 + 3 exactly.
+        let p = m.predict_row(&[4.0, 0.0]).unwrap();
+        assert!((p - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn train_requires_kpi_and_drivers() {
+        let s = Session::new(frame());
+        assert!(s.train(&ModelConfig::default()).is_err());
+    }
+
+    #[test]
+    fn nullable_driver_is_rejected_at_train_time() {
+        let mut f = frame();
+        f.push_column(Column::from_f64_opt(
+            "holey",
+            (0..40).map(|i| if i == 5 { None } else { Some(1.0) }).collect(),
+        ))
+        .unwrap();
+        let s = Session::new(f)
+            .with_kpi("sales")
+            .unwrap()
+            .with_drivers(&["x1", "holey"])
+            .unwrap();
+        assert!(s.train(&ModelConfig::default()).is_err());
+    }
+}

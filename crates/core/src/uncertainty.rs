@@ -1,0 +1,269 @@
+//! Uncertainty quantification for what-if outcomes — the §5 challenge
+//! "how to best calculate and communicate the underlying model
+//! assumptions and confidences to users who have no background in
+//! statistics", answered with row-bootstrap confidence intervals.
+//!
+//! The KPI of a dataset is a mean of per-row predictions, so its
+//! sampling uncertainty is estimated by bootstrapping rows: predictions
+//! are computed once per row and resampled, which keeps the interval
+//! essentially free compared to re-running the model.
+
+use crate::error::{CoreError, Result};
+use crate::model_backend::TrainedModel;
+use crate::perturbation::PerturbationSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use whatif_stats::quantile::quantile;
+use whatif_stats::sampling::bootstrap_indices;
+
+/// A percentile bootstrap interval around a point estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Point estimate (on the full dataset).
+    pub value: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval excludes a reference value (e.g. 0 for an
+    /// uplift — "is this effect distinguishable from noise?").
+    pub fn excludes(&self, reference: f64) -> bool {
+        reference < self.lo || reference > self.hi
+    }
+}
+
+/// A sensitivity outcome with bootstrap confidence intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityInterval {
+    /// KPI on the original data.
+    pub baseline: Interval,
+    /// KPI on the perturbed data.
+    pub perturbed: Interval,
+    /// Paired uplift (resampled jointly, so row noise cancels).
+    pub uplift: Interval,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+    /// Bootstrap resamples drawn.
+    pub n_resamples: usize,
+}
+
+/// Bootstrap configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapConfig {
+    /// Number of resamples.
+    pub n_resamples: usize,
+    /// Two-sided confidence level in `(0, 1)`.
+    pub level: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        BootstrapConfig {
+            n_resamples: 500,
+            level: 0.95,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainedModel {
+    /// Sensitivity analysis with paired bootstrap confidence intervals
+    /// over the dataset's rows.
+    ///
+    /// The *uplift* interval is the decision-relevant one: because the
+    /// same resample is used for both KPIs, between-prospect variation
+    /// cancels and the interval reflects how stable the perturbation's
+    /// effect is across the population.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] on invalid perturbations or configuration.
+    pub fn sensitivity_with_ci(
+        &self,
+        set: &PerturbationSet,
+        config: &BootstrapConfig,
+    ) -> Result<SensitivityInterval> {
+        if config.n_resamples < 10 {
+            return Err(CoreError::Config(
+                "bootstrap needs at least 10 resamples".to_owned(),
+            ));
+        }
+        if !(0.0..1.0).contains(&config.level) || config.level == 0.0 {
+            return Err(CoreError::Config(format!(
+                "confidence level must be in (0, 1), got {}",
+                config.level
+            )));
+        }
+        let driver_names = self.driver_names().to_vec();
+        let perturbed_matrix = set.apply_to_matrix(self.matrix(), &driver_names)?;
+        let n = self.matrix().n_rows();
+        // Per-row predictions, computed once.
+        let mut base_preds = Vec::with_capacity(n);
+        let mut pert_preds = Vec::with_capacity(n);
+        for i in 0..n {
+            base_preds.push(self.predict_row(self.matrix().row(i))?);
+            pert_preds.push(self.predict_row(perturbed_matrix.row(i))?);
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let point_base = mean(&base_preds);
+        let point_pert = mean(&pert_preds);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut boot_base = Vec::with_capacity(config.n_resamples);
+        let mut boot_pert = Vec::with_capacity(config.n_resamples);
+        let mut boot_uplift = Vec::with_capacity(config.n_resamples);
+        for _ in 0..config.n_resamples {
+            let idx = bootstrap_indices(&mut rng, n);
+            let mut b = 0.0;
+            let mut p = 0.0;
+            for &i in &idx {
+                b += base_preds[i];
+                p += pert_preds[i];
+            }
+            b /= n as f64;
+            p /= n as f64;
+            boot_base.push(b);
+            boot_pert.push(p);
+            boot_uplift.push(p - b);
+        }
+        let alpha = (1.0 - config.level) / 2.0;
+        let interval = |samples: &[f64], value: f64| Interval {
+            value,
+            lo: quantile(samples, alpha),
+            hi: quantile(samples, 1.0 - alpha),
+        };
+        Ok(SensitivityInterval {
+            baseline: interval(&boot_base, point_base),
+            perturbed: interval(&boot_pert, point_pert),
+            uplift: interval(&boot_uplift, point_pert - point_base),
+            level: config.level,
+            n_resamples: config.n_resamples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kpi::KpiKind;
+    use crate::model_backend::{ModelConfig, TrainedModel};
+    use crate::perturbation::Perturbation;
+    use whatif_learn::Matrix;
+
+    /// Exact linear model: y = 2*a + 1.
+    fn model() -> TrainedModel {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 10) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        TrainedModel::fit(
+            "y",
+            KpiKind::Continuous,
+            vec!["a".into()],
+            Matrix::from_rows(&rows).unwrap(),
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn intervals_bracket_point_estimates() {
+        let m = model();
+        let set = PerturbationSet::new(vec![Perturbation::percentage("a", 10.0)]);
+        let ci = m
+            .sensitivity_with_ci(&set, &BootstrapConfig::default())
+            .unwrap();
+        assert!(ci.baseline.lo <= ci.baseline.value && ci.baseline.value <= ci.baseline.hi);
+        assert!(ci.perturbed.lo <= ci.perturbed.value && ci.perturbed.value <= ci.perturbed.hi);
+        assert!(ci.uplift.lo <= ci.uplift.value && ci.uplift.value <= ci.uplift.hi);
+        // Point estimates agree with the plain sensitivity analysis.
+        let plain = m.sensitivity(&set).unwrap();
+        assert!((ci.uplift.value - plain.uplift()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_uplift_interval_is_tight_for_uniform_effects() {
+        // A percentage perturbation of a linear model has per-row effect
+        // proportional to the row value; the paired interval is much
+        // narrower than the baseline's own sampling spread.
+        let m = model();
+        let set = PerturbationSet::new(vec![Perturbation::percentage("a", 10.0)]);
+        let ci = m
+            .sensitivity_with_ci(&set, &BootstrapConfig::default())
+            .unwrap();
+        assert!(
+            ci.uplift.width() < ci.baseline.width(),
+            "uplift width {} vs baseline width {}",
+            ci.uplift.width(),
+            ci.baseline.width()
+        );
+        assert!(ci.uplift.excludes(0.0), "clear effect: {:?}", ci.uplift);
+    }
+
+    #[test]
+    fn absolute_shift_gives_degenerate_uplift_interval() {
+        // An absolute +2 on the driver shifts every prediction by
+        // exactly +4: the paired uplift has zero variance.
+        let m = model();
+        let set =
+            PerturbationSet::new(vec![Perturbation::absolute("a", 2.0)]).without_clamp();
+        let ci = m
+            .sensitivity_with_ci(&set, &BootstrapConfig::default())
+            .unwrap();
+        assert!((ci.uplift.value - 4.0).abs() < 1e-9);
+        assert!(ci.uplift.width() < 1e-9, "width {}", ci.uplift.width());
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let i = Interval {
+            value: 1.0,
+            lo: 0.5,
+            hi: 1.5,
+        };
+        assert_eq!(i.width(), 1.0);
+        assert!(i.excludes(0.0));
+        assert!(!i.excludes(1.0));
+        assert!(i.excludes(2.0));
+    }
+
+    #[test]
+    fn config_validation() {
+        let m = model();
+        let set = PerturbationSet::new(vec![Perturbation::percentage("a", 10.0)]);
+        let mut cfg = BootstrapConfig::default();
+        cfg.n_resamples = 5;
+        assert!(m.sensitivity_with_ci(&set, &cfg).is_err());
+        cfg = BootstrapConfig {
+            level: 1.5,
+            ..Default::default()
+        };
+        assert!(m.sensitivity_with_ci(&set, &cfg).is_err());
+        let bad = PerturbationSet::new(vec![Perturbation::percentage("zz", 1.0)]);
+        assert!(m
+            .sensitivity_with_ci(&bad, &BootstrapConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = model();
+        let set = PerturbationSet::new(vec![Perturbation::percentage("a", 10.0)]);
+        let a = m
+            .sensitivity_with_ci(&set, &BootstrapConfig::default())
+            .unwrap();
+        let b = m
+            .sensitivity_with_ci(&set, &BootstrapConfig::default())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,350 @@
+//! U3: deal-closing analysis dataset (the Figure 2 walkthrough).
+//!
+//! Every row is a prospective customer; every driver column counts an
+//! activity (chats, meetings attended, marketing emails opened, ...);
+//! the KPI is whether the deal closed. Two textual `Account *` columns
+//! are included because the paper's walkthrough explicitly deselects
+//! them before training.
+//!
+//! ## Calibration (DESIGN.md §6)
+//!
+//! The latent model is
+//! `z = intercept + f(OME) + Σⱼ βⱼ·xⱼ + ε`, `P(closed) = σ(z)`, with
+//! activities `xⱼ ~ Poisson(λⱼ)` and **diminishing returns on Open
+//! Marketing Email**: `f(x) = c·(1 − e^{−x/x₀})`. The saturation is what
+//! lets the paper's two headline numbers coexist — a +40 % bump on an
+//! already-engaged prospect's emails moves the KPI by only a few points
+//! (paper: +1.35 pp), while jointly raising *all* activities reaches a
+//! ≈ 90 % close rate (paper: 90.54 %).
+//!
+//! Effect sizes are strong enough (top feature-KPI correlations ≈ 0.2)
+//! that the training data *contains* high-close-rate regions: random
+//! forests cannot extrapolate beyond the support of their data, so the
+//! goal-inversion optimum must exist inside it.
+//!
+//! The per-driver effect scale (the quantity a model should recover as
+//! importance) is the standard deviation of each driver's latent
+//! contribution; it descends in the paper's published order — top-3
+//! *Open Marketing Email*, *Renewal*, *Call*; bottom-3 *Meeting*,
+//! *Initiate New Contact*, *LinkedIn Contact*.
+
+use crate::ground_truth::{Dataset, GroundTruth, TaskKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whatif_frame::{Column, Frame};
+use whatif_stats::distributions::{normal, poisson, sigmoid};
+
+/// The saturating driver: Open Marketing Email.
+const OME_NAME: &str = "Open Marketing Email";
+/// Poisson rate of OME counts.
+const OME_LAMBDA: f64 = 2.5;
+/// Saturation ceiling of the OME contribution.
+const OME_SAT_C: f64 = 3.2;
+/// Saturation scale (counts); small ⇒ returns diminish early.
+const OME_SAT_X0: f64 = 1.5;
+
+/// `(name, λ, β)` for the linear activity drivers, in paper importance
+/// order after OME. The recoverable effect scale is `β·√λ`.
+const LINEAR_DRIVERS: &[(&str, f64, f64)] = &[
+    ("Renewal", 2.5, 0.44272),
+    ("Call", 3.5, 0.33140),
+    ("Chat", 5.0, 0.24597),
+    ("Demo", 2.5, 0.29725),
+    ("Trial Signup", 2.0, 0.28284),
+    ("Campaign Participation", 3.0, 0.19630),
+    ("Email Reply", 4.0, 0.14000),
+    ("Website Visit", 5.0, 0.09839),
+    ("Meeting", 3.0, 0.08083),
+    ("Initiate New Contact", 3.5, 0.04276),
+    ("LinkedIn Contact", 4.0, 0.02000),
+];
+
+/// Latent intercept calibrated for a ≈ 42 % base close rate
+/// (probit-smoothing analysis over the contributions above).
+const INTERCEPT: f64 = -9.6311;
+
+/// Latent noise standard deviation.
+const NOISE_STD: f64 = 0.30;
+
+/// Example industries for the textual account columns.
+const INDUSTRIES: &[&str] = &[
+    "Software",
+    "Finance",
+    "Healthcare",
+    "Retail",
+    "Manufacturing",
+    "Education",
+];
+
+/// The saturating OME response.
+fn ome_contribution(x: f64) -> f64 {
+    OME_SAT_C * (1.0 - (-x / OME_SAT_X0).exp())
+}
+
+/// The latent log-odds of closing for a full activity row (noise-free),
+/// ordered `[OME, linear drivers...]`. Exposed so tests and experiments
+/// can query the true model.
+pub fn true_logit(activities: &[f64]) -> f64 {
+    let mut z = INTERCEPT + ome_contribution(activities[0]);
+    for (j, &(_, _, beta)) in LINEAR_DRIVERS.iter().enumerate() {
+        z += beta * activities[j + 1];
+    }
+    z
+}
+
+/// The true close probability for a full activity row (noise-free).
+pub fn true_close_probability(activities: &[f64]) -> f64 {
+    sigmoid(true_logit(activities))
+}
+
+/// Poisson pmf by the stable recurrence (for the analytic effect sizes).
+fn poisson_pmf(lambda: f64, upto: usize) -> Vec<f64> {
+    let mut pmf = Vec::with_capacity(upto + 1);
+    let mut p = (-lambda).exp();
+    for k in 0..=upto {
+        pmf.push(p);
+        p *= lambda / (k + 1) as f64;
+    }
+    pmf
+}
+
+/// Analytic standard deviation of the OME contribution under its
+/// Poisson activity distribution.
+fn ome_effect() -> f64 {
+    let pmf = poisson_pmf(OME_LAMBDA, 40);
+    let mean: f64 = pmf
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| p * ome_contribution(k as f64))
+        .sum();
+    pmf.iter()
+        .enumerate()
+        .map(|(k, &p)| {
+            let d = ome_contribution(k as f64) - mean;
+            p * d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Generate the deal-closing dataset with `n` prospects.
+///
+/// Columns: `Account Name` (str), `Account Industry` (str), the twelve
+/// activity counts (int), and the `Deal Closed?` KPI (bool). The default
+/// driver selection excludes the textual columns.
+pub fn deal_closing(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_drivers = 1 + LINEAR_DRIVERS.len();
+    let mut activities: Vec<Vec<i64>> = vec![Vec::with_capacity(n); n_drivers];
+    let mut closed: Vec<bool> = Vec::with_capacity(n);
+    let mut names: Vec<String> = Vec::with_capacity(n);
+    let mut industries: Vec<String> = Vec::with_capacity(n);
+    let mut row = vec![0.0; n_drivers];
+
+    for i in 0..n {
+        names.push(format!("Account-{i:05}"));
+        industries.push(INDUSTRIES[rng.gen_range(0..INDUSTRIES.len())].to_owned());
+        row[0] = poisson(&mut rng, OME_LAMBDA) as f64;
+        for (j, &(_, lambda, _)) in LINEAR_DRIVERS.iter().enumerate() {
+            row[j + 1] = poisson(&mut rng, lambda) as f64;
+        }
+        let z = true_logit(&row) + normal(&mut rng, 0.0, NOISE_STD);
+        closed.push(rng.gen::<f64>() < sigmoid(z));
+        for (j, &v) in row.iter().enumerate() {
+            activities[j].push(v as i64);
+        }
+    }
+
+    let mut frame = Frame::new();
+    frame
+        .push_column(Column::from_str_values("Account Name", names))
+        .expect("fresh frame");
+    frame
+        .push_column(Column::from_str_values("Account Industry", industries))
+        .expect("unique column");
+    let driver_names: Vec<String> = std::iter::once(OME_NAME.to_owned())
+        .chain(LINEAR_DRIVERS.iter().map(|&(n, _, _)| n.to_owned()))
+        .collect();
+    for (j, name) in driver_names.iter().enumerate() {
+        frame
+            .push_column(Column::from_i64(
+                name.clone(),
+                std::mem::take(&mut activities[j]),
+            ))
+            .expect("unique column");
+    }
+    frame
+        .push_column(Column::from_bool("Deal Closed?", closed))
+        .expect("unique column");
+
+    let effects: Vec<f64> = std::iter::once(ome_effect())
+        .chain(
+            LINEAR_DRIVERS
+                .iter()
+                .map(|&(_, lambda, beta)| beta * lambda.sqrt()),
+        )
+        .collect();
+    let truth = GroundTruth {
+        driver_names: driver_names.clone(),
+        effects,
+        intercept: INTERCEPT,
+        task: TaskKind::Classification,
+        noise: NOISE_STD,
+    };
+    Dataset {
+        frame,
+        kpi: "Deal Closed?".to_owned(),
+        drivers: driver_names,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_schema() {
+        let d = deal_closing(500, 7);
+        assert_eq!(d.frame.n_rows(), 500);
+        assert_eq!(d.frame.n_cols(), 15); // 2 text + 12 drivers + KPI
+        assert_eq!(d.kpi, "Deal Closed?");
+        assert_eq!(d.drivers.len(), 12);
+        assert!(d.frame.has_column("Open Marketing Email"));
+        assert!(d.frame.has_column("Account Industry"));
+        // Drivers exclude the textual columns.
+        assert!(!d.drivers.contains(&"Account Name".to_owned()));
+    }
+
+    #[test]
+    fn base_rate_is_calibrated_near_42_percent() {
+        let d = deal_closing(20_000, 11);
+        let closed = d.frame.column("Deal Closed?").unwrap().bool_values().unwrap();
+        let rate = closed.iter().filter(|&&b| b).count() as f64 / closed.len() as f64;
+        assert!(
+            (rate - 0.42).abs() < 0.03,
+            "base close rate {rate:.4} should be near 0.42"
+        );
+    }
+
+    #[test]
+    fn ground_truth_ordering_matches_paper() {
+        let d = deal_closing(10, 0);
+        let ranked = d.truth.ranked_names();
+        assert_eq!(
+            &ranked[..3],
+            &["Open Marketing Email", "Renewal", "Call"],
+            "top-3 from the paper's walkthrough"
+        );
+        assert_eq!(
+            &ranked[9..],
+            &["Meeting", "Initiate New Contact", "LinkedIn Contact"],
+            "bottom-3 from the paper's walkthrough"
+        );
+    }
+
+    #[test]
+    fn ome_saturation_gives_diminishing_returns() {
+        // Marginal gain of one more email shrinks with engagement.
+        let low = ome_contribution(1.0) - ome_contribution(0.0);
+        let high = ome_contribution(5.0) - ome_contribution(4.0);
+        assert!(low > 4.0 * high, "low {low:.3} vs high {high:.3}");
+        // And the contribution is bounded by the ceiling.
+        assert!(ome_contribution(1e9) <= OME_SAT_C);
+    }
+
+    #[test]
+    fn forty_percent_ome_uplift_is_small_and_positive() {
+        // Analytic check against the true model: scaling OME counts by
+        // 1.4 lifts the mean close probability by a small positive bump
+        // (paper: +1.35 pp).
+        let d = deal_closing(8000, 13);
+        let driver_refs = d.driver_refs();
+        let x = d.frame.numeric_matrix(&driver_refs).unwrap();
+        let p = d.drivers.len();
+        let n = d.frame.n_rows();
+        let mut base = 0.0;
+        let mut perturbed = 0.0;
+        for i in 0..n {
+            let row = &x[i * p..(i + 1) * p];
+            base += true_close_probability(row);
+            let mut pert = row.to_vec();
+            pert[0] *= 1.4; // Open Marketing Email is driver 0
+            perturbed += true_close_probability(&pert);
+        }
+        let uplift = (perturbed - base) / n as f64;
+        assert!(
+            uplift > 0.01 && uplift < 0.07,
+            "uplift {:.4} should be a small positive bump (paper: +1.35 pp)",
+            uplift
+        );
+    }
+
+    #[test]
+    fn generous_joint_perturbation_reaches_high_close_rate() {
+        // Scaling every activity by 2.2 (the +120% end of the
+        // goal-inversion default range) pushes the true mean probability
+        // to ≈ 1; the fitted forest's within-support ceiling then binds
+        // the system-level result near the paper's 90.54 %.
+        let d = deal_closing(4000, 17);
+        let driver_refs = d.driver_refs();
+        let x = d.frame.numeric_matrix(&driver_refs).unwrap();
+        let p = d.drivers.len();
+        let n = d.frame.n_rows();
+        let mut lifted = 0.0;
+        for i in 0..n {
+            let row: Vec<f64> = x[i * p..(i + 1) * p].iter().map(|v| v * 2.2).collect();
+            lifted += true_close_probability(&row);
+        }
+        let rate = lifted / n as f64;
+        assert!(rate > 0.9, "joint optimum {rate:.4} should be high");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = deal_closing(100, 3);
+        let b = deal_closing(100, 3);
+        assert_eq!(a.frame, b.frame);
+        let c = deal_closing(100, 4);
+        assert_ne!(a.frame, c.frame);
+    }
+
+    #[test]
+    fn activities_are_non_negative_counts() {
+        let d = deal_closing(300, 5);
+        for name in &d.drivers {
+            let col = d.frame.column(name).unwrap().i64_values().unwrap().to_vec();
+            assert!(col.iter().all(|&v| v >= 0), "{name} has negative counts");
+        }
+    }
+
+    #[test]
+    fn top_drivers_correlate_with_outcome() {
+        let d = deal_closing(20_000, 19);
+        let closed: Vec<f64> = d
+            .frame
+            .column("Deal Closed?")
+            .unwrap()
+            .bool_values()
+            .unwrap()
+            .iter()
+            .map(|&b| f64::from(u8::from(b)))
+            .collect();
+        let r_of = |name: &str| {
+            let col: Vec<f64> = d
+                .frame
+                .column(name)
+                .unwrap()
+                .i64_values()
+                .unwrap()
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
+            whatif_stats::pearson(&col, &closed)
+        };
+        assert!(r_of("Open Marketing Email") > 0.12, "recoverable signal");
+        assert!(r_of("Renewal") > 0.12);
+        assert!(r_of("LinkedIn Contact").abs() < 0.05, "noise driver");
+        assert!(r_of("Open Marketing Email") > r_of("Meeting"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Generic regression/classification generators (scikit-learn
+//! `make_regression` / `make_classification` analogues) used by the
+//! scaling benchmarks, where dataset shape must vary freely.
+
+use crate::ground_truth::{Dataset, GroundTruth, TaskKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whatif_frame::{Column, Frame};
+use whatif_stats::distributions::{normal, sigmoid, standard_normal};
+
+fn coefficients(rng: &mut StdRng, n_features: usize, n_informative: usize) -> Vec<f64> {
+    (0..n_features)
+        .map(|j| {
+            if j < n_informative {
+                // Alternate signs, decaying magnitude.
+                let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+                sign * (1.0 + rng.gen::<f64>()) / (1.0 + j as f64 * 0.3)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+fn feature_frame(
+    rng: &mut StdRng,
+    n: usize,
+    n_features: usize,
+) -> (Frame, Vec<Vec<f64>>) {
+    let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); n_features];
+    for _ in 0..n {
+        for col in cols.iter_mut() {
+            col.push(standard_normal(rng));
+        }
+    }
+    let mut frame = Frame::new();
+    for (j, col) in cols.iter().enumerate() {
+        frame
+            .push_column(Column::from_f64(format!("x{j}"), col.clone()))
+            .expect("unique column");
+    }
+    (frame, cols)
+}
+
+/// Linear-plus-noise regression dataset: `y = Σ βⱼ xⱼ + ε` with
+/// `n_informative` nonzero coefficients and standard-normal features.
+///
+/// `n` and `n_features` must be positive; `n_informative` is clamped to
+/// `n_features`.
+pub fn make_regression(
+    n: usize,
+    n_features: usize,
+    n_informative: usize,
+    noise: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(n > 0 && n_features > 0, "n and n_features must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_informative = n_informative.min(n_features);
+    let beta = coefficients(&mut rng, n_features, n_informative);
+    let (mut frame, cols) = feature_frame(&mut rng, n, n_features);
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            let signal: f64 = beta.iter().enumerate().map(|(j, b)| b * cols[j][i]).sum();
+            signal + normal(&mut rng, 0.0, noise.max(0.0))
+        })
+        .collect();
+    frame
+        .push_column(Column::from_f64("y", y))
+        .expect("unique column");
+    let truth = GroundTruth {
+        driver_names: (0..n_features).map(|j| format!("x{j}")).collect(),
+        effects: beta, // unit-variance features: β is already the effect
+        intercept: 0.0,
+        task: TaskKind::Regression,
+        noise: noise.max(0.0),
+    };
+    Dataset {
+        frame,
+        kpi: "y".to_owned(),
+        drivers: truth.driver_names.clone(),
+        truth,
+    }
+}
+
+/// Logistic classification dataset: `P(y=1) = σ(Σ βⱼ xⱼ + ε)`.
+///
+/// `n` and `n_features` must be positive; `n_informative` is clamped to
+/// `n_features`.
+pub fn make_classification(
+    n: usize,
+    n_features: usize,
+    n_informative: usize,
+    noise: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(n > 0 && n_features > 0, "n and n_features must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_informative = n_informative.min(n_features);
+    let beta = coefficients(&mut rng, n_features, n_informative);
+    let (mut frame, cols) = feature_frame(&mut rng, n, n_features);
+    let y: Vec<bool> = (0..n)
+        .map(|i| {
+            let z: f64 = beta.iter().enumerate().map(|(j, b)| b * cols[j][i]).sum::<f64>()
+                + normal(&mut rng, 0.0, noise.max(0.0));
+            rng.gen::<f64>() < sigmoid(z)
+        })
+        .collect();
+    frame
+        .push_column(Column::from_bool("y", y))
+        .expect("unique column");
+    let truth = GroundTruth {
+        driver_names: (0..n_features).map(|j| format!("x{j}")).collect(),
+        effects: beta,
+        intercept: 0.0,
+        task: TaskKind::Classification,
+        noise: noise.max(0.0),
+    };
+    Dataset {
+        frame,
+        kpi: "y".to_owned(),
+        drivers: truth.driver_names.clone(),
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_shapes() {
+        let d = make_regression(200, 6, 3, 0.1, 1);
+        assert_eq!(d.frame.n_rows(), 200);
+        assert_eq!(d.frame.n_cols(), 7);
+        assert_eq!(d.truth.effects.iter().filter(|&&b| b != 0.0).count(), 3);
+        assert_eq!(d.truth.task, TaskKind::Regression);
+    }
+
+    #[test]
+    fn regression_signal_is_recoverable() {
+        let d = make_regression(2000, 4, 2, 0.05, 2);
+        let y = d.frame.column("y").unwrap().f64_values().unwrap();
+        let x0 = d.frame.column("x0").unwrap().f64_values().unwrap();
+        let x3 = d.frame.column("x3").unwrap().f64_values().unwrap();
+        assert!(whatif_stats::pearson(x0, y).abs() > 0.3, "informative");
+        assert!(whatif_stats::pearson(x3, y).abs() < 0.1, "noise feature");
+    }
+
+    #[test]
+    fn classification_labels_and_balance() {
+        let d = make_classification(5000, 5, 3, 0.2, 3);
+        let y = d.frame.column("y").unwrap().bool_values().unwrap();
+        let rate = y.iter().filter(|&&b| b).count() as f64 / y.len() as f64;
+        assert!(rate > 0.3 && rate < 0.7, "balanced-ish: {rate}");
+        assert_eq!(d.truth.task, TaskKind::Classification);
+    }
+
+    #[test]
+    fn informative_clamped_and_deterministic() {
+        let d = make_regression(50, 3, 99, 0.0, 4);
+        assert!(d.truth.effects.iter().all(|&b| b != 0.0));
+        assert_eq!(
+            make_classification(50, 3, 2, 0.1, 5).frame,
+            make_classification(50, 3, 2, 0.1, 5).frame
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rows_panics() {
+        let _ = make_regression(0, 3, 2, 0.1, 0);
+    }
+}

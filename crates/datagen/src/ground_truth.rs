@@ -1,0 +1,103 @@
+//! Ground-truth metadata attached to every generated dataset.
+
+use whatif_frame::Frame;
+
+/// Whether the KPI is continuous (regression) or discrete
+/// (classification) — the paper's model-selection switch (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Continuous KPI → linear regression in the paper.
+    Regression,
+    /// Discrete KPI → random-forest classifier in the paper.
+    Classification,
+}
+
+/// The data-generating process behind a synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    /// Driver names, aligned with [`GroundTruth::effects`].
+    pub driver_names: Vec<String>,
+    /// True signed effect strength per driver, on a comparable scale
+    /// (per-unit coefficient × driver standard deviation).
+    pub effects: Vec<f64>,
+    /// Latent intercept of the generating model.
+    pub intercept: f64,
+    /// Task kind.
+    pub task: TaskKind,
+    /// Standard deviation of latent noise injected by the generator.
+    pub noise: f64,
+}
+
+impl GroundTruth {
+    /// Driver indices ordered by descending |effect| — the true
+    /// importance ranking.
+    pub fn ranking(&self) -> Vec<usize> {
+        whatif_stats::rank::descending_abs_order(&self.effects)
+    }
+
+    /// Driver names ordered by descending |effect|.
+    pub fn ranked_names(&self) -> Vec<&str> {
+        self.ranking()
+            .into_iter()
+            .map(|i| self.driver_names[i].as_str())
+            .collect()
+    }
+
+    /// The true effect of a named driver, if present.
+    pub fn effect_of(&self, name: &str) -> Option<f64> {
+        self.driver_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.effects[i])
+    }
+}
+
+/// A generated dataset: table + KPI/driver designation + ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The data table.
+    pub frame: Frame,
+    /// KPI column name.
+    pub kpi: String,
+    /// Default driver selection (excludes textual columns, per the
+    /// paper's Driver List View walkthrough).
+    pub drivers: Vec<String>,
+    /// The generating process.
+    pub truth: GroundTruth,
+}
+
+impl Dataset {
+    /// Drivers as `&str` slices (convenience for frame APIs).
+    pub fn driver_refs(&self) -> Vec<&str> {
+        self.drivers.iter().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            driver_names: vec!["a".into(), "b".into(), "c".into()],
+            effects: vec![0.2, -0.9, 0.5],
+            intercept: 0.0,
+            task: TaskKind::Classification,
+            noise: 0.1,
+        }
+    }
+
+    #[test]
+    fn ranking_uses_absolute_effects() {
+        let t = truth();
+        assert_eq!(t.ranking(), vec![1, 2, 0]);
+        assert_eq!(t.ranked_names(), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn effect_lookup() {
+        let t = truth();
+        assert_eq!(t.effect_of("b"), Some(-0.9));
+        assert_eq!(t.effect_of("zz"), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! # whatif-datagen
+//!
+//! Synthetic dataset generators for the three business use cases the
+//! paper evaluates (§3): marketing mix modeling (U1), customer retention
+//! (U2), and deal closing (U3).
+//!
+//! The paper used Sigma Computing's proprietary CRM and marketing data,
+//! which cannot be redistributed. These generators are the documented
+//! substitution (see DESIGN.md): each produces a [`Dataset`] whose
+//! [`GroundTruth`] encodes the *true* driver→KPI relationship, so the
+//! reproduction can do something the paper could not — verify that the
+//! recovered driver importances match the data-generating process.
+//!
+//! The deal-closing generator is calibrated so the headline numbers of
+//! the paper's Figure 2 walkthrough hold in shape: a base deal-closing
+//! rate near 42 %, a small (~1–3 pp) uplift from a +40 % perturbation of
+//! *Open Marketing Email*, a large (~45–50 pp) uplift from constrained
+//! multi-driver goal inversion, and the published top-3/bottom-3
+//! importance ordering.
+
+pub mod deal;
+pub mod generic;
+pub mod ground_truth;
+pub mod marketing;
+pub mod retention;
+
+pub use deal::deal_closing;
+pub use generic::{make_classification, make_regression};
+pub use ground_truth::{Dataset, GroundTruth, TaskKind};
+pub use marketing::marketing_mix;
+pub use retention::retention;

@@ -1,0 +1,214 @@
+//! U1: marketing mix modeling dataset.
+//!
+//! "A dataset describing investments made over a period of 6 months on 5
+//! media channels (Internet, Facebook, YouTube, TV and Radio) and
+//! corresponding sales achieved per day" (§3 U1).
+//!
+//! Sales respond to each channel through the standard marketing-mix
+//! machinery: geometric **adstock** (yesterday's ads still work today)
+//! followed by a saturating response `1 − exp(−spend/sat)` (diminishing
+//! returns), plus weekly seasonality and noise. The ground-truth effect
+//! scale is each channel's marginal sales contribution at its mean
+//! adstocked spend, so importance rankings can be validated.
+
+use crate::ground_truth::{Dataset, GroundTruth, TaskKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use whatif_frame::{Column, Frame};
+use whatif_stats::distributions::{log_normal, normal};
+
+/// `(name, mean_daily_spend, effect_size, saturation_scale, adstock)`
+/// per channel. Effect sizes are calibrated so the true marginal-impact
+/// ranking is Internet > Facebook > YouTube > TV > Radio.
+const CHANNELS: &[(&str, f64, f64, f64, f64)] = &[
+    ("Internet", 1200.0, 9000.0, 2500.0, 0.30),
+    ("Facebook", 900.0, 6500.0, 2000.0, 0.25),
+    ("YouTube", 700.0, 4500.0, 1800.0, 0.35),
+    ("TV", 1500.0, 3500.0, 4000.0, 0.50),
+    ("Radio", 400.0, 1500.0, 1200.0, 0.40),
+];
+
+/// Baseline daily sales independent of advertising.
+const BASE_SALES: f64 = 12_000.0;
+
+/// Sales noise standard deviation.
+const NOISE_STD: f64 = 900.0;
+
+/// Weekly seasonality multipliers (Mon..Sun).
+const WEEKLY: [f64; 7] = [0.95, 1.0, 1.02, 1.05, 1.10, 1.20, 0.85];
+
+/// Saturating channel response to (adstocked) spend.
+fn channel_response(channel: usize, adstocked_spend: f64) -> f64 {
+    let (_, _, effect, sat, _) = CHANNELS[channel];
+    effect * (1.0 - (-adstocked_spend / sat).exp())
+}
+
+/// Noise-free expected sales for one day given the *adstocked* spends
+/// and the day-of-week index.
+pub fn true_sales(adstocked: &[f64], day_of_week: usize) -> f64 {
+    let media: f64 = adstocked
+        .iter()
+        .enumerate()
+        .map(|(c, &s)| channel_response(c, s))
+        .sum();
+    (BASE_SALES + media) * WEEKLY[day_of_week % 7]
+}
+
+/// Generate `days` days of spend/sales data.
+///
+/// Columns: `Day` (1-based int), `Day Of Week` (0–6 int), one spend
+/// column per channel (f64), and the `Sales` KPI (f64). Drivers are the
+/// five spend columns.
+pub fn marketing_mix(days: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = CHANNELS.len();
+    let mut spends: Vec<Vec<f64>> = vec![Vec::with_capacity(days); k];
+    let mut sales: Vec<f64> = Vec::with_capacity(days);
+    let mut adstock = vec![0.0f64; k];
+
+    for day in 0..days {
+        let dow = day % 7;
+        for (c, &(_, mean_spend, _, _, carry)) in CHANNELS.iter().enumerate() {
+            // Log-normal spend around the channel mean with campaign
+            // bursts every ~3 weeks.
+            let burst = if (day / 21) % 2 == 1 && c < 2 { 1.5 } else { 1.0 };
+            let mu = (mean_spend * burst).ln() - 0.125;
+            let spend = log_normal(&mut rng, mu, 0.5);
+            adstock[c] = spend + carry * adstock[c];
+            spends[c].push(spend);
+        }
+        let y = true_sales(&adstock, dow) + normal(&mut rng, 0.0, NOISE_STD);
+        sales.push(y.max(0.0));
+    }
+
+    let mut frame = Frame::new();
+    frame
+        .push_column(Column::from_i64(
+            "Day",
+            (1..=days as i64).collect::<Vec<i64>>(),
+        ))
+        .expect("fresh frame");
+    frame
+        .push_column(Column::from_i64(
+            "Day Of Week",
+            (0..days).map(|d| (d % 7) as i64).collect::<Vec<i64>>(),
+        ))
+        .expect("unique column");
+    for (c, &(name, ..)) in CHANNELS.iter().enumerate() {
+        frame
+            .push_column(Column::from_f64(name, std::mem::take(&mut spends[c])))
+            .expect("unique column");
+    }
+    frame
+        .push_column(Column::from_f64("Sales", sales))
+        .expect("unique column");
+
+    // Ground-truth effect scale: marginal sales per dollar at the mean
+    // adstocked operating point, times the spend std (≈ 0.54·mean for
+    // our log-normal), giving a comparable per-channel effect number.
+    let effects: Vec<f64> = CHANNELS
+        .iter()
+        .map(|&(_, mean_spend, effect, sat, carry)| {
+            let steady = mean_spend / (1.0 - carry); // steady-state adstock
+            let marginal = effect / sat * (-steady / sat).exp();
+            marginal * 0.54 * mean_spend
+        })
+        .collect();
+
+    let truth = GroundTruth {
+        driver_names: CHANNELS.iter().map(|&(n, ..)| n.to_owned()).collect(),
+        effects,
+        intercept: BASE_SALES,
+        task: TaskKind::Regression,
+        noise: NOISE_STD,
+    };
+    Dataset {
+        frame,
+        kpi: "Sales".to_owned(),
+        drivers: truth.driver_names.clone(),
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_schema() {
+        let d = marketing_mix(180, 11);
+        assert_eq!(d.frame.n_rows(), 180);
+        assert_eq!(d.frame.n_cols(), 8); // Day, DOW, 5 channels, Sales
+        assert_eq!(d.kpi, "Sales");
+        assert_eq!(
+            d.drivers,
+            vec!["Internet", "Facebook", "YouTube", "TV", "Radio"]
+        );
+    }
+
+    #[test]
+    fn sales_are_positive_and_plausible() {
+        let d = marketing_mix(180, 3);
+        let sales = d.frame.column("Sales").unwrap().f64_values().unwrap();
+        assert!(sales.iter().all(|&s| s > 0.0));
+        let mean = sales.iter().sum::<f64>() / sales.len() as f64;
+        assert!(
+            mean > 15_000.0 && mean < 45_000.0,
+            "mean daily sales {mean}"
+        );
+    }
+
+    #[test]
+    fn spend_correlates_positively_with_sales() {
+        let d = marketing_mix(400, 5);
+        let sales = d.frame.column("Sales").unwrap().f64_values().unwrap();
+        let internet = d.frame.column("Internet").unwrap().f64_values().unwrap();
+        let r = whatif_stats::pearson(internet, sales);
+        assert!(r > 0.1, "internet spend vs sales r = {r}");
+    }
+
+    #[test]
+    fn ground_truth_ranking_is_internet_first_radio_last() {
+        let d = marketing_mix(10, 0);
+        let ranked = d.truth.ranked_names();
+        assert_eq!(ranked[0], "Internet");
+        assert_eq!(ranked[ranked.len() - 1], "Radio");
+        // All effects positive: advertising never hurts sales here.
+        assert!(d.truth.effects.iter().all(|&e| e > 0.0));
+    }
+
+    #[test]
+    fn saturation_gives_diminishing_returns() {
+        // Doubling an already-large spend adds less than doubling a small
+        // spend.
+        let small = channel_response(0, 500.0);
+        let small2 = channel_response(0, 1000.0);
+        let large = channel_response(0, 5000.0);
+        let large2 = channel_response(0, 10_000.0);
+        assert!((small2 - small) > (large2 - large));
+    }
+
+    #[test]
+    fn weekly_seasonality_shows_up() {
+        let d = marketing_mix(700, 9);
+        let sales = d.frame.column("Sales").unwrap().f64_values().unwrap();
+        let dow = d.frame.column("Day Of Week").unwrap().i64_values().unwrap();
+        let mean_of = |target: i64| {
+            let vals: Vec<f64> = sales
+                .iter()
+                .zip(dow)
+                .filter(|&(_, &d)| d == target)
+                .map(|(&s, _)| s)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        // Saturday (index 5, multiplier 1.20) beats Sunday (index 6, 0.85).
+        assert!(mean_of(5) > mean_of(6) * 1.2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(marketing_mix(50, 2).frame, marketing_mix(50, 2).frame);
+        assert_ne!(marketing_mix(50, 2).frame, marketing_mix(50, 3).frame);
+    }
+}

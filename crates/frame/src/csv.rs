@@ -1,0 +1,399 @@
+//! CSV reading and writing with type inference.
+//!
+//! Supports the RFC-4180 essentials the paper's business datasets need:
+//! quoted fields, embedded commas/newlines/quotes, `\r\n` line endings,
+//! and a header row. Column types are inferred in priority order
+//! `i64 → f64 → bool → str`; empty cells become nulls.
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+use crate::frame::Frame;
+use crate::value::Value;
+use std::path::Path;
+
+/// Parse CSV text (with a header row) into a [`Frame`].
+///
+/// # Errors
+/// [`FrameError::Csv`] on malformed input (ragged rows, unclosed quotes).
+pub fn parse_csv(text: &str) -> Result<Frame> {
+    let records = tokenize(text)?;
+    let mut iter = records.into_iter();
+    let header = iter
+        .next()
+        .ok_or(FrameError::Csv {
+            line: 1,
+            message: "empty input: missing header row".to_owned(),
+        })?
+        .0;
+    let n_cols = header.len();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); n_cols];
+    for (record, line) in iter {
+        if record.len() != n_cols {
+            return Err(FrameError::Csv {
+                line,
+                message: format!(
+                    "expected {n_cols} fields, found {}",
+                    record.len()
+                ),
+            });
+        }
+        for (col, field) in cells.iter_mut().zip(record) {
+            col.push(field);
+        }
+    }
+    let mut frame = Frame::new();
+    for (name, raw) in header.into_iter().zip(cells) {
+        frame.push_column(infer_column(&name, &raw)?)?;
+    }
+    Ok(frame)
+}
+
+/// Read and parse a CSV file.
+///
+/// # Errors
+/// [`FrameError::Csv`] on I/O or parse failure.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Frame> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| FrameError::Csv {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    parse_csv(&text)
+}
+
+/// Serialize a frame to CSV text (header + rows, `\n` line endings).
+pub fn write_csv(frame: &Frame) -> String {
+    let mut out = String::new();
+    let names = frame.column_names();
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| escape_field(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for i in 0..frame.n_rows() {
+        let row: Vec<String> = frame
+            .columns()
+            .iter()
+            .map(|c| {
+                let v = c.get(i).expect("row in range");
+                match v {
+                    Value::Null => String::new(),
+                    Value::Str(s) => escape_field(&s),
+                    other => other.to_string(),
+                }
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a frame to a CSV file.
+///
+/// # Errors
+/// [`FrameError::Csv`] on I/O failure.
+pub fn write_csv_file(frame: &Frame, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path.as_ref(), write_csv(frame)).map_err(|e| FrameError::Csv {
+        line: 0,
+        message: format!("cannot write {}: {e}", path.as_ref().display()),
+    })
+}
+
+fn escape_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Tokenize into records, tracking the 1-based starting line of each record.
+fn tokenize(text: &str) -> Result<Vec<(Vec<String>, usize)>> {
+    let mut records: Vec<(Vec<String>, usize)> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut record_line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any_char = false;
+
+    while let Some(c) = chars.next() {
+        any_char = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if field.is_empty() {
+                    in_quotes = true;
+                } else {
+                    return Err(FrameError::Csv {
+                        line,
+                        message: "quote inside unquoted field".to_owned(),
+                    });
+                }
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                record.push(std::mem::take(&mut field));
+                records.push((std::mem::take(&mut record), record_line));
+                line += 1;
+                record_line = line;
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push((std::mem::take(&mut record), record_line));
+                line += 1;
+                record_line = line;
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv {
+            line,
+            message: "unclosed quoted field".to_owned(),
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push((record, record_line));
+    }
+    if !any_char {
+        return Err(FrameError::Csv {
+            line: 1,
+            message: "empty input".to_owned(),
+        });
+    }
+    // Drop trailing fully-empty records produced by blank lines at EOF.
+    while let Some((last, _)) = records.last() {
+        if last.len() == 1 && last[0].is_empty() && records.len() > 1 {
+            records.pop();
+        } else {
+            break;
+        }
+    }
+    Ok(records)
+}
+
+fn infer_column(name: &str, raw: &[String]) -> Result<Column> {
+    let non_empty = || raw.iter().filter(|s| !s.is_empty());
+    let all_int = non_empty().count() > 0
+        && non_empty().all(|s| s.trim().parse::<i64>().is_ok());
+    if all_int {
+        let values: Vec<Value> = raw
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Int(s.trim().parse::<i64>().expect("checked above"))
+                }
+            })
+            .collect();
+        return Column::from_values(name, &values);
+    }
+    let all_float = non_empty().count() > 0
+        && non_empty().all(|s| s.trim().parse::<f64>().is_ok());
+    if all_float {
+        let values: Vec<Value> = raw
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(s.trim().parse::<f64>().expect("checked above"))
+                }
+            })
+            .collect();
+        return Column::from_values(name, &values);
+    }
+    let parse_bool = |s: &str| match s.trim().to_ascii_lowercase().as_str() {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    };
+    let all_bool = non_empty().count() > 0 && non_empty().all(|s| parse_bool(s).is_some());
+    if all_bool {
+        let values: Vec<Value> = raw
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Bool(parse_bool(s).expect("checked above"))
+                }
+            })
+            .collect();
+        return Column::from_values(name, &values);
+    }
+    let values: Vec<Value> = raw
+        .iter()
+        .map(|s| {
+            if s.is_empty() {
+                Value::Null
+            } else {
+                Value::Str(s.clone())
+            }
+        })
+        .collect();
+    Column::from_values(name, &values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DType;
+
+    #[test]
+    fn parses_simple_csv_with_inference() {
+        let f = parse_csv("a,b,c,d\n1,1.5,true,hello\n2,2.5,false,world\n").unwrap();
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(
+            f.dtypes(),
+            vec![DType::Int, DType::Float, DType::Bool, DType::Str]
+        );
+        assert_eq!(f.column("a").unwrap().i64_values().unwrap(), &[1, 2]);
+        assert_eq!(f.column("b").unwrap().f64_values().unwrap(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn int_column_with_floats_promotes() {
+        let f = parse_csv("x\n1\n2.5\n").unwrap();
+        assert_eq!(f.column("x").unwrap().dtype(), DType::Float);
+    }
+
+    #[test]
+    fn empty_cells_become_nulls() {
+        let f = parse_csv("x,y\n1,\n,b\n").unwrap();
+        assert_eq!(f.column("x").unwrap().null_count(), 1);
+        assert_eq!(f.column("y").unwrap().null_count(), 1);
+        assert_eq!(f.column("y").unwrap().dtype(), DType::Str);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_newlines_quotes() {
+        let f = parse_csv("name,note\nalice,\"hi, there\"\nbob,\"line1\nline2\"\ncarl,\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(f.n_rows(), 3);
+        let notes = f.column("note").unwrap().str_values().unwrap().to_vec();
+        assert_eq!(notes[0], "hi, there");
+        assert_eq!(notes[1], "line1\nline2");
+        assert_eq!(notes[2], "say \"hi\"");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let f = parse_csv("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.column("b").unwrap().i64_values().unwrap(), &[2, 4]);
+    }
+
+    #[test]
+    fn missing_final_newline_ok() {
+        let f = parse_csv("a\n1\n2").unwrap();
+        assert_eq!(f.n_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line_number() {
+        let err = parse_csv("a,b\n1,2\n3\n").unwrap_err();
+        match err {
+            FrameError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_quote_errors() {
+        assert!(matches!(
+            parse_csv("a\n\"oops\n"),
+            Err(FrameError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn stray_quote_errors() {
+        assert!(matches!(
+            parse_csv("a\nfo\"o\n"),
+            Err(FrameError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(parse_csv("").is_err());
+    }
+
+    #[test]
+    fn header_only_gives_empty_frame() {
+        let f = parse_csv("a,b\n").unwrap();
+        assert_eq!(f.n_rows(), 0);
+        assert_eq!(f.n_cols(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let text = "i,f,b,s\n1,0.5,true,plain\n2,1.5,false,\"with, comma\"\n";
+        let f = parse_csv(text).unwrap();
+        let out = write_csv(&f);
+        let f2 = parse_csv(&out).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn roundtrip_with_nulls() {
+        let text = "x,s\n1,\n,b\n";
+        let f = parse_csv(text).unwrap();
+        let f2 = parse_csv(&write_csv(&f)).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("whatif_frame_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let f = parse_csv("a,b\n1,x\n2,y\n").unwrap();
+        write_csv_file(&f, &path).unwrap();
+        let f2 = read_csv(&path).unwrap();
+        assert_eq!(f, f2);
+        assert!(read_csv(dir.join("missing.csv")).is_err());
+    }
+
+    #[test]
+    fn all_empty_column_is_float_nulls() {
+        let f = parse_csv("x,y\n,1\n,2\n").unwrap();
+        assert_eq!(f.column("x").unwrap().dtype(), DType::Float);
+        assert_eq!(f.column("x").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn bool_case_insensitive() {
+        let f = parse_csv("b\nTRUE\nFalse\n").unwrap();
+        assert_eq!(f.column("b").unwrap().dtype(), DType::Bool);
+    }
+}

@@ -1,0 +1,713 @@
+//! A small expression AST for derived columns and filter predicates.
+//!
+//! Expressions power two SystemD features:
+//!
+//! * **Hypothesis formulas** (paper §3 U2): business users derive new
+//!   candidate drivers, e.g. `used 3+ formulas AND attended 2+ demos`.
+//! * **Filter predicates** for slicing/dicing before analysis.
+//!
+//! Semantics:
+//!
+//! * Arithmetic operates on `f64` (ints/bools coerce); the result is a
+//!   `Float` column.
+//! * Comparisons yield `Bool` columns. String equality is supported when
+//!   *both* sides are strings.
+//! * Nulls propagate through every operator; a null predicate cell filters
+//!   the row out.
+
+use crate::column::{Column, ColumnData};
+use crate::error::{FrameError, Result};
+use crate::frame::Frame;
+use crate::value::DType;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+    /// Absolute value.
+    Abs,
+    /// Square root (negative inputs become null).
+    Sqrt,
+    /// Natural log (non-positive inputs become null).
+    Ln,
+    /// Exponential.
+    Exp,
+    /// Round down.
+    Floor,
+    /// Round up.
+    Ceil,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `lhs + rhs`
+    Add,
+    /// `lhs - rhs`
+    Sub,
+    /// `lhs * rhs`
+    Mul,
+    /// `lhs / rhs` (division by zero yields null)
+    Div,
+    /// `lhs ^ rhs`
+    Pow,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+    /// `lhs > rhs`
+    Gt,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs < rhs`
+    Lt,
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs == rhs`
+    Eq,
+    /// `lhs != rhs`
+    Ne,
+    /// Boolean and.
+    And,
+    /// Boolean or.
+    Or,
+}
+
+/// An expression tree over frame columns and literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Col(String),
+    /// Float literal.
+    LitF(f64),
+    /// Integer literal.
+    LitI(i64),
+    /// Boolean literal.
+    LitB(bool),
+    /// String literal.
+    LitS(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Intermediate evaluation result: data plus validity.
+enum Evaluated {
+    Num(Vec<f64>, Vec<bool>),
+    Bool(Vec<bool>, Vec<bool>),
+    Str(Vec<String>, Vec<bool>),
+}
+
+impl Evaluated {
+    fn len(&self) -> usize {
+        match self {
+            Evaluated::Num(v, _) => v.len(),
+            Evaluated::Bool(v, _) => v.len(),
+            Evaluated::Str(v, _) => v.len(),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Evaluated::Num(..) => "numeric",
+            Evaluated::Bool(..) => "bool",
+            Evaluated::Str(..) => "str",
+        }
+    }
+
+    fn into_num(self) -> Result<(Vec<f64>, Vec<bool>)> {
+        match self {
+            Evaluated::Num(v, m) => Ok((v, m)),
+            Evaluated::Bool(v, m) => Ok((
+                v.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
+                m,
+            )),
+            Evaluated::Str(..) => Err(FrameError::Expr(
+                "expected a numeric operand, found string".to_owned(),
+            )),
+        }
+    }
+
+    fn into_bool(self) -> Result<(Vec<bool>, Vec<bool>)> {
+        match self {
+            Evaluated::Bool(v, m) => Ok((v, m)),
+            other => Err(FrameError::Expr(format!(
+                "expected a boolean operand, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Float literal.
+    pub fn lit_f64(x: f64) -> Expr {
+        Expr::LitF(x)
+    }
+
+    /// Integer literal.
+    pub fn lit_i64(x: i64) -> Expr {
+        Expr::LitI(x)
+    }
+
+    /// Boolean literal.
+    pub fn lit_bool(b: bool) -> Expr {
+        Expr::LitB(b)
+    }
+
+    /// String literal.
+    pub fn lit_str(s: impl Into<String>) -> Expr {
+        Expr::LitS(s.into())
+    }
+
+    fn binary(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(self), Box::new(rhs))
+    }
+
+    fn unary(self, op: UnaryOp) -> Expr {
+        Expr::Unary(op, Box::new(self))
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Add, rhs)
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Sub, rhs)
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Mul, rhs)
+    }
+
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Div, rhs)
+    }
+
+    /// `self ^ rhs`
+    pub fn pow(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Pow, rhs)
+    }
+
+    /// Elementwise minimum.
+    pub fn min(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Min, rhs)
+    }
+
+    /// Elementwise maximum.
+    pub fn max(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Max, rhs)
+    }
+
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ge, rhs)
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Le, rhs)
+    }
+
+    /// `self == rhs`
+    pub fn eq_(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Eq, rhs)
+    }
+
+    /// `self != rhs`
+    pub fn ne_(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ne, rhs)
+    }
+
+    /// Boolean conjunction.
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::And, rhs)
+    }
+
+    /// Boolean disjunction.
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Or, rhs)
+    }
+
+    /// Boolean negation.
+    pub fn not(self) -> Expr {
+        self.unary(UnaryOp::Not)
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(self) -> Expr {
+        self.unary(UnaryOp::Neg)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Expr {
+        self.unary(UnaryOp::Abs)
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Expr {
+        self.unary(UnaryOp::Sqrt)
+    }
+
+    /// Natural logarithm.
+    pub fn ln(self) -> Expr {
+        self.unary(UnaryOp::Ln)
+    }
+
+    /// Exponential.
+    pub fn exp(self) -> Expr {
+        self.unary(UnaryOp::Exp)
+    }
+
+    /// Round down.
+    pub fn floor(self) -> Expr {
+        self.unary(UnaryOp::Floor)
+    }
+
+    /// Round up.
+    pub fn ceil(self) -> Expr {
+        self.unary(UnaryOp::Ceil)
+    }
+
+    /// Clamp into `[lo, hi]`.
+    pub fn clip(self, lo: f64, hi: f64) -> Expr {
+        self.max(Expr::lit_f64(lo)).min(Expr::lit_f64(hi))
+    }
+
+    /// Names of all columns referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(name) => out.push(name),
+            Expr::Unary(_, e) => e.collect_columns(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Evaluate against a frame, producing an unnamed column.
+    ///
+    /// # Errors
+    /// [`FrameError::Expr`] on type errors, [`FrameError::UnknownColumn`]
+    /// for missing references.
+    pub fn eval(&self, frame: &Frame) -> Result<Column> {
+        let n = frame.n_rows();
+        let evaluated = self.eval_inner(frame, n)?;
+        Ok(match evaluated {
+            Evaluated::Num(v, m) => {
+                Column::with_validity("", ColumnData::Float(v), m)?
+            }
+            Evaluated::Bool(v, m) => Column::with_validity("", ColumnData::Bool(v), m)?,
+            Evaluated::Str(v, m) => Column::with_validity("", ColumnData::Str(v), m)?,
+        })
+    }
+
+    /// Evaluate as a filter mask: boolean result with nulls mapped to
+    /// `false`.
+    ///
+    /// # Errors
+    /// [`FrameError::Expr`] if the expression is not boolean.
+    pub fn eval_bool_mask(&self, frame: &Frame) -> Result<Vec<bool>> {
+        let (vals, mask) = self.eval_inner(frame, frame.n_rows())?.into_bool()?;
+        Ok(vals
+            .into_iter()
+            .zip(mask)
+            .map(|(v, ok)| v && ok)
+            .collect())
+    }
+
+    fn eval_inner(&self, frame: &Frame, n: usize) -> Result<Evaluated> {
+        match self {
+            Expr::Col(name) => {
+                let col = frame.column(name)?;
+                let validity: Vec<bool> = (0..col.len()).map(|i| col.is_valid(i)).collect();
+                Ok(match col.dtype() {
+                    DType::Float | DType::Int => {
+                        let mut vals = col.to_f64_lossy()?;
+                        // Null sentinel NaNs are masked; keep data finite.
+                        for (v, ok) in vals.iter_mut().zip(&validity) {
+                            if !ok {
+                                *v = 0.0;
+                            }
+                        }
+                        Evaluated::Num(vals, validity)
+                    }
+                    DType::Bool => {
+                        let vals: Vec<bool> = (0..col.len())
+                            .map(|i| {
+                                col.get(i)
+                                    .ok()
+                                    .and_then(|v| v.as_bool())
+                                    .unwrap_or(false)
+                            })
+                            .collect();
+                        Evaluated::Bool(vals, validity)
+                    }
+                    DType::Str => {
+                        let vals: Vec<String> = (0..col.len())
+                            .map(|i| {
+                                col.get(i)
+                                    .ok()
+                                    .and_then(|v| v.as_str().map(str::to_owned))
+                                    .unwrap_or_default()
+                            })
+                            .collect();
+                        Evaluated::Str(vals, validity)
+                    }
+                })
+            }
+            Expr::LitF(x) => Ok(Evaluated::Num(vec![*x; n], vec![true; n])),
+            Expr::LitI(x) => Ok(Evaluated::Num(vec![*x as f64; n], vec![true; n])),
+            Expr::LitB(b) => Ok(Evaluated::Bool(vec![*b; n], vec![true; n])),
+            Expr::LitS(s) => Ok(Evaluated::Str(vec![s.clone(); n], vec![true; n])),
+            Expr::Unary(op, e) => {
+                let inner = e.eval_inner(frame, n)?;
+                eval_unary(*op, inner)
+            }
+            Expr::Binary(op, l, r) => {
+                let lhs = l.eval_inner(frame, n)?;
+                let rhs = r.eval_inner(frame, n)?;
+                if lhs.len() != rhs.len() {
+                    return Err(FrameError::Expr(format!(
+                        "operand lengths differ: {} vs {}",
+                        lhs.len(),
+                        rhs.len()
+                    )));
+                }
+                eval_binary(*op, lhs, rhs)
+            }
+        }
+    }
+}
+
+fn eval_unary(op: UnaryOp, inner: Evaluated) -> Result<Evaluated> {
+    match op {
+        UnaryOp::Not => {
+            let (vals, mask) = inner.into_bool()?;
+            Ok(Evaluated::Bool(vals.into_iter().map(|b| !b).collect(), mask))
+        }
+        UnaryOp::Neg | UnaryOp::Abs | UnaryOp::Exp | UnaryOp::Floor | UnaryOp::Ceil => {
+            let (vals, mask) = inner.into_num()?;
+            let f = match op {
+                UnaryOp::Neg => |x: f64| -x,
+                UnaryOp::Abs => f64::abs,
+                UnaryOp::Exp => f64::exp,
+                UnaryOp::Floor => f64::floor,
+                _ => f64::ceil,
+            };
+            Ok(Evaluated::Num(vals.into_iter().map(f).collect(), mask))
+        }
+        UnaryOp::Sqrt | UnaryOp::Ln => {
+            let (vals, mut mask) = inner.into_num()?;
+            let out: Vec<f64> = vals
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    let y = if op == UnaryOp::Sqrt { x.sqrt() } else { x.ln() };
+                    if y.is_finite() {
+                        y
+                    } else {
+                        // Domain errors (sqrt of negatives, ln of ≤ 0) null out.
+                        mask[i] = false;
+                        0.0
+                    }
+                })
+                .collect();
+            Ok(Evaluated::Num(out, mask))
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, lhs: Evaluated, rhs: Evaluated) -> Result<Evaluated> {
+    use BinOp::*;
+    match op {
+        And | Or => {
+            let (lv, lm) = lhs.into_bool()?;
+            let (rv, rm) = rhs.into_bool()?;
+            let mask: Vec<bool> = lm.iter().zip(&rm).map(|(&a, &b)| a && b).collect();
+            let vals: Vec<bool> = lv
+                .into_iter()
+                .zip(rv)
+                .map(|(a, b)| if op == And { a && b } else { a || b })
+                .collect();
+            Ok(Evaluated::Bool(vals, mask))
+        }
+        Eq | Ne if matches!(lhs, Evaluated::Str(..)) || matches!(rhs, Evaluated::Str(..)) => {
+            let (lv, lm) = match lhs {
+                Evaluated::Str(v, m) => (v, m),
+                other => {
+                    return Err(FrameError::Expr(format!(
+                        "cannot compare string with {}",
+                        other.kind()
+                    )))
+                }
+            };
+            let (rv, rm) = match rhs {
+                Evaluated::Str(v, m) => (v, m),
+                other => {
+                    return Err(FrameError::Expr(format!(
+                        "cannot compare string with {}",
+                        other.kind()
+                    )))
+                }
+            };
+            let mask: Vec<bool> = lm.iter().zip(&rm).map(|(&a, &b)| a && b).collect();
+            let vals: Vec<bool> = lv
+                .iter()
+                .zip(&rv)
+                .map(|(a, b)| if op == Eq { a == b } else { a != b })
+                .collect();
+            Ok(Evaluated::Bool(vals, mask))
+        }
+        Gt | Ge | Lt | Le | Eq | Ne => {
+            let (lv, lm) = lhs.into_num()?;
+            let (rv, rm) = rhs.into_num()?;
+            let mask: Vec<bool> = lm.iter().zip(&rm).map(|(&a, &b)| a && b).collect();
+            let vals: Vec<bool> = lv
+                .into_iter()
+                .zip(rv)
+                .map(|(a, b)| match op {
+                    Gt => a > b,
+                    Ge => a >= b,
+                    Lt => a < b,
+                    Le => a <= b,
+                    Eq => a == b,
+                    _ => a != b,
+                })
+                .collect();
+            Ok(Evaluated::Bool(vals, mask))
+        }
+        Add | Sub | Mul | Div | Pow | Min | Max => {
+            let (lv, lm) = lhs.into_num()?;
+            let (rv, rm) = rhs.into_num()?;
+            let mut mask: Vec<bool> = lm.iter().zip(&rm).map(|(&a, &b)| a && b).collect();
+            let vals: Vec<f64> = lv
+                .into_iter()
+                .zip(rv)
+                .enumerate()
+                .map(|(i, (a, b))| {
+                    let y = match op {
+                        Add => a + b,
+                        Sub => a - b,
+                        Mul => a * b,
+                        Div => a / b,
+                        Pow => a.powf(b),
+                        Min => a.min(b),
+                        _ => a.max(b),
+                    };
+                    if y.is_finite() {
+                        y
+                    } else {
+                        // Division by zero, 0^-1, overflow, ... null out.
+                        mask[i] = false;
+                        0.0
+                    }
+                })
+                .collect();
+            Ok(Evaluated::Num(vals, mask))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::Value;
+
+    fn frame() -> Frame {
+        Frame::from_columns(vec![
+            Column::from_f64("x", vec![1.0, 2.0, 3.0]),
+            Column::from_i64("k", vec![10, 20, 30]),
+            Column::from_bool("b", vec![true, false, true]),
+            Column::from_str_values("s", vec!["a", "b", "a"]),
+            Column::from_f64_opt("n", vec![Some(1.0), None, Some(3.0)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_coercion() {
+        let f = frame();
+        let e = Expr::col("x").add(Expr::col("k")).mul(Expr::lit_f64(2.0));
+        let c = e.eval(&f).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[22.0, 44.0, 66.0]);
+    }
+
+    #[test]
+    fn bool_coerces_to_numeric() {
+        let f = frame();
+        let c = Expr::col("b").add(Expr::lit_f64(1.0)).eval(&f).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        let f = frame();
+        let mask = Expr::col("x").ge(Expr::lit_f64(2.0)).eval_bool_mask(&f).unwrap();
+        assert_eq!(mask, vec![false, true, true]);
+        let ne = Expr::col("x").ne_(Expr::lit_f64(2.0)).eval_bool_mask(&f).unwrap();
+        assert_eq!(ne, vec![true, false, true]);
+    }
+
+    #[test]
+    fn string_equality() {
+        let f = frame();
+        let mask = Expr::col("s")
+            .eq_(Expr::lit_str("a"))
+            .eval_bool_mask(&f)
+            .unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+        let err = Expr::col("s").eq_(Expr::lit_f64(1.0)).eval(&f);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn logic_ops_and_not() {
+        let f = frame();
+        let e = Expr::col("b").or(Expr::col("x").gt(Expr::lit_f64(2.5))).not();
+        let mask = e.eval_bool_mask(&f).unwrap();
+        assert_eq!(mask, vec![false, true, false]);
+    }
+
+    #[test]
+    fn nulls_propagate() {
+        let f = frame();
+        let c = Expr::col("n").add(Expr::lit_f64(1.0)).eval(&f).unwrap();
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0).unwrap(), Value::Float(2.0));
+        assert_eq!(c.get(1).unwrap(), Value::Null);
+        // Null comparison never matches in a filter.
+        let mask = Expr::col("n").gt(Expr::lit_f64(-1e9)).eval_bool_mask(&f).unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+    }
+
+    #[test]
+    fn division_by_zero_nulls_out() {
+        let f = frame();
+        let c = Expr::col("x")
+            .div(Expr::col("x").sub(Expr::lit_f64(2.0)))
+            .eval(&f)
+            .unwrap();
+        assert_eq!(c.null_count(), 1);
+        assert!(!c.is_valid(1));
+    }
+
+    #[test]
+    fn domain_errors_null_out() {
+        let f = frame();
+        let c = Expr::col("x").sub(Expr::lit_f64(2.0)).ln().eval(&f).unwrap();
+        // ln(-1), ln(0), ln(1) -> null, null, 0
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.get(2).unwrap(), Value::Float(0.0));
+        let c = Expr::col("x").sub(Expr::lit_f64(2.0)).sqrt().eval(&f).unwrap();
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn unary_numeric_ops() {
+        let f = frame();
+        let c = Expr::col("x").neg().abs().eval(&f).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[1.0, 2.0, 3.0]);
+        let c = Expr::lit_f64(1.5).floor().eval(&f).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[1.0, 1.0, 1.0]);
+        let c = Expr::lit_f64(1.5).ceil().eval(&f).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[2.0, 2.0, 2.0]);
+        let c = Expr::lit_f64(1.0).exp().eval(&f).unwrap();
+        assert!((c.f64_values().unwrap()[0] - std::f64::consts::E).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_pow_clip() {
+        let f = frame();
+        let c = Expr::col("x").pow(Expr::lit_f64(2.0)).eval(&f).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[1.0, 4.0, 9.0]);
+        let c = Expr::col("x").clip(1.5, 2.5).eval(&f).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = Expr::col("x")
+            .add(Expr::col("y"))
+            .mul(Expr::col("x"))
+            .gt(Expr::lit_f64(0.0));
+        assert_eq!(e.referenced_columns(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn derive_into_frame() {
+        let mut f = frame();
+        f.derive("x2", &Expr::col("x").mul(Expr::lit_f64(2.0))).unwrap();
+        assert_eq!(f.column("x2").unwrap().f64_values().unwrap(), &[2.0, 4.0, 6.0]);
+        // Hypothesis formula example from the paper: "k >= 20 AND b".
+        f.derive(
+            "hypothesis",
+            &Expr::col("k").ge(Expr::lit_i64(20)).and(Expr::col("b")),
+        )
+        .unwrap();
+        assert_eq!(
+            f.column("hypothesis").unwrap().bool_values().unwrap(),
+            &[false, false, true]
+        );
+    }
+
+    #[test]
+    fn filter_expr_on_frame() {
+        let f = frame();
+        let out = f
+            .filter_expr(&Expr::col("x").gt(Expr::lit_f64(1.0)))
+            .unwrap();
+        assert_eq!(out.n_rows(), 2);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let f = frame();
+        assert!(matches!(
+            Expr::col("ghost").eval(&f),
+            Err(FrameError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn not_requires_bool() {
+        let f = frame();
+        assert!(Expr::col("x").not().eval(&f).is_err());
+        assert!(Expr::col("b").add(Expr::col("b")).eval(&f).is_ok());
+        assert!(Expr::col("s").add(Expr::lit_f64(1.0)).eval(&f).is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! Group-by aggregation — the "slicing and dicing" of the paper's intro
+//! (e.g. *customer retention across quarters*, *sales per media channel*).
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+use crate::frame::Frame;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Aggregation functions available in [`Frame::group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Number of non-null values.
+    Count,
+    /// Sum of values (numeric).
+    Sum,
+    /// Arithmetic mean (numeric).
+    Mean,
+    /// Minimum (numeric).
+    Min,
+    /// Maximum (numeric).
+    Max,
+    /// Sample standard deviation, `n-1` denominator (numeric).
+    Std,
+    /// First non-null value in input order.
+    First,
+}
+
+impl Aggregation {
+    /// Default output-column suffix, e.g. `sales_sum`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Aggregation::Count => "count",
+            Aggregation::Sum => "sum",
+            Aggregation::Mean => "mean",
+            Aggregation::Min => "min",
+            Aggregation::Max => "max",
+            Aggregation::Std => "std",
+            Aggregation::First => "first",
+        }
+    }
+}
+
+/// One requested aggregation: which column, which function, and the output
+/// name (defaults to `"{column}_{suffix}"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Input column to aggregate.
+    pub column: String,
+    /// Aggregation function.
+    pub agg: Aggregation,
+    /// Output column name; `None` selects the default.
+    pub alias: Option<String>,
+}
+
+impl AggSpec {
+    /// Aggregate `column` with `agg`, default output name.
+    pub fn new(column: impl Into<String>, agg: Aggregation) -> Self {
+        AggSpec {
+            column: column.into(),
+            agg,
+            alias: None,
+        }
+    }
+
+    /// Set an explicit output name.
+    pub fn with_alias(mut self, alias: impl Into<String>) -> Self {
+        self.alias = Some(alias.into());
+        self
+    }
+
+    fn output_name(&self) -> String {
+        self.alias
+            .clone()
+            .unwrap_or_else(|| format!("{}_{}", self.column, self.agg.suffix()))
+    }
+}
+
+/// Hashable group-key atom. Floats group by bit pattern (so `-0.0` and
+/// `0.0` are distinct groups, and identical NaN payloads group together).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyAtom {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Str(String),
+}
+
+impl KeyAtom {
+    fn from_value(v: &Value) -> KeyAtom {
+        match v {
+            Value::Null => KeyAtom::Null,
+            Value::Bool(b) => KeyAtom::Bool(*b),
+            Value::Int(x) => KeyAtom::Int(*x),
+            Value::Float(x) => KeyAtom::Float(x.to_bits()),
+            Value::Str(s) => KeyAtom::Str(s.clone()),
+        }
+    }
+}
+
+impl Frame {
+    /// Group rows by `keys` and compute `aggs` per group.
+    ///
+    /// The output has one row per distinct key combination, ordered by
+    /// first appearance, with the key columns first and one column per
+    /// aggregation after.
+    ///
+    /// # Errors
+    /// [`FrameError::UnknownColumn`] for unknown columns;
+    /// [`FrameError::TypeMismatch`] for numeric aggregations over strings.
+    pub fn group_by(&self, keys: &[&str], aggs: &[AggSpec]) -> Result<Frame> {
+        for &k in keys {
+            if !self.has_column(k) {
+                return Err(FrameError::UnknownColumn(k.to_owned()));
+            }
+        }
+        if keys.is_empty() {
+            return Err(FrameError::InvalidOperation(
+                "group_by requires at least one key column".to_owned(),
+            ));
+        }
+        for spec in aggs {
+            if !self.has_column(&spec.column) {
+                return Err(FrameError::UnknownColumn(spec.column.clone()));
+            }
+        }
+
+        // Assign each row a group id, keyed by the tuple of key atoms.
+        let key_cols: Vec<&Column> = keys
+            .iter()
+            .map(|&k| self.column(k).expect("validated above"))
+            .collect();
+        let mut group_of: HashMap<Vec<KeyAtom>, usize> = HashMap::new();
+        let mut row_groups: Vec<usize> = Vec::with_capacity(self.n_rows());
+        let mut representatives: Vec<usize> = Vec::new();
+        for i in 0..self.n_rows() {
+            let key: Vec<KeyAtom> = key_cols
+                .iter()
+                .map(|c| KeyAtom::from_value(&c.get(i).expect("row in range")))
+                .collect();
+            let next_id = representatives.len();
+            let gid = *group_of.entry(key).or_insert_with(|| {
+                representatives.push(i);
+                next_id
+            });
+            row_groups.push(gid);
+        }
+        let n_groups = representatives.len();
+
+        let mut out = Frame::new();
+        for (&k, col) in keys.iter().zip(&key_cols) {
+            let _ = k;
+            out.push_column(col.take(&representatives)?)?;
+        }
+
+        for spec in aggs {
+            let col = self.column(&spec.column)?;
+            let agg_col = aggregate_column(col, &row_groups, n_groups, spec)?;
+            out.push_column(agg_col)?;
+        }
+        Ok(out)
+    }
+}
+
+fn aggregate_column(
+    col: &Column,
+    row_groups: &[usize],
+    n_groups: usize,
+    spec: &AggSpec,
+) -> Result<Column> {
+    let name = spec.output_name();
+    match spec.agg {
+        Aggregation::Count => {
+            let mut counts = vec![0i64; n_groups];
+            for (i, &g) in row_groups.iter().enumerate() {
+                if col.is_valid(i) {
+                    counts[g] += 1;
+                }
+            }
+            Ok(Column::from_i64(name, counts))
+        }
+        Aggregation::First => {
+            let mut firsts: Vec<Value> = vec![Value::Null; n_groups];
+            for (i, &g) in row_groups.iter().enumerate() {
+                if firsts[g].is_null() && col.is_valid(i) {
+                    firsts[g] = col.get(i)?;
+                }
+            }
+            Column::from_values(name, &firsts)
+        }
+        Aggregation::Sum | Aggregation::Mean | Aggregation::Min | Aggregation::Max
+        | Aggregation::Std => {
+            let vals = col.to_f64_lossy().map_err(|_| FrameError::TypeMismatch {
+                column: col.name().to_owned(),
+                expected: "numeric",
+                actual: col.dtype().name(),
+            })?;
+            let mut acc: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
+            for (i, &g) in row_groups.iter().enumerate() {
+                if col.is_valid(i) {
+                    acc[g].push(vals[i]);
+                }
+            }
+            let out: Vec<Option<f64>> = acc
+                .iter()
+                .map(|xs| {
+                    if xs.is_empty() {
+                        return None;
+                    }
+                    Some(match spec.agg {
+                        Aggregation::Sum => xs.iter().sum(),
+                        Aggregation::Mean => xs.iter().sum::<f64>() / xs.len() as f64,
+                        Aggregation::Min => xs.iter().copied().fold(f64::INFINITY, f64::min),
+                        Aggregation::Max => {
+                            xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                        }
+                        Aggregation::Std => {
+                            if xs.len() < 2 {
+                                0.0
+                            } else {
+                                let m = xs.iter().sum::<f64>() / xs.len() as f64;
+                                let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+                                (ss / (xs.len() - 1) as f64).sqrt()
+                            }
+                        }
+                        _ => unreachable!("numeric aggregations only"),
+                    })
+                })
+                .collect();
+            Ok(Column::from_f64_opt(name, out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame::from_columns(vec![
+            Column::from_str_values("channel", vec!["tv", "radio", "tv", "radio", "tv"]),
+            Column::from_f64("sales", vec![10.0, 5.0, 20.0, 7.0, 30.0]),
+            Column::from_i64_opt("leads", vec![Some(1), Some(2), None, Some(4), Some(5)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_ordered_by_first_appearance() {
+        let g = frame()
+            .group_by(&["channel"], &[AggSpec::new("sales", Aggregation::Sum)])
+            .unwrap();
+        assert_eq!(
+            g.column("channel").unwrap().str_values().unwrap(),
+            &["tv".to_owned(), "radio".to_owned()]
+        );
+        assert_eq!(
+            g.column("sales_sum").unwrap().f64_values().unwrap(),
+            &[60.0, 12.0]
+        );
+    }
+
+    #[test]
+    fn mean_min_max_std() {
+        let g = frame()
+            .group_by(
+                &["channel"],
+                &[
+                    AggSpec::new("sales", Aggregation::Mean),
+                    AggSpec::new("sales", Aggregation::Min),
+                    AggSpec::new("sales", Aggregation::Max),
+                    AggSpec::new("sales", Aggregation::Std),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            g.column("sales_mean").unwrap().f64_values().unwrap(),
+            &[20.0, 6.0]
+        );
+        assert_eq!(
+            g.column("sales_min").unwrap().f64_values().unwrap(),
+            &[10.0, 5.0]
+        );
+        assert_eq!(
+            g.column("sales_max").unwrap().f64_values().unwrap(),
+            &[30.0, 7.0]
+        );
+        let std_tv = g.column("sales_std").unwrap().f64_values().unwrap()[0];
+        assert!((std_tv - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        let g = frame()
+            .group_by(&["channel"], &[AggSpec::new("leads", Aggregation::Count)])
+            .unwrap();
+        assert_eq!(g.column("leads_count").unwrap().i64_values().unwrap(), &[2, 2]);
+    }
+
+    #[test]
+    fn first_takes_first_non_null() {
+        let g = frame()
+            .group_by(&["channel"], &[AggSpec::new("leads", Aggregation::First)])
+            .unwrap();
+        assert_eq!(g.column("leads_first").unwrap().i64_values().unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn alias_controls_output_name() {
+        let g = frame()
+            .group_by(
+                &["channel"],
+                &[AggSpec::new("sales", Aggregation::Sum).with_alias("total")],
+            )
+            .unwrap();
+        assert!(g.has_column("total"));
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let f = Frame::from_columns(vec![
+            Column::from_str_values("a", vec!["x", "x", "y", "x"]),
+            Column::from_i64("b", vec![1, 1, 1, 2]),
+            Column::from_f64("v", vec![1.0, 2.0, 3.0, 4.0]),
+        ])
+        .unwrap();
+        let g = f
+            .group_by(&["a", "b"], &[AggSpec::new("v", Aggregation::Sum)])
+            .unwrap();
+        assert_eq!(g.n_rows(), 3);
+        assert_eq!(g.column("v_sum").unwrap().f64_values().unwrap(), &[3.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn null_keys_form_their_own_group() {
+        let f = Frame::from_columns(vec![
+            Column::from_i64_opt("k", vec![Some(1), None, None]),
+            Column::from_f64("v", vec![1.0, 2.0, 3.0]),
+        ])
+        .unwrap();
+        let g = f
+            .group_by(&["k"], &[AggSpec::new("v", Aggregation::Sum)])
+            .unwrap();
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.column("v_sum").unwrap().f64_values().unwrap(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn numeric_agg_on_string_errors() {
+        let err = frame().group_by(&["channel"], &[AggSpec::new("channel", Aggregation::Sum)]);
+        assert!(matches!(err, Err(FrameError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        assert!(frame().group_by(&["ghost"], &[]).is_err());
+        assert!(frame()
+            .group_by(&["channel"], &[AggSpec::new("ghost", Aggregation::Sum)])
+            .is_err());
+        assert!(frame().group_by(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn empty_group_aggregate_is_null() {
+        // A group whose aggregated column is entirely null yields null.
+        let f = Frame::from_columns(vec![
+            Column::from_str_values("k", vec!["a", "b"]),
+            Column::from_f64_opt("v", vec![Some(1.0), None]),
+        ])
+        .unwrap();
+        let g = f
+            .group_by(&["k"], &[AggSpec::new("v", Aggregation::Mean)])
+            .unwrap();
+        assert!(g.column("v_mean").unwrap().is_valid(0));
+        assert!(!g.column("v_mean").unwrap().is_valid(1));
+    }
+
+    #[test]
+    fn std_of_single_element_group_is_zero() {
+        let f = Frame::from_columns(vec![
+            Column::from_str_values("k", vec!["a"]),
+            Column::from_f64("v", vec![5.0]),
+        ])
+        .unwrap();
+        let g = f
+            .group_by(&["k"], &[AggSpec::new("v", Aggregation::Std)])
+            .unwrap();
+        assert_eq!(g.column("v_std").unwrap().f64_values().unwrap(), &[0.0]);
+    }
+}

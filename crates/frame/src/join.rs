@@ -1,0 +1,243 @@
+//! Hash joins between frames (the "drill to other analysis data" path —
+//! e.g. attaching customer-cohort attributes to activity tables).
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+use crate::frame::Frame;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// The join flavors supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only rows whose keys match on both sides.
+    Inner,
+    /// Keep every left row; unmatched right columns become null.
+    Left,
+}
+
+/// Hashable join-key atom (same float-bits convention as group-by).
+/// Null keys never match anything, per SQL semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyAtom {
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Str(String),
+}
+
+impl KeyAtom {
+    fn from_value(v: &Value) -> Option<KeyAtom> {
+        match v {
+            Value::Null => None,
+            Value::Bool(b) => Some(KeyAtom::Bool(*b)),
+            Value::Int(x) => Some(KeyAtom::Int(*x)),
+            Value::Float(x) => Some(KeyAtom::Float(x.to_bits())),
+            Value::Str(s) => Some(KeyAtom::Str(s.clone())),
+        }
+    }
+}
+
+fn row_key(frame: &Frame, cols: &[&Column], i: usize) -> Option<Vec<KeyAtom>> {
+    let _ = frame;
+    cols.iter()
+        .map(|c| KeyAtom::from_value(&c.get(i).expect("row in range")))
+        .collect()
+}
+
+impl Frame {
+    /// Join `self` (left) with `other` (right) on equality of the named key
+    /// columns (which must exist on both sides).
+    ///
+    /// Non-key right columns whose names collide with left columns are
+    /// suffixed with `_right`. Matching is hash-based; right-side matches
+    /// preserve right input order per key. Null keys never match.
+    ///
+    /// # Errors
+    /// [`FrameError::UnknownColumn`] for missing keys,
+    /// [`FrameError::DuplicateColumn`] if suffixing still collides.
+    pub fn join(&self, other: &Frame, on: &[&str], kind: JoinKind) -> Result<Frame> {
+        if on.is_empty() {
+            return Err(FrameError::InvalidOperation(
+                "join requires at least one key column".to_owned(),
+            ));
+        }
+        let left_keys: Vec<&Column> = on
+            .iter()
+            .map(|&k| self.column(k))
+            .collect::<Result<_>>()?;
+        let right_keys: Vec<&Column> = on
+            .iter()
+            .map(|&k| other.column(k))
+            .collect::<Result<_>>()?;
+
+        // Build hash index over the right side.
+        let mut index: HashMap<Vec<KeyAtom>, Vec<usize>> = HashMap::new();
+        for j in 0..other.n_rows() {
+            if let Some(key) = row_key(other, &right_keys, j) {
+                index.entry(key).or_default().push(j);
+            }
+        }
+
+        // Probe with the left side.
+        let mut left_idx: Vec<usize> = Vec::new();
+        let mut right_idx: Vec<Option<usize>> = Vec::new();
+        for i in 0..self.n_rows() {
+            let matches = row_key(self, &left_keys, i)
+                .and_then(|key| index.get(&key));
+            match matches {
+                Some(js) => {
+                    for &j in js {
+                        left_idx.push(i);
+                        right_idx.push(Some(j));
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        left_idx.push(i);
+                        right_idx.push(None);
+                    }
+                }
+            }
+        }
+
+        let mut out = self.take(&left_idx)?;
+        for col in other.columns() {
+            if on.contains(&col.name()) {
+                continue;
+            }
+            let name = if out.has_column(col.name()) {
+                format!("{}_right", col.name())
+            } else {
+                col.name().to_owned()
+            };
+            let values: Vec<Value> = right_idx
+                .iter()
+                .map(|j| match j {
+                    Some(j) => col.get(*j).expect("row in range"),
+                    None => Value::Null,
+                })
+                .collect();
+            out.push_column(Column::from_values(name, &values)?)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> Frame {
+        Frame::from_columns(vec![
+            Column::from_i64("id", vec![1, 2, 3, 4]),
+            Column::from_str_values("name", vec!["ann", "bob", "cat", "dan"]),
+        ])
+        .unwrap()
+    }
+
+    fn orders() -> Frame {
+        Frame::from_columns(vec![
+            Column::from_i64("id", vec![2, 2, 3, 9]),
+            Column::from_f64("amount", vec![10.0, 20.0, 5.0, 99.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_only() {
+        let j = customers().join(&orders(), &["id"], JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 3);
+        assert_eq!(j.column("id").unwrap().i64_values().unwrap(), &[2, 2, 3]);
+        assert_eq!(
+            j.column("amount").unwrap().f64_values().unwrap(),
+            &[10.0, 20.0, 5.0]
+        );
+        assert_eq!(
+            j.column("name").unwrap().str_values().unwrap(),
+            &["bob".to_owned(), "bob".to_owned(), "cat".to_owned()]
+        );
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let j = customers().join(&orders(), &["id"], JoinKind::Left).unwrap();
+        assert_eq!(j.n_rows(), 5); // ann(null), bob x2, cat, dan(null)
+        let amount = j.column("amount").unwrap();
+        assert_eq!(amount.null_count(), 2);
+        assert!(!amount.is_valid(0));
+        assert!(!amount.is_valid(4));
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let a = Frame::from_columns(vec![
+            Column::from_i64("k1", vec![1, 1, 2]),
+            Column::from_str_values("k2", vec!["x", "y", "x"]),
+            Column::from_f64("va", vec![1.0, 2.0, 3.0]),
+        ])
+        .unwrap();
+        let b = Frame::from_columns(vec![
+            Column::from_i64("k1", vec![1, 2]),
+            Column::from_str_values("k2", vec!["y", "x"]),
+            Column::from_f64("vb", vec![10.0, 20.0]),
+        ])
+        .unwrap();
+        let j = a.join(&b, &["k1", "k2"], JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.column("va").unwrap().f64_values().unwrap(), &[2.0, 3.0]);
+        assert_eq!(j.column("vb").unwrap().f64_values().unwrap(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn name_collision_gets_suffix() {
+        let a = Frame::from_columns(vec![
+            Column::from_i64("id", vec![1]),
+            Column::from_f64("v", vec![1.0]),
+        ])
+        .unwrap();
+        let b = Frame::from_columns(vec![
+            Column::from_i64("id", vec![1]),
+            Column::from_f64("v", vec![2.0]),
+        ])
+        .unwrap();
+        let j = a.join(&b, &["id"], JoinKind::Inner).unwrap();
+        assert_eq!(j.column("v").unwrap().f64_values().unwrap(), &[1.0]);
+        assert_eq!(j.column("v_right").unwrap().f64_values().unwrap(), &[2.0]);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let a = Frame::from_columns(vec![Column::from_i64_opt(
+            "id",
+            vec![Some(1), None],
+        )])
+        .unwrap();
+        let b = Frame::from_columns(vec![
+            Column::from_i64_opt("id", vec![Some(1), None]),
+            Column::from_f64("v", vec![1.0, 2.0]),
+        ])
+        .unwrap();
+        let inner = a.join(&b, &["id"], JoinKind::Inner).unwrap();
+        assert_eq!(inner.n_rows(), 1);
+        let left = a.join(&b, &["id"], JoinKind::Left).unwrap();
+        assert_eq!(left.n_rows(), 2);
+        assert!(!left.column("v").unwrap().is_valid(1));
+    }
+
+    #[test]
+    fn missing_key_column_errors() {
+        assert!(customers().join(&orders(), &["ghost"], JoinKind::Inner).is_err());
+        assert!(customers().join(&orders(), &[], JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn right_match_order_is_preserved() {
+        let a = Frame::from_columns(vec![Column::from_i64("id", vec![2])]).unwrap();
+        let j = a.join(&orders(), &["id"], JoinKind::Inner).unwrap();
+        assert_eq!(
+            j.column("amount").unwrap().f64_values().unwrap(),
+            &[10.0, 20.0]
+        );
+    }
+}

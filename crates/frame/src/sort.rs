@@ -1,0 +1,219 @@
+//! Row sorting for frames.
+
+use crate::error::Result;
+use crate::frame::Frame;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Sort direction for one key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest first.
+    Ascending,
+    /// Largest first.
+    Descending,
+}
+
+/// Total order over cell values used for sorting:
+/// nulls sort last; numerics compare as `f64` (NaN after numbers);
+/// bools as `false < true`; strings lexicographically.
+/// Cross-type comparisons fall back to a fixed type precedence.
+fn compare_values(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Bool(_) => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(_) => 2,
+            Value::Null => 3,
+        }
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Null, _) => Ordering::Greater,
+        (_, Value::Null) => Ordering::Less,
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or_else(|| {
+                // NaNs sort after ordinary numbers, equal to each other.
+                match (x.is_nan(), y.is_nan()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => Ordering::Greater,
+                    (false, true) => Ordering::Less,
+                    (false, false) => Ordering::Equal,
+                }
+            }),
+            _ => rank(a).cmp(&rank(b)),
+        },
+    }
+}
+
+impl Frame {
+    /// Stable sort by one or more `(column, order)` keys.
+    ///
+    /// # Errors
+    /// [`crate::FrameError::UnknownColumn`] for unknown keys.
+    pub fn sort_by(&self, keys: &[(&str, SortOrder)]) -> Result<Frame> {
+        // Materialize key columns once; sorting then only permutes indices.
+        let mut key_cols = Vec::with_capacity(keys.len());
+        for &(name, order) in keys {
+            let col = self.column(name)?;
+            let vals: Vec<Value> = (0..self.n_rows())
+                .map(|i| col.get(i).expect("row in range"))
+                .collect();
+            key_cols.push((vals, order));
+        }
+        let mut indices: Vec<usize> = (0..self.n_rows()).collect();
+        indices.sort_by(|&i, &j| {
+            for (vals, order) in &key_cols {
+                let ord = compare_values(&vals[i], &vals[j]);
+                let ord = match order {
+                    SortOrder::Ascending => ord,
+                    SortOrder::Descending => ord.reverse(),
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        self.take(&indices)
+    }
+
+    /// Indices that would sort the frame by the given keys (argsort).
+    ///
+    /// # Errors
+    /// [`crate::FrameError::UnknownColumn`] for unknown keys.
+    pub fn sort_indices(&self, keys: &[(&str, SortOrder)]) -> Result<Vec<usize>> {
+        let sorted = self.sort_by(keys)?;
+        // Recompute by re-sorting raw indices using the same comparator:
+        // cheaper to just redo the permutation computation.
+        let _ = sorted;
+        let mut key_cols = Vec::with_capacity(keys.len());
+        for &(name, order) in keys {
+            let col = self.column(name)?;
+            let vals: Vec<Value> = (0..self.n_rows())
+                .map(|i| col.get(i).expect("row in range"))
+                .collect();
+            key_cols.push((vals, order));
+        }
+        let mut indices: Vec<usize> = (0..self.n_rows()).collect();
+        indices.sort_by(|&i, &j| {
+            for (vals, order) in &key_cols {
+                let ord = compare_values(&vals[i], &vals[j]);
+                let ord = match order {
+                    SortOrder::Ascending => ord,
+                    SortOrder::Descending => ord.reverse(),
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        Ok(indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn frame() -> Frame {
+        Frame::from_columns(vec![
+            Column::from_f64("score", vec![2.0, 1.0, 2.0, 0.5]),
+            Column::from_str_values("name", vec!["b", "a", "a", "c"]),
+            Column::from_i64_opt("rank", vec![Some(3), None, Some(1), Some(2)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let f = frame().sort_by(&[("score", SortOrder::Ascending)]).unwrap();
+        assert_eq!(
+            f.column("score").unwrap().f64_values().unwrap(),
+            &[0.5, 1.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn single_key_descending() {
+        let f = frame().sort_by(&[("score", SortOrder::Descending)]).unwrap();
+        assert_eq!(
+            f.column("score").unwrap().f64_values().unwrap(),
+            &[2.0, 2.0, 1.0, 0.5]
+        );
+    }
+
+    #[test]
+    fn multi_key_breaks_ties() {
+        let f = frame()
+            .sort_by(&[
+                ("score", SortOrder::Descending),
+                ("name", SortOrder::Ascending),
+            ])
+            .unwrap();
+        let names = f.column("name").unwrap().str_values().unwrap().to_vec();
+        assert_eq!(names, vec!["a", "b", "a", "c"]);
+    }
+
+    #[test]
+    fn stability_preserves_input_order_on_ties() {
+        let f = Frame::from_columns(vec![
+            Column::from_i64("k", vec![1, 1, 1]),
+            Column::from_i64("orig", vec![0, 1, 2]),
+        ])
+        .unwrap();
+        let sorted = f.sort_by(&[("k", SortOrder::Ascending)]).unwrap();
+        assert_eq!(sorted.column("orig").unwrap().i64_values().unwrap(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn nulls_sort_last_in_both_directions() {
+        let f = frame().sort_by(&[("rank", SortOrder::Ascending)]).unwrap();
+        assert!(!f.column("rank").unwrap().is_valid(3));
+        let f = frame().sort_by(&[("rank", SortOrder::Descending)]).unwrap();
+        // Descending reverses comparisons, so nulls lead there.
+        assert!(!f.column("rank").unwrap().is_valid(0));
+    }
+
+    #[test]
+    fn nan_sorts_after_numbers() {
+        let f = Frame::from_columns(vec![Column::from_f64(
+            "x",
+            vec![f64::NAN, 1.0, 0.0],
+        )])
+        .unwrap();
+        let s = f.sort_by(&[("x", SortOrder::Ascending)]).unwrap();
+        let v = s.column("x").unwrap().f64_values().unwrap();
+        assert_eq!(&v[..2], &[0.0, 1.0]);
+        assert!(v[2].is_nan());
+    }
+
+    #[test]
+    fn sort_indices_matches_sort() {
+        let f = frame();
+        let idx = f.sort_indices(&[("score", SortOrder::Ascending)]).unwrap();
+        let manual = f.take(&idx).unwrap();
+        let direct = f.sort_by(&[("score", SortOrder::Ascending)]).unwrap();
+        assert_eq!(manual, direct);
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(frame().sort_by(&[("ghost", SortOrder::Ascending)]).is_err());
+    }
+
+    #[test]
+    fn bool_ordering() {
+        let f = Frame::from_columns(vec![Column::from_bool("b", vec![true, false, true])])
+            .unwrap();
+        let s = f.sort_by(&[("b", SortOrder::Ascending)]).unwrap();
+        assert_eq!(
+            s.column("b").unwrap().bool_values().unwrap(),
+            &[false, true, true]
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-column descriptive summaries (the backing data of the paper's
+//! Table View, Figure 2 B).
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::frame::Frame;
+use crate::value::DType;
+use std::collections::HashSet;
+
+/// Descriptive statistics for a single column.
+///
+/// Numeric fields are `None` for non-numeric columns or all-null columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Column name.
+    pub name: String,
+    /// Column dtype.
+    pub dtype: DType,
+    /// Total rows.
+    pub len: usize,
+    /// Number of nulls.
+    pub null_count: usize,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Mean of non-null values.
+    pub mean: Option<f64>,
+    /// Sample standard deviation (n−1) of non-null values.
+    pub std: Option<f64>,
+    /// Minimum non-null value.
+    pub min: Option<f64>,
+    /// Maximum non-null value.
+    pub max: Option<f64>,
+    /// Median (linear interpolation) of non-null values.
+    pub median: Option<f64>,
+}
+
+/// Summarize one column.
+pub fn summarize_column(col: &Column) -> ColumnSummary {
+    let len = col.len();
+    let null_count = col.null_count();
+    let distinct = count_distinct(col);
+
+    let numeric: Option<Vec<f64>> = match col.dtype() {
+        DType::Float | DType::Int | DType::Bool => col.to_f64_lossy().ok().map(|vals| {
+            vals.into_iter()
+                .enumerate()
+                .filter(|&(i, _)| col.is_valid(i))
+                .map(|(_, v)| v)
+                .collect()
+        }),
+        DType::Str => None,
+    };
+
+    let (mean, std, min, max, median) = match numeric.as_deref() {
+        Some(xs) if !xs.is_empty() => {
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let std = if xs.len() < 2 {
+                0.0
+            } else {
+                let ss: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+                (ss / (n - 1.0)).sqrt()
+            };
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sorted = xs.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in valid data"));
+            let median = if sorted.len() % 2 == 1 {
+                sorted[sorted.len() / 2]
+            } else {
+                let hi = sorted.len() / 2;
+                (sorted[hi - 1] + sorted[hi]) / 2.0
+            };
+            (Some(mean), Some(std), Some(min), Some(max), Some(median))
+        }
+        _ => (None, None, None, None, None),
+    };
+
+    ColumnSummary {
+        name: col.name().to_owned(),
+        dtype: col.dtype(),
+        len,
+        null_count,
+        distinct,
+        mean,
+        std,
+        min,
+        max,
+        median,
+    }
+}
+
+fn count_distinct(col: &Column) -> usize {
+    let mut seen: HashSet<String> = HashSet::new();
+    for i in 0..col.len() {
+        if !col.is_valid(i) {
+            continue;
+        }
+        // Canonical text form is a sufficient distinctness key per dtype.
+        let v = col.get(i).expect("row in range");
+        seen.insert(v.to_string());
+    }
+    seen.len()
+}
+
+impl Frame {
+    /// Summaries for all columns, in declaration order.
+    ///
+    /// # Errors
+    /// Currently infallible; `Result` reserved for future schema checks.
+    pub fn describe(&self) -> Result<Vec<ColumnSummary>> {
+        Ok(self.columns().iter().map(summarize_column).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn numeric_summary() {
+        let c = Column::from_f64("x", vec![1.0, 2.0, 3.0, 4.0]);
+        let s = summarize_column(&c);
+        assert_eq!(s.len, 4);
+        assert_eq!(s.null_count, 0);
+        assert_eq!(s.distinct, 4);
+        assert_eq!(s.mean, Some(2.5));
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(4.0));
+        assert_eq!(s.median, Some(2.5));
+        let std = s.std.unwrap();
+        assert!((std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_length_median() {
+        let c = Column::from_i64("x", vec![5, 1, 3]);
+        let s = summarize_column(&c);
+        assert_eq!(s.median, Some(3.0));
+    }
+
+    #[test]
+    fn nulls_are_excluded() {
+        let c = Column::from_f64_opt("x", vec![Some(1.0), None, Some(3.0)]);
+        let s = summarize_column(&c);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.mean, Some(2.0));
+        assert_eq!(s.distinct, 2);
+    }
+
+    #[test]
+    fn string_column_has_distinct_but_no_numeric() {
+        let c = Column::from_str_values("s", vec!["a", "b", "a"]);
+        let s = summarize_column(&c);
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.mean, None);
+        assert_eq!(s.median, None);
+    }
+
+    #[test]
+    fn bool_column_is_numeric() {
+        let c = Column::from_bool("b", vec![true, false, true, true]);
+        let s = summarize_column(&c);
+        assert_eq!(s.mean, Some(0.75));
+        assert_eq!(s.min, Some(0.0));
+        assert_eq!(s.max, Some(1.0));
+    }
+
+    #[test]
+    fn all_null_column() {
+        let c = Column::from_f64_opt("x", vec![None, None]);
+        let s = summarize_column(&c);
+        assert_eq!(s.null_count, 2);
+        assert_eq!(s.mean, None);
+        assert_eq!(s.distinct, 0);
+    }
+
+    #[test]
+    fn single_value_std_is_zero() {
+        let c = Column::from_f64("x", vec![7.0]);
+        let s = summarize_column(&c);
+        assert_eq!(s.std, Some(0.0));
+    }
+
+    #[test]
+    fn describe_covers_all_columns() {
+        let f = Frame::from_columns(vec![
+            Column::from_f64("x", vec![1.0]),
+            Column::from_str_values("s", vec!["a"]),
+        ])
+        .unwrap();
+        let d = f.describe().unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].name, "x");
+        assert_eq!(d[1].name, "s");
+    }
+}

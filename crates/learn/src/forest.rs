@@ -1,0 +1,558 @@
+//! Bootstrap random forests (classifier + regressor).
+//!
+//! The paper's discrete-KPI model is a scikit-learn
+//! `RandomForestClassifier`; driver importances are its impurity feature
+//! importances. This implementation reproduces those semantics: bootstrap
+//! rows per tree, sqrt/one-third feature subsampling per split, averaged
+//! normalized impurity importances, and out-of-bag scoring. Trees train
+//! in parallel on crossbeam scoped threads.
+
+use crate::linalg::Matrix;
+use crate::model::{check_binary_labels, Classifier, LearnError, Predictor, Regressor};
+use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whatif_stats::sampling::{bootstrap_indices, out_of_bag_indices};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree CART parameters (`max_features = None` selects the
+    /// family default: √p for classification, p/3 for regression).
+    pub tree: TreeConfig,
+    /// Master seed; tree seeds derive from it.
+    pub seed: u64,
+    /// Worker threads for training (`1` = sequential).
+    pub n_threads: usize,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig::default(),
+            seed: 0,
+            n_threads: 4,
+        }
+    }
+}
+
+/// Shared fitting logic: train `n_trees` base learners on bootstrap rows
+/// and collect per-tree OOB predictions.
+///
+/// `train` receives `(tree_seed, bootstrap_sample)` and returns the fitted
+/// base learner; the caller supplies the family-specific constructor.
+fn fit_trees<T, F>(
+    n_rows: usize,
+    config: &ForestConfig,
+    train: F,
+) -> Result<Vec<(T, Vec<usize>)>, LearnError>
+where
+    T: Send,
+    F: Fn(u64, &[usize]) -> Result<T, LearnError> + Sync,
+{
+    if config.n_trees == 0 {
+        return Err(LearnError::Invalid("forest needs at least one tree".to_owned()));
+    }
+    if n_rows == 0 {
+        return Err(LearnError::Invalid("cannot fit on zero rows".to_owned()));
+    }
+    // Pre-draw bootstrap samples deterministically from the master seed.
+    let mut master = StdRng::seed_from_u64(config.seed);
+    let jobs: Vec<(u64, Vec<usize>)> = (0..config.n_trees)
+        .map(|_| {
+            let tree_seed: u64 = master.gen();
+            let sample = bootstrap_indices(&mut master, n_rows);
+            (tree_seed, sample)
+        })
+        .collect();
+
+    let n_threads = config.n_threads.max(1).min(config.n_trees);
+    if n_threads == 1 {
+        return jobs
+            .into_iter()
+            .map(|(seed, sample)| {
+                let oob = out_of_bag_indices(&sample, n_rows);
+                train(seed, &sample).map(|t| (t, oob))
+            })
+            .collect();
+    }
+
+    let chunk = jobs.len().div_ceil(n_threads);
+    let results: Vec<Result<Vec<(T, Vec<usize>)>, LearnError>> =
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|chunk_jobs| {
+                    let train = &train;
+                    scope.spawn(move |_| {
+                        chunk_jobs
+                            .iter()
+                            .map(|(seed, sample)| {
+                                let oob = out_of_bag_indices(sample, n_rows);
+                                train(*seed, sample).map(|t| (t, oob))
+                            })
+                            .collect::<Result<Vec<_>, LearnError>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("forest worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+    let mut out = Vec::with_capacity(config.n_trees);
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+fn averaged_importances(per_tree: &[Vec<f64>], p: usize) -> Vec<f64> {
+    let mut avg = vec![0.0; p];
+    for imp in per_tree {
+        for (a, v) in avg.iter_mut().zip(imp) {
+            *a += v;
+        }
+    }
+    let total: f64 = avg.iter().sum();
+    if total > 0.0 {
+        for a in avg.iter_mut() {
+            *a /= total;
+        }
+    }
+    avg
+}
+
+/// A bootstrap random-forest binary classifier. Predictions are mean leaf
+/// probabilities across trees.
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    /// Forest hyperparameters.
+    pub config: ForestConfig,
+    trees: Vec<DecisionTreeClassifier>,
+    oob_score: Option<f64>,
+    importances: Vec<f64>,
+}
+
+impl Default for RandomForestClassifier {
+    fn default() -> Self {
+        RandomForestClassifier::new(ForestConfig::default())
+    }
+}
+
+impl RandomForestClassifier {
+    /// Forest with the given hyperparameters.
+    pub fn new(config: ForestConfig) -> Self {
+        RandomForestClassifier {
+            config,
+            trees: Vec::new(),
+            oob_score: None,
+            importances: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor: `n_trees` trees, given seed, defaults
+    /// elsewhere.
+    pub fn with_trees(n_trees: usize, seed: u64) -> Self {
+        let mut config = ForestConfig::default();
+        config.n_trees = n_trees;
+        config.seed = seed;
+        RandomForestClassifier::new(config)
+    }
+
+    /// Normalized impurity feature importances averaged over trees
+    /// (all ≥ 0, sum to 1).
+    ///
+    /// # Errors
+    /// [`LearnError::NotFitted`] before fit.
+    pub fn feature_importances(&self) -> Result<&[f64], LearnError> {
+        if self.trees.is_empty() {
+            return Err(LearnError::NotFitted);
+        }
+        Ok(&self.importances)
+    }
+
+    /// Out-of-bag accuracy estimate (rows never sampled by a tree are
+    /// scored by that tree; majority vote per row).
+    ///
+    /// # Errors
+    /// [`LearnError::NotFitted`] before fit.
+    pub fn oob_accuracy(&self) -> Result<f64, LearnError> {
+        self.oob_score.ok_or(LearnError::NotFitted)
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), LearnError> {
+        check_binary_labels(x, y)?;
+        let p = x.n_cols();
+        let mut tree_config = self.config.tree.clone();
+        if tree_config.max_features.is_none() {
+            // Classification default: sqrt(p).
+            tree_config.max_features = Some(((p as f64).sqrt().round() as usize).clamp(1, p));
+        }
+        let fitted = fit_trees(x.n_rows(), &self.config, |seed, sample| {
+            let mut cfg = tree_config.clone();
+            cfg.seed = seed;
+            let mut t = DecisionTreeClassifier::new(cfg);
+            t.fit_on_sample(x, y, sample)?;
+            Ok(t)
+        })?;
+
+        // OOB vote accumulation.
+        let mut prob_sum = vec![0.0f64; x.n_rows()];
+        let mut votes = vec![0u32; x.n_rows()];
+        let mut trees = Vec::with_capacity(fitted.len());
+        let mut per_tree_imp = Vec::with_capacity(fitted.len());
+        for (t, oob) in fitted {
+            for &i in &oob {
+                prob_sum[i] += t.predict_row(x.row(i))?;
+                votes[i] += 1;
+            }
+            per_tree_imp.push(t.feature_importances()?);
+            trees.push(t);
+        }
+        let mut correct = 0usize;
+        let mut counted = 0usize;
+        for i in 0..x.n_rows() {
+            if votes[i] == 0 {
+                continue;
+            }
+            counted += 1;
+            let pred = u8::from(prob_sum[i] / f64::from(votes[i]) >= 0.5);
+            if pred == y[i] {
+                correct += 1;
+            }
+        }
+        self.oob_score = Some(if counted == 0 {
+            f64::NAN
+        } else {
+            correct as f64 / counted as f64
+        });
+        self.importances = averaged_importances(&per_tree_imp, p);
+        self.trees = trees;
+        Ok(())
+    }
+}
+
+impl Predictor for RandomForestClassifier {
+    fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+        if self.trees.is_empty() {
+            return Err(LearnError::NotFitted);
+        }
+        let mut sum = 0.0;
+        for t in &self.trees {
+            sum += t.predict_row(x)?;
+        }
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    fn n_features(&self) -> usize {
+        self.trees.first().map_or(0, Predictor::n_features)
+    }
+}
+
+/// A bootstrap random-forest regressor. Predictions are mean leaf values
+/// across trees.
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    /// Forest hyperparameters.
+    pub config: ForestConfig,
+    trees: Vec<DecisionTreeRegressor>,
+    oob_r2: Option<f64>,
+    importances: Vec<f64>,
+}
+
+impl Default for RandomForestRegressor {
+    fn default() -> Self {
+        RandomForestRegressor::new(ForestConfig::default())
+    }
+}
+
+impl RandomForestRegressor {
+    /// Forest with the given hyperparameters.
+    pub fn new(config: ForestConfig) -> Self {
+        RandomForestRegressor {
+            config,
+            trees: Vec::new(),
+            oob_r2: None,
+            importances: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor: `n_trees` trees, given seed.
+    pub fn with_trees(n_trees: usize, seed: u64) -> Self {
+        let mut config = ForestConfig::default();
+        config.n_trees = n_trees;
+        config.seed = seed;
+        RandomForestRegressor::new(config)
+    }
+
+    /// Normalized impurity feature importances averaged over trees.
+    ///
+    /// # Errors
+    /// [`LearnError::NotFitted`] before fit.
+    pub fn feature_importances(&self) -> Result<&[f64], LearnError> {
+        if self.trees.is_empty() {
+            return Err(LearnError::NotFitted);
+        }
+        Ok(&self.importances)
+    }
+
+    /// Out-of-bag R² estimate.
+    ///
+    /// # Errors
+    /// [`LearnError::NotFitted`] before fit.
+    pub fn oob_r2(&self) -> Result<f64, LearnError> {
+        self.oob_r2.ok_or(LearnError::NotFitted)
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), LearnError> {
+        if y.len() != x.n_rows() {
+            return Err(LearnError::Shape(format!(
+                "{} targets for {} rows",
+                y.len(),
+                x.n_rows()
+            )));
+        }
+        let p = x.n_cols();
+        let mut tree_config = self.config.tree.clone();
+        if tree_config.max_features.is_none() {
+            // Regression default: p/3.
+            tree_config.max_features = Some((p / 3).clamp(1, p.max(1)));
+        }
+        let fitted = fit_trees(x.n_rows(), &self.config, |seed, sample| {
+            let mut cfg = tree_config.clone();
+            cfg.seed = seed;
+            let mut t = DecisionTreeRegressor::new(cfg);
+            t.fit_on_sample(x, y, sample)?;
+            Ok(t)
+        })?;
+
+        let mut pred_sum = vec![0.0f64; x.n_rows()];
+        let mut votes = vec![0u32; x.n_rows()];
+        let mut trees = Vec::with_capacity(fitted.len());
+        let mut per_tree_imp = Vec::with_capacity(fitted.len());
+        for (t, oob) in fitted {
+            for &i in &oob {
+                pred_sum[i] += t.predict_row(x.row(i))?;
+                votes[i] += 1;
+            }
+            per_tree_imp.push(t.feature_importances()?);
+            trees.push(t);
+        }
+        let covered: Vec<usize> = (0..x.n_rows()).filter(|&i| votes[i] > 0).collect();
+        self.oob_r2 = Some(if covered.len() < 2 {
+            f64::NAN
+        } else {
+            let mean_y =
+                covered.iter().map(|&i| y[i]).sum::<f64>() / covered.len() as f64;
+            let ss_res: f64 = covered
+                .iter()
+                .map(|&i| {
+                    let p = pred_sum[i] / f64::from(votes[i]);
+                    (y[i] - p) * (y[i] - p)
+                })
+                .sum();
+            let ss_tot: f64 = covered
+                .iter()
+                .map(|&i| (y[i] - mean_y) * (y[i] - mean_y))
+                .sum();
+            if ss_tot == 0.0 {
+                0.0
+            } else {
+                1.0 - ss_res / ss_tot
+            }
+        });
+        self.importances = averaged_importances(&per_tree_imp, p);
+        self.trees = trees;
+        Ok(())
+    }
+}
+
+impl Predictor for RandomForestRegressor {
+    fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+        if self.trees.is_empty() {
+            return Err(LearnError::NotFitted);
+        }
+        let mut sum = 0.0;
+        for t in &self.trees {
+            sum += t.predict_row(x)?;
+        }
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    fn n_features(&self) -> usize {
+        self.trees.first().map_or(0, Predictor::n_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Noisy two-feature classification problem: class = x0 + x1 > 1.
+    fn class_data(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let y: Vec<u8> = rows
+            .iter()
+            .map(|r| u8::from(r[0] + r[1] + 0.1 * (rng.gen::<f64>() - 0.5) > 1.0))
+            .collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    fn reg_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>() * 4.0, rng.gen::<f64>()])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0].sin() * 3.0 + 0.05 * (rng.gen::<f64>() - 0.5))
+            .collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn classifier_fits_and_scores_well() {
+        let (x, y) = class_data(400, 1);
+        let mut f = RandomForestClassifier::with_trees(40, 7);
+        f.fit(&x, &y).unwrap();
+        assert_eq!(f.n_trees(), 40);
+        let acc = f.oob_accuracy().unwrap();
+        assert!(acc > 0.9, "oob accuracy {acc}");
+        // Probabilities in range.
+        let p = f.predict_row(x.row(0)).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn classifier_importances_identify_signal_features() {
+        let (x, y) = class_data(400, 2);
+        let mut f = RandomForestClassifier::with_trees(40, 3);
+        f.fit(&x, &y).unwrap();
+        let imp = f.feature_importances().unwrap();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // x2 is pure noise.
+        assert!(imp[0] > imp[2] * 3.0, "{imp:?}");
+        assert!(imp[1] > imp[2] * 3.0, "{imp:?}");
+    }
+
+    #[test]
+    fn forest_is_deterministic_for_fixed_seed() {
+        let (x, y) = class_data(200, 3);
+        let mut a = RandomForestClassifier::with_trees(10, 42);
+        let mut b = RandomForestClassifier::with_trees(10, 42);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        for i in 0..x.n_rows() {
+            assert_eq!(
+                a.predict_row(x.row(i)).unwrap(),
+                b.predict_row(x.row(i)).unwrap()
+            );
+        }
+        assert_eq!(a.feature_importances().unwrap(), b.feature_importances().unwrap());
+        // Different seed differs somewhere.
+        let mut c = RandomForestClassifier::with_trees(10, 43);
+        c.fit(&x, &y).unwrap();
+        let same = (0..x.n_rows()).all(|i| {
+            a.predict_row(x.row(i)).unwrap() == c.predict_row(x.row(i)).unwrap()
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (x, y) = class_data(200, 4);
+        let mut seq_cfg = ForestConfig::default();
+        seq_cfg.n_trees = 12;
+        seq_cfg.seed = 5;
+        seq_cfg.n_threads = 1;
+        let mut par_cfg = seq_cfg.clone();
+        par_cfg.n_threads = 4;
+        let mut seq = RandomForestClassifier::new(seq_cfg);
+        let mut par = RandomForestClassifier::new(par_cfg);
+        seq.fit(&x, &y).unwrap();
+        par.fit(&x, &y).unwrap();
+        assert_eq!(
+            seq.feature_importances().unwrap(),
+            par.feature_importances().unwrap()
+        );
+        assert_eq!(seq.oob_accuracy().unwrap(), par.oob_accuracy().unwrap());
+    }
+
+    #[test]
+    fn regressor_fits_nonlinear_signal() {
+        let (x, y) = reg_data(500, 6);
+        let mut f = RandomForestRegressor::with_trees(40, 8);
+        f.fit(&x, &y).unwrap();
+        let r2 = f.oob_r2().unwrap();
+        assert!(r2 > 0.9, "oob r2 {r2}");
+        let imp = f.feature_importances().unwrap();
+        assert!(imp[0] > 0.8, "signal feature dominates: {imp:?}");
+    }
+
+    #[test]
+    fn errors_before_fit_and_on_bad_config() {
+        let f = RandomForestClassifier::default();
+        assert!(f.predict_row(&[0.0]).is_err());
+        assert!(f.feature_importances().is_err());
+        assert!(f.oob_accuracy().is_err());
+        let r = RandomForestRegressor::default();
+        assert!(r.predict_row(&[0.0]).is_err());
+        assert!(r.oob_r2().is_err());
+
+        let (x, y) = class_data(10, 9);
+        let mut zero = RandomForestClassifier::with_trees(0, 0);
+        assert!(zero.fit(&x, &y).is_err());
+        let mut rr = RandomForestRegressor::with_trees(2, 0);
+        assert!(rr.fit(&x, &[1.0]).is_err());
+        let mut cc = RandomForestClassifier::with_trees(2, 0);
+        assert!(cc.fit(&Matrix::zeros(0, 2), &[]).is_err());
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let (x, y) = class_data(100, 10);
+        let mut f = RandomForestClassifier::with_trees(1, 11);
+        f.fit(&x, &y).unwrap();
+        assert_eq!(f.n_trees(), 1);
+        assert!(f.oob_accuracy().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn regressor_predictions_average_trees() {
+        let (x, y) = reg_data(200, 12);
+        let mut f = RandomForestRegressor::with_trees(5, 13);
+        f.fit(&x, &y).unwrap();
+        // Forest prediction is bounded by the min/max of training targets.
+        let lo = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for i in 0..x.n_rows() {
+            let p = f.predict_row(x.row(i)).unwrap();
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+}

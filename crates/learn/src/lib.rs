@@ -1,0 +1,48 @@
+//! # whatif-learn
+//!
+//! From-scratch machine-learning substrate for the SystemD what-if
+//! reproduction (CIDR 2022).
+//!
+//! The paper trains "linear regression models when the KPI objective is a
+//! continuous variable ... and classifiers when the KPI objective is a
+//! discrete variable" (scikit-learn in the original), and reads driver
+//! importances off the fitted models. This crate supplies those model
+//! families and the importance machinery:
+//!
+//! * [`linalg`] — dense row-major [`linalg::Matrix`], Householder QR
+//!   least squares, Cholesky factorization (also used by the Gaussian
+//!   process in `whatif-optim`).
+//! * [`linear`] — OLS / ridge linear regression with standardized
+//!   coefficients (the paper's `[-1, 1]` importance scores).
+//! * [`logistic`] — logistic regression via IRLS (Newton) — an
+//!   interpretable classifier baseline.
+//! * [`tree`] / [`forest`] — CART decision trees and bootstrap random
+//!   forests (classifier + regressor) with impurity feature importances
+//!   and out-of-bag scoring; forest training is parallelized with
+//!   crossbeam scoped threads.
+//! * [`metrics`] — accuracy, F1, ROC-AUC, log-loss, R², RMSE, ...
+//! * [`shapley`] — Monte-Carlo permutation Shapley values (one of the
+//!   paper's three verification measures).
+//! * [`permutation`] — permutation importance.
+//! * [`preprocess`] — standard / min-max scalers.
+//! * [`split`] — train/test split and k-fold cross-validation.
+
+pub mod forest;
+pub mod linalg;
+pub mod linear;
+pub mod logistic;
+pub mod metrics;
+pub mod model;
+pub mod pdp;
+pub mod permutation;
+pub mod preprocess;
+pub mod shapley;
+pub mod split;
+pub mod tree;
+
+pub use forest::{RandomForestClassifier, RandomForestRegressor};
+pub use linalg::Matrix;
+pub use linear::LinearRegression;
+pub use logistic::LogisticRegression;
+pub use model::{Classifier, LearnError, Predictor, Regressor};
+pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor};

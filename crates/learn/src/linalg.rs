@@ -1,0 +1,514 @@
+//! Dense row-major matrices with the two factorizations the workspace
+//! needs: Householder QR (least squares) and Cholesky (Gaussian
+//! processes).
+
+use crate::model::LearnError;
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl Matrix {
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] when `data.len() != n_rows * n_cols`.
+    pub fn from_vec(data: Vec<f64>, n_rows: usize, n_cols: usize) -> Result<Matrix, LearnError> {
+        if data.len() != n_rows * n_cols {
+            return Err(LearnError::Shape(format!(
+                "buffer of {} elements cannot be {n_rows}x{n_cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix {
+            data,
+            n_rows,
+            n_cols,
+        })
+    }
+
+    /// Build from nested rows.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] for ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Matrix, LearnError> {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        if rows.iter().any(|r| r.len() != n_cols) {
+            return Err(LearnError::Shape("ragged rows".to_owned()));
+        }
+        Ok(Matrix {
+            data: rows.concat(),
+            n_rows,
+            n_cols,
+        })
+    }
+
+    /// All-zeros matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Matrix {
+        Matrix {
+            data: vec![0.0; n_rows * n_cols],
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Borrow the flat row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Element at `(i, j)` (debug-asserted bounds).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Set element at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        self.data[i * self.n_cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Copy column `j` out.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.n_rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.n_cols, self.n_rows);
+        for i in 0..self.n_rows {
+            for j in 0..self.n_cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, LearnError> {
+        if self.n_cols != other.n_rows {
+            return Err(LearnError::Shape(format!(
+                "cannot multiply {}x{} by {}x{}",
+                self.n_rows, self.n_cols, other.n_rows, other.n_cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.n_rows, other.n_cols);
+        // i-k-j loop order: stream through both operands row-major.
+        for i in 0..self.n_rows {
+            for k in 0..self.n_cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row =
+                    &mut out.data[i * other.n_cols..(i + 1) * other.n_cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on length mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LearnError> {
+        if v.len() != self.n_cols {
+            return Err(LearnError::Shape(format!(
+                "cannot multiply {}x{} by vector of {}",
+                self.n_rows,
+                self.n_cols,
+                v.len()
+            )));
+        }
+        Ok((0..self.n_rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Append a leading column of ones (the intercept column).
+    pub fn with_intercept_column(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.n_rows, self.n_cols + 1);
+        for i in 0..self.n_rows {
+            out.set(i, 0, 1.0);
+            for j in 0..self.n_cols {
+                out.set(i, j + 1, self.get(i, j));
+            }
+        }
+        out
+    }
+}
+
+/// Least-squares solution of `a x = b` via Householder QR with column
+/// pivoting disabled (the design matrices here are small and well scaled).
+///
+/// Rank-deficient systems produce the minimum-norm-ish solution with
+/// zeros on numerically dead pivots rather than failing.
+///
+/// # Errors
+/// [`LearnError::Shape`] when dimensions disagree or `a` has more columns
+/// than rows.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LearnError> {
+    let m = a.n_rows();
+    let n = a.n_cols();
+    if b.len() != m {
+        return Err(LearnError::Shape(format!(
+            "rhs length {} does not match {} rows",
+            b.len(),
+            m
+        )));
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if m < n {
+        return Err(LearnError::Shape(format!(
+            "underdetermined system: {m} rows < {n} cols"
+        )));
+    }
+    // Householder QR, transforming b in place alongside.
+    let mut r = a.clone();
+    let mut qtb = b.to_vec();
+    for k in 0..n {
+        // Householder vector for column k below the diagonal.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += r.get(i, k) * r.get(i, k);
+        }
+        let norm = norm.sqrt();
+        if norm == 0.0 {
+            continue; // dead column; pivot handled at back-substitution
+        }
+        let alpha = if r.get(k, k) >= 0.0 { -norm } else { norm };
+        let mut v: Vec<f64> = (k..m).map(|i| r.get(i, k)).collect();
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        // Apply H = I - 2 v v^T / (v^T v) to R[k.., k..] and qtb[k..].
+        for j in k..n {
+            let dot: f64 = (k..m).map(|i| v[i - k] * r.get(i, j)).sum();
+            let scale = 2.0 * dot / vnorm2;
+            for i in k..m {
+                let val = r.get(i, j) - scale * v[i - k];
+                r.set(i, j, val);
+            }
+        }
+        let dot: f64 = (k..m).map(|i| v[i - k] * qtb[i]).sum();
+        let scale = 2.0 * dot / vnorm2;
+        for i in k..m {
+            qtb[i] -= scale * v[i - k];
+        }
+    }
+    // Back substitution on the upper-triangular R.
+    let mut x = vec![0.0; n];
+    // Numerical rank tolerance relative to the largest diagonal.
+    let max_diag = (0..n).map(|i| r.get(i, i).abs()).fold(0.0f64, f64::max);
+    let tol = max_diag * 1e-12;
+    for k in (0..n).rev() {
+        let mut s = qtb[k];
+        for j in (k + 1)..n {
+            s -= r.get(k, j) * x[j];
+        }
+        let d = r.get(k, k);
+        x[k] = if d.abs() <= tol { 0.0 } else { s / d };
+    }
+    Ok(x)
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `A = L Lᵀ`.
+///
+/// # Errors
+/// [`LearnError::Shape`] for non-square input;
+/// [`LearnError::Numeric`] when the matrix is not positive definite.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LearnError> {
+    if a.n_rows() != a.n_cols() {
+        return Err(LearnError::Shape("cholesky requires a square matrix".to_owned()));
+    }
+    let n = a.n_rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(LearnError::Numeric(format!(
+                        "matrix not positive definite at pivot {i} (s = {s:.3e})"
+                    )));
+                }
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `L y = b` for lower-triangular `L` (forward substitution).
+///
+/// # Errors
+/// [`LearnError::Shape`] on dimension mismatch.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LearnError> {
+    let n = l.n_rows();
+    if l.n_cols() != n || b.len() != n {
+        return Err(LearnError::Shape("solve_lower dimension mismatch".to_owned()));
+    }
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l.get(i, j) * y[j];
+        }
+        y[i] = s / l.get(i, i);
+    }
+    Ok(y)
+}
+
+/// Solve `Lᵀ x = y` for lower-triangular `L` (backward substitution).
+///
+/// # Errors
+/// [`LearnError::Shape`] on dimension mismatch.
+pub fn solve_lower_transpose(l: &Matrix, y: &[f64]) -> Result<Vec<f64>, LearnError> {
+    let n = l.n_rows();
+    if l.n_cols() != n || y.len() != n {
+        return Err(LearnError::Shape(
+            "solve_lower_transpose dimension mismatch".to_owned(),
+        ));
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in (i + 1)..n {
+            s -= l.get(j, i) * x[j];
+        }
+        x[i] = s / l.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Solve the SPD system `A x = b` via Cholesky.
+///
+/// # Errors
+/// Propagates [`cholesky`] / substitution errors.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LearnError> {
+    let l = cholesky(a)?;
+    let y = solve_lower(&l, b)?;
+    solve_lower_transpose(&l, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+        assert!(Matrix::from_vec(vec![1.0], 2, 3).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.get(0, 2), 5.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_and_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+        assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn intercept_column() {
+        let a = Matrix::from_rows(&[vec![2.0], vec![3.0]]).unwrap();
+        let x = a.with_intercept_column();
+        assert_eq!(x.row(0), &[1.0, 2.0]);
+        assert_eq!(x.row(1), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn lstsq_exact_square_system() {
+        // x + y = 3; x - y = 1 => x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, -1.0]]).unwrap();
+        let x = lstsq(&a, &[3.0, 1.0]).unwrap();
+        assert_close(&x, &[2.0, 1.0], 1e-10);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_recovers_line() {
+        // y = 2x + 1 with exact data.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let a = Matrix::from_rows(&rows).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let beta = lstsq(&a, &b).unwrap();
+        assert_close(&beta, &[1.0, 2.0], 1e-10);
+    }
+
+    #[test]
+    fn lstsq_minimizes_residual_on_noisy_data() {
+        // Known normal-equations answer for a small example.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+        ])
+        .unwrap();
+        let b = [1.0, 0.0, 2.0];
+        let beta = lstsq(&a, &b).unwrap();
+        // Normal equations: [[3,3],[3,5]] beta = [3,4] => beta = [0.5, 0.5]
+        assert_close(&beta, &[0.5, 0.5], 1e-10);
+    }
+
+    #[test]
+    fn lstsq_handles_rank_deficiency() {
+        // Second column is a copy of the first: rank 1.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ])
+        .unwrap();
+        let b = [2.0, 4.0, 6.0];
+        let beta = lstsq(&a, &b).unwrap();
+        // Dead pivot zeroed; fitted values must still reproduce b.
+        let fitted = a.matvec(&beta).unwrap();
+        assert_close(&fitted, &b, 1e-8);
+    }
+
+    #[test]
+    fn lstsq_shape_errors() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(lstsq(&a, &[1.0]).is_err(), "underdetermined");
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(lstsq(&a, &[1.0]).is_err(), "rhs length mismatch");
+        let empty = Matrix::zeros(2, 0);
+        assert_eq!(lstsq(&empty, &[1.0, 2.0]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn cholesky_known_factorization() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
+        let l = cholesky(&a).unwrap();
+        let expected = Matrix::from_rows(&[
+            vec![2.0, 0.0, 0.0],
+            vec![6.0, 1.0, 0.0],
+            vec![-8.0, 5.0, 3.0],
+        ])
+        .unwrap();
+        assert_close(l.data(), expected.data(), 1e-10);
+        // Reconstruct A = L L^T.
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert_close(rec.data(), a.data(), 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, -1.0]]).unwrap();
+        assert!(matches!(cholesky(&a), Err(LearnError::Numeric(_))));
+        assert!(cholesky(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn spd_solve_roundtrip() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        assert_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn triangular_solves_check_shapes() {
+        let l = Matrix::from_rows(&[vec![1.0, 0.0], vec![2.0, 3.0]]).unwrap();
+        assert!(solve_lower(&l, &[1.0]).is_err());
+        assert!(solve_lower_transpose(&l, &[1.0]).is_err());
+        let y = solve_lower(&l, &[1.0, 8.0]).unwrap();
+        assert_close(&y, &[1.0, 2.0], 1e-12);
+        let x = solve_lower_transpose(&l, &[5.0, 6.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-12);
+    }
+}

@@ -1,0 +1,257 @@
+//! Evaluation metrics for classification and regression models.
+
+/// Fraction of predictions equal to labels. `NaN` for empty or mismatched
+/// input.
+pub fn accuracy(y_true: &[u8], y_pred: &[u8]) -> f64 {
+    if y_true.is_empty() || y_true.len() != y_pred.len() {
+        return f64::NAN;
+    }
+    let hits = y_true.iter().zip(y_pred).filter(|(a, b)| a == b).count();
+    hits as f64 / y_true.len() as f64
+}
+
+/// 2×2 confusion counts for binary labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally a confusion matrix. Panics are avoided: mismatched lengths
+    /// produce an empty matrix.
+    pub fn from_labels(y_true: &[u8], y_pred: &[u8]) -> Confusion {
+        let mut c = Confusion::default();
+        if y_true.len() != y_pred.len() {
+            return c;
+        }
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t, p) {
+                (1, 1) => c.tp += 1,
+                (0, 1) => c.fp += 1,
+                (0, 0) => c.tn += 1,
+                (1, 0) => c.fn_ += 1,
+                _ => {} // non-binary labels ignored
+            }
+        }
+        c
+    }
+
+    /// Precision `tp / (tp + fp)`; `NaN` when undefined.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            f64::NAN
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; `NaN` when undefined.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            f64::NAN
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall); `NaN` when
+    /// undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p.is_nan() || r.is_nan() || p + r == 0.0 {
+            f64::NAN
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Binary cross-entropy of probabilities against labels, clipped at
+/// `1e-15` for numerical safety. `NaN` for empty/mismatched input.
+pub fn log_loss(y_true: &[u8], proba: &[f64]) -> f64 {
+    if y_true.is_empty() || y_true.len() != proba.len() {
+        return f64::NAN;
+    }
+    let eps = 1e-15;
+    let total: f64 = y_true
+        .iter()
+        .zip(proba)
+        .map(|(&t, &p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if t == 1 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / y_true.len() as f64
+}
+
+/// Area under the ROC curve via the rank-statistic (Mann–Whitney)
+/// formulation; ties get half credit. `NaN` when a class is missing.
+pub fn roc_auc(y_true: &[u8], score: &[f64]) -> f64 {
+    if y_true.len() != score.len() || y_true.is_empty() {
+        return f64::NAN;
+    }
+    let n_pos = y_true.iter().filter(|&&t| t == 1).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return f64::NAN;
+    }
+    let ranks = whatif_stats::rank::average_ranks(score);
+    let rank_sum_pos: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Coefficient of determination. `NaN` for empty/mismatched input; a
+/// constant target with nonzero residual scores 0.
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    if y_true.is_empty() || y_true.len() != y_pred.len() {
+        return f64::NAN;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Root mean squared error. `NaN` for empty/mismatched input.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    if y_true.is_empty() || y_true.len() != y_pred.len() {
+        return f64::NAN;
+    }
+    let mse: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error. `NaN` for empty/mismatched input.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    if y_true.is_empty() || y_true.len() != y_pred.len() {
+        return f64::NAN;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1, 1], &[1, 0, 0, 1]), 0.75);
+        assert!(accuracy(&[], &[]).is_nan());
+        assert!(accuracy(&[1], &[1, 0]).is_nan());
+    }
+
+    #[test]
+    fn confusion_counts_and_derived() {
+        let c = Confusion::from_labels(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_undefined_cases() {
+        let c = Confusion::from_labels(&[0, 0], &[0, 0]);
+        assert!(c.precision().is_nan());
+        assert!(c.recall().is_nan());
+        assert!(c.f1().is_nan());
+        let empty = Confusion::from_labels(&[1], &[1, 0]);
+        assert_eq!(empty, Confusion::default());
+    }
+
+    #[test]
+    fn log_loss_perfect_and_bad() {
+        let perfect = log_loss(&[1, 0], &[1.0, 0.0]);
+        assert!(perfect < 1e-10);
+        let coin = log_loss(&[1, 0], &[0.5, 0.5]);
+        assert!((coin - (2.0f64).ln().abs()).abs() < 1e-9);
+        let terrible = log_loss(&[1], &[0.0]);
+        assert!(terrible > 30.0, "clipped, not infinite: {terrible}");
+        assert!(log_loss(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn auc_perfect_random_inverted() {
+        let y = [0, 0, 1, 1];
+        assert_eq!(roc_auc(&y, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(roc_auc(&y, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+        let auc = roc_auc(&y, &[0.5, 0.5, 0.5, 0.5]);
+        assert!((auc - 0.5).abs() < 1e-12, "ties give 0.5: {auc}");
+    }
+
+    #[test]
+    fn auc_undefined_with_one_class() {
+        assert!(roc_auc(&[1, 1], &[0.1, 0.9]).is_nan());
+        assert!(roc_auc(&[0, 0], &[0.1, 0.9]).is_nan());
+        assert!(roc_auc(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn auc_known_intermediate_value() {
+        // One inversion among 2x2 pairs -> AUC = 3/4.
+        let y = [0, 1, 0, 1];
+        let s = [0.1, 0.4, 0.5, 0.8];
+        assert!((roc_auc(&y, &s) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_rmse_mae() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(r2_score(&t, &t), 1.0);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2_score(&t, &mean_pred).abs() < 1e-12);
+        assert!((rmse(&t, &mean_pred) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&t, &mean_pred) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r2_score(&[], &[]).is_nan());
+        assert!(rmse(&[1.0], &[]).is_nan());
+        assert!(mae(&[1.0], &[]).is_nan());
+    }
+
+    #[test]
+    fn r2_constant_target() {
+        assert_eq!(r2_score(&[2.0, 2.0], &[2.0, 2.0]), 1.0);
+        assert_eq!(r2_score(&[2.0, 2.0], &[1.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Model traits and the shared error type.
+
+use crate::linalg::Matrix;
+use std::fmt;
+
+/// Errors from model fitting, prediction, and linear algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnError {
+    /// Dimension/shape mismatch.
+    Shape(String),
+    /// Numerical failure (singular matrix, non-convergence, ...).
+    Numeric(String),
+    /// Invalid hyperparameter or input data.
+    Invalid(String),
+    /// Model used before fitting.
+    NotFitted,
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::Shape(m) => write!(f, "shape error: {m}"),
+            LearnError::Numeric(m) => write!(f, "numeric error: {m}"),
+            LearnError::Invalid(m) => write!(f, "invalid input: {m}"),
+            LearnError::NotFitted => write!(f, "model has not been fitted"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+/// A fitted model that maps a feature row to a single score.
+///
+/// For regressors the score is the prediction; for classifiers it is the
+/// probability of the positive class (class 1). This is the interface the
+/// KPI evaluator, Shapley estimator, and optimizers consume — they do not
+/// care which model family produced the score.
+pub trait Predictor: Send + Sync {
+    /// Score a single feature row.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] if the row length differs from the number of
+    /// features the model was fitted on.
+    fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError>;
+
+    /// Number of features the model expects.
+    fn n_features(&self) -> usize;
+
+    /// Score every row of a matrix.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on column-count mismatch.
+    fn predict_matrix(&self, x: &Matrix) -> Result<Vec<f64>, LearnError> {
+        if x.n_cols() != self.n_features() {
+            return Err(LearnError::Shape(format!(
+                "model expects {} features, matrix has {} columns",
+                self.n_features(),
+                x.n_cols()
+            )));
+        }
+        (0..x.n_rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+}
+
+/// A regression model fit on `(X, y)` with continuous `y`.
+pub trait Regressor: Predictor {
+    /// Fit the model in place.
+    ///
+    /// # Errors
+    /// [`LearnError`] on shape/numeric problems.
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), LearnError>;
+}
+
+/// A binary classifier fit on `(X, y)` with `y ∈ {0, 1}`.
+pub trait Classifier: Predictor {
+    /// Fit the model in place.
+    ///
+    /// # Errors
+    /// [`LearnError`] on shape/numeric problems.
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), LearnError>;
+
+    /// Probability of class 1 for one row.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on feature-count mismatch.
+    fn predict_proba_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+        self.predict_row(x)
+    }
+
+    /// Hard 0/1 prediction at the 0.5 threshold.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on feature-count mismatch.
+    fn predict_class_row(&self, x: &[f64]) -> Result<u8, LearnError> {
+        Ok(u8::from(self.predict_proba_row(x)? >= 0.5))
+    }
+}
+
+/// Validate that `y` contains only 0/1 labels and matches `x`'s row count.
+pub(crate) fn check_binary_labels(x: &Matrix, y: &[u8]) -> Result<(), LearnError> {
+    if y.len() != x.n_rows() {
+        return Err(LearnError::Shape(format!(
+            "{} labels for {} rows",
+            y.len(),
+            x.n_rows()
+        )));
+    }
+    if let Some(&bad) = y.iter().find(|&&v| v > 1) {
+        return Err(LearnError::Invalid(format!(
+            "binary classifier requires 0/1 labels, found {bad}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstModel(f64, usize);
+
+    impl Predictor for ConstModel {
+        fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+            if x.len() != self.1 {
+                return Err(LearnError::Shape("bad row".into()));
+            }
+            Ok(self.0)
+        }
+        fn n_features(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[test]
+    fn predict_matrix_checks_columns() {
+        let m = ConstModel(0.7, 2);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.predict_matrix(&x).unwrap(), vec![0.7, 0.7]);
+        let bad = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(m.predict_matrix(&bad).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(LearnError::NotFitted.to_string().contains("not been fitted"));
+        assert!(LearnError::Shape("x".into()).to_string().contains("shape"));
+        assert!(LearnError::Numeric("x".into()).to_string().contains("numeric"));
+        assert!(LearnError::Invalid("x".into()).to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn binary_label_validation() {
+        let x = Matrix::zeros(2, 1);
+        assert!(check_binary_labels(&x, &[0, 1]).is_ok());
+        assert!(check_binary_labels(&x, &[0]).is_err());
+        assert!(check_binary_labels(&x, &[0, 2]).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Partial dependence (PDP) and individual conditional expectation
+//! (ICE) curves: the model-space counterpart of the comparison-analysis
+//! view — "the KPI achieved for every driver individually across a
+//! range" — computed by substituting grid values instead of scaling
+//! observed ones.
+
+use crate::linalg::Matrix;
+use crate::model::{LearnError, Predictor};
+
+/// Partial-dependence output for one feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialDependence {
+    /// The feature index the curve varies.
+    pub feature: usize,
+    /// Grid of substituted feature values.
+    pub grid: Vec<f64>,
+    /// Mean prediction at each grid value (the PDP curve).
+    pub mean: Vec<f64>,
+}
+
+impl PartialDependence {
+    /// Range of the PDP curve — a single-number effect size.
+    pub fn span(&self) -> f64 {
+        let max = self.mean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.mean.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+}
+
+/// Compute the partial dependence of `model` on `feature` over `grid`:
+/// for each grid value, substitute it into every row and average the
+/// predictions.
+///
+/// # Errors
+/// [`LearnError::Shape`]/[`LearnError::Invalid`] on bad feature index,
+/// empty grid/data, or width mismatch.
+pub fn partial_dependence(
+    model: &dyn Predictor,
+    x: &Matrix,
+    feature: usize,
+    grid: &[f64],
+) -> Result<PartialDependence, LearnError> {
+    if x.n_cols() != model.n_features() {
+        return Err(LearnError::Shape(format!(
+            "matrix has {} columns, model expects {}",
+            x.n_cols(),
+            model.n_features()
+        )));
+    }
+    if feature >= x.n_cols() {
+        return Err(LearnError::Invalid(format!(
+            "feature index {feature} out of range ({} features)",
+            x.n_cols()
+        )));
+    }
+    if grid.is_empty() || x.n_rows() == 0 {
+        return Err(LearnError::Invalid("empty grid or dataset".to_owned()));
+    }
+    let mut modified = x.clone();
+    let mut mean = Vec::with_capacity(grid.len());
+    for &v in grid {
+        for i in 0..x.n_rows() {
+            modified.set(i, feature, v);
+        }
+        let preds = model.predict_matrix(&modified)?;
+        mean.push(preds.iter().sum::<f64>() / preds.len() as f64);
+    }
+    Ok(PartialDependence {
+        feature,
+        grid: grid.to_vec(),
+        mean,
+    })
+}
+
+/// ICE curves: like PDP but per individual row (for up to `max_rows`
+/// rows), exposing heterogeneity the averaged PDP hides.
+///
+/// Returns one curve per selected row, aligned with `grid`.
+///
+/// # Errors
+/// Same conditions as [`partial_dependence`].
+pub fn ice_curves(
+    model: &dyn Predictor,
+    x: &Matrix,
+    feature: usize,
+    grid: &[f64],
+    max_rows: usize,
+) -> Result<Vec<Vec<f64>>, LearnError> {
+    if x.n_cols() != model.n_features() {
+        return Err(LearnError::Shape(format!(
+            "matrix has {} columns, model expects {}",
+            x.n_cols(),
+            model.n_features()
+        )));
+    }
+    if feature >= x.n_cols() {
+        return Err(LearnError::Invalid(format!(
+            "feature index {feature} out of range",
+        )));
+    }
+    if grid.is_empty() || x.n_rows() == 0 || max_rows == 0 {
+        return Err(LearnError::Invalid("empty grid, dataset, or row budget".to_owned()));
+    }
+    let n = x.n_rows().min(max_rows);
+    let mut curves = Vec::with_capacity(n);
+    let mut row_buf = vec![0.0; x.n_cols()];
+    for i in 0..n {
+        row_buf.copy_from_slice(x.row(i));
+        let mut curve = Vec::with_capacity(grid.len());
+        for &v in grid {
+            row_buf[feature] = v;
+            curve.push(model.predict_row(&row_buf)?);
+        }
+        curves.push(curve);
+    }
+    Ok(curves)
+}
+
+/// An evenly spaced grid across a feature's observed range.
+pub fn feature_grid(x: &Matrix, feature: usize, n_points: usize) -> Vec<f64> {
+    if feature >= x.n_cols() || n_points == 0 || x.n_rows() == 0 {
+        return Vec::new();
+    }
+    let col = x.col(feature);
+    let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if n_points == 1 || hi <= lo {
+        return vec![lo];
+    }
+    (0..n_points)
+        .map(|k| lo + (hi - lo) * k as f64 / (n_points - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearRegression;
+    use crate::model::Regressor;
+
+    fn linear_model() -> (LinearRegression, Matrix) {
+        // y = 2*x0 - x1
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64, ((i * 3) % 5) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y).unwrap();
+        (m, x)
+    }
+
+    #[test]
+    fn pdp_of_linear_model_is_the_coefficient_line() {
+        let (m, x) = linear_model();
+        let grid = vec![0.0, 1.0, 2.0, 3.0];
+        let pdp = partial_dependence(&m, &x, 0, &grid).unwrap();
+        // Slope between consecutive grid points equals the coefficient.
+        for w in pdp.mean.windows(2) {
+            assert!((w[1] - w[0] - 2.0).abs() < 1e-9);
+        }
+        assert!((pdp.span() - 6.0).abs() < 1e-9);
+        let pdp1 = partial_dependence(&m, &x, 1, &grid).unwrap();
+        for w in pdp1.mean.windows(2) {
+            assert!((w[1] - w[0] + 1.0).abs() < 1e-9, "negative slope");
+        }
+    }
+
+    #[test]
+    fn ice_curves_are_parallel_for_linear_models() {
+        let (m, x) = linear_model();
+        let grid = vec![0.0, 4.0];
+        let curves = ice_curves(&m, &x, 0, &grid, 10).unwrap();
+        assert_eq!(curves.len(), 10);
+        let deltas: Vec<f64> = curves.iter().map(|c| c[1] - c[0]).collect();
+        for d in &deltas {
+            assert!((d - 8.0).abs() < 1e-9, "all rows share the slope");
+        }
+    }
+
+    #[test]
+    fn grid_spans_the_feature_range() {
+        let (_, x) = linear_model();
+        let grid = feature_grid(&x, 0, 5);
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0], 0.0);
+        assert_eq!(grid[4], 7.0);
+        assert!(feature_grid(&x, 99, 5).is_empty());
+        assert_eq!(feature_grid(&x, 0, 1), vec![0.0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (m, x) = linear_model();
+        assert!(partial_dependence(&m, &x, 9, &[0.0]).is_err());
+        assert!(partial_dependence(&m, &x, 0, &[]).is_err());
+        let wrong = Matrix::zeros(3, 5);
+        assert!(partial_dependence(&m, &wrong, 0, &[0.0]).is_err());
+        assert!(ice_curves(&m, &x, 0, &[0.0], 0).is_err());
+        assert!(ice_curves(&m, &x, 9, &[0.0], 5).is_err());
+        assert!(ice_curves(&m, &wrong, 0, &[0.0], 5).is_err());
+    }
+
+    #[test]
+    fn ice_respects_row_budget() {
+        let (m, x) = linear_model();
+        let curves = ice_curves(&m, &x, 0, &[1.0], 1000).unwrap();
+        assert_eq!(curves.len(), x.n_rows(), "clamped to available rows");
+    }
+}

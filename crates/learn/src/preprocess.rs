@@ -1,0 +1,223 @@
+//! Feature scaling: standard (z-score) and min-max scalers.
+
+use crate::linalg::Matrix;
+use crate::model::LearnError;
+
+/// Z-score standardization fitted per column: `(x - mean) / std`.
+/// Constant columns pass through unscaled (std treated as 1).
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit per-column means and sample standard deviations.
+    ///
+    /// # Errors
+    /// [`LearnError::Invalid`] for empty input.
+    pub fn fit(x: &Matrix) -> Result<StandardScaler, LearnError> {
+        if x.n_rows() == 0 {
+            return Err(LearnError::Invalid("cannot fit scaler on zero rows".to_owned()));
+        }
+        let n = x.n_rows() as f64;
+        let means: Vec<f64> = (0..x.n_cols())
+            .map(|j| x.col(j).iter().sum::<f64>() / n)
+            .collect();
+        let stds: Vec<f64> = (0..x.n_cols())
+            .map(|j| {
+                if x.n_rows() < 2 {
+                    return 1.0;
+                }
+                let m = means[j];
+                let ss: f64 = x.col(j).iter().map(|v| (v - m) * (v - m)).sum();
+                let s = (ss / (n - 1.0)).sqrt();
+                if s == 0.0 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Per-column means learned at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column stds learned at fit time (constant columns report 1).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Apply the transformation.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on column-count mismatch.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, LearnError> {
+        if x.n_cols() != self.means.len() {
+            return Err(LearnError::Shape(format!(
+                "scaler fitted on {} columns, input has {}",
+                self.means.len(),
+                x.n_cols()
+            )));
+        }
+        let mut out = x.clone();
+        for i in 0..x.n_rows() {
+            for j in 0..x.n_cols() {
+                out.set(i, j, (x.get(i, j) - self.means[j]) / self.stds[j]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Invert the transformation.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on column-count mismatch.
+    pub fn inverse_transform(&self, x: &Matrix) -> Result<Matrix, LearnError> {
+        if x.n_cols() != self.means.len() {
+            return Err(LearnError::Shape(format!(
+                "scaler fitted on {} columns, input has {}",
+                self.means.len(),
+                x.n_cols()
+            )));
+        }
+        let mut out = x.clone();
+        for i in 0..x.n_rows() {
+            for j in 0..x.n_cols() {
+                out.set(i, j, x.get(i, j) * self.stds[j] + self.means[j]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Min-max scaling into `[0, 1]` per column. Constant columns map to 0.
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit per-column minima and ranges.
+    ///
+    /// # Errors
+    /// [`LearnError::Invalid`] for empty input.
+    pub fn fit(x: &Matrix) -> Result<MinMaxScaler, LearnError> {
+        if x.n_rows() == 0 {
+            return Err(LearnError::Invalid("cannot fit scaler on zero rows".to_owned()));
+        }
+        let mins: Vec<f64> = (0..x.n_cols())
+            .map(|j| x.col(j).into_iter().fold(f64::INFINITY, f64::min))
+            .collect();
+        let ranges: Vec<f64> = (0..x.n_cols())
+            .map(|j| {
+                let max = x.col(j).into_iter().fold(f64::NEG_INFINITY, f64::max);
+                let r = max - mins[j];
+                if r == 0.0 {
+                    1.0
+                } else {
+                    r
+                }
+            })
+            .collect();
+        Ok(MinMaxScaler { mins, ranges })
+    }
+
+    /// Apply the transformation.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on column-count mismatch.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, LearnError> {
+        if x.n_cols() != self.mins.len() {
+            return Err(LearnError::Shape(format!(
+                "scaler fitted on {} columns, input has {}",
+                self.mins.len(),
+                x.n_cols()
+            )));
+        }
+        let mut out = x.clone();
+        for i in 0..x.n_rows() {
+            for j in 0..x.n_cols() {
+                out.set(i, j, (x.get(i, j) - self.mins[j]) / self.ranges[j]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 10.0, 5.0],
+            vec![2.0, 20.0, 5.0],
+            vec![3.0, 30.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_std() {
+        let x = sample();
+        let s = StandardScaler::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        for j in 0..2 {
+            let col = t.col(j);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (col.len() - 1) as f64;
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+        // Constant column untouched in spread (std treated as 1).
+        assert_eq!(t.col(2), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn standard_scaler_roundtrip() {
+        let x = sample();
+        let s = StandardScaler::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        let back = s.inverse_transform(&t).unwrap();
+        for (a, b) in back.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_errors() {
+        assert!(StandardScaler::fit(&Matrix::zeros(0, 2)).is_err());
+        let s = StandardScaler::fit(&sample()).unwrap();
+        assert!(s.transform(&Matrix::zeros(1, 2)).is_err());
+        assert!(s.inverse_transform(&Matrix::zeros(1, 2)).is_err());
+        assert_eq!(s.means().len(), 3);
+        assert_eq!(s.stds().len(), 3);
+    }
+
+    #[test]
+    fn minmax_scaler_range() {
+        let x = sample();
+        let s = MinMaxScaler::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        assert_eq!(t.col(0), vec![0.0, 0.5, 1.0]);
+        assert_eq!(t.col(1), vec![0.0, 0.5, 1.0]);
+        assert_eq!(t.col(2), vec![0.0, 0.0, 0.0]);
+        assert!(MinMaxScaler::fit(&Matrix::zeros(0, 1)).is_err());
+        assert!(s.transform(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn single_row_fit_is_sane() {
+        let x = Matrix::from_rows(&[vec![5.0]]).unwrap();
+        let s = StandardScaler::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        assert_eq!(t.get(0, 0), 0.0);
+    }
+}

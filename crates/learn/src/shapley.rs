@@ -1,0 +1,257 @@
+//! Monte-Carlo permutation Shapley values (Štrumbelj–Kononenko).
+//!
+//! One of the three "traditional measures" SystemD uses to verify that
+//! model-native importances are not misleading (§2 E). Works against any
+//! [`Predictor`], so the same estimator audits linear models and forests.
+
+use crate::linalg::Matrix;
+use crate::model::{LearnError, Predictor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whatif_stats::correlation::pearson;
+use whatif_stats::sampling::permutation;
+
+/// Shapley estimation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapleyConfig {
+    /// Feature permutations sampled per explained row.
+    pub n_permutations: usize,
+    /// Rows sampled for global importance estimation.
+    pub n_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ShapleyConfig {
+    fn default() -> Self {
+        ShapleyConfig {
+            n_permutations: 24,
+            n_rows: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// Global Shapley summary per feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapleyImportance {
+    /// Mean |φ| per feature — the magnitude ranking.
+    pub mean_abs: Vec<f64>,
+    /// Magnitude with the sign of corr(φᵢⱼ, xᵢⱼ): positive when larger
+    /// feature values push predictions up. Zero-signal features keep a
+    /// zero sign.
+    pub signed: Vec<f64>,
+}
+
+/// Shapley values φ for one row against a background dataset.
+///
+/// Monte-Carlo estimator: for each sampled feature permutation, walk
+/// features in order; a feature's marginal contribution is the prediction
+/// change when its value flips from a random background row's to the
+/// explained row's. Averages satisfy the efficiency property
+/// `Σφ ≈ f(x) − E[f(background)]` in expectation.
+///
+/// # Errors
+/// [`LearnError::Shape`]/[`LearnError::Invalid`] on dimension problems or
+/// an empty background.
+pub fn shapley_row(
+    model: &dyn Predictor,
+    background: &Matrix,
+    row: &[f64],
+    config: &ShapleyConfig,
+) -> Result<Vec<f64>, LearnError> {
+    let p = model.n_features();
+    if row.len() != p || background.n_cols() != p {
+        return Err(LearnError::Shape(format!(
+            "row/background width must equal {} features",
+            p
+        )));
+    }
+    if background.n_rows() == 0 {
+        return Err(LearnError::Invalid("empty background dataset".to_owned()));
+    }
+    if config.n_permutations == 0 {
+        return Err(LearnError::Invalid("n_permutations must be positive".to_owned()));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut phi = vec![0.0; p];
+    let mut hybrid = vec![0.0; p];
+    for _ in 0..config.n_permutations {
+        let perm = permutation(&mut rng, p);
+        let bg_row = background.row(rng.gen_range(0..background.n_rows()));
+        hybrid.copy_from_slice(bg_row);
+        let mut prev = model.predict_row(&hybrid)?;
+        for &j in &perm {
+            hybrid[j] = row[j];
+            let next = model.predict_row(&hybrid)?;
+            phi[j] += next - prev;
+            prev = next;
+        }
+    }
+    for v in phi.iter_mut() {
+        *v /= config.n_permutations as f64;
+    }
+    Ok(phi)
+}
+
+/// Global Shapley importances: explain `config.n_rows` sampled rows and
+/// aggregate per-feature magnitudes and signs.
+///
+/// # Errors
+/// Propagates [`shapley_row`] errors.
+pub fn global_shapley_importance(
+    model: &dyn Predictor,
+    data: &Matrix,
+    config: &ShapleyConfig,
+) -> Result<ShapleyImportance, LearnError> {
+    if data.n_rows() == 0 {
+        return Err(LearnError::Invalid("empty dataset".to_owned()));
+    }
+    let p = model.n_features();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let n = config.n_rows.clamp(1, data.n_rows());
+    let rows: Vec<usize> = if n == data.n_rows() {
+        (0..n).collect()
+    } else {
+        whatif_stats::sampling::sample_without_replacement(&mut rng, data.n_rows(), n)
+    };
+    let mut phis: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+    for (k, &i) in rows.iter().enumerate() {
+        let mut cfg = *config;
+        cfg.seed = config.seed.wrapping_add(k as u64);
+        phis.push(shapley_row(model, data, data.row(i), &cfg)?);
+    }
+    let mut mean_abs = vec![0.0; p];
+    for phi in &phis {
+        for (m, v) in mean_abs.iter_mut().zip(phi) {
+            *m += v.abs();
+        }
+    }
+    for m in mean_abs.iter_mut() {
+        *m /= phis.len() as f64;
+    }
+    // Sign: does φ grow with the feature value?
+    let signed: Vec<f64> = (0..p)
+        .map(|j| {
+            let phi_j: Vec<f64> = phis.iter().map(|phi| phi[j]).collect();
+            let x_j: Vec<f64> = rows.iter().map(|&i| data.get(i, j)).collect();
+            let r = pearson(&x_j, &phi_j);
+            if r.is_nan() || r == 0.0 {
+                0.0
+            } else {
+                mean_abs[j] * r.signum()
+            }
+        })
+        .collect();
+    Ok(ShapleyImportance { mean_abs, signed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearRegression;
+    use crate::model::Regressor;
+
+    fn linear_model_and_data() -> (LinearRegression, Matrix) {
+        // y = 2*x0 - 3*x1 + 0*x2
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                vec![
+                    (i % 10) as f64,
+                    ((i * 3) % 7) as f64,
+                    ((i * 5) % 11) as f64,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y).unwrap();
+        (m, x)
+    }
+
+    #[test]
+    fn linear_model_shapley_is_exact_in_expectation() {
+        // For a linear model, φ_j = β_j (x_j − E[background x_j]) exactly,
+        // independent of the permutation; Monte-Carlo noise comes only from
+        // background sampling.
+        let (m, x) = linear_model_and_data();
+        let cfg = ShapleyConfig {
+            n_permutations: 400,
+            n_rows: 8,
+            seed: 3,
+        };
+        let row = x.row(5).to_vec();
+        let phi = shapley_row(&m, &x, &row, &cfg).unwrap();
+        let mean_col = |j: usize| x.col(j).iter().sum::<f64>() / x.n_rows() as f64;
+        let expected = [
+            2.0 * (row[0] - mean_col(0)),
+            -3.0 * (row[1] - mean_col(1)),
+            0.0,
+        ];
+        for (p, e) in phi.iter().zip(&expected) {
+            assert!((p - e).abs() < 0.45, "phi {phi:?} vs expected {expected:?}");
+        }
+    }
+
+    #[test]
+    fn efficiency_property_holds() {
+        let (m, x) = linear_model_and_data();
+        let cfg = ShapleyConfig {
+            n_permutations: 600,
+            n_rows: 8,
+            seed: 4,
+        };
+        let row = x.row(17).to_vec();
+        let phi = shapley_row(&m, &x, &row, &cfg).unwrap();
+        let f_x = m.predict_row(&row).unwrap();
+        let mean_pred: f64 = (0..x.n_rows())
+            .map(|i| m.predict_row(x.row(i)).unwrap())
+            .sum::<f64>()
+            / x.n_rows() as f64;
+        let total: f64 = phi.iter().sum();
+        assert!(
+            (total - (f_x - mean_pred)).abs() < 0.6,
+            "sum {total} vs {}",
+            f_x - mean_pred
+        );
+    }
+
+    #[test]
+    fn global_importance_ranks_and_signs() {
+        let (m, x) = linear_model_and_data();
+        let cfg = ShapleyConfig {
+            n_permutations: 60,
+            n_rows: 40,
+            seed: 5,
+        };
+        let imp = global_shapley_importance(&m, &x, &cfg).unwrap();
+        // |β1·σ1| > |β0·σ0| >> |β2·σ2| ≈ 0 given comparable spreads.
+        assert!(imp.mean_abs[1] > imp.mean_abs[0]);
+        assert!(imp.mean_abs[0] > 10.0 * imp.mean_abs[2].max(1e-9));
+        assert!(imp.signed[0] > 0.0, "positive driver");
+        assert!(imp.signed[1] < 0.0, "negative driver");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (m, x) = linear_model_and_data();
+        let cfg = ShapleyConfig::default();
+        let a = shapley_row(&m, &x, x.row(0), &cfg).unwrap();
+        let b = shapley_row(&m, &x, x.row(0), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn input_validation() {
+        let (m, x) = linear_model_and_data();
+        let cfg = ShapleyConfig::default();
+        assert!(shapley_row(&m, &x, &[1.0], &cfg).is_err());
+        let bad_bg = Matrix::zeros(0, 3);
+        assert!(shapley_row(&m, &bad_bg, x.row(0), &cfg).is_err());
+        let mut zero_perm = cfg;
+        zero_perm.n_permutations = 0;
+        assert!(shapley_row(&m, &x, x.row(0), &zero_perm).is_err());
+        assert!(global_shapley_importance(&m, &Matrix::zeros(0, 3), &cfg).is_err());
+    }
+}

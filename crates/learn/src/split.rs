@@ -1,0 +1,143 @@
+//! Train/test splitting and k-fold cross-validation.
+
+use crate::model::LearnError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use whatif_stats::sampling::permutation;
+
+/// Shuffled train/test index split. `test_fraction` is clamped so both
+/// sides keep at least one row where possible.
+///
+/// # Errors
+/// [`LearnError::Invalid`] for `n == 0` or a fraction outside `(0, 1)`.
+pub fn train_test_split(
+    n: usize,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Vec<usize>, Vec<usize>), LearnError> {
+    if n == 0 {
+        return Err(LearnError::Invalid("cannot split zero rows".to_owned()));
+    }
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(LearnError::Invalid(format!(
+            "test_fraction must be in (0, 1), got {test_fraction}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perm = permutation(&mut rng, n);
+    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n.saturating_sub(1).max(1));
+    let test = perm[..n_test].to_vec();
+    let train = perm[n_test..].to_vec();
+    Ok((train, test))
+}
+
+/// K-fold cross-validation splits: `k` pairs of (train, validation)
+/// index sets covering `0..n`, shuffled by `seed`.
+///
+/// # Errors
+/// [`LearnError::Invalid`] when `k < 2` or `k > n`.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Vec<(Vec<usize>, Vec<usize>)>, LearnError> {
+    if k < 2 {
+        return Err(LearnError::Invalid("k_fold requires k >= 2".to_owned()));
+    }
+    if k > n {
+        return Err(LearnError::Invalid(format!("k = {k} exceeds {n} rows")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perm = permutation(&mut rng, n);
+    // First n % k folds get one extra element.
+    let base = n / k;
+    let extra = n % k;
+    let mut folds: Vec<Vec<usize>> = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        folds.push(perm[start..start + len].to_vec());
+        start += len;
+    }
+    Ok((0..k)
+        .map(|f| {
+            let valid = folds[f].clone();
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, valid)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_everything() {
+        let (train, test) = train_test_split(100, 0.25, 1).unwrap();
+        assert_eq!(test.len(), 25);
+        assert_eq!(train.len(), 75);
+        let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        assert_eq!(
+            train_test_split(50, 0.2, 9).unwrap(),
+            train_test_split(50, 0.2, 9).unwrap()
+        );
+        assert_ne!(
+            train_test_split(50, 0.2, 9).unwrap().1,
+            train_test_split(50, 0.2, 10).unwrap().1
+        );
+    }
+
+    #[test]
+    fn split_small_inputs() {
+        let (train, test) = train_test_split(2, 0.5, 0).unwrap();
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+        // Tiny fraction still yields at least one test row.
+        let (_, test) = train_test_split(10, 0.01, 0).unwrap();
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn split_rejects_bad_input() {
+        assert!(train_test_split(0, 0.5, 0).is_err());
+        assert!(train_test_split(10, 0.0, 0).is_err());
+        assert!(train_test_split(10, 1.0, 0).is_err());
+        assert!(train_test_split(10, -0.5, 0).is_err());
+    }
+
+    #[test]
+    fn k_fold_covers_all_rows_exactly_once_as_validation() {
+        let folds = k_fold(10, 3, 4).unwrap();
+        assert_eq!(folds.len(), 3);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|(_, v)| v.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        // Fold sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn k_fold_train_and_valid_are_disjoint() {
+        for (train, valid) in k_fold(20, 4, 5).unwrap() {
+            let t: HashSet<usize> = train.into_iter().collect();
+            assert!(valid.iter().all(|i| !t.contains(i)));
+            assert_eq!(t.len() + valid.len(), 20);
+        }
+    }
+
+    #[test]
+    fn k_fold_rejects_bad_k() {
+        assert!(k_fold(10, 1, 0).is_err());
+        assert!(k_fold(3, 4, 0).is_err());
+        assert!(k_fold(4, 4, 0).is_ok(), "leave-one-out boundary");
+    }
+}

@@ -1,0 +1,686 @@
+//! CART decision trees (binary splits) for classification and regression.
+//!
+//! These are the base learners of the random forests in [`crate::forest`].
+//! Split quality is Gini impurity for classification and variance (MSE)
+//! for regression; each tree accumulates impurity-decrease feature
+//! importances, which the forest averages into the paper's driver
+//! importances.
+
+use crate::linalg::Matrix;
+use crate::model::{check_binary_labels, Classifier, LearnError, Predictor, Regressor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use whatif_stats::sampling::sample_without_replacement;
+
+/// Hyperparameters shared by trees and forests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Minimum samples each child of a split must keep.
+    pub min_samples_leaf: usize,
+    /// Features examined per split; `None` = all features.
+    pub max_features: Option<usize>,
+    /// Seed for per-split feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted tree: arena of nodes plus per-feature importance mass.
+#[derive(Debug, Clone)]
+struct FittedTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Unnormalized impurity-decrease importances.
+    importances: Vec<f64>,
+    depth: usize,
+}
+
+impl FittedTree {
+    fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+        if x.len() != self.n_features {
+            return Err(LearnError::Shape(format!(
+                "row has {} features, tree expects {}",
+                x.len(),
+                self.n_features
+            )));
+        }
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return Ok(*value),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Impurity criterion abstraction: classification tracks (n, n_pos),
+/// regression tracks (n, Σy, Σy²). Both expose per-sample impurity and the
+/// leaf value.
+trait Criterion {
+    /// Aggregate node statistics.
+    type Agg: Clone;
+    fn empty() -> Self::Agg;
+    fn add(agg: &mut Self::Agg, y: f64);
+    fn remove(agg: &mut Self::Agg, y: f64);
+    fn count(agg: &Self::Agg) -> usize;
+    /// Per-sample impurity of the aggregate.
+    fn impurity(agg: &Self::Agg) -> f64;
+    fn leaf_value(agg: &Self::Agg) -> f64;
+}
+
+/// Gini impurity for binary labels.
+struct Gini;
+
+impl Criterion for Gini {
+    type Agg = (usize, usize); // (n, n_pos)
+
+    fn empty() -> Self::Agg {
+        (0, 0)
+    }
+    fn add(agg: &mut Self::Agg, y: f64) {
+        agg.0 += 1;
+        if y >= 0.5 {
+            agg.1 += 1;
+        }
+    }
+    fn remove(agg: &mut Self::Agg, y: f64) {
+        agg.0 -= 1;
+        if y >= 0.5 {
+            agg.1 -= 1;
+        }
+    }
+    fn count(agg: &Self::Agg) -> usize {
+        agg.0
+    }
+    fn impurity(agg: &Self::Agg) -> f64 {
+        if agg.0 == 0 {
+            return 0.0;
+        }
+        let p = agg.1 as f64 / agg.0 as f64;
+        2.0 * p * (1.0 - p)
+    }
+    fn leaf_value(agg: &Self::Agg) -> f64 {
+        if agg.0 == 0 {
+            0.0
+        } else {
+            agg.1 as f64 / agg.0 as f64
+        }
+    }
+}
+
+/// Variance (MSE) impurity for continuous targets.
+struct Mse;
+
+impl Criterion for Mse {
+    type Agg = (usize, f64, f64); // (n, sum, sum_sq)
+
+    fn empty() -> Self::Agg {
+        (0, 0.0, 0.0)
+    }
+    fn add(agg: &mut Self::Agg, y: f64) {
+        agg.0 += 1;
+        agg.1 += y;
+        agg.2 += y * y;
+    }
+    fn remove(agg: &mut Self::Agg, y: f64) {
+        agg.0 -= 1;
+        agg.1 -= y;
+        agg.2 -= y * y;
+    }
+    fn count(agg: &Self::Agg) -> usize {
+        agg.0
+    }
+    fn impurity(agg: &Self::Agg) -> f64 {
+        if agg.0 == 0 {
+            return 0.0;
+        }
+        let n = agg.0 as f64;
+        let mean = agg.1 / n;
+        // Catastrophic cancellation can give tiny negatives; clamp.
+        (agg.2 / n - mean * mean).max(0.0)
+    }
+    fn leaf_value(agg: &Self::Agg) -> f64 {
+        if agg.0 == 0 {
+            0.0
+        } else {
+            agg.1 / agg.0 as f64
+        }
+    }
+}
+
+struct Builder<'a, C: Criterion> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+    rng: StdRng,
+    n_total: f64,
+    max_depth_seen: usize,
+    _criterion: std::marker::PhantomData<C>,
+}
+
+impl<'a, C: Criterion> Builder<'a, C> {
+    fn build(
+        x: &'a Matrix,
+        y: &'a [f64],
+        sample: &[usize],
+        config: &'a TreeConfig,
+    ) -> FittedTree {
+        let mut b = Builder::<C> {
+            x,
+            y,
+            config,
+            nodes: Vec::new(),
+            importances: vec![0.0; x.n_cols()],
+            rng: StdRng::seed_from_u64(config.seed),
+            n_total: sample.len() as f64,
+            max_depth_seen: 0,
+            _criterion: std::marker::PhantomData,
+        };
+        let mut idx = sample.to_vec();
+        b.grow(&mut idx, 0);
+        FittedTree {
+            nodes: b.nodes,
+            n_features: x.n_cols(),
+            importances: b.importances,
+            depth: b.max_depth_seen,
+        }
+    }
+
+    /// Grow a subtree over `idx`; returns its node index.
+    fn grow(&mut self, idx: &mut [usize], depth: usize) -> usize {
+        self.max_depth_seen = self.max_depth_seen.max(depth);
+        let mut agg = C::empty();
+        for &i in idx.iter() {
+            C::add(&mut agg, self.y[i]);
+        }
+        let node_impurity = C::impurity(&agg);
+        let n = idx.len();
+        let make_leaf = depth >= self.config.max_depth
+            || n < self.config.min_samples_split
+            || node_impurity <= 1e-12;
+        if !make_leaf {
+            if let Some((feature, threshold, gain)) = self.best_split(idx, &agg, node_impurity)
+            {
+                // Partition in place: left gets x <= threshold.
+                let mut lo = 0usize;
+                let mut hi = idx.len();
+                while lo < hi {
+                    if self.x.get(idx[lo], feature) <= threshold {
+                        lo += 1;
+                    } else {
+                        hi -= 1;
+                        idx.swap(lo, hi);
+                    }
+                }
+                let split_at = lo;
+                if split_at >= self.config.min_samples_leaf
+                    && idx.len() - split_at >= self.config.min_samples_leaf
+                {
+                    self.importances[feature] += gain * n as f64 / self.n_total;
+                    let placeholder = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: 0.0 });
+                    // Recurse after reserving the parent slot so child
+                    // indices are stable.
+                    let (left_idx, right_idx) = idx.split_at_mut(split_at);
+                    let left = self.grow(left_idx, depth + 1);
+                    let right = self.grow(right_idx, depth + 1);
+                    self.nodes[placeholder] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
+                    return placeholder;
+                }
+            }
+        }
+        let node = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            value: C::leaf_value(&agg),
+        });
+        node
+    }
+
+    /// Best `(feature, threshold, impurity_gain)` over the feature subset,
+    /// or `None` when no split improves impurity.
+    fn best_split(
+        &mut self,
+        idx: &[usize],
+        parent_agg: &C::Agg,
+        parent_impurity: f64,
+    ) -> Option<(usize, f64, f64)> {
+        let p = self.x.n_cols();
+        let k = self.config.max_features.unwrap_or(p).clamp(1, p);
+        let features: Vec<usize> = if k == p {
+            (0..p).collect()
+        } else {
+            sample_without_replacement(&mut self.rng, p, k)
+        };
+        let n = idx.len() as f64;
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
+        for &feature in &features {
+            pairs.clear();
+            pairs.extend(
+                idx.iter()
+                    .map(|&i| (self.x.get(i, feature), self.y[i])),
+            );
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            if pairs[0].0 == pairs[pairs.len() - 1].0 {
+                continue; // constant feature in this node
+            }
+            let mut left = C::empty();
+            let mut right = parent_agg.clone();
+            for w in 0..pairs.len() - 1 {
+                C::add(&mut left, pairs[w].1);
+                C::remove(&mut right, pairs[w].1);
+                // Can only split between distinct feature values.
+                if pairs[w].0 == pairs[w + 1].0 {
+                    continue;
+                }
+                let nl = C::count(&left);
+                let nr = C::count(&right);
+                if nl < self.config.min_samples_leaf || nr < self.config.min_samples_leaf {
+                    continue;
+                }
+                let weighted = (nl as f64 * C::impurity(&left)
+                    + nr as f64 * C::impurity(&right))
+                    / n;
+                let gain = parent_impurity - weighted;
+                // Zero-gain splits are accepted: greedy CART needs them to
+                // get past XOR-style interactions (both children stay
+                // impure but strictly smaller, so recursion terminates).
+                if gain >= 0.0 && best.map_or(true, |(_, _, g)| gain > g) {
+                    let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Normalize importances to sum to 1 (leaves zeros untouched).
+fn normalize(importances: &mut [f64]) {
+    let total: f64 = importances.iter().sum();
+    if total > 0.0 {
+        for v in importances.iter_mut() {
+            *v /= total;
+        }
+    }
+}
+
+/// A single CART classification tree (binary labels, Gini splits).
+/// Predictions are class-1 probabilities (leaf positive fractions).
+#[derive(Debug, Clone)]
+pub struct DecisionTreeClassifier {
+    /// Tree hyperparameters.
+    pub config: TreeConfig,
+    fitted: Option<FittedTree>,
+}
+
+impl Default for DecisionTreeClassifier {
+    fn default() -> Self {
+        DecisionTreeClassifier::new(TreeConfig::default())
+    }
+}
+
+impl DecisionTreeClassifier {
+    /// Tree with the given hyperparameters.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTreeClassifier {
+            config,
+            fitted: None,
+        }
+    }
+
+    /// Fit over an explicit row sample (used by forests for bootstraps).
+    ///
+    /// # Errors
+    /// [`LearnError`] on shape/label problems.
+    pub fn fit_on_sample(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        sample: &[usize],
+    ) -> Result<(), LearnError> {
+        check_binary_labels(x, y)?;
+        if sample.is_empty() {
+            return Err(LearnError::Invalid("empty training sample".to_owned()));
+        }
+        if let Some(&bad) = sample.iter().find(|&&i| i >= x.n_rows()) {
+            return Err(LearnError::Invalid(format!("sample index {bad} out of range")));
+        }
+        let yf: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
+        self.fitted = Some(Builder::<Gini>::build(x, &yf, sample, &self.config));
+        Ok(())
+    }
+
+    /// Normalized impurity feature importances (sum to 1, all ≥ 0).
+    ///
+    /// # Errors
+    /// [`LearnError::NotFitted`] before fit.
+    pub fn feature_importances(&self) -> Result<Vec<f64>, LearnError> {
+        let f = self.fitted.as_ref().ok_or(LearnError::NotFitted)?;
+        let mut imp = f.importances.clone();
+        normalize(&mut imp);
+        Ok(imp)
+    }
+
+    /// Depth of the fitted tree.
+    ///
+    /// # Errors
+    /// [`LearnError::NotFitted`] before fit.
+    pub fn depth(&self) -> Result<usize, LearnError> {
+        Ok(self.fitted.as_ref().ok_or(LearnError::NotFitted)?.depth)
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), LearnError> {
+        let all: Vec<usize> = (0..x.n_rows()).collect();
+        self.fit_on_sample(x, y, &all)
+    }
+}
+
+impl Predictor for DecisionTreeClassifier {
+    fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+        self.fitted
+            .as_ref()
+            .ok_or(LearnError::NotFitted)?
+            .predict_row(x)
+    }
+
+    fn n_features(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.n_features)
+    }
+}
+
+/// A single CART regression tree (variance splits, mean leaves).
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    /// Tree hyperparameters.
+    pub config: TreeConfig,
+    fitted: Option<FittedTree>,
+}
+
+impl Default for DecisionTreeRegressor {
+    fn default() -> Self {
+        DecisionTreeRegressor::new(TreeConfig::default())
+    }
+}
+
+impl DecisionTreeRegressor {
+    /// Tree with the given hyperparameters.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTreeRegressor {
+            config,
+            fitted: None,
+        }
+    }
+
+    /// Fit over an explicit row sample (used by forests for bootstraps).
+    ///
+    /// # Errors
+    /// [`LearnError`] on shape problems.
+    pub fn fit_on_sample(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        sample: &[usize],
+    ) -> Result<(), LearnError> {
+        if y.len() != x.n_rows() {
+            return Err(LearnError::Shape(format!(
+                "{} targets for {} rows",
+                y.len(),
+                x.n_rows()
+            )));
+        }
+        if sample.is_empty() {
+            return Err(LearnError::Invalid("empty training sample".to_owned()));
+        }
+        if let Some(&bad) = sample.iter().find(|&&i| i >= x.n_rows()) {
+            return Err(LearnError::Invalid(format!("sample index {bad} out of range")));
+        }
+        self.fitted = Some(Builder::<Mse>::build(x, y, sample, &self.config));
+        Ok(())
+    }
+
+    /// Normalized impurity feature importances.
+    ///
+    /// # Errors
+    /// [`LearnError::NotFitted`] before fit.
+    pub fn feature_importances(&self) -> Result<Vec<f64>, LearnError> {
+        let f = self.fitted.as_ref().ok_or(LearnError::NotFitted)?;
+        let mut imp = f.importances.clone();
+        normalize(&mut imp);
+        Ok(imp)
+    }
+
+    /// Depth of the fitted tree.
+    ///
+    /// # Errors
+    /// [`LearnError::NotFitted`] before fit.
+    pub fn depth(&self) -> Result<usize, LearnError> {
+        Ok(self.fitted.as_ref().ok_or(LearnError::NotFitted)?.depth)
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), LearnError> {
+        let all: Vec<usize> = (0..x.n_rows()).collect();
+        self.fit_on_sample(x, y, &all)
+    }
+}
+
+impl Predictor for DecisionTreeRegressor {
+    fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+        self.fitted
+            .as_ref()
+            .ok_or(LearnError::NotFitted)?
+            .predict_row(x)
+    }
+
+    fn n_features(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.n_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<u8>) {
+        // XOR: not linearly separable, easy for a depth-2 tree.
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.1, 0.1],
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+            vec![0.9, 0.9],
+        ];
+        let y = vec![0, 1, 1, 0, 0, 1, 1, 0];
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn classifier_learns_xor() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::default();
+        t.fit(&x, &y).unwrap();
+        for i in 0..x.n_rows() {
+            assert_eq!(t.predict_class_row(x.row(i)).unwrap(), y[i]);
+        }
+        assert!(t.depth().unwrap() >= 2, "xor needs at least two levels");
+    }
+
+    #[test]
+    fn classifier_importances_sum_to_one() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::default();
+        t.fit(&x, &y).unwrap();
+        let imp = t.feature_importances().unwrap();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn pure_node_is_a_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let mut t = DecisionTreeClassifier::default();
+        t.fit(&x, &[1, 1, 1]).unwrap();
+        assert_eq!(t.depth().unwrap(), 0);
+        assert_eq!(t.predict_row(&[9.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let (x, y) = xor_data();
+        let mut cfg = TreeConfig::default();
+        cfg.max_depth = 1;
+        let mut t = DecisionTreeClassifier::new(cfg);
+        t.fit(&x, &y).unwrap();
+        assert!(t.depth().unwrap() <= 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<u8> = (0..10).map(|i| u8::from(i == 0)).collect();
+        let mut cfg = TreeConfig::default();
+        cfg.min_samples_leaf = 3;
+        let mut t = DecisionTreeClassifier::new(cfg);
+        t.fit(&Matrix::from_rows(&rows).unwrap(), &y).unwrap();
+        // The isolated positive at x=0 cannot be split off alone; the left
+        // leaf must pool at least 3 samples.
+        let p = t.predict_row(&[0.0]).unwrap();
+        assert!(p < 0.5);
+    }
+
+    #[test]
+    fn regressor_fits_piecewise_constant() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&x, &y).unwrap();
+        assert!((t.predict_row(&[3.0]).unwrap() - 1.0).abs() < 1e-9);
+        assert!((t.predict_row(&[15.0]).unwrap() - 5.0).abs() < 1e-9);
+        let imp = t.feature_importances().unwrap();
+        assert!((imp[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regressor_approximates_smooth_function() {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| (r[0]).sin()).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&x, &y).unwrap();
+        let mut worst = 0.0f64;
+        for (i, r) in rows.iter().enumerate() {
+            worst = worst.max((t.predict_row(r).unwrap() - y[i]).abs());
+        }
+        assert!(worst < 0.05, "worst error {worst}");
+    }
+
+    #[test]
+    fn irrelevant_feature_gets_low_importance() {
+        // Feature 0 decides the class; feature 1 is a constant.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 4) as f64, 7.0])
+            .collect();
+        let y: Vec<u8> = rows.iter().map(|r| u8::from(r[0] >= 2.0)).collect();
+        let mut t = DecisionTreeClassifier::default();
+        t.fit(&Matrix::from_rows(&rows).unwrap(), &y).unwrap();
+        let imp = t.feature_importances().unwrap();
+        assert!(imp[0] > 0.99);
+        assert!(imp[1] < 0.01);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::default();
+        assert!(t.predict_row(&[0.0, 0.0]).is_err(), "not fitted");
+        assert!(t.fit_on_sample(&x, &y, &[]).is_err());
+        assert!(t.fit_on_sample(&x, &y, &[999]).is_err());
+        let bad: Vec<u8> = vec![3; x.n_rows()];
+        assert!(t.fit(&x, &bad).is_err());
+        t.fit(&x, &y).unwrap();
+        assert!(t.predict_row(&[1.0]).is_err(), "wrong width");
+
+        let mut r = DecisionTreeRegressor::default();
+        assert!(r.fit(&x, &[1.0]).is_err());
+        assert!(r.fit_on_sample(&x, &vec![0.0; x.n_rows()], &[999]).is_err());
+        assert!(r.feature_importances().is_err());
+        assert!(r.depth().is_err());
+    }
+
+    #[test]
+    fn max_features_subsampling_still_fits() {
+        let (x, y) = xor_data();
+        let mut cfg = TreeConfig::default();
+        cfg.max_features = Some(1);
+        cfg.seed = 42;
+        let mut t = DecisionTreeClassifier::new(cfg);
+        t.fit(&x, &y).unwrap();
+        // With one random feature per split the tree still fits something
+        // sensible (probabilities in range).
+        for i in 0..x.n_rows() {
+            let p = t.predict_row(x.row(i)).unwrap();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_equals() {
+        // All feature values identical -> no split possible -> leaf.
+        let rows: Vec<Vec<f64>> = (0..6).map(|_| vec![1.0]).collect();
+        let y = vec![0, 1, 0, 1, 0, 1];
+        let mut t = DecisionTreeClassifier::default();
+        t.fit(&Matrix::from_rows(&rows).unwrap(), &y).unwrap();
+        assert_eq!(t.depth().unwrap(), 0);
+        assert!((t.predict_row(&[1.0]).unwrap() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Acquisition functions for Bayesian optimization (minimization
+//! convention), plus the standard-normal helpers they need.
+
+/// Standard normal probability density.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational
+/// approximation (|error| < 1.5e-7 — ample for acquisition ranking).
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = x.signum();
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Acquisition strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Expected improvement below the incumbent, with exploration margin
+    /// `xi ≥ 0`.
+    ExpectedImprovement {
+        /// Exploration margin added to the incumbent.
+        xi: f64,
+    },
+    /// Lower confidence bound `mean − kappa·std` (scored as `−LCB` so
+    /// larger is better, like EI).
+    LowerConfidenceBound {
+        /// Exploration weight `kappa ≥ 0`.
+        kappa: f64,
+    },
+}
+
+impl Acquisition {
+    /// Score a candidate from its GP posterior `(mean, std)` given the
+    /// incumbent best observed value. Larger scores are more attractive.
+    pub fn score(&self, mean: f64, std: f64, best_f: f64) -> f64 {
+        match *self {
+            Acquisition::ExpectedImprovement { xi } => {
+                if std <= 1e-12 {
+                    // Deterministic prediction: improvement is exact.
+                    return (best_f - xi - mean).max(0.0);
+                }
+                let z = (best_f - xi - mean) / std;
+                (best_f - xi - mean) * normal_cdf(z) + std * normal_pdf(z)
+            }
+            Acquisition::LowerConfidenceBound { kappa } => -(mean - kappa * std),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-12);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_limits() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        for z in [-2.0, -0.5, 0.7, 1.3] {
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-7);
+        }
+        assert!(normal_cdf(-8.0) < 1e-7);
+        assert!(normal_cdf(8.0) > 1.0 - 1e-7);
+    }
+
+    #[test]
+    fn pdf_peak_at_zero() {
+        assert!((normal_pdf(0.0) - 0.398_942_28).abs() < 1e-6);
+        assert!(normal_pdf(3.0) < normal_pdf(0.0));
+    }
+
+    #[test]
+    fn ei_prefers_lower_mean_and_higher_uncertainty() {
+        let ei = Acquisition::ExpectedImprovement { xi: 0.0 };
+        let best = 1.0;
+        // Lower predicted mean wins at equal std.
+        assert!(ei.score(0.2, 0.1, best) > ei.score(0.8, 0.1, best));
+        // Higher std wins at equal mean above the incumbent.
+        assert!(ei.score(1.2, 0.5, best) > ei.score(1.2, 0.01, best));
+        // EI is non-negative.
+        assert!(ei.score(5.0, 0.0, best) >= 0.0);
+    }
+
+    #[test]
+    fn ei_zero_std_is_exact_improvement() {
+        let ei = Acquisition::ExpectedImprovement { xi: 0.0 };
+        assert_eq!(ei.score(0.3, 0.0, 1.0), 0.7);
+        assert_eq!(ei.score(2.0, 0.0, 1.0), 0.0);
+        let ei_xi = Acquisition::ExpectedImprovement { xi: 0.2 };
+        assert!((ei_xi.score(0.3, 0.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lcb_balances_mean_and_uncertainty() {
+        let lcb = Acquisition::LowerConfidenceBound { kappa: 2.0 };
+        // Same mean: more uncertainty is more attractive.
+        assert!(lcb.score(1.0, 0.5, 0.0) > lcb.score(1.0, 0.1, 0.0));
+        // kappa = 0 is pure exploitation.
+        let greedy = Acquisition::LowerConfidenceBound { kappa: 0.0 };
+        assert!(greedy.score(0.5, 9.0, 0.0) < greedy.score(0.4, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulated annealing with Gaussian proposals and geometric cooling —
+//! a stochastic global baseline between random search and BO.
+
+use crate::bounds::Bounds;
+use crate::objective::{Objective, OptimError};
+use crate::result::OptimResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whatif_stats::distributions::standard_normal;
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Objective evaluations to spend.
+    pub max_evals: usize,
+    /// Starting temperature (on the objective's scale).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per step, in `(0, 1)`.
+    pub cooling: f64,
+    /// Proposal standard deviation as a fraction of each bound width.
+    pub step_scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            max_evals: 300,
+            initial_temperature: 1.0,
+            cooling: 0.995,
+            step_scale: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+/// Minimize with simulated annealing starting from `x0` (clamped).
+///
+/// # Errors
+/// [`OptimError::Invalid`] on bad configuration or dimension mismatch.
+pub fn simulated_annealing(
+    objective: &dyn Objective,
+    bounds: &Bounds,
+    x0: &[f64],
+    config: &AnnealConfig,
+) -> Result<OptimResult, OptimError> {
+    let d = bounds.dim();
+    if objective.dim() != d || x0.len() != d {
+        return Err(OptimError::Invalid(
+            "objective, bounds, and x0 dimensions must agree".to_owned(),
+        ));
+    }
+    if config.max_evals == 0 {
+        return Err(OptimError::Invalid("max_evals must be positive".to_owned()));
+    }
+    if !(0.0..1.0).contains(&config.cooling) || config.cooling == 0.0 {
+        return Err(OptimError::Invalid(format!(
+            "cooling must be in (0, 1), got {}",
+            config.cooling
+        )));
+    }
+    if config.initial_temperature <= 0.0 || config.step_scale <= 0.0 {
+        return Err(OptimError::Invalid(
+            "temperature and step_scale must be positive".to_owned(),
+        ));
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let widths = bounds.widths();
+    let mut history: Vec<(Vec<f64>, f64)> = Vec::with_capacity(config.max_evals);
+
+    let mut current = x0.to_vec();
+    bounds.clamp(&mut current);
+    let mut f_current = objective.eval(&current);
+    history.push((current.clone(), f_current));
+    let mut temperature = config.initial_temperature;
+
+    while history.len() < config.max_evals {
+        let mut candidate = current.clone();
+        for (j, c) in candidate.iter_mut().enumerate() {
+            *c += standard_normal(&mut rng) * widths[j].max(1e-12) * config.step_scale;
+        }
+        bounds.clamp(&mut candidate);
+        let f_candidate = objective.eval(&candidate);
+        history.push((candidate.clone(), f_candidate));
+
+        let accept = if f_candidate.is_nan() {
+            false
+        } else if f_current.is_nan() || f_candidate <= f_current {
+            true
+        } else {
+            let delta = f_candidate - f_current;
+            rng.gen::<f64>() < (-delta / temperature).exp()
+        };
+        if accept {
+            current = candidate;
+            f_current = f_candidate;
+        }
+        temperature *= config.cooling;
+    }
+    Ok(OptimResult::from_history(history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn minimizes_multimodal_function() {
+        // Rastrigin-like in 1-D: global minimum at 0.
+        let o = FnObjective::new(1, |x: &[f64]| {
+            x[0] * x[0] + 2.0 * (1.0 - (2.0 * std::f64::consts::PI * x[0]).cos())
+        });
+        let b = Bounds::uniform(1, -4.0, 4.0).unwrap();
+        let cfg = AnnealConfig {
+            max_evals: 2000,
+            ..Default::default()
+        };
+        let r = simulated_annealing(&o, &b, &[3.5], &cfg).unwrap();
+        assert!(r.best_f < 0.5, "best {}", r.best_f);
+    }
+
+    #[test]
+    fn escapes_local_minimum_that_greedy_descent_would_not() {
+        // Two wells: local at x=2 (f=1), global at x=-2 (f=0); start in the
+        // local well.
+        let o = FnObjective::new(1, |x: &[f64]| {
+            let a = (x[0] - 2.0).powi(2) + 1.0;
+            let b = (x[0] + 2.0).powi(2);
+            a.min(b)
+        });
+        let b = Bounds::uniform(1, -5.0, 5.0).unwrap();
+        let cfg = AnnealConfig {
+            max_evals: 3000,
+            initial_temperature: 3.0,
+            step_scale: 0.25,
+            seed: 5,
+            ..Default::default()
+        };
+        let r = simulated_annealing(&o, &b, &[2.0], &cfg).unwrap();
+        assert!(r.best_x[0] < 0.0, "escaped to global well: {:?}", r.best_x);
+        assert!(r.best_f < 0.2);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_budgeted() {
+        let o = FnObjective::new(2, |x: &[f64]| x[0].abs() + x[1].abs());
+        let b = Bounds::uniform(2, -1.0, 1.0).unwrap();
+        let cfg = AnnealConfig {
+            max_evals: 100,
+            ..Default::default()
+        };
+        let a = simulated_annealing(&o, &b, &[0.5, 0.5], &cfg).unwrap();
+        let c = simulated_annealing(&o, &b, &[0.5, 0.5], &cfg).unwrap();
+        assert_eq!(a.history, c.history);
+        assert_eq!(a.n_evals, 100);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let o = FnObjective::new(1, |_: &[f64]| 0.0);
+        let b = Bounds::uniform(1, 0.0, 1.0).unwrap();
+        let mut cfg = AnnealConfig::default();
+        cfg.max_evals = 0;
+        assert!(simulated_annealing(&o, &b, &[0.5], &cfg).is_err());
+        cfg = AnnealConfig {
+            cooling: 1.0,
+            ..Default::default()
+        };
+        assert!(simulated_annealing(&o, &b, &[0.5], &cfg).is_err());
+        cfg = AnnealConfig {
+            initial_temperature: 0.0,
+            ..Default::default()
+        };
+        assert!(simulated_annealing(&o, &b, &[0.5], &cfg).is_err());
+        assert!(simulated_annealing(&o, &b, &[0.5, 0.5], &AnnealConfig::default()).is_err());
+    }
+
+    #[test]
+    fn nan_regions_are_never_accepted() {
+        let o = FnObjective::new(1, |x: &[f64]| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                x[0]
+            }
+        });
+        let b = Bounds::uniform(1, -1.0, 1.0).unwrap();
+        let cfg = AnnealConfig {
+            max_evals: 500,
+            seed: 2,
+            ..Default::default()
+        };
+        let r = simulated_annealing(&o, &b, &[0.9], &cfg).unwrap();
+        assert!(!r.best_f.is_nan());
+        assert!(r.best_x[0] >= 0.0);
+    }
+}

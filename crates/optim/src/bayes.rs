@@ -1,0 +1,344 @@
+//! Bayesian optimization: GP surrogate + acquisition maximization — the
+//! reimplementation of the scikit-optimize optimizer SystemD's Goal
+//! Inversion view calls (§2 I).
+
+use crate::acquisition::Acquisition;
+use crate::bounds::Bounds;
+use crate::gp::{GaussianProcess, Kernel};
+use crate::objective::{Objective, OptimError};
+use crate::result::OptimResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whatif_stats::distributions::standard_normal;
+
+/// Kernel families selectable without carrying a length scale (the
+/// optimizer works in normalized coordinates and supplies its own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Squared-exponential.
+    Rbf,
+    /// Matérn ν = 5/2 (scikit-optimize default).
+    Matern52,
+}
+
+/// Bayesian-optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BayesConfig {
+    /// Random initial design points before the surrogate kicks in.
+    pub n_initial: usize,
+    /// Total objective evaluations (including the initial design).
+    pub n_calls: usize,
+    /// Random candidates scored by the acquisition per iteration.
+    pub n_candidates: usize,
+    /// Kernel family (length scale fixed at 0.25 in unit-box coordinates).
+    pub kernel: KernelKind,
+    /// Acquisition strategy.
+    pub acquisition: Acquisition,
+    /// Observation noise passed to the GP.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BayesConfig {
+    fn default() -> Self {
+        BayesConfig {
+            n_initial: 10,
+            n_calls: 60,
+            n_candidates: 256,
+            kernel: KernelKind::Matern52,
+            acquisition: Acquisition::ExpectedImprovement { xi: 0.01 },
+            noise: 1e-6,
+            seed: 0,
+        }
+    }
+}
+
+/// The optimizer object (thin: holds configuration; each [`Self::run`]
+/// is independent).
+#[derive(Debug, Clone)]
+pub struct BayesianOptimizer {
+    /// Configuration used by [`Self::run`].
+    pub config: BayesConfig,
+}
+
+impl BayesianOptimizer {
+    /// Optimizer with the given configuration.
+    pub fn new(config: BayesConfig) -> Self {
+        BayesianOptimizer { config }
+    }
+
+    /// Minimize `objective` over `bounds`.
+    ///
+    /// Internally points are mapped to the unit box so one kernel length
+    /// scale fits all drivers regardless of units (spend in dollars next
+    /// to counts of emails).
+    ///
+    /// # Errors
+    /// [`OptimError::Invalid`] on bad budgets or dimension mismatch;
+    /// [`OptimError::Numeric`] if the surrogate cannot be fitted.
+    pub fn run(
+        &self,
+        objective: &dyn Objective,
+        bounds: &Bounds,
+    ) -> Result<OptimResult, OptimError> {
+        let cfg = &self.config;
+        if objective.dim() != bounds.dim() {
+            return Err(OptimError::Invalid(format!(
+                "objective dim {} vs bounds dim {}",
+                objective.dim(),
+                bounds.dim()
+            )));
+        }
+        if cfg.n_calls == 0 {
+            return Err(OptimError::Invalid("n_calls must be positive".to_owned()));
+        }
+        if cfg.n_initial == 0 || cfg.n_candidates == 0 {
+            return Err(OptimError::Invalid(
+                "n_initial and n_candidates must be positive".to_owned(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let widths = bounds.widths();
+        let lows = bounds.lows().to_vec();
+        let to_unit = |x: &[f64]| -> Vec<f64> {
+            x.iter()
+                .zip(lows.iter().zip(&widths))
+                .map(|(&v, (&l, &w))| if w > 0.0 { (v - l) / w } else { 0.5 })
+                .collect()
+        };
+        let from_unit = |u: &[f64]| -> Vec<f64> {
+            u.iter()
+                .zip(lows.iter().zip(&widths))
+                .map(|(&v, (&l, &w))| l + v * w)
+                .collect()
+        };
+
+        let kernel = match cfg.kernel {
+            KernelKind::Rbf => Kernel::Rbf { length_scale: 0.25 },
+            KernelKind::Matern52 => Kernel::Matern52 { length_scale: 0.25 },
+        };
+
+        let mut history: Vec<(Vec<f64>, f64)> = Vec::with_capacity(cfg.n_calls);
+        let mut unit_points: Vec<Vec<f64>> = Vec::with_capacity(cfg.n_calls);
+        let mut values: Vec<f64> = Vec::with_capacity(cfg.n_calls);
+
+        // Initial design: box center first (a sensible "no change"
+        // anchor for perturbation spaces), then uniform random.
+        let n_init = cfg.n_initial.min(cfg.n_calls);
+        for i in 0..n_init {
+            let x = if i == 0 {
+                bounds.center()
+            } else {
+                bounds.sample(&mut rng)
+            };
+            let f = objective.eval(&x);
+            unit_points.push(to_unit(&x));
+            values.push(f);
+            history.push((x, f));
+        }
+
+        while history.len() < cfg.n_calls {
+            // Fit the surrogate on finite observations only.
+            let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = unit_points
+                .iter()
+                .zip(&values)
+                .filter(|(_, v)| v.is_finite())
+                .map(|(x, v)| (x.clone(), *v))
+                .unzip();
+            let next_unit = if xs.len() < 2 {
+                // Not enough signal for a surrogate yet: random point.
+                to_unit(&bounds.sample(&mut rng))
+            } else {
+                let gp = GaussianProcess::fit(kernel, cfg.noise, &xs, &ys)?;
+                let best_f = ys.iter().copied().fold(f64::INFINITY, f64::min);
+                let incumbent = xs[ys
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)]
+                .clone();
+                let mut best_cand: Option<(Vec<f64>, f64)> = None;
+                for c in 0..cfg.n_candidates {
+                    // Mix global uniform candidates with local Gaussian
+                    // perturbations of the incumbent (cheap acquisition
+                    // "optimization" that works well in low dimensions).
+                    let cand: Vec<f64> = if c % 3 == 0 {
+                        incumbent
+                            .iter()
+                            .map(|&v| {
+                                (v + 0.1 * standard_normal(&mut rng)).clamp(0.0, 1.0)
+                            })
+                            .collect()
+                    } else {
+                        (0..bounds.dim()).map(|_| rng.gen::<f64>()).collect()
+                    };
+                    let (mean, std) = gp.predict(&cand)?;
+                    let score = cfg.acquisition.score(mean, std, best_f);
+                    if best_cand.as_ref().map_or(true, |(_, s)| score > *s) {
+                        best_cand = Some((cand, score));
+                    }
+                }
+                best_cand.map(|(c, _)| c).unwrap_or_else(|| {
+                    to_unit(&bounds.sample(&mut rng))
+                })
+            };
+            let x = from_unit(&next_unit);
+            let f = objective.eval(&x);
+            unit_points.push(next_unit);
+            values.push(f);
+            history.push((x, f));
+        }
+        Ok(OptimResult::from_history(history))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{CountingObjective, FnObjective};
+    use crate::random_search::random_search;
+
+    #[test]
+    fn minimizes_smooth_bowl_better_than_random_at_equal_budget() {
+        // Averaged over seeds, BO should beat random search on a smooth
+        // 2-D bowl with a 40-call budget.
+        let o = FnObjective::new(2, |x: &[f64]| {
+            (x[0] - 0.7).powi(2) + (x[1] + 0.3).powi(2)
+        });
+        let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
+        let mut bo_total = 0.0;
+        let mut rs_total = 0.0;
+        for seed in 0..5 {
+            let cfg = BayesConfig {
+                n_calls: 40,
+                seed,
+                ..Default::default()
+            };
+            bo_total += BayesianOptimizer::new(cfg).run(&o, &b).unwrap().best_f;
+            rs_total += random_search(&o, &b, 40, seed).unwrap().best_f;
+        }
+        assert!(
+            bo_total < rs_total,
+            "BO {bo_total:.4} should beat random {rs_total:.4}"
+        );
+        assert!(bo_total / 5.0 < 0.05, "mean best {:.4}", bo_total / 5.0);
+    }
+
+    #[test]
+    fn respects_eval_budget_exactly() {
+        let o = FnObjective::new(1, |x: &[f64]| x[0] * x[0]);
+        let counting = CountingObjective::new(&o);
+        let b = Bounds::uniform(1, -1.0, 1.0).unwrap();
+        let cfg = BayesConfig {
+            n_calls: 23,
+            n_initial: 5,
+            ..Default::default()
+        };
+        let r = BayesianOptimizer::new(cfg).run(&counting, &b).unwrap();
+        assert_eq!(r.n_evals, 23);
+        assert_eq!(counting.count(), 23);
+    }
+
+    #[test]
+    fn first_point_is_the_center() {
+        let o = FnObjective::new(2, |_: &[f64]| 1.0);
+        let b = Bounds::new(vec![0.0, 10.0], vec![4.0, 20.0]).unwrap();
+        let cfg = BayesConfig {
+            n_calls: 3,
+            n_initial: 2,
+            ..Default::default()
+        };
+        let r = BayesianOptimizer::new(cfg).run(&o, &b).unwrap();
+        assert_eq!(r.history[0].0, vec![2.0, 15.0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let o = FnObjective::new(1, |x: &[f64]| (x[0] - 0.2).abs());
+        let b = Bounds::uniform(1, -1.0, 1.0).unwrap();
+        let cfg = BayesConfig {
+            n_calls: 15,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = BayesianOptimizer::new(cfg).run(&o, &b).unwrap();
+        let c = BayesianOptimizer::new(cfg).run(&o, &b).unwrap();
+        assert_eq!(a.history, c.history);
+    }
+
+    #[test]
+    fn survives_nan_objective_regions() {
+        let o = FnObjective::new(1, |x: &[f64]| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                (x[0] - 0.5).powi(2)
+            }
+        });
+        let b = Bounds::uniform(1, -1.0, 1.0).unwrap();
+        let cfg = BayesConfig {
+            n_calls: 30,
+            seed: 1,
+            ..Default::default()
+        };
+        let r = BayesianOptimizer::new(cfg).run(&o, &b).unwrap();
+        assert!(r.best_f < 0.05, "best {}", r.best_f);
+        assert!(!r.best_f.is_nan());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let o = FnObjective::new(1, |_: &[f64]| 0.0);
+        let b = Bounds::uniform(1, 0.0, 1.0).unwrap();
+        for cfg in [
+            BayesConfig {
+                n_calls: 0,
+                ..Default::default()
+            },
+            BayesConfig {
+                n_initial: 0,
+                ..Default::default()
+            },
+            BayesConfig {
+                n_candidates: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(BayesianOptimizer::new(cfg).run(&o, &b).is_err());
+        }
+        let b2 = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        assert!(BayesianOptimizer::new(BayesConfig::default())
+            .run(&o, &b2)
+            .is_err());
+    }
+
+    #[test]
+    fn both_kernels_work() {
+        let o = FnObjective::new(1, |x: &[f64]| (x[0] - 0.3).powi(2));
+        let b = Bounds::uniform(1, 0.0, 1.0).unwrap();
+        for kernel in [KernelKind::Rbf, KernelKind::Matern52] {
+            let cfg = BayesConfig {
+                n_calls: 25,
+                kernel,
+                ..Default::default()
+            };
+            let r = BayesianOptimizer::new(cfg).run(&o, &b).unwrap();
+            assert!(r.best_f < 0.01, "{kernel:?}: {}", r.best_f);
+        }
+    }
+
+    #[test]
+    fn lcb_acquisition_works() {
+        let o = FnObjective::new(1, |x: &[f64]| (x[0] + 0.4).powi(2));
+        let b = Bounds::uniform(1, -1.0, 1.0).unwrap();
+        let cfg = BayesConfig {
+            n_calls: 25,
+            acquisition: Acquisition::LowerConfidenceBound { kappa: 1.96 },
+            ..Default::default()
+        };
+        let r = BayesianOptimizer::new(cfg).run(&o, &b).unwrap();
+        assert!(r.best_f < 0.01, "best {}", r.best_f);
+    }
+}

@@ -1,0 +1,203 @@
+//! Box bounds — the domain every optimizer searches and the carrier of
+//! the paper's per-driver low/high constraints (Figure 2 G).
+
+use crate::objective::OptimError;
+use rand::Rng;
+
+/// Axis-aligned box constraints: `lows[i] <= x[i] <= highs[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lows: Vec<f64>,
+    highs: Vec<f64>,
+}
+
+impl Bounds {
+    /// Build bounds, validating `low <= high` and finiteness.
+    ///
+    /// # Errors
+    /// [`OptimError::Invalid`] on mismatch, NaN/infinite, or inverted
+    /// intervals.
+    pub fn new(lows: Vec<f64>, highs: Vec<f64>) -> Result<Bounds, OptimError> {
+        if lows.len() != highs.len() {
+            return Err(OptimError::Invalid(format!(
+                "{} lows vs {} highs",
+                lows.len(),
+                highs.len()
+            )));
+        }
+        if lows.is_empty() {
+            return Err(OptimError::Invalid("bounds cannot be empty".to_owned()));
+        }
+        for (i, (&lo, &hi)) in lows.iter().zip(&highs).enumerate() {
+            if !lo.is_finite() || !hi.is_finite() {
+                return Err(OptimError::Invalid(format!(
+                    "bound {i} is not finite: [{lo}, {hi}]"
+                )));
+            }
+            if lo > hi {
+                return Err(OptimError::Invalid(format!(
+                    "bound {i} inverted: low {lo} > high {hi}"
+                )));
+            }
+        }
+        Ok(Bounds { lows, highs })
+    }
+
+    /// The same interval in every dimension.
+    ///
+    /// # Errors
+    /// [`OptimError::Invalid`] per [`Bounds::new`].
+    pub fn uniform(dim: usize, low: f64, high: f64) -> Result<Bounds, OptimError> {
+        Bounds::new(vec![low; dim], vec![high; dim])
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lows.len()
+    }
+
+    /// Lower bounds.
+    pub fn lows(&self) -> &[f64] {
+        &self.lows
+    }
+
+    /// Upper bounds.
+    pub fn highs(&self) -> &[f64] {
+        &self.highs
+    }
+
+    /// Interval width per dimension.
+    pub fn widths(&self) -> Vec<f64> {
+        self.lows
+            .iter()
+            .zip(&self.highs)
+            .map(|(&l, &h)| h - l)
+            .collect()
+    }
+
+    /// Midpoint of the box.
+    pub fn center(&self) -> Vec<f64> {
+        self.lows
+            .iter()
+            .zip(&self.highs)
+            .map(|(&l, &h)| (l + h) / 2.0)
+            .collect()
+    }
+
+    /// Whether `x` lies inside the box (inclusive).
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .zip(self.lows.iter().zip(&self.highs))
+                .all(|(&v, (&l, &h))| v >= l && v <= h)
+    }
+
+    /// Clamp `x` into the box component-wise.
+    pub fn clamp(&self, x: &mut [f64]) {
+        for (v, (&l, &h)) in x.iter_mut().zip(self.lows.iter().zip(&self.highs)) {
+            *v = v.clamp(l, h);
+        }
+    }
+
+    /// Uniform random point inside the box.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        self.lows
+            .iter()
+            .zip(&self.highs)
+            .map(|(&l, &h)| {
+                if h > l {
+                    rng.gen_range(l..=h)
+                } else {
+                    l
+                }
+            })
+            .collect()
+    }
+
+    /// Intersect with another box of the same dimension.
+    ///
+    /// # Errors
+    /// [`OptimError::Invalid`] on dimension mismatch or empty
+    /// intersection.
+    pub fn intersect(&self, other: &Bounds) -> Result<Bounds, OptimError> {
+        if self.dim() != other.dim() {
+            return Err(OptimError::Invalid("dimension mismatch".to_owned()));
+        }
+        let lows: Vec<f64> = self
+            .lows
+            .iter()
+            .zip(&other.lows)
+            .map(|(&a, &b)| a.max(b))
+            .collect();
+        let highs: Vec<f64> = self
+            .highs
+            .iter()
+            .zip(&other.highs)
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        Bounds::new(lows, highs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(Bounds::new(vec![0.0], vec![1.0]).is_ok());
+        assert!(Bounds::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(Bounds::new(vec![], vec![]).is_err());
+        assert!(Bounds::new(vec![2.0], vec![1.0]).is_err());
+        assert!(Bounds::new(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(Bounds::new(vec![0.0], vec![f64::INFINITY]).is_err());
+        // Degenerate (point) interval is allowed.
+        assert!(Bounds::new(vec![1.0], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let b = Bounds::new(vec![0.0, -1.0], vec![2.0, 1.0]).unwrap();
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.widths(), vec![2.0, 2.0]);
+        assert_eq!(b.center(), vec![1.0, 0.0]);
+        assert!(b.contains(&[1.0, 0.5]));
+        assert!(b.contains(&[0.0, 1.0]), "boundary is inside");
+        assert!(!b.contains(&[3.0, 0.0]));
+        assert!(!b.contains(&[1.0]));
+    }
+
+    #[test]
+    fn clamping() {
+        let b = Bounds::uniform(3, 0.0, 1.0).unwrap();
+        let mut x = [-5.0, 0.5, 7.0];
+        b.clamp(&mut x);
+        assert_eq!(x, [0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn sampling_stays_inside() {
+        let b = Bounds::new(vec![-3.0, 10.0], vec![-1.0, 10.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = b.sample(&mut rng);
+            assert!(b.contains(&x), "{x:?}");
+            assert_eq!(x[1], 10.0, "degenerate dim is fixed");
+        }
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Bounds::uniform(2, 0.0, 2.0).unwrap();
+        let b = Bounds::uniform(2, 1.0, 3.0).unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.lows(), &[1.0, 1.0]);
+        assert_eq!(i.highs(), &[2.0, 2.0]);
+        let disjoint = Bounds::uniform(2, 5.0, 6.0).unwrap();
+        assert!(a.intersect(&disjoint).is_err());
+        let wrong_dim = Bounds::uniform(3, 0.0, 1.0).unwrap();
+        assert!(a.intersect(&wrong_dim).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! 1-D goal seeking: find `x` with `f(x) = target`.
+//!
+//! This is the "Excel Goal Seek" baseline the paper's Related Work cites
+//! from spreadsheet practice — single-driver, root-finding style what-if,
+//! against which SystemD's multi-driver Bayesian goal inversion is the
+//! upgrade.
+
+use crate::objective::OptimError;
+
+/// Result of a goal-seek run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoalSeekResult {
+    /// Driver value achieving (approximately) the target.
+    pub x: f64,
+    /// `f(x)` at the returned point.
+    pub f: f64,
+    /// Function evaluations used.
+    pub n_evals: usize,
+    /// Whether `|f − target|` met the tolerance.
+    pub converged: bool,
+}
+
+/// Solve `f(x) = target` on `[lo, hi]` by bisection, after scanning for a
+/// bracketing subinterval (so non-monotone `f` works as long as some sign
+/// change exists on the scan grid).
+///
+/// Falls back to the scanned point with the smallest `|f − target|` when
+/// no bracket is found (reported as `converged = false` unless it happens
+/// to hit the tolerance).
+///
+/// # Errors
+/// [`OptimError::Invalid`] on an empty interval or non-finite inputs.
+pub fn goal_seek<F: Fn(f64) -> f64>(
+    f: F,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_evals: usize,
+) -> Result<GoalSeekResult, OptimError> {
+    if !(lo.is_finite() && hi.is_finite() && target.is_finite()) || lo >= hi {
+        return Err(OptimError::Invalid(format!(
+            "invalid goal-seek interval [{lo}, {hi}] or target {target}"
+        )));
+    }
+    if tol <= 0.0 || max_evals < 3 {
+        return Err(OptimError::Invalid(
+            "tol must be positive and max_evals at least 3".to_owned(),
+        ));
+    }
+    let g = |x: f64| f(x) - target;
+    let mut n_evals = 0usize;
+    let eval = |x: f64, n_evals: &mut usize| {
+        *n_evals += 1;
+        g(x)
+    };
+
+    // Scan a coarse grid for the best point and a sign change.
+    let n_scan = 16.min(max_evals / 2).max(2);
+    let mut best = (lo, f64::INFINITY);
+    let mut bracket: Option<(f64, f64, f64, f64)> = None;
+    let mut prev: Option<(f64, f64)> = None;
+    for i in 0..=n_scan {
+        let x = lo + (hi - lo) * i as f64 / n_scan as f64;
+        let gx = eval(x, &mut n_evals);
+        if gx.is_nan() {
+            prev = None;
+            continue;
+        }
+        if gx.abs() < best.1.abs() || best.1.is_infinite() {
+            best = (x, gx);
+        }
+        if let Some((px, pg)) = prev {
+            if pg.signum() != gx.signum() && bracket.is_none() {
+                bracket = Some((px, pg, x, gx));
+            }
+        }
+        prev = Some((x, gx));
+    }
+
+    if let Some((mut a, mut ga, mut b, mut gb)) = bracket {
+        // Bisection until tolerance or budget.
+        while n_evals < max_evals {
+            let mid = (a + b) / 2.0;
+            let gm = eval(mid, &mut n_evals);
+            if gm.is_nan() {
+                break;
+            }
+            if gm.abs() < best.1.abs() {
+                best = (mid, gm);
+            }
+            if gm.abs() <= tol {
+                return Ok(GoalSeekResult {
+                    x: mid,
+                    f: gm + target,
+                    n_evals,
+                    converged: true,
+                });
+            }
+            if ga.signum() != gm.signum() {
+                b = mid;
+                gb = gm;
+            } else {
+                a = mid;
+                ga = gm;
+            }
+            let _ = (gb, ga);
+            if (b - a).abs() < f64::EPSILON * (1.0 + a.abs() + b.abs()) {
+                break;
+            }
+        }
+    }
+    Ok(GoalSeekResult {
+        x: best.0,
+        f: best.1 + target,
+        n_evals,
+        converged: best.1.abs() <= tol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_linear_goal() {
+        // 2x + 1 = 7 -> x = 3
+        let r = goal_seek(|x| 2.0 * x + 1.0, 7.0, 0.0, 10.0, 1e-9, 200).unwrap();
+        assert!(r.converged);
+        assert!((r.x - 3.0).abs() < 1e-6);
+        assert!((r.f - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solves_nonlinear_goal() {
+        // x^2 = 2 on [0, 2] -> sqrt(2)
+        let r = goal_seek(|x| x * x, 2.0, 0.0, 2.0, 1e-10, 300).unwrap();
+        assert!(r.converged);
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn non_monotone_with_bracket_on_grid() {
+        // sin(x) = 0.5 has solutions in [0, pi]; scan finds a bracket.
+        let r = goal_seek(f64::sin, 0.5, 0.0, std::f64::consts::PI, 1e-8, 300).unwrap();
+        assert!(r.converged);
+        assert!((r.x.sin() - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn unreachable_target_returns_best_effort() {
+        // x^2 = -1 has no real solution: report closest (x near 0).
+        let r = goal_seek(|x| x * x, -1.0, -2.0, 2.0, 1e-9, 100).unwrap();
+        assert!(!r.converged);
+        assert!(r.f >= 0.0);
+        assert!(r.x.abs() < 0.3, "closest scan point near zero: {}", r.x);
+    }
+
+    #[test]
+    fn handles_nan_regions() {
+        let r = goal_seek(
+            |x| if x < 0.0 { f64::NAN } else { x - 1.0 },
+            0.0,
+            -5.0,
+            5.0,
+            1e-9,
+            200,
+        )
+        .unwrap();
+        assert!(r.converged);
+        assert!((r.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let r = goal_seek(|x| x, 0.5, 0.0, 1.0, 1e-15, 20).unwrap();
+        assert!(r.n_evals <= 20);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(goal_seek(|x| x, 0.0, 1.0, 1.0, 1e-9, 100).is_err());
+        assert!(goal_seek(|x| x, 0.0, 2.0, 1.0, 1e-9, 100).is_err());
+        assert!(goal_seek(|x| x, f64::NAN, 0.0, 1.0, 1e-9, 100).is_err());
+        assert!(goal_seek(|x| x, 0.0, 0.0, 1.0, 0.0, 100).is_err());
+        assert!(goal_seek(|x| x, 0.0, 0.0, 1.0, 1e-9, 2).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Gaussian-process regression — the surrogate model behind Bayesian
+//! goal inversion (the scikit-optimize analogue).
+
+use crate::objective::OptimError;
+use whatif_learn::linalg::{cholesky, solve_lower, solve_lower_transpose, Matrix};
+
+/// Stationary covariance kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Squared exponential: `exp(-r² / (2ℓ²))`.
+    Rbf {
+        /// Length scale ℓ > 0.
+        length_scale: f64,
+    },
+    /// Matérn ν = 5/2 — scikit-optimize's default, less smooth than RBF.
+    Matern52 {
+        /// Length scale ℓ > 0.
+        length_scale: f64,
+    },
+}
+
+impl Kernel {
+    /// Covariance between two points.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r2: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        match *self {
+            Kernel::Rbf { length_scale } => (-r2 / (2.0 * length_scale * length_scale)).exp(),
+            Kernel::Matern52 { length_scale } => {
+                let r = r2.sqrt() / length_scale;
+                let s5r = 5.0_f64.sqrt() * r;
+                (1.0 + s5r + 5.0 * r * r / 3.0) * (-s5r).exp()
+            }
+        }
+    }
+
+    fn length_scale(&self) -> f64 {
+        match *self {
+            Kernel::Rbf { length_scale } | Kernel::Matern52 { length_scale } => length_scale,
+        }
+    }
+}
+
+/// A fitted zero-mean GP over standardized targets.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    noise: f64,
+    x_train: Vec<Vec<f64>>,
+    /// Cholesky factor of `K + noise·I`.
+    l: Matrix,
+    /// `(K + noise·I)⁻¹ ỹ` where ỹ is the standardized target.
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl GaussianProcess {
+    /// Fit the GP posterior on observations `(x, y)`.
+    ///
+    /// Targets are standardized internally; if the Gram matrix is not
+    /// positive definite at the requested noise (e.g. duplicated points),
+    /// jitter is escalated up to six times before failing.
+    ///
+    /// # Errors
+    /// [`OptimError::Invalid`] on empty/ragged input or non-positive
+    /// hyperparameters; [`OptimError::Numeric`] if factorization fails at
+    /// maximum jitter.
+    pub fn fit(
+        kernel: Kernel,
+        noise: f64,
+        x: &[Vec<f64>],
+        y: &[f64],
+    ) -> Result<GaussianProcess, OptimError> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(OptimError::Invalid(format!(
+                "{} points vs {} targets",
+                x.len(),
+                y.len()
+            )));
+        }
+        let d = x[0].len();
+        if d == 0 || x.iter().any(|p| p.len() != d) {
+            return Err(OptimError::Invalid("ragged or zero-dim inputs".to_owned()));
+        }
+        if kernel.length_scale() <= 0.0 {
+            return Err(OptimError::Invalid("length_scale must be positive".to_owned()));
+        }
+        if noise < 0.0 {
+            return Err(OptimError::Invalid("noise must be non-negative".to_owned()));
+        }
+        let n = x.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_std = {
+            let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
+            let s = var.sqrt();
+            if s > 0.0 {
+                s
+            } else {
+                1.0
+            }
+        };
+        let y_norm: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let mut gram = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let k = kernel.eval(&x[i], &x[j]);
+                gram.set(i, j, k);
+                gram.set(j, i, k);
+            }
+        }
+        let mut jitter = noise.max(1e-10);
+        let l = loop {
+            let mut k = gram.clone();
+            for i in 0..n {
+                k.set(i, i, k.get(i, i) + jitter);
+            }
+            match cholesky(&k) {
+                Ok(l) => break l,
+                Err(_) if jitter < 1e-2 => jitter *= 10.0,
+                Err(e) => {
+                    return Err(OptimError::Numeric(format!(
+                        "GP Gram matrix not factorizable even at jitter {jitter}: {e}"
+                    )))
+                }
+            }
+        };
+        let tmp = solve_lower(&l, &y_norm)
+            .map_err(|e| OptimError::Numeric(e.to_string()))?;
+        let alpha = solve_lower_transpose(&l, &tmp)
+            .map_err(|e| OptimError::Numeric(e.to_string()))?;
+        Ok(GaussianProcess {
+            kernel,
+            noise: jitter,
+            x_train: x.to_vec(),
+            l,
+            alpha,
+            y_mean,
+            y_std,
+        })
+    }
+
+    /// Number of training observations.
+    pub fn n_observations(&self) -> usize {
+        self.x_train.len()
+    }
+
+    /// Posterior mean and standard deviation at `x` (on the original
+    /// target scale).
+    ///
+    /// # Errors
+    /// [`OptimError::Invalid`] on dimension mismatch.
+    pub fn predict(&self, x: &[f64]) -> Result<(f64, f64), OptimError> {
+        if x.len() != self.x_train[0].len() {
+            return Err(OptimError::Invalid(format!(
+                "query dim {} vs training dim {}",
+                x.len(),
+                self.x_train[0].len()
+            )));
+        }
+        let k_star: Vec<f64> = self
+            .x_train
+            .iter()
+            .map(|xi| self.kernel.eval(xi, x))
+            .collect();
+        let mean_norm: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = solve_lower(&self.l, &k_star)
+            .map_err(|e| OptimError::Numeric(e.to_string()))?;
+        let k_self = self.kernel.eval(x, x) + self.noise;
+        let var_norm = (k_self - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+        Ok((
+            mean_norm * self.y_std + self.y_mean,
+            var_norm.sqrt() * self.y_std,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![lo + (hi - lo) * i as f64 / (n - 1) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn kernel_properties() {
+        for k in [
+            Kernel::Rbf { length_scale: 1.0 },
+            Kernel::Matern52 { length_scale: 1.0 },
+        ] {
+            assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+            let near = k.eval(&[0.0], &[0.1]);
+            let far = k.eval(&[0.0], &[2.0]);
+            assert!(near > far, "{k:?}");
+            assert!(far > 0.0);
+            // Symmetry.
+            assert_eq!(k.eval(&[0.3], &[1.1]), k.eval(&[1.1], &[0.3]));
+        }
+    }
+
+    #[test]
+    fn interpolates_noise_free_observations() {
+        let x = grid_1d(7, 0.0, 1.0);
+        let y: Vec<f64> = x.iter().map(|p| (4.0 * p[0]).sin()).collect();
+        let gp = GaussianProcess::fit(Kernel::Rbf { length_scale: 0.3 }, 1e-8, &x, &y).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, s) = gp.predict(xi).unwrap();
+            assert!((m - yi).abs() < 1e-3, "mean {m} vs {yi}");
+            assert!(s < 0.05, "training-point std {s}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = grid_1d(5, 0.0, 1.0);
+        let y: Vec<f64> = x.iter().map(|p| p[0]).collect();
+        let gp = GaussianProcess::fit(Kernel::Matern52 { length_scale: 0.2 }, 1e-8, &x, &y)
+            .unwrap();
+        let (_, s_in) = gp.predict(&[0.5]).unwrap();
+        let (_, s_out) = gp.predict(&[3.0]).unwrap();
+        assert!(s_out > 5.0 * s_in, "inside {s_in} vs outside {s_out}");
+    }
+
+    #[test]
+    fn posterior_mean_is_reasonable_between_points() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 2.0];
+        let gp = GaussianProcess::fit(Kernel::Rbf { length_scale: 0.7 }, 1e-8, &x, &y).unwrap();
+        let (m, _) = gp.predict(&[0.5]).unwrap();
+        assert!(m > 0.4 && m < 1.6, "midpoint mean {m}");
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        let x = vec![vec![0.5], vec![0.5], vec![1.0]];
+        let y = vec![1.0, 1.2, 3.0];
+        let gp = GaussianProcess::fit(Kernel::Rbf { length_scale: 0.5 }, 0.0, &x, &y).unwrap();
+        let (m, _) = gp.predict(&[0.5]).unwrap();
+        assert!((m - 1.1).abs() < 0.5, "duplicates averaged: {m}");
+    }
+
+    #[test]
+    fn constant_targets_are_handled() {
+        let x = grid_1d(4, 0.0, 1.0);
+        let y = vec![5.0; 4];
+        let gp = GaussianProcess::fit(Kernel::Rbf { length_scale: 0.3 }, 1e-6, &x, &y).unwrap();
+        let (m, s) = gp.predict(&[0.5]).unwrap();
+        assert!((m - 5.0).abs() < 1e-6);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        let k = Kernel::Rbf { length_scale: 1.0 };
+        assert!(GaussianProcess::fit(k, 1e-6, &[], &[]).is_err());
+        assert!(GaussianProcess::fit(k, 1e-6, &[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(GaussianProcess::fit(k, 1e-6, &[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+        assert!(GaussianProcess::fit(k, -1.0, &[vec![1.0]], &[1.0]).is_err());
+        let bad = Kernel::Rbf { length_scale: 0.0 };
+        assert!(GaussianProcess::fit(bad, 1e-6, &[vec![1.0]], &[1.0]).is_err());
+        let gp = GaussianProcess::fit(k, 1e-6, &[vec![1.0]], &[1.0]).unwrap();
+        assert!(gp.predict(&[1.0, 2.0]).is_err());
+        assert_eq!(gp.n_observations(), 1);
+    }
+}

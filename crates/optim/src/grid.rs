@@ -1,0 +1,133 @@
+//! Full-factorial grid search — the exhaustive baseline whose cost blows
+//! up with dimension (which is exactly what the goal-inversion bench
+//! demonstrates against Bayesian optimization).
+
+use crate::bounds::Bounds;
+use crate::objective::{Objective, OptimError};
+use crate::result::OptimResult;
+
+/// Maximum total grid points accepted, to keep accidental
+/// high-dimensional grids from running forever.
+pub const MAX_GRID_POINTS: usize = 1_000_000;
+
+/// Minimize over a full factorial grid with `points_per_dim` levels per
+/// dimension (endpoints included; a single level sits at the center).
+///
+/// # Errors
+/// [`OptimError::Invalid`] on zero levels, dimension mismatch, or a grid
+/// larger than [`MAX_GRID_POINTS`].
+pub fn grid_search(
+    objective: &dyn Objective,
+    bounds: &Bounds,
+    points_per_dim: usize,
+) -> Result<OptimResult, OptimError> {
+    if points_per_dim == 0 {
+        return Err(OptimError::Invalid("points_per_dim must be positive".to_owned()));
+    }
+    if objective.dim() != bounds.dim() {
+        return Err(OptimError::Invalid(format!(
+            "objective dim {} vs bounds dim {}",
+            objective.dim(),
+            bounds.dim()
+        )));
+    }
+    let d = bounds.dim();
+    let total = points_per_dim
+        .checked_pow(d as u32)
+        .filter(|&t| t <= MAX_GRID_POINTS)
+        .ok_or_else(|| {
+            OptimError::Invalid(format!(
+                "grid of {points_per_dim}^{d} points exceeds {MAX_GRID_POINTS}"
+            ))
+        })?;
+
+    let level = |dim: usize, k: usize| -> f64 {
+        let lo = bounds.lows()[dim];
+        let hi = bounds.highs()[dim];
+        if points_per_dim == 1 {
+            (lo + hi) / 2.0
+        } else {
+            lo + (hi - lo) * k as f64 / (points_per_dim - 1) as f64
+        }
+    };
+
+    let mut history = Vec::with_capacity(total);
+    let mut indices = vec![0usize; d];
+    loop {
+        let x: Vec<f64> = indices
+            .iter()
+            .enumerate()
+            .map(|(dim, &k)| level(dim, k))
+            .collect();
+        let f = objective.eval(&x);
+        history.push((x, f));
+        // Odometer increment.
+        let mut dim = 0;
+        loop {
+            if dim == d {
+                return Ok(OptimResult::from_history(history));
+            }
+            indices[dim] += 1;
+            if indices[dim] < points_per_dim {
+                break;
+            }
+            indices[dim] = 0;
+            dim += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn covers_the_full_grid() {
+        let o = FnObjective::new(2, |x: &[f64]| x[0] + x[1]);
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        let r = grid_search(&o, &b, 3).unwrap();
+        assert_eq!(r.n_evals, 9);
+        assert_eq!(r.best_x, vec![0.0, 0.0]);
+        assert_eq!(r.best_f, 0.0);
+    }
+
+    #[test]
+    fn endpoints_are_included() {
+        let o = FnObjective::new(1, |x: &[f64]| -x[0]);
+        let b = Bounds::new(vec![-2.0], vec![5.0]).unwrap();
+        let r = grid_search(&o, &b, 5).unwrap();
+        assert_eq!(r.best_x, vec![5.0]);
+        let first = &r.history[0].0;
+        assert_eq!(first, &vec![-2.0]);
+    }
+
+    #[test]
+    fn single_level_uses_center() {
+        let o = FnObjective::new(2, |x: &[f64]| x[0].abs() + x[1].abs());
+        let b = Bounds::uniform(2, -1.0, 3.0).unwrap();
+        let r = grid_search(&o, &b, 1).unwrap();
+        assert_eq!(r.best_x, vec![1.0, 1.0]);
+        assert_eq!(r.n_evals, 1);
+    }
+
+    #[test]
+    fn resolution_improves_accuracy() {
+        let o = FnObjective::new(1, |x: &[f64]| (x[0] - 0.37).powi(2));
+        let b = Bounds::uniform(1, 0.0, 1.0).unwrap();
+        let coarse = grid_search(&o, &b, 5).unwrap();
+        let fine = grid_search(&o, &b, 101).unwrap();
+        assert!(fine.best_f < coarse.best_f);
+        assert!((fine.best_x[0] - 0.37).abs() < 0.01);
+    }
+
+    #[test]
+    fn rejects_oversized_and_invalid_grids() {
+        let o = FnObjective::new(8, |_: &[f64]| 0.0);
+        let b = Bounds::uniform(8, 0.0, 1.0).unwrap();
+        assert!(grid_search(&o, &b, 10).is_err(), "10^8 points");
+        assert!(grid_search(&o, &b, 0).is_err());
+        let b2 = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        assert!(grid_search(&o, &b2, 3).is_err(), "dim mismatch");
+    }
+}

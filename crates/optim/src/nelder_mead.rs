@@ -1,0 +1,242 @@
+//! Nelder–Mead simplex search with box-bound clamping — the local
+//! derivative-free baseline.
+
+use crate::bounds::Bounds;
+use crate::objective::{Objective, OptimError};
+use crate::result::OptimResult;
+
+/// Nelder–Mead parameters (standard coefficients).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Initial simplex edge length as a fraction of each bound width.
+    pub initial_step: f64,
+    /// Terminate when the simplex's value spread drops below this.
+    pub f_tol: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_evals: 200,
+            initial_step: 0.1,
+            f_tol: 1e-10,
+        }
+    }
+}
+
+/// Minimize with Nelder–Mead started at `x0` (clamped into bounds).
+///
+/// # Errors
+/// [`OptimError::Invalid`] on dimension mismatch or a zero budget.
+pub fn nelder_mead(
+    objective: &dyn Objective,
+    bounds: &Bounds,
+    x0: &[f64],
+    config: &NelderMeadConfig,
+) -> Result<OptimResult, OptimError> {
+    let d = bounds.dim();
+    if objective.dim() != d || x0.len() != d {
+        return Err(OptimError::Invalid(
+            "objective, bounds, and x0 dimensions must agree".to_owned(),
+        ));
+    }
+    if config.max_evals == 0 {
+        return Err(OptimError::Invalid("max_evals must be positive".to_owned()));
+    }
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    let mut history: Vec<(Vec<f64>, f64)> = Vec::new();
+    // NaN objective values are treated as +inf inside the simplex ordering
+    // so infeasible points are always replaced first.
+    let eval = |x: Vec<f64>, history: &mut Vec<(Vec<f64>, f64)>| -> f64 {
+        let f = objective.eval(&x);
+        history.push((x, f));
+        if f.is_nan() {
+            f64::INFINITY
+        } else {
+            f
+        }
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut start = x0.to_vec();
+    bounds.clamp(&mut start);
+    let widths = bounds.widths();
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(d + 1);
+    let f0 = eval(start.clone(), &mut history);
+    simplex.push((start.clone(), f0));
+    for j in 0..d {
+        let mut v = start.clone();
+        let step = (widths[j] * config.initial_step).max(1e-8);
+        // Step inward if the step would leave the box.
+        v[j] = if v[j] + step <= bounds.highs()[j] {
+            v[j] + step
+        } else {
+            v[j] - step
+        };
+        bounds.clamp(&mut v);
+        let f = eval(v.clone(), &mut history);
+        simplex.push((v, f));
+    }
+
+    while history.len() < config.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN mapped to inf"));
+        let spread = simplex[d].1 - simplex[0].1;
+        if spread.abs() < config.f_tol {
+            break;
+        }
+        // Centroid of all but the worst.
+        let centroid: Vec<f64> = (0..d)
+            .map(|j| simplex[..d].iter().map(|(x, _)| x[j]).sum::<f64>() / d as f64)
+            .collect();
+        let worst = simplex[d].clone();
+        let mut reflected: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        bounds.clamp(&mut reflected);
+        let f_r = eval(reflected.clone(), &mut history);
+
+        if f_r < simplex[0].1 {
+            // Try expansion.
+            let mut expanded: Vec<f64> = centroid
+                .iter()
+                .zip(&reflected)
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
+            bounds.clamp(&mut expanded);
+            if history.len() < config.max_evals {
+                let f_e = eval(expanded.clone(), &mut history);
+                simplex[d] = if f_e < f_r {
+                    (expanded, f_e)
+                } else {
+                    (reflected, f_r)
+                };
+            } else {
+                simplex[d] = (reflected, f_r);
+            }
+        } else if f_r < simplex[d - 1].1 {
+            simplex[d] = (reflected, f_r);
+        } else {
+            // Contraction toward the better of worst/reflected.
+            let (toward, f_toward) = if f_r < worst.1 {
+                (&reflected, f_r)
+            } else {
+                (&worst.0, worst.1)
+            };
+            let mut contracted: Vec<f64> = centroid
+                .iter()
+                .zip(toward)
+                .map(|(c, t)| c + rho * (t - c))
+                .collect();
+            bounds.clamp(&mut contracted);
+            if history.len() >= config.max_evals {
+                break;
+            }
+            let f_c = eval(contracted.clone(), &mut history);
+            if f_c < f_toward {
+                simplex[d] = (contracted, f_c);
+            } else {
+                // Shrink toward the best vertex.
+                let best = simplex[0].0.clone();
+                for k in 1..=d {
+                    if history.len() >= config.max_evals {
+                        break;
+                    }
+                    let mut v: Vec<f64> = best
+                        .iter()
+                        .zip(&simplex[k].0)
+                        .map(|(b, x)| b + sigma * (x - b))
+                        .collect();
+                    bounds.clamp(&mut v);
+                    let f = eval(v.clone(), &mut history);
+                    simplex[k] = (v, f);
+                }
+            }
+        }
+    }
+    Ok(OptimResult::from_history(history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let o = FnObjective::new(2, |x: &[f64]| {
+            (x[0] - 0.3).powi(2) + (x[1] + 0.7).powi(2)
+        });
+        let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
+        let r = nelder_mead(&o, &b, &[1.5, 1.5], &NelderMeadConfig::default()).unwrap();
+        assert!(r.best_f < 1e-6, "best {}", r.best_f);
+        assert!((r.best_x[0] - 0.3).abs() < 1e-3);
+        assert!((r.best_x[1] + 0.7).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_bounds_when_optimum_is_outside() {
+        // Unconstrained optimum at (−5, −5); box stops at −1.
+        let o = FnObjective::new(2, |x: &[f64]| {
+            (x[0] + 5.0).powi(2) + (x[1] + 5.0).powi(2)
+        });
+        let b = Bounds::uniform(2, -1.0, 1.0).unwrap();
+        let r = nelder_mead(&o, &b, &[0.5, 0.5], &NelderMeadConfig::default()).unwrap();
+        assert!(b.contains(&r.best_x));
+        assert!((r.best_x[0] + 1.0).abs() < 1e-2, "{:?}", r.best_x);
+    }
+
+    #[test]
+    fn honors_eval_budget() {
+        let o = FnObjective::new(3, |x: &[f64]| x.iter().map(|v| v * v).sum());
+        let b = Bounds::uniform(3, -1.0, 1.0).unwrap();
+        let cfg = NelderMeadConfig {
+            max_evals: 25,
+            ..Default::default()
+        };
+        let r = nelder_mead(&o, &b, &[0.9, 0.9, 0.9], &cfg).unwrap();
+        assert!(r.n_evals <= 25);
+    }
+
+    #[test]
+    fn handles_nan_objective_regions() {
+        // NaN outside the unit disk.
+        let o = FnObjective::new(2, |x: &[f64]| {
+            let r2 = x[0] * x[0] + x[1] * x[1];
+            if r2 > 1.0 {
+                f64::NAN
+            } else {
+                r2
+            }
+        });
+        let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
+        let r = nelder_mead(&o, &b, &[0.5, 0.5], &NelderMeadConfig::default()).unwrap();
+        assert!(r.best_f < 1e-4, "best {}", r.best_f);
+    }
+
+    #[test]
+    fn input_validation() {
+        let o = FnObjective::new(2, |_: &[f64]| 0.0);
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        assert!(nelder_mead(&o, &b, &[0.5], &NelderMeadConfig::default()).is_err());
+        let cfg = NelderMeadConfig {
+            max_evals: 0,
+            ..Default::default()
+        };
+        assert!(nelder_mead(&o, &b, &[0.5, 0.5], &cfg).is_err());
+        let b1 = Bounds::uniform(1, 0.0, 1.0).unwrap();
+        assert!(nelder_mead(&o, &b1, &[0.5], &NelderMeadConfig::default()).is_err());
+    }
+
+    #[test]
+    fn start_outside_bounds_is_clamped() {
+        let o = FnObjective::new(1, |x: &[f64]| x[0] * x[0]);
+        let b = Bounds::uniform(1, -1.0, 1.0).unwrap();
+        let r = nelder_mead(&o, &b, &[100.0], &NelderMeadConfig::default()).unwrap();
+        assert!(r.best_f < 1e-6);
+    }
+}

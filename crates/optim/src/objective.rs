@@ -1,0 +1,148 @@
+//! Objective function abstraction and errors.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Errors from optimizer configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimError {
+    /// Bad bounds, budgets, or dimensions.
+    Invalid(String),
+    /// The objective produced NaN everywhere / surrogate fitting failed.
+    Numeric(String),
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::Invalid(m) => write!(f, "invalid optimizer input: {m}"),
+            OptimError::Numeric(m) => write!(f, "numeric optimizer failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+/// A black-box objective to **minimize** over a box-bounded domain.
+///
+/// Implementations must tolerate any point inside the bounds; returning
+/// `NaN` marks a point as infeasible (optimizers skip it).
+pub trait Objective: Sync {
+    /// Evaluate the objective at `x`.
+    fn eval(&self, x: &[f64]) -> f64;
+
+    /// Dimensionality of the domain.
+    fn dim(&self) -> usize;
+}
+
+/// Wrap a closure as an [`Objective`].
+pub struct FnObjective<F: Fn(&[f64]) -> f64 + Sync> {
+    f: F,
+    dim: usize,
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> FnObjective<F> {
+    /// Objective of dimension `dim` backed by `f`.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnObjective { f, dim }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> Objective for FnObjective<F> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Negate an objective (turn maximization into minimization).
+pub struct NegatedObjective<'a> {
+    inner: &'a dyn Objective,
+}
+
+impl<'a> NegatedObjective<'a> {
+    /// Wrap `inner` so `eval` returns `-inner.eval`.
+    pub fn new(inner: &'a dyn Objective) -> Self {
+        NegatedObjective { inner }
+    }
+}
+
+impl Objective for NegatedObjective<'_> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        -self.inner.eval(x)
+    }
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+}
+
+/// Decorator that counts objective evaluations (used by the benchmark
+/// harness to compare optimizers at equal budgets).
+pub struct CountingObjective<'a> {
+    inner: &'a dyn Objective,
+    count: AtomicUsize,
+}
+
+impl<'a> CountingObjective<'a> {
+    /// Wrap `inner` with an evaluation counter.
+    pub fn new(inner: &'a dyn Objective) -> Self {
+        CountingObjective {
+            inner,
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Evaluations so far.
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl Objective for CountingObjective<'_> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.eval(x)
+    }
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_objective_evaluates() {
+        let o = FnObjective::new(2, |x: &[f64]| x[0] + x[1]);
+        assert_eq!(o.eval(&[1.0, 2.0]), 3.0);
+        assert_eq!(o.dim(), 2);
+    }
+
+    #[test]
+    fn negation_flips_sign() {
+        let o = FnObjective::new(1, |x: &[f64]| x[0] * 2.0);
+        let n = NegatedObjective::new(&o);
+        assert_eq!(n.eval(&[3.0]), -6.0);
+        assert_eq!(n.dim(), 1);
+    }
+
+    #[test]
+    fn counting_objective_counts() {
+        let o = FnObjective::new(1, |x: &[f64]| x[0]);
+        let c = CountingObjective::new(&o);
+        assert_eq!(c.count(), 0);
+        c.eval(&[1.0]);
+        c.eval(&[2.0]);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.dim(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(OptimError::Invalid("x".into()).to_string().contains("invalid"));
+        assert!(OptimError::Numeric("x".into()).to_string().contains("numeric"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Linear inequality/equality constraints folded into an objective via
+//! quadratic penalties.
+//!
+//! The paper's Constrained Analysis supports "boundary, equality, or
+//! inequality" constraints on drivers. Box bounds handle the boundary
+//! case natively; this module supplies the other two, e.g. a marketing
+//! budget cap `Σ spendᵢ ≤ 200_000`.
+
+use crate::objective::{Objective, OptimError};
+
+/// Constraint direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// `coeffs · x ≤ bound`
+    LessEq,
+    /// `coeffs · x ≥ bound`
+    GreaterEq,
+    /// `coeffs · x = bound` (within the penalty's tolerance)
+    Eq,
+}
+
+/// A linear constraint `coeffs · x (≤ | ≥ | =) bound`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    /// One coefficient per dimension.
+    pub coeffs: Vec<f64>,
+    /// Right-hand side.
+    pub bound: f64,
+    /// Direction.
+    pub kind: ConstraintKind,
+}
+
+impl LinearConstraint {
+    /// `coeffs · x ≤ bound`.
+    pub fn less_eq(coeffs: Vec<f64>, bound: f64) -> Self {
+        LinearConstraint {
+            coeffs,
+            bound,
+            kind: ConstraintKind::LessEq,
+        }
+    }
+
+    /// `coeffs · x ≥ bound`.
+    pub fn greater_eq(coeffs: Vec<f64>, bound: f64) -> Self {
+        LinearConstraint {
+            coeffs,
+            bound,
+            kind: ConstraintKind::GreaterEq,
+        }
+    }
+
+    /// `coeffs · x = bound`.
+    pub fn eq(coeffs: Vec<f64>, bound: f64) -> Self {
+        LinearConstraint {
+            coeffs,
+            bound,
+            kind: ConstraintKind::Eq,
+        }
+    }
+
+    /// Magnitude of violation at `x` (0 when satisfied).
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        let v: f64 = self.coeffs.iter().zip(x).map(|(c, xi)| c * xi).sum();
+        match self.kind {
+            ConstraintKind::LessEq => (v - self.bound).max(0.0),
+            ConstraintKind::GreaterEq => (self.bound - v).max(0.0),
+            ConstraintKind::Eq => (v - self.bound).abs(),
+        }
+    }
+
+    /// Whether `x` satisfies the constraint within `tol`.
+    pub fn is_satisfied(&self, x: &[f64], tol: f64) -> bool {
+        self.violation(x) <= tol
+    }
+}
+
+/// An objective with quadratic penalties for violated constraints:
+/// `f(x) + weight · Σ violationᵢ(x)²`.
+pub struct PenalizedObjective<'a> {
+    inner: &'a dyn Objective,
+    constraints: Vec<LinearConstraint>,
+    weight: f64,
+}
+
+impl<'a> PenalizedObjective<'a> {
+    /// Wrap `inner` with the given constraints and penalty weight.
+    ///
+    /// # Errors
+    /// [`OptimError::Invalid`] if any constraint's dimension disagrees
+    /// with the objective or the weight is not positive.
+    pub fn new(
+        inner: &'a dyn Objective,
+        constraints: Vec<LinearConstraint>,
+        weight: f64,
+    ) -> Result<Self, OptimError> {
+        if weight <= 0.0 {
+            return Err(OptimError::Invalid("penalty weight must be positive".to_owned()));
+        }
+        for (i, c) in constraints.iter().enumerate() {
+            if c.coeffs.len() != inner.dim() {
+                return Err(OptimError::Invalid(format!(
+                    "constraint {i} has {} coefficients for a {}-dim objective",
+                    c.coeffs.len(),
+                    inner.dim()
+                )));
+            }
+        }
+        Ok(PenalizedObjective {
+            inner,
+            constraints,
+            weight,
+        })
+    }
+
+    /// Total squared violation at `x` (before weighting).
+    pub fn total_violation(&self, x: &[f64]) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| {
+                let v = c.violation(x);
+                v * v
+            })
+            .sum()
+    }
+
+    /// Whether all constraints hold within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        self.constraints.iter().all(|c| c.is_satisfied(x, tol))
+    }
+}
+
+impl Objective for PenalizedObjective<'_> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.inner.eval(x) + self.weight * self.total_violation(x)
+    }
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Bounds;
+    use crate::objective::FnObjective;
+    use crate::random_search::random_search;
+
+    #[test]
+    fn violation_math() {
+        let le = LinearConstraint::less_eq(vec![1.0, 1.0], 10.0);
+        assert_eq!(le.violation(&[4.0, 5.0]), 0.0);
+        assert_eq!(le.violation(&[7.0, 5.0]), 2.0);
+        assert!(le.is_satisfied(&[5.0, 5.0], 1e-9));
+
+        let ge = LinearConstraint::greater_eq(vec![2.0, 0.0], 4.0);
+        assert_eq!(ge.violation(&[1.0, 9.0]), 2.0);
+        assert_eq!(ge.violation(&[3.0, 0.0]), 0.0);
+
+        let eq = LinearConstraint::eq(vec![1.0, -1.0], 0.0);
+        assert_eq!(eq.violation(&[3.0, 3.0]), 0.0);
+        assert_eq!(eq.violation(&[4.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn penalty_steers_optimizer_into_feasible_region() {
+        // Maximize x+y (minimize -(x+y)) subject to x + y <= 1 in [0,1]^2.
+        // Unconstrained optimum is (1,1); constrained optimum is on the
+        // line x + y = 1.
+        let o = FnObjective::new(2, |x: &[f64]| -(x[0] + x[1]));
+        let constraint = LinearConstraint::less_eq(vec![1.0, 1.0], 1.0);
+        let p = PenalizedObjective::new(&o, vec![constraint], 100.0).unwrap();
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        let r = random_search(&p, &b, 4000, 3).unwrap();
+        let sum = r.best_x[0] + r.best_x[1];
+        assert!(sum <= 1.05, "near-feasible: {sum}");
+        assert!(sum > 0.85, "pushes against the constraint: {sum}");
+        assert!(p.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!p.is_feasible(&[0.9, 0.9], 1e-9));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let o = FnObjective::new(2, |_: &[f64]| 0.0);
+        assert!(PenalizedObjective::new(&o, vec![], 0.0).is_err());
+        let wrong_dim = LinearConstraint::less_eq(vec![1.0], 0.0);
+        assert!(PenalizedObjective::new(&o, vec![wrong_dim], 1.0).is_err());
+        let ok = LinearConstraint::less_eq(vec![1.0, 1.0], 0.0);
+        assert!(PenalizedObjective::new(&o, vec![ok], 1.0).is_ok());
+    }
+
+    #[test]
+    fn no_constraints_is_identity() {
+        let o = FnObjective::new(1, |x: &[f64]| x[0] * 3.0);
+        let p = PenalizedObjective::new(&o, vec![], 1.0).unwrap();
+        assert_eq!(p.eval(&[2.0]), 6.0);
+        assert_eq!(p.total_violation(&[2.0]), 0.0);
+        assert!(p.is_feasible(&[2.0], 0.0));
+    }
+}

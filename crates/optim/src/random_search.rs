@@ -1,0 +1,74 @@
+//! Uniform random search — the simplest global baseline.
+
+use crate::bounds::Bounds;
+use crate::objective::{Objective, OptimError};
+use crate::result::OptimResult;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Minimize by sampling `n_evals` uniform points in the box.
+///
+/// # Errors
+/// [`OptimError::Invalid`] on zero budget or dimension mismatch.
+pub fn random_search(
+    objective: &dyn Objective,
+    bounds: &Bounds,
+    n_evals: usize,
+    seed: u64,
+) -> Result<OptimResult, OptimError> {
+    if n_evals == 0 {
+        return Err(OptimError::Invalid("n_evals must be positive".to_owned()));
+    }
+    if objective.dim() != bounds.dim() {
+        return Err(OptimError::Invalid(format!(
+            "objective dim {} vs bounds dim {}",
+            objective.dim(),
+            bounds.dim()
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let history: Vec<(Vec<f64>, f64)> = (0..n_evals)
+        .map(|_| {
+            let x = bounds.sample(&mut rng);
+            let f = objective.eval(&x);
+            (x, f)
+        })
+        .collect();
+    Ok(OptimResult::from_history(history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn finds_near_optimum_of_sphere() {
+        let o = FnObjective::new(2, |x: &[f64]| x[0] * x[0] + x[1] * x[1]);
+        let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
+        let r = random_search(&o, &b, 2000, 1).unwrap();
+        assert!(r.best_f < 0.05, "best {}", r.best_f);
+        assert_eq!(r.n_evals, 2000);
+        assert!(b.contains(&r.best_x));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let o = FnObjective::new(1, |x: &[f64]| x[0].abs());
+        let b = Bounds::uniform(1, -1.0, 1.0).unwrap();
+        let a = random_search(&o, &b, 50, 7).unwrap();
+        let c = random_search(&o, &b, 50, 7).unwrap();
+        assert_eq!(a.best_x, c.best_x);
+        let d = random_search(&o, &b, 50, 8).unwrap();
+        assert_ne!(a.history, d.history);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let o = FnObjective::new(2, |_: &[f64]| 0.0);
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        assert!(random_search(&o, &b, 0, 0).is_err());
+        let b1 = Bounds::uniform(1, 0.0, 1.0).unwrap();
+        assert!(random_search(&o, &b1, 10, 0).is_err());
+    }
+}

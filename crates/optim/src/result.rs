@@ -1,0 +1,124 @@
+//! Optimizer run results and convergence traces.
+
+/// The outcome of one optimizer run (minimization convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    /// Best point found.
+    pub best_x: Vec<f64>,
+    /// Objective value at `best_x`.
+    pub best_f: f64,
+    /// Total objective evaluations spent.
+    pub n_evals: usize,
+    /// Every evaluated `(point, value)` in evaluation order.
+    pub history: Vec<(Vec<f64>, f64)>,
+}
+
+impl OptimResult {
+    /// Assemble a result from an evaluation history.
+    ///
+    /// NaN values never become the incumbent; if *every* value is NaN the
+    /// first point is returned with `best_f = NaN`.
+    pub fn from_history(history: Vec<(Vec<f64>, f64)>) -> OptimResult {
+        let n_evals = history.len();
+        let mut best_idx = 0usize;
+        let mut best_f = f64::NAN;
+        for (i, (_, f)) in history.iter().enumerate() {
+            if f.is_nan() {
+                continue;
+            }
+            if best_f.is_nan() || *f < best_f {
+                best_f = *f;
+                best_idx = i;
+            }
+        }
+        let best_x = history
+            .get(best_idx)
+            .map(|(x, _)| x.clone())
+            .unwrap_or_default();
+        OptimResult {
+            best_x,
+            best_f,
+            n_evals,
+            history,
+        }
+    }
+
+    /// Running best-so-far values (the convergence curve the goal bench
+    /// plots). NaN entries repeat the previous best.
+    pub fn convergence_trace(&self) -> Vec<f64> {
+        let mut best = f64::NAN;
+        self.history
+            .iter()
+            .map(|(_, f)| {
+                if !f.is_nan() && (best.is_nan() || *f < best) {
+                    best = *f;
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Best value after the first `n` evaluations (`NaN` when `n == 0`).
+    pub fn best_after(&self, n: usize) -> f64 {
+        let trace = self.convergence_trace();
+        if n == 0 || trace.is_empty() {
+            return f64::NAN;
+        }
+        trace[(n - 1).min(trace.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_minimum_from_history() {
+        let h = vec![
+            (vec![0.0], 3.0),
+            (vec![1.0], 1.0),
+            (vec![2.0], 2.0),
+        ];
+        let r = OptimResult::from_history(h);
+        assert_eq!(r.best_f, 1.0);
+        assert_eq!(r.best_x, vec![1.0]);
+        assert_eq!(r.n_evals, 3);
+    }
+
+    #[test]
+    fn nan_values_are_skipped() {
+        let h = vec![(vec![0.0], f64::NAN), (vec![1.0], 5.0)];
+        let r = OptimResult::from_history(h);
+        assert_eq!(r.best_f, 5.0);
+        assert_eq!(r.best_x, vec![1.0]);
+        let all_nan = OptimResult::from_history(vec![(vec![0.0], f64::NAN)]);
+        assert!(all_nan.best_f.is_nan());
+        assert_eq!(all_nan.best_x, vec![0.0]);
+    }
+
+    #[test]
+    fn empty_history() {
+        let r = OptimResult::from_history(vec![]);
+        assert!(r.best_f.is_nan());
+        assert!(r.best_x.is_empty());
+        assert_eq!(r.n_evals, 0);
+        assert!(r.convergence_trace().is_empty());
+        assert!(r.best_after(1).is_nan());
+    }
+
+    #[test]
+    fn convergence_trace_is_monotone() {
+        let h = vec![
+            (vec![0.0], 3.0),
+            (vec![1.0], f64::NAN),
+            (vec![2.0], 1.0),
+            (vec![3.0], 2.0),
+        ];
+        let r = OptimResult::from_history(h);
+        assert_eq!(r.convergence_trace(), vec![3.0, 3.0, 1.0, 1.0]);
+        assert_eq!(r.best_after(1), 3.0);
+        assert_eq!(r.best_after(3), 1.0);
+        assert_eq!(r.best_after(99), 1.0);
+        assert!(r.best_after(0).is_nan());
+    }
+}

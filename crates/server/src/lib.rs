@@ -1,0 +1,22 @@
+//! # whatif-server
+//!
+//! The client-server layer of the SystemD reproduction. The paper's
+//! system "has a client-server architecture ... The backend server runs
+//! machine learning models to predict KPI objective values and packs
+//! them into efficient JSON data structures to send to the client in
+//! response to user interactions" (§2).
+//!
+//! * [`protocol`] — one request/response pair per Figure 2 view (A)–(I),
+//!   serialized with serde/JSON.
+//! * [`handlers`] — the stateful dispatcher: sessions, trained models,
+//!   scenario ledgers.
+//! * [`tcp`] — a blocking TCP server speaking line-delimited JSON, plus
+//!   a matching client.
+
+pub mod handlers;
+pub mod protocol;
+pub mod tcp;
+
+pub use handlers::ServerState;
+pub use protocol::{Request, Response, UseCase};
+pub use tcp::{serve, Client};

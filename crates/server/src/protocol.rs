@@ -1,0 +1,312 @@
+//! The JSON view protocol: requests a frontend sends, responses the
+//! backend packs. Each variant maps to an annotated view of the paper's
+//! Figure 2.
+
+use serde::{Deserialize, Serialize};
+use whatif_core::goal::{Goal, OptimizerChoice};
+use whatif_core::importance::{DriverImportance, VerificationReport};
+use whatif_core::model_backend::ModelConfig;
+use whatif_core::perturbation::Perturbation;
+use whatif_core::scenario::Scenario;
+use whatif_core::sensitivity::{ComparisonCurve, PerDataSensitivity, SensitivityResult};
+use whatif_core::{DriverConstraint, GoalInversionResult};
+use whatif_frame::Value;
+
+/// The built-in business use cases (view A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UseCase {
+    /// U1: media spend → sales.
+    MarketingMix,
+    /// U2: customer activities → 6-month retention.
+    CustomerRetention,
+    /// U3: prospect activities → deal closing.
+    DealClosing,
+}
+
+impl UseCase {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UseCase::MarketingMix => "Marketing Mix Modeling",
+            UseCase::CustomerRetention => "Customer Retention Analysis",
+            UseCase::DealClosing => "Deal Closing Analysis",
+        }
+    }
+
+    /// All use cases.
+    pub fn all() -> [UseCase; 3] {
+        [
+            UseCase::MarketingMix,
+            UseCase::CustomerRetention,
+            UseCase::DealClosing,
+        ]
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// List the available use cases (view A).
+    ListUseCases,
+    /// Create a session on a generated use-case dataset (view A).
+    LoadUseCase {
+        /// Which use case.
+        use_case: UseCase,
+        /// Rows/days to generate (use-case-appropriate default if
+        /// `None`).
+        n_rows: Option<usize>,
+        /// Generator seed (default 7).
+        seed: Option<u64>,
+    },
+    /// Create a session from inline CSV text (custom data path).
+    LoadCsv {
+        /// CSV content with a header row.
+        csv: String,
+    },
+    /// Fetch the tabulated dataset (view B).
+    TableView {
+        /// Session id.
+        session: u64,
+        /// Maximum rows to return.
+        max_rows: usize,
+    },
+    /// Select the KPI objective (view C).
+    SelectKpi {
+        /// Session id.
+        session: u64,
+        /// KPI column name.
+        kpi: String,
+    },
+    /// Fetch / filter the driver list (view D). `drivers = None` keeps
+    /// the current selection.
+    SelectDrivers {
+        /// Session id.
+        session: u64,
+        /// New driver selection, or `None` to just read it back.
+        drivers: Option<Vec<String>>,
+    },
+    /// Train (or retrain) the model backing the session.
+    Train {
+        /// Session id.
+        session: u64,
+        /// Model configuration (default when `None`).
+        config: Option<ModelConfig>,
+    },
+    /// Driver importance view (E).
+    DriverImportanceView {
+        /// Session id.
+        session: u64,
+        /// Also run the Shapley/Pearson/Spearman verification.
+        verify: bool,
+    },
+    /// Sensitivity view (F/G/H): KPI on original vs perturbed data.
+    SensitivityView {
+        /// Session id.
+        session: u64,
+        /// Perturbations from the perturbation view (G).
+        perturbations: Vec<Perturbation>,
+    },
+    /// Comparison analysis (H): per-driver KPI trends.
+    ComparisonView {
+        /// Session id.
+        session: u64,
+        /// Percentage sweep.
+        percentages: Vec<f64>,
+    },
+    /// Per-data analysis (H): one data point.
+    PerDataView {
+        /// Session id.
+        session: u64,
+        /// Row index.
+        row: usize,
+        /// Perturbations for that row.
+        perturbations: Vec<Perturbation>,
+    },
+    /// Goal inversion / constrained analysis view (I).
+    GoalInversionView {
+        /// Session id.
+        session: u64,
+        /// KPI goal.
+        goal: Goal,
+        /// Constraints from the perturbation view (G).
+        constraints: Vec<DriverConstraint>,
+        /// Optimizer choice (Bayesian default when `None`).
+        optimizer: Option<OptimizerChoice>,
+        /// Optimizer seed.
+        seed: u64,
+    },
+    /// Record the most recent sensitivity/goal result as a named
+    /// scenario (options as first-class citizens).
+    RecordScenario {
+        /// Session id.
+        session: u64,
+        /// Scenario name.
+        name: String,
+    },
+    /// List recorded scenarios, ranked by uplift.
+    ListScenarios {
+        /// Session id.
+        session: u64,
+    },
+    /// Drop a session and free its state.
+    CloseSession {
+        /// Session id.
+        session: u64,
+    },
+    /// Stop the TCP server (connection-level; in-process dispatch
+    /// answers with an acknowledgement).
+    Shutdown,
+}
+
+/// A column descriptor in the table view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnInfo {
+    /// Column name.
+    pub name: String,
+    /// Dtype name (`f64`, `i64`, `bool`, `str`).
+    pub dtype: String,
+    /// Number of nulls.
+    pub null_count: usize,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Available use cases with labels.
+    UseCases(Vec<(UseCase, String)>),
+    /// A session was created.
+    SessionCreated {
+        /// Session id to use in subsequent requests.
+        session: u64,
+        /// Row count of the loaded dataset.
+        n_rows: usize,
+        /// Column descriptors.
+        columns: Vec<ColumnInfo>,
+        /// Suggested KPI for the use case, when known.
+        suggested_kpi: Option<String>,
+    },
+    /// Table rows (view B): column names plus row-major cells.
+    Table {
+        /// Column names.
+        columns: Vec<String>,
+        /// Rows of dynamically-typed values.
+        rows: Vec<Vec<Value>>,
+        /// Total rows in the dataset (may exceed `rows.len()`).
+        total_rows: usize,
+    },
+    /// KPI accepted (view C).
+    KpiSelected {
+        /// The KPI column.
+        kpi: String,
+        /// `"continuous"` or `"binary"`.
+        kind: String,
+    },
+    /// Current driver selection (view D).
+    Drivers {
+        /// Selected drivers.
+        selected: Vec<String>,
+    },
+    /// Model trained.
+    Trained {
+        /// Resolved model family.
+        kind: String,
+        /// Holdout confidence.
+        confidence: f64,
+        /// KPI on the original data.
+        baseline_kpi: f64,
+    },
+    /// Driver importance payload (view E).
+    Importance {
+        /// Importance scores.
+        importance: DriverImportance,
+        /// Optional verification report.
+        verification: Option<VerificationReport>,
+    },
+    /// Sensitivity payload (view H).
+    Sensitivity(SensitivityResult),
+    /// Comparison payload (view H).
+    Comparison(Vec<ComparisonCurve>),
+    /// Per-data payload (view H).
+    PerData(PerDataSensitivity),
+    /// Goal inversion payload (view I).
+    GoalInversion(GoalInversionResult),
+    /// Scenario recorded with this id.
+    ScenarioRecorded {
+        /// Ledger id.
+        id: u64,
+    },
+    /// Scenario listing, ranked by uplift.
+    Scenarios(Vec<Scenario>),
+    /// Session closed.
+    SessionClosed,
+    /// Shutdown acknowledged.
+    ShuttingDown,
+    /// Any failure, as a message.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Build an error response from any error type.
+    pub fn error(e: impl std::fmt::Display) -> Response {
+        Response::Error {
+            message: e.to_string(),
+        }
+    }
+
+    /// True if this is an error response.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn use_case_labels() {
+        assert_eq!(UseCase::MarketingMix.label(), "Marketing Mix Modeling");
+        assert_eq!(UseCase::all().len(), 3);
+    }
+
+    #[test]
+    fn request_json_roundtrip() {
+        let reqs = vec![
+            Request::ListUseCases,
+            Request::LoadUseCase {
+                use_case: UseCase::DealClosing,
+                n_rows: Some(100),
+                seed: None,
+            },
+            Request::SelectKpi {
+                session: 1,
+                kpi: "Deal Closed?".into(),
+            },
+            Request::SensitivityView {
+                session: 1,
+                perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+            },
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn response_json_roundtrip() {
+        let resp = Response::KpiSelected {
+            kpi: "Sales".into(),
+            kind: "continuous".into(),
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(resp, serde_json::from_str::<Response>(&json).unwrap());
+        assert!(Response::error("boom").is_error());
+        assert!(!resp.is_error());
+    }
+}

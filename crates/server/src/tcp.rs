@@ -1,0 +1,178 @@
+//! Blocking TCP transport speaking line-delimited JSON — one request per
+//! line, one response per line.
+
+use crate::handlers::ServerState;
+use crate::protocol::{Request, Response};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Start serving on `addr` (use port 0 for an ephemeral port). Returns
+/// the bound address and a join handle; the server stops after a client
+/// sends [`Request::Shutdown`].
+///
+/// Connections are handled sequentially — the paper's prototype serves a
+/// single analyst; concurrent sessions multiplex over one connection via
+/// session ids.
+///
+/// # Errors
+/// Propagates socket bind errors.
+pub fn serve(addr: &str) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let state = Arc::new(ServerState::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if let Err(e) = handle_client(stream, &state, &stop) {
+                // A dropped client is not fatal to the server.
+                eprintln!("whatif-server: client error: {e}");
+            }
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+    });
+    Ok((local, handle))
+}
+
+fn handle_client(
+    stream: TcpStream,
+    state: &ServerState,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(Request::Shutdown) => {
+                stop.store(true, Ordering::SeqCst);
+                Response::ShuttingDown
+            }
+            Ok(request) => state.handle(request),
+            Err(e) => Response::error(format!("malformed request: {e}")),
+        };
+        let json = serde_json::to_string(&response)
+            .unwrap_or_else(|e| format!("{{\"Error\":{{\"message\":\"encode: {e}\"}}}}"));
+        writer.write_all(json.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// A minimal blocking client for the line-delimited JSON protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request and wait for its response.
+    ///
+    /// # Errors
+    /// Propagates socket/serialization errors; a closed connection is
+    /// `UnexpectedEof`.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
+        let json = serde_json::to_string(request)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        self.writer.write_all(json.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::UseCase;
+    use whatif_core::model_backend::ModelConfig;
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let (addr, handle) = serve("127.0.0.1:0").unwrap();
+        let mut client = Client::connect(addr).unwrap();
+
+        match client.call(&Request::ListUseCases).unwrap() {
+            Response::UseCases(u) => assert_eq!(u.len(), 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        let session = match client
+            .call(&Request::LoadUseCase {
+                use_case: UseCase::DealClosing,
+                n_rows: Some(150),
+                seed: Some(1),
+            })
+            .unwrap()
+        {
+            Response::SessionCreated { session, .. } => session,
+            other => panic!("unexpected: {other:?}"),
+        };
+        client
+            .call(&Request::SelectKpi {
+                session,
+                kpi: "Deal Closed?".into(),
+            })
+            .unwrap();
+        let mut cfg = ModelConfig::default();
+        cfg.n_trees = 8;
+        match client
+            .call(&Request::Train {
+                session,
+                config: Some(cfg),
+            })
+            .unwrap()
+        {
+            Response::Trained { kind, .. } => assert_eq!(kind, "random_forest"),
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // Malformed request line yields an error response, not a hang.
+        let raw = "this is not json";
+        client.writer.write_all(raw.as_bytes()).unwrap();
+        client.writer.write_all(b"\n").unwrap();
+        client.writer.flush().unwrap();
+        let mut line = String::new();
+        client.reader.read_line(&mut line).unwrap();
+        let resp: Response = serde_json::from_str(&line).unwrap();
+        assert!(resp.is_error());
+
+        assert_eq!(client.call(&Request::Shutdown).unwrap(), Response::ShuttingDown);
+        handle.join().unwrap();
+    }
+}

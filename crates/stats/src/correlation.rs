@@ -1,0 +1,168 @@
+//! Pearson and Spearman correlation — two of the three "traditional
+//! measures" SystemD uses to verify model importances (§2 E).
+
+use crate::describe::mean;
+use crate::rank::average_ranks;
+
+/// Sample covariance (n−1 denominator). `NaN` for fewer than two pairs or
+/// mismatched lengths.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let s: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
+    s / (xs.len() - 1) as f64
+}
+
+/// Pearson product-moment correlation coefficient in `[-1, 1]`.
+///
+/// `NaN` when either side is constant, lengths mismatch, or fewer than two
+/// pairs are given.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return f64::NAN;
+    }
+    // Clamp: floating error can push |r| epsilon past 1.
+    (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0)
+}
+
+/// Spearman rank correlation: Pearson over average ranks, which makes it
+/// correct under ties (unlike the `1 − 6Σd²/(n(n²−1))` shortcut).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    let rx = average_ranks(xs);
+    let ry = average_ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Full Pearson correlation matrix of the given columns
+/// (row-major `k × k`; diagonal is 1 where defined).
+pub fn pearson_matrix(columns: &[&[f64]]) -> Vec<f64> {
+    let k = columns.len();
+    let mut m = vec![f64::NAN; k * k];
+    for i in 0..k {
+        for j in i..k {
+            let r = if i == j {
+                if columns[i].len() >= 2 {
+                    1.0
+                } else {
+                    f64::NAN
+                }
+            } else {
+                pearson(columns[i], columns[j])
+            };
+            m[i * k + j] = r;
+            m[j * k + i] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_known_value() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        // var(x) = 5/3; cov(x, 2x) = 2 * var(x)
+        assert!((covariance(&x, &y) - 10.0 / 3.0).abs() < 1e-12);
+        assert!(covariance(&x, &y[..2]).is_nan());
+        assert!(covariance(&[1.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 1.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yneg: Vec<f64> = x.iter().map(|v| -2.0 * v + 5.0).collect();
+        assert!((pearson(&x, &yneg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Hand-computed example.
+        let x = [1.0, 2.0, 3.0, 5.0, 8.0];
+        let y = [0.11, 0.12, 0.13, 0.15, 0.18];
+        let r = pearson(&x, &y);
+        assert!((r - 1.0).abs() < 1e-9, "y is affine in x: r = {r}");
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        // Orthogonal-ish pattern.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, -1.0, 1.0];
+        assert!(pearson(&x, &y).abs() < 0.5);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for the same data.
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let rho = spearman(&x, &y);
+        assert!(rho > 0.9 && rho <= 1.0);
+    }
+
+    #[test]
+    fn spearman_reversal() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [9.0, 5.0, 1.0];
+        assert!((spearman(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        let c = [1.0, 3.0, 2.0, 4.0];
+        let m = pearson_matrix(&[&a, &b, &c]);
+        let k = 3;
+        for i in 0..k {
+            assert!((m[i * k + i] - 1.0).abs() < 1e-12);
+            for j in 0..k {
+                assert_eq!(m[i * k + j].to_bits(), m[j * k + i].to_bits());
+            }
+        }
+        assert!((m[1] + 1.0).abs() < 1e-12, "a vs b perfectly negative");
+    }
+}

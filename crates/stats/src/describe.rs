@@ -1,0 +1,229 @@
+//! Basic descriptive statistics, including a streaming (Welford)
+//! accumulator for single-pass mean/variance.
+
+/// Arithmetic mean. Returns `NaN` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (n−1 denominator). Returns `NaN` for fewer than two
+/// values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation (n−1 denominator).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Population variance (n denominator). Returns `NaN` for empty input.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Skewness (adjusted Fisher–Pearson). Returns `NaN` for fewer than three
+/// values or zero variance.
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if xs.len() < 3 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s == 0.0 || !s.is_finite() {
+        return f64::NAN;
+    }
+    let m3 = xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>();
+    n / ((n - 1.0) * (n - 2.0)) * m3
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; used by the benchmark harness to
+/// summarize latency samples without storing them.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Incorporate one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`NaN` before the first observation).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Running sample variance (`NaN` before the second observation).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Running sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` before the first).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` before the first).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_short_inputs_are_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert!(population_variance(&[]).is_nan());
+        assert!(skewness(&[1.0, 2.0]).is_nan());
+        assert!(skewness(&[3.0, 3.0, 3.0]).is_nan(), "zero variance");
+    }
+
+    #[test]
+    fn skewness_signs() {
+        // Right-skewed data has positive skewness.
+        let right = [1.0, 1.0, 1.0, 2.0, 10.0];
+        assert!(skewness(&right) > 0.0);
+        let left = [10.0, 10.0, 10.0, 9.0, 1.0];
+        assert!(skewness(&left) < 0.0);
+        // Symmetric data ~ 0.
+        let sym = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&sym).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((rs.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(rs.min(), 2.0);
+        assert_eq!(rs.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let rs = RunningStats::new();
+        assert!(rs.mean().is_nan());
+        assert!(rs.variance().is_nan());
+        assert_eq!(rs.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..3] {
+            a.push(x);
+        }
+        for &x in &xs[3..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert!((a.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((a.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 6.0);
+
+        // Merging into empty clones the other side.
+        let mut empty = RunningStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 6);
+        // Merging an empty is a no-op.
+        let snapshot = a.mean();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), snapshot);
+    }
+}

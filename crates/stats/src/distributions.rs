@@ -1,0 +1,190 @@
+//! Random variate generation on top of `rand` uniforms.
+//!
+//! `whatif-datagen` builds its business datasets from these samplers;
+//! implementing them here (Box–Muller, Knuth, inverse-CDF) keeps the
+//! workspace free of external distribution crates.
+
+use rand::Rng;
+
+/// Standard normal variate via Box–Muller (polar-free, two uniforms).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal variate with the given mean and standard deviation.
+/// Negative `std_dev` is treated as zero.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev.max(0.0) * standard_normal(rng)
+}
+
+/// Log-normal variate: `exp(N(mu, sigma))` in log space.
+pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Poisson variate.
+///
+/// Knuth's product method for `lambda < 30`; normal approximation
+/// (rounded, clamped at zero) above, which keeps sampling O(1) for the
+/// large rates the activity generators use.
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, lambda, lambda.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// Exponential variate with the given rate (`lambda > 0`); returns `NaN`
+/// for non-positive rates.
+pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::NAN;
+    }
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Uniform variate in `[lo, hi)` (degenerate ranges return `lo`).
+pub fn uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    rng.gen_range(lo..hi)
+}
+
+/// Logistic sigmoid, `1 / (1 + e^{-x})` — the link function of the
+/// synthetic classification ground truths.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        // Algebraically identical; avoids exp overflow for very negative x.
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::{mean, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng(1);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut r)).collect();
+        assert!(mean(&xs).abs() < 0.02, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 1.0).abs() < 0.02, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut r = rng(2);
+        let xs: Vec<f64> = (0..100_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        assert!((mean(&xs) - 5.0).abs() < 0.05);
+        assert!((std_dev(&xs) - 2.0).abs() < 0.05);
+        // Negative sigma behaves like zero.
+        assert_eq!(normal(&mut r, 3.0, -1.0), 3.0);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng(3);
+        assert!((0..1000).all(|_| log_normal(&mut r, 0.0, 1.0) > 0.0));
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut r = rng(4);
+        let xs: Vec<f64> = (0..100_000).map(|_| poisson(&mut r, 4.0) as f64).collect();
+        assert!((mean(&xs) - 4.0).abs() < 0.05);
+        // Variance equals mean for Poisson.
+        assert!((std_dev(&xs).powi(2) - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut r = rng(5);
+        let xs: Vec<f64> = (0..50_000).map(|_| poisson(&mut r, 100.0) as f64).collect();
+        assert!((mean(&xs) - 100.0).abs() < 0.5);
+        assert!((std_dev(&xs) - 10.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut r = rng(6);
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -1.0), 0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = rng(7);
+        let hits = (0..100_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        let f = hits as f64 / 100_000.0;
+        assert!((f - 0.3).abs() < 0.01, "freq {f}");
+        assert!(!bernoulli(&mut r, -1.0));
+        assert!(bernoulli(&mut r, 2.0));
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng(8);
+        let xs: Vec<f64> = (0..100_000).map(|_| exponential(&mut r, 2.0)).collect();
+        assert!((mean(&xs) - 0.5).abs() < 0.01);
+        assert!(exponential(&mut r, 0.0).is_nan());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = rng(9);
+        for _ in 0..1000 {
+            let x = uniform(&mut r, -2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        assert_eq!(uniform(&mut r, 1.0, 1.0), 1.0);
+        assert_eq!(uniform(&mut r, 2.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(30.0) > 0.999999);
+        assert!(sigmoid(-30.0) < 1e-6);
+        // Symmetry: s(-x) = 1 - s(x).
+        for x in [-3.0, -1.0, 0.5, 2.0] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+        }
+        // No overflow at extreme inputs.
+        assert_eq!(sigmoid(-1e9), 0.0);
+        assert_eq!(sigmoid(1e9), 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Quantiles with linear interpolation (type-7, the numpy/R default).
+
+/// The `q`-th quantile (`0 ≤ q ≤ 1`) with linear interpolation between
+/// order statistics. `NaN` for empty input or `q` outside `[0, 1]`.
+///
+/// `NaN` input values are ignored.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if !(0.0..=1.0).contains(&q) {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+    let h = (v.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (h - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Interquartile range (q75 − q25).
+pub fn iqr(xs: &[f64]) -> f64 {
+    quantile(xs, 0.75) - quantile(xs, 0.25)
+}
+
+/// Several quantiles at once over a single sort.
+pub fn quantiles(xs: &[f64], qs: &[f64]) -> Vec<f64> {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return vec![f64::NAN; qs.len()];
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+    qs.iter()
+        .map(|&q| {
+            if !(0.0..=1.0).contains(&q) {
+                return f64::NAN;
+            }
+            let h = (v.len() - 1) as f64 * q;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (h - lo as f64) * (v[hi] - v[lo])
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 30.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+        assert_eq!(quantile(&xs, 0.75), 7.5);
+    }
+
+    #[test]
+    fn quantile_invalid_inputs() {
+        assert!(quantile(&[], 0.5).is_nan());
+        assert!(quantile(&[1.0], -0.1).is_nan());
+        assert!(quantile(&[1.0], 1.1).is_nan());
+    }
+
+    #[test]
+    fn nan_values_are_ignored() {
+        assert_eq!(median(&[1.0, f64::NAN, 3.0]), 2.0);
+        assert!(median(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn iqr_known() {
+        let xs: Vec<f64> = (1..=5).map(|i| i as f64).collect();
+        assert_eq!(iqr(&xs), 2.0);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let qs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let batch = quantiles(&xs, &qs);
+        for (b, &q) in batch.iter().zip(&qs) {
+            assert_eq!(*b, quantile(&xs, q));
+        }
+        assert!(quantiles(&xs, &[2.0])[0].is_nan());
+        assert!(quantiles(&[], &[0.5])[0].is_nan());
+    }
+}

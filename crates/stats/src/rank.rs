@@ -1,0 +1,227 @@
+//! Ranking utilities and rank-agreement metrics.
+//!
+//! SystemD verifies model importances against rank-based measures (§2 E);
+//! [`kendall_tau`] and [`top_k_overlap`] quantify how well two importance
+//! orderings agree — the same check the paper performs by eye.
+
+/// Assign 1-based *average ranks* (ties share the mean of the positions
+/// they span), the convention Spearman's rho uses.
+///
+/// `NaN` values rank last (after all numbers), tied among themselves.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        xs[i]
+            .partial_cmp(&xs[j])
+            .unwrap_or_else(|| match (xs[i].is_nan(), xs[j].is_nan()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => std::cmp::Ordering::Equal,
+            })
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        let same = |a: f64, b: f64| a == b || (a.is_nan() && b.is_nan());
+        while j + 1 < n && same(xs[order[j + 1]], xs[order[i]]) {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share rank mean of (i+1)..=(j+1).
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Kendall's tau-b rank correlation between two paired samples.
+///
+/// Handles ties via the tau-b normalization. Returns `NaN` for fewer than
+/// two pairs or mismatched lengths, or when one side is constant.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    let n = xs.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                // tied in both: contributes to neither
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if (dx > 0.0) == (dy > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    // Count fully tied pairs per side for tau-b denominators.
+    let denom_x = n0 - count_tied_pairs(xs) as f64;
+    let denom_y = n0 - count_tied_pairs(ys) as f64;
+    let _ = (ties_x, ties_y);
+    if denom_x <= 0.0 || denom_y <= 0.0 {
+        return f64::NAN;
+    }
+    (concordant - discordant) as f64 / (denom_x * denom_y).sqrt()
+}
+
+fn count_tied_pairs(xs: &[f64]) -> i64 {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut total = 0i64;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as i64;
+        total += t * (t - 1) / 2;
+        i = j + 1;
+    }
+    total
+}
+
+/// Fraction of shared items between the top-`k` of two score vectors
+/// (by descending score). `1.0` means identical top-k sets.
+///
+/// Returns `NaN` if `k == 0` or either input is shorter than `k`.
+pub fn top_k_overlap(a: &[f64], b: &[f64], k: usize) -> f64 {
+    if k == 0 || a.len() < k || b.len() < k || a.len() != b.len() {
+        return f64::NAN;
+    }
+    let top = |xs: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| {
+            xs[j]
+                .partial_cmp(&xs[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    };
+    let ta = top(a);
+    let tb = top(b);
+    let overlap = ta.iter().filter(|i| tb.contains(i)).count();
+    overlap as f64 / k as f64
+}
+
+/// Indices sorted by descending absolute score — the "importance order"
+/// used across the importance views.
+pub fn descending_abs_order(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&i, &j| {
+        scores[j]
+            .abs()
+            .partial_cmp(&scores[i].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks() {
+        assert_eq!(average_ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_ranks_average() {
+        // [1, 2, 2, 3] -> ranks [1, 2.5, 2.5, 4]
+        assert_eq!(
+            average_ranks(&[1.0, 2.0, 2.0, 3.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+        // All tied.
+        assert_eq!(average_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn nan_ranks_last() {
+        let r = average_ranks(&[f64::NAN, 1.0, 2.0]);
+        assert_eq!(r[1], 1.0);
+        assert_eq!(r[2], 2.0);
+        assert_eq!(r[0], 3.0);
+    }
+
+    #[test]
+    fn kendall_perfect_agreement() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau(&x, &y) - 1.0).abs() < 1e-12);
+        let rev = [40.0, 30.0, 20.0, 10.0];
+        assert!((kendall_tau(&x, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_with_ties_is_bounded() {
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        let tau = kendall_tau(&x, &y);
+        assert!(tau > 0.0 && tau <= 1.0);
+    }
+
+    #[test]
+    fn kendall_degenerate_inputs() {
+        assert!(kendall_tau(&[1.0], &[1.0]).is_nan());
+        assert!(kendall_tau(&[1.0, 2.0], &[1.0]).is_nan());
+        assert!(kendall_tau(&[2.0, 2.0], &[1.0, 3.0]).is_nan(), "constant side");
+    }
+
+    #[test]
+    fn kendall_known_value() {
+        // Classic example: one discordant pair among four items.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 2.0, 4.0, 3.0];
+        // 5 concordant, 1 discordant => tau = 4/6
+        assert!((kendall_tau(&x, &y) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_overlap_basics() {
+        let a = [0.9, 0.1, 0.8, 0.2];
+        let b = [0.8, 0.2, 0.9, 0.1];
+        assert_eq!(top_k_overlap(&a, &b, 2), 1.0); // {0,2} both
+        let c = [0.1, 0.9, 0.2, 0.8];
+        assert_eq!(top_k_overlap(&a, &c, 2), 0.0);
+        assert!(top_k_overlap(&a, &b, 0).is_nan());
+        assert!(top_k_overlap(&a, &b, 9).is_nan());
+    }
+
+    #[test]
+    fn descending_abs_order_uses_magnitude() {
+        let scores = [0.1, -0.9, 0.5];
+        assert_eq!(descending_abs_order(&scores), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ranks_roundtrip_via_sort() {
+        // rank of sorted data is identity.
+        let xs = [3.0, 1.0, 2.0];
+        let r = average_ranks(&xs);
+        let mut pairs: Vec<(f64, f64)> = xs.iter().copied().zip(r).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert_eq!(
+            pairs.iter().map(|p| p.1).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0]
+        );
+    }
+}

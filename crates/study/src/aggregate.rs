@@ -1,0 +1,65 @@
+//! Figure 3 regeneration: paper-vs-simulated Likert bars.
+
+use crate::simulate::{simulate_study, LikertSummary, StudyConfig};
+
+/// Produce the Figure 3 table: one row per usability question, with the
+/// published mean and the simulated panel distribution.
+pub fn figure3(config: &StudyConfig) -> Vec<LikertSummary> {
+    simulate_study(config).items
+}
+
+/// Render Figure 3 as fixed-width text (the repro CLI's output).
+pub fn render_figure3(rows: &[LikertSummary]) -> String {
+    use std::fmt::Write as _;
+    let width = rows.iter().map(|r| r.label.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<width$}  {:>5}  {:>8}  {:>7}  bar (simulated)",
+        "question", "paper", "sim mean", "sim sd",
+    );
+    for r in rows {
+        let bar_len = (r.sim_mean * 8.0).round().max(0.0) as usize;
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>5.2}  {:>8.2}  {:>7.2}  {}",
+            r.label,
+            r.paper_mean,
+            r.sim_mean,
+            r.sim_std,
+            "█".repeat(bar_len),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_rows_align_with_items() {
+        let rows = figure3(&StudyConfig::default());
+        assert_eq!(rows.len(), 8);
+        assert!(rows[0].label.contains("understand"));
+    }
+
+    #[test]
+    fn render_contains_all_labels_and_values() {
+        let rows = figure3(&StudyConfig {
+            n_replications: 50,
+            ..Default::default()
+        });
+        let text = render_figure3(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.label));
+        }
+        assert!(text.contains("paper"));
+        assert!(text.lines().count() >= 9);
+    }
+
+    #[test]
+    fn render_handles_empty() {
+        assert!(render_figure3(&[]).contains("question"));
+    }
+}

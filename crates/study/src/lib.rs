@@ -1,0 +1,27 @@
+//! # whatif-study
+//!
+//! A simulator for the paper's five-participant qualitative evaluation
+//! (§3–4): the Table 1 questionnaire encoded as data, a persona-based
+//! Likert response model calibrated to Figure 3's published bar values,
+//! and the §4 functionality-usefulness rankings.
+//!
+//! ## Why simulate?
+//!
+//! The paper's evaluation is a human study of five Sigma Computing
+//! employees. Humans cannot be re-run from a seed; what *can* be
+//! reproduced is the published aggregate data. Per DESIGN.md, this crate
+//! regenerates those aggregates from a generative persona model whose
+//! parameters are fitted to the paper's reported numbers — so the repro
+//! harness can print paper-vs-simulated values for Figure 3 and the §4
+//! ranking statements, and tests can assert the simulation stays
+//! faithful to them.
+
+pub mod aggregate;
+pub mod persona;
+pub mod questionnaire;
+pub mod simulate;
+
+pub use aggregate::{figure3, render_figure3};
+pub use persona::{Functionality, Persona, Role};
+pub use questionnaire::{instrument, usability_items, Question, QuestionCategory};
+pub use simulate::{simulate_rankings, simulate_study, RankingSummary, StudyConfig, StudyResult};

@@ -1,0 +1,123 @@
+//! The study instrument of Table 1, encoded as data.
+
+use serde::{Deserialize, Serialize};
+
+/// Table 1's three question categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuestionCategory {
+    /// Context-setting questions asked before the demo.
+    PreStudy,
+    /// Likert-scale (1–5) usability statements.
+    Usability,
+    /// Open-ended feedback prompts.
+    OpenEnded,
+}
+
+/// One question of the instrument.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Question {
+    /// Stable identifier (used to join with Figure 3 data).
+    pub id: &'static str,
+    /// Category.
+    pub category: QuestionCategory,
+    /// Full text as printed in Table 1.
+    pub text: &'static str,
+}
+
+/// A usability item that appears as a bar in Figure 3, with the average
+/// rating read off the published chart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsabilityItem {
+    /// Question id.
+    pub id: &'static str,
+    /// Short label used on the Figure 3 y-axis.
+    pub label: &'static str,
+    /// Average Likert value reported by the paper (visual estimate from
+    /// the published figure; the text confirms the ordering).
+    pub paper_mean: f64,
+}
+
+/// The full Table 1 instrument.
+pub fn instrument() -> Vec<Question> {
+    use QuestionCategory::*;
+    vec![
+        Question { id: "pre-data", category: PreStudy, text: "Can you describe the kind of data you use?" },
+        Question { id: "pre-intent", category: PreStudy, text: "What is the intent of using the data?" },
+        Question { id: "pre-interest", category: PreStudy, text: "Given the data, what would you be most interested in analyzing?" },
+        Question { id: "pre-purpose", category: PreStudy, text: "What is the purpose behind interest in the analysis of the data?" },
+        Question { id: "pre-analysis", category: PreStudy, text: "Consider you are interested in sales (U1)/retention rate (U2)/deal closing rate (U3), can you describe what analysis would you perform to make decisions on investing in the right channels (U1)/increasing the retention rate (U2)/increasing deal closing rate (U3)?" },
+        Question { id: "pre-tools", category: PreStudy, text: "Which tools do you use typically to perform the analyses you described?" },
+        Question { id: "pre-difficulty", category: PreStudy, text: "How easy or hard would you say it is for you to analyze the data and make a decision?" },
+        Question { id: "pre-time", category: PreStudy, text: "How much time would you approximately take to come up with a hypothesis and make a decision based on that?" },
+        Question { id: "pre-strategies", category: PreStudy, text: "What strategies do you use to evaluate whether analyses results match your expected hypotheses (via your domain knowledge and/or experience)?" },
+        Question { id: "usab-behavior", category: Usability, text: "The functionalities of SystemD are useful in understanding the behavior of the data better." },
+        Question { id: "usab-decisions", category: Usability, text: "The functionalities of SystemD are useful in making optimal decisions." },
+        Question { id: "usab-intuitive", category: Usability, text: "The interactions with SystemD are intuitive." },
+        Question { id: "usab-learn", category: Usability, text: "Most users would learn to use SystemD very quickly." },
+        Question { id: "usab-integrated", category: Usability, text: "Various functionalities of SystemD are well-integrated." },
+        Question { id: "usab-vs-tools", category: Usability, text: "Compared to your process of analysis and current tools you use on a daily basis for making decisions (as described initially), how useful do you see SystemD helping you for the same tasks?" },
+        Question { id: "usab-daily", category: Usability, text: "Use SystemD in my daily work." },
+        Question { id: "open-vs-tools", category: OpenEnded, text: "Compared to your process of analysis and current tools you use on a daily basis for making decisions (as described initially), how useful do you see SystemD helping you for the same tasks? Explain why." },
+        Question { id: "open-optimize", category: OpenEnded, text: "How useful is SystemD for making decisions that optimize interesting metrics (KPIs) in comparison to current tools? Explain why." },
+        Question { id: "open-rank", category: OpenEnded, text: "List the most useful functionalities or features from most useful to least useful (Driver Importance Analysis, Sensitivity Analysis, Goal Inversion (Seeking) Analysis, Constrained Analysis)." },
+        Question { id: "open-additional", category: OpenEnded, text: "Which additional functionalities or features would become a more effective system to make decisions in SystemD?" },
+        Question { id: "open-concerns", category: OpenEnded, text: "What would be your concerns with the SystemD?" },
+    ]
+}
+
+/// The eight Figure 3 bars, top to bottom, with visual estimates of the
+/// published means. The paper's text anchors the ordering: participants
+/// rated understanding/decision value highest and "interactions are
+/// intuitive" lowest.
+pub fn usability_items() -> Vec<UsabilityItem> {
+    vec![
+        UsabilityItem { id: "usab-behavior", label: "Helps to understand data-KPI behavior", paper_mean: 4.8 },
+        UsabilityItem { id: "usab-decisions", label: "Useful in making optimal decisions", paper_mean: 4.6 },
+        UsabilityItem { id: "usab-daily", label: "Use in daily work", paper_mean: 4.6 },
+        UsabilityItem { id: "usab-tools-daily", label: "Use compared to current tools for daily work", paper_mean: 4.4 },
+        UsabilityItem { id: "usab-tools-optimal", label: "Use compared to current tools for optimal decisions", paper_mean: 4.4 },
+        UsabilityItem { id: "usab-integrated", label: "Functionalities well integrated", paper_mean: 4.2 },
+        UsabilityItem { id: "usab-learn", label: "Learn to use quickly", paper_mean: 4.0 },
+        UsabilityItem { id: "usab-intuitive", label: "Interactions are intuitive", paper_mean: 3.6 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrument_has_all_categories() {
+        let q = instrument();
+        assert_eq!(q.len(), 21);
+        let pre = q.iter().filter(|x| x.category == QuestionCategory::PreStudy).count();
+        let usab = q.iter().filter(|x| x.category == QuestionCategory::Usability).count();
+        let open = q.iter().filter(|x| x.category == QuestionCategory::OpenEnded).count();
+        assert_eq!(pre, 9, "Table 1 lists nine pre-study questions");
+        assert_eq!(usab, 7, "Table 1 lists seven usability statements");
+        assert_eq!(open, 5, "Table 1 lists five open-ended questions");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let q = instrument();
+        let mut ids: Vec<&str> = q.iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), q.len());
+    }
+
+    #[test]
+    fn figure3_has_eight_bars_in_paper_order() {
+        let items = usability_items();
+        assert_eq!(items.len(), 8);
+        // Ordering from the figure: monotone non-increasing means.
+        for w in items.windows(2) {
+            assert!(w[0].paper_mean >= w[1].paper_mean);
+        }
+        assert_eq!(items[0].id, "usab-behavior");
+        assert_eq!(items[7].id, "usab-intuitive");
+        // All within the Likert range.
+        assert!(items.iter().all(|i| (1.0..=5.0).contains(&i.paper_mean)));
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the full SystemD loop on a small synthetic dataset —
+//! load, pick a KPI, train, then run all four analyses.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use whatif::core::goal::{Goal, GoalConfig, OptimizerChoice};
+use whatif::core::prelude::*;
+use whatif::frame::{Column, Frame};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny sales dataset: ad spend and discounts drive revenue.
+    let n = 120;
+    let spend: Vec<f64> = (0..n).map(|i| 50.0 + (i % 10) as f64 * 10.0).collect();
+    let discount: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64).collect();
+    let revenue: Vec<f64> = spend
+        .iter()
+        .zip(&discount)
+        .map(|(s, d)| 3.0 * s - 25.0 * d + 400.0)
+        .collect();
+    let frame = Frame::from_columns(vec![
+        Column::from_f64("Ad Spend", spend),
+        Column::from_f64("Discount", discount),
+        Column::from_f64("Revenue", revenue),
+    ])?;
+
+    // 1. Session: pick the KPI; drivers default to every numeric column.
+    let session = Session::new(frame).with_kpi("Revenue")?;
+    let model = session.train(&ModelConfig::default())?;
+    println!(
+        "trained a {:?} model, confidence {:.3}, baseline KPI {:.1}",
+        model.kind(),
+        model.confidence(),
+        model.baseline_kpi()
+    );
+
+    // 2. Driver importance: which columns move revenue?
+    let importance = model.driver_importance()?;
+    println!("\ndriver importance:");
+    for name in importance.ranked_names() {
+        println!("  {name:<10} {:+.3}", importance.score_of(name).unwrap());
+    }
+
+    // 3. Sensitivity: what if we raise ad spend 15%?
+    let set = PerturbationSet::new(vec![Perturbation::percentage("Ad Spend", 15.0)]);
+    let sens = model.sensitivity(&set)?;
+    println!(
+        "\n+15% ad spend: KPI {:.1} -> {:.1} ({:+.1})",
+        sens.baseline_kpi,
+        sens.perturbed_kpi,
+        sens.uplift()
+    );
+
+    // 4. Goal inversion with a constraint: maximize revenue, but
+    //    marketing will only approve up to +25% spend.
+    let mut cfg = GoalConfig::for_goal(Goal::Maximize)
+        .with_constraints(vec![DriverConstraint::new("Ad Spend", 0.0, 25.0)]);
+    cfg.optimizer = OptimizerChoice::Bayesian { n_calls: 40 };
+    let goal = model.goal_inversion(&cfg)?;
+    println!("\nconstrained revenue maximization:");
+    for (driver, pct) in &goal.driver_percentages {
+        println!("  {driver:<10} {pct:+.1}%");
+    }
+    println!(
+        "  KPI {:.1} -> {:.1} ({:+.1})",
+        goal.baseline_kpi,
+        goal.achieved_kpi,
+        goal.uplift()
+    );
+
+    // 5. Record both outcomes as scenarios and compare.
+    let mut ledger = ScenarioLedger::new();
+    ledger.record_sensitivity("spend +15%", &sens);
+    ledger.record_goal_inversion("max revenue (spend capped)", &goal);
+    println!("\nscenario ledger, best first:");
+    for s in ledger.ranked_by_uplift() {
+        println!("  [{}] {:<28} uplift {:+.1}", s.id, s.name, s.uplift());
+    }
+    Ok(())
+}

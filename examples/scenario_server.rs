@@ -1,0 +1,119 @@
+//! The client-server path: start the TCP backend, drive the Figure 2
+//! views over line-delimited JSON, record scenarios, and shut down —
+//! the paper's architecture end to end.
+//!
+//! ```text
+//! cargo run --release --example scenario_server
+//! ```
+
+use whatif::core::goal::Goal;
+use whatif::core::perturbation::Perturbation;
+use whatif::core::prelude::ModelConfig;
+use whatif::server::{serve, Client, Request, Response, UseCase};
+
+fn expect_ok(resp: &Response) {
+    assert!(!resp.is_error(), "server error: {resp:?}");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (addr, handle) = serve("127.0.0.1:0")?;
+    println!("whatif server listening on {addr}");
+    let mut client = Client::connect(addr)?;
+
+    // (A) Use-case selection.
+    if let Response::UseCases(cases) = client.call(&Request::ListUseCases)? {
+        println!("use cases:");
+        for (_, label) in &cases {
+            println!("  - {label}");
+        }
+    }
+    let session = match client.call(&Request::LoadUseCase {
+        use_case: UseCase::DealClosing,
+        n_rows: Some(600),
+        seed: Some(7),
+    })? {
+        Response::SessionCreated {
+            session,
+            n_rows,
+            suggested_kpi,
+            ..
+        } => {
+            println!("session {session}: {n_rows} prospects, suggested KPI {suggested_kpi:?}");
+            session
+        }
+        other => panic!("unexpected: {other:?}"),
+    };
+
+    // (C) KPI + (D) drivers + train.
+    expect_ok(&client.call(&Request::SelectKpi {
+        session,
+        kpi: "Deal Closed?".into(),
+    })?);
+    let mut config = ModelConfig::default();
+    config.n_trees = 40;
+    if let Response::Trained {
+        kind,
+        confidence,
+        baseline_kpi,
+    } = client.call(&Request::Train {
+        session,
+        config: Some(config),
+    })? {
+        println!("trained {kind}: confidence {confidence:.3}, baseline {baseline_kpi:.3}");
+    }
+
+    // (E) importance view payload.
+    if let Response::Importance { importance, .. } = client.call(&Request::DriverImportanceView {
+        session,
+        verify: false,
+    })? {
+        println!("top-3 drivers: {:?}", importance.top_k(3));
+    }
+
+    // (H) sensitivity + record as a scenario.
+    let resp = client.call(&Request::SensitivityView {
+        session,
+        perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+    })?;
+    if let Response::Sensitivity(s) = &resp {
+        println!(
+            "+40% OME: {:.3} -> {:.3} ({:+.3})",
+            s.baseline_kpi,
+            s.perturbed_kpi,
+            s.uplift()
+        );
+    }
+    expect_ok(&client.call(&Request::RecordScenario {
+        session,
+        name: "OME +40%".into(),
+    })?);
+
+    // (I) goal inversion + record.
+    let resp = client.call(&Request::GoalInversionView {
+        session,
+        goal: Goal::Maximize,
+        constraints: vec![],
+        optimizer: Some(whatif::core::OptimizerChoice::Bayesian { n_calls: 32 }),
+        seed: 1,
+    })?;
+    if let Response::GoalInversion(g) = &resp {
+        println!("free maximization: KPI {:.3} ({:+.3})", g.achieved_kpi, g.uplift());
+    }
+    expect_ok(&client.call(&Request::RecordScenario {
+        session,
+        name: "free max".into(),
+    })?);
+
+    // Options view: scenarios ranked by uplift.
+    if let Response::Scenarios(scenarios) = client.call(&Request::ListScenarios { session })? {
+        println!("scenarios (best first):");
+        for s in &scenarios {
+            println!("  [{}] {:<12} kpi {:.3} uplift {:+.3}", s.id, s.name, s.kpi, s.uplift());
+        }
+    }
+
+    client.call(&Request::Shutdown)?;
+    handle.join().expect("server thread");
+    println!("server stopped");
+    Ok(())
+}

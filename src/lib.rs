@@ -1,0 +1,31 @@
+//! # whatif — SystemD reproduction umbrella crate
+//!
+//! Re-exports every sub-crate of the reproduction of *"Augmenting Decision
+//! Making via Interactive What-If Analysis"* (CIDR 2022) under one roof,
+//! plus a [`prelude`] for examples and downstream users.
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`frame`] | `whatif-frame` | columnar dataframe substrate |
+//! | [`stats`] | `whatif-stats` | descriptive/correlation statistics |
+//! | [`learn`] | `whatif-learn` | linear models, CART, random forests, Shapley |
+//! | [`optim`] | `whatif-optim` | Bayesian optimization + baseline optimizers |
+//! | [`datagen`] | `whatif-datagen` | synthetic business use-case generators |
+//! | [`core`] | `whatif-core` | the four what-if analyses + scenarios + spec |
+//! | [`server`] | `whatif-server` | JSON view protocol (Figure 2 A–I) |
+//! | [`study`] | `whatif-study` | user-study simulator (Table 1, Figure 3) |
+
+pub use whatif_core as core;
+pub use whatif_datagen as datagen;
+pub use whatif_frame as frame;
+pub use whatif_learn as learn;
+pub use whatif_optim as optim;
+pub use whatif_server as server;
+pub use whatif_stats as stats;
+pub use whatif_study as study;
+
+/// Most-used items across the workspace, for glob import in examples.
+pub mod prelude {
+    pub use whatif_core::prelude::*;
+    pub use whatif_frame::{Column, Frame};
+}

@@ -1,0 +1,204 @@
+//! Integration tests spanning crates: CSV → frame → session → the four
+//! analyses, on both KPI kinds, plus the use-case walkthroughs.
+
+use whatif::core::goal::{Goal, GoalConfig, OptimizerChoice};
+use whatif::core::prelude::*;
+use whatif::datagen::{deal_closing, marketing_mix, retention};
+use whatif::frame::csv::{parse_csv, write_csv};
+
+fn fast_forest() -> ModelConfig {
+    let mut cfg = ModelConfig::default();
+    cfg.n_trees = 24;
+    cfg.max_depth = 8;
+    cfg
+}
+
+#[test]
+fn csv_to_full_analysis_continuous_kpi() {
+    // Build a CSV by hand, parse it, run everything.
+    let mut csv = String::from("spend,noise,sales\n");
+    for i in 0..80 {
+        let spend = (i % 10) as f64 + 1.0;
+        let noise = ((i * 7) % 5) as f64;
+        let sales = 4.0 * spend + 0.25 * noise + 10.0;
+        csv.push_str(&format!("{spend},{noise},{sales}\n"));
+    }
+    let frame = parse_csv(&csv).expect("valid csv");
+    let session = Session::new(frame).with_kpi("sales").expect("kpi");
+    let model = session.train(&ModelConfig::default()).expect("train");
+    assert_eq!(model.kind(), ModelKind::Linear);
+    assert!(model.confidence() > 0.99);
+
+    // Importance finds spend.
+    let imp = model.driver_importance().expect("importance");
+    assert_eq!(imp.ranked_names()[0], "spend");
+
+    // Sensitivity math matches the linear ground truth.
+    let set = PerturbationSet::new(vec![Perturbation::percentage("spend", 20.0)]);
+    let sens = model.sensitivity(&set).expect("sensitivity");
+    // mean(spend) = 5.5; +20% is +1.1 units; coefficient 4 -> +4.4.
+    assert!((sens.uplift() - 4.4).abs() < 1e-6, "uplift {}", sens.uplift());
+
+    // Goal inversion maximizes spend, minimizes nothing else harmful.
+    let mut cfg = GoalConfig::for_goal(Goal::Maximize);
+    cfg.optimizer = OptimizerChoice::GridSearch { points_per_dim: 7 };
+    let goal = model.goal_inversion(&cfg).expect("inversion");
+    let spend_pct = goal
+        .driver_percentages
+        .iter()
+        .find(|(d, _)| d == "spend")
+        .unwrap()
+        .1;
+    assert_eq!(spend_pct, 120.0, "positive driver pushed to the cap");
+    assert!(goal.uplift() > 0.0);
+
+    // Frame round-trips through CSV unchanged.
+    let back = parse_csv(&write_csv(session.frame())).expect("roundtrip");
+    assert_eq!(&back, session.frame());
+}
+
+#[test]
+fn deal_closing_binary_flow_matches_paper_shape() {
+    let dataset = deal_closing(600, 7);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("kpi")
+        .with_drivers(&refs)
+        .expect("drivers");
+    let model = session.train(&fast_forest()).expect("train");
+    assert_eq!(model.kind(), ModelKind::RandomForest);
+
+    // Baseline near the paper's 41.89%.
+    assert!(
+        (model.baseline_kpi() - 0.42).abs() < 0.08,
+        "baseline {}",
+        model.baseline_kpi()
+    );
+
+    // +40% OME is a small positive bump.
+    let set = PerturbationSet::new(vec![Perturbation::percentage(
+        "Open Marketing Email",
+        40.0,
+    )]);
+    let sens = model.sensitivity(&set).expect("sensitivity");
+    assert!(
+        sens.uplift() > 0.0 && sens.uplift() < 0.08,
+        "uplift {}",
+        sens.uplift()
+    );
+
+    // Constrained inversion with OME in [40, 80] beats the bump by a
+    // wide margin, and respects the constraint.
+    let mut cfg = GoalConfig::for_goal(Goal::Maximize).with_constraints(vec![
+        DriverConstraint::new("Open Marketing Email", 40.0, 80.0),
+    ]);
+    cfg.optimizer = OptimizerChoice::Bayesian { n_calls: 32 };
+    let goal = model.goal_inversion(&cfg).expect("inversion");
+    let ome = goal
+        .driver_percentages
+        .iter()
+        .find(|(d, _)| d == "Open Marketing Email")
+        .unwrap()
+        .1;
+    assert!((40.0..=80.0).contains(&ome));
+    assert!(
+        goal.uplift() > 4.0 * sens.uplift(),
+        "constrained {:+.3} should dwarf single-driver {:+.3}",
+        goal.uplift(),
+        sens.uplift()
+    );
+}
+
+#[test]
+fn retention_removal_episode() {
+    let dataset = retention(400, 13);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("kpi")
+        .with_drivers(&refs)
+        .expect("drivers");
+    let model = session.train(&fast_forest()).expect("train");
+    let imp = model.driver_importance().expect("importance");
+    assert_eq!(imp.ranked_names()[0], "Days Active");
+
+    let reduced = session
+        .without_drivers(&["Days Active"])
+        .expect("removable");
+    let reduced_model = reduced.train(&fast_forest()).expect("train");
+    let reduced_imp = reduced_model.driver_importance().expect("importance");
+    assert!(!reduced_imp
+        .driver_names
+        .contains(&"Days Active".to_owned()));
+    // The reduced model still trains and ranks something sensible.
+    assert_eq!(reduced_imp.driver_names.len(), refs.len() - 1);
+}
+
+#[test]
+fn marketing_mix_regression_flow() {
+    let dataset = marketing_mix(180, 11);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("kpi")
+        .with_drivers(&refs)
+        .expect("drivers");
+    let model = session.train(&ModelConfig::default()).expect("train");
+    assert_eq!(model.kind(), ModelKind::Linear);
+    // Strong channels get positive importances; weak ones (TV, Radio)
+    // can be noise-dominated under the unmodeled weekly seasonality.
+    let imp = model.driver_importance().expect("importance");
+    let positive = imp.scores.iter().filter(|&&s| s > 0.0).count();
+    assert!(positive >= 3, "importances {:?}", imp.scores);
+    assert!(imp.score_of(imp.ranked_names()[0]).unwrap() > 0.0);
+
+    // Comparison analysis: zero perturbation reproduces the baseline,
+    // and the top-3 channels' curves slope upward.
+    let curves = model
+        .comparison_analysis(&[-20.0, 0.0, 20.0])
+        .expect("sweep");
+    let top3 = imp.top_k(3);
+    for c in &curves {
+        assert!((c.kpi_values[1] - model.baseline_kpi()).abs() < 1e-9);
+        if top3.contains(&c.driver.as_str()) {
+            assert!(
+                c.kpi_values[2] > c.kpi_values[0],
+                "{}: spend up should beat spend down",
+                c.driver
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_ledger_tracks_cross_analysis_outcomes() {
+    let dataset = deal_closing(300, 3);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("kpi")
+        .with_drivers(&refs)
+        .expect("drivers");
+    let model = session.train(&fast_forest()).expect("train");
+    let mut ledger = ScenarioLedger::new();
+
+    let sens = model
+        .sensitivity(&PerturbationSet::new(vec![Perturbation::percentage(
+            "Call", 50.0,
+        )]))
+        .expect("sensitivity");
+    ledger.record_sensitivity("more calls", &sens);
+
+    let mut cfg = GoalConfig::for_goal(Goal::Maximize);
+    cfg.optimizer = OptimizerChoice::RandomSearch { n_evals: 16 };
+    let goal = model.goal_inversion(&cfg).expect("inversion");
+    ledger.record_goal_inversion("max close", &goal);
+
+    assert_eq!(ledger.len(), 2);
+    let best = ledger.best_by_kpi().expect("non-empty");
+    assert_eq!(best.name, "max close", "optimizer beats a single tweak");
+    // Replaying the best scenario's perturbations reproduces its KPI.
+    let replay = model.sensitivity(&best.perturbations).expect("replay");
+    assert!((replay.perturbed_kpi - best.kpi).abs() < 1e-9);
+}

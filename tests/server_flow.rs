@@ -1,0 +1,188 @@
+//! Integration test of the client-server layer over real TCP: the full
+//! Figure 2 interaction sequence, CSV upload, and error handling.
+
+use whatif::core::model_backend::ModelConfig;
+use whatif::core::perturbation::Perturbation;
+use whatif::server::{serve, Client, Request, Response, UseCase};
+
+fn fast_config() -> ModelConfig {
+    let mut cfg = ModelConfig::default();
+    cfg.n_trees = 16;
+    cfg.max_depth = 8;
+    cfg
+}
+
+#[test]
+fn figure2_walkthrough_over_tcp() {
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(addr).expect("connect");
+
+    // (A) use cases.
+    let Response::UseCases(cases) = client.call(&Request::ListUseCases).unwrap() else {
+        panic!("expected use cases");
+    };
+    assert_eq!(cases.len(), 3);
+
+    // Load deal closing.
+    let Response::SessionCreated {
+        session,
+        n_rows,
+        columns,
+        suggested_kpi,
+    } = client
+        .call(&Request::LoadUseCase {
+            use_case: UseCase::DealClosing,
+            n_rows: Some(250),
+            seed: Some(5),
+        })
+        .unwrap()
+    else {
+        panic!("expected session");
+    };
+    assert_eq!(n_rows, 250);
+    assert_eq!(suggested_kpi.as_deref(), Some("Deal Closed?"));
+    assert!(columns.iter().any(|c| c.dtype == "str"));
+
+    // (B) table view.
+    let Response::Table {
+        rows, total_rows, ..
+    } = client
+        .call(&Request::TableView {
+            session,
+            max_rows: 10,
+        })
+        .unwrap()
+    else {
+        panic!("expected table");
+    };
+    assert_eq!(rows.len(), 10);
+    assert_eq!(total_rows, 250);
+
+    // (C) KPI; (D) drivers; train.
+    assert!(matches!(
+        client
+            .call(&Request::SelectKpi {
+                session,
+                kpi: "Deal Closed?".into()
+            })
+            .unwrap(),
+        Response::KpiSelected { .. }
+    ));
+    let Response::Drivers { selected } = client
+        .call(&Request::SelectDrivers {
+            session,
+            drivers: None,
+        })
+        .unwrap()
+    else {
+        panic!("expected drivers");
+    };
+    assert_eq!(selected.len(), 12);
+    assert!(matches!(
+        client
+            .call(&Request::Train {
+                session,
+                config: Some(fast_config())
+            })
+            .unwrap(),
+        Response::Trained { .. }
+    ));
+
+    // (E) importance; (H) sensitivity; (I) goal inversion.
+    let Response::Importance { importance, .. } = client
+        .call(&Request::DriverImportanceView {
+            session,
+            verify: false,
+        })
+        .unwrap()
+    else {
+        panic!("expected importance");
+    };
+    assert_eq!(importance.driver_names.len(), 12);
+
+    let Response::Sensitivity(sens) = client
+        .call(&Request::SensitivityView {
+            session,
+            perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+        })
+        .unwrap()
+    else {
+        panic!("expected sensitivity");
+    };
+    assert_eq!(sens.kpi_name, "Deal Closed?");
+
+    // Record the outcome, list scenarios.
+    assert!(matches!(
+        client
+            .call(&Request::RecordScenario {
+                session,
+                name: "ome +40".into()
+            })
+            .unwrap(),
+        Response::ScenarioRecorded { .. }
+    ));
+    let Response::Scenarios(scenarios) =
+        client.call(&Request::ListScenarios { session }).unwrap()
+    else {
+        panic!("expected scenarios");
+    };
+    assert_eq!(scenarios.len(), 1);
+
+    // Errors come back as Error responses, not hangs or disconnects.
+    let err = client
+        .call(&Request::SelectKpi {
+            session: 9_999,
+            kpi: "x".into(),
+        })
+        .unwrap();
+    assert!(err.is_error());
+
+    // Shut the server down cleanly.
+    assert_eq!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    );
+    handle.join().expect("server thread exits");
+}
+
+#[test]
+fn csv_upload_and_linear_flow_over_tcp() {
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut csv = String::from("spend,sales\n");
+    for i in 0..40 {
+        csv.push_str(&format!("{},{}\n", i % 8, 3 * (i % 8) + 2));
+    }
+    let Response::SessionCreated { session, .. } =
+        client.call(&Request::LoadCsv { csv }).unwrap()
+    else {
+        panic!("expected session");
+    };
+    client
+        .call(&Request::SelectKpi {
+            session,
+            kpi: "sales".into(),
+        })
+        .unwrap();
+    let Response::Trained { kind, confidence, .. } = client
+        .call(&Request::Train {
+            session,
+            config: None,
+        })
+        .unwrap()
+    else {
+        panic!("expected trained");
+    };
+    assert_eq!(kind, "linear");
+    assert!(confidence > 0.99, "exact line: {confidence}");
+
+    assert_eq!(
+        client
+            .call(&Request::CloseSession { session })
+            .unwrap(),
+        Response::SessionClosed
+    );
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().expect("server thread exits");
+}

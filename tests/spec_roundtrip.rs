@@ -1,0 +1,145 @@
+//! Integration tests of the declarative spec layer (§5 "Specification
+//! and Reuse"): JSON round-trips, deterministic re-execution, and spec
+//! outcomes agreeing with the direct API.
+
+use whatif::core::goal::{Goal, OptimizerChoice};
+use whatif::core::model_backend::ModelConfig;
+use whatif::core::perturbation::{Perturbation, PerturbationSet};
+use whatif::core::prelude::*;
+use whatif::core::spec::{AnalysisSpec, SpecOutcome, WhatIfSpec};
+use whatif::datagen::deal_closing;
+
+fn fast_model() -> ModelConfig {
+    let mut cfg = ModelConfig::default();
+    cfg.n_trees = 16;
+    cfg.max_depth = 8;
+    cfg
+}
+
+#[test]
+fn spec_outcome_matches_direct_api() {
+    let dataset = deal_closing(250, 9);
+    let spec = WhatIfSpec {
+        kpi: dataset.kpi.clone(),
+        drivers: Some(dataset.drivers.clone()),
+        model: fast_model(),
+        analysis: AnalysisSpec::Sensitivity {
+            perturbations: vec![Perturbation::percentage("Call", 30.0)],
+            clamp_non_negative: true,
+        },
+    };
+    let via_spec = match spec.run(&dataset.frame).expect("spec runs") {
+        SpecOutcome::Sensitivity(s) => s,
+        other => panic!("unexpected outcome: {other:?}"),
+    };
+
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("kpi")
+        .with_drivers(&refs)
+        .expect("drivers");
+    let model = session.train(&fast_model()).expect("train");
+    let direct = model
+        .sensitivity(&PerturbationSet::new(vec![Perturbation::percentage(
+            "Call", 30.0,
+        )]))
+        .expect("sensitivity");
+    assert_eq!(via_spec, direct, "spec and direct API must agree exactly");
+}
+
+#[test]
+fn specs_rerun_deterministically_after_json_roundtrip() {
+    let dataset = deal_closing(250, 10);
+    let spec = WhatIfSpec {
+        kpi: dataset.kpi.clone(),
+        drivers: None,
+        model: fast_model(),
+        analysis: AnalysisSpec::GoalInversion {
+            goal: Goal::Maximize,
+            constraints: vec![DriverConstraint::new("Open Marketing Email", 40.0, 80.0)],
+            optimizer: OptimizerChoice::Bayesian { n_calls: 16 },
+            seed: 4,
+        },
+    };
+    let json = spec.to_json().expect("serialize");
+    let reloaded = WhatIfSpec::from_json(&json).expect("parse");
+    assert_eq!(spec, reloaded);
+
+    let a = spec.run(&dataset.frame).expect("run a");
+    let b = reloaded.run(&dataset.frame).expect("run b");
+    assert_eq!(a, b, "seeded spec is fully deterministic");
+
+    match a {
+        SpecOutcome::GoalInversion(g) => {
+            let ome = g
+                .driver_percentages
+                .iter()
+                .find(|(d, _)| d == "Open Marketing Email")
+                .unwrap()
+                .1;
+            assert!((40.0..=80.0).contains(&ome));
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+}
+
+#[test]
+fn outcome_payloads_serialize_and_deserialize() {
+    let dataset = deal_closing(250, 11);
+    for analysis in [
+        AnalysisSpec::DriverImportance { verify: false },
+        AnalysisSpec::Comparison {
+            percentages: vec![-20.0, 0.0, 20.0],
+        },
+        AnalysisSpec::PerData {
+            row: 1,
+            perturbations: vec![Perturbation::absolute("Chat", 2.0)],
+        },
+    ] {
+        let spec = WhatIfSpec {
+            kpi: dataset.kpi.clone(),
+            drivers: None,
+            model: fast_model(),
+            analysis,
+        };
+        let outcome = spec.run(&dataset.frame).expect("run");
+        let payload = serde_json::to_string(&outcome).expect("encode");
+        let back: SpecOutcome = serde_json::from_str(&payload).expect("decode");
+        assert_eq!(outcome, back);
+    }
+}
+
+#[test]
+fn invalid_specs_error_cleanly() {
+    let dataset = deal_closing(100, 12);
+    // Unknown KPI.
+    let spec = WhatIfSpec {
+        kpi: "Ghost".into(),
+        drivers: None,
+        model: fast_model(),
+        analysis: AnalysisSpec::DriverImportance { verify: false },
+    };
+    assert!(spec.run(&dataset.frame).is_err());
+    // Textual driver.
+    let spec = WhatIfSpec {
+        kpi: dataset.kpi.clone(),
+        drivers: Some(vec!["Account Name".into()]),
+        model: fast_model(),
+        analysis: AnalysisSpec::DriverImportance { verify: false },
+    };
+    assert!(spec.run(&dataset.frame).is_err());
+    // Unknown perturbed driver.
+    let spec = WhatIfSpec {
+        kpi: dataset.kpi.clone(),
+        drivers: None,
+        model: fast_model(),
+        analysis: AnalysisSpec::Sensitivity {
+            perturbations: vec![Perturbation::percentage("Ghost", 1.0)],
+            clamp_non_negative: true,
+        },
+    };
+    assert!(spec.run(&dataset.frame).is_err());
+    // Malformed JSON.
+    assert!(WhatIfSpec::from_json("{").is_err());
+}
