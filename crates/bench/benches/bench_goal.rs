@@ -18,7 +18,10 @@ fn bench_goal(c: &mut Criterion) {
     let engines = [
         ("bayesian", OptimizerChoice::Bayesian { n_calls: budget }),
         ("random", OptimizerChoice::RandomSearch { n_evals: budget }),
-        ("nelder_mead", OptimizerChoice::NelderMead { max_evals: budget }),
+        (
+            "nelder_mead",
+            OptimizerChoice::NelderMead { max_evals: budget },
+        ),
     ];
     for (name, optimizer) in engines {
         group.bench_with_input(BenchmarkId::new(name, budget), &model, |b, m| {

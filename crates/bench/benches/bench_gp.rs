@@ -26,9 +26,11 @@ fn bench_gp(c: &mut Criterion) {
     let kernel = Kernel::Matern52 { length_scale: 0.25 };
     for &n in &[16usize, 64, 128] {
         let (xs, ys) = observations(n, 6, 3);
-        group.bench_with_input(BenchmarkId::new("fit", n), &(xs.clone(), ys.clone()), |b, (xs, ys)| {
-            b.iter(|| GaussianProcess::fit(kernel, 1e-6, xs, ys).expect("fit"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fit", n),
+            &(xs.clone(), ys.clone()),
+            |b, (xs, ys)| b.iter(|| GaussianProcess::fit(kernel, 1e-6, xs, ys).expect("fit")),
+        );
         let gp = GaussianProcess::fit(kernel, 1e-6, &xs, &ys).expect("fit");
         let query = vec![0.5; 6];
         group.bench_with_input(BenchmarkId::new("predict", n), &gp, |b, gp| {

@@ -19,12 +19,17 @@ fn bench_predict(c: &mut Criterion) {
         let session = Session::new(data.frame.clone())
             .with_kpi(&data.kpi)
             .expect("kpi");
-        let mut cfg = ModelConfig::default();
-        cfg.kind = ModelKind::RandomForest;
-        cfg.n_trees = 40;
-        cfg.holdout_fraction = 0.0;
+        let cfg = ModelConfig {
+            kind: ModelKind::RandomForest,
+            n_trees: 40,
+            holdout_fraction: 0.0,
+            ..ModelConfig::default()
+        };
         let forest = session.train(&cfg).expect("fit");
-        cfg.kind = ModelKind::Logistic;
+        let cfg = ModelConfig {
+            kind: ModelKind::Logistic,
+            ..cfg
+        };
         let logistic = session.train(&cfg).expect("fit");
 
         let row: Vec<f64> = forest.matrix().row(0).to_vec();
@@ -34,9 +39,11 @@ fn bench_predict(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("forest_full_kpi", n), &forest, |b, m| {
             b.iter(|| m.kpi_for_matrix(m.matrix()).expect("predict"))
         });
-        group.bench_with_input(BenchmarkId::new("logistic_full_kpi", n), &logistic, |b, m| {
-            b.iter(|| m.kpi_for_matrix(m.matrix()).expect("predict"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("logistic_full_kpi", n),
+            &logistic,
+            |b, m| b.iter(|| m.kpi_for_matrix(m.matrix()).expect("predict")),
+        );
     }
     group.finish();
 }

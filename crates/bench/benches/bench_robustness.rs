@@ -24,9 +24,11 @@ fn bench_robustness(c: &mut Criterion) {
         .expect("kpi")
         .with_drivers(&refs)
         .expect("drivers");
-    let mut cfg = ModelConfig::default();
-    cfg.n_trees = 24;
-    cfg.max_depth = 8;
+    let cfg = ModelConfig {
+        n_trees: 24,
+        max_depth: 8,
+        ..ModelConfig::default()
+    };
 
     group.bench_function("retrain_and_rank", |b| {
         let mut seed = 0u64;

@@ -15,26 +15,20 @@ fn bench_sensitivity(c: &mut Criterion) {
 
     for (label, scale) in [("quick_320", Scale::Quick), ("full_1480", Scale::Full)] {
         let (_, model) = train_deal_model(scale, 7);
-        let set = PerturbationSet::new(vec![Perturbation::percentage(
-            "Open Marketing Email",
-            40.0,
-        )]);
+        let set =
+            PerturbationSet::new(vec![Perturbation::percentage("Open Marketing Email", 40.0)]);
         group.bench_with_input(BenchmarkId::new("single", label), &model, |b, m| {
             b.iter(|| m.sensitivity(&set).expect("sensitivity"))
         });
         group.bench_with_input(BenchmarkId::new("per_data", label), &model, |b, m| {
             b.iter(|| m.per_data_sensitivity(0, &set).expect("per data"))
         });
-        group.bench_with_input(
-            BenchmarkId::new("comparison_5pt", label),
-            &model,
-            |b, m| {
-                b.iter(|| {
-                    m.comparison_analysis(&[-40.0, -20.0, 0.0, 20.0, 40.0])
-                        .expect("sweep")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("comparison_5pt", label), &model, |b, m| {
+            b.iter(|| {
+                m.comparison_analysis(&[-40.0, -20.0, 0.0, 20.0, 40.0])
+                    .expect("sweep")
+            })
+        });
     }
     group.finish();
 }

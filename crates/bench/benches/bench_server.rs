@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use whatif_core::model_backend::ModelConfig;
 use whatif_core::perturbation::Perturbation;
-use whatif_server::{Request, Response, ServerState, UseCase};
+use whatif_server::{Envelope, Request, Response, ServerState, UseCase};
 
 fn prepared_state() -> (ServerState, u64) {
     let state = ServerState::new();
@@ -21,9 +21,11 @@ fn prepared_state() -> (ServerState, u64) {
         session,
         kpi: "Deal Closed?".into(),
     });
-    let mut cfg = ModelConfig::default();
-    cfg.n_trees = 24;
-    cfg.max_depth = 8;
+    let cfg = ModelConfig {
+        n_trees: 24,
+        max_depth: 8,
+        ..ModelConfig::default()
+    };
     assert!(!state
         .handle(Request::Train {
             session,
@@ -74,6 +76,37 @@ fn bench_server(c: &mut Criterion) {
             });
             let json = serde_json::to_string(&resp).expect("encode");
             serde_json::from_str::<Response>(&json).expect("decode")
+        })
+    });
+
+    // v1 vs v2 pipelining: eight sensitivity views dispatched as eight
+    // wire lines versus one Batch envelope, both through the full
+    // parse → dispatch → encode path the TCP layer uses.
+    const PIPELINE_DEPTH: usize = 8;
+    let sensitivity = |session| Request::SensitivityView {
+        session,
+        perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+    };
+    let v1_lines: Vec<String> = (0..PIPELINE_DEPTH)
+        .map(|_| serde_json::to_string(&sensitivity(session)).expect("encode"))
+        .collect();
+    let v2_line = serde_json::to_string(&Envelope::new(
+        1,
+        Request::Batch((0..PIPELINE_DEPTH).map(|_| sensitivity(session)).collect()),
+    ))
+    .expect("encode");
+    group.bench_function("sensitivity_x8_v1_lines", |b| {
+        b.iter(|| {
+            for line in &v1_lines {
+                let (reply, _) = state.engine().dispatch_line(line);
+                assert!(!reply.is_empty());
+            }
+        })
+    });
+    group.bench_function("sensitivity_x8_v2_batch", |b| {
+        b.iter(|| {
+            let (reply, _) = state.engine().dispatch_line(&v2_line);
+            assert!(!reply.is_empty());
         })
     });
     group.finish();

@@ -19,14 +19,10 @@ fn bench_shapley(c: &mut Criterion) {
             n_rows: 16,
             seed: 1,
         };
-        group.bench_with_input(
-            BenchmarkId::new("single_row", n_perm),
-            &model,
-            |b, m| {
-                let row = m.matrix().row(0).to_vec();
-                b.iter(|| shapley_row(m.predictor(), m.matrix(), &row, &cfg).expect("shapley"))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("single_row", n_perm), &model, |b, m| {
+            let row = m.matrix().row(0).to_vec();
+            b.iter(|| shapley_row(m.predictor(), m.matrix(), &row, &cfg).expect("shapley"))
+        });
         group.bench_with_input(
             BenchmarkId::new("global_16_rows", n_perm),
             &model,

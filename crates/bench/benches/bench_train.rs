@@ -9,11 +9,12 @@ use whatif_core::session::Session;
 use whatif_datagen::{make_classification, make_regression};
 
 fn config(kind: ModelKind, n_trees: usize) -> ModelConfig {
-    let mut cfg = ModelConfig::default();
-    cfg.kind = kind;
-    cfg.n_trees = n_trees;
-    cfg.holdout_fraction = 0.0; // isolate the fit cost
-    cfg
+    ModelConfig {
+        kind,
+        n_trees,
+        holdout_fraction: 0.0, // isolate the fit cost
+        ..ModelConfig::default()
+    }
 }
 
 fn bench_train(c: &mut Criterion) {

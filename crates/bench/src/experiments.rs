@@ -148,15 +148,17 @@ pub fn fig2_importance(scale: Scale, seed: u64) -> ImportanceExperiment {
         },
         seed,
     };
-    let verification = model.verify_importance(&shapley).expect("verification runs");
+    let verification = model
+        .verify_importance(&shapley)
+        .expect("verification runs");
     let ranked = importance.ranked_names();
     let top3_matches = ranked[..3]
         .iter()
-        .filter(|d| paper::TOP3.contains(&d.as_ref()))
+        .filter(|d| paper::TOP3.contains(d))
         .count();
     let bottom3_matches = ranked[ranked.len() - 3..]
         .iter()
-        .filter(|d| paper::BOTTOM3.contains(&d.as_ref()))
+        .filter(|d| paper::BOTTOM3.contains(d))
         .count();
     ImportanceExperiment {
         importance,
@@ -190,10 +192,7 @@ pub struct SensitivityExperiment {
 /// Run the Figure 2 H experiment.
 pub fn fig2_sensitivity(scale: Scale, seed: u64) -> SensitivityExperiment {
     let (_, model) = train_deal_model(scale, seed);
-    let set = PerturbationSet::new(vec![Perturbation::percentage(
-        "Open Marketing Email",
-        40.0,
-    )]);
+    let set = PerturbationSet::new(vec![Perturbation::percentage("Open Marketing Email", 40.0)]);
     SensitivityExperiment {
         result: model.sensitivity(&set).expect("valid perturbation"),
         paper_baseline: paper::BASE_CLOSE_RATE,
@@ -225,14 +224,19 @@ pub fn fig2_goal_inversion(scale: Scale, seed: u64) -> GoalExperiment {
     free_cfg.seed = seed;
     let free = model.goal_inversion(&free_cfg).expect("free inversion");
 
-    let mut con_cfg = GoalConfig::for_goal(Goal::Maximize).with_constraints(vec![
-        DriverConstraint::new("Open Marketing Email", 40.0, 80.0),
-    ]);
+    let mut con_cfg =
+        GoalConfig::for_goal(Goal::Maximize).with_constraints(vec![DriverConstraint::new(
+            "Open Marketing Email",
+            40.0,
+            80.0,
+        )]);
     con_cfg.optimizer = OptimizerChoice::Bayesian {
         n_calls: scale.optimizer_calls(),
     };
     con_cfg.seed = seed;
-    let constrained = model.goal_inversion(&con_cfg).expect("constrained inversion");
+    let constrained = model
+        .goal_inversion(&con_cfg)
+        .expect("constrained inversion");
 
     GoalExperiment {
         free,
@@ -390,9 +394,7 @@ pub fn u3_deal(scale: Scale, seed: u64) -> DealExperiment {
         "Open Marketing Email",
         100.0,
     )]);
-    let per_data = model
-        .per_data_sensitivity(0, &set)
-        .expect("row 0 exists");
+    let per_data = model.per_data_sensitivity(0, &set).expect("row 0 exists");
     let comparison = model
         .comparison_analysis(&[-50.0, 0.0, 50.0, 100.0])
         .expect("sweep runs");
@@ -427,7 +429,8 @@ pub fn optimizer_comparison(scale: Scale, seed: u64) -> Vec<OptimizerComparison>
         Scale::Full => &[16, 32, 64, 96],
         Scale::Quick => &[8, 16, 32],
     };
-    let engines: Vec<(&'static str, Box<dyn Fn(usize) -> OptimizerChoice>)> = vec![
+    type EngineFactory = Box<dyn Fn(usize) -> OptimizerChoice>;
+    let engines: Vec<(&'static str, EngineFactory)> = vec![
         (
             "bayesian",
             Box::new(|b| OptimizerChoice::Bayesian { n_calls: b }),
@@ -529,7 +532,11 @@ mod tests {
         // At quick scale at least 2 of the paper's top-3 should surface
         // and the verification measures should broadly agree.
         assert!(e.top3_matches >= 2, "top3 matches {}", e.top3_matches);
-        assert!(e.verification.tau_pearson > 0.2, "tau {}", e.verification.tau_pearson);
+        assert!(
+            e.verification.tau_pearson > 0.2,
+            "tau {}",
+            e.verification.tau_pearson
+        );
         assert_eq!(e.truth_ranking[0], "Open Marketing Email");
     }
 
@@ -592,12 +599,13 @@ mod tests {
             .driver_names
             .contains(&"Days Active".to_owned()));
         assert!(e.goal.uplift() > 0.0);
-        assert!(e
-            .importance_full
-            .score_of(&e.negative_driver)
-            .unwrap()
-            .abs()
-            > 0.0);
+        assert!(
+            e.importance_full
+                .score_of(&e.negative_driver)
+                .unwrap()
+                .abs()
+                > 0.0
+        );
     }
 
     #[test]

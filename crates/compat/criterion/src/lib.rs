@@ -1,0 +1,311 @@
+//! Offline `criterion` shim: a small wall-clock benchmark harness with
+//! criterion's macro/group API surface.
+//!
+//! Behavior depends on how the binary is invoked:
+//!
+//! * `cargo bench` passes `--bench`, which enables real measurement
+//!   (warm-up, then timed samples, mean/min/max report);
+//! * `cargo test` runs each benchmark closure once as a smoke test, so
+//!   the bench targets stay compiled and exercised without slowing the
+//!   test suite.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink, preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run every closure once (used under `cargo test`).
+    Smoke,
+    /// Warm up and measure (used under `cargo bench`).
+    Measure,
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let mode = self.mode;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            mode,
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(700),
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.run(id.into(), &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// A benchmark identifier: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id.
+pub trait IntoBenchmarkId {
+    /// The id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    mode: Mode,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (report already streamed per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure a closure. In smoke mode it runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size each sample so all samples fit the measurement budget.
+        let budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.mode == Mode::Smoke {
+            println!("bench {id:<44} ok (smoke)");
+            return;
+        }
+        if self.samples_ns.is_empty() {
+            println!("bench {id:<44} (no samples)");
+            return;
+        }
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "bench {id:<44} time: [{} {} {}] ({} samples)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            self.samples_ns.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| {
+                total = total.wrapping_add(n);
+            })
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,606 @@
+//! Offline derive-macro shim for the vendored `serde` facade.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a minimal serde-compatible facade (`crates/compat/serde`) whose data
+//! model is a JSON `Value` tree. This crate provides the matching
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros, hand-rolled
+//! on the bare `proc_macro` API (no `syn`/`quote`).
+//!
+//! Supported shapes — exactly what the workspace uses:
+//!
+//! * structs with named fields (plus unit and tuple structs),
+//! * enums with unit / tuple / struct variants, externally tagged like
+//!   real serde (`"Variant"`, `{"Variant": content}`),
+//! * `#[serde(untagged)]` on enums,
+//! * `#[serde(default)]` and `#[serde(default = "path")]` on fields.
+//!
+//! Anything else (generics, lifetimes, other serde attributes) produces
+//! a `compile_error!` so misuse is loud rather than silently wrong.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Field-level serde metadata.
+#[derive(Default, Clone)]
+struct AttrInfo {
+    untagged: bool,
+    /// `None` = no default; `Some(None)` = `Default::default()`;
+    /// `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+}
+
+struct Field {
+    name: String,
+    default: Option<Option<String>>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Data {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    untagged: bool,
+    data: Data,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut item_attr = AttrInfo::default();
+    parse_attrs(&toks, &mut i, &mut item_attr)?;
+    skip_visibility(&toks, &mut i);
+    let kw = expect_ident(toks.get(i), "`struct` or `enum`")?;
+    i += 1;
+    let name = expect_ident(toks.get(i), "type name")?;
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let data = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(parse_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Vec::new()),
+            _ => return Err(format!("serde shim: malformed struct `{name}`")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde shim: malformed enum `{name}`")),
+        },
+        other => return Err(format!("serde shim: cannot derive for item kind `{other}`")),
+    };
+    Ok(Item {
+        name,
+        untagged: item_attr.untagged,
+        data,
+    })
+}
+
+fn parse_attrs(toks: &[TokenTree], i: &mut usize, out: &mut AttrInfo) -> Result<(), String> {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                match toks.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        scan_attr_group(g, out)?;
+                        *i += 1;
+                    }
+                    _ => return Err("serde shim: malformed attribute".into()),
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+fn scan_attr_group(g: &Group, out: &mut AttrInfo) -> Result<(), String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) = (toks.first(), toks.get(1))
+    else {
+        return Ok(()); // doc comments, other attrs: ignore
+    };
+    if id.to_string() != "serde" || args.delimiter() != Delimiter::Parenthesis {
+        return Ok(());
+    }
+    for entry in split_top_level(args.stream()) {
+        if entry.is_empty() {
+            continue;
+        }
+        let key = match &entry[0] {
+            TokenTree::Ident(k) => k.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim: unexpected token `{other}` in #[serde(...)]"
+                ))
+            }
+        };
+        match key.as_str() {
+            "untagged" => out.untagged = true,
+            "default" => {
+                if entry.len() == 1 {
+                    out.default = Some(None);
+                } else if entry.len() == 3 {
+                    let lit = entry[2].to_string();
+                    let path = lit.trim_matches('"').to_string();
+                    out.default = Some(Some(path));
+                } else {
+                    return Err("serde shim: malformed #[serde(default ...)]".into());
+                }
+            }
+            other => return Err(format!("serde shim: unsupported serde attribute `{other}`")),
+        }
+    }
+    Ok(())
+}
+
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => out.push(Vec::new()),
+            _ => out.last_mut().unwrap().push(t),
+        }
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(t: Option<&TokenTree>, what: &str) -> Result<String, String> {
+    match t {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("serde shim: expected {what}, found {other:?}")),
+    }
+}
+
+/// Parse `name: Type, ...` (named fields of a struct or struct variant).
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let mut attr = AttrInfo::default();
+        parse_attrs(&toks, &mut i, &mut attr)?;
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(toks.get(i), "field name")?;
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde shim: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&toks, &mut i);
+        if i < toks.len() {
+            i += 1; // the separating comma
+        }
+        fields.push(Field {
+            name,
+            default: attr.default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle-bracket aware;
+/// parenthesized/bracketed sub-trees are single opaque tokens already).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i64;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let parts = split_type_list(stream);
+    parts.len()
+}
+
+fn split_type_list(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i64;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(t);
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out.retain(|p| !p.is_empty());
+    out
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let mut attr = AttrInfo::default();
+        parse_attrs(&toks, &mut i, &mut attr)?;
+        let name = expect_ident(toks.get(i), "variant name")?;
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Struct(parse_fields(g.stream())?);
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(fields) => ser_named_fields_expr(fields, "self."),
+        Data::TupleStruct(n) => ser_tuple_expr(*n, "self."),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&ser_variant_arm(name, v, item.untagged));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `{prefix}{field}` access for each named field, packed into an Object.
+fn ser_named_fields_expr(fields: &[Field], prefix: &str) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        let fname = &f.name;
+        pushes.push_str(&format!(
+            "__fields.push((\"{fname}\".to_string(), \
+             ::serde::Serialize::serialize(&{prefix}{fname})));\n"
+        ));
+    }
+    format!(
+        "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields) }}"
+    )
+}
+
+fn ser_tuple_expr(n: usize, prefix: &str) -> String {
+    if n == 1 {
+        return format!("::serde::Serialize::serialize(&{prefix}0)");
+    }
+    let items: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Serialize::serialize(&{prefix}{k})"))
+        .collect();
+    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+}
+
+fn ser_variant_arm(ty: &str, v: &Variant, untagged: bool) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            let val = if untagged {
+                "::serde::Value::Null".to_string()
+            } else {
+                format!("::serde::Value::String(\"{vn}\".to_string())")
+            };
+            format!("{ty}::{vn} => {val},\n")
+        }
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            let content = if *n == 1 {
+                "::serde::Serialize::serialize(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            let val = if untagged {
+                content
+            } else {
+                format!("::serde::Value::Object(vec![(\"{vn}\".to_string(), {content})])")
+            };
+            format!("{ty}::{vn}({}) => {val},\n", binds.join(", "))
+        }
+        VariantKind::Struct(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let content = ser_named_fields_expr(fields, "*");
+            let val = if untagged {
+                content
+            } else {
+                format!("::serde::Value::Object(vec![(\"{vn}\".to_string(), {content})])")
+            };
+            format!("{ty}::{vn} {{ {} }} => {val},\n", binds.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(fields) => {
+            let ctor = de_named_fields_ctor(name, fields, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"a map for struct {name}\", __v))?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Data::TupleStruct(n) => de_tuple_struct_body(name, *n),
+        Data::Enum(variants) => {
+            if item.untagged {
+                de_untagged_enum_body(name, variants)
+            } else {
+                de_tagged_enum_body(name, variants)
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Constructor expression `Ty { f: <lookup>, ... }` reading from `obj_var`.
+fn de_named_fields_ctor(ctor_path: &str, fields: &[Field], obj_var: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let missing = match &f.default {
+            None => format!(
+                "::serde::Deserialize::deserialize(&::serde::Value::Null)\
+                 .map_err(|_| ::serde::DeError::missing_field(\"{fname}\", \"{ctor_path}\"))?"
+            ),
+            Some(None) => "::std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+        };
+        inits.push_str(&format!(
+            "{fname}: match ::serde::find_field({obj_var}, \"{fname}\") {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 ::serde::Deserialize::deserialize(__x)\
+                 .map_err(|__e| __e.in_field(\"{fname}\"))?,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n"
+        ));
+    }
+    format!("{ctor_path} {{ {inits} }}")
+}
+
+fn de_tuple_struct_body(name: &str, n: usize) -> String {
+    if n == 1 {
+        return format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+        );
+    }
+    let items: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::deserialize(&__arr[{k}])?"))
+        .collect();
+    format!(
+        "let __arr = __v.as_array().ok_or_else(|| \
+         ::serde::DeError::expected(\"an array for tuple struct {name}\", __v))?;\n\
+         if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+         ::serde::DeError::new(format!(\"expected {n} elements for {name}, got {{}}\", __arr.len()))); }}\n\
+         ::std::result::Result::Ok({name}({}))",
+        items.join(", ")
+    )
+}
+
+fn de_tagged_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    for v in variants {
+        if matches!(v.kind, VariantKind::Unit) {
+            let vn = &v.name;
+            str_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+            ));
+        }
+    }
+    let mut tag_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        let arm = match &v.kind {
+            VariantKind::Unit => format!("::std::result::Result::Ok({name}::{vn})"),
+            VariantKind::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}::{vn}(\
+                 ::serde::Deserialize::deserialize(__content)\
+                 .map_err(|__e| __e.in_field(\"{vn}\"))?))"
+            ),
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::deserialize(&__arr[{k}])?"))
+                    .collect();
+                format!(
+                    "{{ let __arr = __content.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"an array for variant {name}::{vn}\", __content))?;\n\
+                     if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::new(format!(\"expected {n} elements for {name}::{vn}, got {{}}\", __arr.len()))); }}\n\
+                     ::std::result::Result::Ok({name}::{vn}({})) }}",
+                    items.join(", ")
+                )
+            }
+            VariantKind::Struct(fields) => {
+                let ctor = de_named_fields_ctor(&format!("{name}::{vn}"), fields, "__o");
+                format!(
+                    "{{ let __o = __content.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"a map for variant {name}::{vn}\", __content))?;\n\
+                     ::std::result::Result::Ok({ctor}) }}"
+                )
+            }
+        };
+        tag_arms.push_str(&format!("\"{vn}\" => {arm},\n"));
+    }
+    format!(
+        "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+             return match __s {{\n{str_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+             }};\n\
+         }}\n\
+         if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+             if __obj.len() == 1 {{\n\
+                 let (__tag, __content) = &__obj[0];\n\
+                 let _ = __content;\n\
+                 return match __tag.as_str() {{\n{tag_arms}\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }};\n\
+             }}\n\
+         }}\n\
+         ::std::result::Result::Err(::serde::DeError::expected(\
+         \"a string or single-key map for enum {name}\", __v))"
+    )
+}
+
+fn de_untagged_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut attempts = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => attempts.push_str(&format!(
+                "if __v.is_null() {{ return ::std::result::Result::Ok({name}::{vn}); }}\n"
+            )),
+            VariantKind::Tuple(1) => attempts.push_str(&format!(
+                "if let ::std::result::Result::Ok(__x) = \
+                 ::serde::Deserialize::deserialize(__v) \
+                 {{ return ::std::result::Result::Ok({name}::{vn}(__x)); }}\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::deserialize(&__arr[{k}])?"))
+                    .collect();
+                attempts.push_str(&format!(
+                    "if let ::std::result::Result::Ok(__x) = \
+                     (|| -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                         let __arr = __v.as_array().ok_or_else(|| \
+                         ::serde::DeError::new(\"not an array\".to_string()))?;\n\
+                         if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::new(\"wrong arity\".to_string())); }}\n\
+                         ::std::result::Result::Ok({name}::{vn}({}))\n\
+                     }})() {{ return ::std::result::Result::Ok(__x); }}\n",
+                    items.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let ctor = de_named_fields_ctor(&format!("{name}::{vn}"), fields, "__o");
+                attempts.push_str(&format!(
+                    "if let ::std::result::Result::Ok(__x) = \
+                     (|| -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                         let __o = __v.as_object().ok_or_else(|| \
+                         ::serde::DeError::new(\"not a map\".to_string()))?;\n\
+                         ::std::result::Result::Ok({ctor})\n\
+                     }})() {{ return ::std::result::Result::Ok(__x); }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "{attempts}\
+         ::std::result::Result::Err(::serde::DeError::expected(\
+         \"a value matching some variant of untagged enum {name}\", __v))"
+    )
+}

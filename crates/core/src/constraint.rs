@@ -134,7 +134,9 @@ mod tests {
         assert!(DriverConstraint::new("a", 40.0, 80.0).validate().is_ok());
         assert!(DriverConstraint::new("a", 80.0, 40.0).validate().is_err());
         assert!(DriverConstraint::new("a", -150.0, 0.0).validate().is_err());
-        assert!(DriverConstraint::new("a", f64::NAN, 0.0).validate().is_err());
+        assert!(DriverConstraint::new("a", f64::NAN, 0.0)
+            .validate()
+            .is_err());
         let frozen = DriverConstraint::frozen("a");
         assert_eq!((frozen.low_pct, frozen.high_pct), (0.0, 0.0));
         assert!(frozen.validate().is_ok());
@@ -157,8 +159,7 @@ mod tests {
     #[test]
     fn bounds_errors() {
         let m = model();
-        assert!(build_bounds(&m, &[DriverConstraint::new("zz", 0.0, 1.0)], -50.0, 250.0)
-            .is_err());
+        assert!(build_bounds(&m, &[DriverConstraint::new("zz", 0.0, 1.0)], -50.0, 250.0).is_err());
         let dup = [
             DriverConstraint::new("a", 0.0, 1.0),
             DriverConstraint::new("a", 2.0, 3.0),

@@ -1,5 +1,7 @@
-//! Unified error type over all substrate errors.
+//! Unified error type over all substrate errors, plus the typed
+//! [`ErrorCode`] taxonomy the v2 wire protocol exposes.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use whatif_frame::FrameError;
 use whatif_learn::LearnError;
@@ -21,6 +23,93 @@ pub enum CoreError {
     Config(String),
     /// Specification parsing or execution failure.
     Spec(String),
+    /// An analysis was requested before a KPI was selected.
+    NoKpi,
+}
+
+/// Machine-consumable error categories, stable across protocol versions.
+///
+/// Every error a server reply carries maps to exactly one code, so
+/// clients can branch on failures without parsing message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// Malformed or unparseable request (bad JSON, bad envelope, bad
+    /// arguments).
+    BadRequest,
+    /// The request referenced a session id the server does not know.
+    UnknownSession,
+    /// The session has no KPI selected yet.
+    NoKpi,
+    /// The session has no trained model yet.
+    NotTrained,
+    /// Invalid session or analysis configuration.
+    Config,
+    /// Dataset / dataframe failure (unknown column, bad CSV, ...).
+    Data,
+    /// Model training or prediction failure.
+    Model,
+    /// Optimizer failure during goal inversion.
+    Optim,
+    /// What-if specification parse or execution failure.
+    Spec,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable lowercase identifier (the serialized form stays the enum
+    /// variant name; this is for logs and human output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::NoKpi => "no_kpi",
+            ErrorCode::NotTrained => "not_trained",
+            ErrorCode::Config => "config",
+            ErrorCode::Data => "data",
+            ErrorCode::Model => "model",
+            ErrorCode::Optim => "optim",
+            ErrorCode::Spec => "spec",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Every code, for exhaustive wire-format tests.
+    pub fn all() -> [ErrorCode; 10] {
+        [
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownSession,
+            ErrorCode::NoKpi,
+            ErrorCode::NotTrained,
+            ErrorCode::Config,
+            ErrorCode::Data,
+            ErrorCode::Model,
+            ErrorCode::Optim,
+            ErrorCode::Spec,
+            ErrorCode::Internal,
+        ]
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl CoreError {
+    /// The typed code this error surfaces on the wire.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            CoreError::Frame(_) => ErrorCode::Data,
+            CoreError::Learn(LearnError::NotFitted) => ErrorCode::NotTrained,
+            CoreError::Learn(_) => ErrorCode::Model,
+            CoreError::Optim(_) => ErrorCode::Optim,
+            CoreError::Config(_) => ErrorCode::Config,
+            CoreError::Spec(_) => ErrorCode::Spec,
+            CoreError::NoKpi => ErrorCode::NoKpi,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +120,7 @@ impl fmt::Display for CoreError {
             CoreError::Optim(e) => write!(f, "optimizer error: {e}"),
             CoreError::Config(m) => write!(f, "configuration error: {m}"),
             CoreError::Spec(m) => write!(f, "specification error: {m}"),
+            CoreError::NoKpi => f.write_str("no KPI selected; send SelectKpi first"),
         }
     }
 }
@@ -76,8 +166,13 @@ mod tests {
         assert!(e.to_string().contains("model error"));
         let e: CoreError = OptimError::Invalid("bad".into()).into();
         assert!(e.to_string().contains("optimizer error"));
-        assert!(CoreError::Config("c".into()).to_string().contains("configuration"));
-        assert!(CoreError::Spec("s".into()).to_string().contains("specification"));
+        assert!(CoreError::Config("c".into())
+            .to_string()
+            .contains("configuration"));
+        assert!(CoreError::Spec("s".into())
+            .to_string()
+            .contains("specification"));
+        assert!(CoreError::NoKpi.to_string().contains("KPI"));
     }
 
     #[test]
@@ -86,5 +181,36 @@ mod tests {
         let e: CoreError = LearnError::NotFitted.into();
         assert!(e.source().is_some());
         assert!(CoreError::Config("c".into()).source().is_none());
+    }
+
+    #[test]
+    fn codes_map_by_category() {
+        assert_eq!(
+            CoreError::from(FrameError::UnknownColumn("x".into())).code(),
+            ErrorCode::Data
+        );
+        assert_eq!(
+            CoreError::from(LearnError::NotFitted).code(),
+            ErrorCode::NotTrained
+        );
+        assert_eq!(
+            CoreError::from(LearnError::Numeric("nan".into())).code(),
+            ErrorCode::Model
+        );
+        assert_eq!(
+            CoreError::from(OptimError::Invalid("bad".into())).code(),
+            ErrorCode::Optim
+        );
+        assert_eq!(CoreError::Config("c".into()).code(), ErrorCode::Config);
+        assert_eq!(CoreError::Spec("s".into()).code(), ErrorCode::Spec);
+        assert_eq!(CoreError::NoKpi.code(), ErrorCode::NoKpi);
+    }
+
+    #[test]
+    fn code_strings_are_stable() {
+        for code in ErrorCode::all() {
+            assert!(!code.as_str().is_empty());
+            assert_eq!(code.to_string(), code.as_str());
+        }
     }
 }

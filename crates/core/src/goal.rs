@@ -176,13 +176,9 @@ impl TrainedModel {
                     .map(|(d, &p)| Perturbation::percentage(d.clone(), p))
                     .collect(),
             );
-            match set
-                .apply_to_matrix(self.matrix(), &driver_names)
+            set.apply_to_matrix(self.matrix(), &driver_names)
                 .and_then(|m| self.kpi_for_matrix(&m))
-            {
-                Ok(kpi) => kpi,
-                Err(_) => f64::NAN,
-            }
+                .unwrap_or(f64::NAN)
         };
         let objective = FnObjective::new(driver_names.len(), move |pcts: &[f64]| {
             let kpi = eval_kpi(pcts);
@@ -234,11 +230,7 @@ impl TrainedModel {
             achieved_kpi,
             baseline_kpi: self.baseline_kpi(),
             confidence: self.confidence(),
-            driver_percentages: driver_names
-                .iter()
-                .cloned()
-                .zip(best_pcts)
-                .collect(),
+            driver_percentages: driver_names.iter().cloned().zip(best_pcts).collect(),
             driver_values,
             n_evals: result.n_evals,
             converged,
@@ -253,10 +245,12 @@ impl TrainedModel {
     ) -> Result<OptimResult> {
         Ok(match config.optimizer {
             OptimizerChoice::Bayesian { n_calls } => {
-                let mut bayes = BayesConfig::default();
-                bayes.n_calls = n_calls;
-                bayes.n_initial = (n_calls / 5).clamp(4, 16);
-                bayes.seed = config.seed;
+                let bayes = BayesConfig {
+                    n_calls,
+                    n_initial: (n_calls / 5).clamp(4, 16),
+                    seed: config.seed,
+                    ..BayesConfig::default()
+                };
                 BayesianOptimizer::new(bayes).run(objective, bounds)?
             }
             OptimizerChoice::RandomSearch { n_evals } => {

@@ -163,13 +163,7 @@ mod tests {
     fn model() -> TrainedModel {
         // y = 5*a - 3*b + 0*c
         let rows: Vec<Vec<f64>> = (0..80)
-            .map(|i| {
-                vec![
-                    (i % 9) as f64,
-                    ((i * 4) % 11) as f64,
-                    ((i * 7) % 5) as f64,
-                ]
-            })
+            .map(|i| vec![(i % 9) as f64, ((i * 4) % 11) as f64, ((i * 7) % 5) as f64])
             .collect();
         let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0] - 3.0 * r[1]).collect();
         TrainedModel::fit(
@@ -212,7 +206,11 @@ mod tests {
         assert!(report.shapley[0] > 0.0);
         assert!(report.shapley[1] < 0.0);
         // Normalized to max |1|.
-        let max = report.shapley.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        let max = report
+            .shapley
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max);
         assert!((max - 1.0).abs() < 1e-9);
     }
 

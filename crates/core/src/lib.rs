@@ -68,7 +68,7 @@ pub mod spec;
 pub mod uncertainty;
 
 pub use constraint::DriverConstraint;
-pub use error::{CoreError, Result};
+pub use error::{CoreError, ErrorCode, Result};
 pub use goal::{Goal, GoalConfig, GoalInversionResult, OptimizerChoice};
 pub use importance::{DriverImportance, VerificationReport};
 pub use kpi::KpiKind;
@@ -84,7 +84,7 @@ pub use uncertainty::{BootstrapConfig, Interval, SensitivityInterval};
 /// The most-used types, for glob import.
 pub mod prelude {
     pub use crate::constraint::DriverConstraint;
-    pub use crate::error::CoreError;
+    pub use crate::error::{CoreError, ErrorCode};
     pub use crate::goal::{Goal, GoalConfig, OptimizerChoice};
     pub use crate::importance::DriverImportance;
     pub use crate::model_backend::{ModelConfig, ModelKind, TrainedModel};

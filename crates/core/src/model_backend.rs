@@ -10,8 +10,7 @@ use whatif_learn::model::{Classifier, Predictor, Regressor};
 use whatif_learn::split::train_test_split;
 use whatif_learn::tree::TreeConfig;
 use whatif_learn::{
-    LinearRegression, LogisticRegression, Matrix, RandomForestClassifier,
-    RandomForestRegressor,
+    LinearRegression, LogisticRegression, Matrix, RandomForestClassifier, RandomForestRegressor,
 };
 
 /// Model family selection.
@@ -68,9 +67,11 @@ impl Default for ModelConfig {
 
 impl ModelConfig {
     fn forest_config(&self, seed_offset: u64) -> ForestConfig {
-        let mut tree = TreeConfig::default();
-        tree.max_depth = self.max_depth;
-        tree.max_features = self.max_features;
+        let tree = TreeConfig {
+            max_depth: self.max_depth,
+            max_features: self.max_features,
+            ..TreeConfig::default()
+        };
         ForestConfig {
             n_trees: self.n_trees,
             tree,
@@ -166,10 +167,7 @@ impl TrainedModel {
             let take = |idx: &[usize]| -> (Matrix, Vec<f64>) {
                 let rows: Vec<Vec<f64>> = idx.iter().map(|&i| x.row(i).to_vec()).collect();
                 let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
-                (
-                    Matrix::from_rows(&rows).expect("rows are uniform"),
-                    ys,
-                )
+                (Matrix::from_rows(&rows).expect("rows are uniform"), ys)
             };
             let (x_tr, y_tr) = take(&train_idx);
             let (x_te, y_te) = take(&test_idx);
@@ -385,7 +383,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..80)
             .map(|i| vec![(i % 10) as f64, ((i * 3) % 4) as f64])
             .collect();
-        let y: Vec<f64> = rows.iter().map(|r| f64::from(u8::from(r[0] > 4.5))).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| f64::from(u8::from(r[0] > 4.5)))
+            .collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
 
@@ -406,14 +407,20 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.kind(), ModelKind::Linear);
-        assert!(m.confidence() > 0.99, "exact linear data: {}", m.confidence());
+        assert!(
+            m.confidence() > 0.99,
+            "exact linear data: {}",
+            m.confidence()
+        );
     }
 
     #[test]
     fn auto_selects_forest_for_binary() {
         let (x, y) = binary_data();
-        let mut cfg = ModelConfig::default();
-        cfg.n_trees = 20;
+        let cfg = ModelConfig {
+            n_trees: 20,
+            ..ModelConfig::default()
+        };
         let m = TrainedModel::fit("won", KpiKind::Binary, names(), x, y, &cfg).unwrap();
         assert_eq!(m.kind(), ModelKind::RandomForest);
         assert!(m.confidence() > 0.9, "auc {}", m.confidence());
@@ -424,31 +431,29 @@ mod tests {
     #[test]
     fn kind_kpi_mismatches_are_rejected() {
         let (x, y) = binary_data();
-        let mut cfg = ModelConfig::default();
-        cfg.kind = ModelKind::Linear;
+        let cfg = ModelConfig {
+            kind: ModelKind::Linear,
+            ..ModelConfig::default()
+        };
         assert!(
-            TrainedModel::fit("won", KpiKind::Binary, names(), x.clone(), y.clone(), &cfg)
-                .is_err()
+            TrainedModel::fit("won", KpiKind::Binary, names(), x.clone(), y.clone(), &cfg).is_err()
         );
         let (cx, cy) = continuous_data();
-        cfg.kind = ModelKind::Logistic;
-        assert!(TrainedModel::fit(
-            "sales",
-            KpiKind::Continuous,
-            names(),
-            cx,
-            cy,
-            &cfg
-        )
-        .is_err());
+        let cfg = ModelConfig {
+            kind: ModelKind::Logistic,
+            ..cfg
+        };
+        assert!(TrainedModel::fit("sales", KpiKind::Continuous, names(), cx, cy, &cfg).is_err());
     }
 
     #[test]
     fn forest_works_for_continuous_too() {
         let (x, y) = continuous_data();
-        let mut cfg = ModelConfig::default();
-        cfg.kind = ModelKind::RandomForest;
-        cfg.n_trees = 20;
+        let cfg = ModelConfig {
+            kind: ModelKind::RandomForest,
+            n_trees: 20,
+            ..ModelConfig::default()
+        };
         let m = TrainedModel::fit("sales", KpiKind::Continuous, names(), x, y, &cfg).unwrap();
         assert_eq!(m.kind(), ModelKind::RandomForest);
         assert!(m.confidence() > 0.7, "r2 {}", m.confidence());
@@ -457,8 +462,10 @@ mod tests {
     #[test]
     fn logistic_works_for_binary() {
         let (x, y) = binary_data();
-        let mut cfg = ModelConfig::default();
-        cfg.kind = ModelKind::Logistic;
+        let cfg = ModelConfig {
+            kind: ModelKind::Logistic,
+            ..ModelConfig::default()
+        };
         let m = TrainedModel::fit("won", KpiKind::Binary, names(), x, y, &cfg).unwrap();
         assert_eq!(m.kind(), ModelKind::Logistic);
         assert!(m.confidence() > 0.9);
@@ -486,8 +493,10 @@ mod tests {
     #[test]
     fn forest_importances_get_correlation_signs() {
         let (x, y) = binary_data();
-        let mut cfg = ModelConfig::default();
-        cfg.n_trees = 30;
+        let cfg = ModelConfig {
+            n_trees: 30,
+            ..ModelConfig::default()
+        };
         let m = TrainedModel::fit("won", KpiKind::Binary, names(), x, y, &cfg).unwrap();
         let imp = m.native_importances().unwrap();
         assert!(imp[0] > 0.0, "positive driver gets positive sign: {imp:?}");
@@ -529,8 +538,10 @@ mod tests {
     #[test]
     fn zero_holdout_scores_on_training_data() {
         let (x, y) = continuous_data();
-        let mut cfg = ModelConfig::default();
-        cfg.holdout_fraction = 0.0;
+        let cfg = ModelConfig {
+            holdout_fraction: 0.0,
+            ..ModelConfig::default()
+        };
         let m = TrainedModel::fit("sales", KpiKind::Continuous, names(), x, y, &cfg).unwrap();
         assert!((m.confidence() - 1.0).abs() < 1e-9);
     }

@@ -126,9 +126,11 @@ impl ScenarioLedger {
 
     /// The scenario with the highest KPI.
     pub fn best_by_kpi(&self) -> Option<&Scenario> {
-        self.scenarios
-            .iter()
-            .max_by(|a, b| a.kpi.partial_cmp(&b.kpi).unwrap_or(std::cmp::Ordering::Equal))
+        self.scenarios.iter().max_by(|a, b| {
+            a.kpi
+                .partial_cmp(&b.kpi)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Scenarios sorted by descending uplift (the comparison table the

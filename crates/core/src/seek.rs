@@ -35,7 +35,10 @@ pub struct DriverSeekResult {
 impl DriverSeekResult {
     /// The recommendation as a reusable perturbation set.
     pub fn as_perturbations(&self) -> PerturbationSet {
-        PerturbationSet::new(vec![Perturbation::percentage(self.driver.clone(), self.pct)])
+        PerturbationSet::new(vec![Perturbation::percentage(
+            self.driver.clone(),
+            self.pct,
+        )])
     }
 }
 
@@ -67,10 +70,7 @@ impl TrainedModel {
         }
         let driver_names = self.driver_names().to_vec();
         let kpi_at = |pct: f64| -> f64 {
-            let set = PerturbationSet::new(vec![Perturbation::percentage(
-                driver.to_owned(),
-                pct,
-            )]);
+            let set = PerturbationSet::new(vec![Perturbation::percentage(driver.to_owned(), pct)]);
             set.apply_to_matrix(self.matrix(), &driver_names)
                 .and_then(|m| self.kpi_for_matrix(&m))
                 .unwrap_or(f64::NAN)
@@ -117,9 +117,7 @@ mod tests {
         // baseline KPI = 3*4.5 - 2 = 11.5. Target 12.85 needs
         // a +10% on `a` (adds 3*0.45 = 1.35).
         let target = m.baseline_kpi() + 1.35;
-        let r = m
-            .goal_seek_driver("a", target, -50.0, 100.0, 1e-9)
-            .unwrap();
+        let r = m.goal_seek_driver("a", target, -50.0, 100.0, 1e-9).unwrap();
         assert!(r.converged);
         assert!((r.pct - 10.0).abs() < 1e-4, "pct {}", r.pct);
         assert!((r.achieved_kpi - target).abs() < 1e-9);
@@ -132,9 +130,7 @@ mod tests {
     fn unreachable_target_reports_best_effort() {
         let m = model();
         // One driver capped at +50% cannot triple the KPI.
-        let r = m
-            .goal_seek_driver("a", 100.0, -50.0, 50.0, 1e-6)
-            .unwrap();
+        let r = m.goal_seek_driver("a", 100.0, -50.0, 50.0, 1e-6).unwrap();
         assert!(!r.converged);
         // Best effort is the cap.
         assert!((r.pct - 50.0).abs() < 1.0, "pct {}", r.pct);

@@ -50,8 +50,16 @@ impl ComparisonCurve {
     /// KPI range covered by the sweep — a cheap single-number
     /// sensitivity summary for ranking drivers by leverage.
     pub fn kpi_span(&self) -> f64 {
-        let max = self.kpi_values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let min = self.kpi_values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self
+            .kpi_values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = self
+            .kpi_values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         max - min
     }
 }
@@ -82,7 +90,7 @@ impl TrainedModel {
     /// # Errors
     /// [`crate::CoreError::Config`] for invalid perturbations.
     pub fn sensitivity(&self, set: &PerturbationSet) -> Result<SensitivityResult> {
-        let perturbed = set.apply_to_matrix(self.matrix(), &self.driver_names().to_vec())?;
+        let perturbed = set.apply_to_matrix(self.matrix(), self.driver_names())?;
         Ok(SensitivityResult {
             kpi_name: self.kpi_name().to_owned(),
             baseline_kpi: self.baseline_kpi(),
@@ -102,8 +110,7 @@ impl TrainedModel {
         for driver in &driver_names {
             let mut kpi_values = Vec::with_capacity(percentages.len());
             for &pct in percentages {
-                let set =
-                    PerturbationSet::new(vec![Perturbation::percentage(driver.clone(), pct)]);
+                let set = PerturbationSet::new(vec![Perturbation::percentage(driver.clone(), pct)]);
                 let perturbed = set.apply_to_matrix(self.matrix(), &driver_names)?;
                 kpi_values.push(self.kpi_for_matrix(&perturbed)?);
             }
@@ -134,7 +141,7 @@ impl TrainedModel {
             )));
         }
         let original = self.matrix().row(row).to_vec();
-        let perturbed_row = set.apply_to_row(&original, &self.driver_names().to_vec())?;
+        let perturbed_row = set.apply_to_row(&original, self.driver_names())?;
         Ok(PerDataSensitivity {
             row,
             baseline: self.predict_row(&original)?,

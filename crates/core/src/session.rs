@@ -60,7 +60,9 @@ impl Session {
     /// [`CoreError::Config`] on invalid driver selections.
     pub fn with_drivers(mut self, drivers: &[&str]) -> Result<Session> {
         if drivers.is_empty() {
-            return Err(CoreError::Config("driver selection cannot be empty".to_owned()));
+            return Err(CoreError::Config(
+                "driver selection cannot be empty".to_owned(),
+            ));
         }
         let mut selected = Vec::with_capacity(drivers.len());
         for &d in drivers {
@@ -116,12 +118,9 @@ impl Session {
     /// Detected KPI kind.
     ///
     /// # Errors
-    /// [`CoreError::Config`] before a KPI is selected.
+    /// [`CoreError::NoKpi`] before a KPI is selected.
     pub fn kpi_kind(&self) -> Result<KpiKind> {
-        let kpi = self
-            .kpi
-            .as_deref()
-            .ok_or_else(|| CoreError::Config("no KPI selected".to_owned()))?;
+        let kpi = self.kpi.as_deref().ok_or(CoreError::NoKpi)?;
         detect_kpi_kind(self.frame.column(kpi)?)
     }
 
@@ -133,13 +132,10 @@ impl Session {
     /// Train a model on the current selection.
     ///
     /// # Errors
-    /// [`CoreError::Config`] when no KPI is selected or drivers contain
-    /// nulls; propagated learn errors otherwise.
+    /// [`CoreError::NoKpi`] when no KPI is selected, [`CoreError::Config`]
+    /// when drivers contain nulls; propagated learn errors otherwise.
     pub fn train(&self, config: &ModelConfig) -> Result<TrainedModel> {
-        let kpi = self
-            .kpi
-            .as_deref()
-            .ok_or_else(|| CoreError::Config("no KPI selected".to_owned()))?;
+        let kpi = self.kpi.as_deref().ok_or(CoreError::NoKpi)?;
         if self.drivers.is_empty() {
             return Err(CoreError::Config("no drivers selected".to_owned()));
         }
@@ -163,7 +159,10 @@ mod tests {
             Column::from_str_values("name", vec!["a"; 40]),
             Column::from_f64("x1", (0..40).map(|i| (i % 8) as f64).collect()),
             Column::from_i64("x2", (0..40).map(|i| (i % 5) as i64).collect()),
-            Column::from_f64("sales", (0..40).map(|i| 2.0 * (i % 8) as f64 + 3.0).collect()),
+            Column::from_f64(
+                "sales",
+                (0..40).map(|i| 2.0 * (i % 8) as f64 + 3.0).collect(),
+            ),
             Column::from_bool("won", (0..40).map(|i| i % 8 > 3).collect()),
         ])
         .unwrap()
@@ -211,10 +210,7 @@ mod tests {
         let s2 = s.clone().without_drivers(&["x2"]).unwrap();
         assert!(!s2.drivers().contains(&"x2".to_owned()));
         assert!(s.clone().without_drivers(&["nope"]).is_err());
-        assert!(s
-            .clone()
-            .without_drivers(&["x1", "x2", "won"])
-            .is_err());
+        assert!(s.clone().without_drivers(&["x1", "x2", "won"]).is_err());
     }
 
     #[test]
@@ -243,7 +239,9 @@ mod tests {
         let mut f = frame();
         f.push_column(Column::from_f64_opt(
             "holey",
-            (0..40).map(|i| if i == 5 { None } else { Some(1.0) }).collect(),
+            (0..40)
+                .map(|i| if i == 5 { None } else { Some(1.0) })
+                .collect(),
         ))
         .unwrap();
         let s = Session::new(f)

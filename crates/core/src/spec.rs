@@ -87,6 +87,59 @@ fn default_true() -> bool {
     true
 }
 
+impl AnalysisSpec {
+    /// Run this analysis against an already-trained model.
+    ///
+    /// This is the single dispatch point shared by [`WhatIfSpec::run`]
+    /// and the server's `Engine`, so every transport executes analyses
+    /// identically.
+    ///
+    /// # Errors
+    /// Any model/optimizer error, wrapped in [`CoreError`].
+    pub fn execute(&self, model: &crate::model_backend::TrainedModel) -> Result<SpecOutcome> {
+        Ok(match self {
+            AnalysisSpec::DriverImportance { verify } => {
+                let importance = model.driver_importance()?;
+                let verification = if *verify {
+                    Some(model.verify_importance(&Default::default())?)
+                } else {
+                    None
+                };
+                SpecOutcome::Importance {
+                    importance,
+                    verification,
+                }
+            }
+            AnalysisSpec::Sensitivity {
+                perturbations,
+                clamp_non_negative,
+            } => {
+                let mut set = PerturbationSet::new(perturbations.clone());
+                set.clamp_non_negative = *clamp_non_negative;
+                SpecOutcome::Sensitivity(model.sensitivity(&set)?)
+            }
+            AnalysisSpec::Comparison { percentages } => {
+                SpecOutcome::Comparison(model.comparison_analysis(percentages)?)
+            }
+            AnalysisSpec::PerData { row, perturbations } => {
+                let set = PerturbationSet::new(perturbations.clone());
+                SpecOutcome::PerData(model.per_data_sensitivity(*row, &set)?)
+            }
+            AnalysisSpec::GoalInversion {
+                goal,
+                constraints,
+                optimizer,
+                seed,
+            } => {
+                let mut cfg = GoalConfig::for_goal(*goal).with_constraints(constraints.clone());
+                cfg.optimizer = *optimizer;
+                cfg.seed = *seed;
+                SpecOutcome::GoalInversion(model.goal_inversion(&cfg)?)
+            }
+        })
+    }
+}
+
 /// A complete, reusable what-if experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WhatIfSpec {
@@ -152,47 +205,7 @@ impl WhatIfSpec {
             session = session.with_drivers(&refs)?;
         }
         let model = session.train(&self.model)?;
-        Ok(match &self.analysis {
-            AnalysisSpec::DriverImportance { verify } => {
-                let importance = model.driver_importance()?;
-                let verification = if *verify {
-                    Some(model.verify_importance(&Default::default())?)
-                } else {
-                    None
-                };
-                SpecOutcome::Importance {
-                    importance,
-                    verification,
-                }
-            }
-            AnalysisSpec::Sensitivity {
-                perturbations,
-                clamp_non_negative,
-            } => {
-                let mut set = PerturbationSet::new(perturbations.clone());
-                set.clamp_non_negative = *clamp_non_negative;
-                SpecOutcome::Sensitivity(model.sensitivity(&set)?)
-            }
-            AnalysisSpec::Comparison { percentages } => {
-                SpecOutcome::Comparison(model.comparison_analysis(percentages)?)
-            }
-            AnalysisSpec::PerData { row, perturbations } => {
-                let set = PerturbationSet::new(perturbations.clone());
-                SpecOutcome::PerData(model.per_data_sensitivity(*row, &set)?)
-            }
-            AnalysisSpec::GoalInversion {
-                goal,
-                constraints,
-                optimizer,
-                seed,
-            } => {
-                let mut cfg = GoalConfig::for_goal(*goal)
-                    .with_constraints(constraints.clone());
-                cfg.optimizer = *optimizer;
-                cfg.seed = *seed;
-                SpecOutcome::GoalInversion(model.goal_inversion(&cfg)?)
-            }
-        })
+        self.analysis.execute(&model)
     }
 }
 
@@ -207,7 +220,9 @@ mod tests {
             Column::from_f64("waste", (0..60).map(|i| ((i * 7) % 4) as f64).collect()),
             Column::from_f64(
                 "sales",
-                (0..60).map(|i| 3.0 * ((i % 10) as f64 + 1.0) + 2.0).collect(),
+                (0..60)
+                    .map(|i| 3.0 * ((i % 10) as f64 + 1.0) + 2.0)
+                    .collect(),
             ),
         ])
         .unwrap()
@@ -293,10 +308,9 @@ mod tests {
 
     #[test]
     fn minimal_json_uses_defaults() {
-        let spec = WhatIfSpec::from_json(
-            r#"{"kpi": "sales", "analysis": {"DriverImportance": {}}}"#,
-        )
-        .unwrap();
+        let spec =
+            WhatIfSpec::from_json(r#"{"kpi": "sales", "analysis": {"DriverImportance": {}}}"#)
+                .unwrap();
         assert!(spec.drivers.is_none());
         assert_eq!(spec.model, ModelConfig::default());
         match spec.analysis {

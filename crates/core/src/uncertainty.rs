@@ -214,8 +214,7 @@ mod tests {
         // An absolute +2 on the driver shifts every prediction by
         // exactly +4: the paired uplift has zero variance.
         let m = model();
-        let set =
-            PerturbationSet::new(vec![Perturbation::absolute("a", 2.0)]).without_clamp();
+        let set = PerturbationSet::new(vec![Perturbation::absolute("a", 2.0)]).without_clamp();
         let ci = m
             .sensitivity_with_ci(&set, &BootstrapConfig::default())
             .unwrap();
@@ -240,12 +239,14 @@ mod tests {
     fn config_validation() {
         let m = model();
         let set = PerturbationSet::new(vec![Perturbation::percentage("a", 10.0)]);
-        let mut cfg = BootstrapConfig::default();
-        cfg.n_resamples = 5;
+        let cfg = BootstrapConfig {
+            n_resamples: 5,
+            ..BootstrapConfig::default()
+        };
         assert!(m.sensitivity_with_ci(&set, &cfg).is_err());
-        cfg = BootstrapConfig {
+        let cfg = BootstrapConfig {
             level: 1.5,
-            ..Default::default()
+            ..BootstrapConfig::default()
         };
         assert!(m.sensitivity_with_ci(&set, &cfg).is_err());
         let bad = PerturbationSet::new(vec![Perturbation::percentage("zz", 1.0)]);

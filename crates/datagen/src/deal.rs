@@ -219,7 +219,12 @@ mod tests {
     #[test]
     fn base_rate_is_calibrated_near_42_percent() {
         let d = deal_closing(20_000, 11);
-        let closed = d.frame.column("Deal Closed?").unwrap().bool_values().unwrap();
+        let closed = d
+            .frame
+            .column("Deal Closed?")
+            .unwrap()
+            .bool_values()
+            .unwrap();
         let rate = closed.iter().filter(|&&b| b).count() as f64 / closed.len() as f64;
         assert!(
             (rate - 0.42).abs() < 0.03,

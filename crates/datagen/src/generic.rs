@@ -22,11 +22,7 @@ fn coefficients(rng: &mut StdRng, n_features: usize, n_informative: usize) -> Ve
         .collect()
 }
 
-fn feature_frame(
-    rng: &mut StdRng,
-    n: usize,
-    n_features: usize,
-) -> (Frame, Vec<Vec<f64>>) {
+fn feature_frame(rng: &mut StdRng, n: usize, n_features: usize) -> (Frame, Vec<Vec<f64>>) {
     let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); n_features];
     for _ in 0..n {
         for col in cols.iter_mut() {
@@ -101,7 +97,11 @@ pub fn make_classification(
     let (mut frame, cols) = feature_frame(&mut rng, n, n_features);
     let y: Vec<bool> = (0..n)
         .map(|i| {
-            let z: f64 = beta.iter().enumerate().map(|(j, b)| b * cols[j][i]).sum::<f64>()
+            let z: f64 = beta
+                .iter()
+                .enumerate()
+                .map(|(j, b)| b * cols[j][i])
+                .sum::<f64>()
                 + normal(&mut rng, 0.0, noise.max(0.0));
             rng.gen::<f64>() < sigmoid(z)
         })

@@ -71,7 +71,11 @@ pub fn marketing_mix(days: usize, seed: u64) -> Dataset {
         for (c, &(_, mean_spend, _, _, carry)) in CHANNELS.iter().enumerate() {
             // Log-normal spend around the channel mean with campaign
             // bursts every ~3 weeks.
-            let burst = if (day / 21) % 2 == 1 && c < 2 { 1.5 } else { 1.0 };
+            let burst = if (day / 21) % 2 == 1 && c < 2 {
+                1.5
+            } else {
+                1.0
+            };
             let mu = (mean_spend * burst).ln() - 0.125;
             let spend = log_normal(&mut rng, mu, 0.5);
             adstock[c] = spend + carry * adstock[c];

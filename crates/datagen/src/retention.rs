@@ -118,8 +118,7 @@ pub fn retention(n: usize, seed: u64) -> Dataset {
 
     // Effect scale: β·σ for Poisson activities (σ = √λ); the hypothesis
     // booleans use boost·σ(bernoulli).
-    let mut driver_names: Vec<String> =
-        ACTIVITIES.iter().map(|&(n, _, _)| n.to_owned()).collect();
+    let mut driver_names: Vec<String> = ACTIVITIES.iter().map(|&(n, _, _)| n.to_owned()).collect();
     let mut effects: Vec<f64> = ACTIVITIES
         .iter()
         .map(|&(_, lambda, b)| b * lambda.sqrt())
@@ -157,7 +156,9 @@ mod tests {
         assert_eq!(d.frame.n_cols(), 14); // Customer + 10 + 2 + KPI
         assert_eq!(d.kpi, "Retained After 6 Months?");
         assert_eq!(d.drivers.len(), 12);
-        assert!(d.drivers.contains(&"Used 3+ Formulas In Two Weeks".to_owned()));
+        assert!(d
+            .drivers
+            .contains(&"Used 3+ Formulas In Two Weeks".to_owned()));
     }
 
     #[test]
@@ -193,7 +194,12 @@ mod tests {
         assert!(d.truth.effect_of("Support Tickets").unwrap() < 0.0);
         // Statistically: ticket-heavy customers retain less.
         let d = retention(20_000, 4);
-        let tickets = d.frame.column("Support Tickets").unwrap().i64_values().unwrap();
+        let tickets = d
+            .frame
+            .column("Support Tickets")
+            .unwrap()
+            .i64_values()
+            .unwrap();
         let retained = d
             .frame
             .column("Retained After 6 Months?")
@@ -208,7 +214,12 @@ mod tests {
     #[test]
     fn hypothesis_columns_match_their_definitions() {
         let d = retention(500, 5);
-        let formulas = d.frame.column("Formulas Used").unwrap().i64_values().unwrap();
+        let formulas = d
+            .frame
+            .column("Formulas Used")
+            .unwrap()
+            .i64_values()
+            .unwrap();
         let flag = d
             .frame
             .column("Used 3+ Formulas In Two Weeks")

@@ -153,9 +153,7 @@ impl Column {
             dtype = Some(match (dtype, d) {
                 (None, d) => d,
                 (Some(cur), d) if cur == d => cur,
-                (Some(DType::Int), DType::Float) | (Some(DType::Float), DType::Int) => {
-                    DType::Float
-                }
+                (Some(DType::Int), DType::Float) | (Some(DType::Float), DType::Int) => DType::Float,
                 (Some(cur), d) => {
                     return Err(FrameError::TypeMismatch {
                         column: name,
@@ -168,15 +166,10 @@ impl Column {
         let dtype = dtype.unwrap_or(DType::Float);
         let validity: Vec<bool> = values.iter().map(|v| !v.is_null()).collect();
         let data = match dtype {
-            DType::Float => ColumnData::Float(
-                values
-                    .iter()
-                    .map(|v| v.as_f64().unwrap_or(0.0))
-                    .collect(),
-            ),
-            DType::Int => {
-                ColumnData::Int(values.iter().map(|v| v.as_i64().unwrap_or(0)).collect())
+            DType::Float => {
+                ColumnData::Float(values.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect())
             }
+            DType::Int => ColumnData::Int(values.iter().map(|v| v.as_i64().unwrap_or(0)).collect()),
             DType::Bool => ColumnData::Bool(
                 values
                     .iter()
@@ -228,7 +221,7 @@ impl Column {
         if i >= self.len() {
             return false;
         }
-        self.validity.as_ref().map_or(true, |m| m[i])
+        self.validity.as_ref().is_none_or(|m| m[i])
     }
 
     /// Number of null entries.
@@ -389,9 +382,7 @@ impl Column {
             },
             ColumnData::Bool(v) => Column {
                 name: self.name.clone(),
-                data: ColumnData::Float(
-                    v.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
-                ),
+                data: ColumnData::Float(v.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()),
                 validity: self.validity.clone(),
             },
             ColumnData::Str(v) => {
@@ -435,9 +426,7 @@ impl Column {
             ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Str(v) => {
-                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
-            }
+            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
         };
         let validity = self
             .validity
@@ -560,8 +549,7 @@ mod tests {
 
     #[test]
     fn all_valid_mask_is_dropped() {
-        let c =
-            Column::with_validity("x", ColumnData::Int(vec![1, 2]), vec![true, true]).unwrap();
+        let c = Column::with_validity("x", ColumnData::Int(vec![1, 2]), vec![true, true]).unwrap();
         assert_eq!(c.null_count(), 0);
         assert!(c.i64_values().is_ok());
     }
@@ -574,11 +562,7 @@ mod tests {
 
     #[test]
     fn from_values_unifies_int_and_float() {
-        let c = Column::from_values(
-            "x",
-            &[Value::Int(1), Value::Float(2.5), Value::Null],
-        )
-        .unwrap();
+        let c = Column::from_values("x", &[Value::Int(1), Value::Float(2.5), Value::Null]).unwrap();
         assert_eq!(c.dtype(), DType::Float);
         assert_eq!(c.null_count(), 1);
         assert_eq!(c.get(0).unwrap(), Value::Float(1.0));
@@ -636,7 +620,10 @@ mod tests {
     #[test]
     fn cast_float_from_each_dtype() {
         assert_eq!(
-            Column::from_i64("x", vec![1, 2]).cast_float().f64_values().unwrap(),
+            Column::from_i64("x", vec![1, 2])
+                .cast_float()
+                .f64_values()
+                .unwrap(),
             &[1.0, 2.0]
         );
         assert_eq!(

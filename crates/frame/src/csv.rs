@@ -31,10 +31,7 @@ pub fn parse_csv(text: &str) -> Result<Frame> {
         if record.len() != n_cols {
             return Err(FrameError::Csv {
                 line,
-                message: format!(
-                    "expected {n_cols} fields, found {}",
-                    record.len()
-                ),
+                message: format!("expected {n_cols} fields, found {}", record.len()),
             });
         }
         for (col, field) in cells.iter_mut().zip(record) {
@@ -202,8 +199,7 @@ fn tokenize(text: &str) -> Result<Vec<(Vec<String>, usize)>> {
 
 fn infer_column(name: &str, raw: &[String]) -> Result<Column> {
     let non_empty = || raw.iter().filter(|s| !s.is_empty());
-    let all_int = non_empty().count() > 0
-        && non_empty().all(|s| s.trim().parse::<i64>().is_ok());
+    let all_int = non_empty().count() > 0 && non_empty().all(|s| s.trim().parse::<i64>().is_ok());
     if all_int {
         let values: Vec<Value> = raw
             .iter()
@@ -217,8 +213,7 @@ fn infer_column(name: &str, raw: &[String]) -> Result<Column> {
             .collect();
         return Column::from_values(name, &values);
     }
-    let all_float = non_empty().count() > 0
-        && non_empty().all(|s| s.trim().parse::<f64>().is_ok());
+    let all_float = non_empty().count() > 0 && non_empty().all(|s| s.trim().parse::<f64>().is_ok());
     if all_float {
         let values: Vec<Value> = raw
             .iter()
@@ -297,7 +292,10 @@ mod tests {
 
     #[test]
     fn quoted_fields_with_commas_newlines_quotes() {
-        let f = parse_csv("name,note\nalice,\"hi, there\"\nbob,\"line1\nline2\"\ncarl,\"say \"\"hi\"\"\"\n").unwrap();
+        let f = parse_csv(
+            "name,note\nalice,\"hi, there\"\nbob,\"line1\nline2\"\ncarl,\"say \"\"hi\"\"\"\n",
+        )
+        .unwrap();
         assert_eq!(f.n_rows(), 3);
         let notes = f.column("note").unwrap().str_values().unwrap().to_vec();
         assert_eq!(notes[0], "hi, there");

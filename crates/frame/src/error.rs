@@ -74,7 +74,10 @@ impl fmt::Display for FrameError {
                 "column {column:?} has dtype {actual} but {expected} was required"
             ),
             FrameError::RowOutOfBounds { row, n_rows } => {
-                write!(f, "row index {row} out of bounds for frame with {n_rows} rows")
+                write!(
+                    f,
+                    "row index {row} out of bounds for frame with {n_rows} rows"
+                )
             }
             FrameError::Expr(msg) => write!(f, "expression error: {msg}"),
             FrameError::Csv { line, message } => {

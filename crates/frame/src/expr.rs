@@ -143,6 +143,10 @@ impl Evaluated {
     }
 }
 
+// The builder methods intentionally mirror operator names (`add`, `not`,
+// ...) without implementing the std operator traits: expressions are
+// consumed by value into an AST, and `a.add(b)` reads as the DSL it is.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Column reference.
     pub fn col(name: impl Into<String>) -> Expr {
@@ -327,9 +331,7 @@ impl Expr {
         let n = frame.n_rows();
         let evaluated = self.eval_inner(frame, n)?;
         Ok(match evaluated {
-            Evaluated::Num(v, m) => {
-                Column::with_validity("", ColumnData::Float(v), m)?
-            }
+            Evaluated::Num(v, m) => Column::with_validity("", ColumnData::Float(v), m)?,
             Evaluated::Bool(v, m) => Column::with_validity("", ColumnData::Bool(v), m)?,
             Evaluated::Str(v, m) => Column::with_validity("", ColumnData::Str(v), m)?,
         })
@@ -342,11 +344,7 @@ impl Expr {
     /// [`FrameError::Expr`] if the expression is not boolean.
     pub fn eval_bool_mask(&self, frame: &Frame) -> Result<Vec<bool>> {
         let (vals, mask) = self.eval_inner(frame, frame.n_rows())?.into_bool()?;
-        Ok(vals
-            .into_iter()
-            .zip(mask)
-            .map(|(v, ok)| v && ok)
-            .collect())
+        Ok(vals.into_iter().zip(mask).map(|(v, ok)| v && ok).collect())
     }
 
     fn eval_inner(&self, frame: &Frame, n: usize) -> Result<Evaluated> {
@@ -367,12 +365,7 @@ impl Expr {
                     }
                     DType::Bool => {
                         let vals: Vec<bool> = (0..col.len())
-                            .map(|i| {
-                                col.get(i)
-                                    .ok()
-                                    .and_then(|v| v.as_bool())
-                                    .unwrap_or(false)
-                            })
+                            .map(|i| col.get(i).ok().and_then(|v| v.as_bool()).unwrap_or(false))
                             .collect();
                         Evaluated::Bool(vals, validity)
                     }
@@ -417,7 +410,10 @@ fn eval_unary(op: UnaryOp, inner: Evaluated) -> Result<Evaluated> {
     match op {
         UnaryOp::Not => {
             let (vals, mask) = inner.into_bool()?;
-            Ok(Evaluated::Bool(vals.into_iter().map(|b| !b).collect(), mask))
+            Ok(Evaluated::Bool(
+                vals.into_iter().map(|b| !b).collect(),
+                mask,
+            ))
         }
         UnaryOp::Neg | UnaryOp::Abs | UnaryOp::Exp | UnaryOp::Floor | UnaryOp::Ceil => {
             let (vals, mask) = inner.into_num()?;
@@ -436,7 +432,11 @@ fn eval_unary(op: UnaryOp, inner: Evaluated) -> Result<Evaluated> {
                 .into_iter()
                 .enumerate()
                 .map(|(i, x)| {
-                    let y = if op == UnaryOp::Sqrt { x.sqrt() } else { x.ln() };
+                    let y = if op == UnaryOp::Sqrt {
+                        x.sqrt()
+                    } else {
+                        x.ln()
+                    };
                     if y.is_finite() {
                         y
                     } else {
@@ -577,9 +577,15 @@ mod tests {
     #[test]
     fn comparisons_produce_bool() {
         let f = frame();
-        let mask = Expr::col("x").ge(Expr::lit_f64(2.0)).eval_bool_mask(&f).unwrap();
+        let mask = Expr::col("x")
+            .ge(Expr::lit_f64(2.0))
+            .eval_bool_mask(&f)
+            .unwrap();
         assert_eq!(mask, vec![false, true, true]);
-        let ne = Expr::col("x").ne_(Expr::lit_f64(2.0)).eval_bool_mask(&f).unwrap();
+        let ne = Expr::col("x")
+            .ne_(Expr::lit_f64(2.0))
+            .eval_bool_mask(&f)
+            .unwrap();
         assert_eq!(ne, vec![true, false, true]);
     }
 
@@ -598,7 +604,9 @@ mod tests {
     #[test]
     fn logic_ops_and_not() {
         let f = frame();
-        let e = Expr::col("b").or(Expr::col("x").gt(Expr::lit_f64(2.5))).not();
+        let e = Expr::col("b")
+            .or(Expr::col("x").gt(Expr::lit_f64(2.5)))
+            .not();
         let mask = e.eval_bool_mask(&f).unwrap();
         assert_eq!(mask, vec![false, true, false]);
     }
@@ -611,7 +619,10 @@ mod tests {
         assert_eq!(c.get(0).unwrap(), Value::Float(2.0));
         assert_eq!(c.get(1).unwrap(), Value::Null);
         // Null comparison never matches in a filter.
-        let mask = Expr::col("n").gt(Expr::lit_f64(-1e9)).eval_bool_mask(&f).unwrap();
+        let mask = Expr::col("n")
+            .gt(Expr::lit_f64(-1e9))
+            .eval_bool_mask(&f)
+            .unwrap();
         assert_eq!(mask, vec![true, false, true]);
     }
 
@@ -629,11 +640,19 @@ mod tests {
     #[test]
     fn domain_errors_null_out() {
         let f = frame();
-        let c = Expr::col("x").sub(Expr::lit_f64(2.0)).ln().eval(&f).unwrap();
+        let c = Expr::col("x")
+            .sub(Expr::lit_f64(2.0))
+            .ln()
+            .eval(&f)
+            .unwrap();
         // ln(-1), ln(0), ln(1) -> null, null, 0
         assert_eq!(c.null_count(), 2);
         assert_eq!(c.get(2).unwrap(), Value::Float(0.0));
-        let c = Expr::col("x").sub(Expr::lit_f64(2.0)).sqrt().eval(&f).unwrap();
+        let c = Expr::col("x")
+            .sub(Expr::lit_f64(2.0))
+            .sqrt()
+            .eval(&f)
+            .unwrap();
         assert_eq!(c.null_count(), 1);
     }
 
@@ -671,8 +690,12 @@ mod tests {
     #[test]
     fn derive_into_frame() {
         let mut f = frame();
-        f.derive("x2", &Expr::col("x").mul(Expr::lit_f64(2.0))).unwrap();
-        assert_eq!(f.column("x2").unwrap().f64_values().unwrap(), &[2.0, 4.0, 6.0]);
+        f.derive("x2", &Expr::col("x").mul(Expr::lit_f64(2.0)))
+            .unwrap();
+        assert_eq!(
+            f.column("x2").unwrap().f64_values().unwrap(),
+            &[2.0, 4.0, 6.0]
+        );
         // Hypothesis formula example from the paper: "k >= 20 AND b".
         f.derive(
             "hypothesis",

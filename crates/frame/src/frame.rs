@@ -452,9 +452,7 @@ mod tests {
         f.set_column(Column::from_f64("x", vec![9.0, 8.0, 7.0, 6.0]))
             .unwrap();
         assert_eq!(f.column("x").unwrap().f64_values().unwrap()[0], 9.0);
-        assert!(f
-            .set_column(Column::from_f64("x", vec![1.0]))
-            .is_err());
+        assert!(f.set_column(Column::from_f64("x", vec![1.0])).is_err());
 
         f.rename_column("x", "xx").unwrap();
         assert!(f.has_column("xx"));
@@ -484,10 +482,12 @@ mod tests {
         let b = sample();
         let v = a.vstack(&b).unwrap();
         assert_eq!(v.n_rows(), 8);
-        assert_eq!(v.column("s").unwrap().get(4).unwrap(), Value::Str("a".into()));
+        assert_eq!(
+            v.column("s").unwrap().get(4).unwrap(),
+            Value::Str("a".into())
+        );
 
-        let mismatched =
-            Frame::from_columns(vec![Column::from_f64("x", vec![1.0])]).unwrap();
+        let mismatched = Frame::from_columns(vec![Column::from_f64("x", vec![1.0])]).unwrap();
         assert!(a.vstack(&mismatched).is_err());
     }
 

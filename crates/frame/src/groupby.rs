@@ -189,7 +189,10 @@ fn aggregate_column(
             }
             Column::from_values(name, &firsts)
         }
-        Aggregation::Sum | Aggregation::Mean | Aggregation::Min | Aggregation::Max
+        Aggregation::Sum
+        | Aggregation::Mean
+        | Aggregation::Min
+        | Aggregation::Max
         | Aggregation::Std => {
             let vals = col.to_f64_lossy().map_err(|_| FrameError::TypeMismatch {
                 column: col.name().to_owned(),
@@ -212,9 +215,7 @@ fn aggregate_column(
                         Aggregation::Sum => xs.iter().sum(),
                         Aggregation::Mean => xs.iter().sum::<f64>() / xs.len() as f64,
                         Aggregation::Min => xs.iter().copied().fold(f64::INFINITY, f64::min),
-                        Aggregation::Max => {
-                            xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-                        }
+                        Aggregation::Max => xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
                         Aggregation::Std => {
                             if xs.len() < 2 {
                                 0.0
@@ -295,7 +296,10 @@ mod tests {
         let g = frame()
             .group_by(&["channel"], &[AggSpec::new("leads", Aggregation::Count)])
             .unwrap();
-        assert_eq!(g.column("leads_count").unwrap().i64_values().unwrap(), &[2, 2]);
+        assert_eq!(
+            g.column("leads_count").unwrap().i64_values().unwrap(),
+            &[2, 2]
+        );
     }
 
     #[test]
@@ -303,7 +307,10 @@ mod tests {
         let g = frame()
             .group_by(&["channel"], &[AggSpec::new("leads", Aggregation::First)])
             .unwrap();
-        assert_eq!(g.column("leads_first").unwrap().i64_values().unwrap(), &[1, 2]);
+        assert_eq!(
+            g.column("leads_first").unwrap().i64_values().unwrap(),
+            &[1, 2]
+        );
     }
 
     #[test]
@@ -329,7 +336,10 @@ mod tests {
             .group_by(&["a", "b"], &[AggSpec::new("v", Aggregation::Sum)])
             .unwrap();
         assert_eq!(g.n_rows(), 3);
-        assert_eq!(g.column("v_sum").unwrap().f64_values().unwrap(), &[3.0, 3.0, 4.0]);
+        assert_eq!(
+            g.column("v_sum").unwrap().f64_values().unwrap(),
+            &[3.0, 3.0, 4.0]
+        );
     }
 
     #[test]
@@ -343,7 +353,10 @@ mod tests {
             .group_by(&["k"], &[AggSpec::new("v", Aggregation::Sum)])
             .unwrap();
         assert_eq!(g.n_rows(), 2);
-        assert_eq!(g.column("v_sum").unwrap().f64_values().unwrap(), &[1.0, 5.0]);
+        assert_eq!(
+            g.column("v_sum").unwrap().f64_values().unwrap(),
+            &[1.0, 5.0]
+        );
     }
 
     #[test]

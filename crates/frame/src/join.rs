@@ -62,14 +62,9 @@ impl Frame {
                 "join requires at least one key column".to_owned(),
             ));
         }
-        let left_keys: Vec<&Column> = on
-            .iter()
-            .map(|&k| self.column(k))
-            .collect::<Result<_>>()?;
-        let right_keys: Vec<&Column> = on
-            .iter()
-            .map(|&k| other.column(k))
-            .collect::<Result<_>>()?;
+        let left_keys: Vec<&Column> = on.iter().map(|&k| self.column(k)).collect::<Result<_>>()?;
+        let right_keys: Vec<&Column> =
+            on.iter().map(|&k| other.column(k)).collect::<Result<_>>()?;
 
         // Build hash index over the right side.
         let mut index: HashMap<Vec<KeyAtom>, Vec<usize>> = HashMap::new();
@@ -83,8 +78,7 @@ impl Frame {
         let mut left_idx: Vec<usize> = Vec::new();
         let mut right_idx: Vec<Option<usize>> = Vec::new();
         for i in 0..self.n_rows() {
-            let matches = row_key(self, &left_keys, i)
-                .and_then(|key| index.get(&key));
+            let matches = row_key(self, &left_keys, i).and_then(|key| index.get(&key));
             match matches {
                 Some(js) => {
                     for &j in js {
@@ -146,7 +140,9 @@ mod tests {
 
     #[test]
     fn inner_join_matches_only() {
-        let j = customers().join(&orders(), &["id"], JoinKind::Inner).unwrap();
+        let j = customers()
+            .join(&orders(), &["id"], JoinKind::Inner)
+            .unwrap();
         assert_eq!(j.n_rows(), 3);
         assert_eq!(j.column("id").unwrap().i64_values().unwrap(), &[2, 2, 3]);
         assert_eq!(
@@ -161,7 +157,9 @@ mod tests {
 
     #[test]
     fn left_join_keeps_unmatched_with_nulls() {
-        let j = customers().join(&orders(), &["id"], JoinKind::Left).unwrap();
+        let j = customers()
+            .join(&orders(), &["id"], JoinKind::Left)
+            .unwrap();
         assert_eq!(j.n_rows(), 5); // ann(null), bob x2, cat, dan(null)
         let amount = j.column("amount").unwrap();
         assert_eq!(amount.null_count(), 2);
@@ -208,11 +206,7 @@ mod tests {
 
     #[test]
     fn null_keys_never_match() {
-        let a = Frame::from_columns(vec![Column::from_i64_opt(
-            "id",
-            vec![Some(1), None],
-        )])
-        .unwrap();
+        let a = Frame::from_columns(vec![Column::from_i64_opt("id", vec![Some(1), None])]).unwrap();
         let b = Frame::from_columns(vec![
             Column::from_i64_opt("id", vec![Some(1), None]),
             Column::from_f64("v", vec![1.0, 2.0]),
@@ -227,7 +221,9 @@ mod tests {
 
     #[test]
     fn missing_key_column_errors() {
-        assert!(customers().join(&orders(), &["ghost"], JoinKind::Inner).is_err());
+        assert!(customers()
+            .join(&orders(), &["ghost"], JoinKind::Inner)
+            .is_err());
         assert!(customers().join(&orders(), &[], JoinKind::Inner).is_err());
     }
 

@@ -140,7 +140,9 @@ mod tests {
 
     #[test]
     fn single_key_descending() {
-        let f = frame().sort_by(&[("score", SortOrder::Descending)]).unwrap();
+        let f = frame()
+            .sort_by(&[("score", SortOrder::Descending)])
+            .unwrap();
         assert_eq!(
             f.column("score").unwrap().f64_values().unwrap(),
             &[2.0, 2.0, 1.0, 0.5]
@@ -167,7 +169,10 @@ mod tests {
         ])
         .unwrap();
         let sorted = f.sort_by(&[("k", SortOrder::Ascending)]).unwrap();
-        assert_eq!(sorted.column("orig").unwrap().i64_values().unwrap(), &[0, 1, 2]);
+        assert_eq!(
+            sorted.column("orig").unwrap().i64_values().unwrap(),
+            &[0, 1, 2]
+        );
     }
 
     #[test]
@@ -181,11 +186,7 @@ mod tests {
 
     #[test]
     fn nan_sorts_after_numbers() {
-        let f = Frame::from_columns(vec![Column::from_f64(
-            "x",
-            vec![f64::NAN, 1.0, 0.0],
-        )])
-        .unwrap();
+        let f = Frame::from_columns(vec![Column::from_f64("x", vec![f64::NAN, 1.0, 0.0])]).unwrap();
         let s = f.sort_by(&[("x", SortOrder::Ascending)]).unwrap();
         let v = s.column("x").unwrap().f64_values().unwrap();
         assert_eq!(&v[..2], &[0.0, 1.0]);
@@ -208,8 +209,7 @@ mod tests {
 
     #[test]
     fn bool_ordering() {
-        let f = Frame::from_columns(vec![Column::from_bool("b", vec![true, false, true])])
-            .unwrap();
+        let f = Frame::from_columns(vec![Column::from_bool("b", vec![true, false, true])]).unwrap();
         let s = f.sort_by(&[("b", SortOrder::Ascending)]).unwrap();
         assert_eq!(
             s.column("b").unwrap().bool_values().unwrap(),

@@ -5,7 +5,7 @@
 //! importances. This implementation reproduces those semantics: bootstrap
 //! rows per tree, sqrt/one-third feature subsampling per split, averaged
 //! normalized impurity importances, and out-of-bag scoring. Trees train
-//! in parallel on crossbeam scoped threads.
+//! in parallel on std scoped threads.
 
 use crate::linalg::Matrix;
 use crate::model::{check_binary_labels, Classifier, LearnError, Predictor, Regressor};
@@ -42,19 +42,24 @@ impl Default for ForestConfig {
 /// Shared fitting logic: train `n_trees` base learners on bootstrap rows
 /// and collect per-tree OOB predictions.
 ///
+/// Fitted base learners paired with their out-of-bag row indices.
+type FittedTrees<T> = Vec<(T, Vec<usize>)>;
+
 /// `train` receives `(tree_seed, bootstrap_sample)` and returns the fitted
 /// base learner; the caller supplies the family-specific constructor.
 fn fit_trees<T, F>(
     n_rows: usize,
     config: &ForestConfig,
     train: F,
-) -> Result<Vec<(T, Vec<usize>)>, LearnError>
+) -> Result<FittedTrees<T>, LearnError>
 where
     T: Send,
     F: Fn(u64, &[usize]) -> Result<T, LearnError> + Sync,
 {
     if config.n_trees == 0 {
-        return Err(LearnError::Invalid("forest needs at least one tree".to_owned()));
+        return Err(LearnError::Invalid(
+            "forest needs at least one tree".to_owned(),
+        ));
     }
     if n_rows == 0 {
         return Err(LearnError::Invalid("cannot fit on zero rows".to_owned()));
@@ -81,29 +86,27 @@ where
     }
 
     let chunk = jobs.len().div_ceil(n_threads);
-    let results: Vec<Result<Vec<(T, Vec<usize>)>, LearnError>> =
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk)
-                .map(|chunk_jobs| {
-                    let train = &train;
-                    scope.spawn(move |_| {
-                        chunk_jobs
-                            .iter()
-                            .map(|(seed, sample)| {
-                                let oob = out_of_bag_indices(sample, n_rows);
-                                train(*seed, sample).map(|t| (t, oob))
-                            })
-                            .collect::<Result<Vec<_>, LearnError>>()
-                    })
+    let results: Vec<Result<FittedTrees<T>, LearnError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk)
+            .map(|chunk_jobs| {
+                let train = &train;
+                scope.spawn(move || {
+                    chunk_jobs
+                        .iter()
+                        .map(|(seed, sample)| {
+                            let oob = out_of_bag_indices(sample, n_rows);
+                            train(*seed, sample).map(|t| (t, oob))
+                        })
+                        .collect::<Result<Vec<_>, LearnError>>()
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("forest worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("forest worker panicked"))
+            .collect()
+    });
 
     let mut out = Vec::with_capacity(config.n_trees);
     for r in results {
@@ -159,9 +162,11 @@ impl RandomForestClassifier {
     /// Convenience constructor: `n_trees` trees, given seed, defaults
     /// elsewhere.
     pub fn with_trees(n_trees: usize, seed: u64) -> Self {
-        let mut config = ForestConfig::default();
-        config.n_trees = n_trees;
-        config.seed = seed;
+        let config = ForestConfig {
+            n_trees,
+            seed,
+            ..ForestConfig::default()
+        };
         RandomForestClassifier::new(config)
     }
 
@@ -292,9 +297,11 @@ impl RandomForestRegressor {
 
     /// Convenience constructor: `n_trees` trees, given seed.
     pub fn with_trees(n_trees: usize, seed: u64) -> Self {
-        let mut config = ForestConfig::default();
-        config.n_trees = n_trees;
-        config.seed = seed;
+        let config = ForestConfig {
+            n_trees,
+            seed,
+            ..ForestConfig::default()
+        };
         RandomForestRegressor::new(config)
     }
 
@@ -362,8 +369,7 @@ impl Regressor for RandomForestRegressor {
         self.oob_r2 = Some(if covered.len() < 2 {
             f64::NAN
         } else {
-            let mean_y =
-                covered.iter().map(|&i| y[i]).sum::<f64>() / covered.len() as f64;
+            let mean_y = covered.iter().map(|&i| y[i]).sum::<f64>() / covered.len() as f64;
             let ss_res: f64 = covered
                 .iter()
                 .map(|&i| {
@@ -473,23 +479,27 @@ mod tests {
                 b.predict_row(x.row(i)).unwrap()
             );
         }
-        assert_eq!(a.feature_importances().unwrap(), b.feature_importances().unwrap());
+        assert_eq!(
+            a.feature_importances().unwrap(),
+            b.feature_importances().unwrap()
+        );
         // Different seed differs somewhere.
         let mut c = RandomForestClassifier::with_trees(10, 43);
         c.fit(&x, &y).unwrap();
-        let same = (0..x.n_rows()).all(|i| {
-            a.predict_row(x.row(i)).unwrap() == c.predict_row(x.row(i)).unwrap()
-        });
+        let same = (0..x.n_rows())
+            .all(|i| a.predict_row(x.row(i)).unwrap() == c.predict_row(x.row(i)).unwrap());
         assert!(!same);
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let (x, y) = class_data(200, 4);
-        let mut seq_cfg = ForestConfig::default();
-        seq_cfg.n_trees = 12;
-        seq_cfg.seed = 5;
-        seq_cfg.n_threads = 1;
+        let seq_cfg = ForestConfig {
+            n_trees: 12,
+            seed: 5,
+            n_threads: 1,
+            ..ForestConfig::default()
+        };
         let mut par_cfg = seq_cfg.clone();
         par_cfg.n_threads = 4;
         let mut seq = RandomForestClassifier::new(seq_cfg);

@@ -19,7 +19,7 @@
 //! * [`tree`] / [`forest`] — CART decision trees and bootstrap random
 //!   forests (classifier + regressor) with impurity feature importances
 //!   and out-of-bag scoring; forest training is parallelized with
-//!   crossbeam scoped threads.
+//!   std scoped threads.
 //! * [`metrics`] — accuracy, F1, ROC-AUC, log-loss, R², RMSE, ...
 //! * [`shapley`] — Monte-Carlo permutation Shapley values (one of the
 //!   paper's three verification measures).

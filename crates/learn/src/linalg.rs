@@ -137,8 +137,7 @@ impl Matrix {
                     continue;
                 }
                 let orow = other.row(k);
-                let out_row =
-                    &mut out.data[i * other.n_cols..(i + 1) * other.n_cols];
+                let out_row = &mut out.data[i * other.n_cols..(i + 1) * other.n_cols];
                 for (o, &b) in out_row.iter_mut().zip(orow) {
                     *o += a * b;
                 }
@@ -247,6 +246,7 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LearnError> {
     let tol = max_diag * 1e-12;
     for k in (0..n).rev() {
         let mut s = qtb[k];
+        #[allow(clippy::needless_range_loop)] // index couples several aligned structures
         for j in (k + 1)..n {
             s -= r.get(k, j) * x[j];
         }
@@ -264,7 +264,9 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LearnError> {
 /// [`LearnError::Numeric`] when the matrix is not positive definite.
 pub fn cholesky(a: &Matrix) -> Result<Matrix, LearnError> {
     if a.n_rows() != a.n_cols() {
-        return Err(LearnError::Shape("cholesky requires a square matrix".to_owned()));
+        return Err(LearnError::Shape(
+            "cholesky requires a square matrix".to_owned(),
+        ));
     }
     let n = a.n_rows();
     let mut l = Matrix::zeros(n, n);
@@ -296,11 +298,14 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, LearnError> {
 pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LearnError> {
     let n = l.n_rows();
     if l.n_cols() != n || b.len() != n {
-        return Err(LearnError::Shape("solve_lower dimension mismatch".to_owned()));
+        return Err(LearnError::Shape(
+            "solve_lower dimension mismatch".to_owned(),
+        ));
     }
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut s = b[i];
+        #[allow(clippy::needless_range_loop)] // index couples several aligned structures
         for j in 0..i {
             s -= l.get(i, j) * y[j];
         }
@@ -323,6 +328,7 @@ pub fn solve_lower_transpose(l: &Matrix, y: &[f64]) -> Result<Vec<f64>, LearnErr
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut s = y[i];
+        #[allow(clippy::needless_range_loop)] // index couples several aligned structures
         for j in (i + 1)..n {
             s -= l.get(j, i) * x[j];
         }
@@ -421,12 +427,7 @@ mod tests {
     #[test]
     fn lstsq_minimizes_residual_on_noisy_data() {
         // Known normal-equations answer for a small example.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
         let b = [1.0, 0.0, 2.0];
         let beta = lstsq(&a, &b).unwrap();
         // Normal equations: [[3,3],[3,5]] beta = [3,4] => beta = [0.5, 0.5]
@@ -436,12 +437,7 @@ mod tests {
     #[test]
     fn lstsq_handles_rank_deficiency() {
         // Second column is a copy of the first: rank 1.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
         let b = [2.0, 4.0, 6.0];
         let beta = lstsq(&a, &b).unwrap();
         // Dead pivot zeroed; fitted values must still reproduce b.

@@ -125,7 +125,7 @@ impl Regressor for LinearRegression {
                 aug.set(n + j - 1, j, s);
             }
             let mut rhs = y.to_vec();
-            rhs.extend(std::iter::repeat(0.0).take(extra));
+            rhs.extend(std::iter::repeat_n(0.0, extra));
             lstsq(&aug, &rhs)?
         } else {
             lstsq(&design, y)?
@@ -295,10 +295,7 @@ mod tests {
         ridge.fit(&x, &y).unwrap();
         let c_ols = ols.coefficients().unwrap()[0].abs();
         let c_ridge = ridge.coefficients().unwrap()[0].abs();
-        assert!(
-            c_ridge < c_ols,
-            "ridge should shrink: {c_ridge} vs {c_ols}"
-        );
+        assert!(c_ridge < c_ols, "ridge should shrink: {c_ridge} vs {c_ols}");
         // Negative alpha is treated as zero.
         assert_eq!(LinearRegression::ridge(-5.0).alpha, 0.0);
     }
@@ -306,9 +303,7 @@ mod tests {
     #[test]
     fn collinear_features_dont_crash() {
         // Perfectly collinear: x2 = 2*x1.
-        let rows: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![i as f64, 2.0 * i as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * 3.0).collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let mut m = LinearRegression::new();

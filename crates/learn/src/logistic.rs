@@ -123,6 +123,7 @@ impl Classifier for LogisticRegression {
             // Gradient and Hessian of the penalized log-likelihood.
             let mut grad = vec![0.0; p];
             let mut hess = Matrix::zeros(p, p);
+            #[allow(clippy::needless_range_loop)] // index couples several aligned structures
             for i in 0..n {
                 let row = design.row(i);
                 let z: f64 = row.iter().zip(&beta).map(|(a, b)| a * b).sum();

@@ -185,7 +185,15 @@ mod tests {
     #[test]
     fn confusion_counts_and_derived() {
         let c = Confusion::from_labels(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);

@@ -58,7 +58,9 @@ pub trait Predictor: Send + Sync {
                 x.n_cols()
             )));
         }
-        (0..x.n_rows()).map(|i| self.predict_row(x.row(i))).collect()
+        (0..x.n_rows())
+            .map(|i| self.predict_row(x.row(i)))
+            .collect()
     }
 }
 
@@ -142,10 +144,16 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(LearnError::NotFitted.to_string().contains("not been fitted"));
+        assert!(LearnError::NotFitted
+            .to_string()
+            .contains("not been fitted"));
         assert!(LearnError::Shape("x".into()).to_string().contains("shape"));
-        assert!(LearnError::Numeric("x".into()).to_string().contains("numeric"));
-        assert!(LearnError::Invalid("x".into()).to_string().contains("invalid"));
+        assert!(LearnError::Numeric("x".into())
+            .to_string()
+            .contains("numeric"));
+        assert!(LearnError::Invalid("x".into())
+            .to_string()
+            .contains("invalid"));
     }
 
     #[test]

@@ -99,7 +99,9 @@ pub fn ice_curves(
         )));
     }
     if grid.is_empty() || x.n_rows() == 0 || max_rows == 0 {
-        return Err(LearnError::Invalid("empty grid, dataset, or row budget".to_owned()));
+        return Err(LearnError::Invalid(
+            "empty grid, dataset, or row budget".to_owned(),
+        ));
     }
     let n = x.n_rows().min(max_rows);
     let mut curves = Vec::with_capacity(n);

@@ -67,6 +67,7 @@ where
     let n = x.n_rows();
     let mut importances = vec![0.0; x.n_cols()];
     let mut shuffled = x.clone();
+    #[allow(clippy::needless_range_loop)] // index couples several aligned structures
     for j in 0..x.n_cols() {
         let original = x.col(j);
         let mut drop_sum = 0.0;
@@ -119,7 +120,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
         let y: Vec<u8> = rows.iter().map(|r| u8::from(r[0] > 3.0)).collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let mut f = RandomForestClassifier::with_trees(10, 1);
@@ -138,9 +141,24 @@ mod tests {
         let mut f = RandomForestClassifier::with_trees(5, 1);
         f.fit(&x, &y).unwrap();
         let score = |_: &[f64]| 0.0;
-        assert!(permutation_importance(&f, &Matrix::zeros(5, 3), score, &PermutationConfig::default()).is_err());
-        assert!(permutation_importance(&f, &Matrix::zeros(1, 1), score, &PermutationConfig::default()).is_err());
-        let cfg = PermutationConfig { n_repeats: 0, seed: 0 };
+        assert!(permutation_importance(
+            &f,
+            &Matrix::zeros(5, 3),
+            score,
+            &PermutationConfig::default()
+        )
+        .is_err());
+        assert!(permutation_importance(
+            &f,
+            &Matrix::zeros(1, 1),
+            score,
+            &PermutationConfig::default()
+        )
+        .is_err());
+        let cfg = PermutationConfig {
+            n_repeats: 0,
+            seed: 0,
+        };
         assert!(permutation_importance(&f, &x, score, &cfg).is_err());
     }
 }

@@ -18,7 +18,9 @@ impl StandardScaler {
     /// [`LearnError::Invalid`] for empty input.
     pub fn fit(x: &Matrix) -> Result<StandardScaler, LearnError> {
         if x.n_rows() == 0 {
-            return Err(LearnError::Invalid("cannot fit scaler on zero rows".to_owned()));
+            return Err(LearnError::Invalid(
+                "cannot fit scaler on zero rows".to_owned(),
+            ));
         }
         let n = x.n_rows() as f64;
         let means: Vec<f64> = (0..x.n_cols())
@@ -109,7 +111,9 @@ impl MinMaxScaler {
     /// [`LearnError::Invalid`] for empty input.
     pub fn fit(x: &Matrix) -> Result<MinMaxScaler, LearnError> {
         if x.n_rows() == 0 {
-            return Err(LearnError::Invalid("cannot fit scaler on zero rows".to_owned()));
+            return Err(LearnError::Invalid(
+                "cannot fit scaler on zero rows".to_owned(),
+            ));
         }
         let mins: Vec<f64> = (0..x.n_cols())
             .map(|j| x.col(j).into_iter().fold(f64::INFINITY, f64::min))

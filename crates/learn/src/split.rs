@@ -31,12 +31,15 @@ pub fn train_test_split(
     Ok((train, test))
 }
 
+/// K-fold splits: (train, validation) index-set pairs covering `0..n`.
+pub type Folds = Vec<(Vec<usize>, Vec<usize>)>;
+
 /// K-fold cross-validation splits: `k` pairs of (train, validation)
 /// index sets covering `0..n`, shuffled by `seed`.
 ///
 /// # Errors
 /// [`LearnError::Invalid`] when `k < 2` or `k > n`.
-pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Vec<(Vec<usize>, Vec<usize>)>, LearnError> {
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Folds, LearnError> {
     if k < 2 {
         return Err(LearnError::Invalid("k_fold requires k >= 2".to_owned()));
     }

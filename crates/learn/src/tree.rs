@@ -81,7 +81,11 @@ impl FittedTree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -196,12 +200,7 @@ struct Builder<'a, C: Criterion> {
 }
 
 impl<'a, C: Criterion> Builder<'a, C> {
-    fn build(
-        x: &'a Matrix,
-        y: &'a [f64],
-        sample: &[usize],
-        config: &'a TreeConfig,
-    ) -> FittedTree {
+    fn build(x: &'a Matrix, y: &'a [f64], sample: &[usize], config: &'a TreeConfig) -> FittedTree {
         let mut b = Builder::<C> {
             x,
             y,
@@ -236,8 +235,7 @@ impl<'a, C: Criterion> Builder<'a, C> {
             || n < self.config.min_samples_split
             || node_impurity <= 1e-12;
         if !make_leaf {
-            if let Some((feature, threshold, gain)) = self.best_split(idx, &agg, node_impurity)
-            {
+            if let Some((feature, threshold, gain)) = self.best_split(idx, &agg, node_impurity) {
                 // Partition in place: left gets x <= threshold.
                 let mut lo = 0usize;
                 let mut hi = idx.len();
@@ -298,10 +296,7 @@ impl<'a, C: Criterion> Builder<'a, C> {
         let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
         for &feature in &features {
             pairs.clear();
-            pairs.extend(
-                idx.iter()
-                    .map(|&i| (self.x.get(i, feature), self.y[i])),
-            );
+            pairs.extend(idx.iter().map(|&i| (self.x.get(i, feature), self.y[i])));
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
             if pairs[0].0 == pairs[pairs.len() - 1].0 {
                 continue; // constant feature in this node
@@ -320,14 +315,13 @@ impl<'a, C: Criterion> Builder<'a, C> {
                 if nl < self.config.min_samples_leaf || nr < self.config.min_samples_leaf {
                     continue;
                 }
-                let weighted = (nl as f64 * C::impurity(&left)
-                    + nr as f64 * C::impurity(&right))
-                    / n;
+                let weighted =
+                    (nl as f64 * C::impurity(&left) + nr as f64 * C::impurity(&right)) / n;
                 let gain = parent_impurity - weighted;
                 // Zero-gain splits are accepted: greedy CART needs them to
                 // get past XOR-style interactions (both children stay
                 // impure but strictly smaller, so recursion terminates).
-                if gain >= 0.0 && best.map_or(true, |(_, _, g)| gain > g) {
+                if gain >= 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
                     let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
                     best = Some((feature, threshold, gain));
                 }
@@ -386,7 +380,9 @@ impl DecisionTreeClassifier {
             return Err(LearnError::Invalid("empty training sample".to_owned()));
         }
         if let Some(&bad) = sample.iter().find(|&&i| i >= x.n_rows()) {
-            return Err(LearnError::Invalid(format!("sample index {bad} out of range")));
+            return Err(LearnError::Invalid(format!(
+                "sample index {bad} out of range"
+            )));
         }
         let yf: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
         self.fitted = Some(Builder::<Gini>::build(x, &yf, sample, &self.config));
@@ -477,7 +473,9 @@ impl DecisionTreeRegressor {
             return Err(LearnError::Invalid("empty training sample".to_owned()));
         }
         if let Some(&bad) = sample.iter().find(|&&i| i >= x.n_rows()) {
-            return Err(LearnError::Invalid(format!("sample index {bad} out of range")));
+            return Err(LearnError::Invalid(format!(
+                "sample index {bad} out of range"
+            )));
         }
         self.fitted = Some(Builder::<Mse>::build(x, y, sample, &self.config));
         Ok(())
@@ -548,8 +546,8 @@ mod tests {
         let (x, y) = xor_data();
         let mut t = DecisionTreeClassifier::default();
         t.fit(&x, &y).unwrap();
-        for i in 0..x.n_rows() {
-            assert_eq!(t.predict_class_row(x.row(i)).unwrap(), y[i]);
+        for (i, &label) in y.iter().enumerate() {
+            assert_eq!(t.predict_class_row(x.row(i)).unwrap(), label);
         }
         assert!(t.depth().unwrap() >= 2, "xor needs at least two levels");
     }
@@ -576,8 +574,10 @@ mod tests {
     #[test]
     fn max_depth_limits_growth() {
         let (x, y) = xor_data();
-        let mut cfg = TreeConfig::default();
-        cfg.max_depth = 1;
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
         let mut t = DecisionTreeClassifier::new(cfg);
         t.fit(&x, &y).unwrap();
         assert!(t.depth().unwrap() <= 1);
@@ -587,8 +587,10 @@ mod tests {
     fn min_samples_leaf_is_respected() {
         let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let y: Vec<u8> = (0..10).map(|i| u8::from(i == 0)).collect();
-        let mut cfg = TreeConfig::default();
-        cfg.min_samples_leaf = 3;
+        let cfg = TreeConfig {
+            min_samples_leaf: 3,
+            ..TreeConfig::default()
+        };
         let mut t = DecisionTreeClassifier::new(cfg);
         t.fit(&Matrix::from_rows(&rows).unwrap(), &y).unwrap();
         // The isolated positive at x=0 cannot be split off alone; the left
@@ -627,9 +629,7 @@ mod tests {
     #[test]
     fn irrelevant_feature_gets_low_importance() {
         // Feature 0 decides the class; feature 1 is a constant.
-        let rows: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![(i % 4) as f64, 7.0])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 4) as f64, 7.0]).collect();
         let y: Vec<u8> = rows.iter().map(|r| u8::from(r[0] >= 2.0)).collect();
         let mut t = DecisionTreeClassifier::default();
         t.fit(&Matrix::from_rows(&rows).unwrap(), &y).unwrap();
@@ -660,9 +660,11 @@ mod tests {
     #[test]
     fn max_features_subsampling_still_fits() {
         let (x, y) = xor_data();
-        let mut cfg = TreeConfig::default();
-        cfg.max_features = Some(1);
-        cfg.seed = 42;
+        let cfg = TreeConfig {
+            max_features: Some(1),
+            seed: 42,
+            ..TreeConfig::default()
+        };
         let mut t = DecisionTreeClassifier::new(cfg);
         t.fit(&x, &y).unwrap();
         // With one random feature per split the tree still fits something

@@ -162,15 +162,17 @@ mod tests {
     fn rejects_bad_config() {
         let o = FnObjective::new(1, |_: &[f64]| 0.0);
         let b = Bounds::uniform(1, 0.0, 1.0).unwrap();
-        let mut cfg = AnnealConfig::default();
-        cfg.max_evals = 0;
+        let cfg = AnnealConfig {
+            max_evals: 0,
+            ..AnnealConfig::default()
+        };
         assert!(simulated_annealing(&o, &b, &[0.5], &cfg).is_err());
-        cfg = AnnealConfig {
+        let cfg = AnnealConfig {
             cooling: 1.0,
             ..Default::default()
         };
         assert!(simulated_annealing(&o, &b, &[0.5], &cfg).is_err());
-        cfg = AnnealConfig {
+        let cfg = AnnealConfig {
             initial_temperature: 0.0,
             ..Default::default()
         };
@@ -180,13 +182,7 @@ mod tests {
 
     #[test]
     fn nan_regions_are_never_accepted() {
-        let o = FnObjective::new(1, |x: &[f64]| {
-            if x[0] < 0.0 {
-                f64::NAN
-            } else {
-                x[0]
-            }
-        });
+        let o = FnObjective::new(1, |x: &[f64]| if x[0] < 0.0 { f64::NAN } else { x[0] });
         let b = Bounds::uniform(1, -1.0, 1.0).unwrap();
         let cfg = AnnealConfig {
             max_evals: 500,

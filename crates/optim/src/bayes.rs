@@ -167,22 +167,20 @@ impl BayesianOptimizer {
                     let cand: Vec<f64> = if c % 3 == 0 {
                         incumbent
                             .iter()
-                            .map(|&v| {
-                                (v + 0.1 * standard_normal(&mut rng)).clamp(0.0, 1.0)
-                            })
+                            .map(|&v| (v + 0.1 * standard_normal(&mut rng)).clamp(0.0, 1.0))
                             .collect()
                     } else {
                         (0..bounds.dim()).map(|_| rng.gen::<f64>()).collect()
                     };
                     let (mean, std) = gp.predict(&cand)?;
                     let score = cfg.acquisition.score(mean, std, best_f);
-                    if best_cand.as_ref().map_or(true, |(_, s)| score > *s) {
+                    if best_cand.as_ref().is_none_or(|(_, s)| score > *s) {
                         best_cand = Some((cand, score));
                     }
                 }
-                best_cand.map(|(c, _)| c).unwrap_or_else(|| {
-                    to_unit(&bounds.sample(&mut rng))
-                })
+                best_cand
+                    .map(|(c, _)| c)
+                    .unwrap_or_else(|| to_unit(&bounds.sample(&mut rng)))
             };
             let x = from_unit(&next_unit);
             let f = objective.eval(&x);
@@ -204,9 +202,7 @@ mod tests {
     fn minimizes_smooth_bowl_better_than_random_at_equal_budget() {
         // Averaged over seeds, BO should beat random search on a smooth
         // 2-D bowl with a 40-call budget.
-        let o = FnObjective::new(2, |x: &[f64]| {
-            (x[0] - 0.7).powi(2) + (x[1] + 0.3).powi(2)
-        });
+        let o = FnObjective::new(2, |x: &[f64]| (x[0] - 0.7).powi(2) + (x[1] + 0.3).powi(2));
         let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
         let mut bo_total = 0.0;
         let mut rs_total = 0.0;

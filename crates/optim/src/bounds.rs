@@ -104,13 +104,7 @@ impl Bounds {
         self.lows
             .iter()
             .zip(&self.highs)
-            .map(|(&l, &h)| {
-                if h > l {
-                    rng.gen_range(l..=h)
-                } else {
-                    l
-                }
-            })
+            .map(|(&l, &h)| if h > l { rng.gen_range(l..=h) } else { l })
             .collect()
     }
 

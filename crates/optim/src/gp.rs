@@ -22,11 +22,7 @@ pub enum Kernel {
 impl Kernel {
     /// Covariance between two points.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r2: f64 = a
-            .iter()
-            .zip(b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let r2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
         match *self {
             Kernel::Rbf { length_scale } => (-r2 / (2.0 * length_scale * length_scale)).exp(),
             Kernel::Matern52 { length_scale } => {
@@ -87,7 +83,9 @@ impl GaussianProcess {
             return Err(OptimError::Invalid("ragged or zero-dim inputs".to_owned()));
         }
         if kernel.length_scale() <= 0.0 {
-            return Err(OptimError::Invalid("length_scale must be positive".to_owned()));
+            return Err(OptimError::Invalid(
+                "length_scale must be positive".to_owned(),
+            ));
         }
         if noise < 0.0 {
             return Err(OptimError::Invalid("noise must be non-negative".to_owned()));
@@ -129,10 +127,9 @@ impl GaussianProcess {
                 }
             }
         };
-        let tmp = solve_lower(&l, &y_norm)
-            .map_err(|e| OptimError::Numeric(e.to_string()))?;
-        let alpha = solve_lower_transpose(&l, &tmp)
-            .map_err(|e| OptimError::Numeric(e.to_string()))?;
+        let tmp = solve_lower(&l, &y_norm).map_err(|e| OptimError::Numeric(e.to_string()))?;
+        let alpha =
+            solve_lower_transpose(&l, &tmp).map_err(|e| OptimError::Numeric(e.to_string()))?;
         Ok(GaussianProcess {
             kernel,
             noise: jitter,
@@ -168,8 +165,7 @@ impl GaussianProcess {
             .map(|xi| self.kernel.eval(xi, x))
             .collect();
         let mean_norm: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
-        let v = solve_lower(&self.l, &k_star)
-            .map_err(|e| OptimError::Numeric(e.to_string()))?;
+        let v = solve_lower(&self.l, &k_star).map_err(|e| OptimError::Numeric(e.to_string()))?;
         let k_self = self.kernel.eval(x, x) + self.noise;
         let var_norm = (k_self - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
         Ok((
@@ -221,8 +217,8 @@ mod tests {
     fn uncertainty_grows_away_from_data() {
         let x = grid_1d(5, 0.0, 1.0);
         let y: Vec<f64> = x.iter().map(|p| p[0]).collect();
-        let gp = GaussianProcess::fit(Kernel::Matern52 { length_scale: 0.2 }, 1e-8, &x, &y)
-            .unwrap();
+        let gp =
+            GaussianProcess::fit(Kernel::Matern52 { length_scale: 0.2 }, 1e-8, &x, &y).unwrap();
         let (_, s_in) = gp.predict(&[0.5]).unwrap();
         let (_, s_out) = gp.predict(&[3.0]).unwrap();
         assert!(s_out > 5.0 * s_in, "inside {s_in} vs outside {s_out}");

@@ -22,7 +22,9 @@ pub fn grid_search(
     points_per_dim: usize,
 ) -> Result<OptimResult, OptimError> {
     if points_per_dim == 0 {
-        return Err(OptimError::Invalid("points_per_dim must be positive".to_owned()));
+        return Err(OptimError::Invalid(
+            "points_per_dim must be positive".to_owned(),
+        ));
     }
     if objective.dim() != bounds.dim() {
         return Err(OptimError::Invalid(format!(

@@ -142,6 +142,7 @@ pub fn nelder_mead(
             } else {
                 // Shrink toward the best vertex.
                 let best = simplex[0].0.clone();
+                #[allow(clippy::needless_range_loop)] // index couples several aligned structures
                 for k in 1..=d {
                     if history.len() >= config.max_evals {
                         break;
@@ -168,9 +169,7 @@ mod tests {
 
     #[test]
     fn minimizes_quadratic_bowl() {
-        let o = FnObjective::new(2, |x: &[f64]| {
-            (x[0] - 0.3).powi(2) + (x[1] + 0.7).powi(2)
-        });
+        let o = FnObjective::new(2, |x: &[f64]| (x[0] - 0.3).powi(2) + (x[1] + 0.7).powi(2));
         let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
         let r = nelder_mead(&o, &b, &[1.5, 1.5], &NelderMeadConfig::default()).unwrap();
         assert!(r.best_f < 1e-6, "best {}", r.best_f);
@@ -181,9 +180,7 @@ mod tests {
     #[test]
     fn respects_bounds_when_optimum_is_outside() {
         // Unconstrained optimum at (−5, −5); box stops at −1.
-        let o = FnObjective::new(2, |x: &[f64]| {
-            (x[0] + 5.0).powi(2) + (x[1] + 5.0).powi(2)
-        });
+        let o = FnObjective::new(2, |x: &[f64]| (x[0] + 5.0).powi(2) + (x[1] + 5.0).powi(2));
         let b = Bounds::uniform(2, -1.0, 1.0).unwrap();
         let r = nelder_mead(&o, &b, &[0.5, 0.5], &NelderMeadConfig::default()).unwrap();
         assert!(b.contains(&r.best_x));

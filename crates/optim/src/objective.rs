@@ -142,7 +142,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(OptimError::Invalid("x".into()).to_string().contains("invalid"));
-        assert!(OptimError::Numeric("x".into()).to_string().contains("numeric"));
+        assert!(OptimError::Invalid("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(OptimError::Numeric("x".into())
+            .to_string()
+            .contains("numeric"));
     }
 }

@@ -94,7 +94,9 @@ impl<'a> PenalizedObjective<'a> {
         weight: f64,
     ) -> Result<Self, OptimError> {
         if weight <= 0.0 {
-            return Err(OptimError::Invalid("penalty weight must be positive".to_owned()));
+            return Err(OptimError::Invalid(
+                "penalty weight must be positive".to_owned(),
+            ));
         }
         for (i, c) in constraints.iter().enumerate() {
             if c.coeffs.len() != inner.dim() {

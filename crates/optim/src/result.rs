@@ -74,11 +74,7 @@ mod tests {
 
     #[test]
     fn picks_minimum_from_history() {
-        let h = vec![
-            (vec![0.0], 3.0),
-            (vec![1.0], 1.0),
-            (vec![2.0], 2.0),
-        ];
+        let h = vec![(vec![0.0], 3.0), (vec![1.0], 1.0), (vec![2.0], 2.0)];
         let r = OptimResult::from_history(h);
         assert_eq!(r.best_f, 1.0);
         assert_eq!(r.best_x, vec![1.0]);

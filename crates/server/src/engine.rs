@@ -1,0 +1,717 @@
+//! The transport-agnostic dispatch facade.
+//!
+//! [`Engine`] owns the sharded session registry and executes
+//! [`Request`]s into [`Response`]s with typed [`ApiError`] failures. It
+//! is the single implementation shared by:
+//!
+//! * the TCP layer (`crate::tcp`), which feeds it wire lines via
+//!   [`Engine::dispatch_line`],
+//! * in-process callers and tests via [`Engine::handle`] /
+//!   [`Engine::handle_envelope`],
+//! * the legacy [`crate::handlers::ServerState`] adapter.
+//!
+//! Analysis variants delegate to
+//! [`whatif_core::spec::AnalysisSpec::execute`], so the declarative
+//! spec path and the interactive protocol run the exact same code.
+
+use crate::protocol::{
+    ApiError, ColumnInfo, Envelope, Reply, Request, Response, UseCase, CURRENT_SESSION,
+    PROTOCOL_VERSION,
+};
+use crate::registry::Registry;
+use whatif_core::kpi::KpiKind;
+use whatif_core::model_backend::TrainedModel;
+use whatif_core::scenario::ScenarioLedger;
+use whatif_core::session::Session;
+use whatif_core::spec::AnalysisSpec;
+use whatif_core::{ErrorCode, ModelKind, SpecOutcome};
+use whatif_datagen::{deal_closing, marketing_mix, retention};
+use whatif_frame::Frame;
+
+/// Per-session backend state.
+struct SessionEntry {
+    session: Session,
+    model: Option<TrainedModel>,
+    ledger: ScenarioLedger,
+    /// The last sensitivity / goal outcome, recordable as a scenario.
+    last_outcome: Option<LastOutcome>,
+}
+
+enum LastOutcome {
+    Sensitivity(whatif_core::SensitivityResult),
+    Goal(whatif_core::GoalInversionResult),
+}
+
+/// The concurrent dispatch facade: sessions, trained models, scenario
+/// ledgers, batch execution, and wire-version negotiation.
+#[derive(Default)]
+pub struct Engine {
+    sessions: Registry<SessionEntry>,
+}
+
+impl Engine {
+    /// Fresh engine with no sessions.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Execute one request.
+    ///
+    /// A [`Request::Batch`] body runs its steps with correlation id 0;
+    /// use [`Engine::handle_envelope`] to correlate batches explicitly.
+    ///
+    /// # Errors
+    /// A typed [`ApiError`]; the transport decides how to frame it.
+    pub fn handle(&self, request: Request) -> Result<Response, ApiError> {
+        match request {
+            Request::Batch(steps) => Ok(Response::Batch(self.run_batch(0, steps))),
+            other => self.handle_single(other),
+        }
+    }
+
+    /// Execute one v2 envelope, echoing its id on the reply.
+    pub fn handle_envelope(&self, envelope: Envelope) -> Reply {
+        if envelope.version == 0 || envelope.version > PROTOCOL_VERSION {
+            return Reply::fail(
+                envelope.id,
+                ApiError::bad_request(format!(
+                    "unsupported protocol version {} (this server speaks 1..={PROTOCOL_VERSION})",
+                    envelope.version
+                )),
+            );
+        }
+        match envelope.body {
+            Request::Batch(steps) => Reply::ok(
+                envelope.id,
+                Response::Batch(self.run_batch(envelope.id, steps)),
+            ),
+            other => match self.handle_single(other) {
+                Ok(response) => Reply::ok(envelope.id, response),
+                Err(error) => Reply::fail(envelope.id, error),
+            },
+        }
+    }
+
+    /// Dispatch one wire line, auto-detecting the framing: an object
+    /// with `id` and `body` keys is a v2 [`Envelope`] (answered by a
+    /// [`Reply`]), anything else is a legacy v1 [`Request`] (answered by
+    /// a bare [`Response`]). Returns the serialized reply line plus
+    /// whether the line asked the server to shut down.
+    pub fn dispatch_line(&self, line: &str) -> (String, bool) {
+        let parsed = match serde_json::parse(line) {
+            Ok(value) => value,
+            Err(e) => {
+                let response =
+                    Response::Error(ApiError::bad_request(format!("malformed request: {e}")));
+                return (encode(&response), false);
+            }
+        };
+        let is_envelope = parsed.as_object().is_some_and(|o| {
+            serde::find_field(o, "id").is_some() && serde::find_field(o, "body").is_some()
+        });
+        if is_envelope {
+            match serde_json::from_value::<Envelope>(&parsed) {
+                Ok(envelope) => {
+                    let reply = self.handle_envelope(envelope);
+                    let shutdown = reply.result.as_ref().is_some_and(acknowledged_shutdown);
+                    (encode(&reply), shutdown)
+                }
+                Err(e) => {
+                    // Salvage the id so the client can correlate the failure.
+                    let id = parsed
+                        .as_object()
+                        .and_then(|o| serde::find_field(o, "id"))
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(0);
+                    let reply = Reply::fail(
+                        id,
+                        ApiError::bad_request(format!("malformed envelope: {e}")),
+                    );
+                    (encode(&reply), false)
+                }
+            }
+        } else {
+            match serde_json::from_value::<Request>(&parsed) {
+                Ok(request) => {
+                    let response = self.handle(request).unwrap_or_else(Response::Error);
+                    let shutdown = acknowledged_shutdown(&response);
+                    (encode(&response), shutdown)
+                }
+                Err(e) => {
+                    let response =
+                        Response::Error(ApiError::bad_request(format!("malformed request: {e}")));
+                    (encode(&response), false)
+                }
+            }
+        }
+    }
+
+    /// Run batch steps in order, stopping at the first failure. Every
+    /// reply echoes the batch's correlation id.
+    fn run_batch(&self, id: u64, steps: Vec<Request>) -> Vec<Reply> {
+        let mut replies = Vec::with_capacity(steps.len());
+        let mut last_session: Option<u64> = None;
+        for mut step in steps {
+            if matches!(step, Request::Batch(_)) {
+                replies.push(Reply::fail(
+                    id,
+                    ApiError::bad_request("batches do not nest"),
+                ));
+                break;
+            }
+            if let Err(error) = resolve_current_session(&mut step, last_session) {
+                replies.push(Reply::fail(id, error));
+                break;
+            }
+            match self.handle_single(step) {
+                Ok(response) => {
+                    if let Response::SessionCreated { session, .. } = &response {
+                        last_session = Some(*session);
+                    }
+                    replies.push(Reply::ok(id, response));
+                }
+                Err(error) => {
+                    replies.push(Reply::fail(id, error));
+                    break;
+                }
+            }
+        }
+        replies
+    }
+
+    fn handle_single(&self, request: Request) -> Result<Response, ApiError> {
+        match request {
+            Request::ListUseCases => Ok(Response::UseCases(
+                UseCase::all()
+                    .into_iter()
+                    .map(|u| (u, u.label().to_owned()))
+                    .collect(),
+            )),
+            Request::LoadUseCase {
+                use_case,
+                n_rows,
+                seed,
+            } => {
+                let seed = seed.unwrap_or(7);
+                let (frame, kpi) = match use_case {
+                    UseCase::MarketingMix => {
+                        let d = marketing_mix(n_rows.unwrap_or(180), seed);
+                        (d.frame, d.kpi)
+                    }
+                    UseCase::CustomerRetention => {
+                        let d = retention(n_rows.unwrap_or(1200), seed);
+                        (d.frame, d.kpi)
+                    }
+                    UseCase::DealClosing => {
+                        let d = deal_closing(n_rows.unwrap_or(1480), seed);
+                        (d.frame, d.kpi)
+                    }
+                };
+                Ok(self.create_session(frame, Some(kpi)))
+            }
+            Request::LoadCsv { csv } => match whatif_frame::csv::parse_csv(&csv) {
+                Ok(frame) => Ok(self.create_session(frame, None)),
+                Err(e) => Err(ApiError::new(ErrorCode::Data, e.to_string())),
+            },
+            Request::TableView { session, max_rows } => self.with_session(session, |entry| {
+                let frame = entry.session.frame();
+                let shown = frame.n_rows().min(max_rows);
+                let rows: Vec<Vec<whatif_frame::Value>> = (0..shown)
+                    .map(|i| {
+                        frame
+                            .columns()
+                            .iter()
+                            .map(|c| c.get(i).expect("row in range"))
+                            .collect()
+                    })
+                    .collect();
+                Ok(Response::Table {
+                    columns: frame
+                        .column_names()
+                        .iter()
+                        .map(|s| (*s).to_owned())
+                        .collect(),
+                    rows,
+                    total_rows: frame.n_rows(),
+                })
+            }),
+            Request::SelectKpi { session, kpi } => self.with_session(session, |entry| {
+                let s = entry.session.clone().with_kpi(&kpi)?;
+                let kind = match s.kpi_kind()? {
+                    KpiKind::Continuous => "continuous",
+                    KpiKind::Binary => "binary",
+                };
+                entry.session = s;
+                entry.model = None; // stale
+                Ok(Response::KpiSelected {
+                    kpi,
+                    kind: kind.to_owned(),
+                })
+            }),
+            Request::SelectDrivers { session, drivers } => self.with_session(session, |entry| {
+                if let Some(drivers) = drivers {
+                    let refs: Vec<&str> = drivers.iter().map(String::as_str).collect();
+                    entry.session = entry.session.clone().with_drivers(&refs)?;
+                    entry.model = None;
+                }
+                Ok(Response::Drivers {
+                    selected: entry.session.drivers().to_vec(),
+                })
+            }),
+            Request::Train { session, config } => self.with_session(session, |entry| {
+                let config = config.unwrap_or_default();
+                let model = entry.session.train(&config)?;
+                let kind = match model.kind() {
+                    ModelKind::Linear => "linear",
+                    ModelKind::Logistic => "logistic",
+                    ModelKind::RandomForest => "random_forest",
+                    ModelKind::Auto => "auto",
+                };
+                let response = Response::Trained {
+                    kind: kind.to_owned(),
+                    confidence: model.confidence(),
+                    baseline_kpi: model.baseline_kpi(),
+                };
+                entry.model = Some(model);
+                Ok(response)
+            }),
+            Request::DriverImportanceView { session, verify } => {
+                self.run_analysis(session, AnalysisSpec::DriverImportance { verify })
+            }
+            Request::SensitivityView {
+                session,
+                perturbations,
+            } => self.run_analysis(
+                session,
+                AnalysisSpec::Sensitivity {
+                    perturbations,
+                    clamp_non_negative: true,
+                },
+            ),
+            Request::ComparisonView {
+                session,
+                percentages,
+            } => self.run_analysis(session, AnalysisSpec::Comparison { percentages }),
+            Request::PerDataView {
+                session,
+                row,
+                perturbations,
+            } => self.run_analysis(session, AnalysisSpec::PerData { row, perturbations }),
+            Request::GoalInversionView {
+                session,
+                goal,
+                constraints,
+                optimizer,
+                seed,
+            } => self.run_analysis(
+                session,
+                AnalysisSpec::GoalInversion {
+                    goal,
+                    constraints,
+                    optimizer: optimizer.unwrap_or_default(),
+                    seed,
+                },
+            ),
+            Request::RecordScenario { session, name } => {
+                self.with_session(session, |entry| match &entry.last_outcome {
+                    Some(LastOutcome::Sensitivity(r)) => Ok(Response::ScenarioRecorded {
+                        id: entry.ledger.record_sensitivity(name, r),
+                    }),
+                    Some(LastOutcome::Goal(r)) => Ok(Response::ScenarioRecorded {
+                        id: entry.ledger.record_goal_inversion(name, r),
+                    }),
+                    None => Err(ApiError::new(
+                        ErrorCode::BadRequest,
+                        "no sensitivity or goal-inversion outcome to record yet",
+                    )),
+                })
+            }
+            Request::ListScenarios { session } => self.with_session(session, |entry| {
+                Ok(Response::Scenarios(
+                    entry
+                        .ledger
+                        .ranked_by_uplift()
+                        .into_iter()
+                        .cloned()
+                        .collect(),
+                ))
+            }),
+            Request::CloseSession { session } => {
+                if self.sessions.remove(session) {
+                    Ok(Response::SessionClosed)
+                } else {
+                    Err(ApiError::unknown_session(session))
+                }
+            }
+            Request::Shutdown => Ok(Response::ShuttingDown),
+            Request::Batch(_) => Err(ApiError::bad_request("batches do not nest")),
+        }
+    }
+
+    /// Execute an analysis spec against a session's trained model,
+    /// recording sensitivity/goal outcomes for `RecordScenario`.
+    fn run_analysis(&self, session: u64, analysis: AnalysisSpec) -> Result<Response, ApiError> {
+        self.with_session(session, |entry| {
+            let model = entry.model.take().ok_or_else(ApiError::not_trained)?;
+            let outcome = analysis.execute(&model);
+            entry.model = Some(model);
+            let outcome = outcome?;
+            match &outcome {
+                SpecOutcome::Sensitivity(r) => {
+                    entry.last_outcome = Some(LastOutcome::Sensitivity(r.clone()));
+                }
+                SpecOutcome::GoalInversion(r) => {
+                    entry.last_outcome = Some(LastOutcome::Goal(r.clone()));
+                }
+                _ => {}
+            }
+            Ok(Response::from(outcome))
+        })
+    }
+
+    fn create_session(&self, frame: Frame, suggested_kpi: Option<String>) -> Response {
+        let columns: Vec<ColumnInfo> = frame
+            .columns()
+            .iter()
+            .map(|c| ColumnInfo {
+                name: c.name().to_owned(),
+                dtype: c.dtype().name().to_owned(),
+                null_count: c.null_count(),
+            })
+            .collect();
+        let n_rows = frame.n_rows();
+        let session = Session::new(frame);
+        let id = self.sessions.insert(SessionEntry {
+            session,
+            model: None,
+            ledger: ScenarioLedger::new(),
+            last_outcome: None,
+        });
+        Response::SessionCreated {
+            session: id,
+            n_rows,
+            columns,
+            suggested_kpi,
+        }
+    }
+
+    /// Run `f` under the session's own lock, mapping a missing id to
+    /// [`ErrorCode::UnknownSession`].
+    fn with_session<F>(&self, id: u64, f: F) -> Result<Response, ApiError>
+    where
+        F: FnOnce(&mut SessionEntry) -> Result<Response, ApiError>,
+    {
+        self.sessions
+            .with(id, f)
+            .unwrap_or_else(|| Err(ApiError::unknown_session(id)))
+    }
+}
+
+fn encode<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| {
+        format!("{{\"Error\":{{\"code\":\"Internal\",\"message\":\"encode: {e}\"}}}}")
+    })
+}
+
+/// Whether this response acknowledges a shutdown the engine actually
+/// executed. Derived from the outcome, not the request, so a rejected
+/// envelope (bad version) or a batch that failed before its `Shutdown`
+/// step never stops the transport.
+fn acknowledged_shutdown(response: &Response) -> bool {
+    match response {
+        Response::ShuttingDown => true,
+        Response::Batch(replies) => replies
+            .iter()
+            .any(|r| r.result.as_ref().is_some_and(acknowledged_shutdown)),
+        _ => false,
+    }
+}
+
+/// Substitute the in-batch [`CURRENT_SESSION`] sentinel.
+fn resolve_current_session(
+    request: &mut Request,
+    last_session: Option<u64>,
+) -> Result<(), ApiError> {
+    let slot = match request {
+        Request::TableView { session, .. }
+        | Request::SelectKpi { session, .. }
+        | Request::SelectDrivers { session, .. }
+        | Request::Train { session, .. }
+        | Request::DriverImportanceView { session, .. }
+        | Request::SensitivityView { session, .. }
+        | Request::ComparisonView { session, .. }
+        | Request::PerDataView { session, .. }
+        | Request::GoalInversionView { session, .. }
+        | Request::RecordScenario { session, .. }
+        | Request::ListScenarios { session }
+        | Request::CloseSession { session } => session,
+        _ => return Ok(()),
+    };
+    if *slot == CURRENT_SESSION {
+        *slot = last_session.ok_or_else(|| {
+            ApiError::bad_request(
+                "CURRENT_SESSION used before any load step created a session in this batch",
+            )
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whatif_core::model_backend::ModelConfig;
+    use whatif_core::perturbation::Perturbation;
+
+    fn fast_config() -> ModelConfig {
+        ModelConfig {
+            n_trees: 12,
+            max_depth: 8,
+            ..ModelConfig::default()
+        }
+    }
+
+    fn load(engine: &Engine, n_rows: usize) -> u64 {
+        match engine
+            .handle(Request::LoadUseCase {
+                use_case: UseCase::DealClosing,
+                n_rows: Some(n_rows),
+                seed: Some(3),
+            })
+            .unwrap()
+        {
+            Response::SessionCreated { session, .. } => session,
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_errors_carry_codes() {
+        let engine = Engine::new();
+        let err = engine
+            .handle(Request::TableView {
+                session: 99,
+                max_rows: 1,
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownSession);
+
+        let id = load(&engine, 220);
+        let err = engine
+            .handle(Request::DriverImportanceView {
+                session: id,
+                verify: false,
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NotTrained);
+
+        let err = engine
+            .handle(Request::Train {
+                session: id,
+                config: None,
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NoKpi);
+
+        let err = engine
+            .handle(Request::SelectKpi {
+                session: id,
+                kpi: "Account Name".into(),
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Config);
+
+        let err = engine
+            .handle(Request::LoadCsv { csv: String::new() })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Data);
+
+        let err = engine
+            .handle(Request::RecordScenario {
+                session: id,
+                name: "x".into(),
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn batch_drives_full_pipeline_with_current_session() {
+        let engine = Engine::new();
+        let steps = vec![
+            Request::LoadUseCase {
+                use_case: UseCase::DealClosing,
+                n_rows: Some(220),
+                seed: Some(3),
+            },
+            Request::SelectKpi {
+                session: CURRENT_SESSION,
+                kpi: "Deal Closed?".into(),
+            },
+            Request::Train {
+                session: CURRENT_SESSION,
+                config: Some(fast_config()),
+            },
+            Request::SensitivityView {
+                session: CURRENT_SESSION,
+                perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+            },
+        ];
+        let reply = engine.handle_envelope(Envelope::new(7, Request::Batch(steps)));
+        assert_eq!(reply.id, 7);
+        let Response::Batch(replies) = reply.into_result().unwrap() else {
+            panic!("expected batch response");
+        };
+        assert_eq!(replies.len(), 4);
+        assert!(replies.iter().all(|r| r.id == 7), "per-step ids match");
+        assert!(replies.iter().all(|r| !r.is_error()));
+        let Some(Response::Sensitivity(s)) = &replies[3].result else {
+            panic!("expected sensitivity outcome last");
+        };
+        assert_eq!(s.kpi_name, "Deal Closed?");
+    }
+
+    #[test]
+    fn batch_stops_at_first_error() {
+        let engine = Engine::new();
+        let steps = vec![
+            Request::LoadUseCase {
+                use_case: UseCase::DealClosing,
+                n_rows: Some(120),
+                seed: Some(1),
+            },
+            Request::SelectKpi {
+                session: CURRENT_SESSION,
+                kpi: "no such column".into(),
+            },
+            Request::ListUseCases,
+        ];
+        let Ok(Response::Batch(replies)) = engine.handle(Request::Batch(steps)) else {
+            panic!("expected batch response");
+        };
+        assert_eq!(replies.len(), 2, "third step never ran");
+        assert!(!replies[0].is_error());
+        assert!(replies[1].is_error());
+    }
+
+    #[test]
+    fn current_session_without_load_is_bad_request() {
+        let engine = Engine::new();
+        let Ok(Response::Batch(replies)) =
+            engine.handle(Request::Batch(vec![Request::ListScenarios {
+                session: CURRENT_SESSION,
+            }]))
+        else {
+            panic!("expected batch response");
+        };
+        assert_eq!(
+            replies[0].error.as_ref().unwrap().code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn nested_batches_are_rejected() {
+        let engine = Engine::new();
+        let Ok(Response::Batch(replies)) =
+            engine.handle(Request::Batch(vec![Request::Batch(vec![])]))
+        else {
+            panic!("expected batch response");
+        };
+        assert_eq!(
+            replies[0].error.as_ref().unwrap().code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn envelope_version_is_checked() {
+        let engine = Engine::new();
+        let mut env = Envelope::new(1, Request::ListUseCases);
+        env.version = 3;
+        let reply = engine.handle_envelope(env);
+        assert_eq!(reply.error.unwrap().code, ErrorCode::BadRequest);
+        let mut env = Envelope::new(2, Request::ListUseCases);
+        env.version = 1;
+        assert!(
+            !engine.handle_envelope(env).is_error(),
+            "v1 bodies are fine"
+        );
+    }
+
+    #[test]
+    fn dispatch_line_speaks_both_wire_versions() {
+        let engine = Engine::new();
+        // v1: bare request.
+        let (line, shutdown) = engine.dispatch_line("\"ListUseCases\"");
+        assert!(!shutdown);
+        let resp: Response = serde_json::from_str(&line).unwrap();
+        assert!(matches!(resp, Response::UseCases(u) if u.len() == 3));
+        // v2: envelope.
+        let (line, shutdown) =
+            engine.dispatch_line("{\"id\": 9, \"version\": 2, \"body\": \"ListUseCases\"}");
+        assert!(!shutdown);
+        let reply: Reply = serde_json::from_str(&line).unwrap();
+        assert_eq!(reply.id, 9);
+        assert!(!reply.is_error());
+        // v2 without explicit version defaults to the current one.
+        let (line, _) = engine.dispatch_line("{\"id\": 10, \"body\": \"ListUseCases\"}");
+        let reply: Reply = serde_json::from_str(&line).unwrap();
+        assert!(!reply.is_error());
+        // Shutdown is flagged in both framings, and inside a batch.
+        assert!(engine.dispatch_line("\"Shutdown\"").1);
+        assert!(
+            engine
+                .dispatch_line("{\"id\": 1, \"body\": \"Shutdown\"}")
+                .1
+        );
+        assert!(
+            engine
+                .dispatch_line("{\"id\": 1, \"body\": {\"Batch\": [\"Shutdown\"]}}")
+                .1
+        );
+        // ... but only when the shutdown actually executed: a rejected
+        // envelope or a batch that fails first must not stop the server.
+        assert!(
+            !engine
+                .dispatch_line("{\"id\": 1, \"version\": 99, \"body\": \"Shutdown\"}")
+                .1
+        );
+        let failing_then_shutdown = "{\"id\": 1, \"body\": {\"Batch\": [\
+             {\"CloseSession\": {\"session\": 424242}}, \"Shutdown\"]}}";
+        assert!(!engine.dispatch_line(failing_then_shutdown).1);
+        // Garbage gets a v1 typed error.
+        let (line, _) = engine.dispatch_line("not json");
+        let resp: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(resp.as_error().unwrap().code, ErrorCode::BadRequest);
+        // A malformed envelope keeps its correlation id.
+        let (line, _) = engine.dispatch_line("{\"id\": 4, \"body\": {\"Nope\": 1}}");
+        let reply: Reply = serde_json::from_str(&line).unwrap();
+        assert_eq!(reply.id, 4);
+        assert_eq!(reply.error.unwrap().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn close_session_frees_state() {
+        let engine = Engine::new();
+        let id = load(&engine, 120);
+        assert_eq!(engine.session_count(), 1);
+        assert!(matches!(
+            engine.handle(Request::CloseSession { session: id }),
+            Ok(Response::SessionClosed)
+        ));
+        assert_eq!(engine.session_count(), 0);
+        assert_eq!(
+            engine
+                .handle(Request::CloseSession { session: id })
+                .unwrap_err()
+                .code,
+            ErrorCode::UnknownSession
+        );
+    }
+}

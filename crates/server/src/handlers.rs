@@ -1,39 +1,19 @@
-//! The stateful request dispatcher: sessions, trained models, scenario
-//! ledgers. [`ServerState::handle`] is the single entry point both the
-//! in-process tests and the TCP layer use.
+//! Legacy single-type dispatcher, now a thin adapter over
+//! [`crate::engine::Engine`].
+//!
+//! `ServerState` predates the v2 protocol: it answers every request
+//! with a bare [`Response`], folding typed failures into
+//! [`Response::Error`]. New code should use [`Engine`] directly; this
+//! adapter keeps the seed-era API (`ServerState::handle`) compiling for
+//! in-process callers, benches, and tests.
 
-use crate::protocol::{ColumnInfo, Request, Response, UseCase};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use whatif_core::goal::GoalConfig;
-use whatif_core::kpi::KpiKind;
-use whatif_core::model_backend::TrainedModel;
-use whatif_core::perturbation::PerturbationSet;
-use whatif_core::scenario::ScenarioLedger;
-use whatif_core::session::Session;
-use whatif_core::ModelKind;
-use whatif_datagen::{deal_closing, marketing_mix, retention};
-use whatif_frame::Frame;
+use crate::engine::Engine;
+use crate::protocol::{Request, Response};
 
-/// Per-session backend state.
-struct SessionState {
-    session: Session,
-    model: Option<TrainedModel>,
-    ledger: ScenarioLedger,
-    /// The last sensitivity / goal outcome, recordable as a scenario.
-    last_outcome: Option<LastOutcome>,
-}
-
-enum LastOutcome {
-    Sensitivity(whatif_core::SensitivityResult),
-    Goal(whatif_core::GoalInversionResult),
-}
-
-/// Thread-safe server state: a table of sessions.
+/// Thread-safe v1-style server state over the concurrent engine.
 #[derive(Default)]
 pub struct ServerState {
-    sessions: Mutex<HashMap<u64, SessionState>>,
-    next_id: Mutex<u64>,
+    engine: Engine,
 }
 
 impl ServerState {
@@ -42,293 +22,27 @@ impl ServerState {
         ServerState::default()
     }
 
+    /// The underlying engine facade.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
     /// Number of live sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions.lock().len()
+        self.engine.session_count()
     }
 
-    fn create_session(&self, frame: Frame, suggested_kpi: Option<String>) -> Response {
-        let columns: Vec<ColumnInfo> = frame
-            .columns()
-            .iter()
-            .map(|c| ColumnInfo {
-                name: c.name().to_owned(),
-                dtype: c.dtype().name().to_owned(),
-                null_count: c.null_count(),
-            })
-            .collect();
-        let n_rows = frame.n_rows();
-        let session = Session::new(frame);
-        let id = {
-            let mut next = self.next_id.lock();
-            let id = *next;
-            *next += 1;
-            id
-        };
-        self.sessions.lock().insert(
-            id,
-            SessionState {
-                session,
-                model: None,
-                ledger: ScenarioLedger::new(),
-                last_outcome: None,
-            },
-        );
-        Response::SessionCreated {
-            session: id,
-            n_rows,
-            columns,
-            suggested_kpi,
-        }
-    }
-
-    /// Run `f` against a session, mapping a missing id to an error
-    /// response.
-    fn with_session<F>(&self, id: u64, f: F) -> Response
-    where
-        F: FnOnce(&mut SessionState) -> Response,
-    {
-        let mut sessions = self.sessions.lock();
-        match sessions.get_mut(&id) {
-            Some(s) => f(s),
-            None => Response::error(format!("unknown session {id}")),
-        }
-    }
-
-    fn with_model<F>(&self, id: u64, f: F) -> Response
-    where
-        F: FnOnce(&mut SessionState, &TrainedModel) -> Response,
-    {
-        self.with_session(id, |state| match state.model.take() {
-            Some(model) => {
-                let resp = f(state, &model);
-                state.model = Some(model);
-                resp
-            }
-            None => Response::error("no model trained; send Train first"),
-        })
-    }
-
-    /// Dispatch one request.
+    /// Dispatch one request, v1 style: failures become
+    /// [`Response::Error`] (which still carries the typed code).
     pub fn handle(&self, request: Request) -> Response {
-        match request {
-            Request::ListUseCases => Response::UseCases(
-                UseCase::all()
-                    .into_iter()
-                    .map(|u| (u, u.label().to_owned()))
-                    .collect(),
-            ),
-            Request::LoadUseCase {
-                use_case,
-                n_rows,
-                seed,
-            } => {
-                let seed = seed.unwrap_or(7);
-                let (frame, kpi) = match use_case {
-                    UseCase::MarketingMix => {
-                        let d = marketing_mix(n_rows.unwrap_or(180), seed);
-                        (d.frame, d.kpi)
-                    }
-                    UseCase::CustomerRetention => {
-                        let d = retention(n_rows.unwrap_or(1200), seed);
-                        (d.frame, d.kpi)
-                    }
-                    UseCase::DealClosing => {
-                        let d = deal_closing(n_rows.unwrap_or(1480), seed);
-                        (d.frame, d.kpi)
-                    }
-                };
-                self.create_session(frame, Some(kpi))
-            }
-            Request::LoadCsv { csv } => match whatif_frame::csv::parse_csv(&csv) {
-                Ok(frame) => self.create_session(frame, None),
-                Err(e) => Response::error(e),
-            },
-            Request::TableView { session, max_rows } => self.with_session(session, |state| {
-                let frame = state.session.frame();
-                let shown = frame.n_rows().min(max_rows);
-                let rows: Vec<Vec<whatif_frame::Value>> = (0..shown)
-                    .map(|i| {
-                        frame
-                            .columns()
-                            .iter()
-                            .map(|c| c.get(i).expect("row in range"))
-                            .collect()
-                    })
-                    .collect();
-                Response::Table {
-                    columns: frame.column_names().iter().map(|s| (*s).to_owned()).collect(),
-                    rows,
-                    total_rows: frame.n_rows(),
-                }
-            }),
-            Request::SelectKpi { session, kpi } => self.with_session(session, |state| {
-                match state.session.clone().with_kpi(&kpi) {
-                    Ok(s) => {
-                        let kind = match s.kpi_kind() {
-                            Ok(KpiKind::Continuous) => "continuous",
-                            Ok(KpiKind::Binary) => "binary",
-                            Err(e) => return Response::error(e),
-                        };
-                        state.session = s;
-                        state.model = None; // stale
-                        Response::KpiSelected {
-                            kpi,
-                            kind: kind.to_owned(),
-                        }
-                    }
-                    Err(e) => Response::error(e),
-                }
-            }),
-            Request::SelectDrivers { session, drivers } => {
-                self.with_session(session, |state| {
-                    if let Some(drivers) = drivers {
-                        let refs: Vec<&str> = drivers.iter().map(String::as_str).collect();
-                        match state.session.clone().with_drivers(&refs) {
-                            Ok(s) => {
-                                state.session = s;
-                                state.model = None;
-                            }
-                            Err(e) => return Response::error(e),
-                        }
-                    }
-                    Response::Drivers {
-                        selected: state.session.drivers().to_vec(),
-                    }
-                })
-            }
-            Request::Train { session, config } => self.with_session(session, |state| {
-                let config = config.unwrap_or_default();
-                match state.session.train(&config) {
-                    Ok(model) => {
-                        let kind = match model.kind() {
-                            ModelKind::Linear => "linear",
-                            ModelKind::Logistic => "logistic",
-                            ModelKind::RandomForest => "random_forest",
-                            ModelKind::Auto => "auto",
-                        };
-                        let resp = Response::Trained {
-                            kind: kind.to_owned(),
-                            confidence: model.confidence(),
-                            baseline_kpi: model.baseline_kpi(),
-                        };
-                        state.model = Some(model);
-                        resp
-                    }
-                    Err(e) => Response::error(e),
-                }
-            }),
-            Request::DriverImportanceView { session, verify } => {
-                self.with_model(session, |_, model| {
-                    let importance = match model.driver_importance() {
-                        Ok(i) => i,
-                        Err(e) => return Response::error(e),
-                    };
-                    let verification = if verify {
-                        match model.verify_importance(&Default::default()) {
-                            Ok(v) => Some(v),
-                            Err(e) => return Response::error(e),
-                        }
-                    } else {
-                        None
-                    };
-                    Response::Importance {
-                        importance,
-                        verification,
-                    }
-                })
-            }
-            Request::SensitivityView {
-                session,
-                perturbations,
-            } => self.with_model(session, |state, model| {
-                let set = PerturbationSet::new(perturbations);
-                match model.sensitivity(&set) {
-                    Ok(r) => {
-                        state.last_outcome = Some(LastOutcome::Sensitivity(r.clone()));
-                        Response::Sensitivity(r)
-                    }
-                    Err(e) => Response::error(e),
-                }
-            }),
-            Request::ComparisonView {
-                session,
-                percentages,
-            } => self.with_model(session, |_, model| {
-                match model.comparison_analysis(&percentages) {
-                    Ok(c) => Response::Comparison(c),
-                    Err(e) => Response::error(e),
-                }
-            }),
-            Request::PerDataView {
-                session,
-                row,
-                perturbations,
-            } => self.with_model(session, |_, model| {
-                let set = PerturbationSet::new(perturbations);
-                match model.per_data_sensitivity(row, &set) {
-                    Ok(p) => Response::PerData(p),
-                    Err(e) => Response::error(e),
-                }
-            }),
-            Request::GoalInversionView {
-                session,
-                goal,
-                constraints,
-                optimizer,
-                seed,
-            } => self.with_model(session, |state, model| {
-                let mut cfg = GoalConfig::for_goal(goal).with_constraints(constraints);
-                if let Some(opt) = optimizer {
-                    cfg.optimizer = opt;
-                }
-                cfg.seed = seed;
-                match model.goal_inversion(&cfg) {
-                    Ok(r) => {
-                        state.last_outcome = Some(LastOutcome::Goal(r.clone()));
-                        Response::GoalInversion(r)
-                    }
-                    Err(e) => Response::error(e),
-                }
-            }),
-            Request::RecordScenario { session, name } => {
-                self.with_session(session, |state| match &state.last_outcome {
-                    Some(LastOutcome::Sensitivity(r)) => Response::ScenarioRecorded {
-                        id: state.ledger.record_sensitivity(name, r),
-                    },
-                    Some(LastOutcome::Goal(r)) => Response::ScenarioRecorded {
-                        id: state.ledger.record_goal_inversion(name, r),
-                    },
-                    None => Response::error(
-                        "no sensitivity or goal-inversion outcome to record yet",
-                    ),
-                })
-            }
-            Request::ListScenarios { session } => self.with_session(session, |state| {
-                Response::Scenarios(
-                    state
-                        .ledger
-                        .ranked_by_uplift()
-                        .into_iter()
-                        .cloned()
-                        .collect(),
-                )
-            }),
-            Request::CloseSession { session } => {
-                if self.sessions.lock().remove(&session).is_some() {
-                    Response::SessionClosed
-                } else {
-                    Response::error(format!("unknown session {session}"))
-                }
-            }
-            Request::Shutdown => Response::ShuttingDown,
-        }
+        self.engine.handle(request).unwrap_or_else(Response::Error)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::UseCase;
     use whatif_core::goal::Goal;
     use whatif_core::model_backend::ModelConfig;
     use whatif_core::perturbation::Perturbation;
@@ -356,10 +70,11 @@ mod tests {
     }
 
     fn fast_config() -> ModelConfig {
-        let mut cfg = ModelConfig::default();
-        cfg.n_trees = 12;
-        cfg.max_depth = 8;
-        cfg
+        ModelConfig {
+            n_trees: 12,
+            max_depth: 8,
+            ..ModelConfig::default()
+        }
     }
 
     #[test]
@@ -416,9 +131,7 @@ mod tests {
             config: Some(fast_config()),
         }) {
             Response::Trained {
-                kind,
-                baseline_kpi,
-                ..
+                kind, baseline_kpi, ..
             } => {
                 assert_eq!(kind, "random_forest");
                 assert!((0.0..=1.0).contains(&baseline_kpi));
@@ -518,9 +231,7 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         // Bad CSV errors.
-        assert!(state
-            .handle(Request::LoadCsv { csv: "".into() })
-            .is_error());
+        assert!(state.handle(Request::LoadCsv { csv: "".into() }).is_error());
     }
 
     #[test]
@@ -562,7 +273,9 @@ mod tests {
             })
             .is_error());
         // Unknown session close.
-        assert!(state.handle(Request::CloseSession { session: 42 }).is_error());
+        assert!(state
+            .handle(Request::CloseSession { session: 42 })
+            .is_error());
     }
 
     #[test]

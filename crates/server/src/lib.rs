@@ -7,16 +7,28 @@
 //! response to user interactions" (§2).
 //!
 //! * [`protocol`] — one request/response pair per Figure 2 view (A)–(I),
-//!   serialized with serde/JSON.
-//! * [`handlers`] — the stateful dispatcher: sessions, trained models,
-//!   scenario ledgers.
-//! * [`tcp`] — a blocking TCP server speaking line-delimited JSON, plus
-//!   a matching client.
+//!   serialized with serde/JSON; plus the v2 wire envelope
+//!   ([`Envelope`]/[`Reply`]), typed errors ([`ApiError`] with
+//!   [`ErrorCode`]), and [`Request::Batch`] pipelining.
+//! * [`engine`] — the transport-agnostic dispatch facade over a sharded
+//!   concurrent session registry; shared by the TCP layer, in-process
+//!   callers, and tests.
+//! * [`registry`] — the generic sharded id → entry registry
+//!   (`RwLock` shards, `AtomicU64` ids, per-entry locking).
+//! * [`handlers`] — the legacy v1-style [`ServerState`] adapter.
+//! * [`tcp`] — a thread-per-connection TCP server speaking
+//!   line-delimited JSON in both framings, plus a matching client.
 
+pub mod engine;
 pub mod handlers;
 pub mod protocol;
+pub mod registry;
 pub mod tcp;
 
+pub use engine::Engine;
 pub use handlers::ServerState;
-pub use protocol::{Request, Response, UseCase};
-pub use tcp::{serve, Client};
+pub use protocol::{
+    ApiError, Envelope, Reply, Request, Response, UseCase, CURRENT_SESSION, PROTOCOL_VERSION,
+};
+pub use tcp::{serve, serve_with_engine, Client};
+pub use whatif_core::ErrorCode;

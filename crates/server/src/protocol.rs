@@ -1,6 +1,20 @@
 //! The JSON view protocol: requests a frontend sends, responses the
-//! backend packs. Each variant maps to an annotated view of the paper's
-//! Figure 2.
+//! backend packs. Each [`Request`]/[`Response`] variant maps to an
+//! annotated view of the paper's Figure 2.
+//!
+//! # Wire versions
+//!
+//! * **v1** (legacy): a bare [`Request`] per line, answered by a bare
+//!   [`Response`]. Errors are [`Response::Error`] values.
+//! * **v2**: an [`Envelope`] `{id, version, body}` per line, answered by
+//!   a [`Reply`] `{id, result | error}`. Errors always carry a typed
+//!   [`ErrorCode`]. v2 adds [`Request::Batch`], which executes a whole
+//!   view pipeline in one round trip; within a batch,
+//!   [`CURRENT_SESSION`] refers to the session created earlier in the
+//!   same batch.
+//!
+//! Servers accept both framings on the same connection and answer in
+//! the framing of each request (see `docs/PROTOCOL.md`).
 
 use serde::{Deserialize, Serialize};
 use whatif_core::goal::{Goal, OptimizerChoice};
@@ -9,8 +23,18 @@ use whatif_core::model_backend::ModelConfig;
 use whatif_core::perturbation::Perturbation;
 use whatif_core::scenario::Scenario;
 use whatif_core::sensitivity::{ComparisonCurve, PerDataSensitivity, SensitivityResult};
-use whatif_core::{DriverConstraint, GoalInversionResult};
+use whatif_core::spec::SpecOutcome;
+use whatif_core::{CoreError, DriverConstraint, ErrorCode, GoalInversionResult};
 use whatif_frame::Value;
+
+/// The current wire protocol version.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Sentinel session id usable inside a [`Request::Batch`]: it resolves
+/// to the session created by the most recent `LoadUseCase`/`LoadCsv`
+/// step of the same batch, letting one round trip drive
+/// load → kpi → train → analyze without knowing the id up front.
+pub const CURRENT_SESSION: u64 = u64::MAX;
 
 /// The built-in business use cases (view A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -156,6 +180,12 @@ pub enum Request {
     /// Stop the TCP server (connection-level; in-process dispatch
     /// answers with an acknowledgement).
     Shutdown,
+    /// Execute the steps in order within one round trip (v2). Steps may
+    /// use [`CURRENT_SESSION`] to reference the session created earlier
+    /// in the batch; execution stops at the first failing step. The
+    /// response is [`Response::Batch`] with one [`Reply`] per executed
+    /// step. Batches do not nest.
+    Batch(Vec<Request>),
 }
 
 /// A column descriptor in the table view.
@@ -241,24 +271,175 @@ pub enum Response {
     SessionClosed,
     /// Shutdown acknowledged.
     ShuttingDown,
-    /// Any failure, as a message.
-    Error {
-        /// Human-readable description.
-        message: String,
-    },
+    /// Per-step replies of a [`Request::Batch`], in execution order.
+    Batch(Vec<Reply>),
+    /// Any failure, with a typed code.
+    Error(ApiError),
 }
 
 impl Response {
-    /// Build an error response from any error type.
+    /// Build an error response from any error type (legacy helper; the
+    /// code defaults to [`ErrorCode::Internal`]).
     pub fn error(e: impl std::fmt::Display) -> Response {
-        Response::Error {
-            message: e.to_string(),
-        }
+        Response::Error(ApiError::new(ErrorCode::Internal, e.to_string()))
     }
 
     /// True if this is an error response.
     pub fn is_error(&self) -> bool {
         matches!(self, Response::Error { .. })
+    }
+
+    /// The typed error, when this is an error response.
+    pub fn as_error(&self) -> Option<&ApiError> {
+        match self {
+            Response::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecOutcome> for Response {
+    fn from(outcome: SpecOutcome) -> Response {
+        match outcome {
+            SpecOutcome::Importance {
+                importance,
+                verification,
+            } => Response::Importance {
+                importance,
+                verification,
+            },
+            SpecOutcome::Sensitivity(s) => Response::Sensitivity(s),
+            SpecOutcome::Comparison(c) => Response::Comparison(c),
+            SpecOutcome::PerData(p) => Response::PerData(p),
+            SpecOutcome::GoalInversion(g) => Response::GoalInversion(g),
+        }
+    }
+}
+
+/// A structured failure: machine-readable code plus human message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiError {
+    /// Typed category clients can branch on.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ApiError {
+    /// An error with the given code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ApiError {
+        ApiError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A malformed-request error.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::BadRequest, message)
+    }
+
+    /// The request referenced an unknown session.
+    pub fn unknown_session(id: u64) -> ApiError {
+        ApiError::new(ErrorCode::UnknownSession, format!("unknown session {id}"))
+    }
+
+    /// The session has no trained model yet.
+    pub fn not_trained() -> ApiError {
+        ApiError::new(ErrorCode::NotTrained, "no model trained; send Train first")
+    }
+}
+
+impl From<CoreError> for ApiError {
+    fn from(e: CoreError) -> ApiError {
+        ApiError::new(e.code(), e.to_string())
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// A v2 request frame: id for correlation, version for evolution, the
+/// [`Request`] as body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed on the [`Reply`].
+    pub id: u64,
+    /// Protocol version (defaults to [`PROTOCOL_VERSION`] when absent).
+    #[serde(default = "default_version")]
+    pub version: u32,
+    /// The request to execute.
+    pub body: Request,
+}
+
+fn default_version() -> u32 {
+    PROTOCOL_VERSION
+}
+
+impl Envelope {
+    /// A v2 envelope around `body`.
+    pub fn new(id: u64, body: Request) -> Envelope {
+        Envelope {
+            id,
+            version: PROTOCOL_VERSION,
+            body,
+        }
+    }
+}
+
+/// A v2 response frame: exactly one of `result` / `error` is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reply {
+    /// The correlation id of the request this answers.
+    pub id: u64,
+    /// The successful response, when the request succeeded.
+    #[serde(default)]
+    pub result: Option<Response>,
+    /// The failure, when it did not.
+    #[serde(default)]
+    pub error: Option<ApiError>,
+}
+
+impl Reply {
+    /// A success reply.
+    pub fn ok(id: u64, result: Response) -> Reply {
+        Reply {
+            id,
+            result: Some(result),
+            error: None,
+        }
+    }
+
+    /// A failure reply.
+    pub fn fail(id: u64, error: ApiError) -> Reply {
+        Reply {
+            id,
+            result: None,
+            error: Some(error),
+        }
+    }
+
+    /// True if this reply carries an error.
+    pub fn is_error(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Unpack into a `Result`, treating a malformed empty reply as an
+    /// internal error.
+    pub fn into_result(self) -> Result<Response, ApiError> {
+        match (self.result, self.error) {
+            (_, Some(e)) => Err(e),
+            (Some(r), None) => Ok(r),
+            (None, None) => Err(ApiError::new(
+                ErrorCode::Internal,
+                "reply carried neither result nor error",
+            )),
+        }
     }
 }
 
@@ -308,5 +489,100 @@ mod tests {
         assert_eq!(resp, serde_json::from_str::<Response>(&json).unwrap());
         assert!(Response::error("boom").is_error());
         assert!(!resp.is_error());
+    }
+
+    #[test]
+    fn envelope_and_reply_roundtrip() {
+        let env = Envelope::new(42, Request::ListUseCases);
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(json.contains("\"id\":42"));
+        assert!(json.contains("\"version\":2"));
+        assert_eq!(env, serde_json::from_str::<Envelope>(&json).unwrap());
+
+        // Version defaults to the current protocol version when absent.
+        let bare: Envelope =
+            serde_json::from_str("{\"id\": 3, \"body\": \"ListUseCases\"}").unwrap();
+        assert_eq!(bare.version, PROTOCOL_VERSION);
+
+        let ok = Reply::ok(1, Response::SessionClosed);
+        let back: Reply = serde_json::from_str(&serde_json::to_string(&ok).unwrap()).unwrap();
+        assert_eq!(ok, back);
+        assert!(!back.is_error());
+        assert_eq!(back.into_result().unwrap(), Response::SessionClosed);
+
+        let fail = Reply::fail(2, ApiError::unknown_session(9));
+        let back: Reply = serde_json::from_str(&serde_json::to_string(&fail).unwrap()).unwrap();
+        assert!(back.is_error());
+        assert_eq!(
+            back.into_result().unwrap_err().code,
+            ErrorCode::UnknownSession
+        );
+    }
+
+    #[test]
+    fn batch_request_roundtrips() {
+        let req = Request::Batch(vec![
+            Request::ListUseCases,
+            Request::SelectKpi {
+                session: CURRENT_SESSION,
+                kpi: "Sales".into(),
+            },
+        ]);
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(req, serde_json::from_str::<Request>(&json).unwrap());
+        let resp = Response::Batch(vec![
+            Reply::ok(1, Response::SessionClosed),
+            Reply::fail(1, ApiError::not_trained()),
+        ]);
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(resp, serde_json::from_str::<Response>(&json).unwrap());
+    }
+
+    #[test]
+    fn error_responses_keep_a_message_field_for_v1_readers() {
+        // v1 clients read `message` out of `{"Error": {...}}`; the v2
+        // ApiError payload is a superset of the legacy shape.
+        let json = serde_json::to_string(&Response::error("boom")).unwrap();
+        assert!(json.contains("\"Error\""), "{json}");
+        assert!(json.contains("\"message\":\"boom\""), "{json}");
+        assert!(json.contains("\"code\""), "{json}");
+    }
+
+    #[test]
+    fn every_error_code_has_a_stable_wire_form() {
+        // Snapshot of the serialized form of each code: renaming a
+        // variant is a wire-protocol break and must fail review.
+        let expected = [
+            (ErrorCode::BadRequest, "\"BadRequest\""),
+            (ErrorCode::UnknownSession, "\"UnknownSession\""),
+            (ErrorCode::NoKpi, "\"NoKpi\""),
+            (ErrorCode::NotTrained, "\"NotTrained\""),
+            (ErrorCode::Config, "\"Config\""),
+            (ErrorCode::Data, "\"Data\""),
+            (ErrorCode::Model, "\"Model\""),
+            (ErrorCode::Optim, "\"Optim\""),
+            (ErrorCode::Spec, "\"Spec\""),
+            (ErrorCode::Internal, "\"Internal\""),
+        ];
+        assert_eq!(
+            expected.len(),
+            ErrorCode::all().len(),
+            "snapshot covers every code"
+        );
+        for (code, wire) in expected {
+            assert_eq!(serde_json::to_string(&code).unwrap(), wire);
+            assert_eq!(serde_json::from_str::<ErrorCode>(wire).unwrap(), code);
+        }
+    }
+
+    #[test]
+    fn api_error_display_and_conversion() {
+        let e = ApiError::new(ErrorCode::NoKpi, "pick a KPI");
+        assert_eq!(e.to_string(), "[no_kpi] pick a KPI");
+        let e: ApiError = CoreError::NoKpi.into();
+        assert_eq!(e.code, ErrorCode::NoKpi);
+        let e: ApiError = CoreError::Config("bad".into()).into();
+        assert_eq!(e.code, ErrorCode::Config);
+        assert!(e.message.contains("bad"));
     }
 }

@@ -1,0 +1,184 @@
+//! Sharded, concurrently-accessible id → entry registry.
+//!
+//! The map is split across [`N_SHARDS`] independent `RwLock`ed hash
+//! maps keyed by `id % N_SHARDS`, with ids allocated from one
+//! `AtomicU64`. Each entry sits behind its own `Arc<Mutex<_>>`, and
+//! [`Registry::with`] drops the shard lock *before* locking the entry —
+//! so a long-running operation (training a forest, a goal-inversion
+//! search) serializes only requests for that same entry, never the
+//! shard or the registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Number of independent shards. A small power of two: enough to keep
+/// unrelated sessions off each other's locks, cheap to scan for `len`.
+pub const N_SHARDS: usize = 16;
+
+/// A sharded concurrent registry handing out sequential ids.
+pub struct Registry<T> {
+    shards: Vec<RwLock<HashMap<u64, Arc<Mutex<T>>>>>,
+    next_id: AtomicU64,
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl<T> Registry<T> {
+    /// An empty registry; the first inserted entry gets id 0.
+    pub fn new() -> Registry<T> {
+        Registry {
+            shards: (0..N_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &RwLock<HashMap<u64, Arc<Mutex<T>>>> {
+        &self.shards[(id % N_SHARDS as u64) as usize]
+    }
+
+    /// Insert an entry, returning its freshly allocated id.
+    pub fn insert(&self, entry: T) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        write_lock(self.shard(id)).insert(id, Arc::new(Mutex::new(entry)));
+        id
+    }
+
+    /// Run `f` against the entry for `id` under the entry's own lock;
+    /// `None` if the id is unknown. The shard lock is released before
+    /// `f` runs, so long calls only block other users of the *same* id.
+    pub fn with<R>(&self, id: u64, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        let arc = read_lock(self.shard(id)).get(&id).cloned()?;
+        let mut guard = lock(&arc);
+        Some(f(&mut guard))
+    }
+
+    /// Remove an entry; true if it existed. An operation already running
+    /// against the entry finishes on the detached state.
+    pub fn remove(&self, id: u64) -> bool {
+        write_lock(self.shard(id)).remove(&id).is_some()
+    }
+
+    /// Number of live entries (scans all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| read_lock(s).len()).sum()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| read_lock(s).is_empty())
+    }
+
+    /// Live ids, ascending (diagnostic/listing use).
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| read_lock(s).keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+// Poisoning cannot corrupt a registry entry's invariants from the
+// registry's point of view, so recover the guard rather than cascade
+// panics across unrelated client threads.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let reg = Registry::new();
+        let ids: Vec<u64> = (0..100).map(|i| reg.insert(i)).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<u64>>());
+        assert_eq!(reg.len(), 100);
+        assert_eq!(reg.ids(), ids);
+    }
+
+    #[test]
+    fn with_and_remove() {
+        let reg = Registry::new();
+        let id = reg.insert(41);
+        assert_eq!(
+            reg.with(id, |v| {
+                *v += 1;
+                *v
+            }),
+            Some(42)
+        );
+        assert_eq!(reg.with(id + 1, |v: &mut i32| *v), None);
+        assert!(reg.remove(id));
+        assert!(!reg.remove(id));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_do_not_collide() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..200).map(|i| reg.insert(i)).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1600, "no id handed out twice");
+        assert_eq!(reg.len(), 1600);
+    }
+
+    #[test]
+    fn long_holders_block_only_their_own_id() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+        let reg = std::sync::Arc::new(Registry::new());
+        let a = reg.insert(0u64);
+        let b = reg.insert(0u64);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let holder = {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                reg.with(a, |v| {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    *v += 1;
+                });
+            })
+        };
+        started_rx.recv().unwrap();
+        // While `a` is held, `b` (same shardless registry) stays usable.
+        let done = reg.with(b, |v| {
+            *v = 7;
+            *v
+        });
+        assert_eq!(done, Some(7));
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(reg.with(a, |v| *v), Some(1));
+    }
+}

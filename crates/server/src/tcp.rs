@@ -1,50 +1,86 @@
-//! Blocking TCP transport speaking line-delimited JSON — one request per
-//! line, one response per line.
+//! Concurrent TCP transport speaking line-delimited JSON — one request
+//! per line, one response per line, in either wire framing (v1 bare
+//! [`Request`] or v2 [`Envelope`]; see `docs/PROTOCOL.md`).
+//!
+//! Each accepted connection gets its own thread over a shared
+//! [`Engine`], so two clients make progress simultaneously; per-session
+//! locking inside the engine keeps long `Train`/`GoalInversionView`
+//! calls from serializing unrelated sessions.
+//!
+//! # Shutdown
+//!
+//! Any client sending [`Request::Shutdown`] (bare or enveloped, even
+//! inside a batch) stops the server. The accept loop blocks in
+//! `accept()`, so the shutting-down connection raises the stop flag and
+//! then *self-connects* to the listener to unblock it — without that
+//! wake-up, a shutdown from a second client would only take effect at
+//! the next incidental connection.
 
-use crate::handlers::ServerState;
-use crate::protocol::{Request, Response};
+use crate::engine::Engine;
+use crate::protocol::{Envelope, Reply, Request, Response};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Start serving on `addr` (use port 0 for an ephemeral port). Returns
-/// the bound address and a join handle; the server stops after a client
-/// sends [`Request::Shutdown`].
-///
-/// Connections are handled sequentially — the paper's prototype serves a
-/// single analyst; concurrent sessions multiplex over one connection via
-/// session ids.
+/// Start serving on `addr` (use port 0 for an ephemeral port) with a
+/// fresh engine. Returns the bound address and the accept-loop join
+/// handle; the server stops after a client sends [`Request::Shutdown`].
 ///
 /// # Errors
 /// Propagates socket bind errors.
 pub fn serve(addr: &str) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    serve_with_engine(addr, Arc::new(Engine::new()))
+}
+
+/// Start serving on `addr` over a caller-supplied engine, so sessions
+/// can be shared with in-process callers.
+///
+/// # Errors
+/// Propagates socket bind errors.
+pub fn serve_with_engine(
+    addr: &str,
+    engine: Arc<Engine>,
+) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    let state = Arc::new(ServerState::new());
     let stop = Arc::new(AtomicBool::new(false));
     let handle = std::thread::spawn(move || {
-        for stream in listener.incoming() {
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) => {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    eprintln!("whatif-server: accept error: {e}");
+                    continue;
+                }
+            };
             if stop.load(Ordering::SeqCst) {
+                // This is (or races with) the shutdown wake-up
+                // connection; drop it and exit.
                 break;
             }
-            let Ok(stream) = stream else { continue };
-            if let Err(e) = handle_client(stream, &state, &stop) {
-                // A dropped client is not fatal to the server.
-                eprintln!("whatif-server: client error: {e}");
-            }
-            if stop.load(Ordering::SeqCst) {
-                break;
-            }
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                if let Err(e) = handle_client(stream, &engine, &stop, local) {
+                    // A dropped client is not fatal to the server.
+                    eprintln!("whatif-server: client error: {e}");
+                }
+            });
         }
+        // Listener drops here; no new connections are accepted.
     });
     Ok((local, handle))
 }
 
 fn handle_client(
     stream: TcpStream,
-    state: &ServerState,
+    engine: &Engine,
     stop: &AtomicBool,
+    local: SocketAddr,
 ) -> std::io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -53,19 +89,17 @@ fn handle_client(
         if line.trim().is_empty() {
             continue;
         }
-        let response = match serde_json::from_str::<Request>(&line) {
-            Ok(Request::Shutdown) => {
-                stop.store(true, Ordering::SeqCst);
-                Response::ShuttingDown
-            }
-            Ok(request) => state.handle(request),
-            Err(e) => Response::error(format!("malformed request: {e}")),
-        };
-        let json = serde_json::to_string(&response)
-            .unwrap_or_else(|e| format!("{{\"Error\":{{\"message\":\"encode: {e}\"}}}}"));
-        writer.write_all(json.as_bytes())?;
+        let (reply, shutdown) = engine.dispatch_line(&line);
+        writer.write_all(reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so the stop flag is observed now,
+            // not at the next incidental connection.
+            let _ = TcpStream::connect(wake_addr(local));
+            break;
+        }
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -73,7 +107,8 @@ fn handle_client(
     Ok(())
 }
 
-/// A minimal blocking client for the line-delimited JSON protocol.
+/// A minimal blocking client for the line-delimited JSON protocol,
+/// speaking both wire framings.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
@@ -92,28 +127,90 @@ impl Client {
         })
     }
 
-    /// Send one request and wait for its response.
+    /// Send one raw line and wait for one raw line back. The v1/v2
+    /// compatibility tests use this to exercise exact wire bytes.
     ///
     /// # Errors
-    /// Propagates socket/serialization errors; a closed connection is
-    /// `UnexpectedEof`.
-    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
-        let json = serde_json::to_string(request)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        self.writer.write_all(json.as_bytes())?;
+    /// Propagates socket errors; a closed connection is `UnexpectedEof`.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
         if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ));
         }
-        serde_json::from_str(&line)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Ok(response)
     }
+
+    /// Send one v1 request and wait for its bare response.
+    ///
+    /// # Errors
+    /// Propagates socket/serialization errors.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
+        let line = encode_line(request)?;
+        let response = self.send_raw(&line)?;
+        decode_line(&response)
+    }
+
+    /// Send one v2 envelope and wait for its reply.
+    ///
+    /// # Errors
+    /// Propagates socket/serialization errors; server-side failures come
+    /// back inside the [`Reply`], not as `Err`.
+    pub fn call_v2(&mut self, id: u64, request: Request) -> std::io::Result<Reply> {
+        let line = encode_line(&Envelope::new(id, request))?;
+        let response = self.send_raw(&line)?;
+        decode_line(&response)
+    }
+
+    /// Execute a whole pipeline in one round trip via
+    /// [`Request::Batch`], returning the per-step replies.
+    ///
+    /// # Errors
+    /// Propagates socket/serialization errors, and `InvalidData` if the
+    /// server's reply is not a batch response.
+    pub fn call_batch(&mut self, id: u64, steps: Vec<Request>) -> std::io::Result<Vec<Reply>> {
+        let reply = self.call_v2(id, Request::Batch(steps))?;
+        match reply.into_result() {
+            Ok(Response::Batch(replies)) => Ok(replies),
+            Ok(other) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected a batch response, got {other:?}"),
+            )),
+            Err(e) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("batch envelope rejected: {e}"),
+            )),
+        }
+    }
+}
+
+/// The address the shutdown wake-up connects to. A listener bound to a
+/// wildcard address (`0.0.0.0` / `::`) is not connectable on every
+/// platform, so substitute the loopback of the same family.
+fn wake_addr(local: SocketAddr) -> SocketAddr {
+    let mut addr = local;
+    if addr.ip().is_unspecified() {
+        match addr {
+            SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+            SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+        }
+    }
+    addr
+}
+
+fn encode_line<T: serde::Serialize>(value: &T) -> std::io::Result<String> {
+    serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn decode_line<T: serde::Deserialize>(line: &str) -> std::io::Result<T> {
+    serde_json::from_str(line).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -149,8 +246,10 @@ mod tests {
                 kpi: "Deal Closed?".into(),
             })
             .unwrap();
-        let mut cfg = ModelConfig::default();
-        cfg.n_trees = 8;
+        let cfg = ModelConfig {
+            n_trees: 8,
+            ..ModelConfig::default()
+        };
         match client
             .call(&Request::Train {
                 session,
@@ -163,16 +262,103 @@ mod tests {
         }
 
         // Malformed request line yields an error response, not a hang.
-        let raw = "this is not json";
-        client.writer.write_all(raw.as_bytes()).unwrap();
-        client.writer.write_all(b"\n").unwrap();
-        client.writer.flush().unwrap();
-        let mut line = String::new();
-        client.reader.read_line(&mut line).unwrap();
+        let line = client.send_raw("this is not json").unwrap();
         let resp: Response = serde_json::from_str(&line).unwrap();
         assert!(resp.is_error());
 
-        assert_eq!(client.call(&Request::Shutdown).unwrap(), Response::ShuttingDown);
+        assert_eq!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_works_on_a_wildcard_bind() {
+        // The wake-up must target loopback, not the unconnectable
+        // wildcard address the listener reports.
+        let (addr, handle) = serve("0.0.0.0:0").unwrap();
+        assert!(addr.ip().is_unspecified());
+        assert!(wake_addr(addr).ip().is_loopback());
+        assert_eq!(wake_addr(addr).port(), addr.port());
+        let loopback = wake_addr(addr);
+        assert_eq!(
+            wake_addr(loopback),
+            loopback,
+            "already-connectable addresses pass through"
+        );
+        let mut client = Client::connect(loopback).unwrap();
+        assert_eq!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        );
+        handle
+            .join()
+            .expect("accept loop exits despite wildcard bind");
+    }
+
+    #[test]
+    fn shutdown_from_a_second_client_unblocks_the_listener() {
+        // The seed server only observed the stop flag between clients,
+        // so this exact scenario used to hang forever.
+        let (addr, handle) = serve("127.0.0.1:0").unwrap();
+        let mut first = Client::connect(addr).unwrap();
+        assert!(matches!(
+            first.call(&Request::ListUseCases).unwrap(),
+            Response::UseCases(_)
+        ));
+        // First client stays connected and idle while a second one
+        // orders the shutdown.
+        let mut second = Client::connect(addr).unwrap();
+        assert_eq!(
+            second.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        );
+        handle
+            .join()
+            .expect("accept loop exits without new clients");
+    }
+
+    #[test]
+    fn v2_envelopes_and_batches_over_tcp() {
+        let (addr, handle) = serve("127.0.0.1:0").unwrap();
+        let mut client = Client::connect(addr).unwrap();
+
+        let reply = client.call_v2(11, Request::ListUseCases).unwrap();
+        assert_eq!(reply.id, 11);
+        assert!(matches!(
+            reply.into_result().unwrap(),
+            Response::UseCases(u) if u.len() == 3
+        ));
+
+        let cfg = ModelConfig {
+            n_trees: 8,
+            ..ModelConfig::default()
+        };
+        let replies = client
+            .call_batch(
+                12,
+                vec![
+                    Request::LoadUseCase {
+                        use_case: UseCase::DealClosing,
+                        n_rows: Some(150),
+                        seed: Some(1),
+                    },
+                    Request::SelectKpi {
+                        session: crate::protocol::CURRENT_SESSION,
+                        kpi: "Deal Closed?".into(),
+                    },
+                    Request::Train {
+                        session: crate::protocol::CURRENT_SESSION,
+                        config: Some(cfg),
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(replies.len(), 3);
+        assert!(replies.iter().all(|r| r.id == 12 && !r.is_error()));
+
+        assert!(!client.call_v2(13, Request::Shutdown).unwrap().is_error());
         handle.join().unwrap();
     }
 }

@@ -12,11 +12,7 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mx = mean(xs);
     let my = mean(ys);
-    let s: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let s: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     s / (xs.len() - 1) as f64
 }
 

@@ -19,7 +19,7 @@ impl Histogram {
     /// Values outside the range (and NaNs) are counted in `n_ignored`.
     /// Returns `None` when `n_bins == 0` or the range is empty/invalid.
     pub fn new(xs: &[f64], min: f64, max: f64, n_bins: usize) -> Option<Histogram> {
-        if n_bins == 0 || !(max > min) {
+        if n_bins == 0 || max.partial_cmp(&min) != Some(std::cmp::Ordering::Greater) {
             return None;
         }
         let width = (max - min) / n_bins as f64;

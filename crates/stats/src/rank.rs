@@ -183,7 +183,10 @@ mod tests {
     fn kendall_degenerate_inputs() {
         assert!(kendall_tau(&[1.0], &[1.0]).is_nan());
         assert!(kendall_tau(&[1.0, 2.0], &[1.0]).is_nan());
-        assert!(kendall_tau(&[2.0, 2.0], &[1.0, 3.0]).is_nan(), "constant side");
+        assert!(
+            kendall_tau(&[2.0, 2.0], &[1.0, 3.0]).is_nan(),
+            "constant side"
+        );
     }
 
     #[test]

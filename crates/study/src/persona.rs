@@ -99,11 +99,31 @@ impl Persona {
     /// 1×Sensitivity, 1×Constrained.
     pub fn panel() -> Vec<Persona> {
         vec![
-            Persona { role: Role::MarketingManager, enthusiasm: 0.20, tech_comfort: -0.50 },
-            Persona { role: Role::CampaignManager, enthusiasm: 0.10, tech_comfort: -0.20 },
-            Persona { role: Role::AccountManager, enthusiasm: 0.35, tech_comfort: -0.35 },
-            Persona { role: Role::ProductManager, enthusiasm: 0.00, tech_comfort: 0.25 },
-            Persona { role: Role::SalesManager, enthusiasm: -0.05, tech_comfort: -0.10 },
+            Persona {
+                role: Role::MarketingManager,
+                enthusiasm: 0.20,
+                tech_comfort: -0.50,
+            },
+            Persona {
+                role: Role::CampaignManager,
+                enthusiasm: 0.10,
+                tech_comfort: -0.20,
+            },
+            Persona {
+                role: Role::AccountManager,
+                enthusiasm: 0.35,
+                tech_comfort: -0.35,
+            },
+            Persona {
+                role: Role::ProductManager,
+                enthusiasm: 0.00,
+                tech_comfort: 0.25,
+            },
+            Persona {
+                role: Role::SalesManager,
+                enthusiasm: -0.05,
+                tech_comfort: -0.10,
+            },
         ]
     }
 
@@ -114,21 +134,36 @@ impl Persona {
     pub fn functionality_weights(&self) -> [(Functionality, f64); 4] {
         use Functionality::*;
         match self.role {
-            Role::MarketingManager => {
-                [(DriverImportance, 1.0), (Sensitivity, 0.7), (GoalInversion, 0.5), (Constrained, 0.6)]
-            }
-            Role::CampaignManager => {
-                [(DriverImportance, 1.0), (Sensitivity, 0.6), (GoalInversion, 0.6), (Constrained, 0.5)]
-            }
-            Role::AccountManager => {
-                [(DriverImportance, 1.0), (Sensitivity, 0.5), (GoalInversion, 0.7), (Constrained, 0.6)]
-            }
-            Role::ProductManager => {
-                [(DriverImportance, 0.7), (Sensitivity, 1.0), (GoalInversion, 0.5), (Constrained, 0.6)]
-            }
-            Role::SalesManager => {
-                [(DriverImportance, 0.7), (Sensitivity, 0.6), (GoalInversion, 0.5), (Constrained, 1.0)]
-            }
+            Role::MarketingManager => [
+                (DriverImportance, 1.0),
+                (Sensitivity, 0.7),
+                (GoalInversion, 0.5),
+                (Constrained, 0.6),
+            ],
+            Role::CampaignManager => [
+                (DriverImportance, 1.0),
+                (Sensitivity, 0.6),
+                (GoalInversion, 0.6),
+                (Constrained, 0.5),
+            ],
+            Role::AccountManager => [
+                (DriverImportance, 1.0),
+                (Sensitivity, 0.5),
+                (GoalInversion, 0.7),
+                (Constrained, 0.6),
+            ],
+            Role::ProductManager => [
+                (DriverImportance, 0.7),
+                (Sensitivity, 1.0),
+                (GoalInversion, 0.5),
+                (Constrained, 0.6),
+            ],
+            Role::SalesManager => [
+                (DriverImportance, 0.7),
+                (Sensitivity, 0.6),
+                (GoalInversion, 0.5),
+                (Constrained, 1.0),
+            ],
         }
     }
 }
@@ -175,12 +210,18 @@ mod tests {
                 Functionality::GoalInversion => {}
             }
         }
-        assert_eq!((di, sens, constr), (3, 1, 1), "3/5 DI, then sensitivity + constrained");
+        assert_eq!(
+            (di, sens, constr),
+            (3, 1, 1),
+            "3/5 DI, then sensitivity + constrained"
+        );
     }
 
     #[test]
     fn functionality_labels() {
         assert_eq!(Functionality::all().len(), 4);
-        assert!(Functionality::GoalInversion.label().contains("Goal Inversion"));
+        assert!(Functionality::GoalInversion
+            .label()
+            .contains("Goal Inversion"));
     }
 }

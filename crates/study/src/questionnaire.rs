@@ -71,14 +71,46 @@ pub fn instrument() -> Vec<Question> {
 /// intuitive" lowest.
 pub fn usability_items() -> Vec<UsabilityItem> {
     vec![
-        UsabilityItem { id: "usab-behavior", label: "Helps to understand data-KPI behavior", paper_mean: 4.8 },
-        UsabilityItem { id: "usab-decisions", label: "Useful in making optimal decisions", paper_mean: 4.6 },
-        UsabilityItem { id: "usab-daily", label: "Use in daily work", paper_mean: 4.6 },
-        UsabilityItem { id: "usab-tools-daily", label: "Use compared to current tools for daily work", paper_mean: 4.4 },
-        UsabilityItem { id: "usab-tools-optimal", label: "Use compared to current tools for optimal decisions", paper_mean: 4.4 },
-        UsabilityItem { id: "usab-integrated", label: "Functionalities well integrated", paper_mean: 4.2 },
-        UsabilityItem { id: "usab-learn", label: "Learn to use quickly", paper_mean: 4.0 },
-        UsabilityItem { id: "usab-intuitive", label: "Interactions are intuitive", paper_mean: 3.6 },
+        UsabilityItem {
+            id: "usab-behavior",
+            label: "Helps to understand data-KPI behavior",
+            paper_mean: 4.8,
+        },
+        UsabilityItem {
+            id: "usab-decisions",
+            label: "Useful in making optimal decisions",
+            paper_mean: 4.6,
+        },
+        UsabilityItem {
+            id: "usab-daily",
+            label: "Use in daily work",
+            paper_mean: 4.6,
+        },
+        UsabilityItem {
+            id: "usab-tools-daily",
+            label: "Use compared to current tools for daily work",
+            paper_mean: 4.4,
+        },
+        UsabilityItem {
+            id: "usab-tools-optimal",
+            label: "Use compared to current tools for optimal decisions",
+            paper_mean: 4.4,
+        },
+        UsabilityItem {
+            id: "usab-integrated",
+            label: "Functionalities well integrated",
+            paper_mean: 4.2,
+        },
+        UsabilityItem {
+            id: "usab-learn",
+            label: "Learn to use quickly",
+            paper_mean: 4.0,
+        },
+        UsabilityItem {
+            id: "usab-intuitive",
+            label: "Interactions are intuitive",
+            paper_mean: 3.6,
+        },
     ]
 }
 
@@ -90,9 +122,18 @@ mod tests {
     fn instrument_has_all_categories() {
         let q = instrument();
         assert_eq!(q.len(), 21);
-        let pre = q.iter().filter(|x| x.category == QuestionCategory::PreStudy).count();
-        let usab = q.iter().filter(|x| x.category == QuestionCategory::Usability).count();
-        let open = q.iter().filter(|x| x.category == QuestionCategory::OpenEnded).count();
+        let pre = q
+            .iter()
+            .filter(|x| x.category == QuestionCategory::PreStudy)
+            .count();
+        let usab = q
+            .iter()
+            .filter(|x| x.category == QuestionCategory::Usability)
+            .count();
+        let open = q
+            .iter()
+            .filter(|x| x.category == QuestionCategory::OpenEnded)
+            .count();
         assert_eq!(pre, 9, "Table 1 lists nine pre-study questions");
         assert_eq!(usab, 7, "Table 1 lists seven usability statements");
         assert_eq!(open, 5, "Table 1 lists five open-ended questions");

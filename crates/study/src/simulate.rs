@@ -218,7 +218,11 @@ mod tests {
         // The paper's headline contrast: behavior understanding rated
         // high, intuitiveness lowest.
         assert!(by_id("usab-behavior") > by_id("usab-intuitive") + 0.5);
-        let min = r.items.iter().map(|i| i.sim_mean).fold(f64::INFINITY, f64::min);
+        let min = r
+            .items
+            .iter()
+            .map(|i| i.sim_mean)
+            .fold(f64::INFINITY, f64::min);
         assert_eq!(min, by_id("usab-intuitive"));
     }
 
@@ -255,7 +259,11 @@ mod tests {
             count_of(Functionality::GoalInversion) < 0.5,
             "nobody led with goal inversion in the paper"
         );
-        assert!(r.modal_agreement > 0.5, "modal agreement {}", r.modal_agreement);
+        assert!(
+            r.modal_agreement > 0.5,
+            "modal agreement {}",
+            r.modal_agreement
+        );
         // Last choices spread out; no functionality is everyone's last.
         for (_, c) in &r.mean_last_choices {
             assert!(*c < 4.0);

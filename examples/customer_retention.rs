@@ -18,8 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_kpi(&dataset.kpi)?
         .with_drivers(&refs)?;
 
-    let mut config = ModelConfig::default();
-    config.n_trees = 60;
+    let config = ModelConfig {
+        n_trees: 60,
+        ..ModelConfig::default()
+    };
     let model = session.train(&config)?;
     println!(
         "retention classifier: holdout AUC = {:.3}, base retention {:.1}%",

@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.frame.n_rows(),
         dataset
             .frame
-            .select(&["Account Name", "Open Marketing Email", "Call", "Deal Closed?"])?
+            .select(&[
+                "Account Name",
+                "Open Marketing Email",
+                "Call",
+                "Deal Closed?"
+            ])?
             .head(4)
             .to_display_string(4)
     );
@@ -31,9 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = Session::new(dataset.frame.clone())
         .with_kpi(&dataset.kpi)?
         .with_drivers(&refs)?;
-    let mut config = ModelConfig::default();
-    config.n_trees = 120;
-    config.max_depth = 16;
+    let config = ModelConfig {
+        n_trees: 120,
+        max_depth: 16,
+        ..ModelConfig::default()
+    };
     let model = session.train(&config)?;
     println!(
         "random-forest classifier: holdout AUC {:.3}, baseline close rate {:.2}%",
@@ -51,10 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // (H) Sensitivity: +40% Open Marketing Email for every prospect.
-    let set = PerturbationSet::new(vec![Perturbation::percentage(
-        "Open Marketing Email",
-        40.0,
-    )]);
+    let set = PerturbationSet::new(vec![Perturbation::percentage("Open Marketing Email", 40.0)]);
     let sens = model.sensitivity(&set)?;
     println!(
         "\n(H) +40% Open Marketing Email: close rate {:.2}% -> {:.2}% ({}{:.2}pp)",
@@ -72,9 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // (I) Constrained analysis: OME may only rise 40-80%.
-    let mut cfg = GoalConfig::for_goal(Goal::Maximize).with_constraints(vec![
-        DriverConstraint::new("Open Marketing Email", 40.0, 80.0),
-    ]);
+    let mut cfg =
+        GoalConfig::for_goal(Goal::Maximize).with_constraints(vec![DriverConstraint::new(
+            "Open Marketing Email",
+            40.0,
+            80.0,
+        )]);
     cfg.optimizer = OptimizerChoice::Bayesian { n_calls: 96 };
     let goal = model.goal_inversion(&cfg)?;
     println!(

@@ -51,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.optimizer = OptimizerChoice::Bayesian { n_calls: 64 };
     let plan = model.goal_inversion(&cfg)?;
     println!("\nbudget reallocation plan (±40% per channel):");
-    for ((channel, pct), (_, value)) in
-        plan.driver_percentages.iter().zip(&plan.driver_values)
-    {
+    for ((channel, pct), (_, value)) in plan.driver_percentages.iter().zip(&plan.driver_values) {
         println!("  {channel:<10} {pct:+6.1}%  -> mean daily spend ${value:7.0}");
     }
     println!(

@@ -1,6 +1,8 @@
 //! The client-server path: start the TCP backend, drive the Figure 2
-//! views over line-delimited JSON, record scenarios, and shut down —
-//! the paper's architecture end to end.
+//! views over line-delimited JSON (legacy v1 framing), record
+//! scenarios, then replay the whole pipeline as a single v2
+//! [`Request::Batch`] round trip — the paper's architecture end to end,
+//! on both wire versions.
 //!
 //! ```text
 //! cargo run --release --example scenario_server
@@ -9,7 +11,7 @@
 use whatif::core::goal::Goal;
 use whatif::core::perturbation::Perturbation;
 use whatif::core::prelude::ModelConfig;
-use whatif::server::{serve, Client, Request, Response, UseCase};
+use whatif::server::{serve, Client, Request, Response, UseCase, CURRENT_SESSION};
 
 fn expect_ok(resp: &Response) {
     assert!(!resp.is_error(), "server error: {resp:?}");
@@ -49,8 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session,
         kpi: "Deal Closed?".into(),
     })?);
-    let mut config = ModelConfig::default();
-    config.n_trees = 40;
+    let config = ModelConfig {
+        n_trees: 40,
+        ..ModelConfig::default()
+    };
     if let Response::Trained {
         kind,
         confidence,
@@ -63,10 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // (E) importance view payload.
-    if let Response::Importance { importance, .. } = client.call(&Request::DriverImportanceView {
-        session,
-        verify: false,
-    })? {
+    if let Response::Importance { importance, .. } =
+        client.call(&Request::DriverImportanceView {
+            session,
+            verify: false,
+        })?
+    {
         println!("top-3 drivers: {:?}", importance.top_k(3));
     }
 
@@ -97,7 +103,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 1,
     })?;
     if let Response::GoalInversion(g) = &resp {
-        println!("free maximization: KPI {:.3} ({:+.3})", g.achieved_kpi, g.uplift());
+        println!(
+            "free maximization: KPI {:.3} ({:+.3})",
+            g.achieved_kpi,
+            g.uplift()
+        );
     }
     expect_ok(&client.call(&Request::RecordScenario {
         session,
@@ -108,7 +118,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Response::Scenarios(scenarios) = client.call(&Request::ListScenarios { session })? {
         println!("scenarios (best first):");
         for s in &scenarios {
-            println!("  [{}] {:<12} kpi {:.3} uplift {:+.3}", s.id, s.name, s.kpi, s.uplift());
+            println!(
+                "  [{}] {:<12} kpi {:.3} uplift {:+.3}",
+                s.id,
+                s.name,
+                s.kpi,
+                s.uplift()
+            );
+        }
+    }
+
+    // v2: the same load → kpi → train → sensitivity pipeline in ONE
+    // round trip, with per-step replies correlated by envelope id.
+    let config = ModelConfig {
+        n_trees: 40,
+        ..ModelConfig::default()
+    };
+    let replies = client.call_batch(
+        1,
+        vec![
+            Request::LoadUseCase {
+                use_case: UseCase::DealClosing,
+                n_rows: Some(600),
+                seed: Some(7),
+            },
+            Request::SelectKpi {
+                session: CURRENT_SESSION,
+                kpi: "Deal Closed?".into(),
+            },
+            Request::Train {
+                session: CURRENT_SESSION,
+                config: Some(config),
+            },
+            Request::SensitivityView {
+                session: CURRENT_SESSION,
+                perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+            },
+        ],
+    )?;
+    println!("v2 batch: {} steps in one round trip", replies.len());
+    for (i, reply) in replies.iter().enumerate() {
+        match (&reply.result, &reply.error) {
+            (Some(Response::Sensitivity(s)), _) => {
+                println!("  step {i}: sensitivity uplift {:+.3}", s.uplift())
+            }
+            (Some(r), _) => println!("  step {i}: {}", summary(r)),
+            (None, Some(e)) => println!("  step {i}: error {e}"),
+            (None, None) => println!("  step {i}: empty reply"),
         }
     }
 
@@ -116,4 +172,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     handle.join().expect("server thread");
     println!("server stopped");
     Ok(())
+}
+
+fn summary(resp: &Response) -> String {
+    match resp {
+        Response::SessionCreated {
+            session, n_rows, ..
+        } => {
+            format!("session {session} over {n_rows} rows")
+        }
+        Response::KpiSelected { kpi, kind } => format!("KPI {kpi:?} ({kind})"),
+        Response::Trained {
+            kind, confidence, ..
+        } => {
+            format!("trained {kind} (confidence {confidence:.3})")
+        }
+        other => format!("{other:?}"),
+    }
 }

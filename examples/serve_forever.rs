@@ -1,0 +1,22 @@
+//! Run the backend as a standalone TCP server until a client sends
+//! `Shutdown` — the handle for driving the wire protocol from any
+//! external client (netcat, a frontend, the protocol tests in
+//! `docs/PROTOCOL.md`).
+//!
+//! ```text
+//! cargo run --release --example serve_forever -- 127.0.0.1:4777
+//! printf '"ListUseCases"\n' | nc 127.0.0.1 4777
+//! ```
+
+use whatif::server::serve;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:4777".to_owned());
+    let (local, handle) = serve(&addr)?;
+    println!("whatif server listening on {local} (send \"Shutdown\" to stop)");
+    handle.join().expect("accept loop");
+    println!("server stopped");
+    Ok(())
+}

@@ -28,4 +28,7 @@ pub use whatif_study as study;
 pub mod prelude {
     pub use whatif_core::prelude::*;
     pub use whatif_frame::{Column, Frame};
+    pub use whatif_server::{
+        ApiError, Engine, Envelope, Reply, Request, Response, CURRENT_SESSION,
+    };
 }

@@ -7,10 +7,11 @@ use whatif::datagen::{deal_closing, marketing_mix, retention};
 use whatif::frame::csv::{parse_csv, write_csv};
 
 fn fast_forest() -> ModelConfig {
-    let mut cfg = ModelConfig::default();
-    cfg.n_trees = 24;
-    cfg.max_depth = 8;
-    cfg
+    ModelConfig {
+        n_trees: 24,
+        max_depth: 8,
+        ..ModelConfig::default()
+    }
 }
 
 #[test]
@@ -37,7 +38,11 @@ fn csv_to_full_analysis_continuous_kpi() {
     let set = PerturbationSet::new(vec![Perturbation::percentage("spend", 20.0)]);
     let sens = model.sensitivity(&set).expect("sensitivity");
     // mean(spend) = 5.5; +20% is +1.1 units; coefficient 4 -> +4.4.
-    assert!((sens.uplift() - 4.4).abs() < 1e-6, "uplift {}", sens.uplift());
+    assert!(
+        (sens.uplift() - 4.4).abs() < 1e-6,
+        "uplift {}",
+        sens.uplift()
+    );
 
     // Goal inversion maximizes spend, minimizes nothing else harmful.
     let mut cfg = GoalConfig::for_goal(Goal::Maximize);
@@ -77,10 +82,7 @@ fn deal_closing_binary_flow_matches_paper_shape() {
     );
 
     // +40% OME is a small positive bump.
-    let set = PerturbationSet::new(vec![Perturbation::percentage(
-        "Open Marketing Email",
-        40.0,
-    )]);
+    let set = PerturbationSet::new(vec![Perturbation::percentage("Open Marketing Email", 40.0)]);
     let sens = model.sensitivity(&set).expect("sensitivity");
     assert!(
         sens.uplift() > 0.0 && sens.uplift() < 0.08,
@@ -90,9 +92,12 @@ fn deal_closing_binary_flow_matches_paper_shape() {
 
     // Constrained inversion with OME in [40, 80] beats the bump by a
     // wide margin, and respects the constraint.
-    let mut cfg = GoalConfig::for_goal(Goal::Maximize).with_constraints(vec![
-        DriverConstraint::new("Open Marketing Email", 40.0, 80.0),
-    ]);
+    let mut cfg =
+        GoalConfig::for_goal(Goal::Maximize).with_constraints(vec![DriverConstraint::new(
+            "Open Marketing Email",
+            40.0,
+            80.0,
+        )]);
     cfg.optimizer = OptimizerChoice::Bayesian { n_calls: 32 };
     let goal = model.goal_inversion(&cfg).expect("inversion");
     let ome = goal
@@ -128,9 +133,7 @@ fn retention_removal_episode() {
         .expect("removable");
     let reduced_model = reduced.train(&fast_forest()).expect("train");
     let reduced_imp = reduced_model.driver_importance().expect("importance");
-    assert!(!reduced_imp
-        .driver_names
-        .contains(&"Days Active".to_owned()));
+    assert!(!reduced_imp.driver_names.contains(&"Days Active".to_owned()));
     // The reduced model still trains and ranks something sensible.
     assert_eq!(reduced_imp.driver_names.len(), refs.len() - 1);
 }

@@ -9,10 +9,11 @@ use whatif::datagen::deal_closing;
 use whatif::learn::pdp::{feature_grid, ice_curves, partial_dependence};
 
 fn fast_forest() -> ModelConfig {
-    let mut cfg = ModelConfig::default();
-    cfg.n_trees = 24;
-    cfg.max_depth = 8;
-    cfg
+    ModelConfig {
+        n_trees: 24,
+        max_depth: 8,
+        ..ModelConfig::default()
+    }
 }
 
 fn trained() -> TrainedModel {
@@ -30,10 +31,7 @@ fn trained() -> TrainedModel {
 #[test]
 fn sensitivity_ci_communicates_confidence() {
     let model = trained();
-    let set = PerturbationSet::new(vec![Perturbation::percentage(
-        "Open Marketing Email",
-        40.0,
-    )]);
+    let set = PerturbationSet::new(vec![Perturbation::percentage("Open Marketing Email", 40.0)]);
     let ci = model
         .sensitivity_with_ci(&set, &BootstrapConfig::default())
         .expect("bootstrap runs");
@@ -79,8 +77,7 @@ fn single_driver_goal_seek_is_the_weak_baseline() {
     cfg.target_tolerance = 0.05;
     let multi = model.goal_inversion(&cfg).expect("inversion runs");
     assert!(
-        (multi.achieved_kpi - ambitious).abs()
-            < (failed.achieved_kpi - ambitious).abs(),
+        (multi.achieved_kpi - ambitious).abs() < (failed.achieved_kpi - ambitious).abs(),
         "multi-driver {:.3} should beat single-driver {:.3} toward {:.3}",
         multi.achieved_kpi,
         failed.achieved_kpi,
@@ -93,8 +90,7 @@ fn partial_dependence_agrees_with_importance_direction() {
     let model = trained();
     let ome = model.driver_index("Open Marketing Email").expect("driver");
     let grid = feature_grid(model.matrix(), ome, 6);
-    let pdp = partial_dependence(model.predictor(), model.matrix(), ome, &grid)
-        .expect("pdp runs");
+    let pdp = partial_dependence(model.predictor(), model.matrix(), ome, &grid).expect("pdp runs");
     // More marketing emails -> higher predicted close rate overall.
     assert!(
         pdp.mean.last().unwrap() > pdp.mean.first().unwrap(),
@@ -102,8 +98,7 @@ fn partial_dependence_agrees_with_importance_direction() {
         pdp.mean
     );
     // ICE curves exist for individual prospects and stay in [0, 1].
-    let ice = ice_curves(model.predictor(), model.matrix(), ome, &grid, 20)
-        .expect("ice runs");
+    let ice = ice_curves(model.predictor(), model.matrix(), ome, &grid, 20).expect("ice runs");
     assert_eq!(ice.len(), 20);
     for curve in &ice {
         assert!(curve.iter().all(|p| (0.0..=1.0).contains(p)));

@@ -1,0 +1,265 @@
+//! Integration tests for the v2 wire protocol: concurrent clients over
+//! real TCP, one-round-trip batch pipelines, v1 ↔ v2 compatibility on
+//! the same connection, and typed error codes end to end.
+
+use whatif::core::model_backend::ModelConfig;
+use whatif::core::perturbation::Perturbation;
+use whatif::core::ErrorCode;
+use whatif::server::{serve, Client, Envelope, Reply, Request, Response, UseCase, CURRENT_SESSION};
+
+fn fast_config() -> ModelConfig {
+    ModelConfig {
+        n_trees: 12,
+        max_depth: 8,
+        ..ModelConfig::default()
+    }
+}
+
+/// N clients, each driving its own session through
+/// load → kpi → train → sensitivity concurrently, asserting isolation.
+#[test]
+fn concurrent_clients_progress_in_parallel_without_crosstalk() {
+    const N_CLIENTS: usize = 4;
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+
+    let workers: Vec<_> = (0..N_CLIENTS)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let n_rows = 150 + 10 * k; // distinct per client
+                let session = match client
+                    .call(&Request::LoadUseCase {
+                        use_case: UseCase::DealClosing,
+                        n_rows: Some(n_rows),
+                        seed: Some(k as u64),
+                    })
+                    .unwrap()
+                {
+                    Response::SessionCreated {
+                        session,
+                        n_rows: got,
+                        ..
+                    } => {
+                        assert_eq!(got, n_rows, "client {k} sees its own dataset");
+                        session
+                    }
+                    other => panic!("client {k}: unexpected {other:?}"),
+                };
+                assert!(!client
+                    .call(&Request::SelectKpi {
+                        session,
+                        kpi: "Deal Closed?".into(),
+                    })
+                    .unwrap()
+                    .is_error());
+                assert!(matches!(
+                    client
+                        .call(&Request::Train {
+                            session,
+                            config: Some(fast_config()),
+                        })
+                        .unwrap(),
+                    Response::Trained { .. }
+                ));
+                let resp = client
+                    .call(&Request::SensitivityView {
+                        session,
+                        perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+                    })
+                    .unwrap();
+                let Response::Sensitivity(s) = resp else {
+                    panic!("client {k}: unexpected {resp:?}");
+                };
+                assert_eq!(s.kpi_name, "Deal Closed?");
+                // Isolation: this client's table still has its own row
+                // count, untouched by the other clients' sessions.
+                let Response::Table { total_rows, .. } = client
+                    .call(&Request::TableView {
+                        session,
+                        max_rows: 1,
+                    })
+                    .unwrap()
+                else {
+                    panic!("client {k}: expected table");
+                };
+                assert_eq!(total_rows, n_rows, "client {k} session untouched");
+                session
+            })
+        })
+        .collect();
+
+    let sessions: Vec<u64> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let unique: std::collections::HashSet<u64> = sessions.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        N_CLIENTS,
+        "every client got its own session id"
+    );
+
+    let mut closer = Client::connect(addr).unwrap();
+    closer.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+/// A single batch round trip drives the whole view pipeline, with
+/// per-step replies echoing the envelope id.
+#[test]
+fn batch_round_trip_drives_load_kpi_train_sensitivity() {
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(addr).unwrap();
+
+    let replies = client
+        .call_batch(
+            77,
+            vec![
+                Request::LoadUseCase {
+                    use_case: UseCase::DealClosing,
+                    n_rows: Some(200),
+                    seed: Some(5),
+                },
+                Request::SelectKpi {
+                    session: CURRENT_SESSION,
+                    kpi: "Deal Closed?".into(),
+                },
+                Request::Train {
+                    session: CURRENT_SESSION,
+                    config: Some(fast_config()),
+                },
+                Request::SensitivityView {
+                    session: CURRENT_SESSION,
+                    perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+                },
+            ],
+        )
+        .unwrap();
+    assert_eq!(replies.len(), 4);
+    assert!(replies.iter().all(|r| r.id == 77), "ids match the envelope");
+    assert!(replies.iter().all(|r| !r.is_error()));
+    assert!(matches!(
+        &replies[0].result,
+        Some(Response::SessionCreated { .. })
+    ));
+    assert!(matches!(&replies[2].result, Some(Response::Trained { .. })));
+    let Some(Response::Sensitivity(s)) = &replies[3].result else {
+        panic!("expected a sensitivity payload last");
+    };
+    assert_eq!(s.kpi_name, "Deal Closed?");
+
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+/// Bare v1 request lines and v2 envelopes interleave on one connection;
+/// each gets an answer in its own framing.
+#[test]
+fn v1_and_v2_framings_coexist_on_one_connection() {
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(addr).unwrap();
+
+    // Exact legacy wire bytes: a bare enum-variant request line.
+    let line = client.send_raw("\"ListUseCases\"").unwrap();
+    let v1: Response = serde_json::from_str(&line).unwrap();
+    assert!(matches!(v1, Response::UseCases(u) if u.len() == 3));
+
+    // The same request as a v2 envelope on the same connection.
+    let line = client
+        .send_raw("{\"id\": 5, \"version\": 2, \"body\": \"ListUseCases\"}")
+        .unwrap();
+    let reply: Reply = serde_json::from_str(&line).unwrap();
+    assert_eq!(reply.id, 5);
+    assert!(matches!(
+        reply.into_result().unwrap(),
+        Response::UseCases(_)
+    ));
+
+    // v1 errors still deserialize for legacy readers and now carry a
+    // typed code as well.
+    let line = client
+        .send_raw("{\"CloseSession\": {\"session\": 424242}}")
+        .unwrap();
+    let v1: Response = serde_json::from_str(&line).unwrap();
+    assert_eq!(v1.as_error().unwrap().code, ErrorCode::UnknownSession);
+    assert!(line.contains("\"message\""), "legacy message field present");
+
+    // A v1 request constructed through the typed client round-trips
+    // into a v2 envelope unchanged (upgrade adapter).
+    let request = Request::LoadUseCase {
+        use_case: UseCase::MarketingMix,
+        n_rows: Some(30),
+        seed: Some(1),
+    };
+    let upgraded = Envelope::new(9, request.clone());
+    assert_eq!(upgraded.body, request, "body is the bare v1 request");
+    let reply = client.call_v2(9, request).unwrap();
+    assert!(matches!(
+        reply.into_result().unwrap(),
+        Response::SessionCreated { .. }
+    ));
+
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+/// Typed error codes surface through both framings over TCP.
+#[test]
+fn error_codes_surface_over_the_wire() {
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(addr).unwrap();
+
+    let resp = client
+        .call(&Request::TableView {
+            session: 999,
+            max_rows: 1,
+        })
+        .unwrap();
+    assert_eq!(resp.as_error().unwrap().code, ErrorCode::UnknownSession);
+
+    let reply = client
+        .call_v2(
+            1,
+            Request::TableView {
+                session: 999,
+                max_rows: 1,
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        reply.into_result().unwrap_err().code,
+        ErrorCode::UnknownSession
+    );
+
+    let session = match client
+        .call(&Request::LoadUseCase {
+            use_case: UseCase::DealClosing,
+            n_rows: Some(120),
+            seed: Some(2),
+        })
+        .unwrap()
+    {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("unexpected: {other:?}"),
+    };
+    let reply = client
+        .call_v2(
+            2,
+            Request::DriverImportanceView {
+                session,
+                verify: false,
+            },
+        )
+        .unwrap();
+    assert_eq!(reply.into_result().unwrap_err().code, ErrorCode::NotTrained);
+    let reply = client
+        .call_v2(
+            3,
+            Request::Train {
+                session,
+                config: None,
+            },
+        )
+        .unwrap();
+    assert_eq!(reply.into_result().unwrap_err().code, ErrorCode::NoKpi);
+
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}

@@ -6,10 +6,11 @@ use whatif::core::perturbation::Perturbation;
 use whatif::server::{serve, Client, Request, Response, UseCase};
 
 fn fast_config() -> ModelConfig {
-    let mut cfg = ModelConfig::default();
-    cfg.n_trees = 16;
-    cfg.max_depth = 8;
-    cfg
+    ModelConfig {
+        n_trees: 16,
+        max_depth: 8,
+        ..ModelConfig::default()
+    }
 }
 
 #[test]
@@ -121,8 +122,7 @@ fn figure2_walkthrough_over_tcp() {
             .unwrap(),
         Response::ScenarioRecorded { .. }
     ));
-    let Response::Scenarios(scenarios) =
-        client.call(&Request::ListScenarios { session }).unwrap()
+    let Response::Scenarios(scenarios) = client.call(&Request::ListScenarios { session }).unwrap()
     else {
         panic!("expected scenarios");
     };
@@ -154,8 +154,7 @@ fn csv_upload_and_linear_flow_over_tcp() {
     for i in 0..40 {
         csv.push_str(&format!("{},{}\n", i % 8, 3 * (i % 8) + 2));
     }
-    let Response::SessionCreated { session, .. } =
-        client.call(&Request::LoadCsv { csv }).unwrap()
+    let Response::SessionCreated { session, .. } = client.call(&Request::LoadCsv { csv }).unwrap()
     else {
         panic!("expected session");
     };
@@ -165,7 +164,9 @@ fn csv_upload_and_linear_flow_over_tcp() {
             kpi: "sales".into(),
         })
         .unwrap();
-    let Response::Trained { kind, confidence, .. } = client
+    let Response::Trained {
+        kind, confidence, ..
+    } = client
         .call(&Request::Train {
             session,
             config: None,
@@ -178,9 +179,7 @@ fn csv_upload_and_linear_flow_over_tcp() {
     assert!(confidence > 0.99, "exact line: {confidence}");
 
     assert_eq!(
-        client
-            .call(&Request::CloseSession { session })
-            .unwrap(),
+        client.call(&Request::CloseSession { session }).unwrap(),
         Response::SessionClosed
     );
     client.call(&Request::Shutdown).unwrap();

@@ -10,10 +10,11 @@ use whatif::core::spec::{AnalysisSpec, SpecOutcome, WhatIfSpec};
 use whatif::datagen::deal_closing;
 
 fn fast_model() -> ModelConfig {
-    let mut cfg = ModelConfig::default();
-    cfg.n_trees = 16;
-    cfg.max_depth = 8;
-    cfg
+    ModelConfig {
+        n_trees: 16,
+        max_depth: 8,
+        ..ModelConfig::default()
+    }
 }
 
 #[test]
