@@ -1,0 +1,45 @@
+//! Bulk scenario pricing: clone-per-scenario vs copy-on-write overlay
+//! at 10 / 100 / 1000 scenarios on the marketing dataset.
+//!
+//! The clone path is the seed-era design: every scenario copies the
+//! whole training matrix and predicts row by row. The overlay path is
+//! the columnar engine: perturbations compiled once per scenario, only
+//! the perturbed columns materialized, predictions batched, scenarios
+//! scored in parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use whatif_bench::experiments::{
+    eval_scenarios_clone_path, eval_scenarios_overlay_path, scenario_grid, train_marketing_model,
+    Scale,
+};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let (dataset, model) = train_marketing_model(Scale::Full, 7);
+    for n in [10usize, 100, 1000] {
+        let specs = scenario_grid(&dataset.drivers, n, 7);
+        group.bench_with_input(BenchmarkId::new("clone_path", n), &specs, |b, specs| {
+            b.iter(|| eval_scenarios_clone_path(&model, specs))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("overlay_path_1thread", n),
+            &specs,
+            |b, specs| b.iter(|| eval_scenarios_overlay_path(&model, specs, 1)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("overlay_path_4threads", n),
+            &specs,
+            |b, specs| b.iter(|| eval_scenarios_overlay_path(&model, specs, 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

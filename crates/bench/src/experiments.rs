@@ -5,6 +5,7 @@
 //! the `repro` binary, EXPERIMENTS.md, and the integration tests all
 //! read from the same source of truth.
 
+use whatif_core::bulk::{ScenarioOutcome, ScenarioSet, ScenarioSpec};
 use whatif_core::goal::{Goal, GoalConfig, GoalInversionResult, OptimizerChoice};
 use whatif_core::importance::{DriverImportance, VerificationReport};
 use whatif_core::model_backend::ModelConfig;
@@ -256,6 +257,89 @@ pub fn sec4_rankings(scale: Scale) -> RankingSummary {
     simulate_rankings(&scale.study_config())
 }
 
+/// Train the marketing-mix sales model used by the U1 experiment and
+/// the bulk-scenario benchmarks.
+///
+/// # Panics
+/// Panics on internal errors — experiments are top-level binaries and a
+/// failure should abort loudly.
+pub fn train_marketing_model(scale: Scale, seed: u64) -> (Dataset, TrainedModel) {
+    let days = match scale {
+        Scale::Full => 360,
+        Scale::Quick => 180,
+    };
+    let dataset = marketing_mix(days, seed);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("KPI exists")
+        .with_drivers(&refs)
+        .expect("drivers exist");
+    let model = session
+        .train(&scale.model_config())
+        .expect("training succeeds");
+    (dataset, model)
+}
+
+/// A deterministic grid of `n` heterogeneous scenarios over the given
+/// drivers: alternating single- and two-driver perturbations, mixed
+/// percentage/absolute kinds — the workload shape of the
+/// `bench_scenarios` clone-vs-overlay comparison.
+pub fn scenario_grid(drivers: &[String], n: usize, seed: u64) -> Vec<ScenarioSpec> {
+    (0..n)
+        .map(|i| {
+            let k = (seed as usize).wrapping_add(i * 7919);
+            let d0 = &drivers[k % drivers.len()];
+            let pct = -50.0 + (k % 29) as f64 * 5.0;
+            let mut perturbations = vec![Perturbation::percentage(d0.clone(), pct)];
+            if i % 2 == 1 {
+                let d1 = &drivers[(k / drivers.len() + 1) % drivers.len()];
+                if d1 != d0 {
+                    perturbations.push(Perturbation::absolute(d1.clone(), (k % 11) as f64 - 5.0));
+                }
+            }
+            ScenarioSpec::new(format!("grid-{i}"), PerturbationSet::new(perturbations))
+        })
+        .collect()
+}
+
+/// The legacy scenario-evaluation path: clone the full training matrix
+/// per scenario, predict row by row. Kept as the baseline side of the
+/// `bench_scenarios` comparison and the reference the equivalence tests
+/// pin the overlay path against.
+///
+/// # Panics
+/// Panics on invalid scenarios — benchmark inputs are trusted.
+pub fn eval_scenarios_clone_path(model: &TrainedModel, specs: &[ScenarioSpec]) -> Vec<f64> {
+    specs
+        .iter()
+        .map(|s| {
+            let cloned = s
+                .perturbations
+                .apply_to_matrix(model.matrix(), model.driver_names())
+                .expect("valid scenario");
+            let preds: Vec<f64> = (0..cloned.n_rows())
+                .map(|i| model.predict_row(cloned.row(i)).expect("prediction"))
+                .collect();
+            preds.iter().sum::<f64>() / preds.len() as f64
+        })
+        .collect()
+}
+
+/// The overlay path for the same workload: one `ScenarioSet` call.
+///
+/// # Panics
+/// Panics on invalid scenarios — benchmark inputs are trusted.
+pub fn eval_scenarios_overlay_path(
+    model: &TrainedModel,
+    specs: &[ScenarioSpec],
+    n_threads: usize,
+) -> Vec<ScenarioOutcome> {
+    model
+        .evaluate_scenarios(&ScenarioSet::new(specs.to_vec()).with_threads(n_threads))
+        .expect("valid scenarios")
+}
+
 /// U1: marketing mix — importance ranking plus a budget-style
 /// constrained inversion.
 #[derive(Debug, Clone)]
@@ -275,20 +359,7 @@ pub struct MarketingExperiment {
 
 /// Run the U1 experiment.
 pub fn u1_marketing(scale: Scale, seed: u64) -> MarketingExperiment {
-    let days = match scale {
-        Scale::Full => 360,
-        Scale::Quick => 180,
-    };
-    let dataset = marketing_mix(days, seed);
-    let refs = dataset.driver_refs();
-    let session = Session::new(dataset.frame.clone())
-        .with_kpi(&dataset.kpi)
-        .expect("KPI exists")
-        .with_drivers(&refs)
-        .expect("drivers exist");
-    let model = session
-        .train(&scale.model_config())
-        .expect("training succeeds");
+    let (dataset, model) = train_marketing_model(scale, seed);
     let importance = model.driver_importance().expect("model fitted");
     let comparison = model
         .comparison_analysis(&[-40.0, -20.0, 0.0, 20.0, 40.0])
@@ -628,6 +699,19 @@ mod tests {
             // engines sharing a trajectory prefix... not guaranteed across
             // independent runs, so just check sanity bounds.
             assert!(r.series.iter().all(|(_, k)| (0.0..=1.0).contains(k)));
+        }
+    }
+
+    #[test]
+    fn scenario_grid_overlay_path_matches_clone_path() {
+        let (dataset, model) = train_marketing_model(Scale::Quick, 7);
+        let specs = scenario_grid(&dataset.drivers, 25, 7);
+        assert_eq!(specs.len(), 25);
+        let clone_kpis = eval_scenarios_clone_path(&model, &specs);
+        let overlay = eval_scenarios_overlay_path(&model, &specs, 4);
+        assert_eq!(overlay.len(), 25);
+        for (c, o) in clone_kpis.iter().zip(&overlay) {
+            assert!(c.to_bits() == o.kpi.to_bits(), "paths diverged");
         }
     }
 

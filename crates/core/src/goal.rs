@@ -10,7 +10,7 @@
 use crate::constraint::{build_bounds, DriverConstraint, DEFAULT_HIGH_PCT, DEFAULT_LOW_PCT};
 use crate::error::Result;
 use crate::model_backend::TrainedModel;
-use crate::perturbation::{Perturbation, PerturbationSet};
+use crate::perturbation::{Perturbation, PerturbationPlan, PerturbationSet};
 use serde::{Deserialize, Serialize};
 use whatif_optim::bayes::{BayesConfig, BayesianOptimizer};
 use whatif_optim::grid::grid_search;
@@ -168,17 +168,16 @@ impl TrainedModel {
         let goal = config.goal;
 
         // Objective over percentage space (minimization convention).
+        // Each evaluation builds a trusted per-column plan and scores
+        // it through an overlay + one batched prediction pass: no name
+        // resolution, validation, or per-call `PerturbationSet`
+        // allocation. (This objective perturbs every driver, so the
+        // overlay materializes all columns — the copy-on-write saving
+        // itself belongs to the sparse paths: comparison sweeps, goal
+        // seek, typical scenarios.)
         let eval_kpi = |pcts: &[f64]| -> f64 {
-            let set = PerturbationSet::new(
-                driver_names
-                    .iter()
-                    .zip(pcts)
-                    .map(|(d, &p)| Perturbation::percentage(d.clone(), p))
-                    .collect(),
-            );
-            set.apply_to_matrix(self.matrix(), &driver_names)
-                .and_then(|m| self.kpi_for_matrix(&m))
-                .unwrap_or(f64::NAN)
+            let plan = PerturbationPlan::percentages(pcts, true);
+            self.kpi_for_plan(&plan).unwrap_or(f64::NAN)
         };
         let objective = FnObjective::new(driver_names.len(), move |pcts: &[f64]| {
             let kpi = eval_kpi(pcts);
@@ -196,15 +195,7 @@ impl TrainedModel {
             Goal::Minimize => result.best_f,
             // For targets, re-evaluate: best_f is |kpi - target|.
             Goal::Target(t) => {
-                let set = PerturbationSet::new(
-                    driver_names
-                        .iter()
-                        .zip(&best_pcts)
-                        .map(|(d, &p)| Perturbation::percentage(d.clone(), p))
-                        .collect(),
-                );
-                let m = set.apply_to_matrix(self.matrix(), &driver_names)?;
-                let kpi = self.kpi_for_matrix(&m)?;
+                let kpi = self.kpi_for_plan(&PerturbationPlan::percentages(&best_pcts, true))?;
                 debug_assert!((kpi - t).abs() - result.best_f < 1e-9 + result.best_f.abs());
                 kpi
             }

@@ -23,6 +23,9 @@
 //!   §5 interpretability-vs-accuracy axis.
 //! * [`scenario`] — scenarios/options as "first-class citizens of data
 //!   analysis" (§1): a ledger of named what-if outcomes.
+//! * [`bulk`] — [`bulk::ScenarioSet`]: N heterogeneous scenarios
+//!   compiled once and priced in parallel through copy-on-write
+//!   overlays and batched prediction, zero full-matrix clones.
 //! * [`spec`] — a JSON-serializable declarative specification of
 //!   analyses, the §5 "Specification and Reuse" future-work direction,
 //!   implemented.
@@ -53,6 +56,7 @@
 //! assert!(sens.uplift() > 0.0);
 //! ```
 
+pub mod bulk;
 pub mod constraint;
 pub mod error;
 pub mod goal;
@@ -67,13 +71,14 @@ pub mod session;
 pub mod spec;
 pub mod uncertainty;
 
+pub use bulk::{ScenarioOutcome, ScenarioSet, ScenarioSpec};
 pub use constraint::DriverConstraint;
 pub use error::{CoreError, ErrorCode, Result};
 pub use goal::{Goal, GoalConfig, GoalInversionResult, OptimizerChoice};
 pub use importance::{DriverImportance, VerificationReport};
 pub use kpi::KpiKind;
 pub use model_backend::{ModelConfig, ModelKind, TrainedModel};
-pub use perturbation::{Perturbation, PerturbationKind, PerturbationSet};
+pub use perturbation::{Perturbation, PerturbationKind, PerturbationPlan, PerturbationSet};
 pub use scenario::{Scenario, ScenarioKind, ScenarioLedger};
 pub use seek::DriverSeekResult;
 pub use sensitivity::{ComparisonCurve, PerDataSensitivity, SensitivityResult};
@@ -83,12 +88,15 @@ pub use uncertainty::{BootstrapConfig, Interval, SensitivityInterval};
 
 /// The most-used types, for glob import.
 pub mod prelude {
+    pub use crate::bulk::{ScenarioOutcome, ScenarioSet, ScenarioSpec};
     pub use crate::constraint::DriverConstraint;
     pub use crate::error::{CoreError, ErrorCode};
     pub use crate::goal::{Goal, GoalConfig, OptimizerChoice};
     pub use crate::importance::DriverImportance;
     pub use crate::model_backend::{ModelConfig, ModelKind, TrainedModel};
-    pub use crate::perturbation::{Perturbation, PerturbationKind, PerturbationSet};
+    pub use crate::perturbation::{
+        Perturbation, PerturbationKind, PerturbationPlan, PerturbationSet,
+    };
     pub use crate::scenario::{Scenario, ScenarioLedger};
     pub use crate::session::Session;
     pub use crate::spec::WhatIfSpec;

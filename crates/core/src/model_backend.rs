@@ -3,12 +3,14 @@
 
 use crate::error::{CoreError, Result};
 use crate::kpi::KpiKind;
+use crate::perturbation::{PerturbationPlan, PerturbationSet};
 use serde::{Deserialize, Serialize};
 use whatif_learn::forest::ForestConfig;
 use whatif_learn::metrics::{accuracy, r2_score, roc_auc};
 use whatif_learn::model::{Classifier, Predictor, Regressor};
 use whatif_learn::split::train_test_split;
 use whatif_learn::tree::TreeConfig;
+use whatif_learn::MatrixView;
 use whatif_learn::{
     LinearRegression, LogisticRegression, Matrix, RandomForestClassifier, RandomForestRegressor,
 };
@@ -267,8 +269,69 @@ impl TrainedModel {
     /// # Errors
     /// Propagated prediction errors (wrong column count).
     pub fn kpi_for_matrix(&self, x: &Matrix) -> Result<f64> {
-        let preds = self.model.predictor().predict_matrix(x)?;
-        Ok(mean(&preds))
+        self.kpi_for_view(MatrixView::Dense(x))
+    }
+
+    /// Batched predictions over a dense matrix or column overlay.
+    ///
+    /// # Errors
+    /// Propagated prediction errors (wrong column count).
+    pub fn predictions_for_view(&self, view: MatrixView<'_>) -> Result<Vec<f64>> {
+        let mut preds = vec![0.0; view.n_rows()];
+        self.predict_batch_into(view, &mut preds)?;
+        Ok(preds)
+    }
+
+    /// Batched predictions into a caller-owned buffer (hot paths reuse
+    /// the buffer across scenarios).
+    ///
+    /// # Errors
+    /// Propagated prediction errors (wrong column count / buffer size).
+    pub fn predict_batch_into(&self, view: MatrixView<'_>, out: &mut [f64]) -> Result<()> {
+        Ok(self.model.predictor().predict_batch(view, out)?)
+    }
+
+    /// The KPI (mean prediction) of any matrix view.
+    ///
+    /// # Errors
+    /// Propagated prediction errors (wrong column count).
+    pub fn kpi_for_view(&self, view: MatrixView<'_>) -> Result<f64> {
+        Ok(mean(&self.predictions_for_view(view)?))
+    }
+
+    /// Whether a full-matrix `predict_batch` on this model will fan out
+    /// to its own worker threads. Coarser-grained parallelizers (bulk
+    /// scenario evaluation) check this to keep exactly one level of
+    /// fan-out: scenario-level workers for cheap per-call models,
+    /// row-level workers inside the model otherwise.
+    pub fn batch_predict_is_parallel(&self) -> bool {
+        use whatif_learn::forest::PARALLEL_BATCH_MIN_WORK;
+        let (n_trees, n_threads) = match &self.model {
+            FittedModel::ForestClassifier(m) => (m.n_trees(), m.config.n_threads),
+            FittedModel::ForestRegressor(m) => (m.n_trees(), m.config.n_threads),
+            FittedModel::Linear(_) | FittedModel::Logistic(_) => return false,
+        };
+        n_threads > 1 && self.x.n_rows().saturating_mul(n_trees) >= PARALLEL_BATCH_MIN_WORK
+    }
+
+    /// Compile a perturbation set against this model's drivers.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] on unknown or duplicated drivers.
+    pub fn compile_perturbations(&self, set: &PerturbationSet) -> Result<PerturbationPlan> {
+        set.compile(&self.driver_names)
+    }
+
+    /// The KPI of the training data under a compiled perturbation plan,
+    /// evaluated through a copy-on-write overlay: only the perturbed
+    /// columns are materialized, never the whole matrix.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] on plan/matrix width mismatch; propagated
+    /// prediction errors otherwise.
+    pub fn kpi_for_plan(&self, plan: &PerturbationPlan) -> Result<f64> {
+        let overlay = plan.overlay(&self.x)?;
+        self.kpi_for_view(MatrixView::Overlay(&overlay))
     }
 
     /// Borrow the underlying predictor (for Shapley verification etc.).
@@ -533,6 +596,38 @@ mod tests {
         assert!(m.driver_index("zz").is_err());
         assert_eq!(m.kpi_name(), "sales");
         assert_eq!(m.driver_names().len(), 2);
+    }
+
+    #[test]
+    fn plan_kpi_matches_clone_path_exactly() {
+        use crate::perturbation::{Perturbation, PerturbationSet};
+        let (x, y) = continuous_data();
+        let m = TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            x,
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap();
+        let set = PerturbationSet::new(vec![
+            Perturbation::percentage("a", 25.0),
+            Perturbation::absolute("b", -0.5),
+        ]);
+        let plan = m.compile_perturbations(&set).unwrap();
+        let via_plan = m.kpi_for_plan(&plan).unwrap();
+        let cloned = set.apply_to_matrix(m.matrix(), m.driver_names()).unwrap();
+        let via_clone = m.kpi_for_matrix(&cloned).unwrap();
+        assert!(via_plan.to_bits() == via_clone.to_bits());
+        // Per-row predictions agree bit for bit too.
+        let overlay = plan.overlay(m.matrix()).unwrap();
+        let preds = m
+            .predictions_for_view(whatif_learn::MatrixView::Overlay(&overlay))
+            .unwrap();
+        for (i, &p) in preds.iter().enumerate() {
+            assert!(p.to_bits() == m.predict_row(cloned.row(i)).unwrap().to_bits());
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use crate::error::{CoreError, Result};
 use serde::{Deserialize, Serialize};
-use whatif_learn::Matrix;
+use std::collections::HashSet;
+use whatif_learn::{ColumnOverlay, Matrix};
 
 /// How a driver is perturbed.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,6 +18,17 @@ pub enum PerturbationKind {
     Absolute(f64),
     /// Scale every value by `1 + pct/100`.
     Percentage(f64),
+}
+
+impl PerturbationKind {
+    /// Apply to a single value.
+    #[inline]
+    pub fn apply(self, v: f64) -> f64 {
+        match self {
+            PerturbationKind::Absolute(delta) => v + delta,
+            PerturbationKind::Percentage(pct) => v * (1.0 + pct / 100.0),
+        }
+    }
 }
 
 /// One driver perturbation.
@@ -47,10 +59,7 @@ impl Perturbation {
 
     /// Apply to a single value.
     pub fn apply_value(&self, v: f64) -> f64 {
-        match self.kind {
-            PerturbationKind::Absolute(delta) => v + delta,
-            PerturbationKind::Percentage(pct) => v * (1.0 + pct / 100.0),
-        }
+        self.kind.apply(v)
     }
 }
 
@@ -86,51 +95,63 @@ impl PerturbationSet {
     }
 
     /// Validate that every perturbation's driver appears in
-    /// `driver_names` and no driver is perturbed twice.
+    /// `driver_names` and no driver is perturbed twice. Runs in
+    /// O(drivers + perturbations) via hash sets.
     ///
     /// # Errors
     /// [`CoreError::Config`] on unknown or duplicated drivers.
     pub fn validate(&self, driver_names: &[String]) -> Result<()> {
-        let mut seen: Vec<&str> = Vec::with_capacity(self.perturbations.len());
+        self.compile(driver_names).map(|_| ())
+    }
+
+    /// Compile into a [`PerturbationPlan`]: validated once, driver
+    /// indices resolved once. All repeated evaluation (goal seeking,
+    /// comparison sweeps, bulk scenarios) should go through the plan.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] on unknown or duplicated drivers.
+    pub fn compile(&self, driver_names: &[String]) -> Result<PerturbationPlan> {
+        let index: std::collections::HashMap<&str, usize> = driver_names
+            .iter()
+            .enumerate()
+            .map(|(j, n)| (n.as_str(), j))
+            .collect();
+        let mut seen: HashSet<&str> = HashSet::with_capacity(self.perturbations.len());
+        let mut steps = Vec::with_capacity(self.perturbations.len());
         for p in &self.perturbations {
-            if !driver_names.iter().any(|n| n == &p.driver) {
+            let Some(&j) = index.get(p.driver.as_str()) else {
                 return Err(CoreError::Config(format!(
                     "perturbation references unknown driver {:?}",
                     p.driver
                 )));
-            }
-            if seen.contains(&p.driver.as_str()) {
+            };
+            if !seen.insert(p.driver.as_str()) {
                 return Err(CoreError::Config(format!(
                     "driver {:?} perturbed more than once",
                     p.driver
                 )));
             }
-            seen.push(&p.driver);
+            steps.push((j, p.kind));
         }
-        Ok(())
+        Ok(PerturbationPlan {
+            steps,
+            clamp_non_negative: self.clamp_non_negative,
+            n_cols: driver_names.len(),
+        })
     }
 
     /// Apply to an entire matrix whose columns are `driver_names`.
     ///
+    /// This clones the full matrix; interactive paths use
+    /// [`PerturbationPlan::overlay`] instead, which materializes only
+    /// the perturbed columns. Kept as the simple owned-output API (and
+    /// as the reference implementation the equivalence tests and
+    /// benches compare the overlay path against).
+    ///
     /// # Errors
     /// [`CoreError::Config`] per [`PerturbationSet::validate`].
     pub fn apply_to_matrix(&self, x: &Matrix, driver_names: &[String]) -> Result<Matrix> {
-        self.validate(driver_names)?;
-        let mut out = x.clone();
-        for p in &self.perturbations {
-            let j = driver_names
-                .iter()
-                .position(|n| n == &p.driver)
-                .expect("validated above");
-            for i in 0..out.n_rows() {
-                let mut v = p.apply_value(out.get(i, j));
-                if self.clamp_non_negative {
-                    v = v.max(0.0);
-                }
-                out.set(i, j, v);
-            }
-        }
-        Ok(out)
+        Ok(self.compile(driver_names)?.apply_to_matrix(x))
     }
 
     /// Apply to a single feature row.
@@ -139,7 +160,7 @@ impl PerturbationSet {
     /// [`CoreError::Config`] per [`PerturbationSet::validate`] or on a
     /// row/driver length mismatch.
     pub fn apply_to_row(&self, row: &[f64], driver_names: &[String]) -> Result<Vec<f64>> {
-        self.validate(driver_names)?;
+        let plan = self.compile(driver_names)?;
         if row.len() != driver_names.len() {
             return Err(CoreError::Config(format!(
                 "row has {} values for {} drivers",
@@ -148,17 +169,125 @@ impl PerturbationSet {
             )));
         }
         let mut out = row.to_vec();
-        for p in &self.perturbations {
-            let j = driver_names
+        plan.apply_to_row(&mut out);
+        Ok(out)
+    }
+}
+
+/// A compiled perturbation set: names resolved to column indices,
+/// duplicates rejected, ready for repeated zero-validation application.
+///
+/// Plans decouple the *what* (a user-facing [`PerturbationSet`]) from
+/// the *how* (index-addressed column transforms). Hot paths — goal
+/// inversion objectives, comparison sweeps, bulk scenario evaluation —
+/// compile once and then apply the plan per candidate via
+/// [`PerturbationPlan::overlay`], which materializes only the perturbed
+/// columns over a shared base matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerturbationPlan {
+    /// `(column index, kind)` pairs, at most one per column.
+    steps: Vec<(usize, PerturbationKind)>,
+    clamp_non_negative: bool,
+    /// Width of the matrices this plan applies to.
+    n_cols: usize,
+}
+
+impl PerturbationPlan {
+    /// A plan perturbing a single column — the comparison-sweep and
+    /// goal-seek fast path (no allocation of named sets, no validation).
+    pub fn single(col: usize, kind: PerturbationKind, clamp: bool, n_cols: usize) -> Self {
+        debug_assert!(col < n_cols);
+        PerturbationPlan {
+            steps: vec![(col, kind)],
+            clamp_non_negative: clamp,
+            n_cols,
+        }
+    }
+
+    /// A plan applying one percentage change per column, in column
+    /// order — the goal-inversion objective fast path.
+    pub fn percentages(pcts: &[f64], clamp: bool) -> Self {
+        PerturbationPlan {
+            steps: pcts
                 .iter()
-                .position(|n| n == &p.driver)
-                .expect("validated above");
-            out[j] = p.apply_value(out[j]);
-            if self.clamp_non_negative {
-                out[j] = out[j].max(0.0);
+                .enumerate()
+                .map(|(j, &p)| (j, PerturbationKind::Percentage(p)))
+                .collect(),
+            clamp_non_negative: clamp,
+            n_cols: pcts.len(),
+        }
+    }
+
+    /// True when the plan changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of perturbed columns.
+    pub fn n_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Matrix width this plan expects.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Whether perturbed values are clamped at zero.
+    pub fn clamps(&self) -> bool {
+        self.clamp_non_negative
+    }
+
+    #[inline]
+    fn transform(&self, kind: PerturbationKind, v: f64) -> f64 {
+        let v = kind.apply(v);
+        if self.clamp_non_negative {
+            v.max(0.0)
+        } else {
+            v
+        }
+    }
+
+    /// Build a copy-on-write view of `base` with only the perturbed
+    /// columns materialized — zero full-matrix clones.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] when `base` does not have the width the
+    /// plan was compiled for.
+    pub fn overlay<'a>(&self, base: &'a Matrix) -> Result<ColumnOverlay<'a>> {
+        if base.n_cols() != self.n_cols {
+            return Err(CoreError::Config(format!(
+                "plan compiled for {} columns, matrix has {}",
+                self.n_cols,
+                base.n_cols()
+            )));
+        }
+        let mut overlay = ColumnOverlay::new(base);
+        for &(j, kind) in &self.steps {
+            overlay
+                .map_col(j, |v| self.transform(kind, v))
+                .map_err(|e| CoreError::Config(e.to_string()))?;
+        }
+        Ok(overlay)
+    }
+
+    /// Apply to a full matrix, returning an owned copy (legacy path).
+    pub fn apply_to_matrix(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for &(j, kind) in &self.steps {
+            for i in 0..out.n_rows() {
+                out.set(i, j, self.transform(kind, out.get(i, j)));
             }
         }
-        Ok(out)
+        out
+    }
+
+    /// Apply in place to a single feature row of plan width.
+    pub fn apply_to_row(&self, row: &mut [f64]) {
+        debug_assert_eq!(row.len(), self.n_cols);
+        for &(j, kind) in &self.steps {
+            row[j] = self.transform(kind, row[j]);
+        }
     }
 }
 
@@ -243,5 +372,79 @@ mod tests {
         let json = serde_json::to_string(&set).unwrap();
         let back: PerturbationSet = serde_json::from_str(&json).unwrap();
         assert_eq!(set, back);
+    }
+
+    #[test]
+    fn compiled_plan_resolves_indices_once() {
+        let set = PerturbationSet::new(vec![
+            Perturbation::percentage("b", 100.0),
+            Perturbation::absolute("a", -15.0),
+        ]);
+        let plan = set.compile(&names()).unwrap();
+        assert_eq!(plan.n_steps(), 2);
+        assert_eq!(plan.n_cols(), 2);
+        assert!(plan.clamps());
+        assert!(!plan.is_empty());
+        // Unknown/duplicate drivers fail at compile time.
+        assert!(
+            PerturbationSet::new(vec![Perturbation::percentage("zz", 1.0)])
+                .compile(&names())
+                .is_err()
+        );
+        assert!(PerturbationSet::new(vec![
+            Perturbation::percentage("a", 1.0),
+            Perturbation::absolute("a", 2.0),
+        ])
+        .compile(&names())
+        .is_err());
+    }
+
+    #[test]
+    fn overlay_matches_full_clone_bit_for_bit() {
+        let set = PerturbationSet::new(vec![
+            Perturbation::percentage("a", 37.5),
+            Perturbation::absolute("b", -1.5),
+        ]);
+        let m = matrix();
+        let plan = set.compile(&names()).unwrap();
+        let cloned = set.apply_to_matrix(&m, &names()).unwrap();
+        let overlay = plan.overlay(&m).unwrap();
+        assert_eq!(overlay.n_overridden(), 2);
+        assert_eq!(overlay.to_matrix(), cloned);
+        // Untouched columns are not materialized.
+        let single = PerturbationPlan::single(0, PerturbationKind::Percentage(10.0), true, 2);
+        let o = single.overlay(&m).unwrap();
+        assert_eq!(o.n_overridden(), 1);
+        assert!(o.col_override(1).is_none());
+        // Width mismatch is a config error.
+        assert!(single.overlay(&Matrix::zeros(2, 5)).is_err());
+    }
+
+    #[test]
+    fn trusted_plan_constructors_match_named_sets() {
+        let m = matrix();
+        let named = PerturbationSet::new(vec![
+            Perturbation::percentage("a", -30.0),
+            Perturbation::percentage("b", 80.0),
+        ]);
+        let via_set = named.apply_to_matrix(&m, &names()).unwrap();
+        let via_pcts = PerturbationPlan::percentages(&[-30.0, 80.0], true).apply_to_matrix(&m);
+        assert_eq!(via_set, via_pcts);
+
+        let mut row = [10.0, 1.0];
+        PerturbationPlan::percentages(&[-30.0, 80.0], true).apply_to_row(&mut row);
+        assert_eq!(row.to_vec(), via_pcts.row(0).to_vec());
+    }
+
+    #[test]
+    fn plan_clamp_behaviour_matches_set() {
+        let m = matrix();
+        let set = PerturbationSet::new(vec![Perturbation::absolute("a", -15.0)]).without_clamp();
+        let plan = set.compile(&names()).unwrap();
+        assert!(!plan.clamps());
+        assert_eq!(
+            plan.overlay(&m).unwrap().col_override(0).unwrap(),
+            &[-5.0, 5.0]
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! keep — sensitivity runs, goal inversions — and supports comparing,
 //! ranking, and pruning them.
 
+use crate::bulk::ScenarioOutcome;
 use crate::goal::GoalInversionResult;
 use crate::perturbation::PerturbationSet;
 use crate::sensitivity::SensitivityResult;
@@ -19,6 +20,8 @@ pub enum ScenarioKind {
     Sensitivity,
     /// A goal-inversion recommendation.
     GoalInversion,
+    /// One scenario of a bulk [`crate::bulk::ScenarioSet`] evaluation.
+    Bulk,
 }
 
 /// A recorded option: a named perturbation with its KPI outcome.
@@ -88,6 +91,24 @@ impl ScenarioLedger {
             kpi: result.achieved_kpi,
             baseline_kpi: result.baseline_kpi,
         })
+    }
+
+    /// Record every outcome of a bulk evaluation in one call; returns
+    /// the assigned ids in input order.
+    pub fn record_outcomes(&mut self, outcomes: &[ScenarioOutcome]) -> Vec<u64> {
+        outcomes
+            .iter()
+            .map(|o| {
+                self.push(Scenario {
+                    id: 0,
+                    name: o.name.clone(),
+                    kind: ScenarioKind::Bulk,
+                    perturbations: o.perturbations.clone(),
+                    kpi: o.kpi,
+                    baseline_kpi: o.baseline_kpi,
+                })
+            })
+            .collect()
     }
 
     fn push(&mut self, mut scenario: Scenario) -> u64 {
@@ -222,6 +243,31 @@ mod tests {
         assert_eq!(s.kind, ScenarioKind::GoalInversion);
         assert!((s.uplift() - 0.48).abs() < 1e-12);
         assert_eq!(s.perturbations.perturbations.len(), 1);
+    }
+
+    #[test]
+    fn bulk_outcomes_record_in_one_call() {
+        let mut ledger = ScenarioLedger::new();
+        let outcomes = vec![
+            ScenarioOutcome {
+                name: "s1".into(),
+                perturbations: PerturbationSet::new(vec![Perturbation::percentage("a", 10.0)]),
+                kpi: 0.5,
+                baseline_kpi: 0.4,
+            },
+            ScenarioOutcome {
+                name: "s2".into(),
+                perturbations: PerturbationSet::new(vec![Perturbation::absolute("a", 2.0)]),
+                kpi: 0.6,
+                baseline_kpi: 0.4,
+            },
+        ];
+        let ids = ledger.record_outcomes(&outcomes);
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.get(1).unwrap().name, "s2");
+        assert_eq!(ledger.get(0).unwrap().kind, ScenarioKind::Bulk);
+        assert!((ledger.get(1).unwrap().uplift() - 0.2).abs() < 1e-12);
     }
 
     #[test]

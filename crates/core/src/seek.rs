@@ -9,7 +9,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::model_backend::TrainedModel;
-use crate::perturbation::{Perturbation, PerturbationSet};
+use crate::perturbation::{Perturbation, PerturbationKind, PerturbationPlan, PerturbationSet};
 use serde::{Deserialize, Serialize};
 use whatif_optim::goal_seek::goal_seek;
 
@@ -62,18 +62,19 @@ impl TrainedModel {
         high_pct: f64,
         tolerance: f64,
     ) -> Result<DriverSeekResult> {
-        self.driver_index(driver)?; // validates the name
+        let col = self.driver_index(driver)?; // validates the name
         if low_pct >= high_pct || low_pct < -100.0 {
             return Err(CoreError::Config(format!(
                 "invalid percentage range [{low_pct}, {high_pct}]"
             )));
         }
-        let driver_names = self.driver_names().to_vec();
+        // The driver index is resolved once; every bisection step is a
+        // single-column plan scored through a copy-on-write overlay.
+        let n_cols = self.driver_names().len();
         let kpi_at = |pct: f64| -> f64 {
-            let set = PerturbationSet::new(vec![Perturbation::percentage(driver.to_owned(), pct)]);
-            set.apply_to_matrix(self.matrix(), &driver_names)
-                .and_then(|m| self.kpi_for_matrix(&m))
-                .unwrap_or(f64::NAN)
+            let plan =
+                PerturbationPlan::single(col, PerturbationKind::Percentage(pct), true, n_cols);
+            self.kpi_for_plan(&plan).unwrap_or(f64::NAN)
         };
         let r = goal_seek(kpi_at, target, low_pct, high_pct, tolerance, 200)?;
         Ok(DriverSeekResult {

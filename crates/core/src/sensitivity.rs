@@ -5,7 +5,7 @@
 
 use crate::error::Result;
 use crate::model_backend::TrainedModel;
-use crate::perturbation::{Perturbation, PerturbationSet};
+use crate::perturbation::{PerturbationKind, PerturbationPlan, PerturbationSet};
 use serde::{Deserialize, Serialize};
 
 /// The blue bar / yellow bar pair of the sensitivity view.
@@ -90,11 +90,11 @@ impl TrainedModel {
     /// # Errors
     /// [`crate::CoreError::Config`] for invalid perturbations.
     pub fn sensitivity(&self, set: &PerturbationSet) -> Result<SensitivityResult> {
-        let perturbed = set.apply_to_matrix(self.matrix(), self.driver_names())?;
+        let plan = self.compile_perturbations(set)?;
         Ok(SensitivityResult {
             kpi_name: self.kpi_name().to_owned(),
             baseline_kpi: self.baseline_kpi(),
-            perturbed_kpi: self.kpi_for_matrix(&perturbed)?,
+            perturbed_kpi: self.kpi_for_plan(&plan)?,
             perturbations: set.clone(),
         })
     }
@@ -102,17 +102,21 @@ impl TrainedModel {
     /// Comparison analysis: sweep each driver individually over the
     /// given percentage perturbations.
     ///
+    /// Every grid point is a single-column [`PerturbationPlan`] applied
+    /// through a copy-on-write overlay: no per-point `PerturbationSet`
+    /// allocation, no re-validation, no full-matrix clone.
+    ///
     /// # Errors
     /// Propagated prediction errors.
     pub fn comparison_analysis(&self, percentages: &[f64]) -> Result<Vec<ComparisonCurve>> {
-        let driver_names = self.driver_names().to_vec();
-        let mut curves = Vec::with_capacity(driver_names.len());
-        for driver in &driver_names {
+        let n_cols = self.driver_names().len();
+        let mut curves = Vec::with_capacity(n_cols);
+        for (j, driver) in self.driver_names().iter().enumerate() {
             let mut kpi_values = Vec::with_capacity(percentages.len());
             for &pct in percentages {
-                let set = PerturbationSet::new(vec![Perturbation::percentage(driver.clone(), pct)]);
-                let perturbed = set.apply_to_matrix(self.matrix(), &driver_names)?;
-                kpi_values.push(self.kpi_for_matrix(&perturbed)?);
+                let plan =
+                    PerturbationPlan::single(j, PerturbationKind::Percentage(pct), true, n_cols);
+                kpi_values.push(self.kpi_for_plan(&plan)?);
             }
             curves.push(ComparisonCurve {
                 driver: driver.clone(),
@@ -140,8 +144,10 @@ impl TrainedModel {
                 self.matrix().n_rows()
             )));
         }
+        let plan = self.compile_perturbations(set)?;
         let original = self.matrix().row(row).to_vec();
-        let perturbed_row = set.apply_to_row(&original, self.driver_names())?;
+        let mut perturbed_row = original.clone();
+        plan.apply_to_row(&mut perturbed_row);
         Ok(PerDataSensitivity {
             row,
             baseline: self.predict_row(&original)?,
@@ -155,6 +161,7 @@ mod tests {
     use super::*;
     use crate::kpi::KpiKind;
     use crate::model_backend::{ModelConfig, TrainedModel};
+    use crate::perturbation::Perturbation;
     use whatif_learn::Matrix;
 
     /// Exact linear model: y = 2*a - b + 5.

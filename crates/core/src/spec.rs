@@ -25,6 +25,7 @@
 //! assert!(json.contains("spend"));
 //! ```
 
+use crate::bulk::{ScenarioOutcome, ScenarioSet, ScenarioSpec};
 use crate::constraint::DriverConstraint;
 use crate::error::{CoreError, Result};
 use crate::goal::{Goal, GoalConfig, GoalInversionResult, OptimizerChoice};
@@ -81,6 +82,19 @@ pub enum AnalysisSpec {
         #[serde(default)]
         seed: u64,
     },
+    /// Bulk evaluation of N named scenarios in one pass (parallel,
+    /// copy-on-write overlays — see [`crate::bulk`]).
+    Scenarios {
+        /// The scenarios to price.
+        scenarios: Vec<ScenarioSpec>,
+        /// Worker threads (default 4).
+        #[serde(default = "default_threads")]
+        n_threads: usize,
+    },
+}
+
+fn default_threads() -> usize {
+    crate::bulk::DEFAULT_SCENARIO_THREADS
 }
 
 fn default_true() -> bool {
@@ -136,6 +150,13 @@ impl AnalysisSpec {
                 cfg.seed = *seed;
                 SpecOutcome::GoalInversion(model.goal_inversion(&cfg)?)
             }
+            AnalysisSpec::Scenarios {
+                scenarios,
+                n_threads,
+            } => {
+                let set = ScenarioSet::new(scenarios.clone()).with_threads(*n_threads);
+                SpecOutcome::Scenarios(model.evaluate_scenarios(&set)?)
+            }
         })
     }
 }
@@ -174,6 +195,8 @@ pub enum SpecOutcome {
     PerData(PerDataSensitivity),
     /// Goal inversion outcome.
     GoalInversion(GoalInversionResult),
+    /// Bulk scenario outcomes, in input order.
+    Scenarios(Vec<ScenarioOutcome>),
 }
 
 impl WhatIfSpec {
@@ -344,6 +367,47 @@ mod tests {
                 assert!((p.uplift() - 3.0).abs() < 1e-6);
             }
             other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scenarios_spec_runs_and_roundtrips() {
+        let spec = WhatIfSpec {
+            kpi: "sales".into(),
+            drivers: Some(vec!["spend".into(), "waste".into()]),
+            model: ModelConfig::default(),
+            analysis: AnalysisSpec::Scenarios {
+                scenarios: vec![
+                    ScenarioSpec::new(
+                        "spend +10%",
+                        crate::PerturbationSet::new(vec![Perturbation::percentage("spend", 10.0)]),
+                    ),
+                    ScenarioSpec::new(
+                        "spend -10%",
+                        crate::PerturbationSet::new(vec![Perturbation::percentage("spend", -10.0)]),
+                    ),
+                ],
+                n_threads: 2,
+            },
+        };
+        let json = spec.to_json().unwrap();
+        assert_eq!(spec, WhatIfSpec::from_json(&json).unwrap());
+        match spec.run(&frame()).unwrap() {
+            SpecOutcome::Scenarios(outcomes) => {
+                assert_eq!(outcomes.len(), 2);
+                assert!(outcomes[0].uplift() > 0.0);
+                assert!(outcomes[1].uplift() < 0.0);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        // n_threads defaults when omitted from JSON.
+        let parsed = WhatIfSpec::from_json(
+            r#"{"kpi": "sales", "analysis": {"Scenarios": {"scenarios": []}}}"#,
+        )
+        .unwrap();
+        match parsed.analysis {
+            AnalysisSpec::Scenarios { n_threads, .. } => assert_eq!(n_threads, 4),
+            _ => panic!(),
         }
     }
 

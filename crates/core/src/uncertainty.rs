@@ -104,16 +104,14 @@ impl TrainedModel {
                 config.level
             )));
         }
-        let driver_names = self.driver_names().to_vec();
-        let perturbed_matrix = set.apply_to_matrix(self.matrix(), &driver_names)?;
+        let plan = self.compile_perturbations(set)?;
         let n = self.matrix().n_rows();
-        // Per-row predictions, computed once.
-        let mut base_preds = Vec::with_capacity(n);
-        let mut pert_preds = Vec::with_capacity(n);
-        for i in 0..n {
-            base_preds.push(self.predict_row(self.matrix().row(i))?);
-            pert_preds.push(self.predict_row(perturbed_matrix.row(i))?);
-        }
+        // Per-row predictions, computed once, in batch: the baseline
+        // over the training matrix, the perturbed over a copy-on-write
+        // overlay that materializes only the perturbed columns.
+        let base_preds = self.predictions_for_view(self.matrix().into())?;
+        let overlay = plan.overlay(self.matrix())?;
+        let pert_preds = self.predictions_for_view((&overlay).into())?;
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
         let point_base = mean(&base_preds);
         let point_pert = mean(&pert_preds);

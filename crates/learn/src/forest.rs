@@ -8,7 +8,10 @@
 //! in parallel on std scoped threads.
 
 use crate::linalg::Matrix;
-use crate::model::{check_binary_labels, Classifier, LearnError, Predictor, Regressor};
+use crate::model::{
+    check_batch_shape, check_binary_labels, Classifier, LearnError, MatrixView, Predictor,
+    Regressor,
+};
 use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -113,6 +116,83 @@ where
         out.extend(r?);
     }
     Ok(out)
+}
+
+/// Minimum row×tree work before a forest batch fans out to threads.
+/// Exposed so callers that parallelize at a coarser level (e.g. per
+/// scenario) can predict whether a batch will spawn its own workers
+/// and avoid nesting fan-outs.
+pub const PARALLEL_BATCH_MIN_WORK: usize = 8_192;
+
+/// Shared batched prediction for both forest families: rows are split
+/// into contiguous chunks scored on `std::thread::scope` workers, each
+/// with its own gather buffer. Per-row math (sum trees in order, divide
+/// once) matches `predict_row` exactly, and every row writes its own
+/// slot, so the result is bit-identical and deterministic regardless of
+/// thread count.
+fn forest_predict_batch<T: Predictor>(
+    trees: &[T],
+    n_threads: usize,
+    x: MatrixView<'_>,
+    out: &mut [f64],
+) -> Result<(), LearnError> {
+    if trees.is_empty() {
+        return Err(LearnError::NotFitted);
+    }
+    check_batch_shape(trees[0].n_features(), &x, out)?;
+    if out.is_empty() {
+        return Ok(());
+    }
+    let n_trees = trees.len() as f64;
+    let score_rows = |start: usize, chunk: &mut [f64]| -> Result<(), LearnError> {
+        let mut buf = vec![0.0; x.n_cols()];
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            let row: &[f64] = match x {
+                MatrixView::Dense(m) => m.row(start + offset),
+                MatrixView::Overlay(o) => {
+                    o.gather_row(start + offset, &mut buf);
+                    &buf
+                }
+            };
+            let mut sum = 0.0;
+            for t in trees {
+                sum += t.predict_row(row)?;
+            }
+            *slot = sum / n_trees;
+        }
+        Ok(())
+    };
+
+    // Thread spawn costs ~tens of µs; only fan out when the batch has
+    // enough row×tree work to amortize it, and never beyond the
+    // hardware's parallelism. Results are identical either way (per-row
+    // math does not depend on the partitioning).
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let work = out.len().saturating_mul(trees.len());
+    let n_threads = if work < PARALLEL_BATCH_MIN_WORK {
+        1
+    } else {
+        n_threads.max(1).min(out.len()).min(hw)
+    };
+    if n_threads == 1 {
+        return score_rows(0, out);
+    }
+    let chunk_len = out.len().div_ceil(n_threads);
+    let results: Vec<Result<(), LearnError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(k, chunk)| {
+                let score_rows = &score_rows;
+                scope.spawn(move || score_rows(k * chunk_len, chunk))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("forest batch worker panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
 }
 
 fn averaged_importances(per_tree: &[Vec<f64>], p: usize) -> Vec<f64> {
@@ -265,6 +345,10 @@ impl Predictor for RandomForestClassifier {
     fn n_features(&self) -> usize {
         self.trees.first().map_or(0, Predictor::n_features)
     }
+
+    fn predict_batch(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), LearnError> {
+        forest_predict_batch(&self.trees, self.config.n_threads, x, out)
+    }
 }
 
 /// A bootstrap random-forest regressor. Predictions are mean leaf values
@@ -408,6 +492,10 @@ impl Predictor for RandomForestRegressor {
     fn n_features(&self) -> usize {
         self.trees.first().map_or(0, Predictor::n_features)
     }
+
+    fn predict_batch(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), LearnError> {
+        forest_predict_batch(&self.trees, self.config.n_threads, x, out)
+    }
 }
 
 #[cfg(test)]
@@ -541,6 +629,57 @@ mod tests {
         assert!(rr.fit(&x, &[1.0]).is_err());
         let mut cc = RandomForestClassifier::with_trees(2, 0);
         assert!(cc.fit(&Matrix::zeros(0, 2), &[]).is_err());
+    }
+
+    #[test]
+    fn batch_is_bit_identical_and_thread_count_invariant() {
+        use crate::overlay::ColumnOverlay;
+        let (x, y) = class_data(150, 20);
+        let mut f = RandomForestClassifier::with_trees(15, 21);
+        f.fit(&x, &y).unwrap();
+
+        // Overlay batch == per-row on the materialized matrix, bit for bit.
+        let mut overlay = ColumnOverlay::new(&x);
+        overlay.map_col(0, |v| (v * 1.3).min(1.0)).unwrap();
+        let dense = overlay.to_matrix();
+        let mut out = vec![0.0; x.n_rows()];
+        f.predict_batch((&overlay).into(), &mut out).unwrap();
+        for (i, &p) in out.iter().enumerate() {
+            assert!(p.to_bits() == f.predict_row(dense.row(i)).unwrap().to_bits());
+        }
+
+        // Parallelism never changes results: 1, 3, and 8 threads agree.
+        let mut reference = vec![0.0; x.n_rows()];
+        f.config.n_threads = 1;
+        f.predict_batch((&x).into(), &mut reference).unwrap();
+        for threads in [3, 8] {
+            f.config.n_threads = threads;
+            let mut got = vec![0.0; x.n_rows()];
+            f.predict_batch((&x).into(), &mut got).unwrap();
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+
+        // Regressor path too.
+        let (rx, ry) = reg_data(120, 22);
+        let mut r = RandomForestRegressor::with_trees(9, 23);
+        r.fit(&rx, &ry).unwrap();
+        let mut a = vec![0.0; rx.n_rows()];
+        r.config.n_threads = 1;
+        r.predict_batch((&rx).into(), &mut a).unwrap();
+        let mut b = vec![0.0; rx.n_rows()];
+        r.config.n_threads = 6;
+        r.predict_batch((&rx).into(), &mut b).unwrap();
+        assert_eq!(a, b);
+        for (i, &p) in a.iter().enumerate() {
+            assert!(p.to_bits() == r.predict_row(rx.row(i)).unwrap().to_bits());
+        }
+
+        // Unfitted forests fail loudly; empty batches are fine.
+        let un = RandomForestRegressor::default();
+        assert!(un.predict_batch((&rx).into(), &mut a).is_err());
+        let empty = Matrix::zeros(0, 2);
+        let mut none: Vec<f64> = Vec::new();
+        assert!(r.predict_batch((&empty).into(), &mut none).is_ok());
     }
 
     #[test]

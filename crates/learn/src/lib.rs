@@ -20,6 +20,9 @@
 //!   forests (classifier + regressor) with impurity feature importances
 //!   and out-of-bag scoring; forest training is parallelized with
 //!   std scoped threads.
+//! * [`overlay`] — copy-on-write [`overlay::ColumnOverlay`] matrix
+//!   views, the zero-clone substrate of bulk scenario evaluation
+//!   (paired with [`model::Predictor::predict_batch`]).
 //! * [`metrics`] — accuracy, F1, ROC-AUC, log-loss, R², RMSE, ...
 //! * [`shapley`] — Monte-Carlo permutation Shapley values (one of the
 //!   paper's three verification measures).
@@ -33,6 +36,7 @@ pub mod linear;
 pub mod logistic;
 pub mod metrics;
 pub mod model;
+pub mod overlay;
 pub mod pdp;
 pub mod permutation;
 pub mod preprocess;
@@ -44,5 +48,6 @@ pub use forest::{RandomForestClassifier, RandomForestRegressor};
 pub use linalg::Matrix;
 pub use linear::LinearRegression;
 pub use logistic::LogisticRegression;
-pub use model::{Classifier, LearnError, Predictor, Regressor};
+pub use model::{Classifier, LearnError, MatrixView, Predictor, Regressor};
+pub use overlay::ColumnOverlay;
 pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor};

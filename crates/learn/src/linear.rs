@@ -5,7 +5,8 @@
 //! regression coefficients, which live on the paper's `[-1, 1]` scale.
 
 use crate::linalg::{lstsq, Matrix};
-use crate::model::{LearnError, Predictor, Regressor};
+use crate::model::{check_batch_shape, LearnError, MatrixView, Predictor, Regressor};
+use crate::overlay::overlay_linear_terms;
 
 /// Linear regression with an intercept, optional L2 (ridge) penalty.
 #[derive(Debug, Clone)]
@@ -195,11 +196,45 @@ impl Predictor for LinearRegression {
     fn n_features(&self) -> usize {
         self.fitted.as_ref().map_or(0, |f| f.coefficients.len())
     }
+
+    /// Batched override: one fit/shape check per call instead of per
+    /// row; direct row-major dots for dense input; vectorized
+    /// column-accumulation for overlays (override columns are read as
+    /// contiguous slices, untouched columns stride the shared base — no
+    /// per-row gather copies). Both paths add terms in the exact
+    /// left-to-right order of [`Predictor::predict_row`], so results
+    /// are bit-identical to the row-by-row path.
+    fn predict_batch(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), LearnError> {
+        let f = self.fitted()?;
+        check_batch_shape(f.coefficients.len(), &x, out)?;
+        match x {
+            MatrixView::Dense(m) => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = f.intercept
+                        + f.coefficients
+                            .iter()
+                            .zip(m.row(i))
+                            .map(|(b, v)| b * v)
+                            .sum::<f64>();
+                }
+            }
+            MatrixView::Overlay(o) => {
+                overlay_linear_terms(&f.coefficients, o, out);
+                for slot in out.iter_mut() {
+                    // IEEE addition is commutative, so this matches the
+                    // row path's `intercept + sum` bit for bit.
+                    *slot += f.intercept;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::overlay::ColumnOverlay;
 
     fn line_data() -> (Matrix, Vec<f64>) {
         // y = 3 + 2*x1 - 1*x2, exact.
@@ -298,6 +333,30 @@ mod tests {
         assert!(c_ridge < c_ols, "ridge should shrink: {c_ridge} vs {c_ols}");
         // Negative alpha is treated as zero.
         assert_eq!(LinearRegression::ridge(-5.0).alpha, 0.0);
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_row_path() {
+        let (x, y) = line_data();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y).unwrap();
+        // Dense batch == per-row, bit for bit.
+        let mut out = vec![0.0; x.n_rows()];
+        m.predict_batch((&x).into(), &mut out).unwrap();
+        for (i, &p) in out.iter().enumerate() {
+            assert!(p.to_bits() == m.predict_row(x.row(i)).unwrap().to_bits());
+        }
+        // Overlay batch == per-row on the materialized matrix.
+        let mut overlay = ColumnOverlay::new(&x);
+        overlay.map_col(0, |v| v * 1.4).expect("column 0 exists");
+        let dense = overlay.to_matrix();
+        m.predict_batch((&overlay).into(), &mut out).unwrap();
+        for (i, &p) in out.iter().enumerate() {
+            assert!(p.to_bits() == m.predict_row(dense.row(i)).unwrap().to_bits());
+        }
+        // Unfitted models still fail loudly.
+        let un = LinearRegression::new();
+        assert!(un.predict_batch((&x).into(), &mut out).is_err());
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! are directly comparable to the linear model's.
 
 use crate::linalg::{solve_spd, Matrix};
-use crate::model::{check_binary_labels, Classifier, LearnError, Predictor};
+use crate::model::{
+    check_batch_shape, check_binary_labels, Classifier, LearnError, MatrixView, Predictor,
+};
+use crate::overlay::overlay_linear_terms;
 
 fn sigmoid(z: f64) -> f64 {
     if z >= 0.0 {
@@ -192,11 +195,41 @@ impl Predictor for LogisticRegression {
     fn n_features(&self) -> usize {
         self.fitted.as_ref().map_or(0, |f| f.coefficients.len())
     }
+
+    /// Batched override: one fit/shape check per call, direct
+    /// row-major dots for dense input, vectorized column-accumulation
+    /// for overlays (see [`crate::overlay`]). Term order matches
+    /// [`Predictor::predict_row`], so results are bit-identical.
+    fn predict_batch(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), LearnError> {
+        let f = self.fitted()?;
+        check_batch_shape(f.coefficients.len(), &x, out)?;
+        match x {
+            MatrixView::Dense(m) => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let z = f.intercept
+                        + f.coefficients
+                            .iter()
+                            .zip(m.row(i))
+                            .map(|(b, v)| b * v)
+                            .sum::<f64>();
+                    *slot = sigmoid(z);
+                }
+            }
+            MatrixView::Overlay(o) => {
+                overlay_linear_terms(&f.coefficients, o, out);
+                for slot in out.iter_mut() {
+                    *slot = sigmoid(f.intercept + *slot);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::overlay::ColumnOverlay;
 
     /// Linearly separable-ish data: class = x0 > 2.
     fn toy_data() -> (Matrix, Vec<u8>) {
@@ -256,6 +289,28 @@ mod tests {
         assert!(m.fit(&x, &bad).is_err());
         assert!(m.fit(&Matrix::zeros(0, 2), &[]).is_err());
         assert!(m.predict_row(&[0.0, 0.0]).is_err(), "not fitted");
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_row_path() {
+        let (x, y) = toy_data();
+        let mut m = LogisticRegression::new().with_alpha(0.01);
+        m.fit(&x, &y).unwrap();
+        let mut out = vec![0.0; x.n_rows()];
+        m.predict_batch((&x).into(), &mut out).unwrap();
+        for (i, &p) in out.iter().enumerate() {
+            assert!(p.to_bits() == m.predict_row(x.row(i)).unwrap().to_bits());
+        }
+        let mut overlay = ColumnOverlay::new(&x);
+        overlay.map_col(1, |v| v + 0.5).expect("column 1 exists");
+        let dense = overlay.to_matrix();
+        m.predict_batch((&overlay).into(), &mut out).unwrap();
+        for (i, &p) in out.iter().enumerate() {
+            assert!(p.to_bits() == m.predict_row(dense.row(i)).unwrap().to_bits());
+        }
+        assert!(LogisticRegression::new()
+            .predict_batch((&x).into(), &mut out)
+            .is_err());
     }
 
     #[test]

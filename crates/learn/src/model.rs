@@ -1,6 +1,7 @@
 //! Model traits and the shared error type.
 
 use crate::linalg::Matrix;
+use crate::overlay::ColumnOverlay;
 use std::fmt;
 
 /// Errors from model fitting, prediction, and linear algebra.
@@ -29,6 +30,92 @@ impl fmt::Display for LearnError {
 
 impl std::error::Error for LearnError {}
 
+/// A borrowed feature matrix in either representation: a dense
+/// [`Matrix`] or a copy-on-write [`ColumnOverlay`].
+///
+/// This is the input type of [`Predictor::predict_batch`]. Being a
+/// concrete enum (rather than a generic) keeps `Predictor` object-safe,
+/// while letting each model family branch once per *batch* instead of
+/// once per element.
+#[derive(Clone, Copy, Debug)]
+pub enum MatrixView<'a> {
+    /// A dense row-major matrix.
+    Dense(&'a Matrix),
+    /// A base matrix with overridden columns.
+    Overlay(&'a ColumnOverlay<'a>),
+}
+
+impl MatrixView<'_> {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        match self {
+            MatrixView::Dense(m) => m.n_rows(),
+            MatrixView::Overlay(o) => o.n_rows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        match self {
+            MatrixView::Dense(m) => m.n_cols(),
+            MatrixView::Overlay(o) => o.n_cols(),
+        }
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self {
+            MatrixView::Dense(m) => m.get(i, j),
+            MatrixView::Overlay(o) => o.get(i, j),
+        }
+    }
+
+    /// Copy row `i` into `buf` (length `n_cols`).
+    #[inline]
+    pub fn gather_row(&self, i: usize, buf: &mut [f64]) {
+        match self {
+            MatrixView::Dense(m) => buf.copy_from_slice(m.row(i)),
+            MatrixView::Overlay(o) => o.gather_row(i, buf),
+        }
+    }
+}
+
+impl<'a> From<&'a Matrix> for MatrixView<'a> {
+    fn from(m: &'a Matrix) -> MatrixView<'a> {
+        MatrixView::Dense(m)
+    }
+}
+
+impl<'a> From<&'a ColumnOverlay<'a>> for MatrixView<'a> {
+    fn from(o: &'a ColumnOverlay<'a>) -> MatrixView<'a> {
+        MatrixView::Overlay(o)
+    }
+}
+
+/// Shared input validation for [`Predictor::predict_batch`].
+pub(crate) fn check_batch_shape(
+    n_features: usize,
+    x: &MatrixView<'_>,
+    out: &[f64],
+) -> Result<(), LearnError> {
+    if x.n_cols() != n_features {
+        return Err(LearnError::Shape(format!(
+            "model expects {} features, matrix has {} columns",
+            n_features,
+            x.n_cols()
+        )));
+    }
+    if out.len() != x.n_rows() {
+        return Err(LearnError::Shape(format!(
+            "output buffer of {} slots for {} rows",
+            out.len(),
+            x.n_rows()
+        )));
+    }
+    Ok(())
+}
+
 /// A fitted model that maps a feature row to a single score.
 ///
 /// For regressors the score is the prediction; for classifiers it is the
@@ -46,21 +133,42 @@ pub trait Predictor: Send + Sync {
     /// Number of features the model expects.
     fn n_features(&self) -> usize;
 
+    /// Score every row of a dense matrix or column overlay into `out`.
+    ///
+    /// The default implementation gathers each row and delegates to
+    /// [`Predictor::predict_row`]; model families override it with
+    /// batched (and, for forests, parallel) implementations that are
+    /// **bit-identical** to the row-by-row path.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on column-count or output-length mismatch.
+    fn predict_batch(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), LearnError> {
+        check_batch_shape(self.n_features(), &x, out)?;
+        match x {
+            MatrixView::Dense(m) => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = self.predict_row(m.row(i))?;
+                }
+            }
+            MatrixView::Overlay(o) => {
+                let mut buf = vec![0.0; o.n_cols()];
+                for (i, slot) in out.iter_mut().enumerate() {
+                    o.gather_row(i, &mut buf);
+                    *slot = self.predict_row(&buf)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Score every row of a matrix.
     ///
     /// # Errors
     /// [`LearnError::Shape`] on column-count mismatch.
     fn predict_matrix(&self, x: &Matrix) -> Result<Vec<f64>, LearnError> {
-        if x.n_cols() != self.n_features() {
-            return Err(LearnError::Shape(format!(
-                "model expects {} features, matrix has {} columns",
-                self.n_features(),
-                x.n_cols()
-            )));
-        }
-        (0..x.n_rows())
-            .map(|i| self.predict_row(x.row(i)))
-            .collect()
+        let mut out = vec![0.0; x.n_rows()];
+        self.predict_batch(MatrixView::Dense(x), &mut out)?;
+        Ok(out)
     }
 }
 
@@ -154,6 +262,48 @@ mod tests {
         assert!(LearnError::Invalid("x".into())
             .to_string()
             .contains("invalid"));
+    }
+
+    #[test]
+    fn default_predict_batch_matches_row_path_on_views() {
+        struct SumModel;
+        impl Predictor for SumModel {
+            fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+                Ok(x.iter().sum())
+            }
+            fn n_features(&self) -> usize {
+                2
+            }
+        }
+        let m = SumModel;
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut out = vec![0.0; 2];
+        m.predict_batch(MatrixView::Dense(&x), &mut out).unwrap();
+        assert_eq!(out, vec![3.0, 7.0]);
+
+        let mut overlay = ColumnOverlay::new(&x);
+        overlay.set_col(1, vec![20.0, 40.0]).unwrap();
+        m.predict_batch((&overlay).into(), &mut out).unwrap();
+        assert_eq!(out, vec![21.0, 43.0]);
+
+        // Shape errors: wrong column count, wrong output length.
+        let narrow = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let mut one = vec![0.0; 1];
+        assert!(m.predict_batch((&narrow).into(), &mut one).is_err());
+        let mut short = vec![0.0; 1];
+        assert!(m.predict_batch((&x).into(), &mut short).is_err());
+    }
+
+    #[test]
+    fn matrix_view_accessors() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let v = MatrixView::from(&x);
+        assert_eq!(v.n_rows(), 2);
+        assert_eq!(v.n_cols(), 2);
+        assert_eq!(v.get(1, 0), 3.0);
+        let mut buf = vec![0.0; 2];
+        v.gather_row(0, &mut buf);
+        assert_eq!(buf, vec![1.0, 2.0]);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Copy-on-write column overlays: a matrix view that materializes only
+//! the columns that differ from a shared base matrix.
+//!
+//! Scenario evaluation perturbs a handful of driver columns and leaves
+//! the rest of the training matrix untouched, so cloning the whole
+//! matrix per scenario is pure waste. A [`ColumnOverlay`] borrows the
+//! base and stores owned data only for the overridden columns; reads
+//! fall through to the base everywhere else.
+
+use crate::linalg::Matrix;
+use crate::model::LearnError;
+
+/// A copy-on-write view over a base [`Matrix`] with selected columns
+/// replaced by owned buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnOverlay<'a> {
+    base: &'a Matrix,
+    /// One slot per column; `Some` holds the override.
+    cols: Vec<Option<Vec<f64>>>,
+    /// Indices of overridden columns, in insertion order.
+    overridden: Vec<usize>,
+}
+
+impl<'a> ColumnOverlay<'a> {
+    /// An overlay with no overrides (reads the base verbatim).
+    pub fn new(base: &'a Matrix) -> ColumnOverlay<'a> {
+        ColumnOverlay {
+            base,
+            cols: vec![None; base.n_cols()],
+            overridden: Vec::new(),
+        }
+    }
+
+    /// The shared base matrix.
+    pub fn base(&self) -> &'a Matrix {
+        self.base
+    }
+
+    /// Number of rows (same as the base).
+    pub fn n_rows(&self) -> usize {
+        self.base.n_rows()
+    }
+
+    /// Number of columns (same as the base).
+    pub fn n_cols(&self) -> usize {
+        self.base.n_cols()
+    }
+
+    /// Number of overridden columns.
+    pub fn n_overridden(&self) -> usize {
+        self.overridden.len()
+    }
+
+    /// Replace column `j` with `values`.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] for an out-of-range column or a length
+    /// mismatch.
+    pub fn set_col(&mut self, j: usize, values: Vec<f64>) -> Result<(), LearnError> {
+        if j >= self.n_cols() {
+            return Err(LearnError::Shape(format!(
+                "column {j} out of range ({} columns)",
+                self.n_cols()
+            )));
+        }
+        if values.len() != self.n_rows() {
+            return Err(LearnError::Shape(format!(
+                "override of {} values for {} rows",
+                values.len(),
+                self.n_rows()
+            )));
+        }
+        if self.cols[j].is_none() {
+            self.overridden.push(j);
+        }
+        self.cols[j] = Some(values);
+        Ok(())
+    }
+
+    /// Materialize column `j` as `f(base value)` — the copy-on-write
+    /// primitive perturbation plans are built on. When `j` is already
+    /// overridden, `f` is applied to the current override instead, so
+    /// stacked transforms compose.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] for an out-of-range column.
+    pub fn map_col(&mut self, j: usize, mut f: impl FnMut(f64) -> f64) -> Result<(), LearnError> {
+        if j >= self.n_cols() {
+            return Err(LearnError::Shape(format!(
+                "column {j} out of range ({} columns)",
+                self.n_cols()
+            )));
+        }
+        match &mut self.cols[j] {
+            Some(col) => {
+                for v in col.iter_mut() {
+                    *v = f(*v);
+                }
+            }
+            None => {
+                let col = (0..self.n_rows()).map(|i| f(self.base.get(i, j))).collect();
+                self.cols[j] = Some(col);
+                self.overridden.push(j);
+            }
+        }
+        Ok(())
+    }
+
+    /// The override buffer for column `j`, when one exists.
+    pub fn col_override(&self, j: usize) -> Option<&[f64]> {
+        self.cols.get(j).and_then(|c| c.as_deref())
+    }
+
+    /// Element at `(i, j)`: the override when present, else the base.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match &self.cols[j] {
+            Some(col) => col[i],
+            None => self.base.get(i, j),
+        }
+    }
+
+    /// Copy row `i` into `buf` (length `n_cols`): the base row patched
+    /// with the overridden columns.
+    ///
+    /// # Panics
+    /// Debug-asserts `buf.len() == n_cols`.
+    #[inline]
+    pub fn gather_row(&self, i: usize, buf: &mut [f64]) {
+        debug_assert_eq!(buf.len(), self.n_cols());
+        buf.copy_from_slice(self.base.row(i));
+        for &j in &self.overridden {
+            buf[j] = self.cols[j].as_ref().expect("tracked override")[i];
+        }
+    }
+
+    /// Materialize the full matrix (tests / legacy interop).
+    pub fn to_matrix(&self) -> Matrix {
+        let mut out = self.base.clone();
+        for &j in &self.overridden {
+            let col = self.cols[j].as_ref().expect("tracked override");
+            for (i, &v) in col.iter().enumerate() {
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+}
+
+/// Accumulate `Σⱼ coefficients[j] · column_j[i]` into `out`
+/// (overwritten), reading override columns as contiguous slices and
+/// untouched columns strided from the shared base. Terms are added in
+/// ascending column order — the same left-to-right order as a row dot
+/// product — so `intercept + out[i]` is bit-identical to the
+/// row-by-row path. Shared by the linear and logistic batch overrides.
+pub(crate) fn overlay_linear_terms(coefficients: &[f64], o: &ColumnOverlay<'_>, out: &mut [f64]) {
+    out.fill(0.0);
+    let base = o.base();
+    for (j, &c) in coefficients.iter().enumerate() {
+        match o.col_override(j) {
+            Some(col) => {
+                for (slot, &v) in out.iter_mut().zip(col) {
+                    *slot += c * v;
+                }
+            }
+            None => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot += c * base.get(i, j);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn reads_fall_through_to_base() {
+        let m = base();
+        let o = ColumnOverlay::new(&m);
+        assert_eq!(o.n_rows(), 2);
+        assert_eq!(o.n_cols(), 3);
+        assert_eq!(o.n_overridden(), 0);
+        assert_eq!(o.get(1, 2), 6.0);
+        assert_eq!(o.to_matrix(), m);
+    }
+
+    #[test]
+    fn set_col_overrides_only_that_column() {
+        let m = base();
+        let mut o = ColumnOverlay::new(&m);
+        o.set_col(1, vec![20.0, 50.0]).unwrap();
+        assert_eq!(o.n_overridden(), 1);
+        assert_eq!(o.get(0, 1), 20.0);
+        assert_eq!(o.get(0, 0), 1.0, "other columns untouched");
+        assert_eq!(o.col_override(1), Some(&[20.0, 50.0][..]));
+        assert_eq!(o.col_override(0), None);
+        let mut buf = vec![0.0; 3];
+        o.gather_row(1, &mut buf);
+        assert_eq!(buf, vec![4.0, 50.0, 6.0]);
+    }
+
+    #[test]
+    fn map_col_transforms_base_then_composes() {
+        let m = base();
+        let mut o = ColumnOverlay::new(&m);
+        o.map_col(0, |v| v * 10.0).unwrap();
+        assert_eq!(o.get(0, 0), 10.0);
+        o.map_col(0, |v| v + 1.0).unwrap();
+        assert_eq!(o.get(0, 0), 11.0, "second transform stacks");
+        assert_eq!(o.n_overridden(), 1, "still one override slot");
+    }
+
+    #[test]
+    fn shape_errors() {
+        let m = base();
+        let mut o = ColumnOverlay::new(&m);
+        assert!(o.set_col(7, vec![0.0, 0.0]).is_err());
+        assert!(o.set_col(0, vec![0.0]).is_err());
+        assert!(o.map_col(9, |v| v).is_err());
+    }
+
+    #[test]
+    fn to_matrix_materializes_overrides() {
+        let m = base();
+        let mut o = ColumnOverlay::new(&m);
+        o.set_col(2, vec![30.0, 60.0]).unwrap();
+        let full = o.to_matrix();
+        assert_eq!(full.col(2), vec![30.0, 60.0]);
+        assert_eq!(full.col(0), m.col(0));
+    }
+}

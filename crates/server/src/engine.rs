@@ -317,6 +317,37 @@ impl Engine {
                     seed,
                 },
             ),
+            Request::EvaluateScenarios {
+                session,
+                scenarios,
+                record,
+                n_threads,
+            } => self.with_session(session, |entry| {
+                let model = entry.model.take().ok_or_else(ApiError::not_trained)?;
+                let analysis = AnalysisSpec::Scenarios {
+                    scenarios,
+                    n_threads: n_threads
+                        .unwrap_or(whatif_core::bulk::DEFAULT_SCENARIO_THREADS)
+                        .max(1),
+                };
+                let outcome = analysis.execute(&model);
+                entry.model = Some(model);
+                let SpecOutcome::Scenarios(outcomes) = outcome? else {
+                    return Err(ApiError::new(
+                        ErrorCode::Internal,
+                        "scenario spec produced a non-scenario outcome",
+                    ));
+                };
+                let recorded_ids = if record {
+                    entry.ledger.record_outcomes(&outcomes)
+                } else {
+                    Vec::new()
+                };
+                Ok(Response::ScenariosEvaluated {
+                    outcomes,
+                    recorded_ids,
+                })
+            }),
             Request::RecordScenario { session, name } => {
                 self.with_session(session, |entry| match &entry.last_outcome {
                     Some(LastOutcome::Sensitivity(r)) => Ok(Response::ScenarioRecorded {
@@ -447,6 +478,7 @@ fn resolve_current_session(
         | Request::ComparisonView { session, .. }
         | Request::PerDataView { session, .. }
         | Request::GoalInversionView { session, .. }
+        | Request::EvaluateScenarios { session, .. }
         | Request::RecordScenario { session, .. }
         | Request::ListScenarios { session }
         | Request::CloseSession { session } => session,
@@ -694,6 +726,160 @@ mod tests {
         let reply: Reply = serde_json::from_str(&line).unwrap();
         assert_eq!(reply.id, 4);
         assert_eq!(reply.error.unwrap().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn evaluate_scenarios_prices_a_grid_in_one_call() {
+        use whatif_core::bulk::ScenarioSpec;
+        use whatif_core::PerturbationSet;
+        let engine = Engine::new();
+        let id = load(&engine, 220);
+        engine
+            .handle(Request::SelectKpi {
+                session: id,
+                kpi: "Deal Closed?".into(),
+            })
+            .unwrap();
+
+        // Before training: typed NotTrained.
+        let err = engine
+            .handle(Request::EvaluateScenarios {
+                session: id,
+                scenarios: vec![],
+                record: false,
+                n_threads: None,
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NotTrained);
+
+        engine
+            .handle(Request::Train {
+                session: id,
+                config: Some(fast_config()),
+            })
+            .unwrap();
+
+        let scenarios: Vec<ScenarioSpec> = [-20.0, 20.0, 40.0, 60.0]
+            .iter()
+            .map(|&pct| {
+                ScenarioSpec::new(
+                    format!("OME {pct:+}%"),
+                    PerturbationSet::new(vec![Perturbation::percentage(
+                        "Open Marketing Email",
+                        pct,
+                    )]),
+                )
+            })
+            .collect();
+        let Ok(Response::ScenariosEvaluated {
+            outcomes,
+            recorded_ids,
+        }) = engine.handle(Request::EvaluateScenarios {
+            session: id,
+            scenarios: scenarios.clone(),
+            record: true,
+            n_threads: Some(2),
+        })
+        else {
+            panic!("expected ScenariosEvaluated");
+        };
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(recorded_ids.len(), 4);
+        assert_eq!(outcomes[0].name, "OME -20%", "input order preserved");
+        for o in &outcomes {
+            assert!((0.0..=1.0).contains(&o.kpi), "close rate in range");
+        }
+        // Each outcome matches the single-scenario sensitivity view.
+        let Ok(Response::Sensitivity(single)) = engine.handle(Request::SensitivityView {
+            session: id,
+            perturbations: scenarios[1].perturbations.perturbations.clone(),
+        }) else {
+            panic!("expected sensitivity");
+        };
+        assert!((single.perturbed_kpi - outcomes[1].kpi).abs() < 1e-15);
+
+        // The ledger holds all four, queryable in the same session.
+        let Ok(Response::Scenarios(listed)) = engine.handle(Request::ListScenarios { session: id })
+        else {
+            panic!("expected scenarios");
+        };
+        assert_eq!(listed.len(), 4);
+
+        // record: false leaves the ledger alone.
+        let Ok(Response::ScenariosEvaluated { recorded_ids, .. }) =
+            engine.handle(Request::EvaluateScenarios {
+                session: id,
+                scenarios: scenarios.clone(),
+                record: false,
+                n_threads: None,
+            })
+        else {
+            panic!("expected ScenariosEvaluated");
+        };
+        assert!(recorded_ids.is_empty());
+
+        // Invalid drivers surface as typed Config errors naming the scenario.
+        let err = engine
+            .handle(Request::EvaluateScenarios {
+                session: id,
+                scenarios: vec![ScenarioSpec::new(
+                    "bad",
+                    PerturbationSet::new(vec![Perturbation::percentage("ghost", 1.0)]),
+                )],
+                record: true,
+                n_threads: None,
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Config);
+        assert!(err.message.contains("bad"), "{}", err.message);
+    }
+
+    #[test]
+    fn evaluate_scenarios_resolves_current_session_in_batches() {
+        use whatif_core::bulk::ScenarioSpec;
+        use whatif_core::PerturbationSet;
+        let engine = Engine::new();
+        let steps = vec![
+            Request::LoadUseCase {
+                use_case: UseCase::DealClosing,
+                n_rows: Some(220),
+                seed: Some(3),
+            },
+            Request::SelectKpi {
+                session: CURRENT_SESSION,
+                kpi: "Deal Closed?".into(),
+            },
+            Request::Train {
+                session: CURRENT_SESSION,
+                config: Some(fast_config()),
+            },
+            Request::EvaluateScenarios {
+                session: CURRENT_SESSION,
+                scenarios: vec![ScenarioSpec::new(
+                    "ome +40%",
+                    PerturbationSet::new(vec![Perturbation::percentage(
+                        "Open Marketing Email",
+                        40.0,
+                    )]),
+                )],
+                record: true,
+                n_threads: None,
+            },
+        ];
+        let reply = engine.handle_envelope(Envelope::new(11, Request::Batch(steps)));
+        let Response::Batch(replies) = reply.into_result().unwrap() else {
+            panic!("expected batch");
+        };
+        assert_eq!(replies.len(), 4);
+        let Some(Response::ScenariosEvaluated {
+            outcomes,
+            recorded_ids,
+        }) = &replies[3].result
+        else {
+            panic!("expected ScenariosEvaluated last");
+        };
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(recorded_ids, &[0]);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! the framing of each request (see `docs/PROTOCOL.md`).
 
 use serde::{Deserialize, Serialize};
+use whatif_core::bulk::{ScenarioOutcome, ScenarioSpec};
 use whatif_core::goal::{Goal, OptimizerChoice};
 use whatif_core::importance::{DriverImportance, VerificationReport};
 use whatif_core::model_backend::ModelConfig;
@@ -159,6 +160,22 @@ pub enum Request {
         /// Optimizer seed.
         seed: u64,
     },
+    /// Evaluate N heterogeneous scenarios in one round trip (v2): each
+    /// is priced in parallel through copy-on-write overlays and batched
+    /// prediction, and optionally recorded in the session's scenario
+    /// ledger in the same call.
+    EvaluateScenarios {
+        /// Session id.
+        session: u64,
+        /// The scenarios to price.
+        scenarios: Vec<ScenarioSpec>,
+        /// Record every outcome in the scenario ledger.
+        #[serde(default)]
+        record: bool,
+        /// Worker threads (server default when `None`).
+        #[serde(default)]
+        n_threads: Option<usize>,
+    },
     /// Record the most recent sensitivity/goal result as a named
     /// scenario (options as first-class citizens).
     RecordScenario {
@@ -265,6 +282,15 @@ pub enum Response {
         /// Ledger id.
         id: u64,
     },
+    /// Bulk scenario outcomes (one per requested scenario, in input
+    /// order), plus their ledger ids when recording was requested.
+    ScenariosEvaluated {
+        /// Priced outcomes, in input order.
+        outcomes: Vec<ScenarioOutcome>,
+        /// Ledger ids aligned with `outcomes`; empty unless the request
+        /// set `record`.
+        recorded_ids: Vec<u64>,
+    },
     /// Scenario listing, ranked by uplift.
     Scenarios(Vec<Scenario>),
     /// Session closed.
@@ -312,6 +338,10 @@ impl From<SpecOutcome> for Response {
             SpecOutcome::Comparison(c) => Response::Comparison(c),
             SpecOutcome::PerData(p) => Response::PerData(p),
             SpecOutcome::GoalInversion(g) => Response::GoalInversion(g),
+            SpecOutcome::Scenarios(outcomes) => Response::ScenariosEvaluated {
+                outcomes,
+                recorded_ids: Vec::new(),
+            },
         }
     }
 }
@@ -470,6 +500,18 @@ mod tests {
                 session: 1,
                 perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
             },
+            Request::EvaluateScenarios {
+                session: 1,
+                scenarios: vec![ScenarioSpec::new(
+                    "ome +40%",
+                    whatif_core::PerturbationSet::new(vec![Perturbation::percentage(
+                        "Open Marketing Email",
+                        40.0,
+                    )]),
+                )],
+                record: true,
+                n_threads: Some(8),
+            },
             Request::Shutdown,
         ];
         for r in reqs {
@@ -489,6 +531,36 @@ mod tests {
         assert_eq!(resp, serde_json::from_str::<Response>(&json).unwrap());
         assert!(Response::error("boom").is_error());
         assert!(!resp.is_error());
+
+        let resp = Response::ScenariosEvaluated {
+            outcomes: vec![ScenarioOutcome {
+                name: "s".into(),
+                perturbations: whatif_core::PerturbationSet::new(vec![Perturbation::absolute(
+                    "Call", 2.0,
+                )]),
+                kpi: 0.5,
+                baseline_kpi: 0.42,
+            }],
+            recorded_ids: vec![3],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(resp, serde_json::from_str::<Response>(&json).unwrap());
+    }
+
+    #[test]
+    fn evaluate_scenarios_record_defaults_to_false() {
+        // A v2 client can omit `record` and `n_threads`.
+        let json = r#"{"EvaluateScenarios": {"session": 4, "scenarios": []}}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            req,
+            Request::EvaluateScenarios {
+                session: 4,
+                scenarios: vec![],
+                record: false,
+                n_threads: None,
+            }
+        );
     }
 
     #[test]

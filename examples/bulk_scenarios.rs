@@ -1,0 +1,94 @@
+//! Bulk scenarios: price a whole grid of what-ifs in one call.
+//!
+//! Builds the marketing-mix model, then evaluates dozens of
+//! heterogeneous spend scenarios at once — first through the in-process
+//! `ScenarioSet` API, then over the v2 wire protocol, where a single
+//! `EvaluateScenarios` round trip prices the grid *and* records every
+//! outcome in the session's scenario ledger.
+//!
+//! ```text
+//! cargo run --release --example bulk_scenarios
+//! ```
+
+use whatif::core::bulk::{ScenarioSet, ScenarioSpec};
+use whatif::datagen::marketing_mix;
+use whatif::prelude::*;
+use whatif::server::protocol::UseCase;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // In-process path: train once, price a grid of scenarios.
+    let dataset = marketing_mix(360, 11);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)?
+        .with_drivers(&refs)?;
+    let model = session.train(&ModelConfig::default())?;
+
+    let mut scenarios = Vec::new();
+    for channel in &dataset.drivers {
+        for pct in [-40.0, -20.0, 20.0, 40.0] {
+            scenarios.push(ScenarioSpec::new(
+                format!("{channel} {pct:+.0}%"),
+                PerturbationSet::new(vec![Perturbation::percentage(channel.clone(), pct)]),
+            ));
+        }
+    }
+    println!("pricing {} scenarios in one call...", scenarios.len());
+    let outcomes = model.evaluate_scenarios(&ScenarioSet::new(scenarios).with_threads(4))?;
+
+    let mut ranked: Vec<_> = outcomes.iter().collect();
+    ranked.sort_by(|a, b| b.uplift().partial_cmp(&a.uplift()).unwrap());
+    println!("top 5 by uplift:");
+    for o in ranked.iter().take(5) {
+        println!("  {:<16} sales {:8.0} ({:+.0})", o.name, o.kpi, o.uplift());
+    }
+
+    // Wire path: the same grid in one v2 round trip, recorded in the
+    // session's ledger as it is priced.
+    let engine = Engine::new();
+    let Response::SessionCreated { session, .. } = engine.handle(Request::LoadUseCase {
+        use_case: UseCase::MarketingMix,
+        n_rows: Some(360),
+        seed: Some(11),
+    })?
+    else {
+        unreachable!("load returns SessionCreated");
+    };
+    engine.handle(Request::SelectKpi {
+        session,
+        kpi: "Sales".into(),
+    })?;
+    engine.handle(Request::Train {
+        session,
+        config: None,
+    })?;
+    let grid: Vec<ScenarioSpec> = [-30.0, -10.0, 10.0, 30.0]
+        .iter()
+        .map(|&pct| {
+            ScenarioSpec::new(
+                format!("Internet {pct:+.0}%"),
+                PerturbationSet::new(vec![Perturbation::percentage("Internet", pct)]),
+            )
+        })
+        .collect();
+    let Response::ScenariosEvaluated {
+        outcomes,
+        recorded_ids,
+    } = engine.handle(Request::EvaluateScenarios {
+        session,
+        scenarios: grid,
+        record: true,
+        n_threads: None,
+    })?
+    else {
+        unreachable!("EvaluateScenarios returns ScenariosEvaluated");
+    };
+    println!(
+        "\nserver round trip priced {} scenarios, ledger ids {recorded_ids:?}:",
+        outcomes.len()
+    );
+    for o in &outcomes {
+        println!("  {:<16} sales {:8.0} ({:+.0})", o.name, o.kpi, o.uplift());
+    }
+    Ok(())
+}

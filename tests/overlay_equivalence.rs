@@ -1,0 +1,264 @@
+//! Equivalence suite for the columnar scenario-evaluation engine: the
+//! copy-on-write overlay + batched-prediction path must be
+//! **bit-identical** to the legacy clone-the-matrix + row-by-row path
+//! across random models, perturbation sets, and clamp settings — and
+//! the parallel forest batch path must be deterministic in the thread
+//! count.
+
+use proptest::prelude::*;
+use whatif::core::bulk::{ScenarioSet, ScenarioSpec};
+use whatif::core::kpi::KpiKind;
+use whatif::core::model_backend::{ModelConfig, ModelKind, TrainedModel};
+use whatif::core::perturbation::{Perturbation, PerturbationSet};
+use whatif::learn::{ColumnOverlay, Matrix, MatrixView};
+
+const DRIVERS: usize = 3;
+
+fn driver_names() -> Vec<String> {
+    (0..DRIVERS).map(|j| format!("d{j}")).collect()
+}
+
+/// Deterministically expand a compact seed into a training set: values
+/// in a business-data-like non-negative range, mixed integer/fractional.
+fn training_data(seed: u64, n_rows: usize) -> (Matrix, Vec<f64>) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 10.0
+    };
+    let rows: Vec<Vec<f64>> = (0..n_rows)
+        .map(|_| (0..DRIVERS).map(|_| next()).collect())
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 3.0 * r[0] - 1.5 * r[1] + 0.25 * r[2] + next() * 0.01)
+        .collect();
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn fit(kind: ModelKind, seed: u64, n_rows: usize) -> TrainedModel {
+    let (x, y) = training_data(seed, n_rows);
+    let config = ModelConfig {
+        kind,
+        n_trees: 12,
+        max_depth: 6,
+        seed,
+        ..ModelConfig::default()
+    };
+    TrainedModel::fit("y", KpiKind::Continuous, driver_names(), x, y, &config).unwrap()
+}
+
+/// Build a random perturbation set from generated raw parts; drivers may
+/// repeat in the input, so dedup to keep the set valid.
+fn build_set(raw: &[(usize, bool, f64)], clamp: bool) -> PerturbationSet {
+    let mut used = [false; DRIVERS];
+    let mut perturbations = Vec::new();
+    for &(which, absolute, magnitude) in raw {
+        let j = which % DRIVERS;
+        if used[j] {
+            continue;
+        }
+        used[j] = true;
+        let name = format!("d{j}");
+        perturbations.push(if absolute {
+            Perturbation::absolute(name, magnitude)
+        } else {
+            Perturbation::percentage(name, magnitude)
+        });
+    }
+    let set = PerturbationSet::new(perturbations);
+    if clamp {
+        set
+    } else {
+        set.without_clamp()
+    }
+}
+
+/// The legacy reference path: clone the full matrix, apply in place,
+/// predict row by row, average.
+fn legacy_kpi(model: &TrainedModel, set: &PerturbationSet) -> (Matrix, Vec<f64>, f64) {
+    let cloned = set
+        .apply_to_matrix(model.matrix(), model.driver_names())
+        .expect("valid set");
+    let preds: Vec<f64> = (0..cloned.n_rows())
+        .map(|i| model.predict_row(cloned.row(i)).expect("prediction"))
+        .collect();
+    let kpi = preds.iter().sum::<f64>() / preds.len() as f64;
+    (cloned, preds, kpi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Overlay + batch predict == clone + row predict, bit for bit, for
+    // both bundled regression model families, random perturbation
+    // sets, and both clamp settings.
+    #[test]
+    fn overlay_batch_equals_legacy_clone_path(
+        seed in 0u64..1000,
+        raw in prop::collection::vec((0usize..DRIVERS, 0u32..2, -80.0f64..150.0), 0..4),
+        clamp_flag in 0u32..2,
+        forest_flag in 0u32..2,
+    ) {
+        let raw: Vec<(usize, bool, f64)> =
+            raw.iter().map(|&(w, a, m)| (w, a == 1, m)).collect();
+        let set = build_set(&raw, clamp_flag == 1);
+        let kind = if forest_flag == 1 { ModelKind::RandomForest } else { ModelKind::Linear };
+        let model = fit(kind, seed, 40);
+
+        let (cloned, legacy_preds, legacy) = legacy_kpi(&model, &set);
+
+        // Plan + overlay path.
+        let plan = model.compile_perturbations(&set).unwrap();
+        let overlay = plan.overlay(model.matrix()).unwrap();
+        prop_assert!(overlay.n_overridden() <= set.perturbations.len());
+        let batch_preds = model
+            .predictions_for_view(MatrixView::Overlay(&overlay))
+            .unwrap();
+        for (b, l) in batch_preds.iter().zip(&legacy_preds) {
+            prop_assert!(b.to_bits() == l.to_bits(), "per-row prediction drifted");
+        }
+        let via_plan = model.kpi_for_plan(&plan).unwrap();
+        prop_assert!(via_plan.to_bits() == legacy.to_bits(), "KPI drifted");
+
+        // The overlay materializes exactly the perturbed columns and
+        // reproduces the cloned matrix when expanded.
+        prop_assert_eq!(overlay.to_matrix(), cloned);
+
+        // And the public sensitivity API reports the same number.
+        let sens = model.sensitivity(&set).unwrap();
+        prop_assert!(sens.perturbed_kpi.to_bits() == via_plan.to_bits());
+    }
+
+    // The parallel forest batch path is deterministic: any thread
+    // count produces the same bits as the sequential path, on both
+    // dense and overlay inputs.
+    #[test]
+    fn forest_batch_is_deterministic_across_thread_counts(
+        seed in 0u64..500,
+        pct in -60.0f64..120.0,
+        threads in 2usize..9,
+    ) {
+        let model = fit(ModelKind::RandomForest, seed, 48);
+        let set = PerturbationSet::new(vec![Perturbation::percentage("d0", pct)]);
+        let plan = model.compile_perturbations(&set).unwrap();
+        let overlay = plan.overlay(model.matrix()).unwrap();
+
+        // `n_threads` lives in ModelConfig; refit with the same seed so
+        // the forest is identical and only the batch parallelism varies.
+        let (x, y) = training_data(seed, 48);
+        let parallel = TrainedModel::fit(
+            "y",
+            KpiKind::Continuous,
+            driver_names(),
+            x,
+            y,
+            &ModelConfig {
+                kind: ModelKind::RandomForest,
+                n_trees: 12,
+                max_depth: 6,
+                seed,
+                n_threads: threads,
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+        let overlay_p = plan.overlay(parallel.matrix()).unwrap();
+
+        for (view_a, view_b) in [
+            (MatrixView::Dense(model.matrix()), MatrixView::Dense(parallel.matrix())),
+            (MatrixView::Overlay(&overlay), MatrixView::Overlay(&overlay_p)),
+        ] {
+            let a = model.predictions_for_view(view_a).unwrap();
+            let b = parallel.predictions_for_view(view_b).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!(x.to_bits() == y.to_bits(), "thread count changed bits");
+            }
+        }
+    }
+
+    // Bulk scenario evaluation agrees with the one-at-a-time
+    // sensitivity path for every scenario, at any parallelism.
+    #[test]
+    fn bulk_scenarios_equal_sequential_sensitivity(
+        seed in 0u64..500,
+        pcts in prop::collection::vec(-50.0f64..100.0, 1..12),
+        threads in 1usize..6,
+    ) {
+        let model = fit(ModelKind::Linear, seed, 36);
+        let scenarios: Vec<ScenarioSpec> = pcts
+            .iter()
+            .enumerate()
+            .map(|(i, &pct)| {
+                ScenarioSpec::new(
+                    format!("s{i}"),
+                    PerturbationSet::new(vec![Perturbation::percentage(
+                        format!("d{}", i % DRIVERS),
+                        pct,
+                    )]),
+                )
+            })
+            .collect();
+        let outcomes = model
+            .evaluate_scenarios(&ScenarioSet::new(scenarios.clone()).with_threads(threads))
+            .unwrap();
+        prop_assert_eq!(outcomes.len(), scenarios.len());
+        for (spec, out) in scenarios.iter().zip(&outcomes) {
+            let single = model.sensitivity(&spec.perturbations).unwrap();
+            prop_assert!(out.kpi.to_bits() == single.perturbed_kpi.to_bits());
+        }
+    }
+}
+
+/// Non-proptest sanity: an overlay on a classifier (logistic) follows
+/// the same bit-identity contract.
+#[test]
+fn logistic_overlay_matches_row_path() {
+    let rows: Vec<Vec<f64>> = (0..60)
+        .map(|i| vec![(i % 8) as f64, ((i * 5) % 7) as f64, (i % 3) as f64])
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| f64::from(r[0] > 3.5)).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let model = TrainedModel::fit(
+        "won",
+        KpiKind::Binary,
+        driver_names(),
+        x,
+        y,
+        &ModelConfig {
+            kind: ModelKind::Logistic,
+            ..ModelConfig::default()
+        },
+    )
+    .unwrap();
+    let set = PerturbationSet::new(vec![
+        Perturbation::percentage("d0", 25.0),
+        Perturbation::absolute("d2", 1.0),
+    ]);
+    let plan = model.compile_perturbations(&set).unwrap();
+    let overlay = plan.overlay(model.matrix()).unwrap();
+    let dense = overlay.to_matrix();
+    let preds = model
+        .predictions_for_view(MatrixView::Overlay(&overlay))
+        .unwrap();
+    for (i, p) in preds.iter().enumerate() {
+        assert!(p.to_bits() == model.predict_row(dense.row(i)).unwrap().to_bits());
+    }
+}
+
+/// A stacked overlay (set_col over map_col) still reads consistently —
+/// guards the copy-on-write bookkeeping itself.
+#[test]
+fn overlay_bookkeeping_is_consistent() {
+    let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+    let mut o = ColumnOverlay::new(&m);
+    o.map_col(1, |v| v * 2.0).unwrap();
+    o.set_col(1, vec![-1.0, -2.0]).unwrap();
+    assert_eq!(o.n_overridden(), 1);
+    let mut buf = vec![0.0; 3];
+    o.gather_row(0, &mut buf);
+    assert_eq!(buf, vec![1.0, -1.0, 3.0]);
+    assert_eq!(o.to_matrix().col(1), vec![-1.0, -2.0]);
+}
