@@ -1,0 +1,64 @@
+//! The interactive slider loop, cache-off vs cache-on: repeated
+//! sensitivity sweeps plus goal seeks on the marketing dataset (see
+//! `experiments::slider_loop`). Real what-if sessions revisit the same
+//! slider stops constantly; with the content-addressed cache warm,
+//! each revisit is a fingerprint hash plus one sharded-map lookup
+//! instead of a full batched prediction pass — the acceptance bar for
+//! this workload is a ≥ 5× speedup, and in practice it is orders of
+//! magnitude.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use whatif_bench::experiments::{slider_loop, train_deal_model, train_marketing_model, Scale};
+use whatif_core::model_backend::TrainedModel;
+use whatif_core::EvalCache;
+
+fn bench_model(c: &mut Criterion, label: &str, model: &TrainedModel) {
+    let mut group = c.benchmark_group(format!("cache/{label}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Cache disabled: every lap pays full evaluation.
+    group.bench_function("slider_lap_uncached", |b| {
+        b.iter(|| slider_loop(model, None, 1))
+    });
+
+    // Cache enabled, steady state: the cache persists across
+    // iterations, so after the warm-up lap every evaluation hits.
+    let cache = EvalCache::default();
+    slider_loop(model, Some(&cache), 1); // warm explicitly
+    group.bench_function("slider_lap_cached_warm", |b| {
+        b.iter(|| slider_loop(model, Some(&cache), 1))
+    });
+
+    // Cold start each iteration: fingerprint + insert overhead on top
+    // of full evaluation — the worst case stays close to uncached.
+    group.bench_function("slider_lap_cached_cold", |b| {
+        b.iter(|| {
+            let cold = EvalCache::default();
+            slider_loop(model, Some(&cold), 1)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    // The paper's Figure 2 workload: the deal-closing random forest —
+    // the model family where an uncached slider stop costs a full
+    // forest × dataset batch pass. Quick scale keeps the bench (and its
+    // smoke run under `cargo test`) snappy; the cache-on/cache-off gap
+    // only widens at Full scale.
+    let (_, deal) = train_deal_model(Scale::Quick, 7);
+    bench_model(c, "deal_forest", &deal);
+
+    // The cheapest model in the system: even a 360-row linear predict
+    // loses to a hash + lookup.
+    let (_, marketing) = train_marketing_model(Scale::Full, 7);
+    bench_model(c, "marketing_linear", &marketing);
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

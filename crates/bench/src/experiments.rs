@@ -340,6 +340,92 @@ pub fn eval_scenarios_overlay_path(
         .expect("valid scenarios")
 }
 
+/// One simulated slider lap: what a single analyst pass over the
+/// sensitivity view costs. For every driver the lap sweeps the slider
+/// across [`SLIDER_POSITIONS`] percentage stops (one sensitivity
+/// evaluation each), then runs one Excel-style goal seek on the first
+/// driver — the mixed re-evaluation workload the paper's interactive
+/// loop produces, where real sessions revisit the same stops
+/// constantly.
+pub const SLIDER_POSITIONS: [f64; 12] = [
+    -50.0, -40.0, -30.0, -20.0, -10.0, 0.0, 10.0, 20.0, 40.0, 60.0, 80.0, 120.0,
+];
+
+/// Outcome of a slider-loop run (see [`slider_loop`]).
+#[derive(Debug, Clone)]
+pub struct SliderLoopReport {
+    /// Total KPI evaluations requested across all laps.
+    pub evaluations: usize,
+    /// Fraction of evaluations served from the cache (0 when uncached).
+    pub hit_rate: f64,
+    /// Order-stable sum of every KPI produced — the cached and uncached
+    /// paths must agree on this bit for bit.
+    pub checksum: f64,
+}
+
+/// Run `laps` identical slider laps, through the result cache when one
+/// is given. The first lap is all misses; every later lap replays the
+/// same questions, which is exactly the repetition profile the cache
+/// is built for (`bench_cache` measures the speedup, the unit test
+/// pins bit-identity).
+///
+/// # Panics
+/// Panics on evaluation errors — benchmark inputs are trusted.
+pub fn slider_loop(
+    model: &TrainedModel,
+    cache: Option<&whatif_core::EvalCache>,
+    laps: usize,
+) -> SliderLoopReport {
+    let drivers: Vec<String> = model.driver_names().to_vec();
+    let mut evaluations = 0usize;
+    let mut hits = 0usize;
+    let mut checksum = 0.0f64;
+    for _ in 0..laps {
+        for driver in &drivers {
+            for &pct in &SLIDER_POSITIONS {
+                let set = PerturbationSet::new(vec![Perturbation::percentage(driver.clone(), pct)]);
+                evaluations += 1;
+                let kpi = match cache {
+                    Some(cache) => {
+                        let (s, hit) = model.sensitivity_cached(&set, cache).expect("valid driver");
+                        hits += usize::from(hit);
+                        s.perturbed_kpi
+                    }
+                    None => model.sensitivity(&set).expect("valid driver").perturbed_kpi,
+                };
+                checksum += kpi;
+            }
+        }
+        let target = model.baseline_kpi() * 1.02;
+        evaluations += 1;
+        let seek_kpi = match cache {
+            Some(cache) => {
+                let (r, hit) = model
+                    .goal_seek_driver_cached(&drivers[0], target, -50.0, 120.0, 1e-9, cache)
+                    .expect("valid seek");
+                hits += usize::from(hit);
+                r.achieved_kpi
+            }
+            None => {
+                model
+                    .goal_seek_driver(&drivers[0], target, -50.0, 120.0, 1e-9)
+                    .expect("valid seek")
+                    .achieved_kpi
+            }
+        };
+        checksum += seek_kpi;
+    }
+    SliderLoopReport {
+        evaluations,
+        hit_rate: if evaluations == 0 {
+            0.0
+        } else {
+            hits as f64 / evaluations as f64
+        },
+        checksum,
+    }
+}
+
 /// U1: marketing mix — importance ranking plus a budget-style
 /// constrained inversion.
 #[derive(Debug, Clone)]
@@ -713,6 +799,27 @@ mod tests {
         for (c, o) in clone_kpis.iter().zip(&overlay) {
             assert!(c.to_bits() == o.kpi.to_bits(), "paths diverged");
         }
+    }
+
+    #[test]
+    fn slider_loop_cached_is_bit_identical_and_hits_on_replay() {
+        let (_, model) = train_marketing_model(Scale::Quick, 7);
+        let uncached = slider_loop(&model, None, 2);
+        let cache = whatif_core::EvalCache::default();
+        let cached = slider_loop(&model, Some(&cache), 2);
+        assert_eq!(uncached.evaluations, cached.evaluations);
+        assert!(
+            cached.checksum.to_bits() == uncached.checksum.to_bits(),
+            "cached slider loop drifted from uncached"
+        );
+        // Lap 2 replays lap 1 exactly, so at least half the
+        // evaluations hit (the goal seek's probes overlap the sweep
+        // stops, so in practice more do).
+        assert!(cached.hit_rate >= 0.5, "hit rate {}", cached.hit_rate);
+        assert!((0.0..=1.0).contains(&cached.hit_rate));
+        assert_eq!(uncached.hit_rate, 0.0);
+        let stats = cache.stats();
+        assert!(stats.hits > 0 && stats.misses > 0);
     }
 
     #[test]

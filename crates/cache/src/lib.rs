@@ -1,0 +1,36 @@
+//! # whatif-cache
+//!
+//! Content-addressed memoization for the interactive what-if loop.
+//!
+//! The paper frames what-if analysis as an *interactive* conversation:
+//! an analyst drags a driver slider, re-runs sensitivity or goal
+//! seeking, and expects sub-second feedback — and real sessions revisit
+//! near-identical perturbations constantly. This crate supplies the two
+//! pieces that make memoizing those evaluations *sound*:
+//!
+//! * [`fingerprint`] — a deterministic 128-bit FNV-1a hasher
+//!   ([`Hasher128`]) and the [`Fingerprint`] identity it produces.
+//!   `whatif-core` fingerprints every trained model at train time
+//!   (training-data digest + configuration + learned parameters), so a
+//!   cache key names the exact function being evaluated: retraining,
+//!   swapping data, or changing any hyperparameter changes the
+//!   fingerprint and stale entries simply never match again — no flush
+//!   protocol, no epochs to bump by hand.
+//! * [`store`] — [`ResultCache`], a sharded, memory-budgeted LRU map
+//!   from [`CacheKey`] (model fingerprint × request fingerprint) to
+//!   evaluation results, with hit/miss/insertion/eviction/byte
+//!   accounting exposed as a serializable [`CacheStats`].
+//!
+//! The crate is value-type agnostic: `whatif-core` instantiates
+//! [`ResultCache`] with its own outcome enum and routes the hot
+//! evaluation paths (sensitivity, comparison sweeps, per-data analysis,
+//! goal-seek bisection, bulk scenario scoring) through it. Hashing is
+//! implemented in-tree (the build environment has no registry access);
+//! FNV-1a over 128 bits keeps accidental collisions out of reach for
+//! cache-sized key populations.
+
+pub mod fingerprint;
+pub mod store;
+
+pub use fingerprint::{Fingerprint, Hasher128};
+pub use store::{CacheKey, CacheStats, CacheWeight, ResultCache};

@@ -1,0 +1,545 @@
+//! The sharded, memory-budgeted result store.
+//!
+//! [`ResultCache`] maps [`CacheKey`]s (model fingerprint × request
+//! fingerprint) to evaluation results. The map is split across
+//! [`N_SHARDS`] independently locked shards so concurrent clients
+//! rarely contend; each shard enforces its slice of the global byte
+//! budget with lazy-LRU eviction (a recency queue of `(key, stamp)`
+//! pairs whose stale entries are skipped at eviction time — touches are
+//! O(1), eviction amortized O(1)). All accounting — hits, misses,
+//! insertions, evictions, live entries, live bytes — is exposed as a
+//! serializable [`CacheStats`] snapshot.
+//!
+//! Invalidation is by construction rather than by protocol: keys embed
+//! the model fingerprint, so retraining or swapping data changes the
+//! fingerprint "epoch" and old entries can never be served again; they
+//! age out of the budget via LRU instead of being flushed.
+
+use crate::fingerprint::Fingerprint;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Number of independent shards (a small power of two).
+pub const N_SHARDS: usize = 16;
+
+/// Fixed per-entry overhead charged on top of the value's own weight:
+/// the key (32 bytes), the hash-map slot, and the recency-queue node.
+pub const ENTRY_OVERHEAD_BYTES: usize = 96;
+
+/// A content-addressed cache key: *which model* × *which question*.
+///
+/// The model half is the trained model's fingerprint (training data +
+/// config + learned parameters); the payload half
+/// fingerprints the request (a compiled perturbation plan, a goal
+/// configuration, ...). Two sessions holding bit-identical models
+/// produce identical keys, so the cache deduplicates work *across*
+/// sessions; any retrain produces a fresh model half and misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Fingerprint of the evaluating model.
+    pub model: Fingerprint,
+    /// Fingerprint of the evaluated request.
+    pub payload: Fingerprint,
+}
+
+impl CacheKey {
+    /// Compose a key.
+    pub fn new(model: Fingerprint, payload: Fingerprint) -> CacheKey {
+        CacheKey { model, payload }
+    }
+
+    fn shard_index(&self) -> usize {
+        // Payload low bits already diffuse well (FNV); fold in the
+        // model half so one hot model still spreads across shards.
+        ((self.payload.lo ^ self.model.lo.rotate_left(32)) % N_SHARDS as u64) as usize
+    }
+}
+
+/// Approximate heap cost of a cached value, used for budget accounting.
+pub trait CacheWeight {
+    /// Estimated bytes this value holds (excluding per-entry overhead,
+    /// which the cache adds itself).
+    fn weight_bytes(&self) -> usize;
+}
+
+/// A point-in-time accounting snapshot, serializable for the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing. (Lookups against a disabled cache
+    /// are not counted at all.)
+    pub misses: u64,
+    /// Values stored (including replacements of an existing key).
+    pub insertions: u64,
+    /// Entries removed to respect the byte budget.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: u64,
+    /// Live bytes right now (values + per-entry overhead).
+    pub bytes: u64,
+    /// Configured byte budget.
+    pub capacity_bytes: u64,
+    /// Whether lookups/insertions are currently enabled.
+    pub enabled: bool,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    weight: usize,
+    stamp: u64,
+}
+
+struct Shard<V> {
+    entries: HashMap<CacheKey, Entry<V>>,
+    /// Recency queue; stale pairs (stamp no longer current for the key)
+    /// are skipped during eviction.
+    recency: VecDeque<(CacheKey, u64)>,
+    tick: u64,
+    bytes: usize,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Shard<V> {
+        Shard {
+            entries: HashMap::new(),
+            recency: VecDeque::new(),
+            tick: 0,
+            bytes: 0,
+        }
+    }
+
+    fn touch(&mut self, key: CacheKey) -> Option<&Entry<V>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(&key)?;
+        entry.stamp = tick;
+        self.recency.push_back((key, tick));
+        self.maybe_compact();
+        self.entries.get(&key)
+    }
+
+    /// Drop stale recency pairs once the queue outgrows the live
+    /// population by 4× — touches append a pair per hit, so without
+    /// this a warm under-budget cache (which never evicts) would grow
+    /// the queue forever. Amortized O(1): each compaction is O(queue)
+    /// but only runs after the queue has doubled twice.
+    fn maybe_compact(&mut self) {
+        if self.recency.len() > 64 && self.recency.len() > 4 * self.entries.len() {
+            let entries = &self.entries;
+            self.recency
+                .retain(|(key, stamp)| entries.get(key).is_some_and(|e| e.stamp == *stamp));
+        }
+    }
+
+    /// Evict strictly least-recently-used entries until `bytes <=
+    /// budget`; returns how many were evicted.
+    fn evict_to(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget {
+            let Some((key, stamp)) = self.recency.pop_front() else {
+                break; // defensive: accounting says bytes>0 but queue drained
+            };
+            let current = self.entries.get(&key).map(|e| e.stamp);
+            if current == Some(stamp) {
+                let entry = self.entries.remove(&key).expect("checked above");
+                self.bytes -= entry.weight;
+                evicted += 1;
+            }
+            // Otherwise the pair is a stale residue of a later touch
+            // (or an already-removed key): drop it and keep going.
+        }
+        if self.entries.is_empty() {
+            self.recency.clear();
+            self.tick = 0;
+        }
+        evicted
+    }
+}
+
+/// A sharded, memory-budgeted, content-addressed LRU result cache.
+///
+/// Thread-safe behind `&self`; intended to be shared process-wide (the
+/// server wraps one in an `Arc` and every session evaluates through
+/// it). Disabled caches are transparent: lookups miss, insertions
+/// no-op, existing entries are retained for instant re-warm on
+/// re-enable.
+pub struct ResultCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    capacity_bytes: AtomicUsize,
+    enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V> ResultCache<V> {
+    /// An enabled cache with the given byte budget.
+    pub fn new(capacity_bytes: usize) -> ResultCache<V> {
+        ResultCache {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            capacity_bytes: AtomicUsize::new(capacity_bytes),
+            enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether lookups/insertions are enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, key: &CacheKey) -> MutexGuard<'_, Shard<V>> {
+        // An entry's invariants cannot be corrupted by a panic in
+        // another holder (no partial mutation escapes), so recover.
+        self.shards[key.shard_index()]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn shard_budget(&self) -> usize {
+        self.capacity_bytes() / N_SHARDS
+    }
+
+    /// Look up a key, refreshing its recency. Counts a hit or a miss;
+    /// on a disabled cache this is a silent no-op returning `None`.
+    pub fn get(&self, key: &CacheKey) -> Option<V>
+    where
+        V: Clone,
+    {
+        if !self.is_enabled() {
+            return None;
+        }
+        let found = self.shard(key).touch(*key).map(|e| e.value.clone());
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a value, evicting least-recently-used entries of the same
+    /// shard as needed. Values heavier than a whole shard's budget are
+    /// not cached at all. No-op on a disabled cache.
+    pub fn insert(&self, key: CacheKey, value: V)
+    where
+        V: CacheWeight,
+    {
+        if !self.is_enabled() {
+            return;
+        }
+        let weight = value.weight_bytes() + ENTRY_OVERHEAD_BYTES;
+        let budget = self.shard_budget();
+        if weight > budget {
+            return;
+        }
+        let evicted = {
+            let mut shard = self.shard(&key);
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some(old) = shard.entries.insert(
+                key,
+                Entry {
+                    value,
+                    weight,
+                    stamp: tick,
+                },
+            ) {
+                shard.bytes -= old.weight;
+            }
+            shard.bytes += weight;
+            shard.recency.push_back((key, tick));
+            shard.maybe_compact();
+            shard.evict_to(budget)
+        };
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Reconfigure capacity and/or enablement; a shrunk capacity
+    /// triggers immediate eviction down to the new budget.
+    pub fn configure(&self, capacity_bytes: Option<usize>, enabled: Option<bool>) {
+        if let Some(capacity) = capacity_bytes {
+            self.capacity_bytes.store(capacity, Ordering::Relaxed);
+            let budget = self.shard_budget();
+            let mut evicted = 0;
+            for shard in &self.shards {
+                evicted += shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .evict_to(budget);
+            }
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        if let Some(enabled) = enabled {
+            self.enabled.store(enabled, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every entry (counters are preserved — they describe the
+    /// cache's lifetime, not its current contents).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            shard.entries.clear();
+            shard.recency.clear();
+            shard.tick = 0;
+            shard.bytes = 0;
+        }
+    }
+
+    /// Accounting snapshot. `entries`/`bytes` are read shard by shard,
+    /// so under concurrent writers the snapshot is approximate but each
+    /// counter is individually exact.
+    pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut bytes) = (0u64, 0u64);
+        for shard in &self.shards {
+            let shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            entries += shard.entries.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            capacity_bytes: self.capacity_bytes() as u64,
+            enabled: self.is_enabled(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Hasher128;
+
+    impl CacheWeight for u64 {
+        fn weight_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    fn key(model: u64, payload: u64) -> CacheKey {
+        let mut m = Hasher128::new();
+        m.write_u64(model);
+        let mut p = Hasher128::new();
+        p.write_u64(payload);
+        CacheKey::new(m.finish(), p.finish())
+    }
+
+    #[test]
+    fn get_insert_and_stats_accounting() {
+        let cache: ResultCache<u64> = ResultCache::new(1 << 20);
+        let k = key(1, 1);
+        assert_eq!(cache.get(&k), None);
+        cache.insert(k, 42);
+        assert_eq!(cache.get(&k), Some(42));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, 8 + ENTRY_OVERHEAD_BYTES as u64);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(s.enabled);
+    }
+
+    #[test]
+    fn replacement_updates_bytes_not_entries() {
+        let cache: ResultCache<u64> = ResultCache::new(1 << 20);
+        let k = key(1, 1);
+        cache.insert(k, 1);
+        cache.insert(k, 2);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.insertions, 2);
+        assert_eq!(s.bytes, 8 + ENTRY_OVERHEAD_BYTES as u64);
+        assert_eq!(cache.get(&k), Some(2));
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        // Budget for ~3 entries per shard; same payload-shard keys by
+        // construction: vary only the model half after pinning payload
+        // so all keys land in one shard.
+        let per_entry = 8 + ENTRY_OVERHEAD_BYTES;
+        let cache: ResultCache<u64> = ResultCache::new(3 * per_entry * N_SHARDS);
+        // Find 4 keys in the same shard.
+        let mut same_shard = Vec::new();
+        let mut i = 0u64;
+        while same_shard.len() < 4 {
+            let k = key(7, i);
+            if k.shard_index() == key(7, 0).shard_index() {
+                same_shard.push(k);
+            }
+            i += 1;
+        }
+        for (n, &k) in same_shard.iter().enumerate() {
+            cache.insert(k, n as u64);
+        }
+        // Oldest (index 0) was evicted to fit the fourth.
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(&same_shard[0]), None);
+        // Touch index 1 so index 2 becomes the LRU, then overflow again.
+        assert!(cache.get(&same_shard[1]).is_some());
+        let mut extra = i;
+        let fresh = loop {
+            let k = key(7, extra);
+            if k.shard_index() == same_shard[0].shard_index() {
+                break k;
+            }
+            extra += 1;
+        };
+        cache.insert(fresh, 99);
+        assert_eq!(cache.get(&same_shard[2]), None, "LRU went, not MRU");
+        assert!(cache.get(&same_shard[1]).is_some(), "touched entry kept");
+    }
+
+    #[test]
+    fn oversized_values_are_not_cached() {
+        struct Huge;
+        impl CacheWeight for Huge {
+            fn weight_bytes(&self) -> usize {
+                usize::MAX / 2
+            }
+        }
+        let cache: ResultCache<Huge> = ResultCache::new(1 << 20);
+        cache.insert(key(1, 1), Huge);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.insertions), (0, 0));
+    }
+
+    #[test]
+    fn disabled_cache_is_transparent_but_retains_entries() {
+        let cache: ResultCache<u64> = ResultCache::new(1 << 20);
+        let k = key(1, 1);
+        cache.insert(k, 5);
+        cache.configure(None, Some(false));
+        assert_eq!(cache.get(&k), None, "disabled: no hits");
+        cache.insert(key(2, 2), 6);
+        let s = cache.stats();
+        assert!(!s.enabled);
+        assert_eq!(s.entries, 1, "no insert while disabled");
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 0, "disabled lookups don't count");
+        cache.configure(None, Some(true));
+        assert_eq!(cache.get(&k), Some(5), "instant re-warm");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let cache: ResultCache<u64> = ResultCache::new(1 << 20);
+        for i in 0..64 {
+            cache.insert(key(i, i), i);
+        }
+        assert_eq!(cache.stats().entries, 64);
+        cache.configure(Some(0), None);
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.evictions, 64);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache: ResultCache<u64> = ResultCache::new(1 << 20);
+        cache.insert(key(1, 1), 1);
+        cache.get(&key(1, 1));
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.entries, s.bytes), (0, 0));
+        assert_eq!((s.hits, s.insertions), (1, 1), "lifetime counters kept");
+    }
+
+    #[test]
+    fn concurrent_hammer_keeps_accounting_consistent() {
+        use std::sync::Arc;
+        let cache: Arc<ResultCache<u64>> = Arc::new(ResultCache::new(1 << 16));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = key(t % 2, i % 50);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, i);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8 * 500, "every lookup counted");
+        assert!(s.bytes <= s.capacity_bytes, "budget respected");
+        assert_eq!(
+            s.entries,
+            {
+                // Recount directly for cross-checking.
+                cache.stats().entries
+            },
+            "snapshot stable at quiescence"
+        );
+        assert!(s.hits > 0, "shared keys produced hits");
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_hot_hits() {
+        let cache: ResultCache<u64> = ResultCache::new(1 << 20);
+        let k = key(3, 3);
+        cache.insert(k, 1);
+        for _ in 0..10_000 {
+            assert_eq!(cache.get(&k), Some(1));
+        }
+        // One live entry: the recency queue must have compacted, not
+        // accumulated one pair per hit.
+        let shard = cache.shards[k.shard_index()]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert_eq!(shard.entries.len(), 1);
+        assert!(
+            shard.recency.len() <= 65,
+            "queue leaked: {} pairs for 1 entry",
+            shard.recency.len()
+        );
+    }
+
+    #[test]
+    fn stats_serde_roundtrip() {
+        let cache: ResultCache<u64> = ResultCache::new(4096);
+        cache.insert(key(1, 2), 3);
+        let s = cache.stats();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str::<CacheStats>(&json).unwrap());
+    }
+}

@@ -109,37 +109,66 @@ impl TrainedModel {
     /// [`CoreError::Config`] naming the offending scenario on invalid
     /// perturbations; propagated prediction errors otherwise.
     pub fn evaluate_scenarios(&self, set: &ScenarioSet) -> Result<Vec<ScenarioOutcome>> {
-        // Compile phase: fail fast, before spawning anything.
-        let plans: Vec<PerturbationPlan> = set
-            .scenarios
+        let plans = self.compile_scenarios(set)?;
+        let refs: Vec<&PerturbationPlan> = plans.iter().collect();
+        let kpis = self.score_plans(&refs, set.n_threads);
+        set.scenarios
+            .iter()
+            .zip(kpis)
+            .map(|(s, kpi)| {
+                Ok(ScenarioOutcome {
+                    name: s.name.clone(),
+                    perturbations: s.perturbations.clone(),
+                    kpi: kpi?,
+                    baseline_kpi: self.baseline_kpi(),
+                })
+            })
+            .collect()
+    }
+
+    /// Compile every scenario's perturbations up front: fail fast, with
+    /// the offending scenario's name in the error, before any
+    /// evaluation (or cache lookup) starts.
+    pub(crate) fn compile_scenarios(&self, set: &ScenarioSet) -> Result<Vec<PerturbationPlan>> {
+        set.scenarios
             .iter()
             .map(|s| {
                 self.compile_perturbations(&s.perturbations)
                     .map_err(|e| CoreError::Config(format!("scenario {:?}: {e}", s.name)))
             })
-            .collect::<Result<_>>()?;
+            .collect()
+    }
 
+    /// Score each plan independently (overlay + one batched prediction
+    /// pass into a per-worker reused buffer), preserving input order.
+    ///
+    /// Exactly one level of fan-out: when the model's own batch
+    /// prediction already parallelizes over rows (big forests), run
+    /// plans sequentially and let it use the cores; otherwise fan out
+    /// over plans — but only when the grid carries enough work to
+    /// amortize thread spawns, and never beyond the hardware's
+    /// parallelism. Results are order-preserved and identical in every
+    /// case, which is why the cache-aware path can score just its
+    /// misses through the same helper and stay bit-identical.
+    pub(crate) fn score_plans(
+        &self,
+        plans: &[&PerturbationPlan],
+        requested_threads: usize,
+    ) -> Vec<Result<f64>> {
         let score = |plan: &PerturbationPlan, buf: &mut Vec<f64>| -> Result<f64> {
             let overlay = plan.overlay(self.matrix())?;
             self.predict_batch_into((&overlay).into(), buf)?;
             Ok(buf.iter().sum::<f64>() / buf.len().max(1) as f64)
         };
 
-        // Exactly one level of fan-out: when the model's own batch
-        // prediction already parallelizes over rows (big forests), run
-        // scenarios sequentially and let it use the cores; otherwise
-        // fan out over scenarios — but only when the grid carries
-        // enough work to amortize thread spawns, and never beyond the
-        // hardware's parallelism. Results are order-preserved and
-        // identical in every case.
         let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let work = plans.len().saturating_mul(self.matrix().n_rows());
         let n_threads = if work < 16_384 || self.batch_predict_is_parallel() {
             1
         } else {
-            set.n_threads.max(1).min(plans.len().max(1)).min(hw)
+            requested_threads.max(1).min(plans.len().max(1)).min(hw)
         };
-        let kpis: Vec<Result<f64>> = if n_threads <= 1 {
+        if n_threads <= 1 {
             let mut buf = vec![0.0; self.matrix().n_rows()];
             plans.iter().map(|p| score(p, &mut buf)).collect()
         } else {
@@ -161,20 +190,7 @@ impl TrainedModel {
                     .collect()
             });
             chunks.into_iter().flatten().collect()
-        };
-
-        set.scenarios
-            .iter()
-            .zip(kpis)
-            .map(|(s, kpi)| {
-                Ok(ScenarioOutcome {
-                    name: s.name.clone(),
-                    perturbations: s.perturbations.clone(),
-                    kpi: kpi?,
-                    baseline_kpi: self.baseline_kpi(),
-                })
-            })
-            .collect()
+        }
     }
 }
 

@@ -26,6 +26,10 @@
 //! * [`bulk`] — [`bulk::ScenarioSet`]: N heterogeneous scenarios
 //!   compiled once and priced in parallel through copy-on-write
 //!   overlays and batched prediction, zero full-matrix clones.
+//! * [`cached`] — [`cached::EvalCache`]: a shared content-addressed
+//!   result cache over model/plan fingerprints; the interactive hot
+//!   paths re-run in microseconds when a question repeats, with
+//!   bit-identical answers.
 //! * [`spec`] — a JSON-serializable declarative specification of
 //!   analyses, the §5 "Specification and Reuse" future-work direction,
 //!   implemented.
@@ -57,6 +61,7 @@
 //! ```
 
 pub mod bulk;
+pub mod cached;
 pub mod constraint;
 pub mod error;
 pub mod goal;
@@ -72,6 +77,7 @@ pub mod spec;
 pub mod uncertainty;
 
 pub use bulk::{ScenarioOutcome, ScenarioSet, ScenarioSpec};
+pub use cached::{CachedOutcome, EvalCache};
 pub use constraint::DriverConstraint;
 pub use error::{CoreError, ErrorCode, Result};
 pub use goal::{Goal, GoalConfig, GoalInversionResult, OptimizerChoice};
@@ -89,6 +95,7 @@ pub use uncertainty::{BootstrapConfig, Interval, SensitivityInterval};
 /// The most-used types, for glob import.
 pub mod prelude {
     pub use crate::bulk::{ScenarioOutcome, ScenarioSet, ScenarioSpec};
+    pub use crate::cached::EvalCache;
     pub use crate::constraint::DriverConstraint;
     pub use crate::error::{CoreError, ErrorCode};
     pub use crate::goal::{Goal, GoalConfig, OptimizerChoice};

@@ -5,6 +5,7 @@ use crate::error::{CoreError, Result};
 use crate::kpi::KpiKind;
 use crate::perturbation::{PerturbationPlan, PerturbationSet};
 use serde::{Deserialize, Serialize};
+use whatif_cache::{Fingerprint, Hasher128};
 use whatif_learn::forest::ForestConfig;
 use whatif_learn::metrics::{accuracy, r2_score, roc_auc};
 use whatif_learn::model::{Classifier, Predictor, Regressor};
@@ -118,6 +119,7 @@ pub struct TrainedModel {
     model: FittedModel,
     confidence: f64,
     baseline_kpi: f64,
+    fingerprint: Fingerprint,
 }
 
 impl TrainedModel {
@@ -188,6 +190,18 @@ impl TrainedModel {
             confidence
         };
         let baseline_kpi = mean(&train_preds);
+        let fingerprint = compute_fingerprint(
+            kpi_name,
+            kpi_kind,
+            resolved,
+            &driver_names,
+            &x,
+            &y,
+            config,
+            &model,
+            &train_preds,
+            confidence,
+        );
 
         Ok(TrainedModel {
             kpi_name: kpi_name.to_owned(),
@@ -199,7 +213,22 @@ impl TrainedModel {
             model,
             confidence,
             baseline_kpi,
+            fingerprint,
         })
+    }
+
+    /// The model's stable 128-bit content fingerprint, computed once at
+    /// train time over the training-data digest, the effective
+    /// configuration, and the learned parameters.
+    ///
+    /// Two models fitted from bit-identical data and configuration have
+    /// equal fingerprints (training is deterministic, including across
+    /// worker-thread counts), so cached results are shared across
+    /// sessions; retraining on changed data, a changed KPI/driver
+    /// selection, or changed hyperparameters yields a new fingerprint —
+    /// the cache-invalidation "epoch" is the fingerprint itself.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
     }
 
     /// KPI column name.
@@ -370,6 +399,89 @@ impl TrainedModel {
             })
             .collect()
     }
+}
+
+/// Fold everything that determines a model's observable behavior into
+/// one 128-bit identity: KPI/driver naming, the resolved family, the
+/// behavior-relevant configuration, a digest of the full training data,
+/// and the learned parameters themselves (coefficients for the linear
+/// families; for forests, whose trees are unwieldy to serialize, the
+/// training-set predictions — a complete functional digest over the
+/// training support — stand in).
+///
+/// `n_threads` is deliberately excluded: tree seeds are pre-drawn from
+/// the master seed, so training is thread-count invariant and two
+/// deployments differing only in parallelism share cache entries.
+/// `holdout_fraction` is included because it shapes the published
+/// `confidence`, which analysis results carry.
+#[allow(clippy::too_many_arguments)]
+fn compute_fingerprint(
+    kpi_name: &str,
+    kpi_kind: KpiKind,
+    resolved: ModelKind,
+    driver_names: &[String],
+    x: &Matrix,
+    y: &[f64],
+    config: &ModelConfig,
+    model: &FittedModel,
+    train_preds: &[f64],
+    confidence: f64,
+) -> Fingerprint {
+    let mut h = Hasher128::new();
+    h.write_str("whatif/model/v1");
+    h.write_str(kpi_name);
+    h.write_u8(match kpi_kind {
+        KpiKind::Continuous => 0,
+        KpiKind::Binary => 1,
+    });
+    h.write_u8(match resolved {
+        ModelKind::Linear => 0,
+        ModelKind::Logistic => 1,
+        ModelKind::RandomForest => 2,
+        ModelKind::Auto => u8::MAX, // unreachable: resolved before fit
+    });
+    h.write_usize(driver_names.len());
+    for name in driver_names {
+        h.write_str(name);
+    }
+    h.write_usize(config.n_trees);
+    h.write_usize(config.max_depth);
+    h.write_u64(config.seed);
+    match config.max_features {
+        Some(m) => {
+            h.write_u8(1);
+            h.write_usize(m);
+        }
+        None => h.write_u8(0),
+    }
+    h.write_f64(config.holdout_fraction);
+    h.write_usize(x.n_rows());
+    h.write_usize(x.n_cols());
+    h.write_f64s(x.data());
+    h.write_f64s(y);
+    match model {
+        FittedModel::Linear(m) => {
+            h.write_u8(1);
+            h.write_f64(m.intercept().unwrap_or(f64::NAN));
+            h.write_f64s(m.coefficients().unwrap_or(&[]));
+        }
+        FittedModel::Logistic(m) => {
+            h.write_u8(2);
+            h.write_f64(m.intercept().unwrap_or(f64::NAN));
+            h.write_f64s(m.coefficients().unwrap_or(&[]));
+        }
+        FittedModel::ForestClassifier(m) => {
+            h.write_u8(3);
+            h.write_usize(m.n_trees());
+        }
+        FittedModel::ForestRegressor(m) => {
+            h.write_u8(4);
+            h.write_usize(m.n_trees());
+        }
+    }
+    h.write_f64s(train_preds);
+    h.write_f64(confidence);
+    h.finish()
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -628,6 +740,82 @@ mod tests {
         for (i, &p) in preds.iter().enumerate() {
             assert!(p.to_bits() == m.predict_row(cloned.row(i)).unwrap().to_bits());
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let (x, y) = continuous_data();
+        let cfg = ModelConfig::default();
+        let a = TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            x.clone(),
+            y.clone(),
+            &cfg,
+        )
+        .unwrap();
+        // Refit on identical inputs: identical identity (cross-session
+        // cache sharing depends on this).
+        let b = TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            x.clone(),
+            y.clone(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Thread count does not change the learned model — pinned on a
+        // *forest* (the one family whose training actually fans out to
+        // n_threads workers), since the fingerprint deliberately
+        // excludes n_threads on exactly this invariance.
+        let forest = |n_threads: usize| {
+            TrainedModel::fit(
+                "sales",
+                KpiKind::Continuous,
+                names(),
+                x.clone(),
+                y.clone(),
+                &ModelConfig {
+                    kind: ModelKind::RandomForest,
+                    n_trees: 16,
+                    n_threads,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap()
+        };
+        assert_eq!(forest(1).fingerprint(), forest(4).fingerprint());
+        assert_eq!(forest(4).fingerprint(), forest(7).fingerprint());
+        // Any behavioral change — data, seed, KPI name — changes it.
+        let mut y2 = y.clone();
+        y2[0] += 1.0;
+        let d =
+            TrainedModel::fit("sales", KpiKind::Continuous, names(), x.clone(), y2, &cfg).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let seeded = ModelConfig { seed: 9, ..cfg };
+        let e = TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            x.clone(),
+            y.clone(),
+            &seeded,
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), e.fingerprint());
+        let f = TrainedModel::fit(
+            "other",
+            KpiKind::Continuous,
+            names(),
+            x,
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), f.fingerprint());
     }
 
     #[test]

@@ -289,6 +289,30 @@ impl PerturbationPlan {
             row[j] = self.transform(kind, row[j]);
         }
     }
+
+    /// Fold the plan's exact evaluation semantics — width, clamp flag,
+    /// and every `(column, kind, magnitude)` step in order — into a
+    /// fingerprint hasher. Two plans with equal fingerprint input
+    /// produce bit-identical overlays, which is what makes plan
+    /// fingerprints sound cache keys.
+    pub fn write_fingerprint(&self, h: &mut whatif_cache::Hasher128) {
+        h.write_usize(self.n_cols);
+        h.write_bool(self.clamp_non_negative);
+        h.write_usize(self.steps.len());
+        for &(j, kind) in &self.steps {
+            h.write_usize(j);
+            match kind {
+                PerturbationKind::Absolute(delta) => {
+                    h.write_u8(0);
+                    h.write_f64(delta);
+                }
+                PerturbationKind::Percentage(pct) => {
+                    h.write_u8(1);
+                    h.write_f64(pct);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

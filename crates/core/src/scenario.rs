@@ -49,16 +49,60 @@ impl Scenario {
 }
 
 /// An ordered ledger of scenarios with monotonically increasing ids.
+///
+/// Long-lived sessions can bound memory with
+/// [`ScenarioLedger::with_capacity`]: when full, recording evicts the
+/// *oldest* entries first (ids are never reused, so references to
+/// evicted scenarios simply resolve to `None`).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ScenarioLedger {
     scenarios: Vec<Scenario>,
     next_id: u64,
+    /// Maximum retained scenarios; `None` = unbounded.
+    #[serde(default)]
+    capacity: Option<usize>,
 }
 
 impl ScenarioLedger {
-    /// Empty ledger.
+    /// Empty ledger, unbounded.
     pub fn new() -> ScenarioLedger {
         ScenarioLedger::default()
+    }
+
+    /// Empty ledger retaining at most `capacity` scenarios
+    /// (oldest-first eviction once full).
+    pub fn with_capacity(capacity: usize) -> ScenarioLedger {
+        ScenarioLedger {
+            capacity: Some(capacity),
+            ..ScenarioLedger::default()
+        }
+    }
+
+    /// The retention bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Change the retention bound; shrinking evicts oldest-first
+    /// immediately, `None` lifts the bound.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        self.evict_to_capacity();
+    }
+
+    /// Drop every recorded scenario. Ids keep counting up — a cleared
+    /// ledger never hands out an id it has used before.
+    pub fn clear(&mut self) {
+        self.scenarios.clear();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        if let Some(capacity) = self.capacity {
+            if self.scenarios.len() > capacity {
+                let excess = self.scenarios.len() - capacity;
+                self.scenarios.drain(..excess);
+            }
+        }
     }
 
     /// Record a sensitivity outcome; returns the assigned id.
@@ -116,6 +160,7 @@ impl ScenarioLedger {
         self.next_id += 1;
         scenario.id = id;
         self.scenarios.push(scenario);
+        self.evict_to_capacity();
         id
     }
 
@@ -145,23 +190,27 @@ impl ScenarioLedger {
         Some(self.scenarios.remove(pos))
     }
 
-    /// The scenario with the highest KPI.
+    /// The scenario with the highest KPI, under a *total* order:
+    /// `f64::total_cmp` (so a NaN KPI from a degenerate model cannot
+    /// make the answer depend on iteration order — NaN sorts above
+    /// +∞), with exact KPI ties broken toward the earliest-recorded
+    /// (lowest) id.
     pub fn best_by_kpi(&self) -> Option<&Scenario> {
-        self.scenarios.iter().max_by(|a, b| {
-            a.kpi
-                .partial_cmp(&b.kpi)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.scenarios
+            .iter()
+            .max_by(|a, b| a.kpi.total_cmp(&b.kpi).then_with(|| b.id.cmp(&a.id)))
     }
 
     /// Scenarios sorted by descending uplift (the comparison table the
-    /// paper's options view implies).
+    /// paper's options view implies). Totally ordered and
+    /// deterministic: `f64::total_cmp` on uplift (NaNs sort first,
+    /// above +∞), ties broken by ascending id.
     pub fn ranked_by_uplift(&self) -> Vec<&Scenario> {
         let mut v: Vec<&Scenario> = self.scenarios.iter().collect();
         v.sort_by(|a, b| {
             b.uplift()
-                .partial_cmp(&a.uplift())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.uplift())
+                .then_with(|| a.id.cmp(&b.id))
         });
         v
     }
@@ -278,5 +327,94 @@ mod tests {
         let back: ScenarioLedger = serde_json::from_str(&json).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back.all()[0].name, "x");
+        assert_eq!(back.capacity(), None, "legacy JSON defaults unbounded");
+
+        let bounded = ScenarioLedger::with_capacity(3);
+        let json = serde_json::to_string(&bounded).unwrap();
+        let back: ScenarioLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.capacity(), Some(3));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut ledger = ScenarioLedger::with_capacity(2);
+        let id0 = ledger.record_sensitivity("a", &sens(0.5));
+        let id1 = ledger.record_sensitivity("b", &sens(0.6));
+        assert_eq!(ledger.len(), 2);
+        let id2 = ledger.record_sensitivity("c", &sens(0.7));
+        assert_eq!(ledger.len(), 2, "bounded");
+        assert!(ledger.get(id0).is_none(), "oldest evicted");
+        assert!(ledger.get(id1).is_some() && ledger.get(id2).is_some());
+        // Ids stay monotonic across evictions.
+        let id3 = ledger.record_sensitivity("d", &sens(0.8));
+        assert_eq!(id3, 3);
+        assert_eq!(
+            ledger.all().iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![id2, id3],
+            "recording order preserved"
+        );
+    }
+
+    #[test]
+    fn capacity_zero_retains_nothing_and_shrink_evicts() {
+        let mut ledger = ScenarioLedger::with_capacity(0);
+        let id = ledger.record_sensitivity("ghost", &sens(0.5));
+        assert_eq!(id, 0, "id still allocated");
+        assert!(ledger.is_empty());
+
+        let mut ledger = ScenarioLedger::new();
+        for i in 0..5 {
+            ledger.record_sensitivity(format!("s{i}"), &sens(0.5));
+        }
+        ledger.set_capacity(Some(2));
+        assert_eq!(ledger.len(), 2, "shrink evicts immediately");
+        assert_eq!(ledger.all()[0].id, 3, "oldest went first");
+        ledger.set_capacity(None);
+        for i in 0..5 {
+            ledger.record_sensitivity(format!("t{i}"), &sens(0.5));
+        }
+        assert_eq!(ledger.len(), 7, "unbounded again");
+    }
+
+    #[test]
+    fn clear_empties_but_never_reuses_ids() {
+        let mut ledger = ScenarioLedger::new();
+        ledger.record_sensitivity("a", &sens(0.5));
+        let id1 = ledger.record_sensitivity("b", &sens(0.6));
+        ledger.clear();
+        assert!(ledger.is_empty());
+        let id2 = ledger.record_sensitivity("c", &sens(0.7));
+        assert!(id2 > id1, "ids keep counting up after clear");
+        assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn ranking_is_total_and_deterministic_under_nan_and_ties() {
+        let mut ledger = ScenarioLedger::new();
+        let tied_lo = ledger.record_sensitivity("tied first", &sens(0.6));
+        let nan = ledger.record_sensitivity("nan", &sens(f64::NAN));
+        let tied_hi = ledger.record_sensitivity("tied second", &sens(0.6));
+        let best = ledger.record_sensitivity("best finite", &sens(0.9));
+        let worst = ledger.record_sensitivity("worst", &sens(0.1));
+
+        // NaN sorts above every finite KPI under total_cmp, ties break
+        // toward the earlier id, and repeated calls agree exactly.
+        let ranked: Vec<u64> = ledger.ranked_by_uplift().iter().map(|s| s.id).collect();
+        assert_eq!(ranked, vec![nan, best, tied_lo, tied_hi, worst]);
+        let again: Vec<u64> = ledger.ranked_by_uplift().iter().map(|s| s.id).collect();
+        assert_eq!(ranked, again, "deterministic");
+        assert_eq!(ledger.best_by_kpi().unwrap().id, nan);
+
+        // Without the NaN entry, the finite maximum wins and exact ties
+        // prefer the earliest recording.
+        ledger.remove(nan);
+        assert_eq!(ledger.best_by_kpi().unwrap().id, best);
+        ledger.remove(best);
+        ledger.remove(worst);
+        assert_eq!(
+            ledger.best_by_kpi().unwrap().id,
+            tied_lo,
+            "tie broken toward earliest id"
+        );
     }
 }

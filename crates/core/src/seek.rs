@@ -62,6 +62,24 @@ impl TrainedModel {
         high_pct: f64,
         tolerance: f64,
     ) -> Result<DriverSeekResult> {
+        self.goal_seek_driver_with(driver, target, low_pct, high_pct, tolerance, None)
+            .map(|(result, _)| result)
+    }
+
+    /// The one goal-seek implementation behind both the plain and the
+    /// cached entry points: every bisection probe goes through
+    /// `kpi_for_plan_maybe`, so the two paths build identical
+    /// single-column plans by construction. The flag is true only when
+    /// every probe was served from the supplied cache.
+    pub(crate) fn goal_seek_driver_with(
+        &self,
+        driver: &str,
+        target: f64,
+        low_pct: f64,
+        high_pct: f64,
+        tolerance: f64,
+        cache: Option<&crate::cached::EvalCache>,
+    ) -> Result<(DriverSeekResult, bool)> {
         let col = self.driver_index(driver)?; // validates the name
         if low_pct >= high_pct || low_pct < -100.0 {
             return Err(CoreError::Config(format!(
@@ -71,21 +89,36 @@ impl TrainedModel {
         // The driver index is resolved once; every bisection step is a
         // single-column plan scored through a copy-on-write overlay.
         let n_cols = self.driver_names().len();
+        let all_hit = std::cell::Cell::new(true);
         let kpi_at = |pct: f64| -> f64 {
             let plan =
                 PerturbationPlan::single(col, PerturbationKind::Percentage(pct), true, n_cols);
-            self.kpi_for_plan(&plan).unwrap_or(f64::NAN)
+            match self.kpi_for_plan_maybe(&plan, cache) {
+                Ok((kpi, hit)) => {
+                    if !hit {
+                        all_hit.set(false);
+                    }
+                    kpi
+                }
+                Err(_) => {
+                    all_hit.set(false);
+                    f64::NAN
+                }
+            }
         };
         let r = goal_seek(kpi_at, target, low_pct, high_pct, tolerance, 200)?;
-        Ok(DriverSeekResult {
-            driver: driver.to_owned(),
-            target,
-            pct: r.x,
-            achieved_kpi: r.f,
-            baseline_kpi: self.baseline_kpi(),
-            converged: r.converged,
-            n_evals: r.n_evals,
-        })
+        Ok((
+            DriverSeekResult {
+                driver: driver.to_owned(),
+                target,
+                pct: r.x,
+                achieved_kpi: r.f,
+                baseline_kpi: self.baseline_kpi(),
+                converged: r.converged,
+                n_evals: r.n_evals,
+            },
+            all_hit.get(),
+        ))
     }
 }
 

@@ -90,13 +90,28 @@ impl TrainedModel {
     /// # Errors
     /// [`crate::CoreError::Config`] for invalid perturbations.
     pub fn sensitivity(&self, set: &PerturbationSet) -> Result<SensitivityResult> {
+        self.sensitivity_with(set, None).map(|(result, _)| result)
+    }
+
+    /// The one sensitivity implementation behind both the plain and the
+    /// cached entry points — evaluation goes through the cache when one
+    /// is supplied, so the two paths cannot drift apart.
+    pub(crate) fn sensitivity_with(
+        &self,
+        set: &PerturbationSet,
+        cache: Option<&crate::cached::EvalCache>,
+    ) -> Result<(SensitivityResult, bool)> {
         let plan = self.compile_perturbations(set)?;
-        Ok(SensitivityResult {
-            kpi_name: self.kpi_name().to_owned(),
-            baseline_kpi: self.baseline_kpi(),
-            perturbed_kpi: self.kpi_for_plan(&plan)?,
-            perturbations: set.clone(),
-        })
+        let (perturbed_kpi, cached) = self.kpi_for_plan_maybe(&plan, cache)?;
+        Ok((
+            SensitivityResult {
+                kpi_name: self.kpi_name().to_owned(),
+                baseline_kpi: self.baseline_kpi(),
+                perturbed_kpi,
+                perturbations: set.clone(),
+            },
+            cached,
+        ))
     }
 
     /// Comparison analysis: sweep each driver individually over the
@@ -109,14 +124,29 @@ impl TrainedModel {
     /// # Errors
     /// Propagated prediction errors.
     pub fn comparison_analysis(&self, percentages: &[f64]) -> Result<Vec<ComparisonCurve>> {
+        self.comparison_with(percentages, None)
+            .map(|(curves, _)| curves)
+    }
+
+    /// The one comparison-sweep implementation behind both entry
+    /// points; the flag is true only when a non-empty grid was served
+    /// entirely from the supplied cache.
+    pub(crate) fn comparison_with(
+        &self,
+        percentages: &[f64],
+        cache: Option<&crate::cached::EvalCache>,
+    ) -> Result<(Vec<ComparisonCurve>, bool)> {
         let n_cols = self.driver_names().len();
         let mut curves = Vec::with_capacity(n_cols);
+        let mut all_hit = true;
         for (j, driver) in self.driver_names().iter().enumerate() {
             let mut kpi_values = Vec::with_capacity(percentages.len());
             for &pct in percentages {
                 let plan =
                     PerturbationPlan::single(j, PerturbationKind::Percentage(pct), true, n_cols);
-                kpi_values.push(self.kpi_for_plan(&plan)?);
+                let (kpi, hit) = self.kpi_for_plan_maybe(&plan, cache)?;
+                all_hit &= hit;
+                kpi_values.push(kpi);
             }
             curves.push(ComparisonCurve {
                 driver: driver.clone(),
@@ -124,7 +154,21 @@ impl TrainedModel {
                 kpi_values,
             });
         }
-        Ok(curves)
+        // An empty grid performed no lookups; never report it cached.
+        let looked_up = n_cols > 0 && !percentages.is_empty();
+        Ok((curves, looked_up && all_hit))
+    }
+
+    /// Bounds-check a per-data row index (shared by the plain and
+    /// cached per-data paths).
+    pub(crate) fn check_row(&self, row: usize) -> Result<()> {
+        if row >= self.matrix().n_rows() {
+            return Err(crate::error::CoreError::Config(format!(
+                "row {row} out of range ({} rows)",
+                self.matrix().n_rows()
+            )));
+        }
+        Ok(())
     }
 
     /// Per-data analysis: perturb a single data point and report its
@@ -138,13 +182,19 @@ impl TrainedModel {
         row: usize,
         set: &PerturbationSet,
     ) -> Result<PerDataSensitivity> {
-        if row >= self.matrix().n_rows() {
-            return Err(crate::error::CoreError::Config(format!(
-                "row {row} out of range ({} rows)",
-                self.matrix().n_rows()
-            )));
-        }
+        self.check_row(row)?;
         let plan = self.compile_perturbations(set)?;
+        self.per_data_for_plan(row, &plan)
+    }
+
+    /// The per-data evaluation core over an already-checked row and
+    /// already-compiled plan (shared by the plain and cached paths, so
+    /// a cached miss never re-validates or re-compiles).
+    pub(crate) fn per_data_for_plan(
+        &self,
+        row: usize,
+        plan: &PerturbationPlan,
+    ) -> Result<PerDataSensitivity> {
         let original = self.matrix().row(row).to_vec();
         let mut perturbed_row = original.clone();
         plan.apply_to_row(&mut perturbed_row);

@@ -111,6 +111,37 @@ impl AnalysisSpec {
     /// # Errors
     /// Any model/optimizer error, wrapped in [`CoreError`].
     pub fn execute(&self, model: &crate::model_backend::TrainedModel) -> Result<SpecOutcome> {
+        self.run_on_model(model, None).map(|(outcome, _)| outcome)
+    }
+
+    /// Run this analysis through a shared [`EvalCache`]: identical
+    /// *(model, analysis)* pairs short-circuit with bit-identical
+    /// results. Returns the outcome plus whether it was fully served
+    /// from the cache (the v2 protocol's `cached` reply marker).
+    ///
+    /// Driver importance is the one analysis that stays uncached: it
+    /// depends only on the model (no perturbation input), so the model
+    /// itself already memoizes everything it needs.
+    ///
+    /// # Errors
+    /// Exactly those of [`AnalysisSpec::execute`].
+    pub fn execute_cached(
+        &self,
+        model: &crate::model_backend::TrainedModel,
+        cache: &crate::cached::EvalCache,
+    ) -> Result<(SpecOutcome, bool)> {
+        self.run_on_model(model, Some(cache))
+    }
+
+    /// The one spec-to-evaluation mapping both entry points share: each
+    /// arm builds its inputs exactly once, then evaluates through the
+    /// cache when one is supplied — so the cached and uncached paths
+    /// cannot drift apart by construction.
+    fn run_on_model(
+        &self,
+        model: &crate::model_backend::TrainedModel,
+        cache: Option<&crate::cached::EvalCache>,
+    ) -> Result<(SpecOutcome, bool)> {
         Ok(match self {
             AnalysisSpec::DriverImportance { verify } => {
                 let importance = model.driver_importance()?;
@@ -119,10 +150,13 @@ impl AnalysisSpec {
                 } else {
                     None
                 };
-                SpecOutcome::Importance {
-                    importance,
-                    verification,
-                }
+                (
+                    SpecOutcome::Importance {
+                        importance,
+                        verification,
+                    },
+                    false,
+                )
             }
             AnalysisSpec::Sensitivity {
                 perturbations,
@@ -130,14 +164,26 @@ impl AnalysisSpec {
             } => {
                 let mut set = PerturbationSet::new(perturbations.clone());
                 set.clamp_non_negative = *clamp_non_negative;
-                SpecOutcome::Sensitivity(model.sensitivity(&set)?)
+                let (result, cached) = match cache {
+                    Some(cache) => model.sensitivity_cached(&set, cache)?,
+                    None => (model.sensitivity(&set)?, false),
+                };
+                (SpecOutcome::Sensitivity(result), cached)
             }
             AnalysisSpec::Comparison { percentages } => {
-                SpecOutcome::Comparison(model.comparison_analysis(percentages)?)
+                let (curves, cached) = match cache {
+                    Some(cache) => model.comparison_analysis_cached(percentages, cache)?,
+                    None => (model.comparison_analysis(percentages)?, false),
+                };
+                (SpecOutcome::Comparison(curves), cached)
             }
             AnalysisSpec::PerData { row, perturbations } => {
                 let set = PerturbationSet::new(perturbations.clone());
-                SpecOutcome::PerData(model.per_data_sensitivity(*row, &set)?)
+                let (result, cached) = match cache {
+                    Some(cache) => model.per_data_sensitivity_cached(*row, &set, cache)?,
+                    None => (model.per_data_sensitivity(*row, &set)?, false),
+                };
+                (SpecOutcome::PerData(result), cached)
             }
             AnalysisSpec::GoalInversion {
                 goal,
@@ -148,14 +194,22 @@ impl AnalysisSpec {
                 let mut cfg = GoalConfig::for_goal(*goal).with_constraints(constraints.clone());
                 cfg.optimizer = *optimizer;
                 cfg.seed = *seed;
-                SpecOutcome::GoalInversion(model.goal_inversion(&cfg)?)
+                let (result, cached) = match cache {
+                    Some(cache) => model.goal_inversion_cached(&cfg, cache)?,
+                    None => (model.goal_inversion(&cfg)?, false),
+                };
+                (SpecOutcome::GoalInversion(result), cached)
             }
             AnalysisSpec::Scenarios {
                 scenarios,
                 n_threads,
             } => {
                 let set = ScenarioSet::new(scenarios.clone()).with_threads(*n_threads);
-                SpecOutcome::Scenarios(model.evaluate_scenarios(&set)?)
+                let (outcomes, cached) = match cache {
+                    Some(cache) => model.evaluate_scenarios_cached(&set, cache)?,
+                    None => (model.evaluate_scenarios(&set)?, false),
+                };
+                (SpecOutcome::Scenarios(outcomes), cached)
             }
         })
     }
@@ -409,6 +463,47 @@ mod tests {
             AnalysisSpec::Scenarios { n_threads, .. } => assert_eq!(n_threads, 4),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn execute_cached_matches_execute_and_reports_hits() {
+        use crate::cached::EvalCache;
+        let session = Session::new(frame()).with_kpi("sales").unwrap();
+        let model = session.train(&ModelConfig::default()).unwrap();
+        let cache = EvalCache::default();
+        let analyses = [
+            AnalysisSpec::Sensitivity {
+                perturbations: vec![Perturbation::percentage("spend", 10.0)],
+                clamp_non_negative: true,
+            },
+            AnalysisSpec::Comparison {
+                percentages: vec![-10.0, 0.0, 10.0],
+            },
+            AnalysisSpec::PerData {
+                row: 1,
+                perturbations: vec![Perturbation::absolute("spend", 1.0)],
+            },
+            AnalysisSpec::GoalInversion {
+                goal: Goal::Maximize,
+                constraints: vec![],
+                optimizer: OptimizerChoice::GridSearch { points_per_dim: 4 },
+                seed: 0,
+            },
+        ];
+        for analysis in &analyses {
+            let reference = analysis.execute(&model).unwrap();
+            let (cold, hit_cold) = analysis.execute_cached(&model, &cache).unwrap();
+            let (warm, hit_warm) = analysis.execute_cached(&model, &cache).unwrap();
+            assert!(!hit_cold, "{analysis:?} cold call misses");
+            assert!(hit_warm, "{analysis:?} warm call hits");
+            assert_eq!(cold, reference, "{analysis:?} equals uncached");
+            assert_eq!(warm, reference);
+        }
+        // Driver importance never reports cached.
+        let importance = AnalysisSpec::DriverImportance { verify: false };
+        let (_, hit) = importance.execute_cached(&model, &cache).unwrap();
+        let (_, hit2) = importance.execute_cached(&model, &cache).unwrap();
+        assert!(!hit && !hit2);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use crate::registry::Registry;
+use whatif_core::cached::EvalCache;
 use whatif_core::kpi::KpiKind;
 use whatif_core::model_backend::TrainedModel;
 use whatif_core::scenario::ScenarioLedger;
@@ -43,16 +44,40 @@ enum LastOutcome {
 }
 
 /// The concurrent dispatch facade: sessions, trained models, scenario
-/// ledgers, batch execution, and wire-version negotiation.
+/// ledgers, batch execution, wire-version negotiation, and the
+/// process-wide result cache.
+///
+/// The cache is shared across *all* sessions: two clients holding
+/// bit-identical models (same data, same configuration — the model
+/// fingerprint is the key) asking the same question pay for one
+/// computation. Retraining, `LoadCsv`, or `CloseSession` need no cache
+/// flush: a retrained model carries a fresh fingerprint, so its old
+/// entries can never be served again and simply age out of the LRU
+/// budget (invalidation by fingerprint epoch).
 #[derive(Default)]
 pub struct Engine {
     sessions: Registry<SessionEntry>,
+    cache: EvalCache,
 }
 
 impl Engine {
-    /// Fresh engine with no sessions.
+    /// Fresh engine with no sessions and a default-capacity cache.
     pub fn new() -> Engine {
         Engine::default()
+    }
+
+    /// Fresh engine evaluating through the given (possibly shared)
+    /// result cache.
+    pub fn with_cache(cache: EvalCache) -> Engine {
+        Engine {
+            sessions: Registry::new(),
+            cache,
+        }
+    }
+
+    /// The process-wide result cache handle.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
     }
 
     /// Number of live sessions.
@@ -70,11 +95,13 @@ impl Engine {
     pub fn handle(&self, request: Request) -> Result<Response, ApiError> {
         match request {
             Request::Batch(steps) => Ok(Response::Batch(self.run_batch(0, steps))),
-            other => self.handle_single(other),
+            other => self.dispatch(other).map(|(response, _)| response),
         }
     }
 
-    /// Execute one v2 envelope, echoing its id on the reply.
+    /// Execute one v2 envelope, echoing its id on the reply. Analysis
+    /// replies carry the [`Reply::cached`] marker when they were served
+    /// entirely from the result cache.
     pub fn handle_envelope(&self, envelope: Envelope) -> Reply {
         if envelope.version == 0 || envelope.version > PROTOCOL_VERSION {
             return Reply::fail(
@@ -90,8 +117,8 @@ impl Engine {
                 envelope.id,
                 Response::Batch(self.run_batch(envelope.id, steps)),
             ),
-            other => match self.handle_single(other) {
-                Ok(response) => Reply::ok(envelope.id, response),
+            other => match self.dispatch(other) {
+                Ok((response, cached)) => Reply::ok(envelope.id, response).with_cached(cached),
                 Err(error) => Reply::fail(envelope.id, error),
             },
         }
@@ -168,12 +195,12 @@ impl Engine {
                 replies.push(Reply::fail(id, error));
                 break;
             }
-            match self.handle_single(step) {
-                Ok(response) => {
+            match self.dispatch(step) {
+                Ok((response, cached)) => {
                     if let Response::SessionCreated { session, .. } = &response {
                         last_session = Some(*session);
                     }
-                    replies.push(Reply::ok(id, response));
+                    replies.push(Reply::ok(id, response).with_cached(cached));
                 }
                 Err(error) => {
                     replies.push(Reply::fail(id, error));
@@ -184,8 +211,112 @@ impl Engine {
         replies
     }
 
-    fn handle_single(&self, request: Request) -> Result<Response, ApiError> {
+    /// Execute one non-batch request, reporting whether an analysis
+    /// response was served entirely from the result cache.
+    fn dispatch(&self, request: Request) -> Result<(Response, bool), ApiError> {
         match request {
+            Request::DriverImportanceView { session, verify } => {
+                self.run_analysis(session, AnalysisSpec::DriverImportance { verify })
+            }
+            Request::SensitivityView {
+                session,
+                perturbations,
+            } => self.run_analysis(
+                session,
+                AnalysisSpec::Sensitivity {
+                    perturbations,
+                    clamp_non_negative: true,
+                },
+            ),
+            Request::ComparisonView {
+                session,
+                percentages,
+            } => self.run_analysis(session, AnalysisSpec::Comparison { percentages }),
+            Request::PerDataView {
+                session,
+                row,
+                perturbations,
+            } => self.run_analysis(session, AnalysisSpec::PerData { row, perturbations }),
+            Request::GoalInversionView {
+                session,
+                goal,
+                constraints,
+                optimizer,
+                seed,
+            } => self.run_analysis(
+                session,
+                AnalysisSpec::GoalInversion {
+                    goal,
+                    constraints,
+                    optimizer: optimizer.unwrap_or_default(),
+                    seed,
+                },
+            ),
+            Request::EvaluateScenarios {
+                session,
+                scenarios,
+                record,
+                n_threads,
+            } => self.with_session(session, |entry| {
+                let model = entry.model.take().ok_or_else(ApiError::not_trained)?;
+                let analysis = AnalysisSpec::Scenarios {
+                    scenarios,
+                    n_threads: n_threads
+                        .unwrap_or(whatif_core::bulk::DEFAULT_SCENARIO_THREADS)
+                        .max(1),
+                };
+                let outcome = analysis.execute_cached(&model, &self.cache);
+                entry.model = Some(model);
+                let (SpecOutcome::Scenarios(outcomes), cached) = outcome? else {
+                    return Err(ApiError::new(
+                        ErrorCode::Internal,
+                        "scenario spec produced a non-scenario outcome",
+                    ));
+                };
+                let recorded_ids = if record {
+                    entry.ledger.record_outcomes(&outcomes)
+                } else {
+                    Vec::new()
+                };
+                Ok((
+                    Response::ScenariosEvaluated {
+                        outcomes,
+                        recorded_ids,
+                    },
+                    cached,
+                ))
+            }),
+            Request::CacheStats => Ok((Response::CacheStats(self.cache.stats()), false)),
+            Request::ConfigureCache {
+                capacity_bytes,
+                enabled,
+            } => {
+                self.cache
+                    .configure(capacity_bytes.map(|b| b as usize), enabled);
+                Ok((Response::CacheStats(self.cache.stats()), false))
+            }
+            other => self.handle_plain(other).map(|response| (response, false)),
+        }
+    }
+
+    /// The non-analysis requests (never cache-served). The match over
+    /// the remaining variants is completed by `dispatch`'s arms — a new
+    /// [`Request`] variant fails to compile until one of the two
+    /// matches handles it.
+    fn handle_plain(&self, request: Request) -> Result<Response, ApiError> {
+        match request {
+            // Handled by `dispatch` before this method is reached.
+            Request::DriverImportanceView { .. }
+            | Request::SensitivityView { .. }
+            | Request::ComparisonView { .. }
+            | Request::PerDataView { .. }
+            | Request::GoalInversionView { .. }
+            | Request::EvaluateScenarios { .. }
+            | Request::CacheStats
+            | Request::ConfigureCache { .. } => Err(ApiError::new(
+                ErrorCode::Internal,
+                "analysis/cache request routed past dispatch",
+            )),
             Request::ListUseCases => Ok(Response::UseCases(
                 UseCase::all()
                     .into_iter()
@@ -280,74 +411,6 @@ impl Engine {
                 entry.model = Some(model);
                 Ok(response)
             }),
-            Request::DriverImportanceView { session, verify } => {
-                self.run_analysis(session, AnalysisSpec::DriverImportance { verify })
-            }
-            Request::SensitivityView {
-                session,
-                perturbations,
-            } => self.run_analysis(
-                session,
-                AnalysisSpec::Sensitivity {
-                    perturbations,
-                    clamp_non_negative: true,
-                },
-            ),
-            Request::ComparisonView {
-                session,
-                percentages,
-            } => self.run_analysis(session, AnalysisSpec::Comparison { percentages }),
-            Request::PerDataView {
-                session,
-                row,
-                perturbations,
-            } => self.run_analysis(session, AnalysisSpec::PerData { row, perturbations }),
-            Request::GoalInversionView {
-                session,
-                goal,
-                constraints,
-                optimizer,
-                seed,
-            } => self.run_analysis(
-                session,
-                AnalysisSpec::GoalInversion {
-                    goal,
-                    constraints,
-                    optimizer: optimizer.unwrap_or_default(),
-                    seed,
-                },
-            ),
-            Request::EvaluateScenarios {
-                session,
-                scenarios,
-                record,
-                n_threads,
-            } => self.with_session(session, |entry| {
-                let model = entry.model.take().ok_or_else(ApiError::not_trained)?;
-                let analysis = AnalysisSpec::Scenarios {
-                    scenarios,
-                    n_threads: n_threads
-                        .unwrap_or(whatif_core::bulk::DEFAULT_SCENARIO_THREADS)
-                        .max(1),
-                };
-                let outcome = analysis.execute(&model);
-                entry.model = Some(model);
-                let SpecOutcome::Scenarios(outcomes) = outcome? else {
-                    return Err(ApiError::new(
-                        ErrorCode::Internal,
-                        "scenario spec produced a non-scenario outcome",
-                    ));
-                };
-                let recorded_ids = if record {
-                    entry.ledger.record_outcomes(&outcomes)
-                } else {
-                    Vec::new()
-                };
-                Ok(Response::ScenariosEvaluated {
-                    outcomes,
-                    recorded_ids,
-                })
-            }),
             Request::RecordScenario { session, name } => {
                 self.with_session(session, |entry| match &entry.last_outcome {
                     Some(LastOutcome::Sensitivity(r)) => Ok(Response::ScenarioRecorded {
@@ -384,14 +447,20 @@ impl Engine {
         }
     }
 
-    /// Execute an analysis spec against a session's trained model,
-    /// recording sensitivity/goal outcomes for `RecordScenario`.
-    fn run_analysis(&self, session: u64, analysis: AnalysisSpec) -> Result<Response, ApiError> {
+    /// Execute an analysis spec against a session's trained model
+    /// through the process-wide result cache, recording
+    /// sensitivity/goal outcomes for `RecordScenario`. The returned
+    /// flag is true when the analysis was served entirely from cache.
+    fn run_analysis(
+        &self,
+        session: u64,
+        analysis: AnalysisSpec,
+    ) -> Result<(Response, bool), ApiError> {
         self.with_session(session, |entry| {
             let model = entry.model.take().ok_or_else(ApiError::not_trained)?;
-            let outcome = analysis.execute(&model);
+            let outcome = analysis.execute_cached(&model, &self.cache);
             entry.model = Some(model);
-            let outcome = outcome?;
+            let (outcome, cached) = outcome?;
             match &outcome {
                 SpecOutcome::Sensitivity(r) => {
                     entry.last_outcome = Some(LastOutcome::Sensitivity(r.clone()));
@@ -401,7 +470,7 @@ impl Engine {
                 }
                 _ => {}
             }
-            Ok(Response::from(outcome))
+            Ok((Response::from(outcome), cached))
         })
     }
 
@@ -433,9 +502,9 @@ impl Engine {
 
     /// Run `f` under the session's own lock, mapping a missing id to
     /// [`ErrorCode::UnknownSession`].
-    fn with_session<F>(&self, id: u64, f: F) -> Result<Response, ApiError>
+    fn with_session<R, F>(&self, id: u64, f: F) -> Result<R, ApiError>
     where
-        F: FnOnce(&mut SessionEntry) -> Result<Response, ApiError>,
+        F: FnOnce(&mut SessionEntry) -> Result<R, ApiError>,
     {
         self.sessions
             .with(id, f)
@@ -880,6 +949,154 @@ mod tests {
         };
         assert_eq!(outcomes.len(), 1);
         assert_eq!(recorded_ids, &[0]);
+    }
+
+    fn load_and_train(engine: &Engine, n_rows: usize, seed: u64) -> u64 {
+        let Ok(Response::SessionCreated { session, .. }) = engine.handle(Request::LoadUseCase {
+            use_case: UseCase::DealClosing,
+            n_rows: Some(n_rows),
+            seed: Some(seed),
+        }) else {
+            panic!("expected SessionCreated");
+        };
+        engine
+            .handle(Request::SelectKpi {
+                session,
+                kpi: "Deal Closed?".into(),
+            })
+            .unwrap();
+        engine
+            .handle(Request::Train {
+                session,
+                config: Some(fast_config()),
+            })
+            .unwrap();
+        session
+    }
+
+    fn sensitivity_reply(engine: &Engine, id: u64, session: u64) -> Reply {
+        engine.handle_envelope(Envelope::new(
+            id,
+            Request::SensitivityView {
+                session,
+                perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+            },
+        ))
+    }
+
+    #[test]
+    fn repeated_analyses_hit_the_cache_and_mark_replies() {
+        let engine = Engine::new();
+        let session = load_and_train(&engine, 220, 3);
+        let cold = sensitivity_reply(&engine, 1, session);
+        assert!(!cold.cached, "first evaluation computes");
+        let warm = sensitivity_reply(&engine, 2, session);
+        assert!(warm.cached, "repeat is served from cache");
+        assert_eq!(
+            cold.result, warm.result,
+            "cached reply is bit-identical on the wire"
+        );
+        let Ok(Response::CacheStats(stats)) = engine.handle(Request::CacheStats) else {
+            panic!("expected CacheStats");
+        };
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(stats.enabled);
+        assert!(stats.entries >= 1);
+    }
+
+    #[test]
+    fn identical_sessions_share_cache_entries_and_retrain_misses() {
+        let engine = Engine::new();
+        // Two sessions over identical data + config ⇒ identical model
+        // fingerprints ⇒ the second session's first question hits.
+        let a = load_and_train(&engine, 220, 3);
+        let b = load_and_train(&engine, 220, 3);
+        assert_ne!(a, b);
+        assert!(!sensitivity_reply(&engine, 1, a).cached);
+        assert!(
+            sensitivity_reply(&engine, 2, b).cached,
+            "same model + same question ⇒ one computation across sessions"
+        );
+        // A session over *different* data must not share.
+        let c = load_and_train(&engine, 230, 3);
+        assert!(!sensitivity_reply(&engine, 3, c).cached);
+        // Retraining bumps the fingerprint epoch: the same question
+        // misses (no stale entry) without any cache flush.
+        engine
+            .handle(Request::Train {
+                session: a,
+                config: Some(ModelConfig {
+                    seed: 99,
+                    ..fast_config()
+                }),
+            })
+            .unwrap();
+        assert!(
+            !sensitivity_reply(&engine, 4, a).cached,
+            "retrained model never sees the old entries"
+        );
+    }
+
+    #[test]
+    fn configure_cache_disables_and_resizes() {
+        let engine = Engine::new();
+        let session = load_and_train(&engine, 220, 3);
+        assert!(!sensitivity_reply(&engine, 1, session).cached);
+        // Disable: same question recomputes, stats freeze.
+        let Ok(Response::CacheStats(stats)) = engine.handle(Request::ConfigureCache {
+            capacity_bytes: None,
+            enabled: Some(false),
+        }) else {
+            panic!("expected CacheStats");
+        };
+        assert!(!stats.enabled);
+        assert!(!sensitivity_reply(&engine, 2, session).cached);
+        // Re-enable: the retained entry serves instantly.
+        engine
+            .handle(Request::ConfigureCache {
+                capacity_bytes: None,
+                enabled: Some(true),
+            })
+            .unwrap();
+        assert!(sensitivity_reply(&engine, 3, session).cached);
+        // Shrinking to zero evicts everything.
+        let Ok(Response::CacheStats(stats)) = engine.handle(Request::ConfigureCache {
+            capacity_bytes: Some(0),
+            enabled: None,
+        }) else {
+            panic!("expected CacheStats");
+        };
+        assert_eq!(stats.entries, 0);
+        assert!(!sensitivity_reply(&engine, 4, session).cached);
+    }
+
+    #[test]
+    fn cached_scenario_grids_mark_the_batch_reply() {
+        use whatif_core::bulk::ScenarioSpec;
+        use whatif_core::PerturbationSet;
+        let engine = Engine::new();
+        let session = load_and_train(&engine, 220, 3);
+        let grid = || {
+            vec![ScenarioSpec::new(
+                "ome +40%",
+                PerturbationSet::new(vec![Perturbation::percentage("Open Marketing Email", 40.0)]),
+            )]
+        };
+        let request = |scenarios| Request::EvaluateScenarios {
+            session,
+            scenarios,
+            record: false,
+            n_threads: None,
+        };
+        assert!(
+            !engine
+                .handle_envelope(Envelope::new(1, request(grid())))
+                .cached
+        );
+        let warm = engine.handle_envelope(Envelope::new(2, request(grid())));
+        assert!(warm.cached);
+        // The sensitivity view shares the same plan entry.
+        assert!(sensitivity_reply(&engine, 3, session).cached);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! the framing of each request (see `docs/PROTOCOL.md`).
 
 use serde::{Deserialize, Serialize};
+use whatif_cache::CacheStats;
 use whatif_core::bulk::{ScenarioOutcome, ScenarioSpec};
 use whatif_core::goal::{Goal, OptimizerChoice};
 use whatif_core::importance::{DriverImportance, VerificationReport};
@@ -194,6 +195,24 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
+    /// Accounting snapshot of the process-wide result cache (v2):
+    /// hits, misses, insertions, evictions, live entries/bytes,
+    /// capacity, enablement.
+    CacheStats,
+    /// Reconfigure the process-wide result cache (v2). Omitted fields
+    /// keep their current value; the reply is the post-change
+    /// [`Response::CacheStats`] snapshot. Shrinking the capacity evicts
+    /// immediately; disabling makes the cache transparent (every
+    /// analysis recomputes) while retaining entries for instant
+    /// re-warm.
+    ConfigureCache {
+        /// New byte budget, if changing.
+        #[serde(default)]
+        capacity_bytes: Option<u64>,
+        /// New enablement, if changing.
+        #[serde(default)]
+        enabled: Option<bool>,
+    },
     /// Stop the TCP server (connection-level; in-process dispatch
     /// answers with an acknowledgement).
     Shutdown,
@@ -293,6 +312,9 @@ pub enum Response {
     },
     /// Scenario listing, ranked by uplift.
     Scenarios(Vec<Scenario>),
+    /// Result-cache accounting (answer to [`Request::CacheStats`] and
+    /// [`Request::ConfigureCache`]).
+    CacheStats(CacheStats),
     /// Session closed.
     SessionClosed,
     /// Shutdown acknowledged.
@@ -433,15 +455,22 @@ pub struct Reply {
     /// The failure, when it did not.
     #[serde(default)]
     pub error: Option<ApiError>,
+    /// Whether an analysis result was served *entirely* from the
+    /// server's result cache (v2 marker; composite analyses report
+    /// `true` only when every constituent evaluation hit). Always
+    /// `false` for non-analysis responses and on errors.
+    #[serde(default)]
+    pub cached: bool,
 }
 
 impl Reply {
-    /// A success reply.
+    /// A success reply (not served from cache).
     pub fn ok(id: u64, result: Response) -> Reply {
         Reply {
             id,
             result: Some(result),
             error: None,
+            cached: false,
         }
     }
 
@@ -451,7 +480,14 @@ impl Reply {
             id,
             result: None,
             error: Some(error),
+            cached: false,
         }
+    }
+
+    /// Set the cache marker (builder style).
+    pub fn with_cached(mut self, cached: bool) -> Reply {
+        self.cached = cached;
+        self
     }
 
     /// True if this reply carries an error.
@@ -512,6 +548,11 @@ mod tests {
                 record: true,
                 n_threads: Some(8),
             },
+            Request::CacheStats,
+            Request::ConfigureCache {
+                capacity_bytes: Some(1 << 20),
+                enabled: Some(false),
+            },
             Request::Shutdown,
         ];
         for r in reqs {
@@ -519,6 +560,57 @@ mod tests {
             let back: Request = serde_json::from_str(&json).unwrap();
             assert_eq!(r, back);
         }
+    }
+
+    #[test]
+    fn configure_cache_fields_default_to_none() {
+        let req: Request = serde_json::from_str(r#"{"ConfigureCache": {}}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::ConfigureCache {
+                capacity_bytes: None,
+                enabled: None,
+            }
+        );
+        let req: Request =
+            serde_json::from_str(r#"{"ConfigureCache": {"enabled": true}}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::ConfigureCache {
+                capacity_bytes: None,
+                enabled: Some(true),
+            }
+        );
+    }
+
+    #[test]
+    fn cache_stats_response_roundtrips() {
+        let resp = Response::CacheStats(CacheStats {
+            hits: 9,
+            misses: 3,
+            insertions: 3,
+            evictions: 1,
+            entries: 2,
+            bytes: 208,
+            capacity_bytes: 1 << 20,
+            enabled: true,
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(resp, serde_json::from_str::<Response>(&json).unwrap());
+    }
+
+    #[test]
+    fn reply_cached_marker_defaults_false_and_roundtrips() {
+        // A v2 reply without the marker (older writer) parses as
+        // uncached.
+        let legacy: Reply =
+            serde_json::from_str("{\"id\": 1, \"result\": \"SessionClosed\"}").unwrap();
+        assert!(!legacy.cached);
+        // The marker survives a roundtrip.
+        let cached = Reply::ok(4, Response::SessionClosed).with_cached(true);
+        let json = serde_json::to_string(&cached).unwrap();
+        assert!(json.contains("\"cached\":true"), "{json}");
+        assert_eq!(cached, serde_json::from_str::<Reply>(&json).unwrap());
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! The interactive slider loop, timed: what the result cache buys.
+//!
+//! Simulates an analyst working the sensitivity view on the marketing
+//! dataset — dragging each channel's slider across the same percentage
+//! stops, lap after lap, with an Excel-style goal seek thrown in per
+//! lap — first without the cache, then through a shared `EvalCache`.
+//! Prints per-iteration latency and the cache hit rate as the session
+//! progresses, and verifies the cached answers are bit-identical.
+//!
+//! ```text
+//! cargo run --release --example interactive_loop
+//! ```
+
+use std::time::Instant;
+use whatif::core::cached::EvalCache;
+use whatif::datagen::marketing_mix;
+use whatif::prelude::*;
+
+const SLIDER_STOPS: [f64; 9] = [-40.0, -30.0, -20.0, -10.0, 0.0, 10.0, 20.0, 30.0, 40.0];
+const LAPS: usize = 4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = marketing_mix(360, 11);
+    let refs = dataset.driver_refs();
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)?
+        .with_drivers(&refs)?;
+    let model = session.train(&ModelConfig::default())?;
+    println!(
+        "marketing model: {} drivers × {} days, baseline sales {:.0}\n",
+        model.driver_names().len(),
+        model.matrix().n_rows(),
+        model.baseline_kpi()
+    );
+
+    type LapResult = Result<(usize, std::time::Duration), whatif::core::CoreError>;
+
+    // One lap = every (channel, stop) sensitivity + one goal seek.
+    let lap_uncached = |checksum: &mut f64| -> LapResult {
+        let start = Instant::now();
+        let mut evals = 0;
+        for channel in model.driver_names().to_vec() {
+            for &pct in &SLIDER_STOPS {
+                let set =
+                    PerturbationSet::new(vec![Perturbation::percentage(channel.clone(), pct)]);
+                *checksum += model.sensitivity(&set)?.perturbed_kpi;
+                evals += 1;
+            }
+        }
+        *checksum += model
+            .goal_seek_driver("TV", model.baseline_kpi() * 1.05, -40.0, 80.0, 1e-9)?
+            .achieved_kpi;
+        evals += 1;
+        Ok((evals, start.elapsed()))
+    };
+    let lap_cached = |cache: &EvalCache, checksum: &mut f64| -> LapResult {
+        let start = Instant::now();
+        let mut evals = 0;
+        for channel in model.driver_names().to_vec() {
+            for &pct in &SLIDER_STOPS {
+                let set =
+                    PerturbationSet::new(vec![Perturbation::percentage(channel.clone(), pct)]);
+                *checksum += model.sensitivity_cached(&set, cache)?.0.perturbed_kpi;
+                evals += 1;
+            }
+        }
+        *checksum += model
+            .goal_seek_driver_cached("TV", model.baseline_kpi() * 1.05, -40.0, 80.0, 1e-9, cache)?
+            .0
+            .achieved_kpi;
+        evals += 1;
+        Ok((evals, start.elapsed()))
+    };
+
+    println!("— without cache: every lap recomputes —");
+    let mut uncached_sum = 0.0;
+    let mut uncached_first_lap = std::time::Duration::ZERO;
+    for lap in 1..=LAPS {
+        let (evals, elapsed) = lap_uncached(&mut uncached_sum)?;
+        if lap == 1 {
+            uncached_first_lap = elapsed;
+        }
+        println!(
+            "  lap {lap}: {evals} evaluations in {elapsed:>10.1?}  ({:>7.1?}/eval)",
+            elapsed / evals as u32
+        );
+    }
+
+    println!("\n— with cache: lap 1 fills, laps 2+ replay —");
+    let cache = EvalCache::default();
+    let mut cached_sum = 0.0;
+    let mut warm_lap = std::time::Duration::ZERO;
+    for lap in 1..=LAPS {
+        let before = cache.stats();
+        let (evals, elapsed) = lap_cached(&cache, &mut cached_sum)?;
+        let after = cache.stats();
+        let lap_hits = after.hits - before.hits;
+        let lap_lookups = lap_hits + (after.misses - before.misses);
+        warm_lap = elapsed;
+        println!(
+            "  lap {lap}: {evals} evaluations in {elapsed:>10.1?}  ({:>7.1?}/eval)  hit rate {:>5.1}%",
+            elapsed / evals as u32,
+            100.0 * lap_hits as f64 / lap_lookups.max(1) as f64,
+        );
+    }
+
+    // The cached session must reproduce the uncached numbers exactly:
+    // laps are identical, so checksums agree bit for bit.
+    assert_eq!(
+        (uncached_sum / LAPS as f64).to_bits(),
+        (cached_sum / LAPS as f64).to_bits(),
+        "cached loop drifted from uncached"
+    );
+
+    let stats = cache.stats();
+    println!("\ncache after the session: {stats:?}");
+    println!("lifetime hit rate: {:.1}%", 100.0 * stats.hit_rate());
+    if warm_lap.as_nanos() > 0 {
+        println!(
+            "steady-state speedup vs uncached lap: {:.0}×",
+            uncached_first_lap.as_secs_f64() / warm_lap.as_secs_f64()
+        );
+    }
+    Ok(())
+}

@@ -11,10 +11,12 @@
 //! | [`learn`] | `whatif-learn` | linear models, CART, random forests, Shapley |
 //! | [`optim`] | `whatif-optim` | Bayesian optimization + baseline optimizers |
 //! | [`datagen`] | `whatif-datagen` | synthetic business use-case generators |
+//! | [`cache`] | `whatif-cache` | content-addressed result cache + fingerprinting |
 //! | [`core`] | `whatif-core` | the four what-if analyses + scenarios + spec |
 //! | [`server`] | `whatif-server` | JSON view protocol (Figure 2 A–I) |
 //! | [`study`] | `whatif-study` | user-study simulator (Table 1, Figure 3) |
 
+pub use whatif_cache as cache;
 pub use whatif_core as core;
 pub use whatif_datagen as datagen;
 pub use whatif_frame as frame;

@@ -1,0 +1,282 @@
+//! Equivalence suite for the result cache: every cached evaluation path
+//! must be **bit-identical** to its uncached counterpart — on the cold
+//! call that populates the cache *and* on the warm call served from it
+//! — across random models, perturbation sets, and analysis shapes; and
+//! fingerprinting must guarantee that retraining or swapping training
+//! data can never serve a stale entry (changed inputs ⇒ changed
+//! fingerprint ⇒ miss).
+
+use proptest::prelude::*;
+use whatif::core::bulk::{ScenarioSet, ScenarioSpec};
+use whatif::core::cached::EvalCache;
+use whatif::core::kpi::KpiKind;
+use whatif::core::model_backend::{ModelConfig, ModelKind, TrainedModel};
+use whatif::core::perturbation::{Perturbation, PerturbationSet};
+use whatif::core::{Goal, GoalConfig, OptimizerChoice};
+use whatif::learn::Matrix;
+
+const DRIVERS: usize = 3;
+
+fn driver_names() -> Vec<String> {
+    (0..DRIVERS).map(|j| format!("d{j}")).collect()
+}
+
+/// Deterministically expand a compact seed into a training set (same
+/// scheme as tests/overlay_equivalence.rs).
+fn training_data(seed: u64, n_rows: usize) -> (Matrix, Vec<f64>) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 10.0
+    };
+    let rows: Vec<Vec<f64>> = (0..n_rows)
+        .map(|_| (0..DRIVERS).map(|_| next()).collect())
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 3.0 * r[0] - 1.5 * r[1] + 0.25 * r[2] + next() * 0.01)
+        .collect();
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn fit(kind: ModelKind, seed: u64, n_rows: usize) -> TrainedModel {
+    let (x, y) = training_data(seed, n_rows);
+    let config = ModelConfig {
+        kind,
+        n_trees: 12,
+        max_depth: 6,
+        seed,
+        ..ModelConfig::default()
+    };
+    TrainedModel::fit("y", KpiKind::Continuous, driver_names(), x, y, &config).unwrap()
+}
+
+/// Random perturbation set from generated raw parts (dedup on driver).
+fn build_set(raw: &[(usize, bool, f64)], clamp: bool) -> PerturbationSet {
+    let mut used = [false; DRIVERS];
+    let mut perturbations = Vec::new();
+    for &(which, absolute, magnitude) in raw {
+        let j = which % DRIVERS;
+        if used[j] {
+            continue;
+        }
+        used[j] = true;
+        let name = format!("d{j}");
+        perturbations.push(if absolute {
+            Perturbation::absolute(name, magnitude)
+        } else {
+            Perturbation::percentage(name, magnitude)
+        });
+    }
+    let set = PerturbationSet::new(perturbations);
+    if clamp {
+        set
+    } else {
+        set.without_clamp()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    // Cold call == uncached path == warm call, bit for bit, for both
+    // model families, across random perturbation sets and clamps; and
+    // the warm call actually hits.
+    #[test]
+    fn cached_sensitivity_is_bit_identical_and_hits(
+        seed in 0u64..1000,
+        raw in prop::collection::vec((0usize..DRIVERS, 0u32..2, -80.0f64..150.0), 0..4),
+        clamp_flag in 0u32..2,
+        forest_flag in 0u32..2,
+    ) {
+        let raw: Vec<(usize, bool, f64)> =
+            raw.iter().map(|&(w, a, m)| (w, a == 1, m)).collect();
+        let set = build_set(&raw, clamp_flag == 1);
+        let kind = if forest_flag == 1 { ModelKind::RandomForest } else { ModelKind::Linear };
+        let model = fit(kind, seed, 40);
+        let cache = EvalCache::default();
+
+        let reference = model.sensitivity(&set).unwrap();
+        let (cold, cold_hit) = model.sensitivity_cached(&set, &cache).unwrap();
+        let (warm, warm_hit) = model.sensitivity_cached(&set, &cache).unwrap();
+        prop_assert!(!cold_hit);
+        prop_assert!(warm_hit);
+        prop_assert!(cold.perturbed_kpi.to_bits() == reference.perturbed_kpi.to_bits());
+        prop_assert!(warm.perturbed_kpi.to_bits() == reference.perturbed_kpi.to_bits());
+        prop_assert!(cold.baseline_kpi.to_bits() == reference.baseline_kpi.to_bits());
+
+        // A bit-identical *refit* shares the warm cache (same
+        // fingerprint), still bit-identically.
+        let twin = fit(kind, seed, 40);
+        prop_assert_eq!(twin.fingerprint(), model.fingerprint());
+        let (shared, shared_hit) = twin.sensitivity_cached(&set, &cache).unwrap();
+        prop_assert!(shared_hit, "identical retrain shares entries");
+        prop_assert!(shared.perturbed_kpi.to_bits() == reference.perturbed_kpi.to_bits());
+    }
+
+    // Retraining on different data/config never serves a stale entry:
+    // the changed fingerprint forces a miss and the fresh computation
+    // matches that model's own uncached result.
+    #[test]
+    fn changed_model_never_serves_stale_entries(
+        seed in 0u64..500,
+        pct in -60.0f64..120.0,
+        variant in 0u32..3,
+    ) {
+        let set = PerturbationSet::new(vec![Perturbation::percentage("d0", pct)]);
+        let cache = EvalCache::default();
+        let original = fit(ModelKind::Linear, seed, 40);
+        let (kpi_a, _) = original.kpi_for_plan_cached(
+            &original.compile_perturbations(&set).unwrap(), &cache).unwrap();
+
+        // Perturb the world three ways: new data, new seed (forest:
+        // different trees), new rows.
+        let changed = match variant {
+            0 => fit(ModelKind::Linear, seed + 1, 40),
+            1 => fit(ModelKind::RandomForest, seed, 40),
+            _ => fit(ModelKind::Linear, seed, 44),
+        };
+        prop_assert_ne!(changed.fingerprint(), original.fingerprint());
+        let (kpi_b, hit) = changed.kpi_for_plan_cached(
+            &changed.compile_perturbations(&set).unwrap(), &cache).unwrap();
+        prop_assert!(!hit, "fingerprint change ⇒ miss, never a stale read");
+        prop_assert!(kpi_b.to_bits() == changed.sensitivity(&set).unwrap().perturbed_kpi.to_bits());
+        // The original's entry is still intact and still correct.
+        let (kpi_a2, hit) = original.kpi_for_plan_cached(
+            &original.compile_perturbations(&set).unwrap(), &cache).unwrap();
+        prop_assert!(hit);
+        prop_assert!(kpi_a2.to_bits() == kpi_a.to_bits());
+    }
+
+    // Bulk scenario evaluation through the cache equals the uncached
+    // bulk path for every scenario, whether entries are cold, warm, or
+    // partially warmed by earlier single-scenario calls.
+    #[test]
+    fn cached_scenarios_equal_uncached_in_any_warmth_state(
+        seed in 0u64..500,
+        pcts in prop::collection::vec(-50.0f64..100.0, 1..10),
+        threads in 1usize..5,
+        warm_prefix in 0usize..4,
+    ) {
+        let model = fit(ModelKind::Linear, seed, 36);
+        let cache = EvalCache::default();
+        let scenarios: Vec<ScenarioSpec> = pcts
+            .iter()
+            .enumerate()
+            .map(|(i, &pct)| {
+                ScenarioSpec::new(
+                    format!("s{i}"),
+                    PerturbationSet::new(vec![Perturbation::percentage(
+                        format!("d{}", i % DRIVERS),
+                        pct,
+                    )]),
+                )
+            })
+            .collect();
+        // Pre-warm a prefix through the sensitivity path.
+        for spec in scenarios.iter().take(warm_prefix) {
+            model.sensitivity_cached(&spec.perturbations, &cache).unwrap();
+        }
+        let set = ScenarioSet::new(scenarios.clone()).with_threads(threads);
+        let reference = model.evaluate_scenarios(&set).unwrap();
+        let (outcomes, all_cached) = model.evaluate_scenarios_cached(&set, &cache).unwrap();
+        prop_assert_eq!(all_cached, warm_prefix >= scenarios.len());
+        for (o, r) in outcomes.iter().zip(&reference) {
+            prop_assert_eq!(&o.name, &r.name);
+            prop_assert!(o.kpi.to_bits() == r.kpi.to_bits());
+        }
+        // And a full repeat is a full hit, still bit-identical.
+        let (warm, all_cached) = model.evaluate_scenarios_cached(&set, &cache).unwrap();
+        prop_assert!(all_cached);
+        for (o, r) in warm.iter().zip(&reference) {
+            prop_assert!(o.kpi.to_bits() == r.kpi.to_bits());
+        }
+    }
+
+    // Comparison sweeps and goal seeks share the same grid entries and
+    // stay bit-identical to their uncached counterparts.
+    #[test]
+    fn cached_comparison_and_goal_seek_are_bit_identical(
+        seed in 0u64..500,
+        span in 5.0f64..80.0,
+    ) {
+        let model = fit(ModelKind::Linear, seed, 36);
+        let cache = EvalCache::default();
+        let percentages = vec![-span, 0.0, span];
+        let reference = model.comparison_analysis(&percentages).unwrap();
+        let (cold, _) = model.comparison_analysis_cached(&percentages, &cache).unwrap();
+        let (warm, warm_hit) = model.comparison_analysis_cached(&percentages, &cache).unwrap();
+        prop_assert!(warm_hit);
+        for ((c, w), r) in cold.iter().zip(&warm).zip(&reference) {
+            for ((cv, wv), rv) in c.kpi_values.iter().zip(&w.kpi_values).zip(&r.kpi_values) {
+                prop_assert!(cv.to_bits() == rv.to_bits());
+                prop_assert!(wv.to_bits() == rv.to_bits());
+            }
+        }
+
+        let target = model.baseline_kpi() * 1.05;
+        let reference = model.goal_seek_driver("d0", target, -50.0, 100.0, 1e-9).unwrap();
+        let (cold, _) = model
+            .goal_seek_driver_cached("d0", target, -50.0, 100.0, 1e-9, &cache)
+            .unwrap();
+        let (warm, warm_hit) = model
+            .goal_seek_driver_cached("d0", target, -50.0, 100.0, 1e-9, &cache)
+            .unwrap();
+        prop_assert!(warm_hit, "every bisection probe served from cache");
+        prop_assert_eq!(&cold, &reference);
+        prop_assert_eq!(&warm, &reference);
+    }
+}
+
+/// Goal inversion caches whole results keyed by the full config; a
+/// replay is exact and a reseeded run is a distinct question.
+#[test]
+fn cached_goal_inversion_replays_exactly() {
+    let model = fit(ModelKind::Linear, 7, 40);
+    let cache = EvalCache::default();
+    let mut cfg = GoalConfig::for_goal(Goal::Maximize);
+    cfg.optimizer = OptimizerChoice::Bayesian { n_calls: 24 };
+    let reference = model.goal_inversion(&cfg).unwrap();
+    let (cold, cold_hit) = model.goal_inversion_cached(&cfg, &cache).unwrap();
+    let (warm, warm_hit) = model.goal_inversion_cached(&cfg, &cache).unwrap();
+    assert!(!cold_hit && warm_hit);
+    assert_eq!(cold, reference);
+    assert_eq!(warm, reference);
+    let reseeded = GoalConfig { seed: 3, ..cfg };
+    let (_, hit) = model.goal_inversion_cached(&reseeded, &cache).unwrap();
+    assert!(!hit, "different seed is a different question");
+}
+
+/// Eviction under a tiny budget degrades to recomputation, never to a
+/// wrong answer.
+#[test]
+fn eviction_degrades_to_recomputation_not_corruption() {
+    let model = fit(ModelKind::Linear, 11, 36);
+    // Budget of a few entries across 16 shards: heavy eviction.
+    let cache = EvalCache::new(4096);
+    let sets: Vec<PerturbationSet> = (0..200)
+        .map(|i| {
+            PerturbationSet::new(vec![Perturbation::percentage(
+                format!("d{}", i % DRIVERS),
+                i as f64,
+            )])
+        })
+        .collect();
+    for _ in 0..3 {
+        for set in &sets {
+            let (kpi, _) = model.sensitivity_cached(set, &cache).unwrap();
+            let reference = model.sensitivity(set).unwrap();
+            assert!(kpi.perturbed_kpi.to_bits() == reference.perturbed_kpi.to_bits());
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "budget actually forced evictions");
+    assert!(
+        stats.bytes <= stats.capacity_bytes,
+        "budget respected: {} > {}",
+        stats.bytes,
+        stats.capacity_bytes
+    );
+}

@@ -200,6 +200,223 @@ fn v1_and_v2_framings_coexist_on_one_connection() {
     handle.join().unwrap();
 }
 
+/// The session lifecycle end to end: record a scenario from a
+/// sensitivity outcome, list it, close the session, then every
+/// subsequent request on the closed id fails with the
+/// `UnknownSession` code (nothing lingers, nothing panics).
+#[test]
+fn closed_sessions_reject_all_follow_up_requests() {
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(addr).unwrap();
+
+    let replies = client
+        .call_batch(
+            21,
+            vec![
+                Request::LoadUseCase {
+                    use_case: UseCase::DealClosing,
+                    n_rows: Some(180),
+                    seed: Some(4),
+                },
+                Request::SelectKpi {
+                    session: CURRENT_SESSION,
+                    kpi: "Deal Closed?".into(),
+                },
+                Request::Train {
+                    session: CURRENT_SESSION,
+                    config: Some(fast_config()),
+                },
+                Request::SensitivityView {
+                    session: CURRENT_SESSION,
+                    perturbations: vec![Perturbation::percentage("Call", 25.0)],
+                },
+                Request::RecordScenario {
+                    session: CURRENT_SESSION,
+                    name: "calls +25%".into(),
+                },
+                Request::ListScenarios {
+                    session: CURRENT_SESSION,
+                },
+                Request::CloseSession {
+                    session: CURRENT_SESSION,
+                },
+            ],
+        )
+        .unwrap();
+    assert_eq!(replies.len(), 7, "whole lifecycle succeeded");
+    assert!(replies.iter().all(|r| !r.is_error()));
+    let Some(Response::SessionCreated { session, .. }) = &replies[0].result else {
+        panic!("expected SessionCreated first");
+    };
+    let session = *session;
+    let Some(Response::ScenarioRecorded { id }) = &replies[4].result else {
+        panic!("expected ScenarioRecorded");
+    };
+    let Some(Response::Scenarios(listed)) = &replies[5].result else {
+        panic!("expected Scenarios");
+    };
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].id, *id);
+    assert_eq!(listed[0].name, "calls +25%");
+    assert!(matches!(&replies[6].result, Some(Response::SessionClosed)));
+
+    // Every follow-up on the closed id: UnknownSession, both framings.
+    let follow_up = |i: usize| -> Request {
+        match i {
+            0 => Request::TableView {
+                session,
+                max_rows: 1,
+            },
+            1 => Request::SensitivityView {
+                session,
+                perturbations: vec![],
+            },
+            2 => Request::ListScenarios { session },
+            3 => Request::RecordScenario {
+                session,
+                name: "ghost".into(),
+            },
+            _ => Request::CloseSession { session },
+        }
+    };
+    for i in 0..5 {
+        let resp = client.call(&follow_up(i)).unwrap();
+        assert_eq!(
+            resp.as_error().map(|e| e.code),
+            Some(ErrorCode::UnknownSession),
+            "v1 follow-up {i}"
+        );
+        let reply = client.call_v2(100 + i as u64, follow_up(i)).unwrap();
+        assert_eq!(
+            reply.into_result().unwrap_err().code,
+            ErrorCode::UnknownSession,
+            "v2 follow-up {i}"
+        );
+    }
+
+    // A closed id is gone for good: session ids are never reused, so a
+    // brand-new session gets a fresh id.
+    let Response::SessionCreated {
+        session: fresh_id, ..
+    } = client
+        .call(&Request::LoadUseCase {
+            use_case: UseCase::DealClosing,
+            n_rows: Some(60),
+            seed: Some(1),
+        })
+        .unwrap()
+    else {
+        panic!("expected SessionCreated");
+    };
+    assert_ne!(fresh_id, session);
+
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+/// The result cache over the wire: concurrent clients asking the same
+/// question share one computation, replies carry the v2 `cached`
+/// marker, and `CacheStats` accounting stays consistent under
+/// concurrency (every lookup counted exactly once, per-client repeats
+/// guaranteed to hit).
+#[test]
+fn cache_stats_are_consistent_under_concurrent_clients() {
+    const N_CLIENTS: usize = 4;
+    const REPEATS: usize = 6;
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+
+    // One shared session: same model, same question, many clients.
+    let mut setup = Client::connect(addr).unwrap();
+    let replies = setup
+        .call_batch(
+            1,
+            vec![
+                Request::LoadUseCase {
+                    use_case: UseCase::DealClosing,
+                    n_rows: Some(200),
+                    seed: Some(5),
+                },
+                Request::SelectKpi {
+                    session: CURRENT_SESSION,
+                    kpi: "Deal Closed?".into(),
+                },
+                Request::Train {
+                    session: CURRENT_SESSION,
+                    config: Some(fast_config()),
+                },
+            ],
+        )
+        .unwrap();
+    let Some(Response::SessionCreated { session, .. }) = &replies[0].result else {
+        panic!("expected SessionCreated");
+    };
+    let session = *session;
+
+    let workers: Vec<_> = (0..N_CLIENTS)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut hits = 0usize;
+                for r in 0..REPEATS {
+                    let reply = client
+                        .call_v2(
+                            (k * REPEATS + r) as u64,
+                            Request::SensitivityView {
+                                session,
+                                perturbations: vec![Perturbation::percentage(
+                                    "Open Marketing Email",
+                                    40.0,
+                                )],
+                            },
+                        )
+                        .unwrap();
+                    assert!(!reply.is_error());
+                    if reply.cached {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    let client_hits: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+
+    let reply = setup.call_v2(999, Request::CacheStats).unwrap();
+    let Response::CacheStats(stats) = reply.into_result().unwrap() else {
+        panic!("expected CacheStats");
+    };
+    let lookups = (N_CLIENTS * REPEATS) as u64;
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups,
+        "every lookup counted exactly once"
+    );
+    // After a client's own first call, its remaining repeats are
+    // guaranteed hits; only first calls can race into misses.
+    assert!(
+        stats.hits >= (N_CLIENTS * (REPEATS - 1)) as u64,
+        "hits {} too low",
+        stats.hits
+    );
+    assert!(
+        stats.misses <= N_CLIENTS as u64,
+        "misses {} exceed the first-call race bound",
+        stats.misses
+    );
+    assert_eq!(
+        client_hits as u64, stats.hits,
+        "reply markers agree with server accounting"
+    );
+    assert_eq!(stats.insertions, stats.misses, "every miss was stored");
+    assert!(stats.entries >= 1);
+    assert!(stats.bytes <= stats.capacity_bytes);
+    assert!(stats.enabled);
+    assert!(stats.hit_rate() > 0.5);
+
+    setup.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
 /// Typed error codes surface through both framings over TCP.
 #[test]
 fn error_codes_surface_over_the_wire() {
