@@ -1,0 +1,78 @@
+//! The model-store workloads: train-once dedup and lock-free analysis
+//! dispatch. The interesting numbers are wall-clock ratios, so this
+//! bench first runs `experiments::store_bench` and emits the
+//! machine-readable `BENCH_store.json` (train-dedup speedup, concurrent
+//! slider-loop latency with dispatch serialized vs lock-free), then
+//! measures the store's per-operation costs under criterion: a share is
+//! a fingerprint hash plus one sharded-map lookup, so it must sit
+//! orders of magnitude below a real training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use whatif_bench::experiments::{store_bench, write_store_bench_json, Scale};
+use whatif_core::model_backend::ModelConfig;
+use whatif_core::store::ModelStore;
+use whatif_core::Session;
+use whatif_datagen::deal_closing;
+
+fn bench_store(c: &mut Criterion) {
+    // Emit the report first: `cargo bench -p whatif-bench --bench
+    // bench_store` always leaves BENCH_store.json behind.
+    let report = store_bench(Scale::Quick, 7);
+    write_store_bench_json("BENCH_store.json", &report).expect("write BENCH_store.json");
+    println!(
+        "BENCH_store.json: train dedup {:.1}x ({:.1} ms -> {:.3} ms/share), \
+         dispatch {:.2}x ({:.1} ms locked -> {:.1} ms lock-free)",
+        report.train_dedup_speedup,
+        report.per_session_train_ms,
+        report.share_ms,
+        report.dispatch_speedup,
+        report.locked_dispatch_ms,
+        report.lock_free_dispatch_ms,
+    );
+
+    let dataset = deal_closing(600, 7);
+    let config = ModelConfig {
+        n_trees: 24,
+        max_depth: 8,
+        ..ModelConfig::default()
+    };
+    let session = || {
+        Session::new(dataset.frame.clone())
+            .with_kpi(&dataset.kpi)
+            .expect("KPI exists")
+    };
+
+    let mut group = c.benchmark_group("store");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // The pre-store cost: every session trains its own forest.
+    group.bench_function("train_per_session", |b| {
+        b.iter(|| session().train(&config).expect("trains"))
+    });
+
+    // The store hit: fingerprint the training request, share the Arc.
+    let store = ModelStore::default();
+    store.train_or_share(&session(), &config).expect("trains");
+    group.bench_function("share_from_store", |b| {
+        b.iter(|| {
+            let (model, shared) = store.train_or_share(&session(), &config).expect("shares");
+            assert!(shared);
+            model
+        })
+    });
+
+    // The key alone: what the dedup decision costs.
+    let s = session();
+    group.bench_function("train_fingerprint", |b| {
+        b.iter(|| s.train_fingerprint(&config).expect("valid"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -21,6 +21,13 @@
 //!   evaluation results, with hit/miss/insertion/eviction/byte
 //!   accounting exposed as a serializable [`CacheStats`].
 //!
+//! * [`shared`] — [`SharedStore`], the train-once dedup layer: a
+//!   build-at-most-once map from [`Fingerprint`] to `Arc`-shared values
+//!   with byte accounting and eviction of unreferenced entries.
+//!   `whatif-core` instantiates it with trained models, so N sessions
+//!   loading the same data with the same configuration train **once**
+//!   and share one model.
+//!
 //! The crate is value-type agnostic: `whatif-core` instantiates
 //! [`ResultCache`] with its own outcome enum and routes the hot
 //! evaluation paths (sensitivity, comparison sweeps, per-data analysis,
@@ -30,7 +37,9 @@
 //! cache-sized key populations.
 
 pub mod fingerprint;
+pub mod shared;
 pub mod store;
 
 pub use fingerprint::{Fingerprint, Hasher128};
+pub use shared::{SharedStore, StoreStats};
 pub use store::{CacheKey, CacheStats, CacheWeight, ResultCache};

@@ -1,0 +1,494 @@
+//! The train-once shared-value store.
+//!
+//! [`SharedStore`] maps a content [`Fingerprint`] to an `Arc`-shared
+//! value that is **built at most once** per key, process-wide: the
+//! first caller of [`SharedStore::get_or_build`] runs the (possibly
+//! very expensive) builder while holding only that key's slot lock, so
+//! concurrent callers asking for the *same* key block until the value
+//! exists and then share it, while callers for *different* keys proceed
+//! unimpeded. `whatif-core` instantiates this with trained models: N
+//! sessions loading the same CSV with the same configuration train one
+//! model and share one `Arc`.
+//!
+//! Unlike [`crate::store::ResultCache`] — which clones values out and
+//! may evict at any time — entries here are handed out by reference
+//! count, so the store can only ever evict values nobody else is
+//! holding (`Arc::strong_count == 1`). Byte accounting uses the same
+//! [`CacheWeight`] trait; when live bytes exceed the configured budget,
+//! unreferenced entries are dropped oldest-first. Referenced entries
+//! are never dropped, so the store can run above budget while every
+//! model is in active use — the budget bounds *idle* memory, not
+//! correctness.
+
+use crate::fingerprint::Fingerprint;
+use crate::store::CacheWeight;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Number of independently locked shards.
+pub const N_SHARDS: usize = 16;
+
+/// Fixed per-entry overhead charged on top of the value's own weight:
+/// the key, the map slot, the slot mutex, and the `Arc` bookkeeping.
+pub const ENTRY_OVERHEAD_BYTES: usize = 128;
+
+/// A point-in-time accounting snapshot of a [`SharedStore`],
+/// serializable for the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Lookups served by an existing entry — builds avoided.
+    pub hits: u64,
+    /// Lookups that had to run the builder.
+    pub misses: u64,
+    /// Builder runs that returned an error (a subset of `misses`; the
+    /// failed key is removed so a later lookup retries).
+    #[serde(default)]
+    pub build_failures: u64,
+    /// Live entries right now.
+    pub entries: u64,
+    /// Live entries currently shared with at least one external holder
+    /// (`Arc::strong_count > 1`); these are never evicted.
+    pub referenced: u64,
+    /// Live bytes right now (values + per-entry overhead).
+    pub bytes: u64,
+    /// Configured byte budget for *unreferenced* residency.
+    pub capacity_bytes: u64,
+    /// Unreferenced entries dropped to respect the budget (or by an
+    /// explicit eviction sweep).
+    pub evictions: u64,
+}
+
+impl StoreStats {
+    /// Hits over lookups, in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// One key's slot. The value is built under the slot's own lock, so
+/// same-key callers serialize on exactly this mutex and nothing else.
+struct SlotState<M> {
+    value: Option<Arc<M>>,
+    /// Charged bytes (value weight + overhead), valid when `value` is set.
+    weight: usize,
+    /// Recency stamp from the store-wide tick (eviction is oldest-first).
+    stamp: u64,
+}
+
+type Slot<M> = Arc<Mutex<SlotState<M>>>;
+
+/// A sharded, byte-budgeted, build-once store of shared values.
+///
+/// Thread-safe behind `&self`; intended to live process-wide behind an
+/// `Arc`. See the module docs for the eviction contract.
+pub struct SharedStore<M> {
+    shards: Vec<Mutex<HashMap<Fingerprint, Slot<M>>>>,
+    capacity_bytes: AtomicUsize,
+    bytes: AtomicUsize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    build_failures: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<M> SharedStore<M> {
+    /// An empty store with the given byte budget for unreferenced
+    /// residency.
+    pub fn new(capacity_bytes: usize) -> SharedStore<M> {
+        SharedStore {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity_bytes: AtomicUsize::new(capacity_bytes),
+            bytes: AtomicUsize::new(0),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            build_failures: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Change the byte budget; shrinking evicts unreferenced entries
+    /// down to the new budget immediately.
+    pub fn set_capacity_bytes(&self, capacity_bytes: usize) {
+        self.capacity_bytes.store(capacity_bytes, Ordering::Relaxed);
+        self.evict_unreferenced_to(capacity_bytes);
+    }
+
+    fn shard(&self, key: &Fingerprint) -> &Mutex<HashMap<Fingerprint, Slot<M>>> {
+        &self.shards[(key.lo % N_SHARDS as u64) as usize]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fetch the value for `key`, running `build` to create it if (and
+    /// only if) no caller has built it yet. Returns the shared value
+    /// plus `true` when it was served from an existing entry.
+    ///
+    /// Same-key callers serialize on the key's slot (the second caller
+    /// blocks until the first finishes building, then shares the
+    /// result); different keys never contend beyond a brief shard-map
+    /// access. A failed build removes the key so a later call retries.
+    ///
+    /// # Errors
+    /// Exactly the builder's error, when the builder runs and fails.
+    pub fn get_or_build<E>(
+        &self,
+        key: Fingerprint,
+        build: impl FnOnce() -> Result<M, E>,
+    ) -> Result<(Arc<M>, bool), E>
+    where
+        M: CacheWeight,
+    {
+        let slot = {
+            let mut shard = lock(self.shard(&key));
+            shard
+                .entry(key)
+                .or_insert_with(|| {
+                    Arc::new(Mutex::new(SlotState {
+                        value: None,
+                        weight: 0,
+                        stamp: 0,
+                    }))
+                })
+                .clone()
+        };
+        let mut state = lock(&slot);
+        if let Some(value) = &state.value {
+            let value = value.clone();
+            state.stamp = self.next_tick();
+            drop(state);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((value, true));
+        }
+        // Empty slot: this caller builds (whoever wins the slot lock
+        // first — creator or a waiter racing a failed build's cleanup).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match build() {
+            Ok(value) => {
+                let weight = value.weight_bytes() + ENTRY_OVERHEAD_BYTES;
+                let arc = Arc::new(value);
+                state.value = Some(arc.clone());
+                state.weight = weight;
+                state.stamp = self.next_tick();
+                drop(state);
+                // Re-link the slot if a failed-build cleanup orphaned it
+                // between our map access and the build finishing.
+                let mut shard = lock(self.shard(&key));
+                let linked = shard.entry(key).or_insert_with(|| slot.clone());
+                let counted = Arc::ptr_eq(linked, &slot);
+                drop(shard);
+                if counted {
+                    self.bytes.fetch_add(weight, Ordering::Relaxed);
+                    self.evict_unreferenced_to(self.capacity_bytes());
+                }
+                Ok((arc, false))
+            }
+            Err(e) => {
+                drop(state);
+                self.build_failures.fetch_add(1, Ordering::Relaxed);
+                let mut shard = lock(self.shard(&key));
+                if let Some(current) = shard.get(&key) {
+                    // Only unlink our own still-empty slot. try_lock,
+                    // not lock: we hold the shard mutex here, and a
+                    // locked slot means a concurrent rebuild owns the
+                    // key (possibly for a long build) — blocking on it
+                    // would stall the whole shard, and there is nothing
+                    // to unlink in that case anyway.
+                    let still_empty = Arc::ptr_eq(current, &slot)
+                        && slot.try_lock().is_ok_and(|s| s.value.is_none());
+                    if still_empty {
+                        shard.remove(&key);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop every entry nobody outside the store is holding, regardless
+    /// of budget. Returns how many entries were dropped.
+    pub fn evict_unreferenced(&self) -> u64 {
+        self.evict_unreferenced_to(0)
+    }
+
+    /// Drop unreferenced entries, oldest-first, until live bytes fall
+    /// to `budget` (or nothing evictable remains). Entries with
+    /// external holders are never touched.
+    fn evict_unreferenced_to(&self, budget: usize) -> u64 {
+        if self.bytes.load(Ordering::Relaxed) <= budget {
+            return 0;
+        }
+        // Collect candidates (key, stamp) without holding slot locks
+        // across shards; re-verify under the locks at removal time.
+        let mut candidates: Vec<(Fingerprint, u64)> = Vec::new();
+        for shard in &self.shards {
+            let shard = lock(shard);
+            for (key, slot) in shard.iter() {
+                if let Ok(state) = slot.try_lock() {
+                    if let Some(value) = &state.value {
+                        if Arc::strong_count(value) == 1 {
+                            candidates.push((*key, state.stamp));
+                        }
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable_by_key(|&(_, stamp)| stamp);
+        let mut evicted = 0u64;
+        for (key, _) in candidates {
+            if self.bytes.load(Ordering::Relaxed) <= budget {
+                break;
+            }
+            let mut shard = lock(self.shard(&key));
+            let Some(slot) = shard.get(&key).cloned() else {
+                continue;
+            };
+            let Ok(state) = slot.try_lock() else {
+                continue;
+            };
+            // Re-check: a reader may have grabbed a reference since the
+            // scan — referenced entries stay.
+            let evictable = state
+                .value
+                .as_ref()
+                .is_some_and(|v| Arc::strong_count(v) == 1);
+            if evictable {
+                let weight = state.weight;
+                drop(state);
+                shard.remove(&key);
+                self.bytes.fetch_sub(weight, Ordering::Relaxed);
+                evicted += 1;
+            }
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Accounting snapshot. `entries`/`referenced`/`bytes` are read
+    /// shard by shard, so under concurrent writers the snapshot is
+    /// approximate but each counter is individually exact.
+    pub fn stats(&self) -> StoreStats {
+        let (mut entries, mut referenced, mut bytes) = (0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            let shard = lock(shard);
+            for slot in shard.values() {
+                let Ok(state) = slot.try_lock() else {
+                    // A build in flight: not a live entry yet.
+                    continue;
+                };
+                if let Some(value) = &state.value {
+                    entries += 1;
+                    bytes += state.weight as u64;
+                    if Arc::strong_count(value) > 1 {
+                        referenced += 1;
+                    }
+                }
+            }
+        }
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            build_failures: self.build_failures.load(Ordering::Relaxed),
+            entries,
+            referenced,
+            bytes,
+            capacity_bytes: self.capacity_bytes() as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// Poisoning cannot corrupt a slot's invariants (a panicking builder
+// leaves the slot empty, which the error path already handles), so
+// recover rather than cascade panics across client threads.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Hasher128;
+
+    #[derive(Debug)]
+    struct Weighted(u64, usize);
+    impl CacheWeight for Weighted {
+        fn weight_bytes(&self) -> usize {
+            self.1
+        }
+    }
+
+    fn key(n: u64) -> Fingerprint {
+        let mut h = Hasher128::new();
+        h.write_u64(n);
+        h.finish()
+    }
+
+    #[test]
+    fn builds_once_and_shares() {
+        let store: SharedStore<Weighted> = SharedStore::new(1 << 20);
+        let mut builds = 0;
+        let (a, shared) = store
+            .get_or_build::<()>(key(1), || {
+                builds += 1;
+                Ok(Weighted(7, 100))
+            })
+            .unwrap();
+        assert!(!shared);
+        let (b, shared) = store
+            .get_or_build::<()>(key(1), || {
+                builds += 1;
+                Ok(Weighted(8, 100))
+            })
+            .unwrap();
+        assert!(shared, "second lookup shares");
+        assert_eq!(builds, 1, "builder ran once");
+        assert_eq!(b.0, 7, "the first build's value is shared");
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.referenced, 1);
+        assert_eq!(s.bytes, 100 + ENTRY_OVERHEAD_BYTES as u64);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_builds_propagate_and_retry() {
+        let store: SharedStore<Weighted> = SharedStore::new(1 << 20);
+        let err = store
+            .get_or_build::<String>(key(2), || Err("boom".to_owned()))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(store.stats().entries, 0, "failed key removed");
+        assert_eq!(store.stats().build_failures, 1);
+        // The next caller retries cleanly.
+        let (v, shared) = store
+            .get_or_build::<String>(key(2), || Ok(Weighted(1, 10)))
+            .unwrap();
+        assert!(!shared);
+        assert_eq!(v.0, 1);
+    }
+
+    #[test]
+    fn referenced_entries_survive_eviction() {
+        let store: SharedStore<Weighted> = SharedStore::new(1 << 20);
+        let (held, _) = store
+            .get_or_build::<()>(key(1), || Ok(Weighted(1, 50)))
+            .unwrap();
+        {
+            let (_dropped, _) = store
+                .get_or_build::<()>(key(2), || Ok(Weighted(2, 50)))
+                .unwrap();
+        }
+        assert_eq!(store.stats().entries, 2);
+        let evicted = store.evict_unreferenced();
+        assert_eq!(evicted, 1, "only the unheld entry went");
+        let s = store.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.referenced, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(held.0, 1, "held value still alive");
+        // Dropping the last external handle makes it evictable.
+        drop(held);
+        assert_eq!(store.evict_unreferenced(), 1);
+        assert_eq!(store.stats().entries, 0);
+        assert_eq!(store.stats().bytes, 0);
+    }
+
+    #[test]
+    fn budget_evicts_oldest_unreferenced_first() {
+        let per_entry = 100 + ENTRY_OVERHEAD_BYTES;
+        let store: SharedStore<Weighted> = SharedStore::new(2 * per_entry);
+        for n in 0..3u64 {
+            let (v, _) = store
+                .get_or_build::<()>(key(n), || Ok(Weighted(n, 100)))
+                .unwrap();
+            drop(v);
+        }
+        let s = store.stats();
+        assert_eq!(s.entries, 2, "third insert evicted the oldest");
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= s.capacity_bytes);
+        // Key 0 (oldest) is gone: rebuilding it is a miss.
+        let (_, shared) = store
+            .get_or_build::<()>(key(0), || Ok(Weighted(0, 100)))
+            .unwrap();
+        assert!(!shared);
+        // Keys 1 and 2 survived... key 1 was evicted to make room again.
+        let (_, shared2) = store
+            .get_or_build::<()>(key(2), || Ok(Weighted(2, 100)))
+            .unwrap();
+        assert!(shared2, "most recent entry survived both evictions");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let store: SharedStore<Weighted> = SharedStore::new(1 << 20);
+        for n in 0..4u64 {
+            store
+                .get_or_build::<()>(key(n), || Ok(Weighted(n, 100)))
+                .unwrap();
+        }
+        assert_eq!(store.stats().entries, 4);
+        store.set_capacity_bytes(0);
+        assert_eq!(store.stats().entries, 0);
+        assert_eq!(store.capacity_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let store: Arc<SharedStore<Weighted>> = Arc::new(SharedStore::new(1 << 20));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = store.clone();
+                let builds = builds.clone();
+                std::thread::spawn(move || {
+                    let (v, _) = store
+                        .get_or_build::<()>(key(9), || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            Ok(Weighted(42, 10))
+                        })
+                        .unwrap();
+                    v.0
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "one build for 8 callers");
+        let s = store.stats();
+        assert_eq!(s.hits + s.misses, 8);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn stats_serde_roundtrip_with_default_fields() {
+        let store: SharedStore<Weighted> = SharedStore::new(4096);
+        store
+            .get_or_build::<()>(key(1), || Ok(Weighted(1, 8)))
+            .unwrap();
+        let s = store.stats();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str::<StoreStats>(&json).unwrap());
+    }
+}

@@ -84,6 +84,13 @@ pub struct CacheStats {
     pub capacity_bytes: u64,
     /// Whether lookups/insertions are currently enabled.
     pub enabled: bool,
+    /// Insertions skipped because the value alone outweighed a whole
+    /// shard's budget (`capacity / N_SHARDS`). A growing count explains
+    /// a low hit rate: the results being computed are too large for the
+    /// configured capacity and are never cached. (`serde(default)` for
+    /// wire compatibility with pre-counter snapshots.)
+    #[serde(default)]
+    pub oversized_skips: u64,
 }
 
 impl CacheStats {
@@ -186,6 +193,7 @@ pub struct ResultCache<V> {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    oversized_skips: AtomicU64,
 }
 
 impl<V> ResultCache<V> {
@@ -199,6 +207,7 @@ impl<V> ResultCache<V> {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            oversized_skips: AtomicU64::new(0),
         }
     }
 
@@ -243,7 +252,9 @@ impl<V> ResultCache<V> {
 
     /// Store a value, evicting least-recently-used entries of the same
     /// shard as needed. Values heavier than a whole shard's budget are
-    /// not cached at all. No-op on a disabled cache.
+    /// not cached at all (counted in [`CacheStats::oversized_skips`] so
+    /// operators can tell "never cached" from "evicted"). No-op on a
+    /// disabled cache.
     pub fn insert(&self, key: CacheKey, value: V)
     where
         V: CacheWeight,
@@ -254,6 +265,7 @@ impl<V> ResultCache<V> {
         let weight = value.weight_bytes() + ENTRY_OVERHEAD_BYTES;
         let budget = self.shard_budget();
         if weight > budget {
+            self.oversized_skips.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let evicted = {
@@ -334,6 +346,7 @@ impl<V> ResultCache<V> {
             bytes,
             capacity_bytes: self.capacity_bytes() as u64,
             enabled: self.is_enabled(),
+            oversized_skips: self.oversized_skips.load(Ordering::Relaxed),
         }
     }
 }
@@ -435,6 +448,9 @@ mod tests {
         cache.insert(key(1, 1), Huge);
         let s = cache.stats();
         assert_eq!((s.entries, s.insertions), (0, 0));
+        assert_eq!(s.oversized_skips, 1, "the skip is visible to operators");
+        cache.insert(key(2, 2), Huge);
+        assert_eq!(cache.stats().oversized_skips, 2);
     }
 
     #[test]
@@ -541,5 +557,11 @@ mod tests {
         let s = cache.stats();
         let json = serde_json::to_string(&s).unwrap();
         assert_eq!(s, serde_json::from_str::<CacheStats>(&json).unwrap());
+        // A pre-counter snapshot (no `oversized_skips` field) still
+        // parses: the counter defaults to zero.
+        let legacy = json.replace(",\"oversized_skips\":0", "");
+        assert!(!legacy.contains("oversized_skips"), "{legacy}");
+        let parsed: CacheStats = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.oversized_skips, 0);
     }
 }

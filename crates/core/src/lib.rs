@@ -30,6 +30,10 @@
 //!   result cache over model/plan fingerprints; the interactive hot
 //!   paths re-run in microseconds when a question repeats, with
 //!   bit-identical answers.
+//! * [`store`] — [`store::ModelStore`]: the train-once dedup layer. N
+//!   sessions over identical data + configuration train **one** model
+//!   and share one `Arc`, keyed by the pre-train
+//!   [`session::Session::train_fingerprint`].
 //! * [`spec`] — a JSON-serializable declarative specification of
 //!   analyses, the §5 "Specification and Reuse" future-work direction,
 //!   implemented.
@@ -74,6 +78,7 @@ pub mod seek;
 pub mod sensitivity;
 pub mod session;
 pub mod spec;
+pub mod store;
 pub mod uncertainty;
 
 pub use bulk::{ScenarioOutcome, ScenarioSet, ScenarioSpec};
@@ -83,13 +88,14 @@ pub use error::{CoreError, ErrorCode, Result};
 pub use goal::{Goal, GoalConfig, GoalInversionResult, OptimizerChoice};
 pub use importance::{DriverImportance, VerificationReport};
 pub use kpi::KpiKind;
-pub use model_backend::{ModelConfig, ModelKind, TrainedModel};
+pub use model_backend::{ModelConfig, ModelKind, SharedModel, TrainedModel};
 pub use perturbation::{Perturbation, PerturbationKind, PerturbationPlan, PerturbationSet};
 pub use scenario::{Scenario, ScenarioKind, ScenarioLedger};
 pub use seek::DriverSeekResult;
 pub use sensitivity::{ComparisonCurve, PerDataSensitivity, SensitivityResult};
 pub use session::Session;
 pub use spec::{AnalysisSpec, SpecOutcome, WhatIfSpec};
+pub use store::ModelStore;
 pub use uncertainty::{BootstrapConfig, Interval, SensitivityInterval};
 
 /// The most-used types, for glob import.
@@ -100,11 +106,12 @@ pub mod prelude {
     pub use crate::error::{CoreError, ErrorCode};
     pub use crate::goal::{Goal, GoalConfig, OptimizerChoice};
     pub use crate::importance::DriverImportance;
-    pub use crate::model_backend::{ModelConfig, ModelKind, TrainedModel};
+    pub use crate::model_backend::{ModelConfig, ModelKind, SharedModel, TrainedModel};
     pub use crate::perturbation::{
         Perturbation, PerturbationKind, PerturbationPlan, PerturbationSet,
     };
     pub use crate::scenario::{Scenario, ScenarioLedger};
     pub use crate::session::Session;
     pub use crate::spec::WhatIfSpec;
+    pub use crate::store::ModelStore;
 }

@@ -5,7 +5,7 @@ use crate::error::{CoreError, Result};
 use crate::kpi::KpiKind;
 use crate::perturbation::{PerturbationPlan, PerturbationSet};
 use serde::{Deserialize, Serialize};
-use whatif_cache::{Fingerprint, Hasher128};
+use whatif_cache::{CacheWeight, Fingerprint, Hasher128};
 use whatif_learn::forest::ForestConfig;
 use whatif_learn::metrics::{accuracy, r2_score, roc_auc};
 use whatif_learn::model::{Classifier, Predictor, Regressor};
@@ -84,6 +84,16 @@ impl ModelConfig {
     }
 }
 
+/// A process-wide shareable handle to a trained model.
+///
+/// Cloning is one atomic increment; every analysis path takes `&self`,
+/// so any number of threads can evaluate through the same fitted model
+/// concurrently. This is what sessions hold (and what the
+/// [`crate::store::ModelStore`] deduplicates): training once and
+/// sharing the `Arc` replaces per-session copies of the training
+/// matrix, targets, and fitted parameters.
+pub type SharedModel = std::sync::Arc<TrainedModel>;
+
 /// The fitted model behind a [`TrainedModel`].
 enum FittedModel {
     Linear(LinearRegression),
@@ -139,24 +149,7 @@ impl TrainedModel {
         y: Vec<f64>,
         config: &ModelConfig,
     ) -> Result<TrainedModel> {
-        let resolved = match (config.kind, kpi_kind) {
-            (ModelKind::Auto, KpiKind::Continuous) => ModelKind::Linear,
-            (ModelKind::Auto, KpiKind::Binary) => ModelKind::RandomForest,
-            (ModelKind::Linear, KpiKind::Continuous) => ModelKind::Linear,
-            (ModelKind::Linear, KpiKind::Binary) => {
-                return Err(CoreError::Config(
-                    "linear regression requires a continuous KPI; use Logistic or RandomForest"
-                        .to_owned(),
-                ))
-            }
-            (ModelKind::Logistic, KpiKind::Binary) => ModelKind::Logistic,
-            (ModelKind::Logistic, KpiKind::Continuous) => {
-                return Err(CoreError::Config(
-                    "logistic regression requires a binary KPI".to_owned(),
-                ))
-            }
-            (ModelKind::RandomForest, _) => ModelKind::RandomForest,
-        };
+        let resolved = resolve_kind(config.kind, kpi_kind)?;
         if x.n_rows() < 4 {
             return Err(CoreError::Config(format!(
                 "need at least 4 rows to train, got {}",
@@ -401,6 +394,144 @@ impl TrainedModel {
     }
 }
 
+/// The paper's model-selection rule, shared by [`TrainedModel::fit`]
+/// and the pre-train [`training_fingerprint`] so both validate (and
+/// key) the same way.
+fn resolve_kind(kind: ModelKind, kpi_kind: KpiKind) -> Result<ModelKind> {
+    match (kind, kpi_kind) {
+        (ModelKind::Auto, KpiKind::Continuous) => Ok(ModelKind::Linear),
+        (ModelKind::Auto, KpiKind::Binary) => Ok(ModelKind::RandomForest),
+        (ModelKind::Linear, KpiKind::Continuous) => Ok(ModelKind::Linear),
+        (ModelKind::Linear, KpiKind::Binary) => Err(CoreError::Config(
+            "linear regression requires a continuous KPI; use Logistic or RandomForest".to_owned(),
+        )),
+        (ModelKind::Logistic, KpiKind::Binary) => Ok(ModelKind::Logistic),
+        (ModelKind::Logistic, KpiKind::Continuous) => Err(CoreError::Config(
+            "logistic regression requires a binary KPI".to_owned(),
+        )),
+        (ModelKind::RandomForest, _) => Ok(ModelKind::RandomForest),
+    }
+}
+
+/// The identity of a *training request*, computable **before** any
+/// training happens: the exact inputs [`TrainedModel::fit`] would
+/// consume — KPI naming and kind, the resolved model family, the
+/// behavior-relevant configuration, and a digest of the full training
+/// data. Training is deterministic in these inputs (tree seeds are
+/// pre-drawn, so `n_threads` is excluded just as it is from the
+/// post-train fingerprint), which makes this the dedup key of the
+/// [`crate::store::ModelStore`]: equal training fingerprints imply
+/// bit-identical trained models, so the first session trains and every
+/// later one shares the `Arc`.
+///
+/// # Errors
+/// [`CoreError::Config`] on the same kind/KPI mismatches
+/// [`TrainedModel::fit`] rejects, so a store lookup fails exactly when
+/// training would.
+pub fn training_fingerprint(
+    kpi_name: &str,
+    kpi_kind: KpiKind,
+    driver_names: &[String],
+    x: &Matrix,
+    y: &[f64],
+    config: &ModelConfig,
+) -> Result<Fingerprint> {
+    let resolved = resolve_kind(config.kind, kpi_kind)?;
+    let mut h = Hasher128::new();
+    h.write_str("whatif/train/v1");
+    write_training_inputs(
+        &mut h,
+        kpi_name,
+        kpi_kind,
+        resolved,
+        driver_names,
+        x,
+        y,
+        config,
+    );
+    Ok(h.finish())
+}
+
+/// The input half shared verbatim by [`training_fingerprint`] and the
+/// post-train [`compute_fingerprint`]: one hashing routine, so a future
+/// behavior-relevant `ModelConfig` field cannot be added to one key and
+/// forgotten in the other (which would alias distinct training
+/// requests and serve the wrong shared model).
+#[allow(clippy::too_many_arguments)]
+fn write_training_inputs(
+    h: &mut Hasher128,
+    kpi_name: &str,
+    kpi_kind: KpiKind,
+    resolved: ModelKind,
+    driver_names: &[String],
+    x: &Matrix,
+    y: &[f64],
+    config: &ModelConfig,
+) {
+    h.write_str(kpi_name);
+    h.write_u8(match kpi_kind {
+        KpiKind::Continuous => 0,
+        KpiKind::Binary => 1,
+    });
+    h.write_u8(match resolved {
+        ModelKind::Linear => 0,
+        ModelKind::Logistic => 1,
+        ModelKind::RandomForest => 2,
+        ModelKind::Auto => u8::MAX, // unreachable: resolved before hashing
+    });
+    h.write_usize(driver_names.len());
+    for name in driver_names {
+        h.write_str(name);
+    }
+    h.write_usize(config.n_trees);
+    h.write_usize(config.max_depth);
+    h.write_u64(config.seed);
+    match config.max_features {
+        Some(m) => {
+            h.write_u8(1);
+            h.write_usize(m);
+        }
+        None => h.write_u8(0),
+    }
+    h.write_f64(config.holdout_fraction);
+    h.write_usize(x.n_rows());
+    h.write_usize(x.n_cols());
+    h.write_f64s(x.data());
+    h.write_f64s(y);
+}
+
+/// Approximate resident bytes of a trained model, for the
+/// [`crate::store::ModelStore`]'s budget accounting. Dominated by the
+/// retained training matrix and targets; fitted parameters are
+/// estimated (forests charge a per-tree node-count bound — bootstrap
+/// leaves capped by the depth limit — since trees don't expose exact
+/// arena sizes).
+impl CacheWeight for TrainedModel {
+    fn weight_bytes(&self) -> usize {
+        let data = (self.x.n_rows() * self.x.n_cols() + self.y.len()) * 8;
+        let names: usize = self
+            .driver_names
+            .iter()
+            .map(|n| n.len() + std::mem::size_of::<String>())
+            .sum();
+        let fitted = match &self.model {
+            FittedModel::Linear(_) | FittedModel::Logistic(_) => {
+                (self.x.n_cols() + 1) * 8 + std::mem::size_of::<FittedModel>()
+            }
+            FittedModel::ForestClassifier(m) => forest_bytes(m.n_trees(), self.x.n_rows()),
+            FittedModel::ForestRegressor(m) => forest_bytes(m.n_trees(), self.x.n_rows()),
+        };
+        data + names + fitted + self.kpi_name.len()
+    }
+}
+
+/// Per-tree node bound: a bootstrap sample of `n_rows` yields at most
+/// `2 * n_rows - 1` nodes, at roughly 40 bytes each (split node enum +
+/// importance slot).
+fn forest_bytes(n_trees: usize, n_rows: usize) -> usize {
+    n_trees * (2 * n_rows).saturating_sub(1) * 40
+}
+
 /// Fold everything that determines a model's observable behavior into
 /// one 128-bit identity: KPI/driver naming, the resolved family, the
 /// behavior-relevant configuration, a digest of the full training data,
@@ -429,36 +560,16 @@ fn compute_fingerprint(
 ) -> Fingerprint {
     let mut h = Hasher128::new();
     h.write_str("whatif/model/v1");
-    h.write_str(kpi_name);
-    h.write_u8(match kpi_kind {
-        KpiKind::Continuous => 0,
-        KpiKind::Binary => 1,
-    });
-    h.write_u8(match resolved {
-        ModelKind::Linear => 0,
-        ModelKind::Logistic => 1,
-        ModelKind::RandomForest => 2,
-        ModelKind::Auto => u8::MAX, // unreachable: resolved before fit
-    });
-    h.write_usize(driver_names.len());
-    for name in driver_names {
-        h.write_str(name);
-    }
-    h.write_usize(config.n_trees);
-    h.write_usize(config.max_depth);
-    h.write_u64(config.seed);
-    match config.max_features {
-        Some(m) => {
-            h.write_u8(1);
-            h.write_usize(m);
-        }
-        None => h.write_u8(0),
-    }
-    h.write_f64(config.holdout_fraction);
-    h.write_usize(x.n_rows());
-    h.write_usize(x.n_cols());
-    h.write_f64s(x.data());
-    h.write_f64s(y);
+    write_training_inputs(
+        &mut h,
+        kpi_name,
+        kpi_kind,
+        resolved,
+        driver_names,
+        x,
+        y,
+        config,
+    );
     match model {
         FittedModel::Linear(m) => {
             h.write_u8(1);
@@ -816,6 +927,82 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.fingerprint(), f.fingerprint());
+    }
+
+    #[test]
+    fn training_fingerprint_keys_the_inputs_not_the_outputs() {
+        let (x, y) = continuous_data();
+        let cfg = ModelConfig::default();
+        let key = |x: &Matrix, y: &[f64], cfg: &ModelConfig| {
+            training_fingerprint("sales", KpiKind::Continuous, &names(), x, y, cfg).unwrap()
+        };
+        // Deterministic in the inputs, computable without training.
+        assert_eq!(key(&x, &y, &cfg), key(&x, &y, &cfg));
+        // Thread count is excluded: training is thread-count invariant.
+        let threaded = ModelConfig {
+            n_threads: 9,
+            ..cfg.clone()
+        };
+        assert_eq!(key(&x, &y, &cfg), key(&x, &y, &threaded));
+        // Any behavioral input separates keys: data, seed, family.
+        let mut y2 = y.clone();
+        y2[0] += 1.0;
+        assert_ne!(key(&x, &y, &cfg), key(&x, &y2, &cfg));
+        let seeded = ModelConfig {
+            seed: 3,
+            ..cfg.clone()
+        };
+        assert_ne!(key(&x, &y, &cfg), key(&x, &y, &seeded));
+        let forest = ModelConfig {
+            kind: ModelKind::RandomForest,
+            ..cfg.clone()
+        };
+        assert_ne!(key(&x, &y, &cfg), key(&x, &y, &forest));
+        // It rejects exactly what `fit` rejects.
+        assert!(training_fingerprint(
+            "sales",
+            KpiKind::Continuous,
+            &names(),
+            &x,
+            &y,
+            &ModelConfig {
+                kind: ModelKind::Logistic,
+                ..cfg
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn weight_bytes_charges_the_training_data() {
+        let (x, y) = continuous_data();
+        let floor = (x.n_rows() * x.n_cols() + y.len()) * 8;
+        let m = TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            x,
+            y,
+            &ModelConfig::default(),
+        )
+        .unwrap();
+        assert!(m.weight_bytes() >= floor);
+        // Forests charge more than the linear family on the same data.
+        let (x, y) = continuous_data();
+        let f = TrainedModel::fit(
+            "sales",
+            KpiKind::Continuous,
+            names(),
+            x,
+            y,
+            &ModelConfig {
+                kind: ModelKind::RandomForest,
+                n_trees: 20,
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(f.weight_bytes() > m.weight_bytes());
     }
 
     #[test]

@@ -89,24 +89,12 @@ impl TrainedModel {
         // The driver index is resolved once; every bisection step is a
         // single-column plan scored through a copy-on-write overlay.
         let n_cols = self.driver_names().len();
-        let all_hit = std::cell::Cell::new(true);
-        let kpi_at = |pct: f64| -> f64 {
+        let probe = |pct: f64| {
             let plan =
                 PerturbationPlan::single(col, PerturbationKind::Percentage(pct), true, n_cols);
-            match self.kpi_for_plan_maybe(&plan, cache) {
-                Ok((kpi, hit)) => {
-                    if !hit {
-                        all_hit.set(false);
-                    }
-                    kpi
-                }
-                Err(_) => {
-                    all_hit.set(false);
-                    f64::NAN
-                }
-            }
+            self.kpi_for_plan_maybe(&plan, cache)
         };
-        let r = goal_seek(kpi_at, target, low_pct, high_pct, tolerance, 200)?;
+        let (r, all_hit) = seek_with_probe(probe, target, low_pct, high_pct, tolerance)?;
         Ok((
             DriverSeekResult {
                 driver: driver.to_owned(),
@@ -117,9 +105,48 @@ impl TrainedModel {
                 converged: r.converged,
                 n_evals: r.n_evals,
             },
-            all_hit.get(),
+            all_hit,
         ))
     }
+}
+
+/// Drive `whatif_optim`'s scan-and-bisect solver over a fallible KPI
+/// probe. The optimizer's closure contract is infallible (`NaN` marks
+/// an infeasible point), so a probe failure is recorded here and the
+/// **first** [`CoreError`] is propagated once the solver returns —
+/// never swallowed into a silently-wrong `converged = false` result.
+/// The returned flag is true only when every probe was a cache hit.
+fn seek_with_probe(
+    probe: impl Fn(f64) -> Result<(f64, bool)>,
+    target: f64,
+    low_pct: f64,
+    high_pct: f64,
+    tolerance: f64,
+) -> Result<(whatif_optim::goal_seek::GoalSeekResult, bool)> {
+    let all_hit = std::cell::Cell::new(true);
+    let first_error: std::cell::RefCell<Option<CoreError>> = std::cell::RefCell::new(None);
+    let kpi_at = |pct: f64| -> f64 {
+        match probe(pct) {
+            Ok((kpi, hit)) => {
+                if !hit {
+                    all_hit.set(false);
+                }
+                kpi
+            }
+            Err(e) => {
+                all_hit.set(false);
+                first_error.borrow_mut().get_or_insert(e);
+                f64::NAN
+            }
+        }
+    };
+    let r = goal_seek(kpi_at, target, low_pct, high_pct, tolerance, 200);
+    // A probe failure is the root cause: report it even when the
+    // solver also failed (e.g. every probe errored into NaN).
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok((r?, all_hit.get()))
 }
 
 #[cfg(test)]
@@ -181,6 +208,38 @@ mod tests {
             .unwrap();
         assert!(r.converged);
         assert!((r.pct - 10.0).abs() < 1e-4, "pct {}", r.pct);
+    }
+
+    #[test]
+    fn probe_errors_propagate_instead_of_poisoning_the_result() {
+        use crate::error::CoreError;
+        // A probe that fails on part of the domain: the first error
+        // must surface, not dissolve into a NaN best-effort answer.
+        let flaky = |pct: f64| {
+            if pct > 0.0 {
+                Err(CoreError::Config(format!("probe exploded at {pct}")))
+            } else {
+                Ok((pct * 2.0, false))
+            }
+        };
+        let err = super::seek_with_probe(flaky, 999.0, -50.0, 50.0, 1e-9).unwrap_err();
+        assert!(
+            err.to_string().contains("probe exploded"),
+            "first probe error is the reported cause: {err}"
+        );
+        // Every probe failing must also be that error — not the
+        // optimizer's all-NaN failure, and certainly not Ok.
+        let broken = |_pct: f64| -> crate::error::Result<(f64, bool)> {
+            Err(CoreError::Config("model gone".to_owned()))
+        };
+        let err = super::seek_with_probe(broken, 1.0, -50.0, 50.0, 1e-9).unwrap_err();
+        assert!(err.to_string().contains("model gone"), "{err}");
+        // Probes that *succeed* with NaN (no CoreError anywhere) hit
+        // the optimizer's own all-NaN guard instead of fabricating
+        // `x = lo, f = inf` garbage.
+        let nan = |_pct: f64| Ok((f64::NAN, false));
+        let err = super::seek_with_probe(nan, 1.0, -50.0, 50.0, 1e-9).unwrap_err();
+        assert!(matches!(err, CoreError::Optim(_)), "{err:?}");
     }
 
     #[test]

@@ -135,6 +135,32 @@ impl Session {
     /// [`CoreError::NoKpi`] when no KPI is selected, [`CoreError::Config`]
     /// when drivers contain nulls; propagated learn errors otherwise.
     pub fn train(&self, config: &ModelConfig) -> Result<TrainedModel> {
+        let (kpi, kind, x, y) = self.training_inputs()?;
+        TrainedModel::fit(&kpi, kind, self.drivers.clone(), x, y, config)
+    }
+
+    /// The content identity of the training request this selection +
+    /// `config` would run, computed **without training** — the dedup
+    /// key of the [`crate::store::ModelStore`]. Two sessions over
+    /// bit-identical data with the same KPI, driver selection, and
+    /// behavior-relevant configuration produce equal fingerprints (and
+    /// would train bit-identical models).
+    ///
+    /// # Errors
+    /// Exactly the validation errors of [`Session::train`] that don't
+    /// require a fitted model: missing KPI, empty/nullable drivers,
+    /// kind/KPI mismatches.
+    pub fn train_fingerprint(&self, config: &ModelConfig) -> Result<whatif_cache::Fingerprint> {
+        let (kpi, kind, x, y) = self.training_inputs()?;
+        crate::model_backend::training_fingerprint(&kpi, kind, &self.drivers, &x, &y, config)
+    }
+
+    /// Extract the exact inputs `TrainedModel::fit` consumes — shared
+    /// by [`Session::train`], [`Session::train_fingerprint`], and the
+    /// [`crate::store::ModelStore`] (which extracts once, fingerprints,
+    /// and trains from the same copies) so the dedup key and the
+    /// training run can never see different data.
+    pub(crate) fn training_inputs(&self) -> Result<(String, KpiKind, Matrix, Vec<f64>)> {
         let kpi = self.kpi.as_deref().ok_or(CoreError::NoKpi)?;
         if self.drivers.is_empty() {
             return Err(CoreError::Config("no drivers selected".to_owned()));
@@ -145,7 +171,7 @@ impl Session {
         let refs: Vec<&str> = self.drivers.iter().map(String::as_str).collect();
         let flat = self.frame.numeric_matrix(&refs)?;
         let x = Matrix::from_vec(flat, self.frame.n_rows(), self.drivers.len())?;
-        TrainedModel::fit(kpi, kind, self.drivers.clone(), x, y, config)
+        Ok((kpi.to_owned(), kind, x, y))
     }
 }
 
@@ -226,6 +252,26 @@ mod tests {
         // sales = 2*x1 + 3 exactly.
         let p = m.predict_row(&[4.0, 0.0]).unwrap();
         assert!((p - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn train_fingerprint_matches_identical_selections() {
+        let cfg = ModelConfig::default();
+        let a = Session::new(frame()).with_kpi("sales").unwrap();
+        let b = Session::new(frame()).with_kpi("sales").unwrap();
+        assert_eq!(
+            a.train_fingerprint(&cfg).unwrap(),
+            b.train_fingerprint(&cfg).unwrap(),
+            "identical data + selection + config share one key"
+        );
+        // A different driver selection is a different training request.
+        let c = b.clone().with_drivers(&["x1", "x2"]).unwrap();
+        assert_ne!(
+            a.train_fingerprint(&cfg).unwrap(),
+            c.train_fingerprint(&cfg).unwrap()
+        );
+        // And it fails exactly when train would (no KPI selected).
+        assert!(Session::new(frame()).train_fingerprint(&cfg).is_err());
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! The process-wide trained-model store: train once, share everywhere.
+//!
+//! The paper's deployment picture — and the practitioner studies it
+//! draws on — is fleets of analysts asking overlapping what-if
+//! questions over the *same* business datasets. Before this module the
+//! engine re-trained an identical model per session: N sessions loading
+//! the same CSV with the same [`ModelConfig`] paid N trainings and held
+//! N copies of the training matrix. [`ModelStore`] deduplicates both
+//! costs by content: sessions are keyed by their
+//! [`Session::train_fingerprint`] (dataset digest + behavior-relevant
+//! configuration), the first session trains while same-key sessions
+//! wait on exactly that key, and everyone then shares one
+//! [`SharedModel`] (`Arc<TrainedModel>`).
+//!
+//! Soundness is the same content-addressing argument as the result
+//! cache ([`crate::cached`]): training is deterministic in the
+//! fingerprinted inputs (thread counts excluded — tree seeds are
+//! pre-drawn), so equal keys imply bit-identical models, and the
+//! equivalence suite (`tests/model_store.rs`) pins that a shared model
+//! answers every analysis bit-identically to a per-session one.
+//! Invalidation is by construction: retraining on changed data or
+//! configuration produces a new fingerprint; the old entry lingers
+//! until unreferenced and over budget, then ages out.
+
+use crate::error::Result;
+use crate::model_backend::{ModelConfig, SharedModel, TrainedModel};
+use crate::session::Session;
+use std::sync::Arc;
+use whatif_cache::{SharedStore, StoreStats};
+
+/// Default byte budget for *unreferenced* model residency: 256 MiB.
+/// Referenced models are never evicted (sessions hold real `Arc`s), so
+/// this bounds warm-model memory after sessions close, not live use.
+pub const DEFAULT_MODEL_STORE_CAPACITY_BYTES: usize = 256 << 20;
+
+/// A cheaply-cloneable handle to the shared train-once model store.
+/// The server holds one per process; every `Train` request goes
+/// through it.
+#[derive(Clone)]
+pub struct ModelStore {
+    inner: Arc<SharedStore<TrainedModel>>,
+}
+
+impl Default for ModelStore {
+    fn default() -> Self {
+        ModelStore::new(DEFAULT_MODEL_STORE_CAPACITY_BYTES)
+    }
+}
+
+impl ModelStore {
+    /// A store with the given byte budget for unreferenced models.
+    pub fn new(capacity_bytes: usize) -> ModelStore {
+        ModelStore {
+            inner: Arc::new(SharedStore::new(capacity_bytes)),
+        }
+    }
+
+    /// Train the session's model through the store: if a model for this
+    /// exact training request (same data digest, KPI, drivers, and
+    /// behavior-relevant config) already exists, share it without
+    /// training; otherwise train exactly once — concurrent same-key
+    /// callers block on that key alone and then share the result.
+    /// Returns the model and whether it was shared (`true` = no
+    /// training happened on this call).
+    ///
+    /// # Errors
+    /// Exactly those of [`Session::train`].
+    pub fn train_or_share(
+        &self,
+        session: &Session,
+        config: &ModelConfig,
+    ) -> Result<(SharedModel, bool)> {
+        // Extract the training inputs once: the fingerprint hashes the
+        // same matrix/targets the builder consumes on a miss, instead
+        // of re-extracting them (which would double transient memory on
+        // exactly the first-train path for large datasets).
+        let (kpi, kind, x, y) = session.training_inputs()?;
+        let key = crate::model_backend::training_fingerprint(
+            &kpi,
+            kind,
+            session.drivers(),
+            &x,
+            &y,
+            config,
+        )?;
+        self.inner.get_or_build(key, move || {
+            TrainedModel::fit(&kpi, kind, session.drivers().to_vec(), x, y, config)
+        })
+    }
+
+    /// Accounting snapshot (hits, trainings, entries, referenced,
+    /// bytes, evictions).
+    pub fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    /// Drop every model no session references, regardless of budget.
+    /// Returns how many were dropped.
+    pub fn evict_unreferenced(&self) -> u64 {
+        self.inner.evict_unreferenced()
+    }
+
+    /// Change the byte budget; shrinking evicts unreferenced models
+    /// down to the new budget immediately.
+    pub fn set_capacity_bytes(&self, capacity_bytes: usize) {
+        self.inner.set_capacity_bytes(capacity_bytes);
+    }
+
+    /// Configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.inner.capacity_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_backend::ModelKind;
+    use whatif_frame::{Column, Frame};
+
+    fn session() -> Session {
+        let frame = Frame::from_columns(vec![
+            Column::from_f64("x1", (0..40).map(|i| (i % 8) as f64).collect()),
+            Column::from_f64("x2", (0..40).map(|i| (i % 5) as f64).collect()),
+            Column::from_f64(
+                "sales",
+                (0..40).map(|i| 2.0 * (i % 8) as f64 + 3.0).collect(),
+            ),
+        ])
+        .unwrap();
+        Session::new(frame).with_kpi("sales").unwrap()
+    }
+
+    #[test]
+    fn identical_requests_train_once() {
+        let store = ModelStore::default();
+        let cfg = ModelConfig::default();
+        let (a, shared_a) = store.train_or_share(&session(), &cfg).unwrap();
+        let (b, shared_b) = store.train_or_share(&session(), &cfg).unwrap();
+        assert!(!shared_a, "first request trains");
+        assert!(shared_b, "second request shares");
+        assert!(Arc::ptr_eq(&a, &b), "one model, two handles");
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.referenced, 1);
+    }
+
+    #[test]
+    fn different_config_trains_separately() {
+        let store = ModelStore::default();
+        let (a, _) = store
+            .train_or_share(&session(), &ModelConfig::default())
+            .unwrap();
+        let (b, shared) = store
+            .train_or_share(
+                &session(),
+                &ModelConfig {
+                    kind: ModelKind::RandomForest,
+                    n_trees: 8,
+                    ..ModelConfig::default()
+                },
+            )
+            .unwrap();
+        assert!(!shared);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(store.stats().entries, 2);
+    }
+
+    #[test]
+    fn train_errors_pass_through_untouched() {
+        let store = ModelStore::default();
+        let bare =
+            Session::new(Frame::from_columns(vec![Column::from_f64("x", vec![1.0, 2.0])]).unwrap());
+        // No KPI: same error as Session::train, nothing stored.
+        assert!(store
+            .train_or_share(&bare, &ModelConfig::default())
+            .is_err());
+        assert_eq!(store.stats().entries, 0);
+    }
+
+    #[test]
+    fn unreferenced_models_are_evictable() {
+        let store = ModelStore::default();
+        {
+            let (_model, _) = store
+                .train_or_share(&session(), &ModelConfig::default())
+                .unwrap();
+            assert_eq!(store.evict_unreferenced(), 0, "referenced: kept");
+        }
+        assert_eq!(store.evict_unreferenced(), 1, "dropped once unheld");
+        assert_eq!(store.stats().entries, 0);
+    }
+}

@@ -29,7 +29,11 @@ pub struct GoalSeekResult {
 /// to hit the tolerance).
 ///
 /// # Errors
-/// [`OptimError::Invalid`] on an empty interval or non-finite inputs.
+/// [`OptimError::Invalid`] on an empty interval or non-finite inputs;
+/// [`OptimError::Numeric`] when **every** scan probe returns `NaN` —
+/// there is no best-effort point to fall back to, and fabricating one
+/// (the old behavior: `x = lo`, `f = ∞ + target`) would hand callers a
+/// silently meaningless result.
 pub fn goal_seek<F: Fn(f64) -> f64>(
     f: F,
     target: f64,
@@ -58,6 +62,7 @@ pub fn goal_seek<F: Fn(f64) -> f64>(
     // Scan a coarse grid for the best point and a sign change.
     let n_scan = 16.min(max_evals / 2).max(2);
     let mut best = (lo, f64::INFINITY);
+    let mut any_finite_probe = false;
     let mut bracket: Option<(f64, f64, f64, f64)> = None;
     let mut prev: Option<(f64, f64)> = None;
     for i in 0..=n_scan {
@@ -67,6 +72,7 @@ pub fn goal_seek<F: Fn(f64) -> f64>(
             prev = None;
             continue;
         }
+        any_finite_probe = true;
         if gx.abs() < best.1.abs() || best.1.is_infinite() {
             best = (x, gx);
         }
@@ -76,6 +82,12 @@ pub fn goal_seek<F: Fn(f64) -> f64>(
             }
         }
         prev = Some((x, gx));
+    }
+    if !any_finite_probe {
+        return Err(OptimError::Numeric(format!(
+            "goal seek: every probe on [{lo}, {hi}] returned NaN; \
+             no feasible point to report"
+        )));
     }
 
     if let Some((mut a, mut ga, mut b, mut gb)) = bracket {
@@ -169,6 +181,27 @@ mod tests {
         .unwrap();
         assert!(r.converged);
         assert!((r.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_nan_probes_error_instead_of_fabricating_a_result() {
+        // Regression: this used to "succeed" with x = lo and
+        // f = ∞ + target (best never updated past its sentinel).
+        let err = goal_seek(|_| f64::NAN, 0.5, 0.0, 1.0, 1e-9, 100).unwrap_err();
+        assert!(matches!(err, OptimError::Numeric(_)), "{err:?}");
+        assert!(err.to_string().contains("NaN"), "{err}");
+        // One finite probe is enough for a (non-converged) best effort.
+        let r = goal_seek(
+            |x| if x < 0.99 { f64::NAN } else { x },
+            0.5,
+            0.0,
+            1.0,
+            1e-9,
+            100,
+        )
+        .unwrap();
+        assert!(!r.converged);
+        assert!(r.f.is_finite());
     }
 
     #[test]

@@ -21,18 +21,22 @@ use crate::protocol::{
 use crate::registry::Registry;
 use whatif_core::cached::EvalCache;
 use whatif_core::kpi::KpiKind;
-use whatif_core::model_backend::TrainedModel;
+use whatif_core::model_backend::SharedModel;
 use whatif_core::scenario::ScenarioLedger;
 use whatif_core::session::Session;
 use whatif_core::spec::AnalysisSpec;
+use whatif_core::store::ModelStore;
 use whatif_core::{ErrorCode, ModelKind, SpecOutcome};
 use whatif_datagen::{deal_closing, marketing_mix, retention};
 use whatif_frame::Frame;
 
-/// Per-session backend state.
+/// Per-session backend state. The model is a [`SharedModel`]
+/// (`Arc<TrainedModel>`): analyses clone the handle and release the
+/// session lock *before* computing, so the lock guards only this
+/// struct's fields, never an evaluation.
 struct SessionEntry {
     session: Session,
-    model: Option<TrainedModel>,
+    model: Option<SharedModel>,
     ledger: ScenarioLedger,
     /// The last sensitivity / goal outcome, recordable as a scenario.
     last_outcome: Option<LastOutcome>,
@@ -44,24 +48,33 @@ enum LastOutcome {
 }
 
 /// The concurrent dispatch facade: sessions, trained models, scenario
-/// ledgers, batch execution, wire-version negotiation, and the
-/// process-wide result cache.
+/// ledgers, batch execution, wire-version negotiation, the
+/// process-wide result cache, and the process-wide model store.
 ///
-/// The cache is shared across *all* sessions: two clients holding
-/// bit-identical models (same data, same configuration — the model
-/// fingerprint is the key) asking the same question pay for one
-/// computation. Retraining, `LoadCsv`, or `CloseSession` need no cache
-/// flush: a retrained model carries a fresh fingerprint, so its old
-/// entries can never be served again and simply age out of the LRU
-/// budget (invalidation by fingerprint epoch).
+/// Both shared layers key by content, so they dedup across *all*
+/// sessions: the model store trains one model per distinct training
+/// request (N sessions over the same CSV + config share one `Arc`),
+/// and the result cache answers one computation per distinct
+/// *(model, question)* pair. Retraining, `LoadCsv`, or `CloseSession`
+/// need no flush in either: changed inputs change the fingerprint, so
+/// stale entries can never be served again and simply age out of the
+/// byte budgets (invalidation by fingerprint epoch).
+///
+/// Dispatch is lock-free for analyses: an analysis clones the
+/// session's `Arc<TrainedModel>` and releases the session lock before
+/// computing, so any number of concurrent read-only analyses on the
+/// *same* session proceed in parallel. Only `Train`, `LoadCsv`/
+/// `LoadUseCase`, KPI/driver selection, and ledger writes touch the
+/// session under its lock — and those are short.
 #[derive(Default)]
 pub struct Engine {
     sessions: Registry<SessionEntry>,
     cache: EvalCache,
+    models: ModelStore,
 }
 
 impl Engine {
-    /// Fresh engine with no sessions and a default-capacity cache.
+    /// Fresh engine with no sessions and default-capacity cache/store.
     pub fn new() -> Engine {
         Engine::default()
     }
@@ -72,12 +85,28 @@ impl Engine {
         Engine {
             sessions: Registry::new(),
             cache,
+            models: ModelStore::default(),
+        }
+    }
+
+    /// Fresh engine over the given (possibly shared) result cache and
+    /// trained-model store.
+    pub fn with_cache_and_store(cache: EvalCache, models: ModelStore) -> Engine {
+        Engine {
+            sessions: Registry::new(),
+            cache,
+            models,
         }
     }
 
     /// The process-wide result cache handle.
     pub fn cache(&self) -> &EvalCache {
         &self.cache
+    }
+
+    /// The process-wide trained-model store handle.
+    pub fn model_store(&self) -> &ModelStore {
+        &self.models
     }
 
     /// Number of live sessions.
@@ -257,24 +286,29 @@ impl Engine {
                 scenarios,
                 record,
                 n_threads,
-            } => self.with_session(session, |entry| {
-                let model = entry.model.take().ok_or_else(ApiError::not_trained)?;
+            } => {
+                // Clone the Arc, drop the session lock, compute — the
+                // grid prices in parallel with any other analysis on
+                // this same session.
+                let model = self.shared_model(session)?;
                 let analysis = AnalysisSpec::Scenarios {
                     scenarios,
                     n_threads: n_threads
                         .unwrap_or(whatif_core::bulk::DEFAULT_SCENARIO_THREADS)
                         .max(1),
                 };
-                let outcome = analysis.execute_cached(&model, &self.cache);
-                entry.model = Some(model);
-                let (SpecOutcome::Scenarios(outcomes), cached) = outcome? else {
+                let (outcome, cached) = analysis.execute_cached(&model, &self.cache)?;
+                let SpecOutcome::Scenarios(outcomes) = outcome else {
                     return Err(ApiError::new(
                         ErrorCode::Internal,
                         "scenario spec produced a non-scenario outcome",
                     ));
                 };
                 let recorded_ids = if record {
-                    entry.ledger.record_outcomes(&outcomes)
+                    // Re-lock only to write the ledger; the session may
+                    // have been closed while we computed, which is the
+                    // one race a recording request must surface.
+                    self.with_session(session, |entry| Ok(entry.ledger.record_outcomes(&outcomes)))?
                 } else {
                     Vec::new()
                 };
@@ -285,8 +319,9 @@ impl Engine {
                     },
                     cached,
                 ))
-            }),
+            }
             Request::CacheStats => Ok((Response::CacheStats(self.cache.stats()), false)),
+            Request::ModelStoreStats => Ok((Response::ModelStoreStats(self.models.stats()), false)),
             Request::ConfigureCache {
                 capacity_bytes,
                 enabled,
@@ -313,7 +348,8 @@ impl Engine {
             | Request::GoalInversionView { .. }
             | Request::EvaluateScenarios { .. }
             | Request::CacheStats
-            | Request::ConfigureCache { .. } => Err(ApiError::new(
+            | Request::ConfigureCache { .. }
+            | Request::ModelStoreStats => Err(ApiError::new(
                 ErrorCode::Internal,
                 "analysis/cache request routed past dispatch",
             )),
@@ -396,7 +432,12 @@ impl Engine {
             }),
             Request::Train { session, config } => self.with_session(session, |entry| {
                 let config = config.unwrap_or_default();
-                let model = entry.session.train(&config)?;
+                // Train-once dedup: an identical training request
+                // already served process-wide shares its model without
+                // training (and two concurrent identical Trains block
+                // on the store's per-key slot, not on each other's
+                // sessions — the second shares the first's result).
+                let (model, shared) = self.models.train_or_share(&entry.session, &config)?;
                 let kind = match model.kind() {
                     ModelKind::Linear => "linear",
                     ModelKind::Logistic => "logistic",
@@ -407,6 +448,7 @@ impl Engine {
                     kind: kind.to_owned(),
                     confidence: model.confidence(),
                     baseline_kpi: model.baseline_kpi(),
+                    shared,
                 };
                 entry.model = Some(model);
                 Ok(response)
@@ -451,26 +493,40 @@ impl Engine {
     /// through the process-wide result cache, recording
     /// sensitivity/goal outcomes for `RecordScenario`. The returned
     /// flag is true when the analysis was served entirely from cache.
+    ///
+    /// Lock-free: the session lock is held only long enough to clone
+    /// the model `Arc` (and again, briefly, to record the outcome), so
+    /// concurrent analyses on one session overlap instead of
+    /// serializing. A session retrained mid-analysis answers from the
+    /// model that was current when the analysis started; `last_outcome`
+    /// is last-writer-wins, exactly as with serialized dispatch.
     fn run_analysis(
         &self,
         session: u64,
         analysis: AnalysisSpec,
     ) -> Result<(Response, bool), ApiError> {
+        let model = self.shared_model(session)?;
+        let (outcome, cached) = analysis.execute_cached(&model, &self.cache)?;
+        let last = match &outcome {
+            SpecOutcome::Sensitivity(r) => Some(LastOutcome::Sensitivity(r.clone())),
+            SpecOutcome::GoalInversion(r) => Some(LastOutcome::Goal(r.clone())),
+            _ => None,
+        };
+        if let Some(last) = last {
+            // Best-effort: a session closed while we computed still
+            // gets its answer; there is just nothing left to record on.
+            let _ = self
+                .sessions
+                .with(session, |entry| entry.last_outcome = Some(last));
+        }
+        Ok((Response::from(outcome), cached))
+    }
+
+    /// Clone the session's shared model handle under its lock (the
+    /// *only* thing analyses do under the lock).
+    fn shared_model(&self, session: u64) -> Result<SharedModel, ApiError> {
         self.with_session(session, |entry| {
-            let model = entry.model.take().ok_or_else(ApiError::not_trained)?;
-            let outcome = analysis.execute_cached(&model, &self.cache);
-            entry.model = Some(model);
-            let (outcome, cached) = outcome?;
-            match &outcome {
-                SpecOutcome::Sensitivity(r) => {
-                    entry.last_outcome = Some(LastOutcome::Sensitivity(r.clone()));
-                }
-                SpecOutcome::GoalInversion(r) => {
-                    entry.last_outcome = Some(LastOutcome::Goal(r.clone()));
-                }
-                _ => {}
-            }
-            Ok((Response::from(outcome), cached))
+            entry.model.clone().ok_or_else(ApiError::not_trained)
         })
     }
 
@@ -1097,6 +1153,116 @@ mod tests {
         assert!(warm.cached);
         // The sensitivity view shares the same plan entry.
         assert!(sensitivity_reply(&engine, 3, session).cached);
+    }
+
+    fn train_reply(engine: &Engine, session: u64) -> (String, bool) {
+        let Ok(Response::Trained { kind, shared, .. }) = engine.handle(Request::Train {
+            session,
+            config: Some(fast_config()),
+        }) else {
+            panic!("expected Trained");
+        };
+        (kind, shared)
+    }
+
+    #[test]
+    fn identical_trainings_share_one_model() {
+        let engine = Engine::new();
+        let sessions: Vec<u64> = (0..3).map(|_| load(&engine, 220)).collect();
+        for &s in &sessions {
+            engine
+                .handle(Request::SelectKpi {
+                    session: s,
+                    kpi: "Deal Closed?".into(),
+                })
+                .unwrap();
+        }
+        // First Train trains; the next two share without training.
+        assert_eq!(
+            train_reply(&engine, sessions[0]),
+            ("random_forest".into(), false)
+        );
+        assert_eq!(train_reply(&engine, sessions[1]).1, true);
+        assert_eq!(train_reply(&engine, sessions[2]).1, true);
+        let Ok(Response::ModelStoreStats(stats)) = engine.handle(Request::ModelStoreStats) else {
+            panic!("expected ModelStoreStats");
+        };
+        assert_eq!((stats.misses, stats.hits), (1, 2), "store hit count = N-1");
+        assert_eq!(stats.entries, 1, "one model for three sessions");
+        assert_eq!(stats.referenced, 1);
+        assert!(stats.bytes > 0);
+        // A different configuration is a different training request.
+        let d = load(&engine, 220);
+        engine
+            .handle(Request::SelectKpi {
+                session: d,
+                kpi: "Deal Closed?".into(),
+            })
+            .unwrap();
+        let Ok(Response::Trained { shared, .. }) = engine.handle(Request::Train {
+            session: d,
+            config: Some(ModelConfig {
+                n_trees: 14,
+                ..fast_config()
+            }),
+        }) else {
+            panic!("expected Trained");
+        };
+        assert!(!shared);
+        let Ok(Response::ModelStoreStats(stats)) = engine.handle(Request::ModelStoreStats) else {
+            panic!("expected ModelStoreStats");
+        };
+        assert_eq!(stats.entries, 2);
+        // Shared models answer shared questions from the result cache
+        // too: session 1 computes, session 2 is served.
+        assert!(!sensitivity_reply(&engine, 1, sessions[0]).cached);
+        assert!(sensitivity_reply(&engine, 2, sessions[1]).cached);
+    }
+
+    #[test]
+    fn closed_sessions_release_models_for_eviction() {
+        let engine = Engine::new();
+        let a = load_and_train(&engine, 220, 3);
+        let b = load_and_train(&engine, 220, 3);
+        assert_eq!(engine.model_store().stats().entries, 1);
+        assert_eq!(
+            engine.model_store().evict_unreferenced(),
+            0,
+            "a live session still references the model"
+        );
+        engine.handle(Request::CloseSession { session: a }).unwrap();
+        engine.handle(Request::CloseSession { session: b }).unwrap();
+        assert_eq!(
+            engine.model_store().evict_unreferenced(),
+            1,
+            "unreferenced after both sessions closed"
+        );
+        assert_eq!(engine.model_store().stats().entries, 0);
+    }
+
+    #[test]
+    fn retrain_replaces_the_shared_handle_not_the_store_entry() {
+        let engine = Engine::new();
+        let session = load_and_train(&engine, 220, 3);
+        // Retraining with the identical config is a store hit: the
+        // session keeps (a handle to) the same model.
+        let (_, shared) = train_reply(&engine, session);
+        assert!(shared);
+        // Retraining with a new seed trains a second model; the first
+        // stays in the store (warm for any session that asks again)
+        // but is no longer referenced.
+        engine
+            .handle(Request::Train {
+                session,
+                config: Some(ModelConfig {
+                    seed: 99,
+                    ..fast_config()
+                }),
+            })
+            .unwrap();
+        let stats = engine.model_store().stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.referenced, 1);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! the framing of each request (see `docs/PROTOCOL.md`).
 
 use serde::{Deserialize, Serialize};
-use whatif_cache::CacheStats;
+use whatif_cache::{CacheStats, StoreStats};
 use whatif_core::bulk::{ScenarioOutcome, ScenarioSpec};
 use whatif_core::goal::{Goal, OptimizerChoice};
 use whatif_core::importance::{DriverImportance, VerificationReport};
@@ -213,6 +213,12 @@ pub enum Request {
         #[serde(default)]
         enabled: Option<bool>,
     },
+    /// Accounting snapshot of the process-wide trained-model store
+    /// (v2): trainings avoided (hits) vs performed (misses), live
+    /// entries, how many are currently referenced by sessions, bytes,
+    /// capacity, evictions. See `docs/PROTOCOL.md` for the sharing
+    /// semantics.
+    ModelStoreStats,
     /// Stop the TCP server (connection-level; in-process dispatch
     /// answers with an acknowledgement).
     Shutdown,
@@ -272,7 +278,7 @@ pub enum Response {
         /// Selected drivers.
         selected: Vec<String>,
     },
-    /// Model trained.
+    /// Model trained (or shared from the process-wide model store).
     Trained {
         /// Resolved model family.
         kind: String,
@@ -280,6 +286,14 @@ pub enum Response {
         confidence: f64,
         /// KPI on the original data.
         baseline_kpi: f64,
+        /// True when this request trained nothing: an identical
+        /// training request (same data digest, KPI, drivers, and
+        /// behavior-relevant config) had already been trained
+        /// process-wide, and this session now shares that model.
+        /// Defaults to `false` so pre-store readers and writers
+        /// interoperate.
+        #[serde(default)]
+        shared: bool,
     },
     /// Driver importance payload (view E).
     Importance {
@@ -315,6 +329,9 @@ pub enum Response {
     /// Result-cache accounting (answer to [`Request::CacheStats`] and
     /// [`Request::ConfigureCache`]).
     CacheStats(CacheStats),
+    /// Trained-model-store accounting (answer to
+    /// [`Request::ModelStoreStats`]).
+    ModelStoreStats(StoreStats),
     /// Session closed.
     SessionClosed,
     /// Shutdown acknowledged.
@@ -553,6 +570,7 @@ mod tests {
                 capacity_bytes: Some(1 << 20),
                 enabled: Some(false),
             },
+            Request::ModelStoreStats,
             Request::Shutdown,
         ];
         for r in reqs {
@@ -594,9 +612,54 @@ mod tests {
             bytes: 208,
             capacity_bytes: 1 << 20,
             enabled: true,
+            oversized_skips: 4,
         });
         let json = serde_json::to_string(&resp).unwrap();
         assert_eq!(resp, serde_json::from_str::<Response>(&json).unwrap());
+    }
+
+    #[test]
+    fn model_store_stats_response_roundtrips() {
+        let resp = Response::ModelStoreStats(StoreStats {
+            hits: 7,
+            misses: 2,
+            build_failures: 1,
+            entries: 2,
+            referenced: 1,
+            bytes: 4096,
+            capacity_bytes: 256 << 20,
+            evictions: 0,
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(resp, serde_json::from_str::<Response>(&json).unwrap());
+    }
+
+    #[test]
+    fn trained_shared_marker_defaults_false_and_roundtrips() {
+        // A pre-store writer omits `shared`: it parses as false.
+        let legacy: Response = serde_json::from_str(
+            r#"{"Trained": {"kind": "linear", "confidence": 0.9, "baseline_kpi": 1.5}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            legacy,
+            Response::Trained {
+                kind: "linear".into(),
+                confidence: 0.9,
+                baseline_kpi: 1.5,
+                shared: false,
+            }
+        );
+        // And the marker survives a roundtrip when set.
+        let shared = Response::Trained {
+            kind: "linear".into(),
+            confidence: 0.9,
+            baseline_kpi: 1.5,
+            shared: true,
+        };
+        let json = serde_json::to_string(&shared).unwrap();
+        assert!(json.contains("\"shared\":true"), "{json}");
+        assert_eq!(shared, serde_json::from_str::<Response>(&json).unwrap());
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         kind,
         confidence,
         baseline_kpi,
+        ..
     } = client.call(&Request::Train {
         session,
         config: Some(config),

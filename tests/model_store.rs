@@ -1,0 +1,320 @@
+//! Integration suite for the process-wide trained-model store and the
+//! lock-free analysis dispatch built on it:
+//!
+//! * train-once dedup — N sessions over the same CSV + config produce
+//!   one store entry (hit count = N − 1), different configs miss;
+//! * eviction — models become evictable exactly when no session
+//!   references them;
+//! * a proptest pinning every analysis on a *shared* model bit-identical
+//!   to the same analysis on a freshly trained per-session model;
+//! * a concurrency proof that two analyses on **one** session overlap
+//!   in time (the session lock is released before computing).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use whatif::core::kpi::KpiKind;
+use whatif::core::model_backend::{ModelConfig, ModelKind, TrainedModel};
+use whatif::core::perturbation::{Perturbation, PerturbationSet};
+use whatif::core::store::ModelStore;
+use whatif::core::{Goal, GoalConfig, OptimizerChoice, Session};
+use whatif::frame::{Column, Frame};
+use whatif::learn::Matrix;
+use whatif::server::{Engine, Envelope, Request, Response};
+
+fn csv(n_rows: usize) -> String {
+    let mut out = String::from("spend,calls,sales\n");
+    for i in 0..n_rows {
+        let spend = (i % 9) as f64;
+        let calls = (i % 5) as f64;
+        out.push_str(&format!("{spend},{calls},{}\n", 3.0 * spend - calls + 10.0));
+    }
+    out
+}
+
+fn open_csv_session(engine: &Engine, text: &str) -> u64 {
+    let Ok(Response::SessionCreated { session, .. }) = engine.handle(Request::LoadCsv {
+        csv: text.to_owned(),
+    }) else {
+        panic!("expected SessionCreated");
+    };
+    engine
+        .handle(Request::SelectKpi {
+            session,
+            kpi: "sales".into(),
+        })
+        .unwrap();
+    session
+}
+
+fn fast_config() -> ModelConfig {
+    ModelConfig {
+        n_trees: 10,
+        max_depth: 6,
+        ..ModelConfig::default()
+    }
+}
+
+#[test]
+fn same_csv_same_config_trains_once_across_sessions() {
+    const N: usize = 4;
+    let engine = Engine::new();
+    let text = csv(80);
+    let sessions: Vec<u64> = (0..N).map(|_| open_csv_session(&engine, &text)).collect();
+    for (i, &session) in sessions.iter().enumerate() {
+        let Ok(Response::Trained { shared, .. }) = engine.handle(Request::Train {
+            session,
+            config: Some(fast_config()),
+        }) else {
+            panic!("expected Trained");
+        };
+        assert_eq!(shared, i > 0, "only the first session trains");
+    }
+    let stats = engine.model_store().stats();
+    assert_eq!(stats.misses, 1, "one training for {N} sessions");
+    assert_eq!(stats.hits as usize, N - 1, "store hit count = N - 1");
+    assert_eq!(stats.entries, 1);
+
+    // A different config over the same CSV misses...
+    let extra = open_csv_session(&engine, &text);
+    let Ok(Response::Trained { shared, .. }) = engine.handle(Request::Train {
+        session: extra,
+        config: Some(ModelConfig {
+            seed: 11,
+            ..fast_config()
+        }),
+    }) else {
+        panic!("expected Trained");
+    };
+    assert!(!shared);
+    // ... and so does the same config over different CSV text.
+    let other = open_csv_session(&engine, &csv(81));
+    let Ok(Response::Trained { shared, .. }) = engine.handle(Request::Train {
+        session: other,
+        config: Some(fast_config()),
+    }) else {
+        panic!("expected Trained");
+    };
+    assert!(!shared);
+    assert_eq!(engine.model_store().stats().entries, 3);
+}
+
+#[test]
+fn eviction_tracks_session_references() {
+    let engine = Engine::new();
+    let text = csv(60);
+    let a = open_csv_session(&engine, &text);
+    let b = open_csv_session(&engine, &text);
+    for &s in &[a, b] {
+        engine
+            .handle(Request::Train {
+                session: s,
+                config: Some(fast_config()),
+            })
+            .unwrap();
+    }
+    assert_eq!(engine.model_store().evict_unreferenced(), 0);
+    engine.handle(Request::CloseSession { session: a }).unwrap();
+    assert_eq!(
+        engine.model_store().evict_unreferenced(),
+        0,
+        "session b still holds the model"
+    );
+    engine.handle(Request::CloseSession { session: b }).unwrap();
+    assert_eq!(engine.model_store().evict_unreferenced(), 1);
+    let stats = engine.model_store().stats();
+    assert_eq!((stats.entries, stats.bytes), (0, 0));
+    assert_eq!(stats.evictions, 1);
+}
+
+/// Deterministically expand a compact seed into a training frame (same
+/// scheme as tests/cache_equivalence.rs).
+fn training_session(seed: u64, n_rows: usize) -> Session {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 10.0
+    };
+    let a: Vec<f64> = (0..n_rows).map(|_| next()).collect();
+    let b: Vec<f64> = (0..n_rows).map(|_| next()).collect();
+    let y: Vec<f64> = a
+        .iter()
+        .zip(&b)
+        .map(|(&a, &b)| 2.5 * a - 1.5 * b + next() * 0.01)
+        .collect();
+    let frame = Frame::from_columns(vec![
+        Column::from_f64("a", a),
+        Column::from_f64("b", b),
+        Column::from_f64("y", y),
+    ])
+    .unwrap();
+    Session::new(frame).with_kpi("y").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // A model *shared* from the store answers every analysis
+    // bit-identically to a per-session model trained from scratch on
+    // the same inputs — the invariant that makes train-once dedup
+    // invisible to clients.
+    #[test]
+    fn shared_models_answer_bit_identically_to_per_session_models(
+        seed in 0u64..500,
+        forest_flag in 0u32..2,
+        pct in -60.0f64..120.0,
+    ) {
+        let config = ModelConfig {
+            kind: if forest_flag == 1 { ModelKind::RandomForest } else { ModelKind::Auto },
+            n_trees: 8,
+            max_depth: 5,
+            ..ModelConfig::default()
+        };
+        let store = ModelStore::default();
+        let n_rows = 40 + (seed % 3) as usize;
+        // First session trains through the store; the second *shares*.
+        let (_, first_shared) = store
+            .train_or_share(&training_session(seed, n_rows), &config)
+            .unwrap();
+        let (shared, was_shared) = store
+            .train_or_share(&training_session(seed, n_rows), &config)
+            .unwrap();
+        prop_assert!(!first_shared);
+        prop_assert!(was_shared, "identical inputs must dedup");
+        // The per-session baseline: train directly, no store.
+        let solo = training_session(seed, n_rows).train(&config).unwrap();
+
+        prop_assert_eq!(shared.fingerprint(), solo.fingerprint());
+        prop_assert_eq!(
+            shared.baseline_kpi().to_bits(),
+            solo.baseline_kpi().to_bits()
+        );
+        let set = PerturbationSet::new(vec![Perturbation::percentage("a", pct)]);
+        let s1 = shared.sensitivity(&set).unwrap();
+        let s2 = solo.sensitivity(&set).unwrap();
+        prop_assert_eq!(s1.perturbed_kpi.to_bits(), s2.perturbed_kpi.to_bits());
+        let p1 = shared.per_data_sensitivity(3, &set).unwrap();
+        let p2 = solo.per_data_sensitivity(3, &set).unwrap();
+        prop_assert_eq!(p1.perturbed.to_bits(), p2.perturbed.to_bits());
+        let mut goal = GoalConfig::for_goal(Goal::Maximize);
+        goal.optimizer = OptimizerChoice::GridSearch { points_per_dim: 4 };
+        let g1 = shared.goal_inversion(&goal).unwrap();
+        let g2 = solo.goal_inversion(&goal).unwrap();
+        prop_assert_eq!(g1.achieved_kpi.to_bits(), g2.achieved_kpi.to_bits());
+    }
+}
+
+/// Two analyses on the *same* session must overlap in time: dispatch
+/// clones the model `Arc` and releases the session lock before
+/// computing. A slow goal inversion runs on one thread while a burst of
+/// fast sensitivity views runs on another — with the old
+/// hold-the-lock-while-computing dispatch the burst could not finish
+/// until the inversion did.
+#[test]
+fn concurrent_analyses_on_one_session_overlap() {
+    use std::time::Instant;
+
+    let engine = Arc::new(Engine::new());
+    // A deliberately slow model: a deep forest over enough rows that a
+    // Bayesian goal inversion takes real wall-clock time.
+    let session = {
+        let Ok(Response::SessionCreated { session, .. }) = engine.handle(Request::LoadUseCase {
+            use_case: whatif::server::UseCase::DealClosing,
+            n_rows: Some(900),
+            seed: Some(3),
+        }) else {
+            panic!("expected SessionCreated");
+        };
+        engine
+            .handle(Request::SelectKpi {
+                session,
+                kpi: "Deal Closed?".into(),
+            })
+            .unwrap();
+        engine
+            .handle(Request::Train {
+                session,
+                config: Some(ModelConfig {
+                    n_trees: 60,
+                    max_depth: 10,
+                    ..ModelConfig::default()
+                }),
+            })
+            .unwrap();
+        session
+    };
+
+    let t0 = Instant::now();
+    let slow = {
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            let reply = engine.handle_envelope(Envelope::new(
+                1,
+                Request::GoalInversionView {
+                    session,
+                    goal: Goal::Maximize,
+                    constraints: vec![],
+                    optimizer: Some(OptimizerChoice::Bayesian { n_calls: 48 }),
+                    seed: 7,
+                },
+            ));
+            assert!(!reply.is_error(), "{:?}", reply.error);
+            t0.elapsed()
+        })
+    };
+    // Give the slow analysis a head start so the burst demonstrably
+    // runs *while* it is computing, then fire distinct (uncacheable
+    // against each other) sensitivity views on the same session.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let mut burst_done = Vec::new();
+    for i in 0..8 {
+        let reply = engine.handle_envelope(Envelope::new(
+            100 + i,
+            Request::SensitivityView {
+                session,
+                perturbations: vec![Perturbation::percentage(
+                    "Open Marketing Email",
+                    1.0 + i as f64,
+                )],
+            },
+        ));
+        assert!(!reply.is_error(), "{:?}", reply.error);
+        burst_done.push(t0.elapsed());
+    }
+    let slow_done = slow.join().unwrap();
+    assert!(
+        burst_done.iter().all(|&t| t < slow_done),
+        "every fast analysis finished while the slow one was still \
+         running (burst {burst_done:?} vs slow {slow_done:?}) — \
+         dispatch serialized the session"
+    );
+}
+
+/// The same equivalence the engine relies on, at the core layer:
+/// `TrainedModel` behind an `Arc` is the same object, so an analysis
+/// through the handle equals an analysis through the owned value.
+#[test]
+fn arc_handle_is_transparent() {
+    let (x, y): (Matrix, Vec<f64>) = {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 10) as f64, ((i * 3) % 6) as f64])
+            .collect();
+        let y = rows.iter().map(|r| 2.0 * r[0] - r[1] + 5.0).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    };
+    let model = TrainedModel::fit(
+        "y",
+        KpiKind::Continuous,
+        vec!["a".into(), "b".into()],
+        x,
+        y,
+        &ModelConfig::default(),
+    )
+    .unwrap();
+    let set = PerturbationSet::new(vec![Perturbation::percentage("a", 25.0)]);
+    let direct = model.sensitivity(&set).unwrap();
+    let handle: whatif::core::SharedModel = Arc::new(model);
+    let through_arc = handle.sensitivity(&set).unwrap();
+    assert_eq!(direct, through_arc);
+}
