@@ -1,12 +1,18 @@
 //! Model-fit latency: interpretable linear/logistic models vs random
 //! forests — the cost side of the paper's §5 interpretability-vs-
-//! accuracy trade-off.
+//! accuracy trade-off — plus the old-vs-new forest-trainer comparison
+//! (seed gather-and-sort vs presorted split finding), whose
+//! machine-readable report lands in `BENCH_train.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use whatif_bench::experiments::{train_bench, write_train_bench_json, Scale};
 use whatif_core::model_backend::{ModelConfig, ModelKind};
 use whatif_core::session::Session;
-use whatif_datagen::{make_classification, make_regression};
+use whatif_datagen::{deal_closing, make_classification, make_regression};
+use whatif_learn::forest::ForestConfig;
+use whatif_learn::tree::TreeConfig;
+use whatif_learn::{Classifier as _, RandomForestClassifier};
 
 fn config(kind: ModelKind, n_trees: usize) -> ModelConfig {
     ModelConfig {
@@ -15,6 +21,75 @@ fn config(kind: ModelKind, n_trees: usize) -> ModelConfig {
         holdout_fraction: 0.0, // isolate the fit cost
         ..ModelConfig::default()
     }
+}
+
+/// Old-vs-new forest trainer on the deal-closing data: the seed per-node
+/// gather-and-sort path against the presorted path, which must be
+/// bit-identical (pinned by `tests/forest_equivalence.rs`) and faster.
+fn bench_trainer_paths(c: &mut Criterion) {
+    // Emit the report first: `cargo bench -p whatif-bench --bench
+    // bench_train` always leaves BENCH_train.json behind.
+    let report = train_bench(Scale::Quick, 7);
+    write_train_bench_json("BENCH_train.json", &report).expect("write BENCH_train.json");
+    println!(
+        "BENCH_train.json: classifier {:.2}x ({:.1} ms -> {:.1} ms), \
+         regressor {:.2}x ({:.1} ms -> {:.1} ms)",
+        report.classifier_speedup,
+        report.classifier_reference_ms,
+        report.classifier_presorted_ms,
+        report.regressor_speedup,
+        report.regressor_reference_ms,
+        report.regressor_presorted_ms,
+    );
+
+    let dataset = deal_closing(600, 7);
+    let session = Session::new(dataset.frame.clone())
+        .with_kpi(&dataset.kpi)
+        .expect("kpi");
+    let model = session
+        .train(&ModelConfig {
+            kind: ModelKind::RandomForest,
+            n_trees: 1, // only the matrix/labels are needed here
+            holdout_fraction: 0.0,
+            ..ModelConfig::default()
+        })
+        .expect("fit");
+    let x = model.matrix().clone();
+    let labels: Vec<u8> = model
+        .targets()
+        .iter()
+        .map(|&v| u8::from(v >= 0.5))
+        .collect();
+    let config = ForestConfig {
+        n_trees: 24,
+        tree: TreeConfig {
+            max_depth: 8,
+            ..TreeConfig::default()
+        },
+        seed: 7,
+        n_threads: 4,
+    };
+
+    let mut group = c.benchmark_group("train_forest");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("reference_sort", |b| {
+        b.iter(|| {
+            let mut f = RandomForestClassifier::new(config.clone());
+            f.fit_reference(&x, &labels).expect("fit");
+            f
+        })
+    });
+    group.bench_function("presorted", |b| {
+        b.iter(|| {
+            let mut f = RandomForestClassifier::new(config.clone());
+            f.fit(&x, &labels).expect("fit");
+            f
+        })
+    });
+    group.finish();
 }
 
 fn bench_train(c: &mut Criterion) {
@@ -61,5 +136,5 @@ fn bench_train(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_train);
+criterion_group!(benches, bench_trainer_paths, bench_train);
 criterion_main!(benches);

@@ -23,6 +23,8 @@ const EXPERIMENTS: &[&str] = &[
     "opt-compare",
     "robustness",
     "store",
+    "train",
+    "predict",
 ];
 
 fn main() {
@@ -87,6 +89,12 @@ fn main() {
     }
     if should("store") {
         store(scale, seed);
+    }
+    if should("train") {
+        train(scale, seed);
+    }
+    if should("predict") {
+        predict(scale, seed);
     }
 }
 
@@ -351,6 +359,45 @@ fn store(scale: Scale, seed: u64) {
     );
     experiments::write_store_bench_json("BENCH_store.json", &r).expect("write BENCH_store.json");
     println!("wrote BENCH_store.json");
+}
+
+fn train(scale: Scale, seed: u64) {
+    header("train — presorted vs seed forest training (ROADMAP perf track)");
+    let r = experiments::train_bench(scale, seed);
+    println!(
+        "workload: {} rows x {} features, {} trees, mean of {} reps",
+        r.n_rows, r.n_features, r.n_trees, r.reps
+    );
+    println!(
+        "classifier: {:.2}x ({:.1} ms reference -> {:.1} ms presorted)",
+        r.classifier_speedup, r.classifier_reference_ms, r.classifier_presorted_ms
+    );
+    println!(
+        "regressor:  {:.2}x ({:.1} ms reference -> {:.1} ms presorted)",
+        r.regressor_speedup, r.regressor_reference_ms, r.regressor_presorted_ms
+    );
+    experiments::write_train_bench_json("BENCH_train.json", &r).expect("write BENCH_train.json");
+    println!("wrote BENCH_train.json");
+}
+
+fn predict(scale: Scale, seed: u64) {
+    header("predict — tree-major flattened vs seed row-major batch prediction");
+    let r = experiments::predict_bench(scale, seed);
+    println!(
+        "workload: {} rows x {} features, {} trees, {} thread(s), mean of {} reps",
+        r.n_rows, r.n_features, r.n_trees, r.n_threads, r.reps
+    );
+    println!(
+        "dense:   {:.2}x ({:.2} ms row-major -> {:.2} ms tree-major)",
+        r.dense_speedup, r.dense_rowmajor_ms, r.dense_treemajor_ms
+    );
+    println!(
+        "overlay: {:.2}x ({:.2} ms row-major -> {:.2} ms tree-major)",
+        r.overlay_speedup, r.overlay_rowmajor_ms, r.overlay_treemajor_ms
+    );
+    experiments::write_predict_bench_json("BENCH_predict.json", &r)
+        .expect("write BENCH_predict.json");
+    println!("wrote BENCH_predict.json");
 }
 
 fn robustness(scale: Scale, seed: u64) {

@@ -526,10 +526,12 @@ impl CacheWeight for TrainedModel {
 }
 
 /// Per-tree node bound: a bootstrap sample of `n_rows` yields at most
-/// `2 * n_rows - 1` nodes, at roughly 40 bytes each (split node enum +
-/// importance slot).
+/// `2 * n_rows - 1` nodes, at roughly 24 bytes each (the flattened
+/// struct-of-arrays tree stores 16 bytes per node — u32 feature/right
+/// child plus one f64 threshold-or-leaf-value — plus an importance
+/// slot's share).
 fn forest_bytes(n_trees: usize, n_rows: usize) -> usize {
-    n_trees * (2 * n_rows).saturating_sub(1) * 40
+    n_trees * (2 * n_rows).saturating_sub(1) * 24
 }
 
 /// Fold everything that determines a model's observable behavior into

@@ -6,13 +6,26 @@
 //! rows per tree, sqrt/one-third feature subsampling per split, averaged
 //! normalized impurity importances, and out-of-bag scoring. Trees train
 //! in parallel on std scoped threads.
+//!
+//! Batched prediction is **tree-major blocked**: rows are scored in
+//! blocks of [`PREDICT_ROW_BLOCK`], and within a block every tree is
+//! traversed for all rows before the next tree starts, so one tree's
+//! flattened node arrays stay cache-hot across the block instead of the
+//! whole forest being dragged through cache once per row. The per-row
+//! shape check is hoisted to one check per batch. Both changes are
+//! bit-identical to the row-major seed path, which is retained as
+//! [`RandomForestClassifier::predict_batch_rowmajor`] (and the regressor
+//! twin) for equivalence tests and old-vs-new benchmarks.
 
 use crate::linalg::Matrix;
 use crate::model::{
     check_batch_shape, check_binary_labels, Classifier, LearnError, MatrixView, Predictor,
     Regressor,
 };
-use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
+use crate::tree::{
+    check_no_nan_features, DecisionTreeClassifier, DecisionTreeRegressor, FlatTree, FullPresort,
+    SeedLayoutTree, Trainer, TreeConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use whatif_stats::sampling::{bootstrap_indices, out_of_bag_indices};
@@ -124,13 +137,107 @@ where
 /// and avoid nesting fan-outs.
 pub const PARALLEL_BATCH_MIN_WORK: usize = 8_192;
 
-/// Shared batched prediction for both forest families: rows are split
-/// into contiguous chunks scored on `std::thread::scope` workers, each
-/// with its own gather buffer. Per-row math (sum trees in order, divide
-/// once) matches `predict_row` exactly, and every row writes its own
-/// slot, so the result is bit-identical and deterministic regardless of
-/// thread count.
-fn forest_predict_batch<T: Predictor>(
+/// Rows scored per tree-major block: small enough that the accumulator
+/// and a gathered overlay block stay L1/L2-resident, large enough to
+/// amortize walking every tree's node arrays once per block.
+pub const PREDICT_ROW_BLOCK: usize = 512;
+
+/// Decide the worker count for a batch of `rows` rows over `n_trees`
+/// trees. Thread spawn costs ~tens of µs; only fan out when the batch
+/// has enough row×tree work to amortize it, and never beyond the
+/// hardware's parallelism. Results are identical either way (per-row
+/// math does not depend on the partitioning).
+fn batch_threads(n_threads: usize, rows: usize, n_trees: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let work = rows.saturating_mul(n_trees);
+    if work < PARALLEL_BATCH_MIN_WORK {
+        1
+    } else {
+        n_threads.max(1).min(rows).min(hw)
+    }
+}
+
+/// Shared batched prediction for both forest families, tree-major
+/// blocked. Rows are split into contiguous chunks scored on
+/// `std::thread::scope` workers; within each [`PREDICT_ROW_BLOCK`]-row
+/// block, every tree is traversed for the whole block before the next
+/// tree starts. Per-row math (sum trees in order, divide once) matches
+/// `predict_row` exactly, and every row writes its own slot, so the
+/// result is bit-identical and deterministic regardless of thread count
+/// and block size.
+fn forest_predict_batch(
+    trees: &[&FlatTree],
+    n_threads: usize,
+    x: MatrixView<'_>,
+    out: &mut [f64],
+) -> Result<(), LearnError> {
+    if trees.is_empty() {
+        return Err(LearnError::NotFitted);
+    }
+    // One shape check per batch; traversals below are unchecked.
+    check_batch_shape(trees[0].n_features(), &x, out)?;
+    if out.is_empty() {
+        return Ok(());
+    }
+    let n_trees = trees.len() as f64;
+    let p = x.n_cols();
+    let score_rows = |start: usize, chunk: &mut [f64]| {
+        let mut gather = match x {
+            MatrixView::Dense(_) => Vec::new(),
+            MatrixView::Overlay(_) => vec![0.0; PREDICT_ROW_BLOCK * p],
+        };
+        for (block_no, acc) in chunk.chunks_mut(PREDICT_ROW_BLOCK).enumerate() {
+            let row0 = start + block_no * PREDICT_ROW_BLOCK;
+            acc.fill(0.0);
+            // Rows of a block form one contiguous row-major region:
+            // dense input borrows it straight from the matrix; overlays
+            // gather each row once per block, reused by every tree.
+            let block: &[f64] = match x {
+                MatrixView::Dense(m) => &m.data()[row0 * p..(row0 + acc.len()) * p],
+                MatrixView::Overlay(o) => {
+                    for bi in 0..acc.len() {
+                        o.gather_row(row0 + bi, &mut gather[bi * p..(bi + 1) * p]);
+                    }
+                    &gather[..acc.len() * p]
+                }
+            };
+            for t in trees {
+                t.accumulate_block(block, p, acc);
+            }
+            for slot in acc.iter_mut() {
+                *slot /= n_trees;
+            }
+        }
+    };
+
+    let n_threads = batch_threads(n_threads, out.len(), trees.len());
+    if n_threads == 1 {
+        score_rows(0, out);
+        return Ok(());
+    }
+    let chunk_len = out.len().div_ceil(n_threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(k, chunk)| {
+                let score_rows = &score_rows;
+                scope.spawn(move || score_rows(k * chunk_len, chunk))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("forest batch worker panicked");
+        }
+    });
+    Ok(())
+}
+
+/// The seed batched-prediction path: row-major (each row walks every
+/// tree before the next row), with the per-row shape check still inside
+/// `predict_row`. Kept as the baseline side of the old-vs-new predict
+/// benchmark and the reference the equivalence tests pin the tree-major
+/// path against.
+fn forest_predict_batch_rowmajor<T: Predictor>(
     trees: &[T],
     n_threads: usize,
     x: MatrixView<'_>,
@@ -163,17 +270,7 @@ fn forest_predict_batch<T: Predictor>(
         Ok(())
     };
 
-    // Thread spawn costs ~tens of µs; only fan out when the batch has
-    // enough row×tree work to amortize it, and never beyond the
-    // hardware's parallelism. Results are identical either way (per-row
-    // math does not depend on the partitioning).
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let work = out.len().saturating_mul(trees.len());
-    let n_threads = if work < PARALLEL_BATCH_MIN_WORK {
-        1
-    } else {
-        n_threads.max(1).min(out.len()).min(hw)
-    };
+    let n_threads = batch_threads(n_threads, out.len(), trees.len());
     if n_threads == 1 {
         return score_rows(0, out);
     }
@@ -195,6 +292,28 @@ fn forest_predict_batch<T: Predictor>(
     results.into_iter().collect()
 }
 
+/// A fitted forest re-expressed in the seed's per-tree enum-arena
+/// layout, with the seed's row-major batched prediction (per-row tree
+/// loop, per-row shape checks). This is the "old" side of the
+/// old-vs-new predict benchmark and the baseline the equivalence tests
+/// pin the tree-major flattened path against.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct SeedLayoutForest {
+    trees: Vec<SeedLayoutTree>,
+    n_threads: usize,
+}
+
+impl SeedLayoutForest {
+    /// The seed's batched prediction over the legacy node layout.
+    ///
+    /// # Errors
+    /// Same contract as [`Predictor::predict_batch`].
+    pub fn predict_batch(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), LearnError> {
+        forest_predict_batch_rowmajor(&self.trees, self.n_threads, x, out)
+    }
+}
+
 fn averaged_importances(per_tree: &[Vec<f64>], p: usize) -> Vec<f64> {
     let mut avg = vec![0.0; p];
     for imp in per_tree {
@@ -209,6 +328,16 @@ fn averaged_importances(per_tree: &[Vec<f64>], p: usize) -> Vec<f64> {
         }
     }
     avg
+}
+
+/// Sum of one row's predictions across fitted trees, unchecked (the
+/// caller has validated the row width once).
+fn sum_trees<'a>(flats: impl Iterator<Item = Option<&'a FlatTree>>, row: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for t in flats {
+        sum += t.expect("fitted forest holds fitted trees").traverse(row);
+    }
+    sum
 }
 
 /// A bootstrap random-forest binary classifier. Predictions are mean leaf
@@ -275,34 +404,96 @@ impl RandomForestClassifier {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
-}
 
-impl Classifier for RandomForestClassifier {
-    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), LearnError> {
+    /// Fit with the seed per-node gather-and-sort trainer — the
+    /// bit-identity baseline for equivalence tests and old-vs-new
+    /// benchmarks.
+    ///
+    /// # Errors
+    /// Same contract as [`Classifier::fit`].
+    #[doc(hidden)]
+    pub fn fit_reference(&mut self, x: &Matrix, y: &[u8]) -> Result<(), LearnError> {
+        self.fit_impl(x, y, Trainer::Reference)
+    }
+
+    /// Re-express the fitted forest in the seed's enum-arena layout —
+    /// the baseline side of the old-vs-new predict benchmark.
+    #[doc(hidden)]
+    pub fn seed_layout(&self) -> SeedLayoutForest {
+        SeedLayoutForest {
+            trees: self
+                .trees
+                .iter()
+                .filter_map(|t| t.flat().map(FlatTree::to_seed_layout))
+                .collect(),
+            n_threads: self.config.n_threads,
+        }
+    }
+
+    /// The seed row-major batched prediction (legacy node layout,
+    /// per-row tree loop with per-row shape checks). Converts the
+    /// layout on every call — benchmarks should convert once via
+    /// [`Self::seed_layout`] instead.
+    ///
+    /// # Errors
+    /// Same contract as [`Predictor::predict_batch`].
+    #[doc(hidden)]
+    pub fn predict_batch_rowmajor(
+        &self,
+        x: MatrixView<'_>,
+        out: &mut [f64],
+    ) -> Result<(), LearnError> {
+        self.seed_layout().predict_batch(x, out)
+    }
+
+    fn fit_impl(&mut self, x: &Matrix, y: &[u8], trainer: Trainer) -> Result<(), LearnError> {
         check_binary_labels(x, y)?;
+        // One NaN screen for the whole forest instead of one per tree.
+        check_no_nan_features(x)?;
         let p = x.n_cols();
         let mut tree_config = self.config.tree.clone();
         if tree_config.max_features.is_none() {
             // Classification default: sqrt(p).
             tree_config.max_features = Some(((p as f64).sqrt().round() as usize).clamp(1, p));
         }
+        // One full-dataset presort shared by every tree worker.
+        let presort = match trainer {
+            Trainer::Presorted => {
+                let yf: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
+                Some(FullPresort::new(x, &yf))
+            }
+            Trainer::Reference => None,
+        };
         let fitted = fit_trees(x.n_rows(), &self.config, |seed, sample| {
             let mut cfg = tree_config.clone();
             cfg.seed = seed;
             let mut t = DecisionTreeClassifier::new(cfg);
-            t.fit_on_sample(x, y, sample)?;
+            t.fit_on_sample_with(x, y, sample, trainer, presort.as_ref())?;
             Ok(t)
         })?;
 
-        // OOB vote accumulation.
+        // OOB vote accumulation. The presorted path walks the flat
+        // tree unchecked (row widths come straight from `x`); the
+        // reference path keeps the seed's per-row checked calls.
         let mut prob_sum = vec![0.0f64; x.n_rows()];
         let mut votes = vec![0u32; x.n_rows()];
         let mut trees = Vec::with_capacity(fitted.len());
         let mut per_tree_imp = Vec::with_capacity(fitted.len());
         for (t, oob) in fitted {
-            for &i in &oob {
-                prob_sum[i] += t.predict_row(x.row(i))?;
-                votes[i] += 1;
+            match trainer {
+                Trainer::Presorted => {
+                    let flat = t.flat().ok_or(LearnError::NotFitted)?;
+                    for &i in &oob {
+                        prob_sum[i] += flat.traverse(x.row(i));
+                        votes[i] += 1;
+                    }
+                }
+                Trainer::Reference => {
+                    for &i in &oob {
+                        prob_sum[i] += t.predict_row(x.row(i))?;
+                        votes[i] += 1;
+                    }
+                }
             }
             per_tree_imp.push(t.feature_importances()?);
             trees.push(t);
@@ -330,15 +521,23 @@ impl Classifier for RandomForestClassifier {
     }
 }
 
+impl Classifier for RandomForestClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), LearnError> {
+        self.fit_impl(x, y, Trainer::Presorted)
+    }
+}
+
 impl Predictor for RandomForestClassifier {
     fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
-        if self.trees.is_empty() {
-            return Err(LearnError::NotFitted);
+        let first = self.trees.first().ok_or(LearnError::NotFitted)?;
+        if x.len() != first.n_features() {
+            return Err(LearnError::Shape(format!(
+                "row has {} features, tree expects {}",
+                x.len(),
+                first.n_features()
+            )));
         }
-        let mut sum = 0.0;
-        for t in &self.trees {
-            sum += t.predict_row(x)?;
-        }
+        let sum = sum_trees(self.trees.iter().map(DecisionTreeClassifier::flat), x);
         Ok(sum / self.trees.len() as f64)
     }
 
@@ -347,7 +546,12 @@ impl Predictor for RandomForestClassifier {
     }
 
     fn predict_batch(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), LearnError> {
-        forest_predict_batch(&self.trees, self.config.n_threads, x, out)
+        let flats: Vec<&FlatTree> = self
+            .trees
+            .iter()
+            .filter_map(DecisionTreeClassifier::flat)
+            .collect();
+        forest_predict_batch(&flats, self.config.n_threads, x, out)
     }
 }
 
@@ -412,10 +616,49 @@ impl RandomForestRegressor {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
-}
 
-impl Regressor for RandomForestRegressor {
-    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), LearnError> {
+    /// Fit with the seed per-node gather-and-sort trainer — the
+    /// bit-identity baseline for equivalence tests and old-vs-new
+    /// benchmarks.
+    ///
+    /// # Errors
+    /// Same contract as [`Regressor::fit`].
+    #[doc(hidden)]
+    pub fn fit_reference(&mut self, x: &Matrix, y: &[f64]) -> Result<(), LearnError> {
+        self.fit_impl(x, y, Trainer::Reference)
+    }
+
+    /// Re-express the fitted forest in the seed's enum-arena layout —
+    /// the baseline side of the old-vs-new predict benchmark.
+    #[doc(hidden)]
+    pub fn seed_layout(&self) -> SeedLayoutForest {
+        SeedLayoutForest {
+            trees: self
+                .trees
+                .iter()
+                .filter_map(|t| t.flat().map(FlatTree::to_seed_layout))
+                .collect(),
+            n_threads: self.config.n_threads,
+        }
+    }
+
+    /// The seed row-major batched prediction (legacy node layout,
+    /// per-row tree loop with per-row shape checks). Converts the
+    /// layout on every call — benchmarks should convert once via
+    /// [`Self::seed_layout`] instead.
+    ///
+    /// # Errors
+    /// Same contract as [`Predictor::predict_batch`].
+    #[doc(hidden)]
+    pub fn predict_batch_rowmajor(
+        &self,
+        x: MatrixView<'_>,
+        out: &mut [f64],
+    ) -> Result<(), LearnError> {
+        self.seed_layout().predict_batch(x, out)
+    }
+
+    fn fit_impl(&mut self, x: &Matrix, y: &[f64], trainer: Trainer) -> Result<(), LearnError> {
         if y.len() != x.n_rows() {
             return Err(LearnError::Shape(format!(
                 "{} targets for {} rows",
@@ -423,17 +666,23 @@ impl Regressor for RandomForestRegressor {
                 x.n_rows()
             )));
         }
+        check_no_nan_features(x)?;
         let p = x.n_cols();
         let mut tree_config = self.config.tree.clone();
         if tree_config.max_features.is_none() {
             // Regression default: p/3.
             tree_config.max_features = Some((p / 3).clamp(1, p.max(1)));
         }
+        // One full-dataset presort shared by every tree worker.
+        let presort = match trainer {
+            Trainer::Presorted => Some(FullPresort::new(x, y)),
+            Trainer::Reference => None,
+        };
         let fitted = fit_trees(x.n_rows(), &self.config, |seed, sample| {
             let mut cfg = tree_config.clone();
             cfg.seed = seed;
             let mut t = DecisionTreeRegressor::new(cfg);
-            t.fit_on_sample(x, y, sample)?;
+            t.fit_on_sample_with(x, y, sample, trainer, presort.as_ref())?;
             Ok(t)
         })?;
 
@@ -442,9 +691,20 @@ impl Regressor for RandomForestRegressor {
         let mut trees = Vec::with_capacity(fitted.len());
         let mut per_tree_imp = Vec::with_capacity(fitted.len());
         for (t, oob) in fitted {
-            for &i in &oob {
-                pred_sum[i] += t.predict_row(x.row(i))?;
-                votes[i] += 1;
+            match trainer {
+                Trainer::Presorted => {
+                    let flat = t.flat().ok_or(LearnError::NotFitted)?;
+                    for &i in &oob {
+                        pred_sum[i] += flat.traverse(x.row(i));
+                        votes[i] += 1;
+                    }
+                }
+                Trainer::Reference => {
+                    for &i in &oob {
+                        pred_sum[i] += t.predict_row(x.row(i))?;
+                        votes[i] += 1;
+                    }
+                }
             }
             per_tree_imp.push(t.feature_importances()?);
             trees.push(t);
@@ -477,15 +737,23 @@ impl Regressor for RandomForestRegressor {
     }
 }
 
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), LearnError> {
+        self.fit_impl(x, y, Trainer::Presorted)
+    }
+}
+
 impl Predictor for RandomForestRegressor {
     fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
-        if self.trees.is_empty() {
-            return Err(LearnError::NotFitted);
+        let first = self.trees.first().ok_or(LearnError::NotFitted)?;
+        if x.len() != first.n_features() {
+            return Err(LearnError::Shape(format!(
+                "row has {} features, tree expects {}",
+                x.len(),
+                first.n_features()
+            )));
         }
-        let mut sum = 0.0;
-        for t in &self.trees {
-            sum += t.predict_row(x)?;
-        }
+        let sum = sum_trees(self.trees.iter().map(DecisionTreeRegressor::flat), x);
         Ok(sum / self.trees.len() as f64)
     }
 
@@ -494,7 +762,12 @@ impl Predictor for RandomForestRegressor {
     }
 
     fn predict_batch(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), LearnError> {
-        forest_predict_batch(&self.trees, self.config.n_threads, x, out)
+        let flats: Vec<&FlatTree> = self
+            .trees
+            .iter()
+            .filter_map(DecisionTreeRegressor::flat)
+            .collect();
+        forest_predict_batch(&flats, self.config.n_threads, x, out)
     }
 }
 
@@ -602,6 +875,65 @@ mod tests {
     }
 
     #[test]
+    fn presorted_forest_matches_reference_forest_bit_for_bit() {
+        let (x, y) = class_data(180, 14);
+        let mut new = RandomForestClassifier::with_trees(12, 15);
+        let mut old = RandomForestClassifier::with_trees(12, 15);
+        new.fit(&x, &y).unwrap();
+        old.fit_reference(&x, &y).unwrap();
+        assert_eq!(new.oob_accuracy().unwrap(), old.oob_accuracy().unwrap());
+        assert_eq!(
+            new.feature_importances().unwrap(),
+            old.feature_importances().unwrap()
+        );
+        for i in 0..x.n_rows() {
+            assert_eq!(
+                new.predict_row(x.row(i)).unwrap().to_bits(),
+                old.predict_row(x.row(i)).unwrap().to_bits()
+            );
+        }
+
+        let (rx, ry) = reg_data(150, 16);
+        let mut rn = RandomForestRegressor::with_trees(9, 17);
+        let mut ro = RandomForestRegressor::with_trees(9, 17);
+        rn.fit(&rx, &ry).unwrap();
+        ro.fit_reference(&rx, &ry).unwrap();
+        assert_eq!(
+            rn.oob_r2().unwrap().to_bits(),
+            ro.oob_r2().unwrap().to_bits()
+        );
+        assert_eq!(
+            rn.feature_importances().unwrap(),
+            ro.feature_importances().unwrap()
+        );
+        for i in 0..rx.n_rows() {
+            assert_eq!(
+                rn.predict_row(rx.row(i)).unwrap().to_bits(),
+                ro.predict_row(rx.row(i)).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn nan_features_error_cleanly_in_forest_fit() {
+        let (x, y) = class_data(40, 18);
+        let mut rows: Vec<Vec<f64>> = (0..x.n_rows()).map(|i| x.row(i).to_vec()).collect();
+        rows[7][1] = f64::NAN;
+        let bad = Matrix::from_rows(&rows).unwrap();
+        let mut f = RandomForestClassifier::with_trees(4, 19);
+        assert!(matches!(
+            f.fit(&bad, &y).unwrap_err(),
+            LearnError::Invalid(_)
+        ));
+        let mut r = RandomForestRegressor::with_trees(4, 19);
+        let yr: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
+        assert!(matches!(
+            r.fit(&bad, &yr).unwrap_err(),
+            LearnError::Invalid(_)
+        ));
+    }
+
+    #[test]
     fn regressor_fits_nonlinear_signal() {
         let (x, y) = reg_data(500, 6);
         let mut f = RandomForestRegressor::with_trees(40, 8);
@@ -648,6 +980,12 @@ mod tests {
             assert!(p.to_bits() == f.predict_row(dense.row(i)).unwrap().to_bits());
         }
 
+        // Tree-major == the seed row-major path, bit for bit.
+        let mut rowmajor = vec![0.0; x.n_rows()];
+        f.predict_batch_rowmajor((&overlay).into(), &mut rowmajor)
+            .unwrap();
+        assert_eq!(out, rowmajor);
+
         // Parallelism never changes results: 1, 3, and 8 threads agree.
         let mut reference = vec![0.0; x.n_rows()];
         f.config.n_threads = 1;
@@ -673,6 +1011,9 @@ mod tests {
         for (i, &p) in a.iter().enumerate() {
             assert!(p.to_bits() == r.predict_row(rx.row(i)).unwrap().to_bits());
         }
+        let mut rm = vec![0.0; rx.n_rows()];
+        r.predict_batch_rowmajor((&rx).into(), &mut rm).unwrap();
+        assert_eq!(a, rm);
 
         // Unfitted forests fail loudly; empty batches are fine.
         let un = RandomForestRegressor::default();

@@ -18,8 +18,14 @@
 //!   interpretable classifier baseline.
 //! * [`tree`] / [`forest`] — CART decision trees and bootstrap random
 //!   forests (classifier + regressor) with impurity feature importances
-//!   and out-of-bag scoring; forest training is parallelized with
-//!   std scoped threads.
+//!   and out-of-bag scoring. Training uses presorted split finding
+//!   (root-level per-feature sort columns partitioned stably down the
+//!   tree, no per-node sorts or allocations); fitted trees are stored
+//!   flattened (struct-of-arrays, u32 indices, leaf sentinel) and
+//!   batch prediction is tree-major blocked for cache locality — both
+//!   bit-identical to the retained seed reference paths (see
+//!   `docs/FOREST.md`). Forest training is parallelized with std
+//!   scoped threads.
 //! * [`overlay`] — copy-on-write [`overlay::ColumnOverlay`] matrix
 //!   views, the zero-clone substrate of bulk scenario evaluation
 //!   (paired with [`model::Predictor::predict_batch`]).

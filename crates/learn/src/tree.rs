@@ -5,11 +5,29 @@
 //! for regression; each tree accumulates impurity-decrease feature
 //! importances, which the forest averages into the paper's driver
 //! importances.
+//!
+//! # Hot-path layout
+//!
+//! Training uses **presorted split finding**: the full dataset is
+//! sorted once per forest ([`FullPresort`]), each tree derives its
+//! bootstrap sample's per-feature sorted columns with a linear counting
+//! scatter, and the columns are partitioned stably down the tree — no
+//! node ever sorts, and the per-node cost is a few linear passes over a
+//! reusable per-tree workspace instead of the seed's per-node
+//! gather-and-sort. Constant features and leaf-only fringes drop out of
+//! the partition work entirely. Fitted trees are stored **flattened**
+//! ([`FlatTree`]): packed `u32` feature/right-child index words with a
+//! leaf sentinel next to one contiguous `f64` array holding thresholds
+//! and leaf values (the left child is always the next node, pre-order).
+//! Both changes are **bit-identical** to the seed implementation, which
+//! is retained as the `Reference` trainer and [`SeedLayoutTree`] for
+//! equivalence tests and old-vs-new benchmarks — see `docs/FOREST.md`
+//! for the determinism and tie-order contract.
 
 use crate::linalg::Matrix;
 use crate::model::{check_binary_labels, Classifier, LearnError, Predictor, Regressor};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use whatif_stats::sampling::sample_without_replacement;
 
 /// Hyperparameters shared by trees and forests.
@@ -39,8 +57,257 @@ impl Default for TreeConfig {
     }
 }
 
+/// Which split-finding engine grows the tree. Both produce bit-identical
+/// trees; `Reference` is the seed gather-and-sort implementation, kept
+/// as the baseline the equivalence suites and old-vs-new benchmarks pin
+/// the presorted trainer against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Trainer {
+    /// Forest-level presort, stable partition down the tree,
+    /// counting-sort replay of the seed's pair order. No per-node
+    /// allocations.
+    Presorted,
+    /// Per-node gather + stable sort (the seed implementation).
+    Reference,
+}
+
+/// Leaf sentinel in the feature half of [`FlatTree::meta`].
+const LEAF: u32 = u32::MAX;
+
+/// Map an f64 to a u64 whose unsigned order equals `f64::total_cmp`
+/// order (sign-magnitude flip).
+#[inline]
+fn total_order_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    b ^ ((((b as i64) >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// Packed presorted-column entry: `slot << 32 | value_class << 1 |
+/// label`. `value_class` is the dense rank of the entry's feature value
+/// among the dataset's *distinct* (`!=`-distinct) values for that
+/// feature, so a boundary between splittable values is exactly a class
+/// change — the split scan never touches the f64 column except to
+/// compute a winning threshold. `label` caches `y >= 0.5` for the Gini
+/// scan.
+type Entry = u64;
+
+#[inline]
+fn entry_slot(e: Entry) -> usize {
+    (e >> 32) as usize
+}
+
+#[inline]
+fn entry_class(e: Entry) -> u32 {
+    ((e & 0xFFFF_FFFF) >> 1) as u32
+}
+
+/// Per-feature full-dataset sort metadata, computed **once per forest**
+/// and shared by every tree worker: for each feature and row, the row's
+/// *rank* in the full sorted order and its *value class* (dense rank of
+/// the row's distinct value), plus the cached `y >= 0.5` label. Each
+/// tree derives its bootstrap sample's sorted entry columns from these
+/// with one branch-free counting scatter per feature — no per-tree
+/// sorts and no value loads.
+#[derive(Debug)]
+pub(crate) struct FullPresort {
+    /// `p * n_rows`, indexed `f * n_rows + row`:
+    /// `rank << 32 | class << 1 | label`.
+    packed: Vec<u64>,
+    /// Per feature: whether -0.0 and +0.0 coexist (the one case where
+    /// `==`-equal values differ in bits, forcing the MSE bucket replay
+    /// to fall back to bit-level run detection).
+    mixed_zero: Vec<bool>,
+    n_rows: usize,
+}
+
+impl FullPresort {
+    pub(crate) fn new(x: &Matrix, y: &[f64]) -> FullPresort {
+        let n_rows = x.n_rows();
+        let p = x.n_cols();
+        assert!(n_rows < (1usize << 31), "matrix too large for packed rows");
+        let mut packed = vec![0u64; p * n_rows];
+        let mut mixed_zero = vec![false; p];
+        if n_rows == 0 {
+            // Callers reject empty training sets; keep the metadata
+            // empty instead of indexing into nothing.
+            return FullPresort {
+                packed,
+                mixed_zero,
+                n_rows,
+            };
+        }
+        // (total-order key, row) pairs sort on plain integers — no
+        // comparator indirection into the matrix.
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(n_rows);
+        for f in 0..p {
+            keyed.clear();
+            keyed.extend((0..n_rows).map(|r| (total_order_key(x.get(r, f)), r as u32)));
+            keyed.sort_unstable();
+            let mut class = 0u64;
+            let mut prev = x.get(keyed[0].1 as usize, f);
+            for (rank, &(_, r)) in keyed.iter().enumerate() {
+                let v = x.get(r as usize, f);
+                if v != prev {
+                    class += 1;
+                } else if v.to_bits() != prev.to_bits() && rank > 0 {
+                    mixed_zero[f] = true; // -0.0 and +0.0 both present
+                }
+                prev = v;
+                let label = u64::from(y[r as usize] >= 0.5);
+                packed[f * n_rows + r as usize] = ((rank as u64) << 32) | (class << 1) | label;
+            }
+        }
+        FullPresort {
+            packed,
+            mixed_zero,
+            n_rows,
+        }
+    }
+}
+
+/// A fitted tree in a flattened, cache-friendly layout.
+///
+/// Nodes are stored in pre-order, so node `i`'s left child is always
+/// `i + 1` and only the right child needs storing. `meta[i]` packs both
+/// `u32` indices (`right_child << 32 | feature`; feature == [`LEAF`]
+/// marks a leaf) so one load fetches them, and `thresh[i]` holds the
+/// split threshold — or the leaf value for leaves — keeping a
+/// traversal's working set to 16 bytes per node (the seed's enum arena
+/// spent 40).
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) struct FlatTree {
+    meta: Vec<u64>,
+    thresh: Vec<f64>,
+    n_features: usize,
+    /// Unnormalized impurity-decrease importances.
+    importances: Vec<f64>,
+    depth: usize,
+}
+
+impl FlatTree {
+    /// Walk a row to its leaf value. The caller has validated the row
+    /// width (batch paths check once per batch, not once per row).
+    #[inline]
+    pub(crate) fn traverse(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let m = self.meta[i];
+            let t = self.thresh[i];
+            let f = m as u32;
+            if f == LEAF {
+                return t;
+            }
+            i = if row[f as usize] <= t {
+                i + 1
+            } else {
+                (m >> 32) as usize
+            };
+        }
+    }
+
+    /// Accumulate this tree's leaf value for every row of a contiguous
+    /// row-major block (`block.len() == acc.len() * p`) into `acc`.
+    ///
+    /// Rows are walked in small interleaved groups so the CPU overlaps
+    /// the dependent node-load chains of independent rows; rows that
+    /// have landed just re-read their (cached) leaf node until the
+    /// group finishes. Each row's final leaf value is identical to
+    /// [`Self::traverse`], so accumulation order — and therefore every
+    /// bit — matches the row-at-a-time path.
+    pub(crate) fn accumulate_block(&self, block: &[f64], p: usize, acc: &mut [f64]) {
+        const G: usize = 4;
+        let meta = &self.meta[..];
+        let thresh = &self.thresh[..];
+        let full = acc.len() - acc.len() % G;
+        let mut r = 0;
+        while r < full {
+            let rows: [&[f64]; G] = [
+                &block[r * p..(r + 1) * p],
+                &block[(r + 1) * p..(r + 2) * p],
+                &block[(r + 2) * p..(r + 3) * p],
+                &block[(r + 3) * p..(r + 4) * p],
+            ];
+            let mut cur = [0usize; G];
+            loop {
+                let mut live = false;
+                for g in 0..G {
+                    let i = cur[g];
+                    let m = meta[i];
+                    let f = m as u32;
+                    // Predictable until the leaf: rows that have landed
+                    // just re-read their (cached) leaf node.
+                    if f != LEAF {
+                        live = true;
+                        cur[g] = if rows[g][f as usize] <= thresh[i] {
+                            i + 1
+                        } else {
+                            (m >> 32) as usize
+                        };
+                    }
+                }
+                if !live {
+                    break;
+                }
+            }
+            for g in 0..G {
+                acc[r + g] += thresh[cur[g]];
+            }
+            r += G;
+        }
+        for (row, slot) in acc.iter_mut().enumerate().skip(full) {
+            *slot += self.traverse(&block[row * p..(row + 1) * p]);
+        }
+    }
+
+    fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+        if x.len() != self.n_features {
+            return Err(LearnError::Shape(format!(
+                "row has {} features, tree expects {}",
+                x.len(),
+                self.n_features
+            )));
+        }
+        Ok(self.traverse(x))
+    }
+
+    pub(crate) fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Expand back into the seed's enum arena (same topology, same
+    /// node order) for the old-layout baseline.
+    pub(crate) fn to_seed_layout(&self) -> SeedLayoutTree {
+        let nodes = self
+            .meta
+            .iter()
+            .zip(&self.thresh)
+            .enumerate()
+            .map(|(i, (&m, &t))| {
+                if m as u32 == LEAF {
+                    SeedNode::Leaf { value: t }
+                } else {
+                    SeedNode::Split {
+                        feature: (m as u32) as usize,
+                        threshold: t,
+                        left: i + 1,
+                        right: (m >> 32) as usize,
+                    }
+                }
+            })
+            .collect();
+        SeedLayoutTree {
+            nodes,
+            n_features: self.n_features,
+        }
+    }
+}
+
+/// The seed implementation's node representation: a 40-byte enum arena
+/// (discriminant + four words). Retained solely so old-vs-new
+/// benchmarks and equivalence tests measure the *actual* seed layout,
+/// not a flattened stand-in.
+#[derive(Debug, Clone)]
+enum SeedNode {
     Leaf {
         value: f64,
     },
@@ -52,18 +319,20 @@ enum Node {
     },
 }
 
-/// A fitted tree: arena of nodes plus per-feature importance mass.
+/// A fitted tree in the seed's enum-arena layout with the seed's
+/// per-row shape check. See [`FlatTree::to_seed_layout`].
 #[derive(Debug, Clone)]
-struct FittedTree {
-    nodes: Vec<Node>,
+pub struct SeedLayoutTree {
+    nodes: Vec<SeedNode>,
     n_features: usize,
-    /// Unnormalized impurity-decrease importances.
-    importances: Vec<f64>,
-    depth: usize,
 }
 
-impl FittedTree {
-    fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+impl SeedLayoutTree {
+    /// The seed's `predict_row`: shape check per call, enum-match walk.
+    ///
+    /// # Errors
+    /// [`LearnError::Shape`] on row-width mismatch.
+    pub fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
         if x.len() != self.n_features {
             return Err(LearnError::Shape(format!(
                 "row has {} features, tree expects {}",
@@ -74,8 +343,8 @@ impl FittedTree {
         let mut i = 0usize;
         loop {
             match &self.nodes[i] {
-                Node::Leaf { value } => return Ok(*value),
-                Node::Split {
+                SeedNode::Leaf { value } => return Ok(*value),
+                SeedNode::Split {
                     feature,
                     threshold,
                     left,
@@ -90,6 +359,34 @@ impl FittedTree {
             }
         }
     }
+
+    /// Number of features the tree expects.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+impl Predictor for SeedLayoutTree {
+    fn predict_row(&self, x: &[f64]) -> Result<f64, LearnError> {
+        SeedLayoutTree::predict_row(self, x)
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+/// Reject NaN feature cells up front: the split search orders values
+/// with `f64::total_cmp` (which never panics), but a NaN would silently
+/// sort to an extreme and poison thresholds, so training refuses it with
+/// a clean error instead.
+pub(crate) fn check_no_nan_features(x: &Matrix) -> Result<(), LearnError> {
+    if x.data().iter().any(|v| v.is_nan()) {
+        return Err(LearnError::Invalid(
+            "feature matrix contains NaN; clean or impute before training".to_owned(),
+        ));
+    }
+    Ok(())
 }
 
 /// Impurity criterion abstraction: classification tracks (n, n_pos),
@@ -98,9 +395,21 @@ impl FittedTree {
 trait Criterion {
     /// Aggregate node statistics.
     type Agg: Clone;
+    /// Whether the aggregate depends on the *order* targets are folded
+    /// in. Integer-count aggregates (Gini) are order-free; f64 sums
+    /// (MSE) are not, so the presorted trainer replays the seed's exact
+    /// pair order for them.
+    const ORDER_SENSITIVE: bool;
     fn empty() -> Self::Agg;
     fn add(agg: &mut Self::Agg, y: f64);
     fn remove(agg: &mut Self::Agg, y: f64);
+    /// Fold `n` samples, `pos` of them positive, as if added one by one
+    /// (only callable for order-free aggregates).
+    fn add_bulk(agg: &mut Self::Agg, n: usize, pos: usize);
+    fn remove_bulk(agg: &mut Self::Agg, n: usize, pos: usize);
+    /// `parent - left`, exactly equal to folding the right segment
+    /// directly — possible only for integer (order-free) aggregates.
+    fn subtract(parent: &Self::Agg, left: &Self::Agg) -> Option<Self::Agg>;
     fn count(agg: &Self::Agg) -> usize;
     /// Per-sample impurity of the aggregate.
     fn impurity(agg: &Self::Agg) -> f64;
@@ -112,21 +421,31 @@ struct Gini;
 
 impl Criterion for Gini {
     type Agg = (usize, usize); // (n, n_pos)
+    const ORDER_SENSITIVE: bool = false;
 
     fn empty() -> Self::Agg {
         (0, 0)
     }
     fn add(agg: &mut Self::Agg, y: f64) {
+        // Branchless: a ~50/50 label branch would mispredict its way
+        // through every split scan.
         agg.0 += 1;
-        if y >= 0.5 {
-            agg.1 += 1;
-        }
+        agg.1 += usize::from(y >= 0.5);
     }
     fn remove(agg: &mut Self::Agg, y: f64) {
         agg.0 -= 1;
-        if y >= 0.5 {
-            agg.1 -= 1;
-        }
+        agg.1 -= usize::from(y >= 0.5);
+    }
+    fn add_bulk(agg: &mut Self::Agg, n: usize, pos: usize) {
+        agg.0 += n;
+        agg.1 += pos;
+    }
+    fn remove_bulk(agg: &mut Self::Agg, n: usize, pos: usize) {
+        agg.0 -= n;
+        agg.1 -= pos;
+    }
+    fn subtract(parent: &Self::Agg, left: &Self::Agg) -> Option<Self::Agg> {
+        Some((parent.0 - left.0, parent.1 - left.1))
     }
     fn count(agg: &Self::Agg) -> usize {
         agg.0
@@ -152,6 +471,7 @@ struct Mse;
 
 impl Criterion for Mse {
     type Agg = (usize, f64, f64); // (n, sum, sum_sq)
+    const ORDER_SENSITIVE: bool = true;
 
     fn empty() -> Self::Agg {
         (0, 0.0, 0.0)
@@ -165,6 +485,15 @@ impl Criterion for Mse {
         agg.0 -= 1;
         agg.1 -= y;
         agg.2 -= y * y;
+    }
+    fn add_bulk(_: &mut Self::Agg, _: usize, _: usize) {
+        unreachable!("MSE aggregates are order-sensitive");
+    }
+    fn remove_bulk(_: &mut Self::Agg, _: usize, _: usize) {
+        unreachable!("MSE aggregates are order-sensitive");
+    }
+    fn subtract(_: &Self::Agg, _: &Self::Agg) -> Option<Self::Agg> {
+        None // f64 sums: folding order matters, recompute instead
     }
     fn count(agg: &Self::Agg) -> usize {
         agg.0
@@ -187,147 +516,689 @@ impl Criterion for Mse {
     }
 }
 
-struct Builder<'a, C: Criterion> {
-    x: &'a Matrix,
-    y: &'a [f64],
+/// The seed's boundary scan, verbatim, over its sorted `(value, y)`
+/// pair buffer: fold one sample into the left/right aggregates, skip
+/// equal-value boundaries, respect `min_samples_leaf`, keep the
+/// strictly-best gain. Zero-gain splits are accepted: greedy CART needs
+/// them to get past XOR-style interactions (both children stay impure
+/// but strictly smaller, so recursion terminates).
+fn scan_pairs<C: Criterion>(
+    feature: usize,
+    pairs: &[(f64, f64)],
+    parent_agg: &C::Agg,
+    parent_impurity: f64,
+    n: f64,
+    min_samples_leaf: usize,
+    best: &mut Option<(usize, f64, f64)>,
+) {
+    let mut left = C::empty();
+    let mut right = parent_agg.clone();
+    for w in 0..pairs.len() - 1 {
+        C::add(&mut left, pairs[w].1);
+        C::remove(&mut right, pairs[w].1);
+        // Can only split between distinct feature values.
+        if pairs[w].0 == pairs[w + 1].0 {
+            continue;
+        }
+        let nl = C::count(&left);
+        let nr = C::count(&right);
+        if nl < min_samples_leaf || nr < min_samples_leaf {
+            continue;
+        }
+        let weighted = (nl as f64 * C::impurity(&left) + nr as f64 * C::impurity(&right)) / n;
+        let gain = parent_impurity - weighted;
+        if gain >= 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
+            let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
+            *best = Some((feature, threshold, gain));
+        }
+    }
+}
+
+/// The boundary scan over a presorted entry segment: identical
+/// aggregate/gain/threshold arithmetic to [`scan_pairs`], with the
+/// target sequence supplied by `y_at` (the seed pair order), boundaries
+/// read from the packed value classes, and threshold endpoints loaded
+/// lazily from the feature's value column only when a boundary improves
+/// the running best.
+#[allow(clippy::too_many_arguments)]
+fn scan_entries<C: Criterion>(
+    feature: usize,
+    entries: &[Entry],
+    col: &[f64],
+    y_at: impl Fn(usize) -> f64,
+    parent_agg: &C::Agg,
+    parent_impurity: f64,
+    n: f64,
+    min_samples_leaf: usize,
+    best: &mut Option<(usize, f64, f64)>,
+) {
+    let mut left = C::empty();
+    let mut right = parent_agg.clone();
+    for w in 0..entries.len() - 1 {
+        let y = y_at(w);
+        C::add(&mut left, y);
+        C::remove(&mut right, y);
+        // Can only split between distinct feature values (class change).
+        if entry_class(entries[w]) == entry_class(entries[w + 1]) {
+            continue;
+        }
+        let nl = C::count(&left);
+        let nr = C::count(&right);
+        if nl < min_samples_leaf || nr < min_samples_leaf {
+            continue;
+        }
+        let weighted = (nl as f64 * C::impurity(&left) + nr as f64 * C::impurity(&right)) / n;
+        let gain = parent_impurity - weighted;
+        if gain >= 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
+            let threshold = (col[entry_slot(entries[w])] + col[entry_slot(entries[w + 1])]) / 2.0;
+            *best = Some((feature, threshold, gain));
+        }
+    }
+}
+
+/// Tree construction over a bootstrap sample.
+///
+/// Sample occurrences are addressed by *slot* (position in the sample),
+/// not row, so bootstrap duplicates stay distinguishable. `xv` holds the
+/// sample's feature values feature-major (`xv[f * n + slot]`) and `ys`
+/// the per-slot targets. The recursion array `idx` replays the seed's
+/// in-place swap partition, which fixes every order-sensitive f64
+/// accumulation (node aggregates, leaf values, MSE boundary scans) —
+/// this is what makes the presorted trainer bit-identical rather than
+/// merely equivalent.
+struct Grow<'a, C: Criterion> {
     config: &'a TreeConfig,
-    nodes: Vec<Node>,
-    importances: Vec<f64>,
+    trainer: Trainer,
+    /// Sample size (slots are `0..n`).
+    n: usize,
+    /// Feature count.
+    p: usize,
+    /// The original matrix + slot→row map: the reference trainer reads
+    /// values exactly the way the seed did (strided row-major `get`),
+    /// so the old-vs-new benchmark measures the seed's real memory
+    /// behavior, not a gathered stand-in.
+    x: &'a Matrix,
+    rows: &'a [usize],
+    /// Presorted-only feature-major value gather (`xv[f * n + slot]`).
+    xv: Vec<f64>,
+    ys: Vec<f64>,
+    idx: Vec<u32>,
     rng: StdRng,
     n_total: f64,
+    // Presorted state: per-feature packed [`Entry`] lists in ascending
+    // total order (bit-equal values contiguous), partitioned stably
+    // down the tree.
+    entries: Vec<Entry>,
+    scratch: Vec<Entry>,
+    /// Per-split membership by slot (`x <= threshold`), shared by the
+    /// `idx` partition and every feature column's partition.
+    goes_left: Vec<u8>,
+    run_of: Vec<u32>,
+    bucket_pos: Vec<u32>,
+    /// MSE tie-order replay buffer: targets in the seed's pair order.
+    ord_y: Vec<f64>,
+    /// Per feature: -0.0/+0.0 coexist (MSE bucket-replay fallback).
+    mixed_zero: Vec<bool>,
+    /// Reused feature-subsample buffer (presorted path): refilled with
+    /// `0..p` per node and partially Fisher–Yates-shuffled with the
+    /// exact same RNG draws as `sample_without_replacement`.
+    feat_buf: Vec<usize>,
+    // Output arenas (the FlatTree under construction).
+    meta: Vec<u64>,
+    thresh: Vec<f64>,
+    importances: Vec<f64>,
     max_depth_seen: usize,
     _criterion: std::marker::PhantomData<C>,
 }
 
-impl<'a, C: Criterion> Builder<'a, C> {
-    fn build(x: &'a Matrix, y: &'a [f64], sample: &[usize], config: &'a TreeConfig) -> FittedTree {
-        let mut b = Builder::<C> {
-            x,
-            y,
+impl<'a, C: Criterion> Grow<'a, C> {
+    fn build(
+        x: &'a Matrix,
+        y: &[f64],
+        sample: &'a [usize],
+        config: &'a TreeConfig,
+        trainer: Trainer,
+        presort: Option<&FullPresort>,
+    ) -> FlatTree {
+        let n = sample.len();
+        let p = x.n_cols();
+        // Entries pack the slot into 32 bits and the value class into 31.
+        assert!(n < (1usize << 31), "sample too large for packed slots");
+        // Gather the sample once, feature-major: every later pass is a
+        // sequential or cache-resident-column access instead of strided
+        // reads into the full row-major matrix. (The reference trainer
+        // keeps the seed's direct matrix reads instead.)
+        let mut xv = match trainer {
+            Trainer::Presorted => vec![0.0; p * n],
+            Trainer::Reference => Vec::new(),
+        };
+        let mut ys = vec![0.0; n];
+        for (slot, &row) in sample.iter().enumerate() {
+            if trainer == Trainer::Presorted {
+                for (f, &v) in x.row(row).iter().enumerate() {
+                    xv[f * n + slot] = v;
+                }
+            }
+            ys[slot] = y[row];
+        }
+        let own_presort;
+        let full = match (trainer, presort) {
+            (Trainer::Presorted, Some(f)) => Some(f),
+            (Trainer::Presorted, None) => {
+                own_presort = FullPresort::new(x, y);
+                Some(&own_presort)
+            }
+            (Trainer::Reference, _) => None,
+        };
+        let mixed_zero = full.map_or_else(Vec::new, |f| f.mixed_zero.clone());
+        let entries = match full {
+            // Derive the sample's per-feature sorted entry columns from
+            // the shared full-dataset ranks with one branch-free
+            // counting scatter per feature. Entry tie order within
+            // equal values differs from the reference's stable sort
+            // only *inside* runs, where it is provably irrelevant
+            // (count aggregates; the MSE replay re-orders by `idx`),
+            // so the result is bit-identical.
+            Some(full) => {
+                let n_rows = full.n_rows;
+                let mut entries = vec![0u64; p * n];
+                let mut count = vec![0u32; n_rows + 1];
+                for f in 0..p {
+                    let meta = &full.packed[f * n_rows..(f + 1) * n_rows];
+                    count[..n_rows + 1].fill(0);
+                    for &row in sample {
+                        count[(meta[row] >> 32) as usize + 1] += 1;
+                    }
+                    for r in 0..n_rows {
+                        count[r + 1] += count[r];
+                    }
+                    let base = f * n;
+                    for (slot, &row) in sample.iter().enumerate() {
+                        let m = meta[row];
+                        let cursor = &mut count[(m >> 32) as usize];
+                        entries[base + *cursor as usize] =
+                            (u64::from(slot as u32) << 32) | (m & 0xFFFF_FFFF);
+                        *cursor += 1;
+                    }
+                }
+                entries
+            }
+            None => Vec::new(),
+        };
+        let (scratch, goes_left, run_of, bucket_pos) = match trainer {
+            Trainer::Presorted => (vec![0u64; n], vec![0u8; n], vec![0u32; n], vec![0u32; n]),
+            Trainer::Reference => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+        };
+        let mut b = Grow::<C> {
             config,
-            nodes: Vec::new(),
-            importances: vec![0.0; x.n_cols()],
+            trainer,
+            n,
+            p,
+            x,
+            rows: sample,
+            xv,
+            ys,
+            idx: (0..n as u32).collect(),
             rng: StdRng::seed_from_u64(config.seed),
-            n_total: sample.len() as f64,
+            n_total: n as f64,
+            entries,
+            scratch,
+            goes_left,
+            run_of,
+            bucket_pos,
+            ord_y: vec![0.0; n],
+            mixed_zero,
+            feat_buf: (0..p).collect(),
+            meta: Vec::with_capacity(2 * n),
+            thresh: Vec::with_capacity(2 * n),
+            importances: vec![0.0; p],
             max_depth_seen: 0,
             _criterion: std::marker::PhantomData,
         };
-        let mut idx = sample.to_vec();
-        b.grow(&mut idx, 0);
-        FittedTree {
-            nodes: b.nodes,
-            n_features: x.n_cols(),
+        b.grow(0, n, 0, None);
+        FlatTree {
+            meta: b.meta,
+            thresh: b.thresh,
+            n_features: p,
             importances: b.importances,
             depth: b.max_depth_seen,
         }
     }
 
-    /// Grow a subtree over `idx`; returns its node index.
-    fn grow(&mut self, idx: &mut [usize], depth: usize) -> usize {
-        self.max_depth_seen = self.max_depth_seen.max(depth);
+    fn push_leaf(&mut self, value: f64) -> u32 {
+        let i = self.meta.len() as u32;
+        self.meta.push(u64::from(LEAF));
+        self.thresh.push(value);
+        i
+    }
+
+    /// Aggregate `idx[start..end)` in index order — the seed's exact
+    /// fold order, which fixes every f64 rounding step.
+    fn segment_agg(&self, start: usize, end: usize) -> C::Agg {
         let mut agg = C::empty();
-        for &i in idx.iter() {
-            C::add(&mut agg, self.y[i]);
+        for i in start..end {
+            C::add(&mut agg, self.ys[self.idx[i] as usize]);
         }
-        let node_impurity = C::impurity(&agg);
-        let n = idx.len();
-        let make_leaf = depth >= self.config.max_depth
+        agg
+    }
+
+    /// Whether `grow` will turn this segment into a leaf without ever
+    /// scanning its feature columns (used to skip partitioning columns
+    /// for fringe children). Mirrors `grow`'s leaf conditions exactly.
+    fn becomes_leaf(&self, agg: &C::Agg, n: usize, depth: usize) -> bool {
+        depth >= self.config.max_depth
             || n < self.config.min_samples_split
-            || node_impurity <= 1e-12;
+            || C::impurity(agg) <= 1e-12
+    }
+
+    /// Grow a subtree over `idx[start..end]`; returns its node index.
+    /// `agg` is the segment's precomputed aggregate when the parent
+    /// already folded it (same fold order, identical bits).
+    fn grow(&mut self, start: usize, end: usize, depth: usize, agg: Option<C::Agg>) -> u32 {
+        self.max_depth_seen = self.max_depth_seen.max(depth);
+        let agg = agg.unwrap_or_else(|| self.segment_agg(start, end));
+        let node_impurity = C::impurity(&agg);
+        let n = end - start;
+        // Single source of truth with the fringe partition-skip: a
+        // condition added here but not there would let a skipped child
+        // scan a stale column segment.
+        let make_leaf = self.becomes_leaf(&agg, n, depth);
         if !make_leaf {
-            if let Some((feature, threshold, gain)) = self.best_split(idx, &agg, node_impurity) {
-                // Partition in place: left gets x <= threshold.
-                let mut lo = 0usize;
-                let mut hi = idx.len();
-                while lo < hi {
-                    if self.x.get(idx[lo], feature) <= threshold {
-                        lo += 1;
-                    } else {
-                        hi -= 1;
-                        idx.swap(lo, hi);
+            if let Some((feature, threshold, gain)) =
+                self.best_split(start, end, &agg, node_impurity)
+            {
+                // While the entry columns are maintained, resolve the
+                // split predicate (x <= threshold) once per slot; the
+                // `idx` partition and every feature column's partition
+                // then share it. The slots satisfying the predicate are
+                // exactly a prefix of the split feature's sorted
+                // segment, so a log-n probe finds the boundary and the
+                // fill never touches the value column per element.
+                let col = feature * self.n;
+                let maintained = self.trainer == Trainer::Presorted;
+                if maintained {
+                    let seg = &self.entries[col + start..col + end];
+                    let nl = seg.partition_point(|&e| self.xv[col + entry_slot(e)] <= threshold);
+                    for &e in &seg[..nl] {
+                        self.goes_left[entry_slot(e)] = 1;
+                    }
+                    for &e in &seg[nl..] {
+                        self.goes_left[entry_slot(e)] = 0;
                     }
                 }
-                let split_at = lo;
-                if split_at >= self.config.min_samples_leaf
-                    && idx.len() - split_at >= self.config.min_samples_leaf
+                // Partition `idx` in place exactly like the seed: left
+                // gets x <= threshold (the swap order fixes the seed's
+                // child accumulation order). The presorted side runs the
+                // identical element dance branchlessly (conditional
+                // moves instead of a ~50/50 branch); the reference side
+                // keeps the seed's loop and matrix reads.
+                let split_at = if maintained {
+                    let mut lo = start;
+                    let mut hi = end;
+                    while lo < hi {
+                        let a = self.idx[lo];
+                        let b = self.idx[hi - 1];
+                        let left = self.goes_left[a as usize] != 0;
+                        self.idx[lo] = if left { a } else { b };
+                        self.idx[hi - 1] = if left { b } else { a };
+                        lo += usize::from(left);
+                        hi -= usize::from(!left);
+                    }
+                    lo
+                } else {
+                    let mut lo = start;
+                    let mut hi = end;
+                    while lo < hi {
+                        let s = self.idx[lo] as usize;
+                        if self.x.get(self.rows[s], feature) <= threshold {
+                            lo += 1;
+                        } else {
+                            hi -= 1;
+                            self.idx.swap(lo, hi);
+                        }
+                    }
+                    lo
+                };
+                if split_at - start >= self.config.min_samples_leaf
+                    && end - split_at >= self.config.min_samples_leaf
                 {
-                    self.importances[feature] += gain * n as f64 / self.n_total;
-                    let placeholder = self.nodes.len();
-                    self.nodes.push(Node::Leaf { value: 0.0 });
-                    // Recurse after reserving the parent slot so child
-                    // indices are stable.
-                    let (left_idx, right_idx) = idx.split_at_mut(split_at);
-                    let left = self.grow(left_idx, depth + 1);
-                    let right = self.grow(right_idx, depth + 1);
-                    self.nodes[placeholder] = Node::Split {
-                        feature,
-                        threshold,
-                        left,
-                        right,
+                    let left_agg = self.segment_agg(start, split_at);
+                    let right_agg = match (self.trainer, C::subtract(&agg, &left_agg)) {
+                        // Integer aggregates subtract exactly; the
+                        // reference keeps the seed's per-child fold.
+                        (Trainer::Presorted, Some(r)) => r,
+                        _ => self.segment_agg(split_at, end),
                     };
+                    if maintained {
+                        // Children that are certainly leaves never scan
+                        // their columns: skip partitioning entirely when
+                        // both are leaves, and compact only the living
+                        // side when one is — the bulk of the fringe.
+                        let left_leaf = self.becomes_leaf(&left_agg, split_at - start, depth + 1);
+                        let right_leaf = self.becomes_leaf(&right_agg, end - split_at, depth + 1);
+                        if !(left_leaf && right_leaf) {
+                            self.partition_columns(
+                                start, split_at, end, feature, left_leaf, right_leaf,
+                            );
+                        }
+                    }
+                    self.importances[feature] += gain * n as f64 / self.n_total;
+                    // Reserve the parent slot before recursing so child
+                    // indices are stable; the left child is the next
+                    // node pushed (placeholder + 1), so only the right
+                    // index needs patching.
+                    let placeholder = self.push_leaf(0.0);
+                    self.grow(start, split_at, depth + 1, Some(left_agg));
+                    let right = self.grow(split_at, end, depth + 1, Some(right_agg));
+                    let slot = placeholder as usize;
+                    self.meta[slot] = (u64::from(right) << 32) | feature as u64;
+                    self.thresh[slot] = threshold;
                     return placeholder;
                 }
             }
         }
-        let node = self.nodes.len();
-        self.nodes.push(Node::Leaf {
-            value: C::leaf_value(&agg),
-        });
-        node
+        self.push_leaf(C::leaf_value(&agg))
     }
 
     /// Best `(feature, threshold, impurity_gain)` over the feature subset,
     /// or `None` when no split improves impurity.
     fn best_split(
         &mut self,
-        idx: &[usize],
+        start: usize,
+        end: usize,
         parent_agg: &C::Agg,
         parent_impurity: f64,
     ) -> Option<(usize, f64, f64)> {
-        let p = self.x.n_cols();
+        let p = self.p;
         let k = self.config.max_features.unwrap_or(p).clamp(1, p);
-        let features: Vec<usize> = if k == p {
-            (0..p).collect()
-        } else {
-            sample_without_replacement(&mut self.rng, p, k)
-        };
-        let n = idx.len() as f64;
-        let mut best: Option<(usize, f64, f64)> = None;
-        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
-        for &feature in &features {
-            pairs.clear();
-            pairs.extend(idx.iter().map(|&i| (self.x.get(i, feature), self.y[i])));
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
-            if pairs[0].0 == pairs[pairs.len() - 1].0 {
-                continue; // constant feature in this node
+        // Reference keeps the seed's allocating sampler; the presorted
+        // path replays the identical partial Fisher–Yates (same RNG
+        // draw sequence) over a reused buffer — no per-node allocation.
+        let ref_features: Vec<usize>;
+        let features: &[usize] = match self.trainer {
+            Trainer::Reference => {
+                ref_features = if k == p {
+                    (0..p).collect()
+                } else {
+                    sample_without_replacement(&mut self.rng, p, k)
+                };
+                &ref_features
             }
-            let mut left = C::empty();
-            let mut right = parent_agg.clone();
-            for w in 0..pairs.len() - 1 {
-                C::add(&mut left, pairs[w].1);
-                C::remove(&mut right, pairs[w].1);
-                // Can only split between distinct feature values.
-                if pairs[w].0 == pairs[w + 1].0 {
-                    continue;
+            Trainer::Presorted => {
+                for (i, f) in self.feat_buf.iter_mut().enumerate() {
+                    *f = i;
                 }
-                let nl = C::count(&left);
-                let nr = C::count(&right);
-                if nl < self.config.min_samples_leaf || nr < self.config.min_samples_leaf {
-                    continue;
+                if k < p {
+                    for i in 0..k {
+                        let j = self.rng.gen_range(i..p);
+                        self.feat_buf.swap(i, j);
+                    }
                 }
-                let weighted =
-                    (nl as f64 * C::impurity(&left) + nr as f64 * C::impurity(&right)) / n;
-                let gain = parent_impurity - weighted;
-                // Zero-gain splits are accepted: greedy CART needs them to
-                // get past XOR-style interactions (both children stay
-                // impure but strictly smaller, so recursion terminates).
-                if gain >= 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
-                    let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
-                    best = Some((feature, threshold, gain));
+                &self.feat_buf[..k]
+            }
+        };
+        let n = (end - start) as f64;
+        let len = end - start;
+        let mut best: Option<(usize, f64, f64)> = None;
+        // The seed allocated its pair buffer per node; keep that exact
+        // behavior on the reference side.
+        let mut pairs: Vec<(f64, f64)> = match self.trainer {
+            Trainer::Reference => Vec::with_capacity(len),
+            Trainer::Presorted => Vec::new(),
+        };
+        for &feature in features {
+            let col = feature * self.n;
+            match self.trainer {
+                Trainer::Reference => {
+                    pairs.clear();
+                    for i in start..end {
+                        let s = self.idx[i] as usize;
+                        pairs.push((self.x.get(self.rows[s], feature), self.ys[s]));
+                    }
+                    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    if pairs[0].0 == pairs[len - 1].0 {
+                        continue; // constant feature in this node
+                    }
+                    scan_pairs::<C>(
+                        feature,
+                        &pairs,
+                        parent_agg,
+                        parent_impurity,
+                        n,
+                        self.config.min_samples_leaf,
+                        &mut best,
+                    );
+                }
+                Trainer::Presorted => {
+                    let seg = &self.entries[col + start..col + end];
+                    let vcol = &self.xv[col..col + self.n];
+                    if entry_class(seg[0]) == entry_class(seg[len - 1]) {
+                        continue; // constant feature in this node
+                    }
+                    if C::ORDER_SENSITIVE {
+                        // Replay the seed's exact pair order with a
+                        // counting sort: ascending bit-distinct value
+                        // buckets, each bucket filled by walking `idx`
+                        // in node order (= the stable sort's tie
+                        // order). Bit granularity, not `==`, keeps
+                        // -0.0/+0.0 ties in the same order the
+                        // reference's total-order sort puts them; when
+                        // a feature has no mixed-sign zeros (the only
+                        // bit-distinct `==`-equal case), class changes
+                        // are bit changes and the value column is never
+                        // touched.
+                        let mut runs = 0usize;
+                        if self.mixed_zero[feature] {
+                            let mut prev = 0u64;
+                            for (i, &e) in seg.iter().enumerate() {
+                                let s = entry_slot(e);
+                                let bits = vcol[s].to_bits();
+                                if i == 0 || bits != prev {
+                                    self.bucket_pos[runs] = i as u32;
+                                    runs += 1;
+                                    prev = bits;
+                                }
+                                self.run_of[s] = (runs - 1) as u32;
+                            }
+                        } else {
+                            let mut prev = u32::MAX;
+                            for (i, &e) in seg.iter().enumerate() {
+                                let class = entry_class(e);
+                                if i == 0 || class != prev {
+                                    self.bucket_pos[runs] = i as u32;
+                                    runs += 1;
+                                    prev = class;
+                                }
+                                self.run_of[entry_slot(e)] = (runs - 1) as u32;
+                            }
+                        }
+                        for i in start..end {
+                            let s = self.idx[i] as usize;
+                            let cursor = &mut self.bucket_pos[self.run_of[s] as usize];
+                            self.ord_y[*cursor as usize] = self.ys[s];
+                            *cursor += 1;
+                        }
+                        let ord_y = &self.ord_y;
+                        scan_entries::<C>(
+                            feature,
+                            seg,
+                            vcol,
+                            |w| ord_y[w],
+                            parent_agg,
+                            parent_impurity,
+                            n,
+                            self.config.min_samples_leaf,
+                            &mut best,
+                        );
+                    } else if len < 256 {
+                        // Order-free aggregates (integer counts), small
+                        // segment: one fused pass accumulating the
+                        // current equal-value run (integer sums are
+                        // associative, so run-at-once folds are
+                        // bit-identical to the seed's element loop) and
+                        // evaluating at each class change.
+                        let mut left = C::empty();
+                        let mut right = parent_agg.clone();
+                        let mut run_n = 0usize;
+                        let mut run_pos = 0usize;
+                        let mut prev_class = entry_class(seg[0]);
+                        for w in 0..len {
+                            let e = seg[w];
+                            let c = entry_class(e);
+                            if c != prev_class {
+                                C::add_bulk(&mut left, run_n, run_pos);
+                                C::remove_bulk(&mut right, run_n, run_pos);
+                                run_n = 0;
+                                run_pos = 0;
+                                prev_class = c;
+                                let nl = C::count(&left);
+                                let nr = C::count(&right);
+                                if nl >= self.config.min_samples_leaf
+                                    && nr >= self.config.min_samples_leaf
+                                {
+                                    let weighted = (nl as f64 * C::impurity(&left)
+                                        + nr as f64 * C::impurity(&right))
+                                        / n;
+                                    let gain = parent_impurity - weighted;
+                                    if gain >= 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
+                                        let threshold = (vcol[entry_slot(seg[w - 1])]
+                                            + vcol[entry_slot(e)])
+                                            / 2.0;
+                                        best = Some((feature, threshold, gain));
+                                    }
+                                }
+                            }
+                            run_n += 1;
+                            run_pos += (e & 1) as usize;
+                        }
+                    } else {
+                        // Large segment: fold run by run — integer sums
+                        // are associative, so adding a whole equal-value
+                        // run at once is bit-identical to the seed's
+                        // element loop, and the per-run label sum is a
+                        // pure vectorizable reduction over the packed
+                        // label bits.
+                        let mut runs = 0usize;
+                        let mut prev = u32::MAX;
+                        for (i, &e) in seg.iter().enumerate() {
+                            let c = entry_class(e);
+                            if i == 0 || c != prev {
+                                self.bucket_pos[runs] = i as u32;
+                                runs += 1;
+                                prev = c;
+                            }
+                        }
+                        let mut left = C::empty();
+                        let mut right = parent_agg.clone();
+                        for r in 0..runs {
+                            let a = self.bucket_pos[r] as usize;
+                            let b = if r + 1 < runs {
+                                self.bucket_pos[r + 1] as usize
+                            } else {
+                                len
+                            };
+                            let pos: u64 = seg[a..b].iter().map(|&e| e & 1).sum();
+                            C::add_bulk(&mut left, b - a, pos as usize);
+                            C::remove_bulk(&mut right, b - a, pos as usize);
+                            if r + 1 == runs {
+                                break; // the seed never evaluates past the last value
+                            }
+                            let nl = C::count(&left);
+                            let nr = C::count(&right);
+                            if nl < self.config.min_samples_leaf
+                                || nr < self.config.min_samples_leaf
+                            {
+                                continue;
+                            }
+                            let weighted = (nl as f64 * C::impurity(&left)
+                                + nr as f64 * C::impurity(&right))
+                                / n;
+                            let gain = parent_impurity - weighted;
+                            if gain >= 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
+                                let threshold =
+                                    (vcol[entry_slot(seg[b - 1])] + vcol[entry_slot(seg[b])]) / 2.0;
+                                best = Some((feature, threshold, gain));
+                            }
+                        }
+                    }
                 }
             }
         }
         best
+    }
+
+    /// Stably split every feature's presorted entry list around the
+    /// chosen threshold, so both children inherit presorted columns.
+    /// Membership comes from `goes_left`, which was filled with the same
+    /// `x <= threshold` predicate as the `idx` partition, so the two
+    /// stay aligned even when the midpoint threshold rounds onto a
+    /// neighboring feature value.
+    fn partition_columns(
+        &mut self,
+        start: usize,
+        split_at: usize,
+        end: usize,
+        split_feature: usize,
+        left_leaf: bool,
+        right_leaf: bool,
+    ) {
+        for f in 0..self.p {
+            // The split feature's own segment is already partitioned:
+            // its left members are exactly the sorted prefix, and a
+            // stable partition of a prefix-membership list is the
+            // identity.
+            if f == split_feature {
+                continue;
+            }
+            let base = f * self.n;
+            // A feature constant in this node stays constant in every
+            // descendant, and descendants only ever ask "is it
+            // constant?" (equal classes, any order) — so its segment
+            // can go stale and never needs partitioning again.
+            if entry_class(self.entries[base + start]) == entry_class(self.entries[base + end - 1])
+            {
+                continue;
+            }
+            if right_leaf {
+                // Only the left child lives on: compact its members
+                // forward in place (branchless — the store always
+                // retires, the cursor advances only on a member).
+                let mut keep = start;
+                for i in start..end {
+                    let e = self.entries[base + i];
+                    self.entries[base + keep] = e;
+                    keep += usize::from(self.goes_left[entry_slot(e)]);
+                }
+                debug_assert_eq!(keep, split_at);
+            } else if left_leaf {
+                // Only the right child lives on: compact its members
+                // backward in place, which preserves their order and
+                // never overwrites an unread slot.
+                let mut keep = end;
+                for i in (start..end).rev() {
+                    let e = self.entries[base + i];
+                    self.entries[base + keep - 1] = e;
+                    keep -= usize::from(self.goes_left[entry_slot(e)] == 0);
+                }
+                debug_assert_eq!(keep, split_at);
+            } else {
+                // Branchless two-stream split: both stores retire every
+                // iteration and only the matching cursor advances, so
+                // the ~50/50 left/right outcome never mispredicts.
+                let mut keep = start;
+                let mut spill = 0usize;
+                for i in start..end {
+                    let e = self.entries[base + i];
+                    let left = usize::from(self.goes_left[entry_slot(e)]);
+                    self.entries[base + keep] = e;
+                    self.scratch[spill] = e;
+                    keep += left;
+                    spill += 1 - left;
+                }
+                self.entries[base + keep..base + end].copy_from_slice(&self.scratch[..spill]);
+                debug_assert_eq!(keep, split_at);
+            }
+        }
     }
 }
 
@@ -347,7 +1218,7 @@ fn normalize(importances: &mut [f64]) {
 pub struct DecisionTreeClassifier {
     /// Tree hyperparameters.
     pub config: TreeConfig,
-    fitted: Option<FittedTree>,
+    fitted: Option<FlatTree>,
 }
 
 impl Default for DecisionTreeClassifier {
@@ -368,12 +1239,43 @@ impl DecisionTreeClassifier {
     /// Fit over an explicit row sample (used by forests for bootstraps).
     ///
     /// # Errors
-    /// [`LearnError`] on shape/label problems.
+    /// [`LearnError`] on shape/label problems or NaN feature cells.
     pub fn fit_on_sample(
         &mut self,
         x: &Matrix,
         y: &[u8],
         sample: &[usize],
+    ) -> Result<(), LearnError> {
+        check_no_nan_features(x)?;
+        self.fit_on_sample_with(x, y, sample, Trainer::Presorted, None)
+    }
+
+    /// Fit with the seed gather-and-sort trainer — the bit-identity
+    /// baseline for equivalence tests and old-vs-new benchmarks.
+    ///
+    /// # Errors
+    /// [`LearnError`] on shape/label problems or NaN feature cells.
+    #[doc(hidden)]
+    pub fn fit_on_sample_reference(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        sample: &[usize],
+    ) -> Result<(), LearnError> {
+        check_no_nan_features(x)?;
+        self.fit_on_sample_with(x, y, sample, Trainer::Reference, None)
+    }
+
+    /// Trainer-selectable fit; NaN screening is the caller's job (the
+    /// forest screens the matrix once instead of once per tree), and a
+    /// forest-level [`FullPresort`] avoids per-tree full sorts.
+    pub(crate) fn fit_on_sample_with(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        sample: &[usize],
+        trainer: Trainer,
+        presort: Option<&FullPresort>,
     ) -> Result<(), LearnError> {
         check_binary_labels(x, y)?;
         if sample.is_empty() {
@@ -385,8 +1287,20 @@ impl DecisionTreeClassifier {
             )));
         }
         let yf: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
-        self.fitted = Some(Builder::<Gini>::build(x, &yf, sample, &self.config));
+        self.fitted = Some(Grow::<Gini>::build(
+            x,
+            &yf,
+            sample,
+            &self.config,
+            trainer,
+            presort,
+        ));
         Ok(())
+    }
+
+    /// The flattened fitted tree, for the forest's batched traversals.
+    pub(crate) fn flat(&self) -> Option<&FlatTree> {
+        self.fitted.as_ref()
     }
 
     /// Normalized impurity feature importances (sum to 1, all ≥ 0).
@@ -425,7 +1339,7 @@ impl Predictor for DecisionTreeClassifier {
     }
 
     fn n_features(&self) -> usize {
-        self.fitted.as_ref().map_or(0, |f| f.n_features)
+        self.fitted.as_ref().map_or(0, FlatTree::n_features)
     }
 }
 
@@ -434,7 +1348,7 @@ impl Predictor for DecisionTreeClassifier {
 pub struct DecisionTreeRegressor {
     /// Tree hyperparameters.
     pub config: TreeConfig,
-    fitted: Option<FittedTree>,
+    fitted: Option<FlatTree>,
 }
 
 impl Default for DecisionTreeRegressor {
@@ -455,12 +1369,43 @@ impl DecisionTreeRegressor {
     /// Fit over an explicit row sample (used by forests for bootstraps).
     ///
     /// # Errors
-    /// [`LearnError`] on shape problems.
+    /// [`LearnError`] on shape problems or NaN feature cells.
     pub fn fit_on_sample(
         &mut self,
         x: &Matrix,
         y: &[f64],
         sample: &[usize],
+    ) -> Result<(), LearnError> {
+        check_no_nan_features(x)?;
+        self.fit_on_sample_with(x, y, sample, Trainer::Presorted, None)
+    }
+
+    /// Fit with the seed gather-and-sort trainer — the bit-identity
+    /// baseline for equivalence tests and old-vs-new benchmarks.
+    ///
+    /// # Errors
+    /// [`LearnError`] on shape problems or NaN feature cells.
+    #[doc(hidden)]
+    pub fn fit_on_sample_reference(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        sample: &[usize],
+    ) -> Result<(), LearnError> {
+        check_no_nan_features(x)?;
+        self.fit_on_sample_with(x, y, sample, Trainer::Reference, None)
+    }
+
+    /// Trainer-selectable fit; NaN screening is the caller's job (the
+    /// forest screens the matrix once instead of once per tree), and a
+    /// forest-level [`FullPresort`] avoids per-tree full sorts.
+    pub(crate) fn fit_on_sample_with(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        sample: &[usize],
+        trainer: Trainer,
+        presort: Option<&FullPresort>,
     ) -> Result<(), LearnError> {
         if y.len() != x.n_rows() {
             return Err(LearnError::Shape(format!(
@@ -477,8 +1422,20 @@ impl DecisionTreeRegressor {
                 "sample index {bad} out of range"
             )));
         }
-        self.fitted = Some(Builder::<Mse>::build(x, y, sample, &self.config));
+        self.fitted = Some(Grow::<Mse>::build(
+            x,
+            y,
+            sample,
+            &self.config,
+            trainer,
+            presort,
+        ));
         Ok(())
+    }
+
+    /// The flattened fitted tree, for the forest's batched traversals.
+    pub(crate) fn flat(&self) -> Option<&FlatTree> {
+        self.fitted.as_ref()
     }
 
     /// Normalized impurity feature importances.
@@ -517,7 +1474,7 @@ impl Predictor for DecisionTreeRegressor {
     }
 
     fn n_features(&self) -> usize {
-        self.fitted.as_ref().map_or(0, |f| f.n_features)
+        self.fitted.as_ref().map_or(0, FlatTree::n_features)
     }
 }
 
@@ -655,6 +1612,88 @@ mod tests {
         assert!(r.fit_on_sample(&x, &vec![0.0; x.n_rows()], &[999]).is_err());
         assert!(r.feature_importances().is_err());
         assert!(r.depth().is_err());
+    }
+
+    #[test]
+    fn nan_feature_cell_is_a_clean_error_not_a_panic() {
+        let (mut rows, y) = {
+            let (x, y) = xor_data();
+            let rows: Vec<Vec<f64>> = (0..x.n_rows()).map(|i| x.row(i).to_vec()).collect();
+            (rows, y)
+        };
+        rows[3][1] = f64::NAN;
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut t = DecisionTreeClassifier::default();
+        let err = t.fit(&x, &y).unwrap_err();
+        assert!(matches!(err, LearnError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("NaN"));
+        // Both trainers refuse identically.
+        let all: Vec<usize> = (0..x.n_rows()).collect();
+        assert_eq!(t.fit_on_sample_reference(&x, &y, &all).unwrap_err(), err);
+
+        let mut r = DecisionTreeRegressor::default();
+        let yr: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
+        assert!(matches!(
+            r.fit(&x, &yr).unwrap_err(),
+            LearnError::Invalid(_)
+        ));
+        assert!(r.fit_on_sample_reference(&x, &yr, &all).is_err());
+    }
+
+    #[test]
+    fn presorted_matches_reference_trainer_bit_for_bit() {
+        // Duplicate-heavy quantized features stress the tie-order replay
+        // (run bucketing) on both criteria.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 5) as f64, ((i * 7) % 3) as f64, (i % 11) as f64 / 2.0])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<u8> = rows.iter().map(|r| u8::from(r[0] + r[1] > 3.0)).collect();
+        let yr: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0] * 1.7 - r[2] * 0.3 + r[1])
+            .collect();
+        // A bootstrap-like sample with duplicates.
+        let sample: Vec<usize> = (0..60).map(|i| (i * 13 + i % 7) % 60).collect();
+        for max_features in [None, Some(2)] {
+            let cfg = TreeConfig {
+                max_depth: 6,
+                min_samples_leaf: 2,
+                max_features,
+                seed: 9,
+                ..TreeConfig::default()
+            };
+            let mut a = DecisionTreeClassifier::new(cfg.clone());
+            let mut b = DecisionTreeClassifier::new(cfg.clone());
+            a.fit_on_sample(&x, &y, &sample).unwrap();
+            b.fit_on_sample_reference(&x, &y, &sample).unwrap();
+            assert_eq!(a.depth().unwrap(), b.depth().unwrap());
+            assert_eq!(
+                a.feature_importances().unwrap(),
+                b.feature_importances().unwrap()
+            );
+            for i in 0..x.n_rows() {
+                assert_eq!(
+                    a.predict_row(x.row(i)).unwrap().to_bits(),
+                    b.predict_row(x.row(i)).unwrap().to_bits()
+                );
+            }
+            let mut ra = DecisionTreeRegressor::new(cfg.clone());
+            let mut rb = DecisionTreeRegressor::new(cfg);
+            ra.fit_on_sample(&x, &yr, &sample).unwrap();
+            rb.fit_on_sample_reference(&x, &yr, &sample).unwrap();
+            assert_eq!(ra.depth().unwrap(), rb.depth().unwrap());
+            assert_eq!(
+                ra.feature_importances().unwrap(),
+                rb.feature_importances().unwrap()
+            );
+            for i in 0..x.n_rows() {
+                assert_eq!(
+                    ra.predict_row(x.row(i)).unwrap().to_bits(),
+                    rb.predict_row(x.row(i)).unwrap().to_bits()
+                );
+            }
+        }
     }
 
     #[test]

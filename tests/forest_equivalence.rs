@@ -1,0 +1,314 @@
+//! Equivalence suite for the forest hot-path overhaul: the presorted
+//! trainer and the tree-major flattened predictor must be
+//! **bit-identical** to the seed implementations (per-node
+//! gather-and-sort training, row-major per-row prediction), which are
+//! retained as `fit_reference` / `fit_on_sample_reference` /
+//! `predict_batch_rowmajor`. Identity is pinned across random data
+//! (including duplicate-heavy quantized features that stress the
+//! tie-order replay), random tree/forest configurations, and thread
+//! counts — covering predictions, depths, importances, and OOB scores.
+
+use proptest::prelude::*;
+use whatif::core::kpi::KpiKind;
+use whatif::core::model_backend::{ModelConfig, ModelKind, TrainedModel};
+use whatif::learn::forest::ForestConfig;
+use whatif::learn::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
+use whatif::learn::{
+    Classifier as _, ColumnOverlay, LearnError, Matrix, MatrixView, Predictor as _,
+    RandomForestClassifier, RandomForestRegressor, Regressor as _,
+};
+
+const FEATURES: usize = 4;
+
+/// Deterministically expand a compact seed into a training set.
+/// `quantize` controls value granularity: small moduli produce heavy
+/// duplicate runs (bootstrap duplicates on top), which is exactly what
+/// stresses the presorted trainer's tie-order bucketing.
+fn training_data(seed: u64, n_rows: usize, quantize: u64) -> (Matrix, Vec<u8>, Vec<f64>) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % quantize) as f64 / 4.0
+    };
+    let rows: Vec<Vec<f64>> = (0..n_rows)
+        .map(|_| (0..FEATURES).map(|_| next()).collect())
+        .collect();
+    let labels: Vec<u8> = rows
+        .iter()
+        .map(|r| u8::from(r[0] + 0.5 * r[1] - 0.25 * r[2] + 0.01 * next() > quantize as f64 / 6.0))
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 2.0 * r[0] - 1.5 * r[1] + 0.25 * r[3] + 0.05 * next())
+        .collect();
+    (Matrix::from_rows(&rows).unwrap(), labels, y)
+}
+
+fn tree_config(
+    max_depth: usize,
+    min_leaf: usize,
+    max_features: Option<usize>,
+    seed: u64,
+) -> TreeConfig {
+    TreeConfig {
+        max_depth,
+        min_samples_leaf: min_leaf,
+        max_features,
+        seed,
+        ..TreeConfig::default()
+    }
+}
+
+/// Probe rows off the training support (shifted/scaled), so prediction
+/// equivalence is checked beyond the training matrix.
+fn probe_rows(x: &Matrix) -> Vec<Vec<f64>> {
+    (0..x.n_rows().min(16))
+        .map(|i| {
+            x.row(i)
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| v * 1.1 + j as f64 * 0.3 - 0.7)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    // Single trees: presorted == reference on depth, importances, and
+    // every prediction, for both criteria, across configs and
+    // bootstrap-style samples with duplicates.
+    #[test]
+    fn tree_presorted_equals_reference(
+        seed in 0u64..1000,
+        n_rows in 12usize..70,
+        quantize_flag in 0usize..3,
+        max_depth in 2usize..9,
+        min_leaf in 1usize..4,
+        feat_flag in 0usize..3,
+        dup_stride in 1usize..5,
+    ) {
+        let quantize = [5u64, 13, 1009][quantize_flag];
+        let (x, labels, y) = training_data(seed, n_rows, quantize);
+        let max_features = [None, Some(2), Some(FEATURES)][feat_flag];
+        let cfg = tree_config(max_depth, min_leaf, max_features, seed ^ 0xABCD);
+        // A sample with duplicates, like a bootstrap draw.
+        let sample: Vec<usize> = (0..n_rows).map(|i| (i * dup_stride) % n_rows).collect();
+
+        let mut a = DecisionTreeClassifier::new(cfg.clone());
+        let mut b = DecisionTreeClassifier::new(cfg.clone());
+        a.fit_on_sample(&x, &labels, &sample).unwrap();
+        b.fit_on_sample_reference(&x, &labels, &sample).unwrap();
+        prop_assert_eq!(a.depth().unwrap(), b.depth().unwrap());
+        prop_assert_eq!(a.feature_importances().unwrap(), b.feature_importances().unwrap());
+        for i in 0..x.n_rows() {
+            prop_assert!(
+                a.predict_row(x.row(i)).unwrap().to_bits()
+                    == b.predict_row(x.row(i)).unwrap().to_bits()
+            );
+        }
+
+        let mut ra = DecisionTreeRegressor::new(cfg.clone());
+        let mut rb = DecisionTreeRegressor::new(cfg);
+        ra.fit_on_sample(&x, &y, &sample).unwrap();
+        rb.fit_on_sample_reference(&x, &y, &sample).unwrap();
+        prop_assert_eq!(ra.depth().unwrap(), rb.depth().unwrap());
+        prop_assert_eq!(ra.feature_importances().unwrap(), rb.feature_importances().unwrap());
+        for row in probe_rows(&x) {
+            prop_assert!(
+                ra.predict_row(&row).unwrap().to_bits()
+                    == rb.predict_row(&row).unwrap().to_bits()
+            );
+        }
+    }
+
+    // Forests: presorted == reference on OOB score, importances, and
+    // batched predictions, at any training thread count.
+    #[test]
+    fn forest_presorted_equals_reference(
+        seed in 0u64..1000,
+        n_rows in 25usize..70,
+        quantize_flag in 0usize..2,
+        n_trees in 1usize..9,
+        max_depth in 2usize..8,
+        n_threads in 1usize..5,
+        classify_flag in 0u32..2,
+    ) {
+        let quantize = [7u64, 1009][quantize_flag];
+        let classify = classify_flag == 1;
+        let (x, labels, y) = training_data(seed, n_rows, quantize);
+        let config = ForestConfig {
+            n_trees,
+            tree: tree_config(max_depth, 1, None, 0),
+            seed,
+            n_threads,
+        };
+        if classify {
+            let mut new = RandomForestClassifier::new(config.clone());
+            let mut old = RandomForestClassifier::new(config);
+            new.fit(&x, &labels).unwrap();
+            old.fit_reference(&x, &labels).unwrap();
+            prop_assert!(
+                new.oob_accuracy().unwrap().to_bits() == old.oob_accuracy().unwrap().to_bits()
+            );
+            prop_assert_eq!(new.feature_importances().unwrap(), old.feature_importances().unwrap());
+            let mut pa = vec![0.0; x.n_rows()];
+            let mut pb = vec![0.0; x.n_rows()];
+            new.predict_batch(MatrixView::Dense(&x), &mut pa).unwrap();
+            old.predict_batch(MatrixView::Dense(&x), &mut pb).unwrap();
+            for (a, b) in pa.iter().zip(&pb) {
+                prop_assert!(a.to_bits() == b.to_bits());
+            }
+        } else {
+            let mut new = RandomForestRegressor::new(config.clone());
+            let mut old = RandomForestRegressor::new(config);
+            new.fit(&x, &y).unwrap();
+            old.fit_reference(&x, &y).unwrap();
+            prop_assert!(new.oob_r2().unwrap().to_bits() == old.oob_r2().unwrap().to_bits());
+            prop_assert_eq!(new.feature_importances().unwrap(), old.feature_importances().unwrap());
+            for row in probe_rows(&x) {
+                prop_assert!(
+                    new.predict_row(&row).unwrap().to_bits()
+                        == old.predict_row(&row).unwrap().to_bits()
+                );
+            }
+        }
+    }
+
+    // The tree-major flattened batch path == the seed row-major path ==
+    // per-row prediction, bit for bit, on dense and overlay inputs, at
+    // any prediction thread count.
+    #[test]
+    fn treemajor_batch_equals_rowmajor_and_per_row(
+        seed in 0u64..1000,
+        n_rows in 30usize..90,
+        n_trees in 1usize..10,
+        threads in 1usize..6,
+        pct in -0.5f64..1.5,
+    ) {
+        let (x, labels, _) = training_data(seed, n_rows, 101);
+        let mut forest = RandomForestClassifier::new(ForestConfig {
+            n_trees,
+            tree: tree_config(6, 1, None, 0),
+            seed,
+            n_threads: threads,
+        });
+        forest.fit(&x, &labels).unwrap();
+
+        let mut overlay = ColumnOverlay::new(&x);
+        overlay.map_col(1, |v| v * (1.0 + pct)).unwrap();
+        let dense_overlay = overlay.to_matrix();
+
+        for (view, reference) in [
+            (MatrixView::Dense(&x), &x),
+            (MatrixView::Overlay(&overlay), &dense_overlay),
+        ] {
+            let mut tree_major = vec![0.0; n_rows];
+            let mut row_major = vec![0.0; n_rows];
+            forest.predict_batch(view, &mut tree_major).unwrap();
+            forest.predict_batch_rowmajor(view, &mut row_major).unwrap();
+            for i in 0..n_rows {
+                prop_assert!(tree_major[i].to_bits() == row_major[i].to_bits());
+                let per_row = forest.predict_row(reference.row(i)).unwrap();
+                prop_assert!(tree_major[i].to_bits() == per_row.to_bits());
+            }
+        }
+    }
+
+    // Model fingerprints survive the rewrite's determinism contract:
+    // identical inputs produce identical fingerprints regardless of the
+    // training thread count (forest training stays thread-invariant).
+    #[test]
+    fn forest_model_fingerprint_is_stable(
+        seed in 0u64..300,
+        n_threads in 1usize..5,
+    ) {
+        let (x, _, y) = training_data(seed, 40, 53);
+        let names: Vec<String> = (0..FEATURES).map(|j| format!("d{j}")).collect();
+        let fit = |threads: usize| {
+            TrainedModel::fit(
+                "y",
+                KpiKind::Continuous,
+                names.clone(),
+                x.clone(),
+                y.clone(),
+                &ModelConfig {
+                    kind: ModelKind::RandomForest,
+                    n_trees: 8,
+                    max_depth: 6,
+                    seed,
+                    n_threads: threads,
+                    ..ModelConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        prop_assert_eq!(fit(1).fingerprint(), fit(n_threads).fingerprint());
+    }
+}
+
+/// A NaN feature cell is a clean [`LearnError`] from every fit entry
+/// point — never a panic — and both trainers refuse identically.
+#[test]
+fn nan_cell_yields_clean_error_everywhere() {
+    let (x, labels, y) = training_data(3, 30, 101);
+    let mut rows: Vec<Vec<f64>> = (0..x.n_rows()).map(|i| x.row(i).to_vec()).collect();
+    rows[11][2] = f64::NAN;
+    let bad = Matrix::from_rows(&rows).unwrap();
+
+    let mut tc = DecisionTreeClassifier::default();
+    assert!(matches!(tc.fit(&bad, &labels), Err(LearnError::Invalid(_))));
+    let mut tr = DecisionTreeRegressor::default();
+    assert!(matches!(tr.fit(&bad, &y), Err(LearnError::Invalid(_))));
+    let all: Vec<usize> = (0..bad.n_rows()).collect();
+    assert!(tc.fit_on_sample_reference(&bad, &labels, &all).is_err());
+    assert!(tr.fit_on_sample_reference(&bad, &y, &all).is_err());
+
+    let mut fc = RandomForestClassifier::with_trees(3, 1);
+    assert!(matches!(fc.fit(&bad, &labels), Err(LearnError::Invalid(_))));
+    assert!(fc.fit_reference(&bad, &labels).is_err());
+    let mut fr = RandomForestRegressor::with_trees(3, 1);
+    assert!(matches!(fr.fit(&bad, &y), Err(LearnError::Invalid(_))));
+    assert!(fr.fit_reference(&bad, &y).is_err());
+
+    // And through the model backend: training surfaces the error
+    // instead of panicking the caller (the server's train path).
+    let names: Vec<String> = (0..FEATURES).map(|j| format!("d{j}")).collect();
+    let result = TrainedModel::fit(
+        "y",
+        KpiKind::Continuous,
+        names,
+        bad,
+        y,
+        &ModelConfig {
+            kind: ModelKind::RandomForest,
+            n_trees: 3,
+            ..ModelConfig::default()
+        },
+    );
+    assert!(result.is_err());
+}
+
+/// Infinities are *not* NaN: they sort deterministically and training
+/// still succeeds (the seed accepted them; the rewrite must too).
+#[test]
+fn infinite_features_still_train_identically() {
+    let (x, labels, _) = training_data(9, 40, 101);
+    let mut rows: Vec<Vec<f64>> = (0..x.n_rows()).map(|i| x.row(i).to_vec()).collect();
+    rows[3][0] = f64::INFINITY;
+    rows[17][0] = f64::NEG_INFINITY;
+    let inf = Matrix::from_rows(&rows).unwrap();
+    let mut a = RandomForestClassifier::with_trees(4, 2);
+    let mut b = RandomForestClassifier::with_trees(4, 2);
+    a.fit(&inf, &labels).unwrap();
+    b.fit_reference(&inf, &labels).unwrap();
+    for i in 0..inf.n_rows() {
+        assert_eq!(
+            a.predict_row(inf.row(i)).unwrap().to_bits(),
+            b.predict_row(inf.row(i)).unwrap().to_bits()
+        );
+    }
+}
