@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "store",
     "train",
     "predict",
+    "wire",
 ];
 
 fn main() {
@@ -95,6 +96,9 @@ fn main() {
     }
     if should("predict") {
         predict(scale, seed);
+    }
+    if should("wire") {
+        wire(scale, seed);
     }
 }
 
@@ -398,6 +402,43 @@ fn predict(scale: Scale, seed: u64) {
     experiments::write_predict_bench_json("BENCH_predict.json", &r)
         .expect("write BENCH_predict.json");
     println!("wrote BENCH_predict.json");
+}
+
+fn wire(scale: Scale, seed: u64) {
+    header("wire — v2 JSON lines vs v3 columnar frames over loopback TCP");
+    let r = experiments::wire_bench(scale, seed);
+    println!(
+        "model: {} rows, {} trees (tiny on purpose — the bench isolates wire cost)",
+        r.n_rows, r.n_trees
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "scenarios",
+        "v2 ms",
+        "v2 bytes",
+        "v3 ms",
+        "v3 bytes",
+        "v3+lz4 ms",
+        "v3+lz4 B",
+        "wall x",
+        "bytes x"
+    );
+    for g in &r.grids {
+        println!(
+            "{:>10} {:>12.1} {:>12} {:>12.1} {:>12} {:>12.1} {:>12} {:>8.1} {:>8.1}",
+            g.n_scenarios,
+            g.v2_json_ms,
+            g.v2_json_bytes,
+            g.v3_plain_ms,
+            g.v3_plain_bytes,
+            g.v3_lz4_ms,
+            g.v3_lz4_bytes,
+            g.wall_speedup,
+            g.bytes_reduction
+        );
+    }
+    experiments::write_wire_bench_json("BENCH_wire.json", &r).expect("write BENCH_wire.json");
+    println!("wrote BENCH_wire.json");
 }
 
 fn robustness(scale: Scale, seed: u64) {

@@ -846,6 +846,229 @@ pub fn write_predict_bench_json(path: &str, report: &PredictBenchReport) -> std:
     write_json(path, report)
 }
 
+/// One scenario-grid size measured across the three wire paths: a v2
+/// JSON-lines envelope, v3 binary frames with compression declined, and
+/// v3 with LZ4-style frame compression.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WireGridMeasurement {
+    /// Scenarios in the grid.
+    pub n_scenarios: usize,
+    /// Wall ms for one `EvaluateScenarios` envelope over JSON lines.
+    pub v2_json_ms: f64,
+    /// Bytes on the wire for the v2 exchange (request + reply).
+    pub v2_json_bytes: u64,
+    /// Wall ms for the v3 columnar exchange, uncompressed frames.
+    pub v3_plain_ms: f64,
+    /// Bytes on the wire for the uncompressed v3 exchange.
+    pub v3_plain_bytes: u64,
+    /// Wall ms for the v3 columnar exchange, compressed frames.
+    pub v3_lz4_ms: f64,
+    /// Bytes on the wire for the compressed v3 exchange.
+    pub v3_lz4_bytes: u64,
+    /// `v2_json_ms / v3_lz4_ms`.
+    pub wall_speedup: f64,
+    /// `v2_json_bytes / v3_lz4_bytes`.
+    pub bytes_reduction: f64,
+}
+
+/// Machine-readable report of the wire-protocol benchmark, written to
+/// `BENCH_wire.json` by `benches/bench_wire.rs` (and the `repro`
+/// binary's `wire` experiment): the same scenario grids priced over
+/// real loopback TCP through v2 JSON lines and both v3 framings.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WireBenchReport {
+    /// Dataset rows behind the session (kept small: the bench isolates
+    /// wire cost, not model cost — all three paths pay the same
+    /// evaluation work).
+    pub n_rows: usize,
+    /// Trees in the (deliberately tiny) forest.
+    pub n_trees: usize,
+    /// One measurement per grid size, ascending.
+    pub grids: Vec<WireGridMeasurement>,
+}
+
+/// Price identical scenario grids through all three wire protocols
+/// against one live TCP server, measuring wall clock and true
+/// bytes-on-wire. The engine's result cache is disabled so the second
+/// and third runs cannot ride the first run's computations, and every
+/// v3 KPI column is checked bit-for-bit against the v2 JSON outcomes.
+///
+/// # Panics
+/// Panics on internal errors — experiments are top-level binaries and a
+/// failure should abort loudly.
+pub fn wire_bench(scale: Scale, seed: u64) -> WireBenchReport {
+    use std::time::Instant;
+    use whatif_server::v3::specs_to_grid;
+    use whatif_server::{serve, Client, Envelope, Reply, Request, Response, UseCase, V3Client};
+    use whatif_wire::Compression;
+
+    // A tiny model keeps per-scenario evaluation cheap, so the numbers
+    // compare serialization and transport, which is what v3 changes.
+    let n_rows = 32usize;
+    let config = ModelConfig {
+        n_trees: 4,
+        max_depth: 4,
+        ..ModelConfig::default()
+    };
+
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+    let mut setup = Client::connect(addr).expect("connect");
+    // With the cache on, whichever protocol runs first would pay for
+    // the model work and the others would hit cached results.
+    assert!(!setup
+        .call(&Request::ConfigureCache {
+            capacity_bytes: None,
+            enabled: Some(false),
+        })
+        .expect("configure cache")
+        .is_error());
+    let session = match setup
+        .call(&Request::LoadUseCase {
+            use_case: UseCase::DealClosing,
+            n_rows: Some(n_rows),
+            seed: Some(seed),
+        })
+        .expect("load")
+    {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("unexpected: {other:?}"),
+    };
+    assert!(!setup
+        .call(&Request::SelectKpi {
+            session,
+            kpi: "Deal Closed?".into(),
+        })
+        .expect("kpi")
+        .is_error());
+    assert!(!setup
+        .call(&Request::Train {
+            session,
+            config: Some(config.clone()),
+        })
+        .expect("train")
+        .is_error());
+
+    let drivers = ["Open Marketing Email", "Renewal", "Call", "Chat"];
+    let specs_for = |n: usize| -> Vec<ScenarioSpec> {
+        (0..n)
+            .map(|i| {
+                let driver = drivers[i % drivers.len()];
+                let pct = ((i * 37) % 151) as f64 - 50.0;
+                ScenarioSpec::new(
+                    format!("s{i}"),
+                    PerturbationSet::new(vec![Perturbation::percentage(driver, pct)]),
+                )
+            })
+            .collect()
+    };
+
+    // One small untimed round through each path to warm connections,
+    // thread pools, and allocator arenas.
+    {
+        let warm = specs_for(64);
+        let mut v2 = Client::connect(addr).expect("connect");
+        let reply = v2
+            .call_v2(
+                0,
+                Request::EvaluateScenarios {
+                    session,
+                    scenarios: warm.clone(),
+                    record: false,
+                    n_threads: None,
+                },
+            )
+            .expect("warm-up");
+        assert!(!reply.is_error());
+        let mut v3 = V3Client::connect(addr).expect("connect");
+        v3.evaluate_grid(0, specs_to_grid(session, &warm, false, None))
+            .expect("warm-up");
+    }
+
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[1_000, 10_000, 100_000],
+        Scale::Quick => &[200, 1_000, 5_000],
+    };
+    let mut grids = Vec::new();
+    for &n in sizes {
+        let specs = specs_for(n);
+
+        // v2: the whole grid as one JSON envelope, one JSON reply
+        // line. The timer covers the full application-visible exchange
+        // — client-side encode, round trip, client-side decode — the
+        // same span `evaluate_grid` pays on the v3 side.
+        let mut v2 = Client::connect(addr).expect("connect");
+        let request = Request::EvaluateScenarios {
+            session,
+            scenarios: specs.clone(),
+            record: false,
+            n_threads: None,
+        };
+        let t = Instant::now();
+        let line = serde_json::to_string(&Envelope::new(1, request)).expect("encode");
+        let reply_line = v2.send_raw(&line).expect("round trip");
+        let reply: Reply = serde_json::from_str(&reply_line).expect("parse");
+        let v2_json_ms = ms(t.elapsed());
+        let v2_json_bytes = (line.len() + 1 + reply_line.len()) as u64;
+        let Response::ScenariosEvaluated { outcomes, .. } = reply.into_result().expect("evaluates")
+        else {
+            panic!("expected ScenariosEvaluated");
+        };
+        assert_eq!(outcomes.len(), n);
+
+        // v3: the same grid as columnar frames, plain then compressed.
+        let run_v3 = |compression: Compression| -> (f64, u64) {
+            let mut v3 = V3Client::connect(addr).expect("connect");
+            v3.compression = compression;
+            let grid = specs_to_grid(session, &specs, false, None);
+            let t = Instant::now();
+            let streamed = v3.evaluate_grid(1, grid).expect("grid evaluates");
+            let elapsed = ms(t.elapsed());
+            assert_eq!(streamed.kpi.len(), n);
+            // Same engine, same inputs: the columnar path must agree
+            // with the JSON path bit for bit.
+            for (columnar, row) in streamed.kpi.iter().zip(&outcomes) {
+                assert_eq!(
+                    columnar.to_bits(),
+                    row.kpi.to_bits(),
+                    "columnar KPI diverged from the JSON outcome"
+                );
+            }
+            (elapsed, v3.bytes_sent() + v3.bytes_received())
+        };
+        let (v3_plain_ms, v3_plain_bytes) = run_v3(Compression::None);
+        let (v3_lz4_ms, v3_lz4_bytes) = run_v3(Compression::Lz4Like);
+
+        grids.push(WireGridMeasurement {
+            n_scenarios: n,
+            v2_json_ms,
+            v2_json_bytes,
+            v3_plain_ms,
+            v3_plain_bytes,
+            v3_lz4_ms,
+            v3_lz4_bytes,
+            wall_speedup: v2_json_ms / v3_lz4_ms,
+            bytes_reduction: v2_json_bytes as f64 / v3_lz4_bytes as f64,
+        });
+    }
+
+    setup.call(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server exits");
+    WireBenchReport {
+        n_rows,
+        n_trees: config.n_trees,
+        grids,
+    }
+}
+
+/// Serialize a [`WireBenchReport`] to `path` (the `BENCH_wire.json`
+/// emitter).
+///
+/// # Errors
+/// Propagated I/O errors from writing the file.
+pub fn write_wire_bench_json(path: &str, report: &WireBenchReport) -> std::io::Result<()> {
+    write_json(path, report)
+}
+
 /// U1: marketing mix — importance ranking plus a budget-style
 /// constrained inversion.
 #[derive(Debug, Clone)]

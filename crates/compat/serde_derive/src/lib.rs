@@ -532,8 +532,13 @@ fn de_tagged_enum_body(name: &str, variants: &[Variant]) -> String {
                 )
             }
         };
-        tag_arms.push_str(&format!("\"{vn}\" => {arm},\n"));
+        tag_arms.push_str(&format!("\"{vn}\" => return {arm},\n"));
     }
+    // Forward compatibility: rather than demanding exactly one key, scan
+    // the object for the first key naming a known variant and ignore any
+    // sibling keys — a newer peer can annotate `{"Variant": ...}` with
+    // extra metadata without breaking older builds. Only when *no* key
+    // matches is the first key reported as the unknown variant.
     format!(
         "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
              return match __s {{\n{str_arms}\
@@ -542,17 +547,19 @@ fn de_tagged_enum_body(name: &str, variants: &[Variant]) -> String {
              }};\n\
          }}\n\
          if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
-             if __obj.len() == 1 {{\n\
-                 let (__tag, __content) = &__obj[0];\n\
+             for (__tag, __content) in __obj.iter() {{\n\
                  let _ = __content;\n\
-                 return match __tag.as_str() {{\n{tag_arms}\
-                     __other => ::std::result::Result::Err(\
-                     ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
-                 }};\n\
+                 match __tag.as_str() {{\n{tag_arms}\
+                     _ => {{}}\n\
+                 }}\n\
+             }}\n\
+             if let ::std::option::Option::Some((__tag, _)) = __obj.first() {{\n\
+                 return ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__tag, \"{name}\"));\n\
              }}\n\
          }}\n\
          ::std::result::Result::Err(::serde::DeError::expected(\
-         \"a string or single-key map for enum {name}\", __v))"
+         \"a string or tagged map for enum {name}\", __v))"
     )
 }
 

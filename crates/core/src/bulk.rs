@@ -161,7 +161,7 @@ impl TrainedModel {
             Ok(buf.iter().sum::<f64>() / buf.len().max(1) as f64)
         };
 
-        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let hw = whatif_learn::forest::hardware_parallelism();
         let work = plans.len().saturating_mul(self.matrix().n_rows());
         let n_threads = if work < 16_384 || self.batch_predict_is_parallel() {
             1

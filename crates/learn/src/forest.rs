@@ -142,18 +142,27 @@ pub const PARALLEL_BATCH_MIN_WORK: usize = 8_192;
 /// amortize walking every tree's node arrays once per block.
 pub const PREDICT_ROW_BLOCK: usize = 512;
 
+/// Cached [`std::thread::available_parallelism`]. The lookup is a
+/// syscall (cgroup-aware, ~10µs on containerized hosts) — far too slow
+/// to repeat on every predict batch when interactive what-if grids
+/// score thousands of short batches per request. Hardware parallelism
+/// does not change while the process runs, so one probe serves all.
+pub fn hardware_parallelism() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
 /// Decide the worker count for a batch of `rows` rows over `n_trees`
 /// trees. Thread spawn costs ~tens of µs; only fan out when the batch
 /// has enough row×tree work to amortize it, and never beyond the
 /// hardware's parallelism. Results are identical either way (per-row
 /// math does not depend on the partitioning).
 fn batch_threads(n_threads: usize, rows: usize, n_trees: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let work = rows.saturating_mul(n_trees);
     if work < PARALLEL_BATCH_MIN_WORK {
         1
     } else {
-        n_threads.max(1).min(rows).min(hw)
+        n_threads.max(1).min(rows).min(hardware_parallelism())
     }
 }
 
@@ -184,7 +193,11 @@ fn forest_predict_batch(
     let score_rows = |start: usize, chunk: &mut [f64]| {
         let mut gather = match x {
             MatrixView::Dense(_) => Vec::new(),
-            MatrixView::Overlay(_) => vec![0.0; PREDICT_ROW_BLOCK * p],
+            // Small batches (interactive what-if grids score one short
+            // scenario at a time) must not pay for a full block's
+            // scratch: size the gather buffer by the rows we actually
+            // have.
+            MatrixView::Overlay(_) => vec![0.0; PREDICT_ROW_BLOCK.min(chunk.len()) * p],
         };
         for (block_no, acc) in chunk.chunks_mut(PREDICT_ROW_BLOCK).enumerate() {
             let row0 = start + block_no * PREDICT_ROW_BLOCK;

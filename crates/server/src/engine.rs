@@ -790,7 +790,7 @@ mod tests {
     fn envelope_version_is_checked() {
         let engine = Engine::new();
         let mut env = Envelope::new(1, Request::ListUseCases);
-        env.version = 3;
+        env.version = 99;
         let reply = engine.handle_envelope(env);
         assert_eq!(reply.error.unwrap().code, ErrorCode::BadRequest);
         let mut env = Envelope::new(2, Request::ListUseCases);

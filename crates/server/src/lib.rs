@@ -17,13 +17,20 @@
 //!   (`RwLock` shards, `AtomicU64` ids, per-entry locking).
 //! * [`handlers`] — the legacy v1-style [`ServerState`] adapter.
 //! * [`tcp`] — a thread-per-connection TCP server speaking
-//!   line-delimited JSON in both framings, plus a matching client.
+//!   line-delimited JSON in both framings, plus a matching client. Each
+//!   connection's first byte routes it: the v3 frame magic (`0xB3`)
+//!   selects the binary loop, anything else the JSON loop, so v1, v2,
+//!   and v3 clients coexist on one socket.
+//! * [`v3`] — the protocol-v3 glue over `whatif-wire`: columnar
+//!   scenario grids in, streamed outcome blocks out, typed error
+//!   frames, and the matching [`V3Client`].
 
 pub mod engine;
 pub mod handlers;
 pub mod protocol;
 pub mod registry;
 pub mod tcp;
+pub mod v3;
 
 pub use engine::Engine;
 pub use handlers::ServerState;
@@ -31,4 +38,5 @@ pub use protocol::{
     ApiError, Envelope, Reply, Request, Response, UseCase, CURRENT_SESSION, PROTOCOL_VERSION,
 };
 pub use tcp::{serve, serve_with_engine, Client};
+pub use v3::{V3Client, V3Error};
 pub use whatif_core::ErrorCode;

@@ -29,8 +29,10 @@ use whatif_core::spec::SpecOutcome;
 use whatif_core::{CoreError, DriverConstraint, ErrorCode, GoalInversionResult};
 use whatif_frame::Value;
 
-/// The current wire protocol version.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// The current wire protocol version. v3 adds the binary columnar
+/// framing (`whatif-wire`); v2 JSON envelopes and v1 bare requests
+/// remain accepted on the same socket.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Sentinel session id usable inside a [`Request::Batch`]: it resolves
 /// to the session created by the most recent `LoadUseCase`/`LoadCsv`
@@ -719,11 +721,42 @@ mod tests {
     }
 
     #[test]
+    fn unknown_future_fields_are_tolerated() {
+        // Snapshot of a hypothetical v4 reply line: extra envelope
+        // fields must not break an older client.
+        let json = r#"{"id":7,"result":"ShuttingDown","cached":false,"server_epoch":123,"trace_id":"abc"}"#;
+        let reply: Reply = serde_json::from_str(json).unwrap();
+        assert_eq!(reply.id, 7);
+        assert_eq!(reply.result, Some(Response::ShuttingDown));
+        assert!(!reply.cached);
+
+        // A tagged enum finds its variant even with unknown siblings.
+        let json = r#"{"debug_hint":"added-in-v4","SessionClosed":null}"#;
+        let resp: Response = serde_json::from_str(json).unwrap();
+        assert_eq!(resp, Response::SessionClosed);
+
+        // Unknown fields inside a variant's struct body are skipped.
+        let json = r#"{"TableView": {"session": 3, "max_rows": 5, "page_token": "xyz"}}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            req,
+            Request::TableView {
+                session: 3,
+                max_rows: 5
+            }
+        );
+
+        // A map with *no* known tag is still an unknown variant, not a
+        // silent success.
+        assert!(serde_json::from_str::<Response>(r#"{"NotARealVariant":1}"#).is_err());
+    }
+
+    #[test]
     fn envelope_and_reply_roundtrip() {
         let env = Envelope::new(42, Request::ListUseCases);
         let json = serde_json::to_string(&env).unwrap();
         assert!(json.contains("\"id\":42"));
-        assert!(json.contains("\"version\":2"));
+        assert!(json.contains("\"version\":3"));
         assert_eq!(env, serde_json::from_str::<Envelope>(&json).unwrap());
 
         // Version defaults to the current protocol version when absent.

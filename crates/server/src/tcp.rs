@@ -1,6 +1,15 @@
-//! Concurrent TCP transport speaking line-delimited JSON — one request
-//! per line, one response per line, in either wire framing (v1 bare
-//! [`Request`] or v2 [`Envelope`]; see `docs/PROTOCOL.md`).
+//! Concurrent TCP transport. Each connection speaks either
+//! line-delimited JSON — one request per line, in v1 bare [`Request`]
+//! or v2 [`Envelope`] framing — or the v3 binary frame protocol; the
+//! first byte decides. A v3 frame opens with the magic byte `0xB3`,
+//! which no JSON line starts with, so the server peeks one byte and
+//! routes the whole connection to [`crate::v3`] or to the JSON loop.
+//! All three protocol generations coexist on one listening socket.
+//!
+//! JSON request lines are bounded by the same
+//! [`whatif_wire::MAX_FRAME_BYTES`] budget as v3 frames: an overlong
+//! line is drained (never buffered), answered with a typed
+//! `BadRequest`, and the connection keeps serving.
 //!
 //! Each accepted connection gets its own thread over a shared
 //! [`Engine`], so two clients make progress simultaneously; per-session
@@ -82,10 +91,55 @@ fn handle_client(
     stop: &AtomicBool,
     local: SocketAddr,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    // Sniff the first byte: v3 frames open with 0xB3, which is never
+    // the first byte of a JSON request line.
+    let first = match reader.fill_buf()? {
+        [] => return Ok(()), // connected and left without a word
+        buf => buf[0],
+    };
+    let shutdown = if first == whatif_wire::WIRE_MAGIC[0] {
+        crate::v3::serve_connection(&mut reader, &mut writer, engine, stop)?
+    } else {
+        serve_json_lines(&mut reader, &mut writer, engine, stop)?
+    };
+    if shutdown {
+        stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so the stop flag is observed now,
+        // not at the next incidental connection.
+        let _ = TcpStream::connect(wake_addr(local));
+    }
+    Ok(())
+}
+
+/// The v1/v2 loop: bounded JSON lines in, JSON lines out. Returns
+/// whether the connection requested shutdown.
+fn serve_json_lines(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    engine: &Engine,
+    stop: &AtomicBool,
+) -> std::io::Result<bool> {
+    loop {
+        let line = match read_bounded_line(reader, whatif_wire::MAX_FRAME_BYTES)? {
+            None => return Ok(false),
+            Some(BoundedLine::TooLong { discarded }) => {
+                // The overlong line was drained without buffering; the
+                // sender gets a typed error and the connection lives on.
+                let error = crate::protocol::ApiError::bad_request(format!(
+                    "request line of {discarded} bytes exceeds the {}-byte limit",
+                    whatif_wire::MAX_FRAME_BYTES
+                ));
+                let reply = serde_json::to_string(&Response::Error(error))
+                    .unwrap_or_else(|_| String::from("{\"Error\":null}"));
+                writer.write_all(reply.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                continue;
+            }
+            Some(BoundedLine::Line(line)) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -94,17 +148,99 @@ fn handle_client(
         writer.write_all(b"\n")?;
         writer.flush()?;
         if shutdown {
-            stop.store(true, Ordering::SeqCst);
-            // Unblock the accept loop so the stop flag is observed now,
-            // not at the next incidental connection.
-            let _ = TcpStream::connect(wake_addr(local));
-            break;
+            return Ok(true);
         }
         if stop.load(Ordering::SeqCst) {
-            break;
+            return Ok(false);
         }
     }
-    Ok(())
+}
+
+/// One bounded request line.
+#[derive(Debug)]
+enum BoundedLine {
+    /// A complete line (newline stripped) within the budget.
+    Line(String),
+    /// The line exceeded `max` bytes; it was consumed up to and
+    /// including its newline without ever being buffered whole.
+    TooLong {
+        /// Bytes discarded (excluding the terminating newline).
+        discarded: u64,
+    },
+}
+
+/// Read one `\n`-terminated line, buffering at most `max` bytes.
+/// `None` means clean EOF. Unlike `BufRead::lines`, a hostile or buggy
+/// peer streaming an endless line costs O(buffer), not O(line).
+fn read_bounded_line(
+    reader: &mut impl BufRead,
+    max: usize,
+) -> std::io::Result<Option<BoundedLine>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            // EOF: a trailing unterminated line still counts.
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(finish_line(line)?));
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > max {
+                    let discarded = (line.len() + pos) as u64;
+                    reader.consume(pos + 1);
+                    return Ok(Some(BoundedLine::TooLong { discarded }));
+                }
+                line.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                return Ok(Some(finish_line(line)?));
+            }
+            None => {
+                let n = available.len();
+                if line.len() + n > max {
+                    // Over budget mid-line: stop buffering and drain to
+                    // the newline (or EOF) in buffer-sized gulps.
+                    let mut discarded = (line.len() + n) as u64;
+                    reader.consume(n);
+                    loop {
+                        let chunk = reader.fill_buf()?;
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        match chunk.iter().position(|&b| b == b'\n') {
+                            Some(pos) => {
+                                discarded += pos as u64;
+                                reader.consume(pos + 1);
+                                break;
+                            }
+                            None => {
+                                let len = chunk.len();
+                                discarded += len as u64;
+                                reader.consume(len);
+                            }
+                        }
+                    }
+                    return Ok(Some(BoundedLine::TooLong { discarded }));
+                }
+                line.extend_from_slice(available);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn finish_line(mut line: Vec<u8>) -> std::io::Result<BoundedLine> {
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map(BoundedLine::Line).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request line is not valid UTF-8",
+        )
+    })
 }
 
 /// A minimal blocking client for the line-delimited JSON protocol,
@@ -218,6 +354,64 @@ mod tests {
     use super::*;
     use crate::protocol::UseCase;
     use whatif_core::model_backend::ModelConfig;
+
+    #[test]
+    fn bounded_lines_split_and_strip_like_read_line() {
+        let data = b"first\r\nsecond\nunterminated";
+        let mut r = BufReader::with_capacity(4, &data[..]);
+        for expected in ["first", "second", "unterminated"] {
+            match read_bounded_line(&mut r, 64).unwrap() {
+                Some(BoundedLine::Line(line)) => assert_eq!(line, expected),
+                other => panic!(
+                    "expected {expected:?}, got another outcome: {:?}",
+                    other.is_some()
+                ),
+            }
+        }
+        assert!(
+            read_bounded_line(&mut r, 64).unwrap().is_none(),
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn overlong_lines_are_drained_not_buffered() {
+        // The long line spans many tiny buffer fills (the over-budget
+        // drain path) and the next line must still arrive intact.
+        let long = "x".repeat(100);
+        let data = format!("{long}\nshort\n");
+        let mut r = BufReader::with_capacity(4, data.as_bytes());
+        match read_bounded_line(&mut r, 10).unwrap() {
+            Some(BoundedLine::TooLong { discarded }) => assert_eq!(discarded, 100),
+            _ => panic!("expected TooLong"),
+        }
+        match read_bounded_line(&mut r, 10).unwrap() {
+            Some(BoundedLine::Line(line)) => assert_eq!(line, "short"),
+            _ => panic!("the connection stays aligned after a drained line"),
+        }
+
+        // Same when the newline sits in the very first buffer fill.
+        let mut r = BufReader::with_capacity(64, data.as_bytes());
+        match read_bounded_line(&mut r, 10).unwrap() {
+            Some(BoundedLine::TooLong { discarded }) => assert_eq!(discarded, 100),
+            _ => panic!("expected TooLong"),
+        }
+
+        // An endless unterminated line is bounded by EOF, not memory.
+        let mut r = BufReader::with_capacity(4, &b"yyyyyyyyyyyyyyyyyyyy"[..]);
+        match read_bounded_line(&mut r, 5).unwrap() {
+            Some(BoundedLine::TooLong { discarded }) => assert_eq!(discarded, 20),
+            _ => panic!("expected TooLong at EOF"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_lines_are_invalid_data() {
+        let data = [0xFFu8, 0xFE, b'\n'];
+        let mut r = BufReader::new(&data[..]);
+        let err = read_bounded_line(&mut r, 64).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
 
     #[test]
     fn tcp_round_trip_and_shutdown() {

@@ -1,0 +1,818 @@
+//! Protocol v3 glue: maps `whatif-wire` frames onto the
+//! transport-agnostic [`Engine`].
+//!
+//! The wire crate knows nothing about engine types — it frames,
+//! compresses, and lays out columns over plain `u64`/`f64`/`String`s.
+//! This module is the other half: decode a [`WireRequest`] into a
+//! [`Request`], run it, and encode the answer back out — as a single
+//! reply frame, or, for scenario grids, as a bounded
+//! `StreamHead`/`StreamBlock`/`StreamEnd` sequence so a 100k-row reply
+//! never materializes one giant frame.
+//!
+//! Malformed traffic never kills a connection: skipped frames and
+//! undecodable payloads are answered with a typed
+//! [`FrameType::Error`] frame carrying the stable [`ErrorCode`] wire
+//! form, and the loop keeps reading (only a truncated stream or a
+//! transport failure ends it). [`V3Client`] is the matching blocking
+//! client used by the integration tests and the wire benchmark.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::engine::Engine;
+use crate::protocol::{ApiError, Envelope, Reply, Request, Response};
+use whatif_core::bulk::ScenarioSpec;
+use whatif_core::perturbation::{Perturbation, PerturbationSet};
+use whatif_core::ErrorCode;
+use whatif_wire::{
+    read_event, write_frame, ComparisonReply, ComparisonRequest, Compression, DriverColumn,
+    ErrorReply, Frame, FrameEvent, FrameType, OutcomeBlock, OutcomeStreamHead, PerturbKind,
+    ReplyBody, RequestBody, ScenarioGridRequest, StreamEnd, WireError, WireReply, WireRequest,
+    DEFAULT_BLOCK_ROWS,
+};
+
+/// The stable wire form of an [`ErrorCode`] (its serde string, e.g.
+/// `"BadRequest"`), shared with the JSON protocols.
+#[must_use]
+pub fn error_code_wire_form(code: ErrorCode) -> String {
+    // Unit enum variants serialize as a quoted string.
+    serde_json::to_string(&code)
+        .unwrap_or_else(|_| "\"Internal\"".into())
+        .trim_matches('"')
+        .to_string()
+}
+
+fn error_frame(id: u64, code: ErrorCode, message: impl Into<String>) -> (FrameType, Vec<u8>) {
+    let payload = ErrorReply {
+        id,
+        code: error_code_wire_form(code),
+        message: message.into(),
+    }
+    .encode();
+    (FrameType::Error, payload)
+}
+
+fn api_error_frame(id: u64, error: &ApiError) -> (FrameType, Vec<u8>) {
+    error_frame(id, error.code, error.message.clone())
+}
+
+/// Turn a columnar grid back into the engine's row-oriented
+/// [`ScenarioSpec`]s. `NaN` cells mean "driver untouched in this
+/// scenario"; rows with no finite cell become empty perturbation sets
+/// (priced at baseline), matching the JSON protocol's semantics for an
+/// empty perturbation list.
+fn grid_to_specs(grid: &ScenarioGridRequest) -> Result<Vec<ScenarioSpec>, ApiError> {
+    let n = grid.n_scenarios as usize;
+    if !grid.names.is_empty() && grid.names.len() != n {
+        return Err(ApiError::bad_request(format!(
+            "{} scenario names for {n} scenarios",
+            grid.names.len()
+        )));
+    }
+    for col in &grid.columns {
+        if col.values.len() != n {
+            return Err(ApiError::bad_request(format!(
+                "driver column '{}' has {} values for {n} scenarios",
+                col.name,
+                col.values.len()
+            )));
+        }
+    }
+    let mut specs = Vec::with_capacity(n);
+    for row in 0..n {
+        let mut perturbations = Vec::new();
+        for col in &grid.columns {
+            let magnitude = col.values[row];
+            if magnitude.is_nan() {
+                continue;
+            }
+            perturbations.push(match col.kind {
+                PerturbKind::Percentage => Perturbation::percentage(&col.name, magnitude),
+                PerturbKind::Absolute => Perturbation::absolute(&col.name, magnitude),
+            });
+        }
+        let name = grid
+            .names
+            .get(row)
+            .cloned()
+            .unwrap_or_else(|| format!("s{row}"));
+        specs.push(ScenarioSpec::new(name, PerturbationSet::new(perturbations)));
+    }
+    Ok(specs)
+}
+
+/// Write a `ScenariosEvaluated` response as a bounded frame stream:
+/// head, `ceil(total / DEFAULT_BLOCK_ROWS)` KPI blocks, end marker.
+fn stream_outcomes(
+    w: &mut impl Write,
+    id: u64,
+    response: &Response,
+    prefer: Compression,
+) -> Result<(), WireError> {
+    let Response::ScenariosEvaluated {
+        outcomes,
+        recorded_ids,
+    } = response
+    else {
+        // The engine answered EvaluateScenarios with something else —
+        // an internal invariant violation, reported as a typed error.
+        let (ft, payload) = error_frame(
+            id,
+            ErrorCode::Internal,
+            "scenario evaluation produced a non-scenario response",
+        );
+        write_frame(w, ft, &payload, prefer)?;
+        return Ok(());
+    };
+    let recorded = !recorded_ids.is_empty();
+    let head = OutcomeStreamHead {
+        id,
+        total: outcomes.len() as u64,
+        baseline_kpi: outcomes.first().map_or(f64::NAN, |o| o.baseline_kpi),
+        recorded,
+    };
+    write_frame(w, FrameType::StreamHead, &head.encode(), prefer)?;
+    let mut blocks = 0u32;
+    for (chunk_index, chunk) in outcomes.chunks(DEFAULT_BLOCK_ROWS).enumerate() {
+        let start = chunk_index * DEFAULT_BLOCK_ROWS;
+        let block = OutcomeBlock {
+            id,
+            start: start as u64,
+            kpi: chunk.iter().map(|o| o.kpi).collect(),
+            recorded_ids: if recorded {
+                recorded_ids[start..start + chunk.len()].to_vec()
+            } else {
+                Vec::new()
+            },
+        };
+        write_frame(w, FrameType::StreamBlock, &block.encode(), prefer)?;
+        blocks += 1;
+    }
+    let end = StreamEnd { id, blocks };
+    write_frame(w, FrameType::StreamEnd, &end.encode(), prefer)?;
+    Ok(())
+}
+
+/// Execute one decoded request and write its reply frame(s). Returns
+/// whether the request was an acknowledged shutdown.
+fn answer(
+    w: &mut impl Write,
+    engine: &Engine,
+    request: WireRequest,
+    prefer: Compression,
+) -> Result<bool, WireError> {
+    let id = request.id;
+    match request.body {
+        RequestBody::Json(json) => {
+            // The universal fallback: any v1/v2 request rides v3
+            // framing; the reply is the enveloped JSON line.
+            let (line, shutdown) = engine.dispatch_line(&json);
+            let reply = WireReply {
+                id,
+                body: ReplyBody::Json(line),
+            };
+            write_frame(w, FrameType::Reply, &reply.encode(), prefer)?;
+            Ok(shutdown)
+        }
+        RequestBody::Scenarios(grid) => {
+            let specs = match grid_to_specs(&grid) {
+                Ok(specs) => specs,
+                Err(e) => {
+                    let (ft, payload) = api_error_frame(id, &e);
+                    write_frame(w, ft, &payload, prefer)?;
+                    return Ok(false);
+                }
+            };
+            let reply = engine.handle_envelope(Envelope::new(
+                id,
+                Request::EvaluateScenarios {
+                    session: grid.session,
+                    scenarios: specs,
+                    record: grid.record,
+                    n_threads: (grid.n_threads > 0).then_some(grid.n_threads as usize),
+                },
+            ));
+            match (reply.result, reply.error) {
+                (Some(response), _) => stream_outcomes(w, id, &response, prefer)?,
+                (None, error) => {
+                    let error = error.unwrap_or_else(|| {
+                        ApiError::new(
+                            ErrorCode::Internal,
+                            "reply carried neither result nor error",
+                        )
+                    });
+                    let (ft, payload) = api_error_frame(id, &error);
+                    write_frame(w, ft, &payload, prefer)?;
+                }
+            }
+            Ok(false)
+        }
+        RequestBody::LoadCsv { csv } => {
+            let reply = engine.handle_envelope(Envelope::new(id, Request::LoadCsv { csv }));
+            write_reply_or_error(w, id, reply, prefer)?;
+            Ok(false)
+        }
+        RequestBody::Comparison(cmp) => {
+            let reply = engine.handle_envelope(Envelope::new(
+                id,
+                Request::ComparisonView {
+                    session: cmp.session,
+                    percentages: cmp.percentages,
+                },
+            ));
+            match (reply.result, reply.error) {
+                (Some(Response::Comparison(curves)), _) => {
+                    let body = ComparisonReply {
+                        percentages: curves
+                            .first()
+                            .map(|c| c.percentages.clone())
+                            .unwrap_or_default(),
+                        drivers: curves.iter().map(|c| c.driver.clone()).collect(),
+                        kpi_columns: curves.into_iter().map(|c| c.kpi_values).collect(),
+                    };
+                    let reply = WireReply {
+                        id,
+                        body: ReplyBody::Comparison(body),
+                    };
+                    write_frame(w, FrameType::Reply, &reply.encode(), prefer)?;
+                }
+                (Some(_), _) => {
+                    let (ft, payload) = error_frame(
+                        id,
+                        ErrorCode::Internal,
+                        "comparison produced a non-comparison response",
+                    );
+                    write_frame(w, ft, &payload, prefer)?;
+                }
+                (None, error) => {
+                    let error = error.unwrap_or_else(|| {
+                        ApiError::new(
+                            ErrorCode::Internal,
+                            "reply carried neither result nor error",
+                        )
+                    });
+                    let (ft, payload) = api_error_frame(id, &error);
+                    write_frame(w, ft, &payload, prefer)?;
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Serialize a generic envelope [`Reply`] as a JSON reply frame on
+/// success or a typed error frame on failure.
+fn write_reply_or_error(
+    w: &mut impl Write,
+    id: u64,
+    reply: Reply,
+    prefer: Compression,
+) -> Result<(), WireError> {
+    if let Some(error) = &reply.error {
+        let (ft, payload) = api_error_frame(id, error);
+        write_frame(w, ft, &payload, prefer)?;
+        return Ok(());
+    }
+    let json = serde_json::to_string(&reply)
+        .map_err(|e| WireError::Corrupt(format!("reply serialization failed: {e}")))?;
+    let wire_reply = WireReply {
+        id,
+        body: ReplyBody::Json(json),
+    };
+    write_frame(w, FrameType::Reply, &wire_reply.encode(), prefer)?;
+    Ok(())
+}
+
+/// Serve one sniffed-as-v3 connection until EOF, a fatal transport
+/// error, or an acknowledged shutdown. Returns whether the connection
+/// requested shutdown (the caller raises the stop flag and wakes the
+/// accept loop).
+///
+/// # Errors
+/// Only transport failures; protocol-level problems are answered with
+/// typed error frames and the loop continues.
+pub(crate) fn serve_connection(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    engine: &Engine,
+    stop: &AtomicBool,
+) -> std::io::Result<bool> {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        match read_event(reader) {
+            Ok(FrameEvent::Eof) => return Ok(false),
+            Ok(FrameEvent::Skipped { error, skipped }) => {
+                // The reader realigned; tell the peer what was dropped.
+                let (ft, payload) = error_frame(
+                    0,
+                    ErrorCode::BadRequest,
+                    format!("skipped {skipped} bytes of malformed frame data: {error}"),
+                );
+                if write_frame(writer, ft, &payload, Compression::None).is_err() {
+                    return Ok(false); // peer gone
+                }
+                writer.flush()?;
+            }
+            Ok(FrameEvent::Frame(Frame {
+                frame_type: FrameType::Request,
+                compression,
+                payload,
+            })) => {
+                // Replies mirror the request's compression preference:
+                // clients that send plain frames get plain frames back
+                // (encode_frame still only compresses when it wins).
+                let shutdown = match WireRequest::decode(&payload) {
+                    Ok(request) => {
+                        answer(writer, engine, request, compression).map_err(io_from_wire)?
+                    }
+                    Err(e) => {
+                        let (ft, payload) = error_frame(
+                            0,
+                            ErrorCode::BadRequest,
+                            format!("undecodable request payload: {e}"),
+                        );
+                        write_frame(writer, ft, &payload, Compression::None)
+                            .map_err(io_from_wire)?;
+                        false
+                    }
+                };
+                writer.flush()?;
+                if shutdown {
+                    return Ok(true);
+                }
+            }
+            Ok(FrameEvent::Frame(frame)) => {
+                let (ft, payload) = error_frame(
+                    0,
+                    ErrorCode::BadRequest,
+                    format!("servers accept Request frames, got {:?}", frame.frame_type),
+                );
+                write_frame(writer, ft, &payload, Compression::None).map_err(io_from_wire)?;
+                writer.flush()?;
+            }
+            Err(WireError::Truncated { .. }) => {
+                // Peer hung up mid-frame: end quietly, like a dropped
+                // JSON connection.
+                return Ok(false);
+            }
+            Err(WireError::Io(e)) => return Err(e),
+            Err(other) => {
+                // read_event reports everything else as Skipped; treat a
+                // stray error defensively as fatal corruption.
+                return Err(io_from_wire(other));
+            }
+        }
+    }
+}
+
+fn io_from_wire(e: WireError) -> std::io::Error {
+    match e {
+        WireError::Io(io) => io,
+        other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+/// A failure observed by [`V3Client`].
+#[derive(Debug)]
+pub enum V3Error {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Server(ErrorReply),
+    /// The server answered with an unexpected frame or payload.
+    Protocol(String),
+}
+
+impl std::fmt::Display for V3Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            V3Error::Wire(e) => write!(f, "wire: {e}"),
+            V3Error::Server(e) => write!(f, "server error {}: {}", e.code, e.message),
+            V3Error::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for V3Error {}
+
+impl From<WireError> for V3Error {
+    fn from(e: WireError) -> V3Error {
+        V3Error::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for V3Error {
+    fn from(e: std::io::Error) -> V3Error {
+        V3Error::Wire(WireError::Io(e))
+    }
+}
+
+/// The outcome columns collected from one streamed scenario reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedOutcomes {
+    /// The stream's opening totals.
+    pub head: OutcomeStreamHead,
+    /// KPI per scenario, in input order (concatenated blocks).
+    pub kpi: Vec<f64>,
+    /// Ledger ids aligned with `kpi`; empty unless recording.
+    pub recorded_ids: Vec<u64>,
+    /// How many `StreamBlock` frames arrived.
+    pub blocks: u32,
+}
+
+/// `Read` wrapper counting bytes as they come off the socket, so the
+/// benchmark can report true bytes-on-wire (compressed size included).
+struct CountingReader<R> {
+    inner: R,
+    count: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl<R: std::io::Read> std::io::Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+/// A minimal blocking v3 client: framed binary requests over TCP, with
+/// byte counters for traffic metering.
+pub struct V3Client {
+    reader: BufReader<CountingReader<TcpStream>>,
+    writer: BufWriter<TcpStream>,
+    /// Compression preference applied to outgoing request frames.
+    pub compression: Compression,
+    bytes_sent: u64,
+    bytes_received: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl V3Client {
+    /// Connect to a running server. The first frame this client sends
+    /// routes the connection to the v3 loop (the server sniffs the
+    /// magic byte).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<V3Client> {
+        let stream = TcpStream::connect(addr)?;
+        let bytes_received = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        Ok(V3Client {
+            reader: BufReader::new(CountingReader {
+                inner: stream.try_clone()?,
+                count: Arc::clone(&bytes_received),
+            }),
+            writer: BufWriter::new(stream),
+            compression: Compression::Lz4Like,
+            bytes_sent: 0,
+            bytes_received,
+        })
+    }
+
+    /// Bytes this client has put on the wire (headers included).
+    #[must_use]
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Bytes read off the socket so far.
+    #[must_use]
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Send a request frame.
+    ///
+    /// # Errors
+    /// Propagates transport/encoding failures.
+    pub fn send(&mut self, request: &WireRequest) -> Result<(), V3Error> {
+        let n = write_frame(
+            &mut self.writer,
+            FrameType::Request,
+            &request.encode(),
+            self.compression,
+        )?;
+        self.bytes_sent += n as u64;
+        self.writer.flush().map_err(V3Error::from)
+    }
+
+    /// Send raw bytes as-is — the malformed-traffic tests forge frames
+    /// with this.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.bytes_sent += bytes.len() as u64;
+        self.writer.flush()
+    }
+
+    /// Read the next event from the server.
+    ///
+    /// # Errors
+    /// Propagates transport/framing failures.
+    pub fn read_event(&mut self) -> Result<FrameEvent, WireError> {
+        read_event(&mut self.reader)
+    }
+
+    /// Read the next *frame*, treating EOF and skipped garbage as
+    /// protocol errors (the server is expected to speak clean v3).
+    fn next_frame(&mut self) -> Result<Frame, V3Error> {
+        match self.read_event()? {
+            FrameEvent::Frame(frame) => Ok(frame),
+            FrameEvent::Eof => Err(V3Error::Protocol("server closed the stream".into())),
+            FrameEvent::Skipped { error, skipped } => Err(V3Error::Protocol(format!(
+                "skipped {skipped} malformed bytes from server: {error}"
+            ))),
+        }
+    }
+
+    /// Send any v1/v2 [`Request`] through the JSON-fallback opcode and
+    /// parse the enveloped reply.
+    ///
+    /// # Errors
+    /// [`V3Error::Server`] for typed error frames, [`V3Error::Wire`] /
+    /// [`V3Error::Protocol`] for transport or framing trouble.
+    pub fn call_json(&mut self, id: u64, request: &Request) -> Result<Reply, V3Error> {
+        let json = serde_json::to_string(&Envelope::new(id, request.clone()))
+            .map_err(|e| V3Error::Protocol(format!("request serialization failed: {e}")))?;
+        self.send(&WireRequest {
+            id,
+            body: RequestBody::Json(json),
+        })?;
+        let frame = self.next_frame()?;
+        match frame.frame_type {
+            FrameType::Reply => {
+                let reply = WireReply::decode(&frame.payload)?;
+                match reply.body {
+                    ReplyBody::Json(line) => serde_json::from_str::<Reply>(&line)
+                        .map_err(|e| V3Error::Protocol(format!("unparseable reply: {e}"))),
+                    ReplyBody::Comparison(_) => {
+                        Err(V3Error::Protocol("unexpected comparison reply".into()))
+                    }
+                }
+            }
+            FrameType::Error => Err(V3Error::Server(ErrorReply::decode(&frame.payload)?)),
+            other => Err(V3Error::Protocol(format!(
+                "unexpected {other:?} frame in reply position"
+            ))),
+        }
+    }
+
+    /// Evaluate a columnar scenario grid, collecting the streamed
+    /// outcome blocks.
+    ///
+    /// # Errors
+    /// [`V3Error::Server`] for typed error frames (unknown session,
+    /// untrained model, ...), [`V3Error::Wire`] / [`V3Error::Protocol`]
+    /// for transport or framing trouble.
+    pub fn evaluate_grid(
+        &mut self,
+        id: u64,
+        grid: ScenarioGridRequest,
+    ) -> Result<StreamedOutcomes, V3Error> {
+        self.send(&WireRequest {
+            id,
+            body: RequestBody::Scenarios(grid),
+        })?;
+        let frame = self.next_frame()?;
+        let head = match frame.frame_type {
+            FrameType::StreamHead => OutcomeStreamHead::decode(&frame.payload)?,
+            FrameType::Error => return Err(V3Error::Server(ErrorReply::decode(&frame.payload)?)),
+            other => {
+                return Err(V3Error::Protocol(format!(
+                    "expected a stream head, got {other:?}"
+                )))
+            }
+        };
+        let mut kpi = Vec::with_capacity(head.total as usize);
+        let mut recorded_ids = Vec::new();
+        let mut blocks = 0u32;
+        loop {
+            let frame = self.next_frame()?;
+            match frame.frame_type {
+                FrameType::StreamBlock => {
+                    let block = OutcomeBlock::decode(&frame.payload)?;
+                    if block.start != kpi.len() as u64 {
+                        return Err(V3Error::Protocol(format!(
+                            "stream block starts at row {} but {} rows have arrived",
+                            block.start,
+                            kpi.len()
+                        )));
+                    }
+                    kpi.extend_from_slice(&block.kpi);
+                    recorded_ids.extend_from_slice(&block.recorded_ids);
+                    blocks += 1;
+                }
+                FrameType::StreamEnd => {
+                    let end = StreamEnd::decode(&frame.payload)?;
+                    if end.blocks != blocks || kpi.len() as u64 != head.total {
+                        return Err(V3Error::Protocol(format!(
+                            "stream closed after {blocks} blocks / {} rows, head declared {} rows",
+                            kpi.len(),
+                            head.total
+                        )));
+                    }
+                    return Ok(StreamedOutcomes {
+                        head,
+                        kpi,
+                        recorded_ids,
+                        blocks,
+                    });
+                }
+                FrameType::Error => {
+                    return Err(V3Error::Server(ErrorReply::decode(&frame.payload)?))
+                }
+                other => {
+                    return Err(V3Error::Protocol(format!(
+                        "unexpected {other:?} frame inside a stream"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Load a CSV dataset through the binary opcode (the CSV body rides
+    /// frame compression).
+    ///
+    /// # Errors
+    /// [`V3Error::Server`] for typed error frames, [`V3Error::Wire`] /
+    /// [`V3Error::Protocol`] otherwise.
+    pub fn load_csv(&mut self, id: u64, csv: String) -> Result<Reply, V3Error> {
+        self.send(&WireRequest {
+            id,
+            body: RequestBody::LoadCsv { csv },
+        })?;
+        let frame = self.next_frame()?;
+        match frame.frame_type {
+            FrameType::Reply => match WireReply::decode(&frame.payload)?.body {
+                ReplyBody::Json(line) => serde_json::from_str::<Reply>(&line)
+                    .map_err(|e| V3Error::Protocol(format!("unparseable reply: {e}"))),
+                ReplyBody::Comparison(_) => {
+                    Err(V3Error::Protocol("unexpected comparison reply".into()))
+                }
+            },
+            FrameType::Error => Err(V3Error::Server(ErrorReply::decode(&frame.payload)?)),
+            other => Err(V3Error::Protocol(format!(
+                "unexpected {other:?} frame in reply position"
+            ))),
+        }
+    }
+
+    /// Run a sensitivity-grid comparison through the columnar opcode.
+    ///
+    /// # Errors
+    /// [`V3Error::Server`] for typed error frames, [`V3Error::Wire`] /
+    /// [`V3Error::Protocol`] otherwise.
+    pub fn comparison(
+        &mut self,
+        id: u64,
+        session: u64,
+        percentages: Vec<f64>,
+    ) -> Result<ComparisonReply, V3Error> {
+        self.send(&WireRequest {
+            id,
+            body: RequestBody::Comparison(ComparisonRequest {
+                session,
+                percentages,
+            }),
+        })?;
+        let frame = self.next_frame()?;
+        match frame.frame_type {
+            FrameType::Reply => match WireReply::decode(&frame.payload)?.body {
+                ReplyBody::Comparison(cmp) => Ok(cmp),
+                ReplyBody::Json(_) => Err(V3Error::Protocol("expected a comparison reply".into())),
+            },
+            FrameType::Error => Err(V3Error::Server(ErrorReply::decode(&frame.payload)?)),
+            other => Err(V3Error::Protocol(format!(
+                "unexpected {other:?} frame in reply position"
+            ))),
+        }
+    }
+}
+
+/// Build a columnar [`ScenarioGridRequest`] from row-oriented
+/// [`ScenarioSpec`]s — the inverse of the server-side mapping, used by
+/// tests and the benchmark to feed identical workloads to both
+/// protocols.
+#[must_use]
+pub fn specs_to_grid(
+    session: u64,
+    specs: &[ScenarioSpec],
+    record: bool,
+    n_threads: Option<usize>,
+) -> ScenarioGridRequest {
+    let n = specs.len();
+    let mut columns: Vec<DriverColumn> = Vec::new();
+    for (row, spec) in specs.iter().enumerate() {
+        for p in &spec.perturbations.perturbations {
+            let (kind, magnitude) = match p.kind {
+                whatif_core::perturbation::PerturbationKind::Percentage(pct) => {
+                    (PerturbKind::Percentage, pct)
+                }
+                whatif_core::perturbation::PerturbationKind::Absolute(delta) => {
+                    (PerturbKind::Absolute, delta)
+                }
+            };
+            let column = match columns
+                .iter_mut()
+                .find(|c| c.name == p.driver && c.kind == kind)
+            {
+                Some(column) => column,
+                None => {
+                    columns.push(DriverColumn {
+                        name: p.driver.clone(),
+                        kind,
+                        values: vec![f64::NAN; n],
+                    });
+                    columns.last_mut().expect("just pushed")
+                }
+            };
+            column.values[row] = magnitude;
+        }
+    }
+    ScenarioGridRequest {
+        session,
+        n_scenarios: n as u32,
+        record,
+        n_threads: n_threads.unwrap_or(0) as u32,
+        names: specs.iter().map(|s| s.name.clone()).collect(),
+        columns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_use_their_stable_wire_form() {
+        assert_eq!(error_code_wire_form(ErrorCode::BadRequest), "BadRequest");
+        assert_eq!(
+            error_code_wire_form(ErrorCode::UnknownSession),
+            "UnknownSession"
+        );
+        assert_eq!(error_code_wire_form(ErrorCode::NotTrained), "NotTrained");
+    }
+
+    #[test]
+    fn grids_and_specs_convert_both_ways() {
+        let specs = vec![
+            ScenarioSpec::new(
+                "a",
+                PerturbationSet::new(vec![
+                    Perturbation::percentage("Email", 10.0),
+                    Perturbation::absolute("Call", 2.0),
+                ]),
+            ),
+            ScenarioSpec::new(
+                "b",
+                PerturbationSet::new(vec![Perturbation::percentage("Email", -5.0)]),
+            ),
+            // A baseline row with no perturbations at all.
+            ScenarioSpec::new("c", PerturbationSet::new(vec![])),
+        ];
+        let grid = specs_to_grid(9, &specs, true, Some(4));
+        assert_eq!(grid.n_scenarios, 3);
+        assert_eq!(grid.columns.len(), 2);
+        let back = grid_to_specs(&grid).unwrap();
+        assert_eq!(back, specs);
+    }
+
+    #[test]
+    fn contradictory_grids_are_bad_requests() {
+        let mut grid = specs_to_grid(
+            1,
+            &[ScenarioSpec::new(
+                "a",
+                PerturbationSet::new(vec![Perturbation::percentage("X", 1.0)]),
+            )],
+            false,
+            None,
+        );
+        grid.n_scenarios = 5; // columns still have 1 value
+        let err = grid_to_specs(&grid).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn auto_naming_kicks_in_when_names_are_omitted() {
+        let mut grid = specs_to_grid(
+            1,
+            &[
+                ScenarioSpec::new("x", PerturbationSet::new(vec![])),
+                ScenarioSpec::new("y", PerturbationSet::new(vec![])),
+            ],
+            false,
+            None,
+        );
+        grid.names.clear();
+        let specs = grid_to_specs(&grid).unwrap();
+        assert_eq!(specs[0].name, "s0");
+        assert_eq!(specs[1].name, "s1");
+    }
+}

@@ -1,0 +1,757 @@
+//! Columnar v3 payloads: what travels inside the frames.
+//!
+//! The v2 JSON encoding of a 100k-scenario grid repeats every driver
+//! name and field label 100k times. Here the same grid is a handful of
+//! *columns*: a name table holding each driver string once, and one
+//! contiguous `f64` column per perturbed driver (`u32` name-table
+//! index + kind byte + values). A `NaN` cell means "this driver is not
+//! perturbed in this scenario" — the natural sentinel, since a real
+//! perturbation magnitude is always finite.
+//!
+//! Outcomes stream back the same way: an [`OutcomeStreamHead`]
+//! announcing totals, then bounded [`OutcomeBlock`]s each carrying a
+//! contiguous KPI column (and ledger-id column when recording), then a
+//! [`StreamEnd`]. All `f64`s travel as raw IEEE-754 bits, so NaN
+//! payloads, signed zeros, and infinities round-trip bit-exactly —
+//! unlike JSON, which collapses them to `null`.
+//!
+//! Every `decode` here is bounds-checked and cross-validated (column
+//! lengths against the declared scenario count, name indices against
+//! the table); malformed payloads yield [`WireError::Corrupt`], never a
+//! panic.
+
+use crate::codec::{put_f64_column, put_str, put_u32, put_u64, put_u8, Reader};
+use crate::WireError;
+
+/// Opcode for a request/reply carrying an embedded JSON body — the
+/// universal fallback that lets every v1/v2 request type ride v3
+/// framing and compression.
+pub const OP_JSON: u8 = 1;
+/// Opcode for a columnar scenario grid (`EvaluateScenarios`).
+pub const OP_SCENARIOS: u8 = 2;
+/// Opcode for a CSV dataset load.
+pub const OP_LOAD_CSV: u8 = 3;
+/// Opcode for a sensitivity-grid comparison.
+pub const OP_COMPARISON: u8 = 4;
+
+/// How a driver column perturbs its driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PerturbKind {
+    /// Scale by `1 + value/100`.
+    Percentage = 0,
+    /// Add `value`.
+    Absolute = 1,
+}
+
+impl PerturbKind {
+    fn from_u8(v: u8) -> Result<PerturbKind, WireError> {
+        match v {
+            0 => Ok(PerturbKind::Percentage),
+            1 => Ok(PerturbKind::Absolute),
+            other => Err(WireError::corrupt(format!(
+                "unknown perturbation kind byte {other:#04x}"
+            ))),
+        }
+    }
+}
+
+/// One perturbed driver across every scenario in a grid: a name, a
+/// kind, and one `f64` per scenario (`NaN` = untouched in that
+/// scenario).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverColumn {
+    /// Driver name (stored once in the grid's name table).
+    pub name: String,
+    /// How the values apply.
+    pub kind: PerturbKind,
+    /// One magnitude per scenario; `NaN` cells leave the driver alone.
+    pub values: Vec<f64>,
+}
+
+/// A columnar `EvaluateScenarios` request: `n_scenarios` rows described
+/// by driver columns instead of N per-scenario objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGridRequest {
+    /// Session id.
+    pub session: u64,
+    /// Number of scenarios (rows) in the grid.
+    pub n_scenarios: u32,
+    /// Record outcomes in the scenario ledger.
+    pub record: bool,
+    /// Worker threads; 0 = server default.
+    pub n_threads: u32,
+    /// Per-scenario names. Empty = server auto-names rows `s0..sN`;
+    /// otherwise must hold exactly `n_scenarios` entries.
+    pub names: Vec<String>,
+    /// The perturbed drivers. The same driver may appear twice with
+    /// different kinds.
+    pub columns: Vec<DriverColumn>,
+}
+
+/// A columnar `ComparisonView` request (sensitivity grid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRequest {
+    /// Session id.
+    pub session: u64,
+    /// Percentage sweep applied to every driver.
+    pub percentages: Vec<f64>,
+}
+
+/// Body of a v3 request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// An embedded v2 JSON request body — the fallback opcode.
+    Json(String),
+    /// Columnar scenario grid.
+    Scenarios(ScenarioGridRequest),
+    /// CSV dataset load (big payloads benefit most from frame
+    /// compression).
+    LoadCsv {
+        /// CSV content with a header row.
+        csv: String,
+    },
+    /// Sensitivity-grid comparison.
+    Comparison(ComparisonRequest),
+}
+
+/// A v3 request: correlation id + body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen id echoed on every frame of the reply.
+    pub id: u64,
+    /// The request itself.
+    pub body: RequestBody,
+}
+
+impl WireRequest {
+    /// Serialize to a request-frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.id);
+        match &self.body {
+            RequestBody::Json(json) => {
+                put_u8(&mut out, OP_JSON);
+                put_str(&mut out, json);
+            }
+            RequestBody::Scenarios(grid) => {
+                put_u8(&mut out, OP_SCENARIOS);
+                put_u64(&mut out, grid.session);
+                put_u8(&mut out, u8::from(grid.record));
+                put_u32(&mut out, grid.n_threads);
+                put_u32(&mut out, grid.n_scenarios);
+                put_u32(&mut out, grid.names.len() as u32);
+                for name in &grid.names {
+                    put_str(&mut out, name);
+                }
+                // Name table: each driver string once, columns point at
+                // it by index.
+                let mut table: Vec<&str> = Vec::new();
+                for col in &grid.columns {
+                    if !table.contains(&col.name.as_str()) {
+                        table.push(&col.name);
+                    }
+                }
+                put_u32(&mut out, table.len() as u32);
+                for name in &table {
+                    put_str(&mut out, name);
+                }
+                put_u32(&mut out, grid.columns.len() as u32);
+                for col in &grid.columns {
+                    let idx = table
+                        .iter()
+                        .position(|n| *n == col.name)
+                        .expect("every column name was just added to the table");
+                    put_u32(&mut out, idx as u32);
+                    put_u8(&mut out, col.kind as u8);
+                    put_f64_column(&mut out, &col.values);
+                }
+            }
+            RequestBody::LoadCsv { csv } => {
+                put_u8(&mut out, OP_LOAD_CSV);
+                put_str(&mut out, csv);
+            }
+            RequestBody::Comparison(cmp) => {
+                put_u8(&mut out, OP_COMPARISON);
+                put_u64(&mut out, cmp.session);
+                put_f64_column(&mut out, &cmp.percentages);
+            }
+        }
+        out
+    }
+
+    /// Parse a request-frame payload.
+    ///
+    /// # Errors
+    /// [`WireError::Corrupt`] on any malformed payload: unknown opcode,
+    /// short reads, column lengths that contradict the declared
+    /// scenario count, or name-table indices out of range.
+    pub fn decode(payload: &[u8]) -> Result<WireRequest, WireError> {
+        let mut r = Reader::new(payload);
+        let id = r.u64("request id")?;
+        let opcode = r.u8("request opcode")?;
+        let body = match opcode {
+            OP_JSON => RequestBody::Json(r.str("embedded json request")?),
+            OP_SCENARIOS => {
+                let session = r.u64("session id")?;
+                let record = r.u8("record flag")? != 0;
+                let n_threads = r.u32("thread count")?;
+                let n_scenarios = r.u32("scenario count")?;
+                let n_names = r.checked_count(5, "scenario name count")?;
+                if n_names != 0 && n_names != n_scenarios as usize {
+                    return Err(WireError::corrupt(format!(
+                        "{n_names} scenario names for {n_scenarios} scenarios"
+                    )));
+                }
+                let mut names = Vec::with_capacity(n_names);
+                for _ in 0..n_names {
+                    names.push(r.str("scenario name")?);
+                }
+                let n_table = r.checked_count(5, "name table size")?;
+                let mut table = Vec::with_capacity(n_table);
+                for _ in 0..n_table {
+                    table.push(r.str("name table entry")?);
+                }
+                let n_cols = r.checked_count(13, "driver column count")?;
+                let mut columns = Vec::with_capacity(n_cols);
+                for _ in 0..n_cols {
+                    let idx = r.u32("driver name index")? as usize;
+                    let name = table
+                        .get(idx)
+                        .ok_or_else(|| {
+                            WireError::corrupt(format!(
+                                "driver name index {idx} outside table of {n_table}"
+                            ))
+                        })?
+                        .clone();
+                    let kind = PerturbKind::from_u8(r.u8("perturbation kind")?)?;
+                    let values = r.f64_column("driver column")?;
+                    if values.len() != n_scenarios as usize {
+                        return Err(WireError::corrupt(format!(
+                            "driver column '{name}' has {} values for {n_scenarios} scenarios",
+                            values.len()
+                        )));
+                    }
+                    columns.push(DriverColumn { name, kind, values });
+                }
+                RequestBody::Scenarios(ScenarioGridRequest {
+                    session,
+                    n_scenarios,
+                    record,
+                    n_threads,
+                    names,
+                    columns,
+                })
+            }
+            OP_LOAD_CSV => RequestBody::LoadCsv {
+                csv: r.str("csv body")?,
+            },
+            OP_COMPARISON => {
+                let session = r.u64("session id")?;
+                let percentages = r.f64_column("percentage sweep")?;
+                RequestBody::Comparison(ComparisonRequest {
+                    session,
+                    percentages,
+                })
+            }
+            other => {
+                return Err(WireError::corrupt(format!(
+                    "unknown request opcode {other:#04x}"
+                )))
+            }
+        };
+        r.expect_end()?;
+        Ok(WireRequest { id, body })
+    }
+}
+
+/// A columnar comparison reply: one shared percentage column plus one
+/// KPI column per driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonReply {
+    /// The sweep every curve was evaluated on.
+    pub percentages: Vec<f64>,
+    /// Driver names, aligned with `kpi_columns`.
+    pub drivers: Vec<String>,
+    /// One KPI column per driver, each `percentages.len()` long.
+    pub kpi_columns: Vec<Vec<f64>>,
+}
+
+/// Body of a v3 reply frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyBody {
+    /// An embedded v2 JSON reply — the fallback opcode.
+    Json(String),
+    /// Columnar comparison curves.
+    Comparison(ComparisonReply),
+}
+
+/// A v3 non-streamed reply: correlation id + body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReply {
+    /// The request's id, echoed.
+    pub id: u64,
+    /// The reply itself.
+    pub body: ReplyBody,
+}
+
+impl WireReply {
+    /// Serialize to a reply-frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.id);
+        match &self.body {
+            ReplyBody::Json(json) => {
+                put_u8(&mut out, OP_JSON);
+                put_str(&mut out, json);
+            }
+            ReplyBody::Comparison(cmp) => {
+                put_u8(&mut out, OP_COMPARISON);
+                put_f64_column(&mut out, &cmp.percentages);
+                put_u32(&mut out, cmp.drivers.len() as u32);
+                for (driver, column) in cmp.drivers.iter().zip(&cmp.kpi_columns) {
+                    put_str(&mut out, driver);
+                    put_f64_column(&mut out, column);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse a reply-frame payload.
+    ///
+    /// # Errors
+    /// [`WireError::Corrupt`] on malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<WireReply, WireError> {
+        let mut r = Reader::new(payload);
+        let id = r.u64("reply id")?;
+        let opcode = r.u8("reply opcode")?;
+        let body = match opcode {
+            OP_JSON => ReplyBody::Json(r.str("embedded json reply")?),
+            OP_COMPARISON => {
+                let percentages = r.f64_column("percentage sweep")?;
+                let n = r.checked_count(9, "curve count")?;
+                let mut drivers = Vec::with_capacity(n);
+                let mut kpi_columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    drivers.push(r.str("driver name")?);
+                    let column = r.f64_column("kpi column")?;
+                    if column.len() != percentages.len() {
+                        return Err(WireError::corrupt(format!(
+                            "kpi column has {} values for {} percentages",
+                            column.len(),
+                            percentages.len()
+                        )));
+                    }
+                    kpi_columns.push(column);
+                }
+                ReplyBody::Comparison(ComparisonReply {
+                    percentages,
+                    drivers,
+                    kpi_columns,
+                })
+            }
+            other => {
+                return Err(WireError::corrupt(format!(
+                    "unknown reply opcode {other:#04x}"
+                )))
+            }
+        };
+        r.expect_end()?;
+        Ok(WireReply { id, body })
+    }
+}
+
+/// A typed error reply (payload of a `FrameType::Error` frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// The request's id, echoed; 0 when the failure predates decoding
+    /// an id (e.g. a skipped malformed frame).
+    pub id: u64,
+    /// The stable `ErrorCode` wire form (e.g. `"BadRequest"`).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ErrorReply {
+    /// Serialize to an error-frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.id);
+        put_str(&mut out, &self.code);
+        put_str(&mut out, &self.message);
+        out
+    }
+
+    /// Parse an error-frame payload.
+    ///
+    /// # Errors
+    /// [`WireError::Corrupt`] on malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<ErrorReply, WireError> {
+        let mut r = Reader::new(payload);
+        let reply = ErrorReply {
+            id: r.u64("error id")?,
+            code: r.str("error code")?,
+            message: r.str("error message")?,
+        };
+        r.expect_end()?;
+        Ok(reply)
+    }
+}
+
+/// Opens a streamed scenario reply (payload of a `StreamHead` frame).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeStreamHead {
+    /// The request's id, echoed on every frame of this stream.
+    pub id: u64,
+    /// Total outcome rows the stream will deliver.
+    pub total: u64,
+    /// KPI on the unperturbed data (shared by every row).
+    pub baseline_kpi: f64,
+    /// Whether blocks carry a ledger-id column.
+    pub recorded: bool,
+}
+
+impl OutcomeStreamHead {
+    /// Serialize to a stream-head payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.id);
+        put_u64(&mut out, self.total);
+        crate::codec::put_f64(&mut out, self.baseline_kpi);
+        put_u8(&mut out, u8::from(self.recorded));
+        out
+    }
+
+    /// Parse a stream-head payload.
+    ///
+    /// # Errors
+    /// [`WireError::Corrupt`] on malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<OutcomeStreamHead, WireError> {
+        let mut r = Reader::new(payload);
+        let head = OutcomeStreamHead {
+            id: r.u64("stream id")?,
+            total: r.u64("stream total")?,
+            baseline_kpi: r.f64("baseline kpi")?,
+            recorded: r.u8("recorded flag")? != 0,
+        };
+        r.expect_end()?;
+        Ok(head)
+    }
+}
+
+/// One bounded block of a streamed reply: a contiguous KPI column for
+/// rows `start .. start + kpi.len()`, plus the matching ledger-id
+/// column when the request recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeBlock {
+    /// The request's id, echoed.
+    pub id: u64,
+    /// Row offset of this block within the stream.
+    pub start: u64,
+    /// KPI per scenario row, in input order.
+    pub kpi: Vec<f64>,
+    /// Ledger ids aligned with `kpi`; empty unless the stream head said
+    /// `recorded`.
+    pub recorded_ids: Vec<u64>,
+}
+
+impl OutcomeBlock {
+    /// Serialize to a stream-block payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.id);
+        put_u64(&mut out, self.start);
+        put_u8(&mut out, u8::from(!self.recorded_ids.is_empty()));
+        put_f64_column(&mut out, &self.kpi);
+        if !self.recorded_ids.is_empty() {
+            put_u32(&mut out, self.recorded_ids.len() as u32);
+            for &rid in &self.recorded_ids {
+                put_u64(&mut out, rid);
+            }
+        }
+        out
+    }
+
+    /// Parse a stream-block payload.
+    ///
+    /// # Errors
+    /// [`WireError::Corrupt`] on malformed payloads, including a
+    /// ledger-id column whose length contradicts the KPI column.
+    pub fn decode(payload: &[u8]) -> Result<OutcomeBlock, WireError> {
+        let mut r = Reader::new(payload);
+        let id = r.u64("block id")?;
+        let start = r.u64("block start")?;
+        let has_ids = r.u8("ledger-id flag")? != 0;
+        let kpi = r.f64_column("kpi column")?;
+        let recorded_ids = if has_ids {
+            let n = r.checked_count(8, "ledger-id column")?;
+            if n != kpi.len() {
+                return Err(WireError::corrupt(format!(
+                    "{n} ledger ids for {} kpi values",
+                    kpi.len()
+                )));
+            }
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(r.u64("ledger id")?);
+            }
+            ids
+        } else {
+            Vec::new()
+        };
+        r.expect_end()?;
+        Ok(OutcomeBlock {
+            id,
+            start,
+            kpi,
+            recorded_ids,
+        })
+    }
+}
+
+/// Closes a streamed reply (payload of a `StreamEnd` frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamEnd {
+    /// The request's id, echoed.
+    pub id: u64,
+    /// How many `StreamBlock` frames preceded this end marker, so
+    /// clients can detect a dropped block.
+    pub blocks: u32,
+}
+
+impl StreamEnd {
+    /// Serialize to a stream-end payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.id);
+        put_u32(&mut out, self.blocks);
+        out
+    }
+
+    /// Parse a stream-end payload.
+    ///
+    /// # Errors
+    /// [`WireError::Corrupt`] on malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<StreamEnd, WireError> {
+        let mut r = Reader::new(payload);
+        let end = StreamEnd {
+            id: r.u64("stream-end id")?,
+            blocks: r.u32("stream-end block count")?,
+        };
+        r.expect_end()?;
+        Ok(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_grid() -> ScenarioGridRequest {
+        ScenarioGridRequest {
+            session: 7,
+            n_scenarios: 4,
+            record: true,
+            n_threads: 8,
+            names: vec![],
+            columns: vec![
+                DriverColumn {
+                    name: "Open Marketing Email".into(),
+                    kind: PerturbKind::Percentage,
+                    values: vec![10.0, f64::NAN, -5.0, 0.0],
+                },
+                DriverColumn {
+                    name: "Call".into(),
+                    kind: PerturbKind::Absolute,
+                    values: vec![f64::NAN, 2.5, f64::NAN, -0.0],
+                },
+                // Same driver, different kind: legal.
+                DriverColumn {
+                    name: "Call".into(),
+                    kind: PerturbKind::Percentage,
+                    values: vec![f64::NAN, f64::NAN, 12.0, f64::NAN],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn scenario_grid_round_trips_with_nan_and_signed_zero() {
+        let req = WireRequest {
+            id: 99,
+            body: RequestBody::Scenarios(sample_grid()),
+        };
+        let back = WireRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.id, 99);
+        let RequestBody::Scenarios(grid) = back.body else {
+            panic!("wrong body");
+        };
+        let orig = sample_grid();
+        assert_eq!(grid.session, orig.session);
+        assert_eq!(grid.record, orig.record);
+        assert_eq!(grid.columns.len(), orig.columns.len());
+        for (a, b) in grid.columns.iter().zip(&orig.columns) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            let a_bits: Vec<u64> = a.values.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = b.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "column {} must be bit-exact", a.name);
+        }
+    }
+
+    #[test]
+    fn name_table_stores_each_driver_once() {
+        let req = WireRequest {
+            id: 1,
+            body: RequestBody::Scenarios(sample_grid()),
+        };
+        let bytes = req.encode();
+        // "Call" appears in two columns but must be encoded once.
+        let needle = b"Call";
+        let count = bytes.windows(needle.len()).filter(|w| w == needle).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn json_loadcsv_and_comparison_bodies_round_trip() {
+        for body in [
+            RequestBody::Json(r#"{"ListUseCases":null}"#.into()),
+            RequestBody::LoadCsv {
+                csv: "a,b\n1,2\n".into(),
+            },
+            RequestBody::Comparison(ComparisonRequest {
+                session: 3,
+                percentages: vec![-50.0, 0.0, 50.0],
+            }),
+        ] {
+            let req = WireRequest { id: 5, body };
+            assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let reply = WireReply {
+            id: 11,
+            body: ReplyBody::Comparison(ComparisonReply {
+                percentages: vec![-10.0, 0.0, 10.0],
+                drivers: vec!["Call".into(), "Email".into()],
+                kpi_columns: vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]],
+            }),
+        };
+        assert_eq!(WireReply::decode(&reply.encode()).unwrap(), reply);
+        let reply = WireReply {
+            id: 12,
+            body: ReplyBody::Json("{\"ok\":true}".into()),
+        };
+        assert_eq!(WireReply::decode(&reply.encode()).unwrap(), reply);
+    }
+
+    #[test]
+    fn stream_frames_round_trip() {
+        let head = OutcomeStreamHead {
+            id: 4,
+            total: 100_000,
+            baseline_kpi: 0.4231,
+            recorded: true,
+        };
+        assert_eq!(OutcomeStreamHead::decode(&head.encode()).unwrap(), head);
+
+        let block = OutcomeBlock {
+            id: 4,
+            start: 8192,
+            kpi: vec![0.1, f64::NEG_INFINITY, f64::NAN],
+            recorded_ids: vec![100, 101, 102],
+        };
+        let back = OutcomeBlock::decode(&block.encode()).unwrap();
+        assert_eq!(back.id, 4);
+        assert_eq!(back.start, 8192);
+        assert_eq!(back.recorded_ids, block.recorded_ids);
+        let bits: Vec<u64> = back.kpi.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = block.kpi.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, want);
+
+        let end = StreamEnd { id: 4, blocks: 13 };
+        assert_eq!(StreamEnd::decode(&end.encode()).unwrap(), end);
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        let err = ErrorReply {
+            id: 9,
+            code: "BadRequest".into(),
+            message: "no such session".into(),
+        };
+        assert_eq!(ErrorReply::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn cross_field_contradictions_are_corrupt() {
+        // Column length != scenario count.
+        let mut grid = sample_grid();
+        grid.columns[0].values.pop();
+        let bytes = WireRequest {
+            id: 1,
+            body: RequestBody::Scenarios(grid),
+        }
+        .encode();
+        assert!(WireRequest::decode(&bytes).is_err());
+
+        // Name count != scenario count.
+        let mut grid = sample_grid();
+        grid.names = vec!["only-one".into()];
+        let bytes = WireRequest {
+            id: 1,
+            body: RequestBody::Scenarios(grid),
+        }
+        .encode();
+        assert!(WireRequest::decode(&bytes).is_err());
+
+        // Ledger ids != kpi length.
+        let block = OutcomeBlock {
+            id: 1,
+            start: 0,
+            kpi: vec![1.0, 2.0],
+            recorded_ids: vec![7],
+        };
+        assert!(OutcomeBlock::decode(&block.encode()).is_err());
+
+        // Unknown opcode.
+        let mut bytes = WireRequest {
+            id: 1,
+            body: RequestBody::Json("{}".into()),
+        }
+        .encode();
+        bytes[8] = 0xEE;
+        assert!(WireRequest::decode(&bytes).is_err());
+
+        // Trailing garbage.
+        let mut bytes = WireRequest {
+            id: 1,
+            body: RequestBody::Json("{}".into()),
+        }
+        .encode();
+        bytes.push(0);
+        assert!(WireRequest::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let req = WireRequest {
+            id: 2,
+            body: RequestBody::Scenarios(sample_grid()),
+        };
+        let bytes = req.encode();
+        for cut in 0..bytes.len() {
+            assert!(WireRequest::decode(&bytes[..cut]).is_err());
+        }
+    }
+}

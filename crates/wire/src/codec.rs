@@ -1,0 +1,213 @@
+//! Bounds-checked little-endian primitives shared by the frame header
+//! and block encodings. Writers append to a `Vec<u8>`; the [`Reader`]
+//! never panics on short or malformed input — every overrun is a typed
+//! [`WireError::Corrupt`].
+
+use crate::WireError;
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a `u32`, little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64`, little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its IEEE-754 bits, little-endian — NaN payloads,
+/// signed zeros, and infinities survive bit-exactly (unlike JSON, which
+/// collapses them all to `null`).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string (`u32` length + bytes).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a contiguous `f64` column (count + raw bits).
+pub fn put_f64_column(out: &mut Vec<u8>, column: &[f64]) {
+    put_u32(out, column.len() as u32);
+    out.reserve(column.len() * 8);
+    for &v in column {
+        put_f64(out, v);
+    }
+}
+
+/// A cursor over a decoded payload. All reads are bounds-checked; a
+/// short buffer yields [`WireError::Corrupt`], never a panic.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Fail unless the payload was consumed exactly — trailing garbage
+    /// in a frame is corruption, not slack.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::corrupt(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::corrupt(format!(
+                "need {n} bytes for {what}, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an `f64` from its IEEE-754 bits.
+    pub fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.checked_len(what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::corrupt(format!("{what} is not valid UTF-8")))
+    }
+
+    /// Read a contiguous `f64` column (count + raw bits).
+    pub fn f64_column(&mut self, what: &str) -> Result<Vec<f64>, WireError> {
+        let n = self.checked_count(8, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Read a `u32` length and sanity-check it against the bytes that
+    /// are actually left, so a corrupt length can never trigger a huge
+    /// allocation.
+    pub fn checked_len(&mut self, what: &str) -> Result<usize, WireError> {
+        let len = self.u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(WireError::corrupt(format!(
+                "{what} declares {len} bytes but only {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Read a `u32` element count for elements of `elem_size` bytes,
+    /// checked against the remaining payload.
+    pub fn checked_count(&mut self, elem_size: usize, what: &str) -> Result<usize, WireError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(elem_size) > self.remaining() {
+            return Err(WireError::corrupt(format!(
+                "{what} declares {n} elements ({elem_size} B each) but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.0);
+        put_str(&mut buf, "héllo");
+        put_f64_column(&mut buf, &[1.5, f64::NAN, f64::INFINITY]);
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64("d").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str("e").unwrap(), "héllo");
+        let col = r.f64_column("f").unwrap();
+        assert_eq!(col[0], 1.5);
+        assert!(col[1].is_nan());
+        assert_eq!(col[2], f64::INFINITY);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn short_reads_error_instead_of_panicking() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.u32("x").is_err());
+        let mut r = Reader::new(&[]);
+        assert!(r.u8("x").is_err());
+        assert!(Reader::new(&[0xFF; 4]).expect_end().is_err());
+    }
+
+    #[test]
+    fn huge_declared_lengths_are_rejected_before_allocating() {
+        // A string claiming 4 GiB with 0 bytes behind it.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(Reader::new(&buf).str("s").is_err());
+        // A column claiming u32::MAX elements.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(Reader::new(&buf).f64_column("c").is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Reader::new(&buf).str("s").is_err());
+    }
+}

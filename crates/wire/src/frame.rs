@@ -1,0 +1,582 @@
+//! v3 framing: a fixed 24-byte header followed by the payload.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        B3 57 49 52   ("³WIR"; 0xB3 is never the
+//!                                           first byte of JSON, so one
+//!                                           peeked byte routes a
+//!                                           connection to v3 or v1/v2)
+//!      4     1  version      3
+//!      5     1  frame type   Request/Reply/StreamHead/StreamBlock/
+//!                            StreamEnd/Error
+//!      6     1  flags        reserved, 0
+//!      7     1  compression  0 = None, 1 = Lz4Like
+//!      8     4  payload_len  u32 LE — bytes on the wire
+//!     12     4  raw_len      u32 LE — bytes after decompression
+//!     16     8  checksum     u64 LE — FNV-1a 64 of the on-wire payload
+//! ```
+//!
+//! The reader ([`read_event`]) is built to keep connections alive:
+//! every malformed-frame condition (bad magic, wrong version, unknown
+//! type, oversized declaration, checksum mismatch, failed
+//! decompression) is reported as a [`FrameEvent::Skipped`] with the
+//! stream realigned on the next frame boundary — oversized payloads are
+//! discarded in bounded chunks, never buffered. Only a mid-frame EOF or
+//! a transport error is fatal.
+
+use std::io::{BufRead, Write};
+
+use crate::{fnv1a64, lz4, WireError, MAX_FRAME_BYTES};
+
+/// The four magic bytes opening every v3 frame. `0xB3` mnemonically
+/// "binary, version 3", and crucially not `{`, `[`, a digit, or
+/// whitespace — no JSON line starts with it.
+pub const WIRE_MAGIC: [u8; 4] = [0xB3, b'W', b'I', b'R'];
+
+/// The protocol version this crate speaks.
+pub const WIRE_VERSION: u8 = 3;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client → server request.
+    Request = 1,
+    /// Server → client complete reply.
+    Reply = 2,
+    /// Server → client: a streamed reply begins (totals + baseline).
+    StreamHead = 3,
+    /// Server → client: one bounded block of a streamed reply.
+    StreamBlock = 4,
+    /// Server → client: the streamed reply is complete.
+    StreamEnd = 5,
+    /// Server → client typed error.
+    Error = 6,
+}
+
+impl FrameType {
+    fn from_u8(v: u8) -> Result<FrameType, WireError> {
+        Ok(match v {
+            1 => FrameType::Request,
+            2 => FrameType::Reply,
+            3 => FrameType::StreamHead,
+            4 => FrameType::StreamBlock,
+            5 => FrameType::StreamEnd,
+            6 => FrameType::Error,
+            other => return Err(WireError::UnknownFrameType(other)),
+        })
+    }
+}
+
+/// Per-frame payload compression, named by the header's byte 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Compression {
+    /// Payload shipped as-is.
+    None = 0,
+    /// Payload packed by [`crate::lz4`].
+    Lz4Like = 1,
+}
+
+impl Compression {
+    fn from_u8(v: u8) -> Result<Compression, WireError> {
+        Ok(match v {
+            0 => Compression::None,
+            1 => Compression::Lz4Like,
+            other => return Err(WireError::UnknownCompression(other)),
+        })
+    }
+}
+
+/// A decoded frame: type plus the *decompressed* payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload is.
+    pub frame_type: FrameType,
+    /// How the payload travelled (informational; it is already
+    /// decompressed here).
+    pub compression: Compression,
+    /// The decompressed payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// One read from a v3 stream.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete, checksum-verified frame.
+    Frame(Frame),
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    /// A malformed frame was skipped; the stream is realigned and the
+    /// connection remains usable. `skipped` counts discarded bytes.
+    Skipped {
+        /// Why the bytes were discarded.
+        error: WireError,
+        /// How many bytes were discarded.
+        skipped: u64,
+    },
+}
+
+/// Serialize one frame to `out`, compressing the payload when
+/// `prefer` asks for it *and* compression actually wins (otherwise the
+/// frame silently ships uncompressed — the compression byte records
+/// what happened).
+///
+/// # Errors
+/// [`WireError::Oversized`] if the payload exceeds [`MAX_FRAME_BYTES`].
+pub fn encode_frame(
+    frame_type: FrameType,
+    payload: &[u8],
+    prefer: Compression,
+) -> Result<Vec<u8>, WireError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized {
+            declared: payload.len() as u64,
+            limit: MAX_FRAME_BYTES,
+        });
+    }
+    let packed;
+    let (wire_payload, compression): (&[u8], Compression) = match prefer {
+        Compression::None => (payload, Compression::None),
+        Compression::Lz4Like => {
+            packed = lz4::compress(payload);
+            if packed.len() < payload.len() {
+                (&packed, Compression::Lz4Like)
+            } else {
+                (payload, Compression::None)
+            }
+        }
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + wire_payload.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(frame_type as u8);
+    out.push(0); // flags, reserved
+    out.push(compression as u8);
+    out.extend_from_slice(&(wire_payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(wire_payload).to_le_bytes());
+    out.extend_from_slice(wire_payload);
+    Ok(out)
+}
+
+/// [`encode_frame`] straight onto a writer. Returns the number of bytes
+/// put on the wire (header included) so callers can meter traffic.
+///
+/// # Errors
+/// [`WireError::Oversized`] for a too-large payload, [`WireError::Io`]
+/// if the transport fails.
+pub fn write_frame(
+    w: &mut impl Write,
+    frame_type: FrameType,
+    payload: &[u8],
+    prefer: Compression,
+) -> Result<usize, WireError> {
+    let bytes = encode_frame(frame_type, payload, prefer)?;
+    w.write_all(&bytes)?;
+    Ok(bytes.len())
+}
+
+/// Read until a byte could plausibly start a frame, returning how many
+/// garbage bytes were discarded (`None` means EOF before any magic).
+fn resync(r: &mut impl BufRead) -> Result<Option<u64>, WireError> {
+    let mut skipped = 0u64;
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if skipped == 0 { None } else { Some(skipped) });
+        }
+        match buf.iter().position(|&b| b == WIRE_MAGIC[0]) {
+            Some(0) => return Ok(Some(skipped)),
+            Some(n) => {
+                r.consume(n);
+                skipped += n as u64;
+                return Ok(Some(skipped));
+            }
+            None => {
+                let n = buf.len();
+                r.consume(n);
+                skipped += n as u64;
+            }
+        }
+    }
+}
+
+/// Discard exactly `n` payload bytes in bounded chunks — an oversized
+/// frame is skipped without ever allocating its declared size.
+fn discard(r: &mut impl BufRead, mut n: u64) -> Result<(), WireError> {
+    while n > 0 {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Err(WireError::Truncated {
+                context: "discarding a skipped payload",
+            });
+        }
+        let take = (buf.len() as u64).min(n) as usize;
+        r.consume(take);
+        n -= take as u64;
+    }
+    Ok(())
+}
+
+fn read_exact_or_truncated(
+    r: &mut impl BufRead,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated { context }
+        } else {
+            WireError::Io(e)
+        }
+    })
+}
+
+/// Read the next event from a v3 stream.
+///
+/// Recovery rules, in the order they are checked:
+///
+/// * bytes before the magic are scanned past ([`FrameEvent::Skipped`]
+///   with [`WireError::BadMagic`]) — resynchronization is best-effort:
+///   it keys on the first magic byte, so garbage containing `0xB3` may
+///   cost one more skipped-frame round before realigning;
+/// * a valid-magic header with a wrong version, unknown frame type,
+///   unknown compression byte, or an oversized declared length has its
+///   declared payload discarded in bounded chunks and is reported as
+///   `Skipped`;
+/// * a checksum mismatch or a payload that fails to decompress consumed
+///   exactly its frame, so it too is `Skipped` and the stream stays
+///   aligned.
+///
+/// # Errors
+/// Only fatal conditions: [`WireError::Truncated`] when the stream ends
+/// mid-frame, [`WireError::Io`] when the transport fails.
+pub fn read_event(r: &mut impl BufRead) -> Result<FrameEvent, WireError> {
+    // Align on a plausible frame start.
+    match resync(r)? {
+        None => return Ok(FrameEvent::Eof),
+        Some(0) => {}
+        Some(skipped) => {
+            // Report the resync as its own event; the caller decides
+            // whether to answer with a typed error before reading on.
+            return Ok(FrameEvent::Skipped {
+                error: WireError::BadMagic,
+                skipped,
+            });
+        }
+    }
+
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or_truncated(r, &mut header, "reading a frame header")?;
+
+    if header[..4] != WIRE_MAGIC {
+        // First byte matched but the rest did not: plain garbage that
+        // happened to contain 0xB3. The header bytes are gone; the next
+        // call resyncs on the following magic byte.
+        return Ok(FrameEvent::Skipped {
+            error: WireError::BadMagic,
+            skipped: HEADER_LEN as u64,
+        });
+    }
+
+    let payload_len = u64::from(u32::from_le_bytes([
+        header[8], header[9], header[10], header[11],
+    ]));
+    let raw_len = u64::from(u32::from_le_bytes([
+        header[12], header[13], header[14], header[15],
+    ]));
+    let declared_checksum = u64::from_le_bytes([
+        header[16], header[17], header[18], header[19], header[20], header[21], header[22],
+        header[23],
+    ]);
+
+    // Header-level rejections: the magic was real, so trust payload_len
+    // enough to discard exactly that many bytes and stay aligned.
+    let header_error = if header[4] != WIRE_VERSION {
+        Some(WireError::BadVersion(header[4]))
+    } else if payload_len > MAX_FRAME_BYTES as u64 || raw_len > MAX_FRAME_BYTES as u64 {
+        Some(WireError::Oversized {
+            declared: payload_len.max(raw_len),
+            limit: MAX_FRAME_BYTES,
+        })
+    } else {
+        match (
+            FrameType::from_u8(header[5]),
+            Compression::from_u8(header[7]),
+        ) {
+            (Err(e), _) | (_, Err(e)) => Some(e),
+            (Ok(_), Ok(_)) => None,
+        }
+    };
+    if let Some(error) = header_error {
+        discard(r, payload_len)?;
+        return Ok(FrameEvent::Skipped {
+            error,
+            skipped: HEADER_LEN as u64 + payload_len,
+        });
+    }
+    let frame_type = FrameType::from_u8(header[5]).expect("validated above");
+    let compression = Compression::from_u8(header[7]).expect("validated above");
+
+    let mut wire_payload = vec![0u8; payload_len as usize];
+    read_exact_or_truncated(r, &mut wire_payload, "reading a frame payload")?;
+
+    // From here on the frame is fully consumed: every failure is
+    // recoverable and costs exactly this frame.
+    let skipped = HEADER_LEN as u64 + payload_len;
+    if fnv1a64(&wire_payload) != declared_checksum {
+        return Ok(FrameEvent::Skipped {
+            error: WireError::BadChecksum,
+            skipped,
+        });
+    }
+    let payload = match compression {
+        Compression::None => {
+            if raw_len != payload_len {
+                return Ok(FrameEvent::Skipped {
+                    error: WireError::corrupt(format!(
+                        "uncompressed frame declares raw_len {raw_len} != payload_len {payload_len}"
+                    )),
+                    skipped,
+                });
+            }
+            wire_payload
+        }
+        Compression::Lz4Like => match lz4::decompress(&wire_payload, raw_len as usize) {
+            Ok(raw) => raw,
+            Err(error) => return Ok(FrameEvent::Skipped { error, skipped }),
+        },
+    };
+
+    Ok(FrameEvent::Frame(Frame {
+        frame_type,
+        compression,
+        payload,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(bytes: &[u8]) -> Vec<FrameEvent> {
+        let mut r = Cursor::new(bytes);
+        let mut events = Vec::new();
+        loop {
+            match read_event(&mut r).expect("no fatal error expected") {
+                FrameEvent::Eof => return events,
+                ev => events.push(ev),
+            }
+        }
+    }
+
+    fn expect_frame(ev: &FrameEvent) -> &Frame {
+        match ev {
+            FrameEvent::Frame(f) => f,
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_all_types() {
+        for ft in [
+            FrameType::Request,
+            FrameType::Reply,
+            FrameType::StreamHead,
+            FrameType::StreamBlock,
+            FrameType::StreamEnd,
+            FrameType::Error,
+        ] {
+            let payload = format!("payload for {ft:?}").into_bytes();
+            let bytes = encode_frame(ft, &payload, Compression::None).unwrap();
+            let events = read_all(&bytes);
+            assert_eq!(events.len(), 1);
+            let f = expect_frame(&events[0]);
+            assert_eq!(f.frame_type, ft);
+            assert_eq!(f.payload, payload);
+        }
+    }
+
+    #[test]
+    fn compression_engages_only_when_it_wins() {
+        let compressible = b"scenario scenario scenario scenario ".repeat(100);
+        let bytes = encode_frame(FrameType::Reply, &compressible, Compression::Lz4Like).unwrap();
+        assert!(bytes.len() < compressible.len() / 2);
+        let events = read_all(&bytes);
+        let f = expect_frame(&events[0]);
+        assert_eq!(f.compression, Compression::Lz4Like);
+        assert_eq!(f.payload, compressible);
+
+        // 9 bytes cannot shrink: ships as None even though we asked.
+        let tiny = b"tiny data";
+        let bytes = encode_frame(FrameType::Reply, tiny, Compression::Lz4Like).unwrap();
+        let events = read_all(&bytes);
+        let f = expect_frame(&events[0]);
+        assert_eq!(f.compression, Compression::None);
+        assert_eq!(f.payload, tiny);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bytes = encode_frame(FrameType::StreamEnd, b"", Compression::Lz4Like).unwrap();
+        let events = read_all(&bytes);
+        assert!(expect_frame(&events[0]).payload.is_empty());
+    }
+
+    #[test]
+    fn leading_garbage_is_skipped_then_the_frame_parses() {
+        let mut bytes = b"this is not a frame at all\n".to_vec();
+        let frame = encode_frame(FrameType::Request, b"hello", Compression::None).unwrap();
+        bytes.extend_from_slice(&frame);
+        let events = read_all(&bytes);
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            FrameEvent::Skipped {
+                error: WireError::BadMagic,
+                skipped,
+            } => assert_eq!(*skipped, 27),
+            other => panic!("expected a BadMagic skip, got {other:?}"),
+        }
+        assert_eq!(expect_frame(&events[1]).payload, b"hello");
+    }
+
+    #[test]
+    fn corrupted_checksum_skips_exactly_one_frame() {
+        let mut bytes = encode_frame(FrameType::Request, b"first", Compression::None).unwrap();
+        let flip_at = bytes.len() - 3; // inside the first payload
+        bytes[flip_at] ^= 0xFF;
+        bytes.extend(encode_frame(FrameType::Request, b"second", Compression::None).unwrap());
+        let events = read_all(&bytes);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            FrameEvent::Skipped {
+                error: WireError::BadChecksum,
+                ..
+            }
+        ));
+        assert_eq!(expect_frame(&events[1]).payload, b"second");
+    }
+
+    #[test]
+    fn wrong_version_discards_its_payload_and_stays_aligned() {
+        let mut bad = encode_frame(FrameType::Request, b"future stuff", Compression::None).unwrap();
+        bad[4] = 9; // version
+                    // checksum still matches the payload, but version gates first
+        let mut bytes = bad;
+        bytes.extend(encode_frame(FrameType::Request, b"present", Compression::None).unwrap());
+        let events = read_all(&bytes);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            FrameEvent::Skipped {
+                error: WireError::BadVersion(9),
+                ..
+            }
+        ));
+        assert_eq!(expect_frame(&events[1]).payload, b"present");
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_on_write_and_skipped_on_read() {
+        let too_big = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(matches!(
+            encode_frame(FrameType::Reply, &too_big, Compression::None),
+            Err(WireError::Oversized { .. })
+        ));
+
+        // Hand-forge a header claiming 1 GiB, with only a small real
+        // payload behind it followed by a good frame. The reader must
+        // discard exactly the declared length... which is absent, so it
+        // truncates. Instead: declare oversized but follow with that
+        // many bytes is impractical — use a small declared-oversized
+        // frame whose payload we can actually supply: declare raw_len
+        // huge with a small payload_len.
+        let payload = b"x".repeat(100);
+        let mut frame = encode_frame(FrameType::Reply, &payload, Compression::None).unwrap();
+        frame[12..16].copy_from_slice(&u32::MAX.to_le_bytes()); // raw_len = 4 GiB - 1
+        let mut bytes = frame;
+        bytes.extend(encode_frame(FrameType::Request, b"after", Compression::None).unwrap());
+        let events = read_all(&bytes);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            FrameEvent::Skipped {
+                error: WireError::Oversized { .. },
+                ..
+            }
+        ));
+        assert_eq!(expect_frame(&events[1]).payload, b"after");
+    }
+
+    #[test]
+    fn unknown_frame_type_and_compression_are_skipped() {
+        for (byte_index, value) in [(5usize, 0x7Fu8), (7usize, 0x42u8)] {
+            let mut bad = encode_frame(FrameType::Reply, b"payload", Compression::None).unwrap();
+            bad[byte_index] = value;
+            let mut bytes = bad;
+            bytes.extend(encode_frame(FrameType::Request, b"ok", Compression::None).unwrap());
+            let events = read_all(&bytes);
+            assert_eq!(events.len(), 2);
+            assert!(matches!(events[0], FrameEvent::Skipped { .. }));
+            assert_eq!(expect_frame(&events[1]).payload, b"ok");
+        }
+    }
+
+    #[test]
+    fn truncation_is_fatal() {
+        let frame = encode_frame(FrameType::Request, b"some payload", Compression::None).unwrap();
+        // Mid-header.
+        let mut r = Cursor::new(&frame[..HEADER_LEN - 4]);
+        assert!(matches!(
+            read_event(&mut r),
+            Err(WireError::Truncated { .. })
+        ));
+        // Mid-payload.
+        let mut r = Cursor::new(&frame[..frame.len() - 2]);
+        assert!(matches!(
+            read_event(&mut r),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn compressed_frame_with_mangled_body_is_skipped_not_fatal() {
+        let data = b"abcabcabcabcabcabcabcabcabcabc".repeat(20);
+        let mut frame = encode_frame(FrameType::Reply, &data, Compression::Lz4Like).unwrap();
+        assert_eq!(frame[7], Compression::Lz4Like as u8);
+        // Mangle the compressed body and re-stamp the checksum so the
+        // failure happens at decompression, not checksum.
+        let body_start = HEADER_LEN;
+        frame[body_start] ^= 0xFF;
+        let new_sum = fnv1a64(&frame[body_start..]);
+        frame[16..24].copy_from_slice(&new_sum.to_le_bytes());
+        let mut bytes = frame;
+        bytes.extend(encode_frame(FrameType::Request, b"alive", Compression::None).unwrap());
+        let events = read_all(&bytes);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            FrameEvent::Skipped {
+                error: WireError::Corrupt(_),
+                ..
+            }
+        ));
+        assert_eq!(expect_frame(&events[1]).payload, b"alive");
+    }
+
+    #[test]
+    fn first_magic_byte_is_not_valid_json_start() {
+        assert_eq!(WIRE_MAGIC[0], 0xB3);
+        for json_start in [
+            b'{', b'[', b'"', b' ', b'\t', b'\n', b'-', b'0', b'9', b't', b'f',
+        ] {
+            assert_ne!(WIRE_MAGIC[0], json_start);
+        }
+    }
+}

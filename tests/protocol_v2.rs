@@ -1,11 +1,19 @@
-//! Integration tests for the v2 wire protocol: concurrent clients over
+//! Integration tests for the wire protocols: concurrent clients over
 //! real TCP, one-round-trip batch pipelines, v1 ↔ v2 compatibility on
-//! the same connection, and typed error codes end to end.
+//! the same connection, typed error codes end to end, and all three
+//! protocol generations (v1 bare lines, v2 envelopes, v3 binary
+//! frames) coexisting on one listener.
 
+use whatif::core::bulk::ScenarioSpec;
 use whatif::core::model_backend::ModelConfig;
 use whatif::core::perturbation::Perturbation;
-use whatif::core::ErrorCode;
-use whatif::server::{serve, Client, Envelope, Reply, Request, Response, UseCase, CURRENT_SESSION};
+use whatif::core::{ErrorCode, PerturbationSet};
+use whatif::server::{
+    serve, Client, Envelope, Reply, Request, Response, UseCase, V3Client, CURRENT_SESSION,
+};
+use whatif_wire::{
+    ErrorReply, FrameEvent, FrameType, ReplyBody, RequestBody, WireReply, WireRequest,
+};
 
 fn fast_config() -> ModelConfig {
     ModelConfig {
@@ -197,6 +205,244 @@ fn v1_and_v2_framings_coexist_on_one_connection() {
     ));
 
     client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+/// All three protocol generations on ONE listener: a v1 bare-line
+/// client, a v2 envelope client, and a v3 framed binary client
+/// interleave requests against the same session, and the v3 columnar
+/// scenario path returns bit-identical KPIs to the v2 JSON path.
+#[test]
+fn three_protocol_generations_coexist_on_one_listener() {
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+    let mut v1 = Client::connect(addr).unwrap();
+    let mut v2 = Client::connect(addr).unwrap();
+    let mut v3 = V3Client::connect(addr).unwrap();
+
+    // The v3 client opens the session (through the JSON-fallback
+    // opcode, so any v1/v2 request rides v3 framing)...
+    let reply = v3
+        .call_json(
+            1,
+            &Request::LoadUseCase {
+                use_case: UseCase::DealClosing,
+                n_rows: Some(160),
+                seed: Some(7),
+            },
+        )
+        .unwrap();
+    assert_eq!(reply.id, 1);
+    let Response::SessionCreated { session, .. } = reply.into_result().unwrap() else {
+        panic!("expected SessionCreated via v3");
+    };
+
+    // ...the v1 client picks the KPI on that very session...
+    assert!(!v1
+        .call(&Request::SelectKpi {
+            session,
+            kpi: "Deal Closed?".into(),
+        })
+        .unwrap()
+        .is_error());
+
+    // ...the v2 client trains it...
+    let reply = v2
+        .call_v2(
+            2,
+            Request::Train {
+                session,
+                config: Some(fast_config()),
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        reply.into_result().unwrap(),
+        Response::Trained { .. }
+    ));
+
+    // ...and the same scenario grid goes through both data paths:
+    // v2 row-oriented JSON and v3 columnar frames.
+    let specs: Vec<ScenarioSpec> = (1..=5)
+        .map(|i| {
+            ScenarioSpec::new(
+                format!("ome +{i}0%"),
+                PerturbationSet::new(vec![Perturbation::percentage(
+                    "Open Marketing Email",
+                    10.0 * f64::from(i),
+                )]),
+            )
+        })
+        .collect();
+    let reply = v2
+        .call_v2(
+            3,
+            Request::EvaluateScenarios {
+                session,
+                scenarios: specs.clone(),
+                record: false,
+                n_threads: None,
+            },
+        )
+        .unwrap();
+    let Response::ScenariosEvaluated { outcomes, .. } = reply.into_result().unwrap() else {
+        panic!("expected ScenariosEvaluated via v2");
+    };
+    let grid = whatif::server::v3::specs_to_grid(session, &specs, false, None);
+    let streamed = v3.evaluate_grid(4, grid).unwrap();
+    assert_eq!(streamed.head.total, 5);
+    assert_eq!(streamed.kpi.len(), outcomes.len());
+    for (columnar, row) in streamed.kpi.iter().zip(&outcomes) {
+        assert_eq!(
+            columnar.to_bits(),
+            row.kpi.to_bits(),
+            "v3 columnar KPI must be bit-identical to the v2 JSON KPI"
+        );
+        assert_eq!(
+            streamed.head.baseline_kpi.to_bits(),
+            row.baseline_kpi.to_bits()
+        );
+    }
+
+    // One more interleaving round: v1 sensitivity, v3 columnar
+    // comparison, v2 table view — all against the shared session.
+    let resp = v1
+        .call(&Request::SensitivityView {
+            session,
+            perturbations: vec![Perturbation::percentage("Open Marketing Email", 40.0)],
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::Sensitivity(_)));
+    let cmp = v3.comparison(5, session, vec![-20.0, 0.0, 20.0]).unwrap();
+    assert_eq!(cmp.percentages, vec![-20.0, 0.0, 20.0]);
+    assert!(!cmp.drivers.is_empty());
+    assert_eq!(cmp.kpi_columns.len(), cmp.drivers.len());
+    assert!(cmp.kpi_columns.iter().all(|c| c.len() == 3));
+    let Response::Table { total_rows, .. } = v2
+        .call_v2(
+            6,
+            Request::TableView {
+                session,
+                max_rows: 1,
+            },
+        )
+        .unwrap()
+        .into_result()
+        .unwrap()
+    else {
+        panic!("expected a table via v2");
+    };
+    assert_eq!(total_rows, 160);
+
+    // Typed errors reach the v3 client too.
+    let err = v3
+        .call_json(
+            7,
+            &Request::TableView {
+                session: 424_242,
+                max_rows: 1,
+            },
+        )
+        .unwrap()
+        .into_result()
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownSession);
+
+    v1.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+/// Mid-stream garbage on a v3 connection: the server answers each
+/// malformed stretch with a typed error frame, stays aligned, and keeps
+/// serving the same connection — including an in-band v3 shutdown.
+#[test]
+fn v3_connections_recover_from_mid_stream_garbage() {
+    let (addr, handle) = serve("127.0.0.1:0").expect("bind");
+    let mut v3 = V3Client::connect(addr).unwrap();
+
+    // A clean request first, so the connection is known-good.
+    let reply = v3.call_json(1, &Request::ListUseCases).unwrap();
+    assert!(matches!(
+        reply.into_result().unwrap(),
+        Response::UseCases(u) if u.len() == 3
+    ));
+
+    // Garbage that contains no magic byte (all ASCII, 0xB3 absent), so
+    // resynchronization is deterministic, followed by a valid request
+    // in the same write.
+    let garbage = b"@@@ definitely not a frame @@@";
+    v3.send_raw(garbage).unwrap();
+    v3.send(&WireRequest {
+        id: 7,
+        body: RequestBody::Json(
+            serde_json::to_string(&Envelope::new(7, Request::ListUseCases)).unwrap(),
+        ),
+    })
+    .unwrap();
+
+    // First answer: a typed error frame describing the skipped bytes.
+    let FrameEvent::Frame(frame) = v3.read_event().unwrap() else {
+        panic!("expected an error frame");
+    };
+    assert_eq!(frame.frame_type, FrameType::Error);
+    let err = ErrorReply::decode(&frame.payload).unwrap();
+    assert_eq!(err.id, 0, "the failure predates any request id");
+    assert_eq!(err.code, "BadRequest");
+    assert!(
+        err.message.contains(&format!("{}", garbage.len())),
+        "skip count surfaces in {:?}",
+        err.message
+    );
+
+    // Second answer: the valid request that followed the garbage.
+    let FrameEvent::Frame(frame) = v3.read_event().unwrap() else {
+        panic!("expected the real reply");
+    };
+    assert_eq!(frame.frame_type, FrameType::Reply);
+    let wire_reply = WireReply::decode(&frame.payload).unwrap();
+    assert_eq!(wire_reply.id, 7);
+    let ReplyBody::Json(line) = wire_reply.body else {
+        panic!("expected a JSON reply body");
+    };
+    let reply: Reply = serde_json::from_str(&line).unwrap();
+    assert_eq!(reply.id, 7);
+    assert!(!reply.is_error());
+
+    // A corrupted frame (valid header, flipped payload bit) costs
+    // exactly one typed error, then the connection serves on.
+    let payload = WireRequest {
+        id: 8,
+        body: RequestBody::Json(
+            serde_json::to_string(&Envelope::new(8, Request::ListUseCases)).unwrap(),
+        ),
+    }
+    .encode();
+    let mut bytes = whatif_wire::frame::encode_frame(
+        FrameType::Request,
+        &payload,
+        whatif_wire::Compression::None,
+    )
+    .unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    v3.send_raw(&bytes).unwrap();
+    let FrameEvent::Frame(frame) = v3.read_event().unwrap() else {
+        panic!("expected an error frame for the corrupted request");
+    };
+    assert_eq!(frame.frame_type, FrameType::Error);
+    assert_eq!(
+        ErrorReply::decode(&frame.payload).unwrap().code,
+        "BadRequest"
+    );
+
+    // The connection survived both incidents: a normal call works and
+    // the in-band shutdown is honoured.
+    let reply = v3.call_json(9, &Request::ListUseCases).unwrap();
+    assert!(!reply.is_error());
+    let reply = v3.call_json(10, &Request::Shutdown).unwrap();
+    assert!(matches!(
+        reply.into_result().unwrap(),
+        Response::ShuttingDown
+    ));
     handle.join().unwrap();
 }
 
