@@ -535,10 +535,34 @@ fn de_tagged_enum_body(name: &str, variants: &[Variant]) -> String {
         tag_arms.push_str(&format!("\"{vn}\" => return {arm},\n"));
     }
     // Forward compatibility: rather than demanding exactly one key, scan
-    // the object for the first key naming a known variant and ignore any
+    // the object for the key naming a known variant and ignore any
     // sibling keys — a newer peer can annotate `{"Variant": ...}` with
-    // extra metadata without breaking older builds. Only when *no* key
-    // matches is the first key reported as the unknown variant.
+    // extra metadata without breaking older builds. Two known-variant
+    // keys in one map are ambiguous (which did the peer mean?) and are
+    // rejected rather than resolved by iteration order. Only when *no*
+    // key matches is the first key reported as the unknown variant.
+    let known_pat = variants
+        .iter()
+        .map(|v| format!("\"{}\"", v.name))
+        .collect::<Vec<_>>()
+        .join(" | ");
+    let ambiguity_guard = if variants.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "let mut __known = 0usize;\n\
+             for (__tag, _) in __obj.iter() {{\n\
+                 match __tag.as_str() {{\n\
+                     {known_pat} => {{ __known += 1; }}\n\
+                     _ => {{}}\n\
+                 }}\n\
+             }}\n\
+             if __known > 1 {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"ambiguous map for enum {name}: {{__known}} variant keys present\")));\n\
+             }}\n"
+        )
+    };
     format!(
         "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
              return match __s {{\n{str_arms}\
@@ -547,6 +571,7 @@ fn de_tagged_enum_body(name: &str, variants: &[Variant]) -> String {
              }};\n\
          }}\n\
          if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+             {ambiguity_guard}\
              for (__tag, __content) in __obj.iter() {{\n\
                  let _ = __content;\n\
                  match __tag.as_str() {{\n{tag_arms}\

@@ -749,6 +749,17 @@ mod tests {
         // A map with *no* known tag is still an unknown variant, not a
         // silent success.
         assert!(serde_json::from_str::<Response>(r#"{"NotARealVariant":1}"#).is_err());
+
+        // Two known variant keys in one map are ambiguous — rejected,
+        // not resolved by whichever key happens to iterate first.
+        assert!(
+            serde_json::from_str::<Request>(r#"{"Shutdown":null,"ListUseCases":null}"#).is_err()
+        );
+        // ...even when unknown siblings ride along.
+        assert!(serde_json::from_str::<Response>(
+            r#"{"debug_hint":"v4","SessionClosed":null,"ShuttingDown":null}"#
+        )
+        .is_err());
     }
 
     #[test]

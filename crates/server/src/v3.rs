@@ -31,7 +31,7 @@ use whatif_wire::{
     read_event, write_frame, ComparisonReply, ComparisonRequest, Compression, DriverColumn,
     ErrorReply, Frame, FrameEvent, FrameType, OutcomeBlock, OutcomeStreamHead, PerturbKind,
     ReplyBody, RequestBody, ScenarioGridRequest, StreamEnd, WireError, WireReply, WireRequest,
-    DEFAULT_BLOCK_ROWS,
+    DEFAULT_BLOCK_ROWS, MAX_GRID_SCENARIOS,
 };
 
 /// The stable wire form of an [`ErrorCode`] (its serde string, e.g.
@@ -65,6 +65,14 @@ fn api_error_frame(id: u64, error: &ApiError) -> (FrameType, Vec<u8>) {
 /// (priced at baseline), matching the JSON protocol's semantics for an
 /// empty perturbation list.
 fn grid_to_specs(grid: &ScenarioGridRequest) -> Result<Vec<ScenarioSpec>, ApiError> {
+    // WireRequest::decode enforces the same cap; re-checking here keeps
+    // the allocation below bounded for grids built in-process too.
+    if grid.n_scenarios > MAX_GRID_SCENARIOS {
+        return Err(ApiError::bad_request(format!(
+            "grid declares {} scenarios, limit is {MAX_GRID_SCENARIOS}",
+            grid.n_scenarios
+        )));
+    }
     let n = grid.n_scenarios as usize;
     if !grid.names.is_empty() && grid.names.len() != n {
         return Err(ApiError::bad_request(format!(
@@ -128,6 +136,21 @@ fn stream_outcomes(
         return Ok(());
     };
     let recorded = !recorded_ids.is_empty();
+    if recorded && recorded_ids.len() != outcomes.len() {
+        // Misaligned ledger ids would panic the block slicing below;
+        // report the engine invariant violation as a typed error.
+        let (ft, payload) = error_frame(
+            id,
+            ErrorCode::Internal,
+            format!(
+                "{} ledger ids for {} outcomes",
+                recorded_ids.len(),
+                outcomes.len()
+            ),
+        );
+        write_frame(w, ft, &payload, prefer)?;
+        return Ok(());
+    }
     let head = OutcomeStreamHead {
         id,
         total: outcomes.len() as u64,
@@ -589,7 +612,11 @@ impl V3Client {
                 )))
             }
         };
-        let mut kpi = Vec::with_capacity(head.total as usize);
+        // Clamp the pre-allocation: `head.total` is server-declared, so
+        // trust it only up to a bounded number of blocks and let the
+        // Vec grow from there (StreamEnd still verifies the row count).
+        let mut kpi =
+            Vec::with_capacity(head.total.min(DEFAULT_BLOCK_ROWS as u64 * 16) as usize);
         let mut recorded_ids = Vec::new();
         let mut blocks = 0u32;
         loop {
@@ -781,6 +808,52 @@ mod tests {
         assert_eq!(grid.columns.len(), 2);
         let back = grid_to_specs(&grid).unwrap();
         assert_eq!(back, specs);
+    }
+
+    #[test]
+    fn oversized_scenario_counts_are_bad_requests_not_allocations() {
+        // Defense-in-depth behind the wire-level cap: a grid built
+        // in-process with a huge uncorroborated row count must be
+        // rejected before grid_to_specs pre-allocates for it.
+        let grid = ScenarioGridRequest {
+            session: 1,
+            n_scenarios: u32::MAX,
+            record: false,
+            n_threads: 0,
+            names: vec![],
+            columns: vec![],
+        };
+        let err = grid_to_specs(&grid).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn misaligned_ledger_ids_become_a_typed_internal_error() {
+        use whatif_core::bulk::ScenarioOutcome;
+
+        // Two outcomes but only one recorded id: an engine invariant
+        // violation that must answer with an Error frame, not panic.
+        let outcome = |name: &str| ScenarioOutcome {
+            name: name.into(),
+            perturbations: PerturbationSet::new(vec![]),
+            kpi: 0.5,
+            baseline_kpi: 0.4,
+        };
+        let response = Response::ScenariosEvaluated {
+            outcomes: vec![outcome("a"), outcome("b")],
+            recorded_ids: vec![7],
+        };
+        let mut out = Vec::new();
+        stream_outcomes(&mut out, 3, &response, Compression::None).unwrap();
+        let mut r = std::io::Cursor::new(out);
+        let FrameEvent::Frame(frame) = read_event(&mut r).unwrap() else {
+            panic!("expected a frame");
+        };
+        assert_eq!(frame.frame_type, FrameType::Error);
+        let err = ErrorReply::decode(&frame.payload).unwrap();
+        assert_eq!(err.id, 3);
+        assert_eq!(err.code, error_code_wire_form(ErrorCode::Internal));
+        assert!(matches!(read_event(&mut r).unwrap(), FrameEvent::Eof));
     }
 
     #[test]

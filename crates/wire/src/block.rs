@@ -21,7 +21,7 @@
 //! panic.
 
 use crate::codec::{put_f64_column, put_str, put_u32, put_u64, put_u8, Reader};
-use crate::WireError;
+use crate::{WireError, MAX_GRID_SCENARIOS};
 
 /// Opcode for a request/reply carrying an embedded JSON body — the
 /// universal fallback that lets every v1/v2 request type ride v3
@@ -198,6 +198,15 @@ impl WireRequest {
                 let record = r.u8("record flag")? != 0;
                 let n_threads = r.u32("thread count")?;
                 let n_scenarios = r.u32("scenario count")?;
+                // A grid with no names and no columns corroborates its
+                // row count with nothing else in the payload, and the
+                // count drives downstream allocation — cap it here so a
+                // tiny frame cannot declare billions of rows.
+                if n_scenarios > MAX_GRID_SCENARIOS {
+                    return Err(WireError::corrupt(format!(
+                        "grid declares {n_scenarios} scenarios, limit is {MAX_GRID_SCENARIOS}"
+                    )));
+                }
                 let n_names = r.checked_count(5, "scenario name count")?;
                 if n_names != 0 && n_names != n_scenarios as usize {
                     return Err(WireError::corrupt(format!(
@@ -691,6 +700,36 @@ mod tests {
             message: "no such session".into(),
         };
         assert_eq!(ErrorReply::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn uncorroborated_scenario_counts_are_capped() {
+        // With no names and no columns, nothing else in the payload
+        // corroborates n_scenarios — a tiny frame declaring u32::MAX
+        // rows must be rejected at decode, before anything allocates.
+        let grid = |n_scenarios| ScenarioGridRequest {
+            session: 1,
+            n_scenarios,
+            record: false,
+            n_threads: 0,
+            names: vec![],
+            columns: vec![],
+        };
+        let bytes = WireRequest {
+            id: 1,
+            body: RequestBody::Scenarios(grid(u32::MAX)),
+        }
+        .encode();
+        assert!(bytes.len() < 64, "the hostile frame is cheap to send");
+        assert!(WireRequest::decode(&bytes).is_err());
+
+        // The boundary itself stays legal.
+        let bytes = WireRequest {
+            id: 1,
+            body: RequestBody::Scenarios(grid(MAX_GRID_SCENARIOS)),
+        }
+        .encode();
+        assert!(WireRequest::decode(&bytes).is_ok());
     }
 
     #[test]

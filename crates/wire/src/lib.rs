@@ -52,6 +52,15 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// of KPI column per block).
 pub const DEFAULT_BLOCK_ROWS: usize = 8192;
 
+/// Hard ceiling on the scenario count a single grid request may
+/// declare: [`MAX_FRAME_BYTES`] / 8, the most rows one frame could
+/// corroborate with even a single `f64` column. `n_scenarios` is
+/// otherwise uncorroborated when a grid ships no names and no columns
+/// (all-baseline rows), and row counts drive server-side allocation —
+/// without this cap a ~40-byte frame could declare `u32::MAX` rows and
+/// force a multi-hundred-GiB allocation before session validation.
+pub const MAX_GRID_SCENARIOS: u32 = (MAX_FRAME_BYTES / 8) as u32;
+
 /// Everything that can go wrong reading or decoding v3 traffic.
 ///
 /// Every variant except [`WireError::Truncated`] and [`WireError::Io`]
