@@ -12,7 +12,7 @@ use whatif_core::session::Session;
 use whatif_datagen::{deal_closing, make_classification, make_regression};
 use whatif_learn::forest::ForestConfig;
 use whatif_learn::tree::TreeConfig;
-use whatif_learn::{Classifier as _, RandomForestClassifier};
+use whatif_learn::{Classifier as _, RandomForestClassifier, Trainer};
 
 fn config(kind: ModelKind, n_trees: usize) -> ModelConfig {
     ModelConfig {
@@ -41,6 +41,12 @@ fn bench_trainer_paths(c: &mut Criterion) {
         report.regressor_reference_ms,
         report.regressor_presorted_ms,
     );
+    for row in &report.binned {
+        println!(
+            "  binned {}x{}: {:.2}x ({:.1} ms presorted -> {:.1} ms binned, {} trees)",
+            row.n_rows, row.n_features, row.speedup, row.presorted_ms, row.binned_ms, row.n_trees,
+        );
+    }
 
     let dataset = deal_closing(600, 7);
     let session = Session::new(dataset.frame.clone())
@@ -68,6 +74,7 @@ fn bench_trainer_paths(c: &mut Criterion) {
         },
         seed: 7,
         n_threads: 4,
+        ..ForestConfig::default()
     };
 
     let mut group = c.benchmark_group("train_forest");
@@ -83,6 +90,17 @@ fn bench_trainer_paths(c: &mut Criterion) {
         })
     });
     group.bench_function("presorted", |b| {
+        b.iter(|| {
+            let mut f = RandomForestClassifier::new(config.clone());
+            f.fit(&x, &labels).expect("fit");
+            f
+        })
+    });
+    group.bench_function("binned", |b| {
+        let config = ForestConfig {
+            trainer: Trainer::Binned,
+            ..config.clone()
+        };
         b.iter(|| {
             let mut f = RandomForestClassifier::new(config.clone());
             f.fit(&x, &labels).expect("fit");
@@ -115,6 +133,10 @@ fn bench_train(c: &mut Criterion) {
                 b.iter(|| s.train(&cfg).expect("fit"))
             },
         );
+        group.bench_with_input(BenchmarkId::new("gbdt_40", n), &reg_session, |b, s| {
+            let cfg = config(ModelKind::Gbdt, 40);
+            b.iter(|| s.train(&cfg).expect("fit"))
+        });
 
         let clf = make_classification(n, 12, 6, 0.5, 3);
         let clf_session = Session::new(clf.frame.clone())

@@ -380,6 +380,18 @@ fn train(scale: Scale, seed: u64) {
         "regressor:  {:.2}x ({:.1} ms reference -> {:.1} ms presorted)",
         r.regressor_speedup, r.regressor_reference_ms, r.regressor_presorted_ms
     );
+    for row in &r.binned {
+        println!(
+            "binned {}x{}: {:.2}x ({:.1} ms presorted -> {:.1} ms binned, {} trees, depth {})",
+            row.n_rows,
+            row.n_features,
+            row.speedup,
+            row.presorted_ms,
+            row.binned_ms,
+            row.n_trees,
+            row.max_depth
+        );
+    }
     experiments::write_train_bench_json("BENCH_train.json", &r).expect("write BENCH_train.json");
     println!("wrote BENCH_train.json");
 }

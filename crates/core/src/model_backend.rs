@@ -13,7 +13,8 @@ use whatif_learn::split::train_test_split;
 use whatif_learn::tree::TreeConfig;
 use whatif_learn::MatrixView;
 use whatif_learn::{
-    LinearRegression, LogisticRegression, Matrix, RandomForestClassifier, RandomForestRegressor,
+    GbdtClassifier, GbdtConfig, GbdtRegressor, LinearRegression, LogisticRegression, Matrix,
+    RandomForestClassifier, RandomForestRegressor, Trainer,
 };
 
 /// Model family selection.
@@ -29,6 +30,31 @@ pub enum ModelKind {
     Logistic,
     /// Random forest (classifier for binary, regressor for continuous).
     RandomForest,
+    /// Gradient-boosted trees (classifier for binary, regressor for
+    /// continuous): sequential shallow histogram-binned trees fit to
+    /// residuals with shrinkage and holdout early stopping. Higher
+    /// prediction ceiling than a single forest on smooth KPIs; trained
+    /// entirely on the binned tier, so not bit-comparable to forests.
+    Gbdt,
+}
+
+/// Forest training tier (ignored by linear/logistic/GBDT — GBDT is
+/// always binned).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum TrainerTier {
+    /// Exact presorted split scans — bit-identical to the seed
+    /// reference implementation.
+    #[default]
+    Exact,
+    /// Histogram-binned O(bins) split scans: features quantized to at
+    /// most [`ModelConfig::n_bins`] quantile buckets once per forest.
+    /// Deterministic, but approximate — its contract is
+    /// accuracy-within-ε of the exact tier, not bit-identity.
+    Binned,
+}
+
+fn default_n_bins() -> usize {
+    256
 }
 
 /// Training configuration.
@@ -52,6 +78,15 @@ pub struct ModelConfig {
     /// Held-out fraction used to estimate the model confidence shown in
     /// the Goal Inversion view; `0` scores on training data instead.
     pub holdout_fraction: f64,
+    /// Forest training tier. Serde-defaulted to [`TrainerTier::Exact`]
+    /// so configs (and wire clients) that predate the binned tier are
+    /// untouched.
+    #[serde(default)]
+    pub trainer: TrainerTier,
+    /// Bins per feature for the binned tier and GBDT (clamped to
+    /// `2..=256` by the trainer). Serde-defaulted to 256.
+    #[serde(default = "default_n_bins")]
+    pub n_bins: usize,
 }
 
 impl Default for ModelConfig {
@@ -64,6 +99,8 @@ impl Default for ModelConfig {
             max_features: None,
             n_threads: 4,
             holdout_fraction: 0.2,
+            trainer: TrainerTier::Exact,
+            n_bins: default_n_bins(),
         }
     }
 }
@@ -80,6 +117,25 @@ impl ModelConfig {
             tree,
             seed: self.seed.wrapping_add(seed_offset),
             n_threads: self.n_threads,
+            trainer: match self.trainer {
+                TrainerTier::Exact => Trainer::Presorted,
+                TrainerTier::Binned => Trainer::Binned,
+            },
+            n_bins: self.n_bins,
+        }
+    }
+
+    fn gbdt_config(&self, seed_offset: u64) -> GbdtConfig {
+        GbdtConfig {
+            n_rounds: self.n_trees,
+            // Boosting wants weak learners; the session depth knob is
+            // sized for forests, so cap boosted trees at depth 6.
+            max_depth: self.max_depth.min(6),
+            max_features: self.max_features,
+            n_bins: self.n_bins,
+            seed: self.seed.wrapping_add(seed_offset),
+            n_threads: self.n_threads,
+            ..GbdtConfig::default()
         }
     }
 }
@@ -100,6 +156,8 @@ enum FittedModel {
     Logistic(LogisticRegression),
     ForestClassifier(RandomForestClassifier),
     ForestRegressor(RandomForestRegressor),
+    GbdtClassifier(GbdtClassifier),
+    GbdtRegressor(GbdtRegressor),
 }
 
 impl FittedModel {
@@ -109,6 +167,8 @@ impl FittedModel {
             FittedModel::Logistic(m) => m,
             FittedModel::ForestClassifier(m) => m,
             FittedModel::ForestRegressor(m) => m,
+            FittedModel::GbdtClassifier(m) => m,
+            FittedModel::GbdtRegressor(m) => m,
         }
     }
 }
@@ -331,6 +391,8 @@ impl TrainedModel {
         let (n_trees, n_threads) = match &self.model {
             FittedModel::ForestClassifier(m) => (m.n_trees(), m.config.n_threads),
             FittedModel::ForestRegressor(m) => (m.n_trees(), m.config.n_threads),
+            FittedModel::GbdtClassifier(m) => (m.n_trees(), m.config.n_threads),
+            FittedModel::GbdtRegressor(m) => (m.n_trees(), m.config.n_threads),
             FittedModel::Linear(_) | FittedModel::Logistic(_) => return false,
         };
         n_threads > 1 && self.x.n_rows().saturating_mul(n_trees) >= PARALLEL_BATCH_MIN_WORK
@@ -379,6 +441,10 @@ impl TrainedModel {
             FittedModel::ForestRegressor(m) => {
                 Ok(self.sign_by_correlation(m.feature_importances()?))
             }
+            FittedModel::GbdtClassifier(m) => {
+                Ok(self.sign_by_correlation(m.feature_importances()?))
+            }
+            FittedModel::GbdtRegressor(m) => Ok(self.sign_by_correlation(m.feature_importances()?)),
         }
     }
 
@@ -410,6 +476,7 @@ fn resolve_kind(kind: ModelKind, kpi_kind: KpiKind) -> Result<ModelKind> {
             "logistic regression requires a binary KPI".to_owned(),
         )),
         (ModelKind::RandomForest, _) => Ok(ModelKind::RandomForest),
+        (ModelKind::Gbdt, _) => Ok(ModelKind::Gbdt),
     }
 }
 
@@ -438,7 +505,7 @@ pub fn training_fingerprint(
 ) -> Result<Fingerprint> {
     let resolved = resolve_kind(config.kind, kpi_kind)?;
     let mut h = Hasher128::new();
-    h.write_str("whatif/train/v1");
+    h.write_str("whatif/train/v2");
     write_training_inputs(
         &mut h,
         kpi_name,
@@ -477,6 +544,7 @@ fn write_training_inputs(
         ModelKind::Linear => 0,
         ModelKind::Logistic => 1,
         ModelKind::RandomForest => 2,
+        ModelKind::Gbdt => 3,
         ModelKind::Auto => u8::MAX, // unreachable: resolved before hashing
     });
     h.write_usize(driver_names.len());
@@ -494,6 +562,16 @@ fn write_training_inputs(
         None => h.write_u8(0),
     }
     h.write_f64(config.holdout_fraction);
+    // Trainer tier and bin count change what the tree families learn,
+    // so they key the store/cache even though linear models ignore them
+    // (hashing them unconditionally is the conservative choice — a
+    // spurious miss retrains; a spurious hit serves a binned model to an
+    // exact-tier request).
+    h.write_u8(match config.trainer {
+        TrainerTier::Exact => 0,
+        TrainerTier::Binned => 1,
+    });
+    h.write_usize(config.n_bins);
     h.write_usize(x.n_rows());
     h.write_usize(x.n_cols());
     h.write_f64s(x.data());
@@ -520,6 +598,9 @@ impl CacheWeight for TrainedModel {
             }
             FittedModel::ForestClassifier(m) => forest_bytes(m.n_trees(), self.x.n_rows()),
             FittedModel::ForestRegressor(m) => forest_bytes(m.n_trees(), self.x.n_rows()),
+            // GBDT trees are depth-capped and expose exact node counts.
+            FittedModel::GbdtClassifier(m) => m.n_nodes() * 24,
+            FittedModel::GbdtRegressor(m) => m.n_nodes() * 24,
         };
         data + names + fitted + self.kpi_name.len()
     }
@@ -561,7 +642,7 @@ fn compute_fingerprint(
     confidence: f64,
 ) -> Fingerprint {
     let mut h = Hasher128::new();
-    h.write_str("whatif/model/v1");
+    h.write_str("whatif/model/v2");
     write_training_inputs(
         &mut h,
         kpi_name,
@@ -589,6 +670,14 @@ fn compute_fingerprint(
         }
         FittedModel::ForestRegressor(m) => {
             h.write_u8(4);
+            h.write_usize(m.n_trees());
+        }
+        FittedModel::GbdtClassifier(m) => {
+            h.write_u8(5);
+            h.write_usize(m.n_trees());
+        }
+        FittedModel::GbdtRegressor(m) => {
+            h.write_u8(6);
             h.write_usize(m.n_trees());
         }
     }
@@ -650,6 +739,17 @@ fn fit_one(
             let mut m = RandomForestRegressor::new(config.forest_config(2));
             m.fit(x, y)?;
             FittedModel::ForestRegressor(m)
+        }
+        (ModelKind::Gbdt, KpiKind::Binary) => {
+            let labels: Vec<u8> = y.iter().map(|&v| u8::from(v >= 0.5)).collect();
+            let mut m = GbdtClassifier::new(config.gbdt_config(3));
+            m.fit(x, &labels)?;
+            FittedModel::GbdtClassifier(m)
+        }
+        (ModelKind::Gbdt, KpiKind::Continuous) => {
+            let mut m = GbdtRegressor::new(config.gbdt_config(4));
+            m.fit(x, y)?;
+            FittedModel::GbdtRegressor(m)
         }
         (ModelKind::Auto, _) => unreachable!("Auto resolved before fit_one"),
     })
@@ -1005,6 +1105,116 @@ mod tests {
         )
         .unwrap();
         assert!(f.weight_bytes() > m.weight_bytes());
+    }
+
+    #[test]
+    fn gbdt_works_for_both_kpi_kinds() {
+        let (x, y) = binary_data();
+        let cfg = ModelConfig {
+            kind: ModelKind::Gbdt,
+            n_trees: 40,
+            ..ModelConfig::default()
+        };
+        let m = TrainedModel::fit("won", KpiKind::Binary, names(), x, y, &cfg).unwrap();
+        assert_eq!(m.kind(), ModelKind::Gbdt);
+        assert!(m.confidence() > 0.9, "auc {}", m.confidence());
+        assert!((0.0..=1.0).contains(&m.baseline_kpi()));
+        let imp = m.native_importances().unwrap();
+        assert!(imp[0] > 0.0, "positive driver keeps its sign: {imp:?}");
+
+        let (cx, cy) = continuous_data();
+        let m = TrainedModel::fit("sales", KpiKind::Continuous, names(), cx, cy, &cfg).unwrap();
+        assert_eq!(m.kind(), ModelKind::Gbdt);
+        assert!(m.confidence() > 0.8, "r2 {}", m.confidence());
+        // Batch path agrees with the row path bit for bit.
+        let preds = m
+            .predictions_for_view(MatrixView::Dense(m.matrix()))
+            .unwrap();
+        for (i, &p) in preds.iter().enumerate() {
+            let row = m.matrix().row(i).to_vec();
+            assert_eq!(p.to_bits(), m.predict_row(&row).unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn gbdt_is_fingerprint_distinct_from_forest() {
+        let (x, y) = binary_data();
+        let fit = |kind: ModelKind| {
+            TrainedModel::fit(
+                "won",
+                KpiKind::Binary,
+                names(),
+                x.clone(),
+                y.clone(),
+                &ModelConfig {
+                    kind,
+                    n_trees: 15,
+                    ..ModelConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let forest = fit(ModelKind::RandomForest);
+        let gbdt = fit(ModelKind::Gbdt);
+        assert_ne!(forest.fingerprint(), gbdt.fingerprint());
+        // And the pre-train key separates the requests the same way.
+        let key = |kind: ModelKind| {
+            training_fingerprint(
+                "won",
+                KpiKind::Binary,
+                &names(),
+                &x,
+                &y,
+                &ModelConfig {
+                    kind,
+                    n_trees: 15,
+                    ..ModelConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        assert_ne!(key(ModelKind::RandomForest), key(ModelKind::Gbdt));
+    }
+
+    #[test]
+    fn trainer_tier_and_bins_key_the_fingerprints() {
+        let (x, y) = continuous_data();
+        let cfg = |trainer: TrainerTier, n_bins: usize| ModelConfig {
+            kind: ModelKind::RandomForest,
+            n_trees: 12,
+            trainer,
+            n_bins,
+            ..ModelConfig::default()
+        };
+        let key = |c: &ModelConfig| {
+            training_fingerprint("sales", KpiKind::Continuous, &names(), &x, &y, c).unwrap()
+        };
+        let exact = cfg(TrainerTier::Exact, 256);
+        let binned = cfg(TrainerTier::Binned, 256);
+        let coarse = cfg(TrainerTier::Binned, 64);
+        // Same data + config, different tier ⇒ different training key,
+        // so the ModelStore can never serve a binned model to an
+        // exact-tier request (or vice versa).
+        assert_ne!(key(&exact), key(&binned));
+        assert_ne!(key(&binned), key(&coarse));
+        // Post-train fingerprints separate too.
+        let fit = |c: &ModelConfig| {
+            TrainedModel::fit(
+                "sales",
+                KpiKind::Continuous,
+                names(),
+                x.clone(),
+                y.clone(),
+                c,
+            )
+            .unwrap()
+        };
+        let me = fit(&exact);
+        let mb = fit(&binned);
+        assert_ne!(me.fingerprint(), mb.fingerprint());
+        // The binned tier trains a real model of the same family.
+        assert_eq!(mb.kind(), ModelKind::RandomForest);
+        assert!(mb.confidence() > 0.6, "binned r2 {}", mb.confidence());
     }
 
     #[test]

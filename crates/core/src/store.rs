@@ -167,6 +167,47 @@ mod tests {
     }
 
     #[test]
+    fn trainer_tier_never_shares_across_tiers() {
+        use crate::model_backend::TrainerTier;
+        // Same data, same config except the trainer tier: the store
+        // must miss, never serving a binned (approximate) model to an
+        // exact-tier request or vice versa.
+        let store = ModelStore::default();
+        let cfg = |trainer| ModelConfig {
+            kind: ModelKind::RandomForest,
+            n_trees: 8,
+            trainer,
+            ..ModelConfig::default()
+        };
+        let (a, _) = store
+            .train_or_share(&session(), &cfg(TrainerTier::Exact))
+            .unwrap();
+        let (b, shared) = store
+            .train_or_share(&session(), &cfg(TrainerTier::Binned))
+            .unwrap();
+        assert!(!shared, "tier change is a store miss");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(store.stats().entries, 2);
+        // A bin-count change under the binned tier is also a miss.
+        let (c, shared) = store
+            .train_or_share(
+                &session(),
+                &ModelConfig {
+                    n_bins: 32,
+                    ..cfg(TrainerTier::Binned)
+                },
+            )
+            .unwrap();
+        assert!(!shared, "bin-count change is a store miss");
+        assert!(!Arc::ptr_eq(&b, &c));
+        // But a repeat binned request shares.
+        let (_, shared) = store
+            .train_or_share(&session(), &cfg(TrainerTier::Binned))
+            .unwrap();
+        assert!(shared, "identical binned request shares");
+    }
+
+    #[test]
     fn train_errors_pass_through_untouched() {
         let store = ModelStore::default();
         let bare =

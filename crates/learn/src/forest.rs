@@ -17,6 +17,7 @@
 //! [`RandomForestClassifier::predict_batch_rowmajor`] (and the regressor
 //! twin) for equivalence tests and old-vs-new benchmarks.
 
+use crate::binned::{grow_binned, BinnedDataset};
 use crate::linalg::Matrix;
 use crate::model::{
     check_batch_shape, check_binary_labels, Classifier, LearnError, MatrixView, Predictor,
@@ -24,7 +25,7 @@ use crate::model::{
 };
 use crate::tree::{
     check_no_nan_features, DecisionTreeClassifier, DecisionTreeRegressor, FlatTree, FullPresort,
-    SeedLayoutTree, Trainer, TreeConfig,
+    Gini, Mse, SeedLayoutTree, Trainer, TreeConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,6 +43,13 @@ pub struct ForestConfig {
     pub seed: u64,
     /// Worker threads for training (`1` = sequential).
     pub n_threads: usize,
+    /// Training tier. [`Trainer::Presorted`] is exact (bit-identical to
+    /// the seed); [`Trainer::Binned`] trades bit-identity for O(bins)
+    /// split scans (see `crate::binned`).
+    pub trainer: Trainer,
+    /// Bins per feature for the binned tier (clamped to `2..=256`);
+    /// ignored by the exact tiers.
+    pub n_bins: usize,
 }
 
 impl Default for ForestConfig {
@@ -51,6 +59,8 @@ impl Default for ForestConfig {
             tree: TreeConfig::default(),
             seed: 0,
             n_threads: 4,
+            trainer: Trainer::Presorted,
+            n_bins: crate::binned::MAX_BINS,
         }
     }
 }
@@ -166,19 +176,22 @@ fn batch_threads(n_threads: usize, rows: usize, n_trees: usize) -> usize {
     }
 }
 
-/// Shared batched prediction for both forest families, tree-major
+/// Shared batched prediction for every tree ensemble, tree-major
 /// blocked. Rows are split into contiguous chunks scored on
 /// `std::thread::scope` workers; within each [`PREDICT_ROW_BLOCK`]-row
 /// block, every tree is traversed for the whole block before the next
-/// tree starts. Per-row math (sum trees in order, divide once) matches
-/// `predict_row` exactly, and every row writes its own slot, so the
-/// result is bit-identical and deterministic regardless of thread count
-/// and block size.
-fn forest_predict_batch(
+/// tree starts. `finalize` maps each row's accumulated leaf sum to the
+/// final score — `sum / n_trees` for forests, `base + sum` (or its
+/// sigmoid) for boosted ensembles. Per-row math (sum trees in order,
+/// finalize once) matches the corresponding `predict_row` exactly, and
+/// every row writes its own slot, so the result is bit-identical and
+/// deterministic regardless of thread count and block size.
+pub(crate) fn predict_batch_flats(
     trees: &[&FlatTree],
     n_threads: usize,
     x: MatrixView<'_>,
     out: &mut [f64],
+    finalize: impl Fn(f64) -> f64 + Sync,
 ) -> Result<(), LearnError> {
     if trees.is_empty() {
         return Err(LearnError::NotFitted);
@@ -188,7 +201,6 @@ fn forest_predict_batch(
     if out.is_empty() {
         return Ok(());
     }
-    let n_trees = trees.len() as f64;
     let p = x.n_cols();
     let score_rows = |start: usize, chunk: &mut [f64]| {
         let mut gather = match x {
@@ -218,7 +230,7 @@ fn forest_predict_batch(
                 t.accumulate_block(block, p, acc);
             }
             for slot in acc.iter_mut() {
-                *slot /= n_trees;
+                *slot = finalize(*slot);
             }
         }
     };
@@ -469,20 +481,37 @@ impl RandomForestClassifier {
             // Classification default: sqrt(p).
             tree_config.max_features = Some(((p as f64).sqrt().round() as usize).clamp(1, p));
         }
-        // One full-dataset presort shared by every tree worker.
+        // One full-dataset presort shared by every tree worker; the
+        // binned tier quantizes it once more into one shared bin matrix
+        // (this is the "one-time per-forest" cost — tree workers never
+        // sort or scan full-precision columns again).
+        let yf: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
         let presort = match trainer {
-            Trainer::Presorted => {
-                let yf: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
-                Some(FullPresort::new(x, &yf))
-            }
             Trainer::Reference => None,
+            Trainer::Presorted | Trainer::Binned => Some(FullPresort::new(x, &yf)),
+        };
+        let binned = match trainer {
+            Trainer::Binned => Some(BinnedDataset::from_presort(
+                x,
+                presort.as_ref().expect("binned tier builds on the presort"),
+                self.config.n_bins,
+            )),
+            _ => None,
         };
         let fitted = fit_trees(x.n_rows(), &self.config, |seed, sample| {
             let mut cfg = tree_config.clone();
             cfg.seed = seed;
-            let mut t = DecisionTreeClassifier::new(cfg);
-            t.fit_on_sample_with(x, y, sample, trainer, presort.as_ref())?;
-            Ok(t)
+            match &binned {
+                Some(data) => {
+                    let flat = grow_binned::<Gini>(data, &yf, sample, &cfg);
+                    Ok(DecisionTreeClassifier::from_flat(cfg, flat))
+                }
+                None => {
+                    let mut t = DecisionTreeClassifier::new(cfg);
+                    t.fit_on_sample_with(x, y, sample, trainer, presort.as_ref())?;
+                    Ok(t)
+                }
+            }
         })?;
 
         // OOB vote accumulation. The presorted path walks the flat
@@ -494,7 +523,7 @@ impl RandomForestClassifier {
         let mut per_tree_imp = Vec::with_capacity(fitted.len());
         for (t, oob) in fitted {
             match trainer {
-                Trainer::Presorted => {
+                Trainer::Presorted | Trainer::Binned => {
                     let flat = t.flat().ok_or(LearnError::NotFitted)?;
                     for &i in &oob {
                         prob_sum[i] += flat.traverse(x.row(i));
@@ -536,7 +565,7 @@ impl RandomForestClassifier {
 
 impl Classifier for RandomForestClassifier {
     fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), LearnError> {
-        self.fit_impl(x, y, Trainer::Presorted)
+        self.fit_impl(x, y, self.config.trainer)
     }
 }
 
@@ -564,7 +593,8 @@ impl Predictor for RandomForestClassifier {
             .iter()
             .filter_map(DecisionTreeClassifier::flat)
             .collect();
-        forest_predict_batch(&flats, self.config.n_threads, x, out)
+        let n_trees = flats.len() as f64;
+        predict_batch_flats(&flats, self.config.n_threads, x, out, |s| s / n_trees)
     }
 }
 
@@ -686,17 +716,34 @@ impl RandomForestRegressor {
             // Regression default: p/3.
             tree_config.max_features = Some((p / 3).clamp(1, p.max(1)));
         }
-        // One full-dataset presort shared by every tree worker.
+        // One full-dataset presort shared by every tree worker; the
+        // binned tier quantizes it once more into one shared bin matrix.
         let presort = match trainer {
-            Trainer::Presorted => Some(FullPresort::new(x, y)),
             Trainer::Reference => None,
+            Trainer::Presorted | Trainer::Binned => Some(FullPresort::new(x, y)),
+        };
+        let binned = match trainer {
+            Trainer::Binned => Some(BinnedDataset::from_presort(
+                x,
+                presort.as_ref().expect("binned tier builds on the presort"),
+                self.config.n_bins,
+            )),
+            _ => None,
         };
         let fitted = fit_trees(x.n_rows(), &self.config, |seed, sample| {
             let mut cfg = tree_config.clone();
             cfg.seed = seed;
-            let mut t = DecisionTreeRegressor::new(cfg);
-            t.fit_on_sample_with(x, y, sample, trainer, presort.as_ref())?;
-            Ok(t)
+            match &binned {
+                Some(data) => {
+                    let flat = grow_binned::<Mse>(data, y, sample, &cfg);
+                    Ok(DecisionTreeRegressor::from_flat(cfg, flat))
+                }
+                None => {
+                    let mut t = DecisionTreeRegressor::new(cfg);
+                    t.fit_on_sample_with(x, y, sample, trainer, presort.as_ref())?;
+                    Ok(t)
+                }
+            }
         })?;
 
         let mut pred_sum = vec![0.0f64; x.n_rows()];
@@ -705,7 +752,7 @@ impl RandomForestRegressor {
         let mut per_tree_imp = Vec::with_capacity(fitted.len());
         for (t, oob) in fitted {
             match trainer {
-                Trainer::Presorted => {
+                Trainer::Presorted | Trainer::Binned => {
                     let flat = t.flat().ok_or(LearnError::NotFitted)?;
                     for &i in &oob {
                         pred_sum[i] += flat.traverse(x.row(i));
@@ -752,7 +799,7 @@ impl RandomForestRegressor {
 
 impl Regressor for RandomForestRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), LearnError> {
-        self.fit_impl(x, y, Trainer::Presorted)
+        self.fit_impl(x, y, self.config.trainer)
     }
 }
 
@@ -780,7 +827,8 @@ impl Predictor for RandomForestRegressor {
             .iter()
             .filter_map(DecisionTreeRegressor::flat)
             .collect();
-        forest_predict_batch(&flats, self.config.n_threads, x, out)
+        let n_trees = flats.len() as f64;
+        predict_batch_flats(&flats, self.config.n_threads, x, out, |s| s / n_trees)
     }
 }
 

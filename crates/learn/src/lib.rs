@@ -26,6 +26,13 @@
 //!   bit-identical to the retained seed reference paths (see
 //!   `docs/FOREST.md`). Forest training is parallelized with std
 //!   scoped threads.
+//! * [`binned`] — the histogram-binned training tier
+//!   ([`tree::Trainer::Binned`]): per-forest ≤256-bucket quantile
+//!   quantization, O(bins) split scans with child-histogram
+//!   subtraction, and gradient-boosted ensembles
+//!   ([`binned::GbdtRegressor`] / [`binned::GbdtClassifier`]) on the
+//!   same machinery. Deterministic, but approximate — its contract is
+//!   accuracy-within-ε, not bit-identity.
 //! * [`overlay`] — copy-on-write [`overlay::ColumnOverlay`] matrix
 //!   views, the zero-clone substrate of bulk scenario evaluation
 //!   (paired with [`model::Predictor::predict_batch`]).
@@ -36,6 +43,7 @@
 //! * [`preprocess`] — standard / min-max scalers.
 //! * [`split`] — train/test split and k-fold cross-validation.
 
+pub mod binned;
 pub mod forest;
 pub mod linalg;
 pub mod linear;
@@ -50,10 +58,11 @@ pub mod shapley;
 pub mod split;
 pub mod tree;
 
+pub use binned::{GbdtClassifier, GbdtConfig, GbdtRegressor};
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
 pub use linalg::Matrix;
 pub use linear::LinearRegression;
 pub use logistic::LogisticRegression;
 pub use model::{Classifier, LearnError, MatrixView, Predictor, Regressor};
 pub use overlay::ColumnOverlay;
-pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor};
+pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor, Trainer};

@@ -57,22 +57,33 @@ impl Default for TreeConfig {
     }
 }
 
-/// Which split-finding engine grows the tree. Both produce bit-identical
-/// trees; `Reference` is the seed gather-and-sort implementation, kept
-/// as the baseline the equivalence suites and old-vs-new benchmarks pin
-/// the presorted trainer against.
+/// Which split-finding engine grows the tree.
+///
+/// `Presorted` and `Reference` produce bit-identical trees; `Reference`
+/// is the seed gather-and-sort implementation, kept as the baseline the
+/// equivalence suites and old-vs-new benchmarks pin the presorted
+/// trainer against. `Binned` is the histogram tier: quantized features,
+/// O(bins) split scans, explicitly **not** bit-identical to the exact
+/// trainers — it carries its own accuracy contract instead (see
+/// `docs/FOREST.md` and [`crate::binned`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Trainer {
+pub enum Trainer {
     /// Forest-level presort, stable partition down the tree,
     /// counting-sort replay of the seed's pair order. No per-node
-    /// allocations.
+    /// allocations. Bit-identical to `Reference`.
     Presorted,
     /// Per-node gather + stable sort (the seed implementation).
     Reference,
+    /// Histogram-binned split finding: each feature quantized to ≤256
+    /// quantile buckets once per forest, per-node histograms built in
+    /// one streaming pass, children derived by parent − sibling
+    /// subtraction. Approximate (own accuracy contract), not
+    /// bit-identical to the exact tiers.
+    Binned,
 }
 
 /// Leaf sentinel in the feature half of [`FlatTree::meta`].
-const LEAF: u32 = u32::MAX;
+pub(crate) const LEAF: u32 = u32::MAX;
 
 /// Map an f64 to a u64 whose unsigned order equals `f64::total_cmp`
 /// order (sign-magnitude flip).
@@ -96,8 +107,10 @@ fn entry_slot(e: Entry) -> usize {
     (e >> 32) as usize
 }
 
+/// Value class of a packed entry (also valid on [`FullPresort::packed`]
+/// words, which share the low-32-bit layout).
 #[inline]
-fn entry_class(e: Entry) -> u32 {
+pub(crate) fn entry_class(e: Entry) -> u32 {
     ((e & 0xFFFF_FFFF) >> 1) as u32
 }
 
@@ -112,12 +125,12 @@ fn entry_class(e: Entry) -> u32 {
 pub(crate) struct FullPresort {
     /// `p * n_rows`, indexed `f * n_rows + row`:
     /// `rank << 32 | class << 1 | label`.
-    packed: Vec<u64>,
+    pub(crate) packed: Vec<u64>,
     /// Per feature: whether -0.0 and +0.0 coexist (the one case where
     /// `==`-equal values differ in bits, forcing the MSE bucket replay
     /// to fall back to bit-level run detection).
     mixed_zero: Vec<bool>,
-    n_rows: usize,
+    pub(crate) n_rows: usize,
 }
 
 impl FullPresort {
@@ -274,6 +287,47 @@ impl FlatTree {
         self.n_features
     }
 
+    /// Assemble from pre-built arenas (the binned trainer grows its
+    /// arenas outside [`Grow`]). `meta`/`thresh` must follow this
+    /// type's pre-order layout: left child at `i + 1`, feature ==
+    /// [`LEAF`] marking leaves whose `thresh` is the leaf value.
+    pub(crate) fn from_parts(
+        meta: Vec<u64>,
+        thresh: Vec<f64>,
+        n_features: usize,
+        importances: Vec<f64>,
+        depth: usize,
+    ) -> FlatTree {
+        FlatTree {
+            meta,
+            thresh,
+            n_features,
+            importances,
+            depth,
+        }
+    }
+
+    /// Multiply every leaf value by `factor` (gradient-boosting
+    /// shrinkage). Split thresholds and importances are untouched.
+    pub(crate) fn scale_leaves(&mut self, factor: f64) {
+        for (m, t) in self.meta.iter().zip(self.thresh.iter_mut()) {
+            if *m as u32 == LEAF {
+                *t *= factor;
+            }
+        }
+    }
+
+    /// Unnormalized impurity-decrease importances (boosting sums these
+    /// across rounds before normalizing).
+    pub(crate) fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of nodes (store weight accounting).
+    pub(crate) fn n_nodes(&self) -> usize {
+        self.meta.len()
+    }
+
     /// Expand back into the seed's enum arena (same topology, same
     /// node order) for the old-layout baseline.
     pub(crate) fn to_seed_layout(&self) -> SeedLayoutTree {
@@ -391,8 +445,9 @@ pub(crate) fn check_no_nan_features(x: &Matrix) -> Result<(), LearnError> {
 
 /// Impurity criterion abstraction: classification tracks (n, n_pos),
 /// regression tracks (n, Σy, Σy²). Both expose per-sample impurity and the
-/// leaf value.
-trait Criterion {
+/// leaf value. Shared with the histogram trainer in [`crate::binned`],
+/// whose per-bin accumulators are these same aggregates.
+pub(crate) trait Criterion {
     /// Aggregate node statistics.
     type Agg: Clone;
     /// Whether the aggregate depends on the *order* targets are folded
@@ -410,6 +465,16 @@ trait Criterion {
     /// `parent - left`, exactly equal to folding the right segment
     /// directly — possible only for integer (order-free) aggregates.
     fn subtract(parent: &Self::Agg, left: &Self::Agg) -> Option<Self::Agg>;
+    /// Fold another aggregate in (histogram prefix walks). Exact for
+    /// integer aggregates; for f64 sums the fold order is the bin
+    /// order, which the binned tier accepts (it is deterministic but
+    /// not bit-identical to element order).
+    fn merge(agg: &mut Self::Agg, other: &Self::Agg);
+    /// `parent - child` allowing f64 subtraction: exact for integer
+    /// aggregates, numerically lossy (but deterministic) for f64 sums.
+    /// Only the binned tier — which owns an accuracy contract rather
+    /// than a bit-identity contract — may use this.
+    fn subtract_lossy(parent: &Self::Agg, child: &Self::Agg) -> Self::Agg;
     fn count(agg: &Self::Agg) -> usize;
     /// Per-sample impurity of the aggregate.
     fn impurity(agg: &Self::Agg) -> f64;
@@ -417,7 +482,7 @@ trait Criterion {
 }
 
 /// Gini impurity for binary labels.
-struct Gini;
+pub(crate) struct Gini;
 
 impl Criterion for Gini {
     type Agg = (usize, usize); // (n, n_pos)
@@ -447,6 +512,13 @@ impl Criterion for Gini {
     fn subtract(parent: &Self::Agg, left: &Self::Agg) -> Option<Self::Agg> {
         Some((parent.0 - left.0, parent.1 - left.1))
     }
+    fn merge(agg: &mut Self::Agg, other: &Self::Agg) {
+        agg.0 += other.0;
+        agg.1 += other.1;
+    }
+    fn subtract_lossy(parent: &Self::Agg, child: &Self::Agg) -> Self::Agg {
+        (parent.0 - child.0, parent.1 - child.1)
+    }
     fn count(agg: &Self::Agg) -> usize {
         agg.0
     }
@@ -467,7 +539,7 @@ impl Criterion for Gini {
 }
 
 /// Variance (MSE) impurity for continuous targets.
-struct Mse;
+pub(crate) struct Mse;
 
 impl Criterion for Mse {
     type Agg = (usize, f64, f64); // (n, sum, sum_sq)
@@ -494,6 +566,16 @@ impl Criterion for Mse {
     }
     fn subtract(_: &Self::Agg, _: &Self::Agg) -> Option<Self::Agg> {
         None // f64 sums: folding order matters, recompute instead
+    }
+    fn merge(agg: &mut Self::Agg, other: &Self::Agg) {
+        agg.0 += other.0;
+        agg.1 += other.1;
+        agg.2 += other.2;
+    }
+    fn subtract_lossy(parent: &Self::Agg, child: &Self::Agg) -> Self::Agg {
+        // f64 subtraction: deterministic but not bit-equal to a direct
+        // fold — binned-tier only (see trait docs).
+        (parent.0 - child.0, parent.1 - child.1, parent.2 - child.2)
     }
     fn count(agg: &Self::Agg) -> usize {
         agg.0
@@ -662,6 +744,10 @@ impl<'a, C: Criterion> Grow<'a, C> {
     ) -> FlatTree {
         let n = sample.len();
         let p = x.n_cols();
+        debug_assert!(
+            trainer != Trainer::Binned,
+            "binned trees grow in binned.rs, not Grow"
+        );
         // Entries pack the slot into 32 bits and the value class into 31.
         assert!(n < (1usize << 31), "sample too large for packed slots");
         // Gather the sample once, feature-major: every later pass is a
@@ -670,7 +756,7 @@ impl<'a, C: Criterion> Grow<'a, C> {
         // keeps the seed's direct matrix reads instead.)
         let mut xv = match trainer {
             Trainer::Presorted => vec![0.0; p * n],
-            Trainer::Reference => Vec::new(),
+            _ => Vec::new(),
         };
         let mut ys = vec![0.0; n];
         for (slot, &row) in sample.iter().enumerate() {
@@ -688,7 +774,7 @@ impl<'a, C: Criterion> Grow<'a, C> {
                 own_presort = FullPresort::new(x, y);
                 Some(&own_presort)
             }
-            (Trainer::Reference, _) => None,
+            _ => None,
         };
         let mixed_zero = full.map_or_else(Vec::new, |f| f.mixed_zero.clone());
         let entries = match full {
@@ -727,7 +813,7 @@ impl<'a, C: Criterion> Grow<'a, C> {
         };
         let (scratch, goes_left, run_of, bucket_pos) = match trainer {
             Trainer::Presorted => (vec![0u64; n], vec![0u8; n], vec![0u32; n], vec![0u32; n]),
-            Trainer::Reference => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+            _ => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
         };
         let mut b = Grow::<C> {
             config,
@@ -916,7 +1002,7 @@ impl<'a, C: Criterion> Grow<'a, C> {
         // draw sequence) over a reused buffer — no per-node allocation.
         let ref_features: Vec<usize>;
         let features: &[usize] = match self.trainer {
-            Trainer::Reference => {
+            Trainer::Reference | Trainer::Binned => {
                 ref_features = if k == p {
                     (0..p).collect()
                 } else {
@@ -944,12 +1030,12 @@ impl<'a, C: Criterion> Grow<'a, C> {
         // behavior on the reference side.
         let mut pairs: Vec<(f64, f64)> = match self.trainer {
             Trainer::Reference => Vec::with_capacity(len),
-            Trainer::Presorted => Vec::new(),
+            _ => Vec::new(),
         };
         for &feature in features {
             let col = feature * self.n;
             match self.trainer {
-                Trainer::Reference => {
+                Trainer::Reference | Trainer::Binned => {
                     pairs.clear();
                     for i in start..end {
                         let s = self.idx[i] as usize;
@@ -1287,15 +1373,22 @@ impl DecisionTreeClassifier {
             )));
         }
         let yf: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
-        self.fitted = Some(Grow::<Gini>::build(
-            x,
-            &yf,
-            sample,
-            &self.config,
-            trainer,
-            presort,
-        ));
+        self.fitted = Some(match trainer {
+            Trainer::Binned => {
+                crate::binned::grow_standalone::<Gini>(x, &yf, sample, &self.config, presort)
+            }
+            _ => Grow::<Gini>::build(x, &yf, sample, &self.config, trainer, presort),
+        });
         Ok(())
+    }
+
+    /// Wrap an externally grown tree (the forest's binned tier grows
+    /// [`FlatTree`]s directly against a shared binned dataset).
+    pub(crate) fn from_flat(config: TreeConfig, flat: FlatTree) -> Self {
+        DecisionTreeClassifier {
+            config,
+            fitted: Some(flat),
+        }
     }
 
     /// The flattened fitted tree, for the forest's batched traversals.
@@ -1422,15 +1515,22 @@ impl DecisionTreeRegressor {
                 "sample index {bad} out of range"
             )));
         }
-        self.fitted = Some(Grow::<Mse>::build(
-            x,
-            y,
-            sample,
-            &self.config,
-            trainer,
-            presort,
-        ));
+        self.fitted = Some(match trainer {
+            Trainer::Binned => {
+                crate::binned::grow_standalone::<Mse>(x, y, sample, &self.config, presort)
+            }
+            _ => Grow::<Mse>::build(x, y, sample, &self.config, trainer, presort),
+        });
         Ok(())
+    }
+
+    /// Wrap an externally grown tree (the forest's binned tier grows
+    /// [`FlatTree`]s directly against a shared binned dataset).
+    pub(crate) fn from_flat(config: TreeConfig, flat: FlatTree) -> Self {
+        DecisionTreeRegressor {
+            config,
+            fitted: Some(flat),
+        }
     }
 
     /// The flattened fitted tree, for the forest's batched traversals.

@@ -442,6 +442,7 @@ impl Engine {
                     ModelKind::Linear => "linear",
                     ModelKind::Logistic => "logistic",
                     ModelKind::RandomForest => "random_forest",
+                    ModelKind::Gbdt => "gbdt",
                     ModelKind::Auto => "auto",
                 };
                 let response = Response::Trained {

@@ -604,6 +604,47 @@ mod tests {
     }
 
     #[test]
+    fn train_config_trainer_fields_default_for_old_clients() {
+        use whatif_core::model_backend::{ModelKind, TrainerTier};
+        // A pre-binned-tier client omits `trainer` and `n_bins`: the
+        // request parses with the exact tier at 256 bins, so existing
+        // wire clients keep their bit-identical training behavior.
+        let req: Request = serde_json::from_str(
+            r#"{"Train": {"session": 1, "config": {
+                "kind": "RandomForest", "n_trees": 10, "max_depth": 6,
+                "seed": 0, "max_features": null, "n_threads": 2,
+                "holdout_fraction": 0.2}}}"#,
+        )
+        .unwrap();
+        let Request::Train {
+            config: Some(config),
+            ..
+        } = req
+        else {
+            panic!("expected Train with config");
+        };
+        assert_eq!(config.trainer, TrainerTier::Exact);
+        assert_eq!(config.n_bins, 256);
+        // The new fields and the Gbdt family round-trip.
+        let cfg = ModelConfig {
+            kind: ModelKind::Gbdt,
+            trainer: TrainerTier::Binned,
+            n_bins: 64,
+            ..ModelConfig::default()
+        };
+        let req = Request::Train {
+            session: 2,
+            config: Some(cfg),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(
+            json.contains("\"Binned\"") && json.contains("\"Gbdt\""),
+            "{json}"
+        );
+        assert_eq!(req, serde_json::from_str::<Request>(&json).unwrap());
+    }
+
+    #[test]
     fn cache_stats_response_roundtrips() {
         let resp = Response::CacheStats(CacheStats {
             hits: 9,

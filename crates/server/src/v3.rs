@@ -615,8 +615,7 @@ impl V3Client {
         // Clamp the pre-allocation: `head.total` is server-declared, so
         // trust it only up to a bounded number of blocks and let the
         // Vec grow from there (StreamEnd still verifies the row count).
-        let mut kpi =
-            Vec::with_capacity(head.total.min(DEFAULT_BLOCK_ROWS as u64 * 16) as usize);
+        let mut kpi = Vec::with_capacity(head.total.min(DEFAULT_BLOCK_ROWS as u64 * 16) as usize);
         let mut recorded_ids = Vec::new();
         let mut blocks = 0u32;
         loop {

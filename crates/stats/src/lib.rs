@@ -29,6 +29,6 @@ pub mod sampling;
 
 pub use correlation::{covariance, pearson, pearson_matrix, spearman};
 pub use describe::{mean, std_dev, variance, RunningStats};
-pub use histogram::Histogram;
+pub use histogram::{quantile_run_bins, Histogram};
 pub use quantile::{median, quantile};
 pub use rank::{average_ranks, kendall_tau, top_k_overlap};

@@ -1,0 +1,186 @@
+//! Accuracy-contract suite for the histogram-binned training tier and
+//! the gradient-boosted ensembles built on it.
+//!
+//! The binned tier is deliberately **not** bit-identical to the exact
+//! presorted trainer (quantile-compressed split candidates change which
+//! thresholds are examined), so its contract is different from the one
+//! `forest_equivalence.rs` pins: binned forests must land within a
+//! small ε of the exact tier's holdout accuracy on generated suites,
+//! across random configurations and thread counts — while staying
+//! fully deterministic in their own right (thread-count invariant,
+//! seed-reproducible) and rejecting the same malformed inputs.
+
+use proptest::prelude::*;
+use whatif::core::model_backend::{ModelConfig, ModelKind, TrainerTier};
+use whatif::core::session::Session;
+use whatif::datagen::{make_classification, make_regression};
+use whatif::learn::forest::ForestConfig;
+use whatif::learn::tree::TreeConfig;
+use whatif::learn::{
+    Classifier as _, GbdtClassifier, GbdtConfig, GbdtRegressor, LearnError, Matrix, MatrixView,
+    Predictor as _, RandomForestClassifier, RandomForestRegressor, Regressor as _, Trainer,
+};
+
+/// Deterministic xorshift training data for the learn-level checks
+/// (continuous features, smooth nonlinear target).
+fn training_data(seed: u64, n_rows: usize, n_features: usize) -> (Matrix, Vec<f64>) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let rows: Vec<Vec<f64>> = (0..n_rows)
+        .map(|_| (0..n_features).map(|_| next()).collect())
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| (5.0 * r[0]).sin() + r[1] * r[2] - 1.5 * r[3 % n_features] + 0.05 * next())
+        .collect();
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn forest_config(trainer: Trainer, n_threads: usize, seed: u64) -> ForestConfig {
+    ForestConfig {
+        n_trees: 8,
+        tree: TreeConfig {
+            max_depth: 7,
+            ..TreeConfig::default()
+        },
+        seed,
+        n_threads,
+        trainer,
+        ..ForestConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Binned forests track the exact tier's holdout accuracy on
+    // generated regression and classification suites, across random
+    // seeds, forest sizes, and thread counts. ε is absolute on the
+    // confidence scale (R² / ROC-AUC).
+    #[test]
+    fn binned_forest_tracks_exact_tier_accuracy(
+        seed in 0u64..500,
+        n_trees in 6usize..14,
+        n_threads in 1usize..4,
+        classify_flag in 0u32..2,
+    ) {
+        let ds = if classify_flag == 1 {
+            make_classification(500, 6, 4, 0.3, seed)
+        } else {
+            make_regression(500, 6, 4, 0.3, seed)
+        };
+        let session = Session::new(ds.frame.clone()).with_kpi(&ds.kpi).unwrap();
+        let cfg = |trainer: TrainerTier| ModelConfig {
+            kind: ModelKind::RandomForest,
+            n_trees,
+            max_depth: 8,
+            n_threads,
+            trainer,
+            holdout_fraction: 0.25,
+            seed,
+            ..ModelConfig::default()
+        };
+        let exact = session.train(&cfg(TrainerTier::Exact)).unwrap();
+        let binned = session.train(&cfg(TrainerTier::Binned)).unwrap();
+        prop_assert!(
+            binned.confidence() >= exact.confidence() - 0.1,
+            "binned {} vs exact {} (seed {}, trees {}, threads {})",
+            binned.confidence(), exact.confidence(), seed, n_trees, n_threads
+        );
+    }
+
+    // Binned training is thread-count deterministic: the learned model
+    // is bit-identical at any worker count (tree seeds are pre-drawn,
+    // and histogram accumulation is per-tree sequential).
+    #[test]
+    fn binned_training_is_thread_count_deterministic(
+        seed in 0u64..500,
+        n_rows in 60usize..140,
+    ) {
+        let (x, y) = training_data(seed, n_rows, 5);
+        let fit = |n_threads: usize| {
+            let mut f =
+                RandomForestRegressor::new(forest_config(Trainer::Binned, n_threads, seed));
+            f.fit(&x, &y).unwrap();
+            let mut out = vec![0.0; x.n_rows()];
+            f.predict_batch(MatrixView::Dense(&x), &mut out).unwrap();
+            out
+        };
+        let single = fit(1);
+        for n_threads in [2usize, 4] {
+            let multi = fit(n_threads);
+            for (a, b) in single.iter().zip(&multi) {
+                prop_assert!(a.to_bits() == b.to_bits());
+            }
+        }
+
+        let labels: Vec<u8> = y.iter().map(|&v| u8::from(v >= 0.0)).collect();
+        let fit_clf = |n_threads: usize| {
+            let mut f =
+                RandomForestClassifier::new(forest_config(Trainer::Binned, n_threads, seed));
+            f.fit(&x, &labels).unwrap();
+            let mut out = vec![0.0; x.n_rows()];
+            f.predict_batch(MatrixView::Dense(&x), &mut out).unwrap();
+            out
+        };
+        let single = fit_clf(1);
+        let multi = fit_clf(3);
+        for (a, b) in single.iter().zip(&multi) {
+            prop_assert!(a.to_bits() == b.to_bits());
+        }
+    }
+}
+
+// GBDT's sequential residual fitting beats a same-budget single forest
+// on a generated regression suite (smooth additive signal — exactly
+// the regime boosting is for).
+#[test]
+fn gbdt_beats_forest_on_regression_suite() {
+    let ds = make_regression(900, 8, 5, 0.2, 11);
+    let session = Session::new(ds.frame.clone()).with_kpi(&ds.kpi).unwrap();
+    let cfg = |kind: ModelKind| ModelConfig {
+        kind,
+        n_trees: 60,
+        max_depth: 8,
+        holdout_fraction: 0.25,
+        seed: 11,
+        ..ModelConfig::default()
+    };
+    let forest = session.train(&cfg(ModelKind::RandomForest)).unwrap();
+    let gbdt = session.train(&cfg(ModelKind::Gbdt)).unwrap();
+    // Confidence is holdout R² = 1 − MSE/Var, so higher R² is lower
+    // holdout MSE on the identical split.
+    assert!(
+        gbdt.confidence() > forest.confidence(),
+        "gbdt r2 {} should beat forest r2 {}",
+        gbdt.confidence(),
+        forest.confidence()
+    );
+    assert!(gbdt.confidence() > 0.5, "gbdt r2 {}", gbdt.confidence());
+}
+
+// NaN feature cells error cleanly (LearnError::Invalid) from the
+// binned-forest and GBDT entry points — same contract as the exact
+// tier, checked *before* any quantization work.
+#[test]
+fn nan_cells_error_cleanly_from_binned_entry_points() {
+    let (x, y) = training_data(3, 40, 4);
+    let mut rows: Vec<Vec<f64>> = (0..x.n_rows()).map(|i| x.row(i).to_vec()).collect();
+    rows[7][2] = f64::NAN;
+    let bad = Matrix::from_rows(&rows).unwrap();
+    let labels: Vec<u8> = y.iter().map(|&v| u8::from(v >= 0.0)).collect();
+
+    let mut f = RandomForestRegressor::new(forest_config(Trainer::Binned, 2, 3));
+    assert!(matches!(f.fit(&bad, &y), Err(LearnError::Invalid(_))));
+    let mut f = RandomForestClassifier::new(forest_config(Trainer::Binned, 2, 3));
+    assert!(matches!(f.fit(&bad, &labels), Err(LearnError::Invalid(_))));
+    let mut g = GbdtRegressor::new(GbdtConfig::default());
+    assert!(matches!(g.fit(&bad, &y), Err(LearnError::Invalid(_))));
+    let mut g = GbdtClassifier::new(GbdtConfig::default());
+    assert!(matches!(g.fit(&bad, &labels), Err(LearnError::Invalid(_))));
+}

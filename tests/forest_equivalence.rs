@@ -145,6 +145,7 @@ proptest! {
             tree: tree_config(max_depth, 1, None, 0),
             seed,
             n_threads,
+            ..ForestConfig::default()
         };
         if classify {
             let mut new = RandomForestClassifier::new(config.clone());
@@ -195,6 +196,7 @@ proptest! {
             tree: tree_config(6, 1, None, 0),
             seed,
             n_threads: threads,
+            ..ForestConfig::default()
         });
         forest.fit(&x, &labels).unwrap();
 
