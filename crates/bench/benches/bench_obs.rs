@@ -1,0 +1,92 @@
+//! Observability overhead. The headline number is
+//! `experiments::obs_bench` — instrumented-vs-uninstrumented dispatch
+//! on the cached slider-loop workload, flipped via the `whatif_obs`
+//! kill switch on one binary — emitted as the machine-readable
+//! `BENCH_obs.json`. Criterion then measures the building blocks in
+//! isolation: a counter bump, a histogram record, a full span with
+//! stage guards, and a structured log record into the ring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use whatif_bench::experiments::{obs_bench, write_obs_bench_json, Scale};
+use whatif_obs::{Histogram, Level, MetricsRegistry, Record, Stage};
+
+fn bench_obs(c: &mut Criterion) {
+    // Emit the report first: `cargo bench -p whatif-bench --bench
+    // bench_obs` always leaves BENCH_obs.json behind.
+    let report = obs_bench(Scale::Quick, 7);
+    write_obs_bench_json("BENCH_obs.json", &report).expect("write BENCH_obs.json");
+    println!(
+        "BENCH_obs.json: {} reqs x {} reps, hit rate {:.3} — envelope {:.2} -> {:.2} us/req \
+         ({:+.2}%), json line {:.2} -> {:.2} us/req ({:+.2}%)",
+        report.requests,
+        report.reps,
+        report.cache_hit_rate,
+        report.engine_off_us_per_req,
+        report.engine_on_us_per_req,
+        report.engine_overhead_pct,
+        report.json_off_us_per_req,
+        report.json_on_us_per_req,
+        report.json_overhead_pct,
+    );
+
+    let mut group = c.benchmark_group("obs");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("bench.count");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    let hist = Histogram::new();
+    let mut us = 1u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            us = us.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record_us(us % 1_000_000);
+        })
+    });
+
+    group.bench_function("span_with_stages", |b| {
+        b.iter(|| {
+            whatif_obs::span::begin(None);
+            whatif_obs::span::set_kind(3);
+            {
+                let _g = whatif_obs::span::stage(Stage::Decode);
+            }
+            {
+                let _g = whatif_obs::span::stage(Stage::Predict);
+            }
+            {
+                let _g = whatif_obs::span::stage(Stage::Encode);
+            }
+            criterion::black_box(whatif_obs::span::finish())
+        })
+    });
+
+    group.bench_function("log_record_to_ring", |b| {
+        let logger = whatif_obs::logger();
+        b.iter(|| {
+            logger.emit(
+                Record::new(Level::Debug, "bench_event")
+                    .str("request", "sensitivity_view")
+                    .u64("total_us", 1234)
+                    .f64("ratio", 0.5),
+            )
+        })
+    });
+    logger_cleanup();
+
+    group.finish();
+}
+
+/// Empty the global ring so the bench leaves no residue for anything
+/// else running in this process.
+fn logger_cleanup() {
+    whatif_obs::logger().clear_ring();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "train",
     "predict",
     "wire",
+    "obs",
 ];
 
 fn main() {
@@ -99,6 +100,9 @@ fn main() {
     }
     if should("wire") {
         wire(scale, seed);
+    }
+    if should("obs") {
+        obs(scale, seed);
     }
 }
 
@@ -451,6 +455,25 @@ fn wire(scale: Scale, seed: u64) {
     }
     experiments::write_wire_bench_json("BENCH_wire.json", &r).expect("write BENCH_wire.json");
     println!("wrote BENCH_wire.json");
+}
+
+fn obs(scale: Scale, seed: u64) {
+    header("obs — instrumentation overhead on the cached slider hot path");
+    let r = experiments::obs_bench(scale, seed);
+    println!(
+        "model: {} rows, {} trees; {} requests/pass x {} reps, cache hit rate {:.3}",
+        r.n_rows, r.n_trees, r.requests, r.reps, r.cache_hit_rate
+    );
+    println!(
+        "envelope path: {:.2} -> {:.2} us/req ({:+.2}% with instrumentation on)",
+        r.engine_off_us_per_req, r.engine_on_us_per_req, r.engine_overhead_pct
+    );
+    println!(
+        "json-line path: {:.2} -> {:.2} us/req ({:+.2}% with instrumentation on, target < 2%)",
+        r.json_off_us_per_req, r.json_on_us_per_req, r.json_overhead_pct
+    );
+    experiments::write_obs_bench_json("BENCH_obs.json", &r).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
 }
 
 fn robustness(scale: Scale, seed: u64) {

@@ -1197,6 +1197,242 @@ pub fn write_wire_bench_json(path: &str, report: &WireBenchReport) -> std::io::R
     write_json(path, report)
 }
 
+/// Machine-readable report of the observability overhead benchmark,
+/// written to `BENCH_obs.json` by `benches/bench_obs.rs` and the
+/// `repro` binary's `obs` experiment. It answers one question: what
+/// does the always-on instrumentation (per-request counters, latency
+/// histograms, stage spans, slow-query check) cost on the cached
+/// slider hot path, measured as enabled-vs-disabled on the same binary
+/// via the `whatif_obs` kill switch.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ObsBenchReport {
+    /// Dataset rows behind the trained session.
+    pub n_rows: usize,
+    /// Trees in the (deliberately small) forest.
+    pub n_trees: usize,
+    /// Slider laps per timed pass.
+    pub laps: usize,
+    /// Requests dispatched per timed pass (`laps` × lap length).
+    pub requests: usize,
+    /// Interleaved repetitions; each number below is the min across
+    /// them.
+    pub reps: usize,
+    /// Result-cache hit rate over the whole run — the target workload
+    /// is the *cached* hot path, so this should be close to 1.
+    pub cache_hit_rate: f64,
+    /// µs per request through `Engine::handle_envelope` (no JSON),
+    /// instrumentation off.
+    pub engine_off_us_per_req: f64,
+    /// Same, instrumentation on.
+    pub engine_on_us_per_req: f64,
+    /// `(on − off) / off` in percent for the envelope path.
+    pub engine_overhead_pct: f64,
+    /// µs per request through `Engine::dispatch_line` (parse + dispatch
+    /// + serialize — the full v2 server path), instrumentation off.
+    pub json_off_us_per_req: f64,
+    /// Same, instrumentation on.
+    pub json_on_us_per_req: f64,
+    /// `(on − off) / off` in percent for the JSON-line path. This is
+    /// the number the <2 % overhead target is pinned on: it is what a
+    /// TCP client actually pays per request.
+    pub json_overhead_pct: f64,
+}
+
+/// Measure instrumented-vs-uninstrumented dispatch on the slider-loop
+/// workload: every driver swept across [`SLIDER_POSITIONS`] sensitivity
+/// stops plus one goal inversion per lap, all served from the warm
+/// result cache. The same engine runs with the `whatif_obs` kill
+/// switch on and off in interleaved repetitions (min taken) so the
+/// difference isolates the instrumentation itself.
+///
+/// # Panics
+/// Panics on dispatch errors — benchmark inputs are trusted.
+pub fn obs_bench(scale: Scale, seed: u64) -> ObsBenchReport {
+    use std::time::Instant;
+    use whatif_server::{Engine, Envelope, Request, Response};
+
+    // The measured deltas are tens of nanoseconds per request, so the
+    // rep count is high: min-of-reps over interleaved passes needs many
+    // samples before scheduler noise (±1.5 points run to run at 7 reps)
+    // stops dominating the overhead percentage.
+    let (n_rows, n_trees, laps, reps) = match scale {
+        Scale::Full => (600, 16, 40, 80),
+        Scale::Quick => (200, 8, 6, 3),
+    };
+
+    let engine = Engine::new();
+    let session = match engine
+        .handle(Request::LoadUseCase {
+            use_case: whatif_server::UseCase::DealClosing,
+            n_rows: Some(n_rows),
+            seed: Some(seed),
+        })
+        .expect("load use case")
+    {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("unexpected: {other:?}"),
+    };
+    engine
+        .handle(Request::SelectKpi {
+            session,
+            kpi: "Deal Closed?".into(),
+        })
+        .expect("select kpi");
+    let config = ModelConfig {
+        n_trees,
+        max_depth: 6,
+        ..ModelConfig::default()
+    };
+    engine
+        .handle(Request::Train {
+            session,
+            config: Some(config),
+        })
+        .expect("train");
+
+    // One analyst lap: each driver swept across the slider stops, then
+    // one Excel-style inversion. Identical laps replay the same cache
+    // keys — the interactive re-evaluation profile the cache serves.
+    let drivers = ["Open Marketing Email", "Renewal", "Call", "Chat"];
+    let mut lap: Vec<Request> = Vec::new();
+    for driver in drivers {
+        for &pct in &SLIDER_POSITIONS {
+            lap.push(Request::SensitivityView {
+                session,
+                perturbations: vec![Perturbation::percentage(driver, pct)],
+            });
+        }
+    }
+    lap.push(Request::GoalInversionView {
+        session,
+        goal: Goal::Maximize,
+        constraints: vec![],
+        optimizer: None,
+        seed,
+    });
+    let lines: Vec<String> = lap
+        .iter()
+        .enumerate()
+        .map(|(i, req)| {
+            serde_json::to_string(&Envelope::new(i as u64, req.clone())).expect("serialize")
+        })
+        .collect();
+    let requests = laps * lap.len();
+
+    // Chunk size for paired timing: big enough that branch-predictor
+    // re-warm after an on/off flip is diluted, small enough that slow
+    // drift stays common to both halves of a pair.
+    const CHUNK_LAPS: usize = 5;
+    let run_chunk_envelopes = |engine: &Engine| -> std::time::Duration {
+        let t = Instant::now();
+        for _ in 0..CHUNK_LAPS {
+            for (i, req) in lap.iter().enumerate() {
+                let reply = engine.handle_envelope(Envelope::new(i as u64, req.clone()));
+                assert!(reply.error.is_none(), "dispatch failed: {:?}", reply.error);
+            }
+        }
+        t.elapsed()
+    };
+    let run_chunk_lines = |engine: &Engine| -> std::time::Duration {
+        let t = Instant::now();
+        for _ in 0..CHUNK_LAPS {
+            for line in &lines {
+                let (reply, _) = engine.dispatch_line(line);
+                std::hint::black_box(&reply);
+            }
+        }
+        t.elapsed()
+    };
+
+    // Warm pass: fills the result cache (later passes are ~all hits)
+    // and pre-faults allocator arenas.
+    whatif_obs::set_enabled(true);
+    run_chunk_envelopes(&engine);
+    run_chunk_lines(&engine);
+
+    // Paired measurement: the signal is tens of nanoseconds per request,
+    // far below pass-level scheduler noise. Each chunk is timed
+    // instrumented and uninstrumented back to back and only the
+    // *difference* is kept, so drift that moves both timings together
+    // (thermal, frequency, interference) cancels; the median over all
+    // paired deltas is then added to the fastest observed baseline
+    // chunk. Far more stable run-to-run than comparing two
+    // independently-taken minimums.
+    let pairs = (laps * reps).div_ceil(CHUNK_LAPS);
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let mut engine_off = f64::INFINITY;
+    let mut json_off = f64::INFINITY;
+    let mut engine_deltas = Vec::with_capacity(pairs);
+    let mut json_deltas = Vec::with_capacity(pairs);
+    // ABBA ordering: alternate which mode runs first within a pair, so
+    // any systematic first-vs-second effect (cache state left by the
+    // previous chunk) cancels across pairs instead of biasing the delta.
+    for i in 0..pairs {
+        let on_first = i % 2 == 0;
+        whatif_obs::set_enabled(on_first);
+        let first = us(run_chunk_envelopes(&engine));
+        whatif_obs::set_enabled(!on_first);
+        let second = us(run_chunk_envelopes(&engine));
+        let (on, off) = if on_first {
+            (first, second)
+        } else {
+            (second, first)
+        };
+        engine_off = engine_off.min(off);
+        engine_deltas.push(on - off);
+    }
+    for i in 0..pairs {
+        let on_first = i % 2 == 0;
+        whatif_obs::set_enabled(on_first);
+        let first = us(run_chunk_lines(&engine));
+        whatif_obs::set_enabled(!on_first);
+        let second = us(run_chunk_lines(&engine));
+        let (on, off) = if on_first {
+            (first, second)
+        } else {
+            (second, first)
+        };
+        json_off = json_off.min(off);
+        json_deltas.push(on - off);
+    }
+    // The kill switch is process-global: leave it the way servers run.
+    whatif_obs::set_enabled(true);
+
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        xs[xs.len() / 2]
+    };
+    let chunk_len = (lap.len() * CHUNK_LAPS) as f64;
+    let engine_on = engine_off + median(&mut engine_deltas);
+    let json_on = json_off + median(&mut json_deltas);
+
+    let per_req = |chunk_us: f64| chunk_us / chunk_len;
+    let overhead = |on: f64, off: f64| (on - off) / off * 100.0;
+    ObsBenchReport {
+        n_rows,
+        n_trees,
+        laps,
+        requests,
+        reps,
+        cache_hit_rate: engine.cache().stats().hit_rate(),
+        engine_off_us_per_req: per_req(engine_off),
+        engine_on_us_per_req: per_req(engine_on),
+        engine_overhead_pct: overhead(engine_on, engine_off),
+        json_off_us_per_req: per_req(json_off),
+        json_on_us_per_req: per_req(json_on),
+        json_overhead_pct: overhead(json_on, json_off),
+    }
+}
+
+/// Serialize an [`ObsBenchReport`] to `path` (the `BENCH_obs.json`
+/// emitter).
+///
+/// # Errors
+/// Propagated I/O errors from writing the file.
+pub fn write_obs_bench_json(path: &str, report: &ObsBenchReport) -> std::io::Result<()> {
+    write_json(path, report)
+}
+
 /// U1: marketing mix — importance ranking plus a budget-style
 /// constrained inversion.
 #[derive(Debug, Clone)]

@@ -155,6 +155,7 @@ impl TrainedModel {
         plans: &[&PerturbationPlan],
         requested_threads: usize,
     ) -> Vec<Result<f64>> {
+        let _stage = whatif_obs::span::stage(whatif_obs::Stage::Predict);
         let score = |plan: &PerturbationPlan, buf: &mut Vec<f64>| -> Result<f64> {
             let overlay = plan.overlay(self.matrix())?;
             self.predict_batch_into((&overlay).into(), buf)?;

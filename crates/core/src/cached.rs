@@ -132,10 +132,12 @@ impl EvalCache {
     }
 
     fn get(&self, key: &CacheKey) -> Option<CachedOutcome> {
+        let _stage = whatif_obs::span::stage(whatif_obs::Stage::CacheProbe);
         self.inner.get(key)
     }
 
     fn insert(&self, key: CacheKey, value: CachedOutcome) {
+        let _stage = whatif_obs::span::stage(whatif_obs::Stage::CacheProbe);
         self.inner.insert(key, value);
     }
 }
@@ -275,7 +277,10 @@ impl TrainedModel {
         if let Some(CachedOutcome::PerData(result)) = cache.get(&key) {
             return Ok((result, true));
         }
-        let result = self.per_data_for_plan(row, &plan)?;
+        let result = {
+            let _stage = whatif_obs::span::stage(whatif_obs::Stage::Predict);
+            self.per_data_for_plan(row, &plan)?
+        };
         cache.insert(key, CachedOutcome::PerData(result.clone()));
         Ok((result, false))
     }

@@ -403,6 +403,7 @@ impl TrainedModel {
     /// # Errors
     /// [`CoreError::Config`] on unknown or duplicated drivers.
     pub fn compile_perturbations(&self, set: &PerturbationSet) -> Result<PerturbationPlan> {
+        let _stage = whatif_obs::span::stage(whatif_obs::Stage::PlanCompile);
         set.compile(&self.driver_names)
     }
 
@@ -414,6 +415,7 @@ impl TrainedModel {
     /// [`CoreError::Config`] on plan/matrix width mismatch; propagated
     /// prediction errors otherwise.
     pub fn kpi_for_plan(&self, plan: &PerturbationPlan) -> Result<f64> {
+        let _stage = whatif_obs::span::stage(whatif_obs::Stage::Predict);
         let overlay = plan.overlay(&self.x)?;
         self.kpi_for_view(MatrixView::Overlay(&overlay))
     }

@@ -70,6 +70,7 @@ impl ModelStore {
         session: &Session,
         config: &ModelConfig,
     ) -> Result<(SharedModel, bool)> {
+        let _stage = whatif_obs::span::stage(whatif_obs::Stage::TrainOrShare);
         // Extract the training inputs once: the fingerprint hashes the
         // same matrix/targets the builder consumes on a miss, instead
         // of re-extracting them (which would double transient memory on

@@ -1,0 +1,35 @@
+//! Process-wide observability for the what-if engine.
+//!
+//! Three small, dependency-free building blocks, designed so the hot path
+//! (a cached slider drag) pays at most a handful of relaxed atomic
+//! operations and `Instant` reads:
+//!
+//! | module | what it provides |
+//! |---|---|
+//! | [`metrics`] | lock-free [`Counter`]/[`Gauge`]/[`Histogram`] plus a [`MetricsRegistry`] that snapshots them all |
+//! | [`span`] | a thread-local per-request span with named [`Stage`] timers (decode → … → encode) |
+//! | [`log`] | a leveled JSON-lines logger with an in-memory ring buffer and a slow-query threshold |
+//! | [`clock`] | a TSC-backed fast clock for per-request latency timing |
+//!
+//! The whole subsystem has a global kill switch ([`set_enabled`]) so the
+//! instrumented-vs-uninstrumented overhead can be measured on the same
+//! binary (see `BENCH_obs.json` at the repo root).
+//!
+//! Everything here is approximate under concurrency by design: counters,
+//! gauges, and histogram buckets use relaxed atomics, and a snapshot is
+//! not a consistent cut across metrics. After worker threads quiesce,
+//! though, the arithmetic invariants hold exactly (per-type counts sum to
+//! the total, histogram counts equal their counters) — the integration
+//! suite pins that.
+
+pub mod clock;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use log::{logger, Level, Logger, Record};
+pub use metrics::{
+    render_prometheus, Counter, CounterValue, Gauge, GaugeValue, Histogram, HistogramSummary,
+    MetricsRegistry, MetricsSnapshot,
+};
+pub use span::{enabled, set_enabled, FinishedSpan, Stage, StageGuard, N_STAGES};

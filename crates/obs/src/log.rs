@@ -1,0 +1,355 @@
+//! Leveled structured logging: JSON lines to stderr plus an in-memory
+//! ring buffer.
+//!
+//! The process-global [`Logger`] (via [`logger`]) has two independent
+//! level gates: `stderr_level` (default [`Level::Warn`], keeping test
+//! output quiet) controls what is printed, and `ring_level` (default
+//! [`Level::Debug`]) controls what is retained in the ring buffer for
+//! introspection. The ring holds the last [`RING_CAPACITY`] formatted
+//! lines.
+//!
+//! Records are built with the fluent [`Record`] API, which serializes
+//! fields straight into the line buffer — one allocation per record,
+//! no intermediate tree. Logging happens off the request hot path
+//! (connection lifecycle, slow queries, server errors), so the single
+//! `SystemTime` read and ring mutex are not a throughput concern.
+//!
+//! The logger also owns the *slow-query threshold*
+//! ([`Logger::slow_query_threshold_us`], default 250ms, `0` disables):
+//! the engine emits a `slow_query` record with the full per-stage
+//! breakdown and the request's `trace_id` for any request slower than
+//! the threshold.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Lines retained in the in-memory ring buffer.
+pub const RING_CAPACITY: usize = 512;
+
+/// Default slow-query threshold: 250ms.
+pub const DEFAULT_SLOW_QUERY_US: u64 = 250_000;
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Fine-grained events (connection close, cache churn).
+    Debug = 0,
+    /// Normal operational events.
+    Info = 1,
+    /// Degraded but handled conditions (slow queries, skipped frames).
+    Warn = 2,
+    /// Failures worth paging over.
+    Error = 3,
+}
+
+impl Level {
+    /// Stable lowercase label used in the JSON `level` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+/// A structured record under construction. Build with [`Record::new`],
+/// attach fields fluently, then hand to [`Logger::emit`].
+#[derive(Debug)]
+pub struct Record {
+    level: Level,
+    buf: String,
+}
+
+/// Append `value` to `buf` as a JSON string literal.
+fn push_json_str(buf: &mut String, value: &str) {
+    buf.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+impl Record {
+    /// Start a record: `{"ts_us":…,"level":"…","event":"…"`.
+    pub fn new(level: Level, event: &str) -> Record {
+        let ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let mut buf = String::with_capacity(128);
+        buf.push_str("{\"ts_us\":");
+        buf.push_str(&ts_us.to_string());
+        buf.push_str(",\"level\":\"");
+        buf.push_str(level.label());
+        buf.push_str("\",\"event\":");
+        push_json_str(&mut buf, event);
+        Record { level, buf }
+    }
+
+    fn key(mut self, key: &str) -> Record {
+        self.buf.push(',');
+        push_json_str(&mut self.buf, key);
+        self.buf.push(':');
+        self
+    }
+
+    /// Attach a string field.
+    pub fn str(self, key: &str, value: &str) -> Record {
+        let mut r = self.key(key);
+        push_json_str(&mut r.buf, value);
+        r
+    }
+
+    /// Attach a string field only when `value` is `Some`.
+    pub fn opt_str(self, key: &str, value: Option<&str>) -> Record {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self,
+        }
+    }
+
+    /// Attach an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Record {
+        let mut r = self.key(key);
+        r.buf.push_str(&value.to_string());
+        r
+    }
+
+    /// Attach a signed integer field.
+    pub fn i64(self, key: &str, value: i64) -> Record {
+        let mut r = self.key(key);
+        r.buf.push_str(&value.to_string());
+        r
+    }
+
+    /// Attach a float field (serialized with `{:.6}` for stability).
+    pub fn f64(self, key: &str, value: f64) -> Record {
+        let mut r = self.key(key);
+        r.buf.push_str(&format!("{value:.6}"));
+        r
+    }
+
+    /// Attach a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Record {
+        let mut r = self.key(key);
+        r.buf.push_str(if value { "true" } else { "false" });
+        r
+    }
+
+    /// Finalize into the JSON line (consumes the record).
+    fn into_line(mut self) -> (Level, String) {
+        self.buf.push('}');
+        (self.level, self.buf)
+    }
+}
+
+/// Process-global structured logger. Obtain via [`logger`].
+#[derive(Debug)]
+pub struct Logger {
+    stderr_level: AtomicU8,
+    ring_level: AtomicU8,
+    ring: Mutex<VecDeque<String>>,
+    slow_query_us: AtomicU64,
+}
+
+static LOGGER: OnceLock<Logger> = OnceLock::new();
+
+/// The process-global logger (created on first use).
+pub fn logger() -> &'static Logger {
+    LOGGER.get_or_init(|| Logger {
+        stderr_level: AtomicU8::new(Level::Warn as u8),
+        ring_level: AtomicU8::new(Level::Debug as u8),
+        ring: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+        slow_query_us: AtomicU64::new(DEFAULT_SLOW_QUERY_US),
+    })
+}
+
+impl Logger {
+    /// Emit a record: print to stderr and/or retain in the ring buffer,
+    /// each according to its own level gate.
+    pub fn emit(&self, record: Record) {
+        let (level, line) = record.into_line();
+        if level >= self.ring_level() {
+            let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+            if ring.len() >= RING_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(line.clone());
+        }
+        if level >= self.stderr_level() {
+            // Ignore a broken stderr — logging must never take the
+            // server down.
+            let _ = writeln!(std::io::stderr().lock(), "{line}");
+        }
+    }
+
+    /// The newest `n` retained lines, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<String> {
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Drop every retained line (test hygiene).
+    pub fn clear_ring(&self) {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Minimum level printed to stderr.
+    pub fn stderr_level(&self) -> Level {
+        Level::from_u8(self.stderr_level.load(Ordering::Relaxed))
+    }
+
+    /// Set the minimum level printed to stderr.
+    pub fn set_stderr_level(&self, level: Level) {
+        self.stderr_level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Minimum level retained in the ring buffer.
+    pub fn ring_level(&self) -> Level {
+        Level::from_u8(self.ring_level.load(Ordering::Relaxed))
+    }
+
+    /// Set the minimum level retained in the ring buffer.
+    pub fn set_ring_level(&self, level: Level) {
+        self.ring_level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Slow-query threshold in microseconds (`0` = disabled).
+    pub fn slow_query_threshold_us(&self) -> u64 {
+        self.slow_query_us.load(Ordering::Relaxed)
+    }
+
+    /// Set the slow-query threshold in microseconds (`0` disables).
+    pub fn set_slow_query_threshold_us(&self, us: u64) {
+        self.slow_query_us.store(us, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Logger {
+        Logger {
+            stderr_level: AtomicU8::new(Level::Error as u8),
+            ring_level: AtomicU8::new(Level::Debug as u8),
+            ring: Mutex::new(VecDeque::new()),
+            slow_query_us: AtomicU64::new(DEFAULT_SLOW_QUERY_US),
+        }
+    }
+
+    fn field<'a>(v: &'a serde::Value, key: &str) -> Option<&'a serde::Value> {
+        serde::find_field(v.as_object().expect("record is an object"), key)
+    }
+
+    #[test]
+    fn record_builds_valid_json() {
+        let (level, line) = Record::new(Level::Info, "slow_query")
+            .str("request", "sensitivity_view")
+            .u64("total_us", 1234)
+            .i64("delta", -5)
+            .f64("ratio", 0.25)
+            .bool("cached", true)
+            .opt_str("trace_id", Some("t-9"))
+            .opt_str("absent", None)
+            .into_line();
+        assert_eq!(level, Level::Info);
+        let v: serde::Value = serde_json::parse(&line).expect("valid JSON");
+        assert_eq!(field(&v, "event").unwrap().as_str(), Some("slow_query"));
+        assert_eq!(field(&v, "total_us").unwrap().as_u64(), Some(1234));
+        assert_eq!(field(&v, "delta").unwrap().as_i64(), Some(-5));
+        assert_eq!(field(&v, "cached").unwrap().as_bool(), Some(true));
+        assert_eq!(field(&v, "trace_id").unwrap().as_str(), Some("t-9"));
+        assert!(field(&v, "absent").is_none());
+        assert!(field(&v, "ts_us").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let (_, line) = Record::new(Level::Warn, "weird \"event\"\n")
+            .str("path", "a\\b\tc")
+            .into_line();
+        let v: serde::Value = serde_json::parse(&line).expect("escaped JSON parses");
+        assert_eq!(
+            field(&v, "event").unwrap().as_str(),
+            Some("weird \"event\"\n")
+        );
+        assert_eq!(field(&v, "path").unwrap().as_str(), Some("a\\b\tc"));
+    }
+
+    #[test]
+    fn ring_respects_level_gate_and_capacity() {
+        let log = fresh();
+        log.set_ring_level(Level::Info);
+        log.emit(Record::new(Level::Debug, "dropped"));
+        log.emit(Record::new(Level::Info, "kept"));
+        let lines = log.recent(10);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"kept\""));
+        for i in 0..(RING_CAPACITY + 5) {
+            log.emit(Record::new(Level::Warn, &format!("e{i}")));
+        }
+        let lines = log.recent(RING_CAPACITY * 2);
+        assert_eq!(lines.len(), RING_CAPACITY);
+        assert!(lines
+            .last()
+            .unwrap()
+            .contains(&format!("e{}", RING_CAPACITY + 4)));
+    }
+
+    #[test]
+    fn recent_returns_newest_lines_oldest_first() {
+        let log = fresh();
+        for i in 0..5 {
+            log.emit(Record::new(Level::Info, &format!("n{i}")));
+        }
+        let two = log.recent(2);
+        assert_eq!(two.len(), 2);
+        assert!(two[0].contains("\"n3\""));
+        assert!(two[1].contains("\"n4\""));
+    }
+
+    #[test]
+    fn slow_query_threshold_is_configurable() {
+        let log = fresh();
+        assert_eq!(log.slow_query_threshold_us(), DEFAULT_SLOW_QUERY_US);
+        log.set_slow_query_threshold_us(0);
+        assert_eq!(log.slow_query_threshold_us(), 0);
+    }
+
+    #[test]
+    fn global_logger_is_a_singleton() {
+        let a = logger() as *const Logger;
+        let b = logger() as *const Logger;
+        assert_eq!(a, b);
+    }
+}

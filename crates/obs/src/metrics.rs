@@ -1,0 +1,557 @@
+//! Lock-free process metrics.
+//!
+//! Three primitive instruments — [`Counter`], [`Gauge`], and a
+//! log₂-bucketed latency [`Histogram`] — plus a [`MetricsRegistry`] that
+//! hands out shared handles by name and serializes the whole process
+//! state as one [`MetricsSnapshot`].
+//!
+//! Recording is lock-free: callers resolve an `Arc` handle once (at
+//! startup) and afterwards touch only relaxed atomics. The registry's
+//! internal maps are locked solely during registration and snapshotting,
+//! which are off the request hot path.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets. Bucket `0` holds exact-zero
+/// observations; bucket `b ≥ 1` covers `[2^(b-1), 2^b - 1]` microseconds.
+/// 40 buckets reach ~2^39 µs ≈ 6.4 days, far beyond any request.
+pub const N_BUCKETS: usize = 40;
+
+/// Monotonically increasing event count (relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed up/down level (open connections, live sessions, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Latency histogram over log₂ microsecond buckets.
+///
+/// Each observation touches one bucket plus count/sum/max — four relaxed
+/// atomic ops, no locks, no allocation. Quantiles are read back from a
+/// [`HistogramSummary`]: the reported value is the upper bound of the
+/// bucket containing the requested rank, clamped to the observed maximum,
+/// so `p50 ≤ p90 ≤ p99 ≤ max` always holds and the error is at most the
+/// bucket width (a factor of two).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a microsecond value: 0 for 0, else `64 - lz(v)`
+/// clamped to the last bucket.
+fn bucket_index(us: u64) -> usize {
+    (64 - us.leading_zeros() as usize).min(N_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `idx` in microseconds.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation of `us` microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        // Cheap relaxed load first: in steady state the max rarely moves,
+        // and `fetch_max` is a read-modify-write on every call otherwise.
+        if us > self.max_us.load(Ordering::Relaxed) {
+            self.max_us.fetch_max(us, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one observation of a [`Duration`] (truncated to whole µs).
+    pub fn observe(&self, elapsed: Duration) {
+        self.record_us(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of observations (sum over buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Point-in-time summary with approximate quantiles.
+    pub fn summary(&self, name: &str) -> HistogramSummary {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max_us = self.max_us.load(Ordering::Relaxed);
+        HistogramSummary {
+            name: name.to_string(),
+            count,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us,
+            p50_us: quantile(&buckets, count, max_us, 0.50),
+            p90_us: quantile(&buckets, count, max_us, 0.90),
+            p99_us: quantile(&buckets, count, max_us, 0.99),
+        }
+    }
+}
+
+/// Upper bound of the bucket holding the `q`-quantile rank, clamped to
+/// the observed maximum.
+fn quantile(buckets: &[u64], count: u64, max_us: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (idx, &n) in buckets.iter().enumerate() {
+        cumulative += n;
+        if cumulative >= target {
+            return bucket_upper(idx).min(max_us);
+        }
+    }
+    max_us
+}
+
+/// One counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Metric name (dot-separated, e.g. `req.train.count`).
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    /// Metric name.
+    pub name: String,
+    /// Level at snapshot time.
+    pub value: i64,
+}
+
+/// One histogram in a snapshot, pre-summarized to quantiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Metric name (e.g. `req.train.latency_us`).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, microseconds.
+    pub sum_us: u64,
+    /// Largest single observation, microseconds.
+    pub max_us: u64,
+    /// Approximate 50th percentile (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// Approximate 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// Approximate 99th percentile, microseconds.
+    pub p99_us: u64,
+}
+
+/// Serializable point-in-time view of every registered metric.
+///
+/// Produced by [`MetricsRegistry::snapshot`]; rides the wire as the
+/// `Metrics` response body. Histograms with zero observations are
+/// omitted to keep eagerly-registered per-stage instruments from
+/// bloating the payload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name (registered handles plus pull-based
+    /// sources such as cache/store stats).
+    pub counters: Vec<CounterValue>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeValue>,
+    /// All non-empty histograms, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Look up a histogram summary by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+type Source = Box<dyn Fn() -> Vec<(String, u64)> + Send + Sync>;
+
+/// Name → instrument registry.
+///
+/// `counter`/`gauge`/`histogram` are get-or-register: the first call for
+/// a name creates the instrument, later calls return the same `Arc`.
+/// Callers hold the handle and record through it without ever touching
+/// the registry again. Pull-based [`sources`](MetricsRegistry::register_source)
+/// let externally-owned stats (cache, model store) appear in snapshots
+/// without parallel plumbing.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    sources: Mutex<Vec<Source>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or register the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or register the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            lock(&self.gauges)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or register the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Register a pull-based source polled at snapshot time; each
+    /// `(name, value)` pair it returns appears among the counters.
+    pub fn register_source<F>(&self, source: F)
+    where
+        F: Fn() -> Vec<(String, u64)> + Send + Sync + 'static,
+    {
+        lock(&self.sources).push(Box::new(source));
+    }
+
+    /// Serialize every registered instrument (plus sources) right now.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterValue> = lock(&self.counters)
+            .iter()
+            .map(|(name, c)| CounterValue {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        for source in lock(&self.sources).iter() {
+            for (name, value) in source() {
+                counters.push(CounterValue { name, value });
+            }
+        }
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let gauges = lock(&self.gauges)
+            .iter()
+            .map(|(name, g)| GaugeValue {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = lock(&self.histograms)
+            .iter()
+            .filter_map(|(name, h)| {
+                let s = h.summary(name);
+                (s.count > 0).then_some(s)
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Sanitize a metric name for Prometheus exposition: every character
+/// outside `[A-Za-z0-9_]` becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render a snapshot in Prometheus plaintext exposition style.
+///
+/// Counters and gauges emit one sample each; histograms emit `_count`,
+/// `_sum`, `_max`, and `quantile`-labeled samples. All names get a
+/// `whatif_` prefix and dot-separators become underscores.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let name = sanitize(&c.name);
+        out.push_str(&format!("# TYPE whatif_{name} counter\n"));
+        out.push_str(&format!("whatif_{name} {}\n", c.value));
+    }
+    for g in &snapshot.gauges {
+        let name = sanitize(&g.name);
+        out.push_str(&format!("# TYPE whatif_{name} gauge\n"));
+        out.push_str(&format!("whatif_{name} {}\n", g.value));
+    }
+    for h in &snapshot.histograms {
+        let name = sanitize(&h.name);
+        out.push_str(&format!("# TYPE whatif_{name} summary\n"));
+        for (q, v) in [("0.5", h.p50_us), ("0.9", h.p90_us), ("0.99", h.p99_us)] {
+            out.push_str(&format!("whatif_{name}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("whatif_{name}_count {}\n", h.count));
+        out.push_str(&format!("whatif_{name}_sum {}\n", h.sum_us));
+        out.push_str(&format!("whatif_{name}_max {}\n", h.max_us));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_log2_ranges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_is_inclusive_bound() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_clamped() {
+        let h = Histogram::new();
+        for us in [5u64, 10, 20, 40, 80, 160, 320, 640, 1280, 2560] {
+            h.record_us(us);
+        }
+        let s = h.summary("t");
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max_us, 2560);
+        assert!(s.p50_us <= s.p90_us);
+        assert!(s.p90_us <= s.p99_us);
+        assert!(s.p99_us <= s.max_us);
+        // p50 rank is the 5th observation (80µs) → bucket [64,127].
+        assert!(s.p50_us >= 80 && s.p50_us <= 127, "p50={}", s.p50_us);
+    }
+
+    #[test]
+    fn single_observation_reports_itself_at_every_quantile() {
+        let h = Histogram::new();
+        h.record_us(100);
+        let s = h.summary("one");
+        assert_eq!(s.count, 1);
+        assert_eq!((s.p50_us, s.p99_us, s.max_us), (100, 100, 100));
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zero() {
+        let s = Histogram::new().summary("empty");
+        assert_eq!(s.count, 0);
+        assert_eq!(
+            (s.p50_us, s.p90_us, s.p99_us, s.max_us, s.sum_us),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("hits");
+        let b = r.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("hits").get(), 3);
+        let g = r.gauge("open");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(r.gauge("open").get(), 1);
+    }
+
+    #[test]
+    fn snapshot_merges_sources_and_skips_empty_histograms() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(7);
+        r.histogram("seen").record_us(12);
+        r.histogram("never"); // registered but empty → omitted
+        r.register_source(|| vec![("cache.hits".to_string(), 41)]);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), Some(7));
+        assert_eq!(snap.counter("cache.hits"), Some(41));
+        assert!(snap.histogram("seen").is_some());
+        assert!(snap.histogram("never").is_none());
+        // Sorted by name, sources merged in.
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a", "cache.hits"]);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let r = MetricsRegistry::new();
+        r.counter("req.train.count").add(3);
+        r.gauge("net.connections_open").set(2);
+        r.histogram("req.train.latency_us").record_us(950);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitizes_names() {
+        let r = MetricsRegistry::new();
+        r.counter("req.train.count").add(3);
+        r.histogram("req.train.latency_us").record_us(80);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("whatif_req_train_count 3"));
+        assert!(text.contains("whatif_req_train_latency_us_count 1"));
+        assert!(text.contains("whatif_req_train_latency_us{quantile=\"0.99\"}"));
+        assert!(
+            !text.contains("req.train"),
+            "metric-name dots must be sanitized:\n{text}"
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_after_join() {
+        let r = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = r.counter("n");
+            let h = r.histogram("lat");
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    c.inc();
+                    h.record_us(i);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("n"), Some(8000));
+        assert_eq!(snap.histogram("lat").unwrap().count, 8000);
+    }
+}

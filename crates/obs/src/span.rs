@@ -1,0 +1,457 @@
+//! Per-request stage tracing.
+//!
+//! A *span* covers one request from the moment the transport sees it to
+//! the moment the reply is encoded. Within a span, RAII [`StageGuard`]s
+//! attribute wall time to named [`Stage`]s (decode → session lookup →
+//! plan compile → cache probe → train-or-share → predict → encode).
+//!
+//! The state lives in a thread local, which fits the server's
+//! thread-per-connection model: a request is handled start to finish on
+//! one thread, so no synchronization is needed and an inactive stage
+//! guard costs a single atomic load plus a TLS flag check.
+//!
+//! Stages nest: entering a stage while another is open pauses the outer
+//! one, so accumulated stage times are *self* times and their sum never
+//! exceeds the span total. `begin` on a thread that already has an open
+//! span is a no-op returning `false` — the engine's JSON entry point can
+//! therefore be called both directly by the line loop and nested inside
+//! a v3 frame handler without double counting.
+//!
+//! # Sampling
+//!
+//! A live span costs a couple of dozen clock reads across its stage
+//! guards — around a microsecond — which a cached slider request cannot
+//! afford on every call. [`begin_sampled`] therefore opens a real span
+//! only every [`sample_every`]-th request per thread (default
+//! [`DEFAULT_SAMPLE_EVERY`]); the rest see inert guards at the cost of
+//! one atomic load plus a TLS flag check. Per-request counters and
+//! latency histograms are *not* sampled — only the per-stage breakdown
+//! is. Set the rate to 1 to trace every request (tests, debugging).
+
+use crate::clock;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Number of pipeline stages in [`Stage::ALL`].
+pub const N_STAGES: usize = 7;
+
+/// Maximum stage nesting depth tracked per span; deeper guards are
+/// ignored (time stays attributed to the innermost tracked stage).
+const MAX_STAGE_DEPTH: usize = 8;
+
+/// Sentinel for a span whose request type was never identified
+/// (e.g. the line failed to parse).
+pub const KIND_UNSET: u16 = u16::MAX;
+
+/// A named slice of the request pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Stage {
+    /// Parsing the wire form (JSON line or v3 frame) into a request.
+    Decode = 0,
+    /// Resolving the session id against the registry.
+    SessionLookup = 1,
+    /// Compiling perturbation specs into evaluation plans.
+    PlanCompile = 2,
+    /// Probing the evaluation cache (lookups and insertions).
+    CacheProbe = 3,
+    /// Training a model or sharing one from the store.
+    TrainOrShare = 4,
+    /// Running model inference over plans.
+    Predict = 5,
+    /// Serializing the reply back to the wire.
+    Encode = 6,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order; indexes match `stage as usize`.
+    pub const ALL: [Stage; N_STAGES] = [
+        Stage::Decode,
+        Stage::SessionLookup,
+        Stage::PlanCompile,
+        Stage::CacheProbe,
+        Stage::TrainOrShare,
+        Stage::Predict,
+        Stage::Encode,
+    ];
+
+    /// Stable snake_case label used in metric names and log fields.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::SessionLookup => "session_lookup",
+            Stage::PlanCompile => "plan_compile",
+            Stage::CacheProbe => "cache_probe",
+            Stage::TrainOrShare => "train_or_share",
+            Stage::Predict => "predict",
+            Stage::Encode => "encode",
+        }
+    }
+}
+
+/// Global kill switch for spans and per-request recording. On by
+/// default; the overhead bench flips it to measure the uninstrumented
+/// baseline on the same binary.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable all span tracking process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span tracking is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Default stage-tracing sample rate: one traced request in 64.
+pub const DEFAULT_SAMPLE_EVERY: u32 = 64;
+
+/// Process-wide stage-tracing sample rate (see module docs).
+static SAMPLE_EVERY: AtomicU32 = AtomicU32::new(DEFAULT_SAMPLE_EVERY);
+
+thread_local! {
+    /// Per-thread tick for [`begin_sampled`]; thread-per-connection
+    /// servers get an even spread without a contended global counter.
+    static SAMPLE_TICK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Set how often [`begin_sampled`] opens a real span: every `n`-th
+/// request per thread. `1` traces everything; `0` is clamped to `1`.
+pub fn set_sample_every(n: u32) {
+    SAMPLE_EVERY.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current stage-tracing sample rate.
+pub fn sample_every() -> u32 {
+    SAMPLE_EVERY.load(Ordering::Relaxed)
+}
+
+/// [`begin`], rate-limited to one request in [`sample_every`] per
+/// thread. This is the entry point transports should use; `begin`
+/// itself always opens a span when free.
+pub fn begin_sampled(trace: Option<String>) -> bool {
+    if !enabled() {
+        return false;
+    }
+    let every = SAMPLE_EVERY.load(Ordering::Relaxed);
+    let sampled = every <= 1
+        || SAMPLE_TICK.with(|tick| {
+            let next = tick.get() + 1;
+            if next >= every {
+                tick.set(0);
+                true
+            } else {
+                tick.set(next);
+                false
+            }
+        });
+    sampled && begin(trace)
+}
+
+struct SpanState {
+    active: bool,
+    kind: u16,
+    trace: Option<String>,
+    start: clock::Ticks,
+    stage_ns: [u64; N_STAGES],
+    stack: [u8; MAX_STAGE_DEPTH],
+    depth: usize,
+    timer: clock::Ticks,
+}
+
+thread_local! {
+    /// Fast-path mirror of `SPAN.active`: a const-initialized `Cell`
+    /// avoids the lazy-init check and `RefCell` borrow flags on the
+    /// (overwhelmingly common) inert path of [`stage`] / [`set_kind`].
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+
+    static SPAN: RefCell<SpanState> = RefCell::new(SpanState {
+        active: false,
+        kind: KIND_UNSET,
+        trace: None,
+        start: clock::now(),
+        stage_ns: [0; N_STAGES],
+        stack: [0; MAX_STAGE_DEPTH],
+        depth: 0,
+        timer: clock::now(),
+    });
+}
+
+/// Completed span, returned by [`finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedSpan {
+    /// Request-type slot set via [`set_kind`], or [`KIND_UNSET`].
+    pub kind: u16,
+    /// Wall time from [`begin`] to [`finish`], nanoseconds.
+    pub total_ns: u64,
+    /// Self time per stage (indexed by `Stage as usize`), nanoseconds.
+    pub stage_ns: [u64; N_STAGES],
+    /// Trace id carried by the request envelope, if any.
+    pub trace: Option<String>,
+}
+
+/// Start a span on this thread. Returns `false` (and does nothing) if
+/// tracking is disabled or a span is already open — the caller that got
+/// `true` owns the matching [`finish`].
+pub fn begin(trace: Option<String>) -> bool {
+    if !enabled() {
+        return false;
+    }
+    if ACTIVE.with(Cell::get) {
+        return false;
+    }
+    SPAN.with(|cell| {
+        let mut st = cell.borrow_mut();
+        let now = clock::now();
+        st.active = true;
+        st.kind = KIND_UNSET;
+        st.trace = trace;
+        st.start = now;
+        st.stage_ns = [0; N_STAGES];
+        st.depth = 0;
+        st.timer = now;
+    });
+    ACTIVE.with(|a| a.set(true));
+    true
+}
+
+/// Record the request-type slot for the open span. First caller wins,
+/// so a batch envelope keeps its `batch` identity while inner steps run.
+pub fn set_kind(kind: u16) {
+    if !ACTIVE.with(Cell::get) {
+        return;
+    }
+    SPAN.with(|cell| {
+        let mut st = cell.borrow_mut();
+        if st.kind == KIND_UNSET {
+            st.kind = kind;
+        }
+    });
+}
+
+/// Attach a trace id to the open span if it doesn't have one yet.
+pub fn set_trace(trace: &str) {
+    if !ACTIVE.with(Cell::get) {
+        return;
+    }
+    SPAN.with(|cell| {
+        let mut st = cell.borrow_mut();
+        if st.trace.is_none() {
+            st.trace = Some(trace.to_string());
+        }
+    });
+}
+
+/// Whether this thread currently has an open span.
+pub fn is_active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Close the open span and return its timings, or `None` if no span is
+/// open. Any stage guards still alive are flushed defensively.
+pub fn finish() -> Option<FinishedSpan> {
+    if !ACTIVE.with(Cell::get) {
+        return None;
+    }
+    ACTIVE.with(|a| a.set(false));
+    SPAN.with(|cell| {
+        let mut st = cell.borrow_mut();
+        if !st.active {
+            return None;
+        }
+        let now = clock::now();
+        if st.depth > 0 {
+            let idx = st.stack[st.depth - 1] as usize;
+            st.stage_ns[idx] += clock::delta_ns(st.timer, now);
+            st.depth = 0;
+        }
+        st.active = false;
+        Some(FinishedSpan {
+            kind: st.kind,
+            total_ns: clock::delta_ns(st.start, now),
+            stage_ns: st.stage_ns,
+            trace: st.trace.take(),
+        })
+    })
+}
+
+/// RAII handle from [`stage`]; dropping it closes the stage and resumes
+/// the enclosing one. Not `Send`: it must drop on the thread it started.
+#[derive(Debug)]
+pub struct StageGuard {
+    live: bool,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Enter `stage` on the open span. With no open span (or tracking
+/// disabled) this returns an inert guard at the cost of one atomic load
+/// and one TLS check — safe to leave in library code unconditionally.
+pub fn stage(stage: Stage) -> StageGuard {
+    let inert = StageGuard {
+        live: false,
+        _not_send: std::marker::PhantomData,
+    };
+    if !ACTIVE.with(Cell::get) {
+        return inert;
+    }
+    SPAN.with(|cell| {
+        let mut st = cell.borrow_mut();
+        if !st.active || st.depth >= MAX_STAGE_DEPTH {
+            return inert;
+        }
+        let now = clock::now();
+        if st.depth > 0 {
+            let idx = st.stack[st.depth - 1] as usize;
+            st.stage_ns[idx] += clock::delta_ns(st.timer, now);
+        }
+        let depth = st.depth;
+        st.stack[depth] = stage as u8;
+        st.depth += 1;
+        st.timer = now;
+        StageGuard {
+            live: true,
+            _not_send: std::marker::PhantomData,
+        }
+    })
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        SPAN.with(|cell| {
+            let mut st = cell.borrow_mut();
+            if !st.active || st.depth == 0 {
+                return;
+            }
+            let now = clock::now();
+            let idx = st.stack[st.depth - 1] as usize;
+            st.stage_ns[idx] += clock::delta_ns(st.timer, now);
+            st.depth -= 1;
+            st.timer = now;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `set_enabled` is process-global, so tests that rely on the switch
+    /// (all of them — `begin` checks it) must not interleave with the
+    /// test that flips it off.
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn begin_finish_roundtrip_with_kind_and_trace() {
+        let _serial = serial();
+        assert!(begin(Some("t-1".to_string())));
+        set_kind(4);
+        set_kind(9); // first set wins
+        let f = finish().expect("span was open");
+        assert_eq!(f.kind, 4);
+        assert_eq!(f.trace.as_deref(), Some("t-1"));
+        assert!(finish().is_none(), "second finish is a no-op");
+    }
+
+    #[test]
+    fn nested_begin_is_rejected() {
+        let _serial = serial();
+        assert!(begin(None));
+        assert!(!begin(None), "nested begin must not steal the span");
+        assert!(finish().is_some());
+    }
+
+    #[test]
+    fn stage_self_times_sum_to_at_most_total() {
+        let _serial = serial();
+        assert!(begin(None));
+        {
+            let _outer = stage(Stage::Predict);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = stage(Stage::CacheProbe);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let f = finish().unwrap();
+        let predict = f.stage_ns[Stage::Predict as usize];
+        let probe = f.stage_ns[Stage::CacheProbe as usize];
+        assert!(predict >= 2_000_000, "outer self time ~3ms, got {predict}");
+        assert!(probe >= 1_000_000, "inner self time ~2ms, got {probe}");
+        assert!(
+            predict + probe <= f.total_ns,
+            "self times {predict}+{probe} exceed total {}",
+            f.total_ns
+        );
+    }
+
+    #[test]
+    fn stage_without_span_is_inert() {
+        let _serial = serial();
+        assert!(!is_active());
+        let g = stage(Stage::Decode);
+        drop(g);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn disabled_switch_suppresses_spans() {
+        let _serial = serial();
+        set_enabled(false);
+        assert!(!begin(None));
+        assert!(finish().is_none());
+        set_enabled(true);
+        assert!(begin(None));
+        assert!(finish().is_some());
+    }
+
+    #[test]
+    fn set_trace_fills_only_missing_trace() {
+        let _serial = serial();
+        assert!(begin(None));
+        set_trace("late");
+        set_trace("later"); // ignored, already set
+        let f = finish().unwrap();
+        assert_eq!(f.trace.as_deref(), Some("late"));
+    }
+
+    #[test]
+    fn sampling_opens_one_span_in_every_n() {
+        let _serial = serial();
+        set_sample_every(4);
+        let mut opened = 0;
+        for _ in 0..8 {
+            if begin_sampled(None) {
+                opened += 1;
+                assert!(finish().is_some());
+            }
+        }
+        assert_eq!(opened, 2, "one span per 4 requests over 8 requests");
+        set_sample_every(1);
+        assert!(begin_sampled(None), "rate 1 traces every request");
+        assert!(finish().is_some());
+        set_sample_every(DEFAULT_SAMPLE_EVERY);
+    }
+
+    #[test]
+    fn stage_labels_are_unique_and_ordered() {
+        let labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), N_STAGES);
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+        }
+    }
+}

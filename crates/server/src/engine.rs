@@ -14,9 +14,10 @@
 //! [`whatif_core::spec::AnalysisSpec::execute`], so the declarative
 //! spec path and the interactive protocol run the exact same code.
 
+use crate::obs::EngineObs;
 use crate::protocol::{
-    ApiError, ColumnInfo, Envelope, Reply, Request, Response, UseCase, CURRENT_SESSION,
-    PROTOCOL_VERSION,
+    ApiError, ColumnInfo, Envelope, Reply, Request, RequestKind, Response, UseCase,
+    CURRENT_SESSION, PROTOCOL_VERSION,
 };
 use crate::registry::Registry;
 use whatif_core::cached::EvalCache;
@@ -29,6 +30,8 @@ use whatif_core::store::ModelStore;
 use whatif_core::{ErrorCode, ModelKind, SpecOutcome};
 use whatif_datagen::{deal_closing, marketing_mix, retention};
 use whatif_frame::Frame;
+use whatif_obs::span::{self, Stage};
+use whatif_obs::MetricsSnapshot;
 
 /// Per-session backend state. The model is a [`SharedModel`]
 /// (`Arc<TrainedModel>`): analyses clone the handle and release the
@@ -66,11 +69,17 @@ enum LastOutcome {
 /// *same* session proceed in parallel. Only `Train`, `LoadCsv`/
 /// `LoadUseCase`, KPI/driver selection, and ledger writes touch the
 /// session under its lock — and those are short.
-#[derive(Default)]
 pub struct Engine {
     sessions: Registry<SessionEntry>,
     cache: EvalCache,
     models: ModelStore,
+    obs: EngineObs,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::with_cache_and_store(EvalCache::default(), ModelStore::default())
+    }
 }
 
 impl Engine {
@@ -82,20 +91,19 @@ impl Engine {
     /// Fresh engine evaluating through the given (possibly shared)
     /// result cache.
     pub fn with_cache(cache: EvalCache) -> Engine {
-        Engine {
-            sessions: Registry::new(),
-            cache,
-            models: ModelStore::default(),
-        }
+        Engine::with_cache_and_store(cache, ModelStore::default())
     }
 
     /// Fresh engine over the given (possibly shared) result cache and
     /// trained-model store.
     pub fn with_cache_and_store(cache: EvalCache, models: ModelStore) -> Engine {
+        let obs = EngineObs::new();
+        obs.register_cache_sources(cache.clone(), models.clone());
         Engine {
             sessions: Registry::new(),
             cache,
             models,
+            obs,
         }
     }
 
@@ -107,6 +115,16 @@ impl Engine {
     /// The process-wide trained-model store handle.
     pub fn model_store(&self) -> &ModelStore {
         &self.models
+    }
+
+    /// This engine's observability instruments (metrics + spans).
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
+    }
+
+    /// One point-in-time snapshot of every process metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Number of live sessions.
@@ -123,34 +141,45 @@ impl Engine {
     /// A typed [`ApiError`]; the transport decides how to frame it.
     pub fn handle(&self, request: Request) -> Result<Response, ApiError> {
         match request {
-            Request::Batch(steps) => Ok(Response::Batch(self.run_batch(0, steps))),
+            Request::Batch(steps) => Ok(Response::Batch(self.run_batch_recorded(0, steps))),
             other => self.dispatch(other).map(|(response, _)| response),
         }
     }
 
     /// Execute one v2 envelope, echoing its id on the reply. Analysis
     /// replies carry the [`Reply::cached`] marker when they were served
-    /// entirely from the result cache.
+    /// entirely from the result cache; the envelope's `trace_id` is
+    /// echoed verbatim on every reply, including failures.
     pub fn handle_envelope(&self, envelope: Envelope) -> Reply {
-        if envelope.version == 0 || envelope.version > PROTOCOL_VERSION {
-            return Reply::fail(
-                envelope.id,
+        let Envelope {
+            id,
+            version,
+            body,
+            trace_id,
+        } = envelope;
+        if let Some(trace) = trace_id.as_deref() {
+            span::set_trace(trace);
+        }
+        let reply = if version == 0 || version > PROTOCOL_VERSION {
+            self.obs.record_error(ErrorCode::BadRequest);
+            Reply::fail(
+                id,
                 ApiError::bad_request(format!(
-                    "unsupported protocol version {} (this server speaks 1..={PROTOCOL_VERSION})",
-                    envelope.version
+                    "unsupported protocol version {version} (this server speaks 1..={PROTOCOL_VERSION})"
                 )),
-            );
-        }
-        match envelope.body {
-            Request::Batch(steps) => Reply::ok(
-                envelope.id,
-                Response::Batch(self.run_batch(envelope.id, steps)),
-            ),
-            other => match self.dispatch(other) {
-                Ok((response, cached)) => Reply::ok(envelope.id, response).with_cached(cached),
-                Err(error) => Reply::fail(envelope.id, error),
-            },
-        }
+            )
+        } else {
+            match body {
+                Request::Batch(steps) => {
+                    Reply::ok(id, Response::Batch(self.run_batch_recorded(id, steps)))
+                }
+                other => match self.dispatch(other) {
+                    Ok((response, cached)) => Reply::ok(id, response).with_cached(cached),
+                    Err(error) => Reply::fail(id, error),
+                },
+            }
+        };
+        reply.with_trace(trace_id)
     }
 
     /// Dispatch one wire line, auto-detecting the framing: an object
@@ -159,52 +188,90 @@ impl Engine {
     /// a bare [`Response`]). Returns the serialized reply line plus
     /// whether the line asked the server to shut down.
     pub fn dispatch_line(&self, line: &str) -> (String, bool) {
-        let parsed = match serde_json::parse(line) {
-            Ok(value) => value,
-            Err(e) => {
-                let response =
-                    Response::Error(ApiError::bad_request(format!("malformed request: {e}")));
-                return (encode(&response), false);
+        // One span per line; inert when a v3 frame handler already owns
+        // the thread's span.
+        let _span = self.obs.begin_request();
+
+        /// Outcome of decoding one wire line, classified under a single
+        /// `Decode` stage guard.
+        enum Line {
+            Envelope(Envelope),
+            Plain(Request),
+            /// Unparseable line or undecodable v1 request body.
+            Malformed(String),
+            /// Envelope-shaped but undecodable; the salvaged `id` lets
+            /// the client correlate the failure.
+            BadEnvelope {
+                id: u64,
+                message: String,
+            },
+        }
+
+        let decoded = {
+            let _decode = span::stage(Stage::Decode);
+            match serde_json::parse(line) {
+                Err(e) => Line::Malformed(format!("malformed request: {e}")),
+                Ok(parsed) => {
+                    let is_envelope = parsed.as_object().is_some_and(|o| {
+                        serde::find_field(o, "id").is_some()
+                            && serde::find_field(o, "body").is_some()
+                    });
+                    if is_envelope {
+                        match serde_json::from_value::<Envelope>(&parsed) {
+                            Ok(envelope) => Line::Envelope(envelope),
+                            Err(e) => Line::BadEnvelope {
+                                id: parsed
+                                    .as_object()
+                                    .and_then(|o| serde::find_field(o, "id"))
+                                    .and_then(|v| v.as_u64())
+                                    .unwrap_or(0),
+                                message: format!("malformed envelope: {e}"),
+                            },
+                        }
+                    } else {
+                        match serde_json::from_value::<Request>(&parsed) {
+                            Ok(request) => Line::Plain(request),
+                            Err(e) => Line::Malformed(format!("malformed request: {e}")),
+                        }
+                    }
+                }
             }
         };
-        let is_envelope = parsed.as_object().is_some_and(|o| {
-            serde::find_field(o, "id").is_some() && serde::find_field(o, "body").is_some()
-        });
-        if is_envelope {
-            match serde_json::from_value::<Envelope>(&parsed) {
-                Ok(envelope) => {
-                    let reply = self.handle_envelope(envelope);
-                    let shutdown = reply.result.as_ref().is_some_and(acknowledged_shutdown);
-                    (encode(&reply), shutdown)
-                }
-                Err(e) => {
-                    // Salvage the id so the client can correlate the failure.
-                    let id = parsed
-                        .as_object()
-                        .and_then(|o| serde::find_field(o, "id"))
-                        .and_then(|v| v.as_u64())
-                        .unwrap_or(0);
-                    let reply = Reply::fail(
-                        id,
-                        ApiError::bad_request(format!("malformed envelope: {e}")),
-                    );
-                    (encode(&reply), false)
-                }
+
+        match decoded {
+            Line::Envelope(envelope) => {
+                let reply = self.handle_envelope(envelope);
+                let shutdown = reply.result.as_ref().is_some_and(acknowledged_shutdown);
+                (encode(&reply), shutdown)
             }
-        } else {
-            match serde_json::from_value::<Request>(&parsed) {
-                Ok(request) => {
-                    let response = self.handle(request).unwrap_or_else(Response::Error);
-                    let shutdown = acknowledged_shutdown(&response);
-                    (encode(&response), shutdown)
-                }
-                Err(e) => {
-                    let response =
-                        Response::Error(ApiError::bad_request(format!("malformed request: {e}")));
-                    (encode(&response), false)
-                }
+            Line::Plain(request) => {
+                let response = self.handle(request).unwrap_or_else(Response::Error);
+                let shutdown = acknowledged_shutdown(&response);
+                (encode(&response), shutdown)
+            }
+            Line::Malformed(message) => {
+                self.obs.record_error(ErrorCode::BadRequest);
+                let response = Response::Error(ApiError::bad_request(message));
+                (encode(&response), false)
+            }
+            Line::BadEnvelope { id, message } => {
+                self.obs.record_error(ErrorCode::BadRequest);
+                let reply = Reply::fail(id, ApiError::bad_request(message));
+                (encode(&reply), false)
             }
         }
+    }
+
+    /// [`Engine::run_batch`] plus batch-level metrics: the whole batch
+    /// is timed and counted under the `batch` kind (steps also count
+    /// individually through `dispatch`), and it claims the open span's
+    /// kind so slow batches log as batches.
+    fn run_batch_recorded(&self, id: u64, steps: Vec<Request>) -> Vec<Reply> {
+        span::set_kind(RequestKind::Batch as u16);
+        let started = self.obs.start_timer();
+        let replies = self.run_batch(id, steps);
+        self.obs.record_request(RequestKind::Batch, started, None);
+        replies
     }
 
     /// Run batch steps in order, stopping at the first failure. Every
@@ -214,6 +281,7 @@ impl Engine {
         let mut last_session: Option<u64> = None;
         for mut step in steps {
             if matches!(step, Request::Batch(_)) {
+                self.obs.record_error(ErrorCode::BadRequest);
                 replies.push(Reply::fail(
                     id,
                     ApiError::bad_request("batches do not nest"),
@@ -221,6 +289,7 @@ impl Engine {
                 break;
             }
             if let Err(error) = resolve_current_session(&mut step, last_session) {
+                self.obs.record_error(error.code);
                 replies.push(Reply::fail(id, error));
                 break;
             }
@@ -241,8 +310,21 @@ impl Engine {
     }
 
     /// Execute one non-batch request, reporting whether an analysis
-    /// response was served entirely from the result cache.
+    /// response was served entirely from the result cache. Wraps
+    /// [`Engine::dispatch_inner`] with per-request metrics: the
+    /// per-kind counter and latency histogram always move together,
+    /// for every outcome including errors.
     fn dispatch(&self, request: Request) -> Result<(Response, bool), ApiError> {
+        let kind = request.kind();
+        span::set_kind(kind as u16);
+        let started = self.obs.start_timer();
+        let result = self.dispatch_inner(request);
+        self.obs
+            .record_request(kind, started, result.as_ref().err().map(|e| e.code));
+        result
+    }
+
+    fn dispatch_inner(&self, request: Request) -> Result<(Response, bool), ApiError> {
         match request {
             Request::DriverImportanceView { session, verify } => {
                 self.run_analysis(session, AnalysisSpec::DriverImportance { verify })
@@ -322,6 +404,8 @@ impl Engine {
             }
             Request::CacheStats => Ok((Response::CacheStats(self.cache.stats()), false)),
             Request::ModelStoreStats => Ok((Response::ModelStoreStats(self.models.stats()), false)),
+            Request::MetricsSnapshot => Ok((Response::Metrics(self.obs.snapshot()), false)),
+            Request::MetricsPrometheus => Ok((Response::MetricsText(self.obs.prometheus()), false)),
             Request::ConfigureCache {
                 capacity_bytes,
                 enabled,
@@ -349,7 +433,9 @@ impl Engine {
             | Request::EvaluateScenarios { .. }
             | Request::CacheStats
             | Request::ConfigureCache { .. }
-            | Request::ModelStoreStats => Err(ApiError::new(
+            | Request::ModelStoreStats
+            | Request::MetricsSnapshot
+            | Request::MetricsPrometheus => Err(ApiError::new(
                 ErrorCode::Internal,
                 "analysis/cache request routed past dispatch",
             )),
@@ -480,6 +566,7 @@ impl Engine {
             }),
             Request::CloseSession { session } => {
                 if self.sessions.remove(session) {
+                    self.obs.sessions_open.dec();
                     Ok(Response::SessionClosed)
                 } else {
                     Err(ApiError::unknown_session(session))
@@ -549,6 +636,8 @@ impl Engine {
             ledger: ScenarioLedger::new(),
             last_outcome: None,
         });
+        self.obs.sessions_total.inc();
+        self.obs.sessions_open.inc();
         Response::SessionCreated {
             session: id,
             n_rows,
@@ -563,6 +652,7 @@ impl Engine {
     where
         F: FnOnce(&mut SessionEntry) -> Result<R, ApiError>,
     {
+        let _stage = span::stage(Stage::SessionLookup);
         self.sessions
             .with(id, f)
             .unwrap_or_else(|| Err(ApiError::unknown_session(id)))
@@ -570,6 +660,7 @@ impl Engine {
 }
 
 fn encode<T: serde::Serialize>(value: &T) -> String {
+    let _stage = span::stage(Stage::Encode);
     serde_json::to_string(value).unwrap_or_else(|e| {
         format!("{{\"Error\":{{\"code\":\"Internal\",\"message\":\"encode: {e}\"}}}}")
     })

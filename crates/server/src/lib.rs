@@ -15,6 +15,9 @@
 //!   callers, and tests.
 //! * [`registry`] — the generic sharded id → entry registry
 //!   (`RwLock` shards, `AtomicU64` ids, per-entry locking).
+//! * [`obs`] — engine-side observability: pre-registered per-request
+//!   and per-stage instruments over `whatif-obs`, the slow-query log,
+//!   and the metrics snapshot served by `Request::MetricsSnapshot`.
 //! * [`handlers`] — the legacy v1-style [`ServerState`] adapter.
 //! * [`tcp`] — a thread-per-connection TCP server speaking
 //!   line-delimited JSON in both framings, plus a matching client. Each
@@ -27,6 +30,7 @@
 
 pub mod engine;
 pub mod handlers;
+pub mod obs;
 pub mod protocol;
 pub mod registry;
 pub mod tcp;
@@ -35,7 +39,8 @@ pub mod v3;
 pub use engine::Engine;
 pub use handlers::ServerState;
 pub use protocol::{
-    ApiError, Envelope, Reply, Request, Response, UseCase, CURRENT_SESSION, PROTOCOL_VERSION,
+    ApiError, Envelope, Reply, Request, RequestKind, Response, UseCase, CURRENT_SESSION,
+    PROTOCOL_VERSION,
 };
 pub use tcp::{serve, serve_with_engine, Client};
 pub use v3::{V3Client, V3Error};

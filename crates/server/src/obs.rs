@@ -1,0 +1,375 @@
+//! Engine-side observability plumbing over `whatif-obs`.
+//!
+//! [`EngineObs`] owns the process [`MetricsRegistry`] and pre-resolves
+//! every hot-path instrument at construction — per-request-type
+//! counters and latency histograms, per-stage histograms, per-error-code
+//! counters, and the network/v3 byte accounting — so recording a
+//! dispatch costs a few relaxed atomics with no name hashing or map
+//! lookups. `EvalCache`/`ModelStore` stats appear in snapshots through
+//! pull-based sources rather than parallel plumbing.
+//!
+//! # Metric names
+//!
+//! | name | instrument |
+//! |---|---|
+//! | `requests_total`, `errors_total`, `slow_queries_total` | counters |
+//! | `req.{kind}.count` / `req.{kind}.latency_us` | counter / histogram per [`RequestKind`] |
+//! | `stage.{kind}.{stage}_us` | histogram per kind × pipeline stage |
+//! | `error.{code}.count` | counter per [`ErrorCode`] |
+//! | `net.bytes_in` / `net.bytes_out` / `net.connections_total` | counters |
+//! | `net.connections_open`, `sessions_open` | gauges |
+//! | `sessions_total` | counter |
+//! | `v3.frames_in` / `v3.frames_skipped` | counters |
+//! | `v3.bytes_in_raw` / `v3.bytes_out_raw` / `v3.bytes_out_wire` | counters |
+//! | `cache.*` / `store.*` | pull-based sources over the live stats |
+//!
+//! `req.{kind}.count` and `requests_total` are *derived* from the
+//! latency histograms at snapshot time rather than kept as separate
+//! counters: a dispatch records exactly one histogram observation, so
+//! `sum(req.*.count) == requests_total` and each histogram's count
+//! equals its counter by construction — invariants the integration
+//! suite pins. The per-stage histograms are fed by sampled spans (see
+//! `whatif_obs::span::set_sample_every`), keeping the per-request hot
+//! path to two clock reads and one histogram record.
+
+use crate::protocol::RequestKind;
+use std::sync::Arc;
+use whatif_core::cached::EvalCache;
+use whatif_core::store::ModelStore;
+use whatif_core::ErrorCode;
+use whatif_obs::clock;
+use whatif_obs::log::{logger, Level, Record};
+use whatif_obs::span::{self, Stage, KIND_UNSET};
+use whatif_obs::{
+    render_prometheus, Counter, CounterValue, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+    N_STAGES,
+};
+
+/// Extra request-kind slot for requests whose type was never identified
+/// (the line failed to parse before a `Request` existed).
+const UNKNOWN_SLOT: usize = RequestKind::COUNT;
+
+/// Label for a request-kind slot, including the unknown slot.
+fn slot_label(slot: usize) -> &'static str {
+    RequestKind::ALL
+        .get(slot)
+        .map(|k| k.label())
+        .unwrap_or("unknown")
+}
+
+/// Pre-resolved instruments for the engine's request path. One per
+/// [`Engine`](crate::engine::Engine); cloned `Arc` handles are shared
+/// with the transport layer for byte/connection accounting.
+#[derive(Debug)]
+pub struct EngineObs {
+    registry: Arc<MetricsRegistry>,
+    errors_total: Arc<Counter>,
+    slow_queries_total: Arc<Counter>,
+    /// Indexed by request-kind slot; the last slot is `unknown`.
+    kind_latency: Vec<Arc<Histogram>>,
+    /// `[kind slot][stage]` self-time histograms.
+    stage_hist: Vec<Vec<Arc<Histogram>>>,
+    /// Indexed by `ErrorCode::all()` position.
+    error_count: Vec<Arc<Counter>>,
+    /// Bytes read off accepted sockets (all protocols).
+    pub bytes_in: Arc<Counter>,
+    /// Bytes written to accepted sockets (all protocols).
+    pub bytes_out: Arc<Counter>,
+    /// Connections accepted over the process lifetime.
+    pub connections_total: Arc<Counter>,
+    /// Connections currently open.
+    pub connections_open: Arc<Gauge>,
+    /// Sessions created over the process lifetime.
+    pub sessions_total: Arc<Counter>,
+    /// Sessions currently live.
+    pub sessions_open: Arc<Gauge>,
+    /// v3 request frames decoded.
+    pub v3_frames_in: Arc<Counter>,
+    /// v3 frames skipped by resynchronization.
+    pub v3_frames_skipped: Arc<Counter>,
+    /// v3 request payload bytes before decompression accounting (raw
+    /// payload as carried, i.e. possibly compressed).
+    pub v3_bytes_in_raw: Arc<Counter>,
+    /// v3 reply payload bytes before compression.
+    pub v3_bytes_out_raw: Arc<Counter>,
+    /// v3 reply bytes actually written (header + possibly compressed
+    /// payload); `v3_bytes_out_wire / v3_bytes_out_raw` is the live
+    /// compression ratio.
+    pub v3_bytes_out_wire: Arc<Counter>,
+}
+
+impl Default for EngineObs {
+    fn default() -> EngineObs {
+        EngineObs::new()
+    }
+}
+
+impl EngineObs {
+    /// Build a registry and eagerly register every request-path
+    /// instrument.
+    pub fn new() -> EngineObs {
+        let registry = Arc::new(MetricsRegistry::new());
+        let n_slots = RequestKind::COUNT + 1;
+        let mut kind_latency = Vec::with_capacity(n_slots);
+        let mut stage_hist = Vec::with_capacity(n_slots);
+        for slot in 0..n_slots {
+            let label = slot_label(slot);
+            kind_latency.push(registry.histogram(&format!("req.{label}.latency_us")));
+            stage_hist.push(
+                Stage::ALL
+                    .iter()
+                    .map(|s| registry.histogram(&format!("stage.{label}.{}_us", s.label())))
+                    .collect(),
+            );
+        }
+        let error_count = ErrorCode::all()
+            .iter()
+            .map(|c| registry.counter(&format!("error.{}.count", c.as_str())))
+            .collect();
+        EngineObs {
+            errors_total: registry.counter("errors_total"),
+            slow_queries_total: registry.counter("slow_queries_total"),
+            kind_latency,
+            stage_hist,
+            error_count,
+            bytes_in: registry.counter("net.bytes_in"),
+            bytes_out: registry.counter("net.bytes_out"),
+            connections_total: registry.counter("net.connections_total"),
+            connections_open: registry.gauge("net.connections_open"),
+            sessions_total: registry.counter("sessions_total"),
+            sessions_open: registry.gauge("sessions_open"),
+            v3_frames_in: registry.counter("v3.frames_in"),
+            v3_frames_skipped: registry.counter("v3.frames_skipped"),
+            v3_bytes_in_raw: registry.counter("v3.bytes_in_raw"),
+            v3_bytes_out_raw: registry.counter("v3.bytes_out_raw"),
+            v3_bytes_out_wire: registry.counter("v3.bytes_out_wire"),
+            registry,
+        }
+    }
+
+    /// Expose the cache/store stats as `cache.*` / `store.*` snapshot
+    /// counters (pulled live at snapshot time, never duplicated).
+    pub fn register_cache_sources(&self, cache: EvalCache, models: ModelStore) {
+        self.registry.register_source(move || {
+            let s = cache.stats();
+            vec![
+                ("cache.hits".to_string(), s.hits),
+                ("cache.misses".to_string(), s.misses),
+                ("cache.insertions".to_string(), s.insertions),
+                ("cache.evictions".to_string(), s.evictions),
+                ("cache.entries".to_string(), s.entries),
+                ("cache.bytes".to_string(), s.bytes),
+                ("cache.capacity_bytes".to_string(), s.capacity_bytes),
+                ("cache.oversized_skips".to_string(), s.oversized_skips),
+                ("cache.enabled".to_string(), u64::from(s.enabled)),
+            ]
+        });
+        self.registry.register_source(move || {
+            let s = models.stats();
+            vec![
+                ("store.hits".to_string(), s.hits),
+                ("store.misses".to_string(), s.misses),
+                ("store.build_failures".to_string(), s.build_failures),
+                ("store.entries".to_string(), s.entries),
+                ("store.referenced".to_string(), s.referenced),
+                ("store.bytes".to_string(), s.bytes),
+                ("store.capacity_bytes".to_string(), s.capacity_bytes),
+                ("store.evictions".to_string(), s.evictions),
+            ]
+        });
+    }
+
+    /// The timestamp to measure a dispatch against, or `None` when
+    /// instrumentation is disabled (skipping even the clock read). Uses
+    /// the obs crate's TSC-backed fast clock — two of these reads per
+    /// request is most of the always-on overhead budget.
+    pub fn start_timer(&self) -> Option<clock::Ticks> {
+        span::enabled().then(clock::now)
+    }
+
+    /// Record one dispatched request: one observation in the per-kind
+    /// latency histogram (which *is* the request counter — see module
+    /// docs), plus error accounting when the outcome failed. Requests
+    /// over the slow-query threshold that are not covered by an open
+    /// span (i.e. not sampled for stage tracing) still get a `slow_query`
+    /// log line here, just without the stage breakdown.
+    pub fn record_request(
+        &self,
+        kind: RequestKind,
+        started: Option<clock::Ticks>,
+        error: Option<ErrorCode>,
+    ) {
+        let Some(started) = started else { return };
+        let latency_us = clock::elapsed_us(started);
+        self.kind_latency[kind as usize].record_us(latency_us);
+        if let Some(code) = error {
+            self.record_error(code);
+        }
+        let threshold_us = logger().slow_query_threshold_us();
+        if threshold_us > 0 && latency_us >= threshold_us && !span::is_active() {
+            self.slow_queries_total.inc();
+            logger().emit(
+                Record::new(Level::Warn, "slow_query")
+                    .str("request", slot_label(kind as usize))
+                    .u64("total_us", latency_us)
+                    .u64("threshold_us", threshold_us),
+            );
+        }
+    }
+
+    /// Count an error produced outside a dispatched request (malformed
+    /// line, version rejection, batch sentinel failure).
+    pub fn record_error(&self, code: ErrorCode) {
+        if !span::enabled() {
+            return;
+        }
+        self.errors_total.inc();
+        if let Some(idx) = ErrorCode::all().iter().position(|c| *c == code) {
+            self.error_count[idx].inc();
+        }
+    }
+
+    /// Open a request span on this thread (RAII), subject to the
+    /// stage-tracing sample rate. The returned scope finishes the span
+    /// on drop, folds its stage self-times into the per-kind stage
+    /// histograms, and emits a `slow_query` log record when the total
+    /// exceeds the logger's threshold. A scope taken while another span
+    /// is already open (a nested entry point), or one that lost the
+    /// sampling draw, is inert.
+    pub fn begin_request(&self) -> RequestScope<'_> {
+        RequestScope {
+            obs: self,
+            owns: span::begin_sampled(None),
+        }
+    }
+
+    fn finish_active_span(&self) {
+        let Some(finished) = span::finish() else {
+            return;
+        };
+        let slot = if finished.kind == KIND_UNSET {
+            UNKNOWN_SLOT
+        } else {
+            (finished.kind as usize).min(UNKNOWN_SLOT)
+        };
+        for (stage_idx, &ns) in finished.stage_ns.iter().enumerate() {
+            if ns > 0 {
+                self.stage_hist[slot][stage_idx].record_us(ns / 1_000);
+            }
+        }
+        let total_us = finished.total_ns / 1_000;
+        let threshold_us = logger().slow_query_threshold_us();
+        if threshold_us > 0 && total_us >= threshold_us {
+            self.slow_queries_total.inc();
+            let mut record = Record::new(Level::Warn, "slow_query")
+                .str("request", slot_label(slot))
+                .u64("total_us", total_us)
+                .u64("threshold_us", threshold_us);
+            debug_assert_eq!(Stage::ALL.len(), N_STAGES);
+            for stage in Stage::ALL {
+                let ns = finished.stage_ns[stage as usize];
+                if ns > 0 {
+                    record = record.u64(&format!("{}_us", stage.label()), ns / 1_000);
+                }
+            }
+            record = record.opt_str("trace_id", finished.trace.as_deref());
+            logger().emit(record);
+        }
+    }
+
+    /// One point-in-time snapshot of every registered metric, with the
+    /// per-kind request counters and `requests_total` derived from the
+    /// latency histograms *of the same snapshot* — counter and histogram
+    /// can never disagree, even under concurrent traffic.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        let mut total = 0u64;
+        let mut derived = Vec::with_capacity(RequestKind::COUNT + 2);
+        for slot in 0..=RequestKind::COUNT {
+            let label = slot_label(slot);
+            let count = snap
+                .histogram(&format!("req.{label}.latency_us"))
+                .map_or(0, |h| h.count);
+            total += count;
+            if count > 0 {
+                derived.push(CounterValue {
+                    name: format!("req.{label}.count"),
+                    value: count,
+                });
+            }
+        }
+        derived.push(CounterValue {
+            name: "requests_total".to_string(),
+            value: total,
+        });
+        snap.counters.extend(derived);
+        snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        snap
+    }
+
+    /// The snapshot rendered as Prometheus plaintext exposition.
+    pub fn prometheus(&self) -> String {
+        render_prometheus(&self.snapshot())
+    }
+}
+
+/// RAII request-span scope from [`EngineObs::begin_request`].
+#[derive(Debug)]
+pub struct RequestScope<'a> {
+    obs: &'a EngineObs,
+    owns: bool,
+}
+
+impl Drop for RequestScope<'_> {
+    fn drop(&mut self) {
+        if self.owns {
+            self.obs.finish_active_span();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_slot_has_instruments() {
+        let obs = EngineObs::new();
+        assert_eq!(obs.kind_latency.len(), RequestKind::COUNT + 1);
+        assert_eq!(obs.stage_hist.len(), RequestKind::COUNT + 1);
+        for per_kind in &obs.stage_hist {
+            assert_eq!(per_kind.len(), N_STAGES);
+        }
+        assert_eq!(obs.error_count.len(), ErrorCode::all().len());
+    }
+
+    #[test]
+    fn record_request_moves_counter_and_histogram_together() {
+        let obs = EngineObs::new();
+        let started = obs.start_timer();
+        obs.record_request(RequestKind::Train, started, Some(ErrorCode::NotTrained));
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("requests_total"), Some(1));
+        assert_eq!(snap.counter("req.train.count"), Some(1));
+        assert_eq!(snap.histogram("req.train.latency_us").unwrap().count, 1);
+        assert_eq!(snap.counter("errors_total"), Some(1));
+        assert_eq!(snap.counter("error.not_trained.count"), Some(1));
+    }
+
+    #[test]
+    fn unknown_slot_label_covers_overflow() {
+        assert_eq!(slot_label(0), "list_use_cases");
+        assert_eq!(slot_label(UNKNOWN_SLOT), "unknown");
+        assert_eq!(slot_label(usize::MAX), "unknown");
+    }
+
+    #[test]
+    fn snapshot_includes_source_stats() {
+        let obs = EngineObs::new();
+        obs.register_cache_sources(EvalCache::default(), ModelStore::default());
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(0));
+        assert_eq!(snap.counter("store.misses"), Some(0));
+        assert!(snap.counter("cache.capacity_bytes").unwrap() > 0);
+    }
+}

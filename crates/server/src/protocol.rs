@@ -28,6 +28,7 @@ use whatif_core::sensitivity::{ComparisonCurve, PerDataSensitivity, SensitivityR
 use whatif_core::spec::SpecOutcome;
 use whatif_core::{CoreError, DriverConstraint, ErrorCode, GoalInversionResult};
 use whatif_frame::Value;
+use whatif_obs::MetricsSnapshot;
 
 /// The current wire protocol version. v3 adds the binary columnar
 /// framing (`whatif-wire`); v2 JSON envelopes and v1 bare requests
@@ -221,6 +222,15 @@ pub enum Request {
     /// capacity, evictions. See `docs/PROTOCOL.md` for the sharing
     /// semantics.
     ModelStoreStats,
+    /// One point-in-time snapshot of every process metric: per-request
+    /// latency histograms, per-stage timing breakdowns, error-code
+    /// counters, network/v3 byte totals, and the cache/store stats as
+    /// registered metrics. Answered by [`Response::Metrics`].
+    MetricsSnapshot,
+    /// The same snapshot rendered as Prometheus plaintext exposition,
+    /// answered by [`Response::MetricsText`] — suitable for piping
+    /// straight into a scrape file.
+    MetricsPrometheus,
     /// Stop the TCP server (connection-level; in-process dispatch
     /// answers with an acknowledgement).
     Shutdown,
@@ -230,6 +240,134 @@ pub enum Request {
     /// response is [`Response::Batch`] with one [`Reply`] per executed
     /// step. Batches do not nest.
     Batch(Vec<Request>),
+}
+
+/// Stable request-type identity for metrics: one slot per [`Request`]
+/// variant, with a snake_case label used in metric names
+/// (`req.{label}.count`, `req.{label}.latency_us`, …).
+///
+/// Discriminants are contiguous from zero in [`RequestKind::ALL`]
+/// order, so `kind as usize` indexes pre-registered instrument arrays
+/// without hashing on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+#[allow(missing_docs)] // mirrors Request variant-for-variant
+pub enum RequestKind {
+    ListUseCases = 0,
+    LoadUseCase,
+    LoadCsv,
+    TableView,
+    SelectKpi,
+    SelectDrivers,
+    Train,
+    DriverImportanceView,
+    SensitivityView,
+    ComparisonView,
+    PerDataView,
+    GoalInversionView,
+    EvaluateScenarios,
+    RecordScenario,
+    ListScenarios,
+    CloseSession,
+    CacheStats,
+    ConfigureCache,
+    ModelStoreStats,
+    MetricsSnapshot,
+    MetricsPrometheus,
+    Shutdown,
+    Batch,
+}
+
+impl RequestKind {
+    /// Number of request kinds.
+    pub const COUNT: usize = 23;
+
+    /// Every kind, in declaration order; `ALL[kind as usize] == kind`.
+    pub const ALL: [RequestKind; RequestKind::COUNT] = [
+        RequestKind::ListUseCases,
+        RequestKind::LoadUseCase,
+        RequestKind::LoadCsv,
+        RequestKind::TableView,
+        RequestKind::SelectKpi,
+        RequestKind::SelectDrivers,
+        RequestKind::Train,
+        RequestKind::DriverImportanceView,
+        RequestKind::SensitivityView,
+        RequestKind::ComparisonView,
+        RequestKind::PerDataView,
+        RequestKind::GoalInversionView,
+        RequestKind::EvaluateScenarios,
+        RequestKind::RecordScenario,
+        RequestKind::ListScenarios,
+        RequestKind::CloseSession,
+        RequestKind::CacheStats,
+        RequestKind::ConfigureCache,
+        RequestKind::ModelStoreStats,
+        RequestKind::MetricsSnapshot,
+        RequestKind::MetricsPrometheus,
+        RequestKind::Shutdown,
+        RequestKind::Batch,
+    ];
+
+    /// Stable snake_case label used in metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestKind::ListUseCases => "list_use_cases",
+            RequestKind::LoadUseCase => "load_use_case",
+            RequestKind::LoadCsv => "load_csv",
+            RequestKind::TableView => "table_view",
+            RequestKind::SelectKpi => "select_kpi",
+            RequestKind::SelectDrivers => "select_drivers",
+            RequestKind::Train => "train",
+            RequestKind::DriverImportanceView => "driver_importance_view",
+            RequestKind::SensitivityView => "sensitivity_view",
+            RequestKind::ComparisonView => "comparison_view",
+            RequestKind::PerDataView => "per_data_view",
+            RequestKind::GoalInversionView => "goal_inversion_view",
+            RequestKind::EvaluateScenarios => "evaluate_scenarios",
+            RequestKind::RecordScenario => "record_scenario",
+            RequestKind::ListScenarios => "list_scenarios",
+            RequestKind::CloseSession => "close_session",
+            RequestKind::CacheStats => "cache_stats",
+            RequestKind::ConfigureCache => "configure_cache",
+            RequestKind::ModelStoreStats => "model_store_stats",
+            RequestKind::MetricsSnapshot => "metrics_snapshot",
+            RequestKind::MetricsPrometheus => "metrics_prometheus",
+            RequestKind::Shutdown => "shutdown",
+            RequestKind::Batch => "batch",
+        }
+    }
+}
+
+impl Request {
+    /// This request's metrics identity.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::ListUseCases => RequestKind::ListUseCases,
+            Request::LoadUseCase { .. } => RequestKind::LoadUseCase,
+            Request::LoadCsv { .. } => RequestKind::LoadCsv,
+            Request::TableView { .. } => RequestKind::TableView,
+            Request::SelectKpi { .. } => RequestKind::SelectKpi,
+            Request::SelectDrivers { .. } => RequestKind::SelectDrivers,
+            Request::Train { .. } => RequestKind::Train,
+            Request::DriverImportanceView { .. } => RequestKind::DriverImportanceView,
+            Request::SensitivityView { .. } => RequestKind::SensitivityView,
+            Request::ComparisonView { .. } => RequestKind::ComparisonView,
+            Request::PerDataView { .. } => RequestKind::PerDataView,
+            Request::GoalInversionView { .. } => RequestKind::GoalInversionView,
+            Request::EvaluateScenarios { .. } => RequestKind::EvaluateScenarios,
+            Request::RecordScenario { .. } => RequestKind::RecordScenario,
+            Request::ListScenarios { .. } => RequestKind::ListScenarios,
+            Request::CloseSession { .. } => RequestKind::CloseSession,
+            Request::CacheStats => RequestKind::CacheStats,
+            Request::ConfigureCache { .. } => RequestKind::ConfigureCache,
+            Request::ModelStoreStats => RequestKind::ModelStoreStats,
+            Request::MetricsSnapshot => RequestKind::MetricsSnapshot,
+            Request::MetricsPrometheus => RequestKind::MetricsPrometheus,
+            Request::Shutdown => RequestKind::Shutdown,
+            Request::Batch(_) => RequestKind::Batch,
+        }
+    }
 }
 
 /// A column descriptor in the table view.
@@ -334,6 +472,11 @@ pub enum Response {
     /// Trained-model-store accounting (answer to
     /// [`Request::ModelStoreStats`]).
     ModelStoreStats(StoreStats),
+    /// Process metrics snapshot (answer to [`Request::MetricsSnapshot`]).
+    Metrics(MetricsSnapshot),
+    /// Prometheus plaintext rendering of the metrics snapshot (answer
+    /// to [`Request::MetricsPrometheus`]).
+    MetricsText(String),
     /// Session closed.
     SessionClosed,
     /// Shutdown acknowledged.
@@ -446,6 +589,12 @@ pub struct Envelope {
     pub version: u32,
     /// The request to execute.
     pub body: Request,
+    /// Optional client-chosen trace id, echoed verbatim on the
+    /// [`Reply`] and stamped into server-side slow-query log lines.
+    /// Unlike `id` (a per-connection correlation counter), a trace id
+    /// follows one user interaction across systems.
+    #[serde(default)]
+    pub trace_id: Option<String>,
 }
 
 fn default_version() -> u32 {
@@ -459,7 +608,14 @@ impl Envelope {
             id,
             version: PROTOCOL_VERSION,
             body,
+            trace_id: None,
         }
+    }
+
+    /// Attach a trace id (builder style).
+    pub fn with_trace(mut self, trace_id: impl Into<String>) -> Envelope {
+        self.trace_id = Some(trace_id.into());
+        self
     }
 }
 
@@ -480,6 +636,10 @@ pub struct Reply {
     /// `false` for non-analysis responses and on errors.
     #[serde(default)]
     pub cached: bool,
+    /// The request envelope's trace id, echoed verbatim (absent when
+    /// the request carried none).
+    #[serde(default)]
+    pub trace_id: Option<String>,
 }
 
 impl Reply {
@@ -490,6 +650,7 @@ impl Reply {
             result: Some(result),
             error: None,
             cached: false,
+            trace_id: None,
         }
     }
 
@@ -500,12 +661,19 @@ impl Reply {
             result: None,
             error: Some(error),
             cached: false,
+            trace_id: None,
         }
     }
 
     /// Set the cache marker (builder style).
     pub fn with_cached(mut self, cached: bool) -> Reply {
         self.cached = cached;
+        self
+    }
+
+    /// Set the echoed trace id (builder style).
+    pub fn with_trace(mut self, trace_id: Option<String>) -> Reply {
+        self.trace_id = trace_id;
         self
     }
 
@@ -764,12 +932,16 @@ mod tests {
     #[test]
     fn unknown_future_fields_are_tolerated() {
         // Snapshot of a hypothetical v4 reply line: extra envelope
-        // fields must not break an older client.
-        let json = r#"{"id":7,"result":"ShuttingDown","cached":false,"server_epoch":123,"trace_id":"abc"}"#;
+        // fields must not break an older client. (`trace_id` used to be
+        // the unknown-field fixture here; it is a real field now, so
+        // the hypothetical future field is `span_id`.)
+        let json =
+            r#"{"id":7,"result":"ShuttingDown","cached":false,"server_epoch":123,"span_id":"abc"}"#;
         let reply: Reply = serde_json::from_str(json).unwrap();
         assert_eq!(reply.id, 7);
         assert_eq!(reply.result, Some(Response::ShuttingDown));
         assert!(!reply.cached);
+        assert_eq!(reply.trace_id, None);
 
         // A tagged enum finds its variant even with unknown siblings.
         let json = r#"{"debug_hint":"added-in-v4","SessionClosed":null}"#;
@@ -828,6 +1000,80 @@ mod tests {
         assert_eq!(
             back.into_result().unwrap_err().code,
             ErrorCode::UnknownSession
+        );
+    }
+
+    #[test]
+    fn trace_id_roundtrips_when_present() {
+        // Envelope side: the field parses and serializes verbatim.
+        let env = Envelope::new(9, Request::ListUseCases).with_trace("ui-slider-17");
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(json.contains("\"trace_id\":\"ui-slider-17\""), "{json}");
+        assert_eq!(env, serde_json::from_str::<Envelope>(&json).unwrap());
+
+        // Reply side: the echo survives a roundtrip.
+        let reply = Reply::ok(9, Response::SessionClosed).with_trace(Some("ui-slider-17".into()));
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(json.contains("\"trace_id\":\"ui-slider-17\""), "{json}");
+        assert_eq!(reply, serde_json::from_str::<Reply>(&json).unwrap());
+    }
+
+    #[test]
+    fn trace_id_defaults_to_none_when_absent() {
+        // A pre-trace client omits the field entirely.
+        let env: Envelope = serde_json::from_str(r#"{"id":3,"body":"ListUseCases"}"#).unwrap();
+        assert_eq!(env.trace_id, None);
+        let reply: Reply = serde_json::from_str(r#"{"id":3,"result":"SessionClosed"}"#).unwrap();
+        assert_eq!(reply.trace_id, None);
+        // And an explicit null is the same as absent.
+        let env: Envelope =
+            serde_json::from_str(r#"{"id":3,"body":"ListUseCases","trace_id":null}"#).unwrap();
+        assert_eq!(env.trace_id, None);
+    }
+
+    #[test]
+    fn metrics_requests_and_responses_roundtrip() {
+        for req in [Request::MetricsSnapshot, Request::MetricsPrometheus] {
+            let json = serde_json::to_string(&req).unwrap();
+            assert_eq!(req, serde_json::from_str::<Request>(&json).unwrap());
+        }
+        let resp = Response::Metrics(MetricsSnapshot {
+            counters: vec![whatif_obs::CounterValue {
+                name: "requests_total".into(),
+                value: 12,
+            }],
+            gauges: vec![whatif_obs::GaugeValue {
+                name: "sessions_open".into(),
+                value: 1,
+            }],
+            histograms: vec![],
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(resp, serde_json::from_str::<Response>(&json).unwrap());
+        let text = Response::MetricsText("whatif_requests_total 12\n".into());
+        let json = serde_json::to_string(&text).unwrap();
+        assert_eq!(text, serde_json::from_str::<Response>(&json).unwrap());
+    }
+
+    #[test]
+    fn request_kind_slots_are_contiguous_with_unique_labels() {
+        for (i, kind) in RequestKind::ALL.iter().enumerate() {
+            assert_eq!(*kind as usize, i, "slot mismatch for {kind:?}");
+        }
+        let mut labels: Vec<&str> = RequestKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), RequestKind::COUNT, "labels must be unique");
+        // Spot-check the Request → kind mapping.
+        assert_eq!(Request::ListUseCases.kind(), RequestKind::ListUseCases);
+        assert_eq!(Request::Batch(vec![]).kind(), RequestKind::Batch);
+        assert_eq!(
+            Request::MetricsSnapshot.kind(),
+            RequestKind::MetricsSnapshot
+        );
+        assert_eq!(
+            Request::CloseSession { session: 1 }.kind(),
+            RequestKind::CloseSession
         );
     }
 

@@ -27,10 +27,11 @@
 
 use crate::engine::Engine;
 use crate::protocol::{Envelope, Reply, Request, Response};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use whatif_obs::{logger, Counter, Level, Record};
 
 /// Start serving on `addr` (use port 0 for an ephemeral port) with a
 /// fresh engine. Returns the bound address and the accept-loop join
@@ -85,14 +86,86 @@ pub fn serve_with_engine(
     Ok((local, handle))
 }
 
+/// `Read` wrapper feeding every socket byte into the process-wide
+/// `net.bytes_in` counter and a per-connection total. Sits *inside* the
+/// `BufReader`, so buffered refills are counted exactly once.
+struct MeteredReader<R> {
+    inner: R,
+    process: Arc<Counter>,
+    connection: Arc<AtomicU64>,
+}
+
+impl<R: Read> Read for MeteredReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.process.add(n as u64);
+        self.connection.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+/// `Write` twin of [`MeteredReader`]: counts bytes as the `BufWriter`
+/// flushes them to the socket.
+struct MeteredWriter<W> {
+    inner: W,
+    process: Arc<Counter>,
+    connection: Arc<AtomicU64>,
+}
+
+impl<W: Write> Write for MeteredWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.process.add(n as u64);
+        self.connection.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 fn handle_client(
     stream: TcpStream,
     engine: &Engine,
     stop: &AtomicBool,
     local: SocketAddr,
 ) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let obs = engine.obs();
+    obs.connections_total.inc();
+    obs.connections_open.inc();
+    let conn_in = Arc::new(AtomicU64::new(0));
+    let conn_out = Arc::new(AtomicU64::new(0));
+    let result = serve_sniffed(stream, engine, stop, local, &conn_in, &conn_out);
+    obs.connections_open.dec();
+    logger().emit(
+        Record::new(Level::Debug, "connection_closed")
+            .u64("bytes_in", conn_in.load(Ordering::Relaxed))
+            .u64("bytes_out", conn_out.load(Ordering::Relaxed))
+            .bool("error", result.is_err()),
+    );
+    result
+}
+
+fn serve_sniffed(
+    stream: TcpStream,
+    engine: &Engine,
+    stop: &AtomicBool,
+    local: SocketAddr,
+    conn_in: &Arc<AtomicU64>,
+    conn_out: &Arc<AtomicU64>,
+) -> std::io::Result<()> {
+    let obs = engine.obs();
+    let mut reader = BufReader::new(MeteredReader {
+        inner: stream.try_clone()?,
+        process: Arc::clone(&obs.bytes_in),
+        connection: Arc::clone(conn_in),
+    });
+    let mut writer = BufWriter::new(MeteredWriter {
+        inner: stream,
+        process: Arc::clone(&obs.bytes_out),
+        connection: Arc::clone(conn_out),
+    });
     // Sniff the first byte: v3 frames open with 0xB3, which is never
     // the first byte of a JSON request line.
     let first = match reader.fill_buf()? {

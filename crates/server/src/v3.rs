@@ -23,10 +23,13 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::engine::Engine;
+use crate::obs::EngineObs;
 use crate::protocol::{ApiError, Envelope, Reply, Request, Response};
 use whatif_core::bulk::ScenarioSpec;
 use whatif_core::perturbation::{Perturbation, PerturbationSet};
 use whatif_core::ErrorCode;
+use whatif_obs::span;
+use whatif_obs::Stage;
 use whatif_wire::{
     read_event, write_frame, ComparisonReply, ComparisonRequest, Compression, DriverColumn,
     ErrorReply, Frame, FrameEvent, FrameType, OutcomeBlock, OutcomeStreamHead, PerturbKind,
@@ -112,10 +115,28 @@ fn grid_to_specs(grid: &ScenarioGridRequest) -> Result<Vec<ScenarioSpec>, ApiErr
     Ok(specs)
 }
 
+/// Write one outbound frame under the `Encode` stage, crediting the
+/// v3 raw/wire byte counters (the wire size includes headers and
+/// reflects whatever compression actually won).
+fn emit(
+    w: &mut impl Write,
+    obs: &EngineObs,
+    frame_type: FrameType,
+    payload: &[u8],
+    prefer: Compression,
+) -> Result<usize, WireError> {
+    let _stage = span::stage(Stage::Encode);
+    let n = write_frame(w, frame_type, payload, prefer)?;
+    obs.v3_bytes_out_raw.add(payload.len() as u64);
+    obs.v3_bytes_out_wire.add(n as u64);
+    Ok(n)
+}
+
 /// Write a `ScenariosEvaluated` response as a bounded frame stream:
 /// head, `ceil(total / DEFAULT_BLOCK_ROWS)` KPI blocks, end marker.
 fn stream_outcomes(
     w: &mut impl Write,
+    obs: &EngineObs,
     id: u64,
     response: &Response,
     prefer: Compression,
@@ -132,7 +153,7 @@ fn stream_outcomes(
             ErrorCode::Internal,
             "scenario evaluation produced a non-scenario response",
         );
-        write_frame(w, ft, &payload, prefer)?;
+        emit(w, obs, ft, &payload, prefer)?;
         return Ok(());
     };
     let recorded = !recorded_ids.is_empty();
@@ -148,7 +169,7 @@ fn stream_outcomes(
                 outcomes.len()
             ),
         );
-        write_frame(w, ft, &payload, prefer)?;
+        emit(w, obs, ft, &payload, prefer)?;
         return Ok(());
     }
     let head = OutcomeStreamHead {
@@ -157,7 +178,7 @@ fn stream_outcomes(
         baseline_kpi: outcomes.first().map_or(f64::NAN, |o| o.baseline_kpi),
         recorded,
     };
-    write_frame(w, FrameType::StreamHead, &head.encode(), prefer)?;
+    emit(w, obs, FrameType::StreamHead, &head.encode(), prefer)?;
     let mut blocks = 0u32;
     for (chunk_index, chunk) in outcomes.chunks(DEFAULT_BLOCK_ROWS).enumerate() {
         let start = chunk_index * DEFAULT_BLOCK_ROWS;
@@ -171,11 +192,11 @@ fn stream_outcomes(
                 Vec::new()
             },
         };
-        write_frame(w, FrameType::StreamBlock, &block.encode(), prefer)?;
+        emit(w, obs, FrameType::StreamBlock, &block.encode(), prefer)?;
         blocks += 1;
     }
     let end = StreamEnd { id, blocks };
-    write_frame(w, FrameType::StreamEnd, &end.encode(), prefer)?;
+    emit(w, obs, FrameType::StreamEnd, &end.encode(), prefer)?;
     Ok(())
 }
 
@@ -187,6 +208,7 @@ fn answer(
     request: WireRequest,
     prefer: Compression,
 ) -> Result<bool, WireError> {
+    let obs = engine.obs();
     let id = request.id;
     match request.body {
         RequestBody::Json(json) => {
@@ -197,15 +219,16 @@ fn answer(
                 id,
                 body: ReplyBody::Json(line),
             };
-            write_frame(w, FrameType::Reply, &reply.encode(), prefer)?;
+            emit(w, obs, FrameType::Reply, &reply.encode(), prefer)?;
             Ok(shutdown)
         }
         RequestBody::Scenarios(grid) => {
             let specs = match grid_to_specs(&grid) {
                 Ok(specs) => specs,
                 Err(e) => {
+                    obs.record_error(e.code);
                     let (ft, payload) = api_error_frame(id, &e);
-                    write_frame(w, ft, &payload, prefer)?;
+                    emit(w, obs, ft, &payload, prefer)?;
                     return Ok(false);
                 }
             };
@@ -219,7 +242,7 @@ fn answer(
                 },
             ));
             match (reply.result, reply.error) {
-                (Some(response), _) => stream_outcomes(w, id, &response, prefer)?,
+                (Some(response), _) => stream_outcomes(w, obs, id, &response, prefer)?,
                 (None, error) => {
                     let error = error.unwrap_or_else(|| {
                         ApiError::new(
@@ -228,14 +251,14 @@ fn answer(
                         )
                     });
                     let (ft, payload) = api_error_frame(id, &error);
-                    write_frame(w, ft, &payload, prefer)?;
+                    emit(w, obs, ft, &payload, prefer)?;
                 }
             }
             Ok(false)
         }
         RequestBody::LoadCsv { csv } => {
             let reply = engine.handle_envelope(Envelope::new(id, Request::LoadCsv { csv }));
-            write_reply_or_error(w, id, reply, prefer)?;
+            write_reply_or_error(w, obs, id, reply, prefer)?;
             Ok(false)
         }
         RequestBody::Comparison(cmp) => {
@@ -260,7 +283,7 @@ fn answer(
                         id,
                         body: ReplyBody::Comparison(body),
                     };
-                    write_frame(w, FrameType::Reply, &reply.encode(), prefer)?;
+                    emit(w, obs, FrameType::Reply, &reply.encode(), prefer)?;
                 }
                 (Some(_), _) => {
                     let (ft, payload) = error_frame(
@@ -268,7 +291,7 @@ fn answer(
                         ErrorCode::Internal,
                         "comparison produced a non-comparison response",
                     );
-                    write_frame(w, ft, &payload, prefer)?;
+                    emit(w, obs, ft, &payload, prefer)?;
                 }
                 (None, error) => {
                     let error = error.unwrap_or_else(|| {
@@ -278,7 +301,7 @@ fn answer(
                         )
                     });
                     let (ft, payload) = api_error_frame(id, &error);
-                    write_frame(w, ft, &payload, prefer)?;
+                    emit(w, obs, ft, &payload, prefer)?;
                 }
             }
             Ok(false)
@@ -290,13 +313,14 @@ fn answer(
 /// success or a typed error frame on failure.
 fn write_reply_or_error(
     w: &mut impl Write,
+    obs: &EngineObs,
     id: u64,
     reply: Reply,
     prefer: Compression,
 ) -> Result<(), WireError> {
     if let Some(error) = &reply.error {
         let (ft, payload) = api_error_frame(id, error);
-        write_frame(w, ft, &payload, prefer)?;
+        emit(w, obs, ft, &payload, prefer)?;
         return Ok(());
     }
     let json = serde_json::to_string(&reply)
@@ -305,7 +329,7 @@ fn write_reply_or_error(
         id,
         body: ReplyBody::Json(json),
     };
-    write_frame(w, FrameType::Reply, &wire_reply.encode(), prefer)?;
+    emit(w, obs, FrameType::Reply, &wire_reply.encode(), prefer)?;
     Ok(())
 }
 
@@ -323,6 +347,7 @@ pub(crate) fn serve_connection(
     engine: &Engine,
     stop: &AtomicBool,
 ) -> std::io::Result<bool> {
+    let obs = engine.obs();
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(false);
@@ -330,13 +355,15 @@ pub(crate) fn serve_connection(
         match read_event(reader) {
             Ok(FrameEvent::Eof) => return Ok(false),
             Ok(FrameEvent::Skipped { error, skipped }) => {
+                obs.v3_frames_skipped.inc();
+                obs.record_error(ErrorCode::BadRequest);
                 // The reader realigned; tell the peer what was dropped.
                 let (ft, payload) = error_frame(
                     0,
                     ErrorCode::BadRequest,
                     format!("skipped {skipped} bytes of malformed frame data: {error}"),
                 );
-                if write_frame(writer, ft, &payload, Compression::None).is_err() {
+                if emit(writer, obs, ft, &payload, Compression::None).is_err() {
                     return Ok(false); // peer gone
                 }
                 writer.flush()?;
@@ -346,21 +373,31 @@ pub(crate) fn serve_connection(
                 compression,
                 payload,
             })) => {
+                obs.v3_frames_in.inc();
+                obs.v3_bytes_in_raw.add(payload.len() as u64);
+                // One span per frame: the engine's own begin() inside
+                // dispatch is then inert, so decode + dispatch + encode
+                // land in a single per-request stage breakdown.
+                let _span = obs.begin_request();
+                let decoded = {
+                    let _stage = span::stage(Stage::Decode);
+                    WireRequest::decode(&payload)
+                };
                 // Replies mirror the request's compression preference:
                 // clients that send plain frames get plain frames back
                 // (encode_frame still only compresses when it wins).
-                let shutdown = match WireRequest::decode(&payload) {
+                let shutdown = match decoded {
                     Ok(request) => {
                         answer(writer, engine, request, compression).map_err(io_from_wire)?
                     }
                     Err(e) => {
+                        obs.record_error(ErrorCode::BadRequest);
                         let (ft, payload) = error_frame(
                             0,
                             ErrorCode::BadRequest,
                             format!("undecodable request payload: {e}"),
                         );
-                        write_frame(writer, ft, &payload, Compression::None)
-                            .map_err(io_from_wire)?;
+                        emit(writer, obs, ft, &payload, Compression::None).map_err(io_from_wire)?;
                         false
                     }
                 };
@@ -370,12 +407,14 @@ pub(crate) fn serve_connection(
                 }
             }
             Ok(FrameEvent::Frame(frame)) => {
+                obs.v3_frames_in.inc();
+                obs.record_error(ErrorCode::BadRequest);
                 let (ft, payload) = error_frame(
                     0,
                     ErrorCode::BadRequest,
                     format!("servers accept Request frames, got {:?}", frame.frame_type),
                 );
-                write_frame(writer, ft, &payload, Compression::None).map_err(io_from_wire)?;
+                emit(writer, obs, ft, &payload, Compression::None).map_err(io_from_wire)?;
                 writer.flush()?;
             }
             Err(WireError::Truncated { .. }) => {
@@ -842,8 +881,9 @@ mod tests {
             outcomes: vec![outcome("a"), outcome("b")],
             recorded_ids: vec![7],
         };
+        let engine = Engine::new();
         let mut out = Vec::new();
-        stream_outcomes(&mut out, 3, &response, Compression::None).unwrap();
+        stream_outcomes(&mut out, engine.obs(), 3, &response, Compression::None).unwrap();
         let mut r = std::io::Cursor::new(out);
         let FrameEvent::Frame(frame) = read_event(&mut r).unwrap() else {
             panic!("expected a frame");

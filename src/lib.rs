@@ -13,6 +13,7 @@
 //! | [`datagen`] | `whatif-datagen` | synthetic business use-case generators |
 //! | [`cache`] | `whatif-cache` | content-addressed result cache + fingerprinting |
 //! | [`core`] | `whatif-core` | the four what-if analyses + scenarios + spec |
+//! | [`obs`] | `whatif-obs` | metrics, stage tracing, structured logging |
 //! | [`server`] | `whatif-server` | JSON view protocol (Figure 2 A–I) |
 //! | [`study`] | `whatif-study` | user-study simulator (Table 1, Figure 3) |
 
@@ -21,6 +22,7 @@ pub use whatif_core as core;
 pub use whatif_datagen as datagen;
 pub use whatif_frame as frame;
 pub use whatif_learn as learn;
+pub use whatif_obs as obs;
 pub use whatif_optim as optim;
 pub use whatif_server as server;
 pub use whatif_stats as stats;

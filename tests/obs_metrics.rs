@@ -1,0 +1,273 @@
+//! Observability integration: N concurrent clients hammer one server
+//! over real loopback TCP with a mixed v2 JSON + v3 binary workload
+//! (cache hits, training, deliberate errors included), then a single
+//! [`Request::MetricsSnapshot`] must tell a consistent story:
+//! per-request-type counters sum to the process total, every latency
+//! histogram agrees with its counter, cache counters agree with the
+//! engine's own stats, and the v3/network byte counters moved.
+//! Trace-id echo and the slow-query log ride the same server.
+
+use std::sync::Arc;
+
+use whatif::core::bulk::ScenarioSpec;
+use whatif::core::model_backend::ModelConfig;
+use whatif::core::perturbation::{Perturbation, PerturbationSet};
+use whatif::obs::{logger, MetricsSnapshot};
+use whatif::server::v3::specs_to_grid;
+use whatif::server::{
+    serve_with_engine, Client, Engine, Envelope, Reply, Request, RequestKind, Response, UseCase,
+    V3Client,
+};
+
+const N_THREADS: usize = 4;
+const UNKNOWN_SESSION: u64 = 9_999_999;
+
+fn fast_config() -> ModelConfig {
+    ModelConfig {
+        n_trees: 4,
+        max_depth: 4,
+        ..ModelConfig::default()
+    }
+}
+
+/// One worker's workload: a v2 session with repeated (cache-hitting)
+/// sensitivity sweeps and one deliberate error, then a v3 connection
+/// running the JSON fallback and a columnar scenario grid.
+fn worker(addr: std::net::SocketAddr, seed: u64) {
+    let mut v2 = Client::connect(addr).expect("connect v2");
+    let session = match v2
+        .call(&Request::LoadUseCase {
+            use_case: UseCase::DealClosing,
+            n_rows: Some(150),
+            seed: Some(seed),
+        })
+        .expect("load")
+    {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("unexpected: {other:?}"),
+    };
+    assert!(!v2
+        .call_v2(
+            1,
+            Request::SelectKpi {
+                session,
+                kpi: "Deal Closed?".into(),
+            },
+        )
+        .expect("kpi")
+        .is_error());
+    assert!(!v2
+        .call_v2(
+            2,
+            Request::Train {
+                session,
+                config: Some(fast_config()),
+            },
+        )
+        .expect("train")
+        .is_error());
+
+    // Three identical sweeps: the first is all cache misses, the later
+    // two replay the same keys and must be served as hits.
+    for lap in 0..3u64 {
+        for (i, pct) in [-20.0, -10.0, 10.0, 20.0, 40.0].iter().enumerate() {
+            let reply = v2
+                .call_v2(
+                    10 + lap * 10 + i as u64,
+                    Request::SensitivityView {
+                        session,
+                        perturbations: vec![Perturbation::percentage("Call", *pct)],
+                    },
+                )
+                .expect("sensitivity");
+            assert!(!reply.is_error());
+        }
+    }
+
+    // Deliberate error: a session id that cannot exist.
+    let reply = v2
+        .call_v2(
+            99,
+            Request::SensitivityView {
+                session: UNKNOWN_SESSION,
+                perturbations: vec![Perturbation::percentage("Call", 10.0)],
+            },
+        )
+        .expect("error reply still arrives");
+    assert!(reply.is_error());
+
+    // Malformed line: answered with an error, not counted as a request.
+    let line = v2.send_raw("this is not json").expect("malformed");
+    assert!(line.contains("Error") || line.contains("error"));
+
+    // v3 binary connection against the same engine/session.
+    let mut v3 = V3Client::connect(addr).expect("connect v3");
+    let reply = v3
+        .call_json(1, &Request::ListUseCases)
+        .expect("v3 json fallback");
+    assert!(!reply.is_error());
+    let specs: Vec<ScenarioSpec> = (0..40)
+        .map(|i| {
+            ScenarioSpec::new(
+                format!("s{i}"),
+                PerturbationSet::new(vec![Perturbation::percentage("Renewal", (i as f64) - 20.0)]),
+            )
+        })
+        .collect();
+    let grid = specs_to_grid(session, &specs, false, None);
+    let outcomes = v3.evaluate_grid(2, grid).expect("grid evaluates");
+    assert_eq!(outcomes.kpi.len(), 40);
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counter(name).unwrap_or(0)
+}
+
+#[test]
+fn concurrent_mixed_workload_yields_a_consistent_snapshot() {
+    // Stage tracing is sampled (1 in 64 by default); trace every
+    // request so the per-stage assertions below are deterministic.
+    whatif::obs::span::set_sample_every(1);
+    let engine = Arc::new(Engine::new());
+    let (addr, handle) = serve_with_engine("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+
+    let threads: Vec<_> = (0..N_THREADS)
+        .map(|t| std::thread::spawn(move || worker(addr, t as u64 + 1)))
+        .collect();
+    for t in threads {
+        t.join().expect("worker succeeds");
+    }
+
+    // Trace-id echo over the wire: present echoes verbatim, absent
+    // stays absent.
+    let mut client = Client::connect(addr).expect("connect");
+    let traced = Envelope::new(77, Request::ListUseCases).with_trace("trace-abc-123");
+    let line = client
+        .send_raw(&serde_json::to_string(&traced).expect("serialize"))
+        .expect("traced call");
+    let reply: Reply = serde_json::from_str(&line).expect("reply parses");
+    assert_eq!(reply.trace_id.as_deref(), Some("trace-abc-123"));
+    let plain = Envelope::new(78, Request::ListUseCases);
+    let line = client
+        .send_raw(&serde_json::to_string(&plain).expect("serialize"))
+        .expect("plain call");
+    let reply: Reply = serde_json::from_str(&line).expect("reply parses");
+    assert_eq!(reply.trace_id, None);
+
+    // Slow-query log: with a 1 µs threshold everything is slow; the
+    // structured line must carry the request label and the trace id.
+    logger().set_slow_query_threshold_us(1);
+    let traced = Envelope::new(79, Request::ListUseCases).with_trace("slow-trace-xyz");
+    client
+        .send_raw(&serde_json::to_string(&traced).expect("serialize"))
+        .expect("slow call");
+    logger().set_slow_query_threshold_us(whatif::obs::log::DEFAULT_SLOW_QUERY_US);
+    let slow_lines: Vec<String> = logger()
+        .recent(200)
+        .into_iter()
+        .filter(|l| l.contains("slow_query") && l.contains("slow-trace-xyz"))
+        .collect();
+    assert_eq!(slow_lines.len(), 1, "exactly one slow-query line");
+    assert!(slow_lines[0].contains("list_use_cases"));
+    assert!(slow_lines[0].contains("total_us"));
+
+    // The single snapshot everything below is pinned against.
+    let snap = match client.call(&Request::MetricsSnapshot).expect("snapshot") {
+        Response::Metrics(snap) => snap,
+        other => panic!("unexpected: {other:?}"),
+    };
+
+    // Per-kind counters sum exactly to the process-wide total.
+    let mut per_kind_sum = 0u64;
+    for kind in RequestKind::ALL {
+        per_kind_sum += counter(&snap, &format!("req.{}.count", kind.label()));
+    }
+    assert_eq!(
+        per_kind_sum,
+        counter(&snap, "requests_total"),
+        "per-kind request counters must sum to requests_total"
+    );
+    assert_eq!(counter(&snap, "req.unknown.count"), 0);
+
+    // Every kind's latency histogram agrees with its counter.
+    for kind in RequestKind::ALL {
+        let count = counter(&snap, &format!("req.{}.count", kind.label()));
+        if count == 0 {
+            continue;
+        }
+        let hist = snap
+            .histogram(&format!("req.{}.latency_us", kind.label()))
+            .unwrap_or_else(|| panic!("histogram for {}", kind.label()));
+        assert_eq!(hist.count, count, "histogram/counter for {}", kind.label());
+    }
+
+    // The workload shape is fully known: N sessions, N trainings,
+    // N × (15 sweeps + 1 error) sensitivity calls.
+    assert_eq!(counter(&snap, "req.load_use_case.count"), N_THREADS as u64);
+    assert_eq!(counter(&snap, "req.train.count"), N_THREADS as u64);
+    assert_eq!(
+        counter(&snap, "req.sensitivity_view.count"),
+        (N_THREADS * 16) as u64
+    );
+
+    // Errors: one unknown-session per worker, plus one malformed line
+    // per worker (bad_request, not attributed to any request kind).
+    assert_eq!(
+        counter(&snap, "error.unknown_session.count"),
+        N_THREADS as u64
+    );
+    assert!(counter(&snap, "error.bad_request.count") >= N_THREADS as u64);
+    assert!(counter(&snap, "errors_total") >= (2 * N_THREADS) as u64);
+
+    // Cache counters come from the engine's own stats source, and the
+    // replayed sweeps guarantee hits.
+    let stats = engine.cache().stats();
+    assert_eq!(counter(&snap, "cache.hits"), stats.hits);
+    assert_eq!(counter(&snap, "cache.misses"), stats.misses);
+    assert!(stats.hits > 0, "replayed sweeps must hit the cache");
+    assert!(
+        stats.hits + stats.misses >= (N_THREADS * 15) as u64,
+        "every sensitivity evaluation is a cache lookup"
+    );
+
+    // v3 and transport byte accounting all moved.
+    assert!(counter(&snap, "v3.frames_in") >= (2 * N_THREADS) as u64);
+    assert!(counter(&snap, "v3.bytes_in_raw") > 0);
+    assert!(counter(&snap, "v3.bytes_out_raw") > 0);
+    assert!(counter(&snap, "v3.bytes_out_wire") > 0);
+    assert_eq!(counter(&snap, "v3.frames_skipped"), 0);
+    assert!(counter(&snap, "net.bytes_in") > 0);
+    assert!(counter(&snap, "net.bytes_out") > 0);
+    assert!(counter(&snap, "net.connections_total") >= (2 * N_THREADS) as u64);
+    assert_eq!(counter(&snap, "sessions_total"), N_THREADS as u64);
+
+    // Quantiles are ordered in every exported histogram, and the
+    // per-stage breakdown exists for the hot request type.
+    assert!(!snap.histograms.is_empty());
+    for h in &snap.histograms {
+        assert!(
+            h.p50_us <= h.p90_us && h.p90_us <= h.p99_us && h.p99_us <= h.max_us,
+            "quantiles out of order in {}",
+            h.name
+        );
+    }
+    let predict = snap
+        .histogram("stage.sensitivity_view.predict_us")
+        .expect("predict stage recorded for sensitivity_view");
+    assert!(predict.count > 0);
+
+    // Prometheus rendering of the same registry.
+    let text = match client
+        .call(&Request::MetricsPrometheus)
+        .expect("prometheus")
+    {
+        Response::MetricsText(text) => text,
+        other => panic!("unexpected: {other:?}"),
+    };
+    assert!(text.contains("whatif_requests_total"));
+    assert!(text.contains("# TYPE"));
+    assert!(text.contains("quantile=\"0.99\""));
+
+    assert!(!client.call_v2(100, Request::Shutdown).unwrap().is_error());
+    handle.join().unwrap();
+}
