@@ -25,10 +25,19 @@ use crate::store::CacheWeight;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
+use whatif_obs::lockcheck::Mutex;
 
 /// Number of independently locked shards.
 pub const N_SHARDS: usize = 16;
+
+/// Lock class of the sharded fingerprint → slot maps.
+const SHARD_CLASS: &str = "cache.sharedstore.shard";
+/// Lock class of the per-key build slots. Builders run under this lock
+/// (that is the build-once contract), so slot acquisitions must never
+/// nest inside a blocking shard acquisition — every shard-held slot
+/// access below uses `try_lock`, which the checker exempts.
+const SLOT_CLASS: &str = "cache.sharedstore.slot";
 
 /// Fixed per-entry overhead charged on top of the value's own weight:
 /// the key, the map slot, the slot mutex, and the `Arc` bookkeeping.
@@ -104,7 +113,9 @@ impl<M> SharedStore<M> {
     /// residency.
     pub fn new(capacity_bytes: usize) -> SharedStore<M> {
         SharedStore {
-            shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..N_SHARDS)
+                .map(|_| Mutex::new(SHARD_CLASS, HashMap::new()))
+                .collect(),
             capacity_bytes: AtomicUsize::new(capacity_bytes),
             bytes: AtomicUsize::new(0),
             tick: AtomicU64::new(0),
@@ -155,19 +166,22 @@ impl<M> SharedStore<M> {
         M: CacheWeight,
     {
         let slot = {
-            let mut shard = lock(self.shard(&key));
+            let mut shard = self.shard(&key).lock();
             shard
                 .entry(key)
                 .or_insert_with(|| {
-                    Arc::new(Mutex::new(SlotState {
-                        value: None,
-                        weight: 0,
-                        stamp: 0,
-                    }))
+                    Arc::new(Mutex::new(
+                        SLOT_CLASS,
+                        SlotState {
+                            value: None,
+                            weight: 0,
+                            stamp: 0,
+                        },
+                    ))
                 })
                 .clone()
         };
-        let mut state = lock(&slot);
+        let mut state = slot.lock();
         if let Some(value) = &state.value {
             let value = value.clone();
             state.stamp = self.next_tick();
@@ -188,7 +202,7 @@ impl<M> SharedStore<M> {
                 drop(state);
                 // Re-link the slot if a failed-build cleanup orphaned it
                 // between our map access and the build finishing.
-                let mut shard = lock(self.shard(&key));
+                let mut shard = self.shard(&key).lock();
                 let linked = shard.entry(key).or_insert_with(|| slot.clone());
                 let counted = Arc::ptr_eq(linked, &slot);
                 drop(shard);
@@ -201,7 +215,7 @@ impl<M> SharedStore<M> {
             Err(e) => {
                 drop(state);
                 self.build_failures.fetch_add(1, Ordering::Relaxed);
-                let mut shard = lock(self.shard(&key));
+                let mut shard = self.shard(&key).lock();
                 if let Some(current) = shard.get(&key) {
                     // Only unlink our own still-empty slot. try_lock,
                     // not lock: we hold the shard mutex here, and a
@@ -210,7 +224,7 @@ impl<M> SharedStore<M> {
                     // would stall the whole shard, and there is nothing
                     // to unlink in that case anyway.
                     let still_empty = Arc::ptr_eq(current, &slot)
-                        && slot.try_lock().is_ok_and(|s| s.value.is_none());
+                        && slot.try_lock().is_some_and(|s| s.value.is_none());
                     if still_empty {
                         shard.remove(&key);
                     }
@@ -237,9 +251,9 @@ impl<M> SharedStore<M> {
         // across shards; re-verify under the locks at removal time.
         let mut candidates: Vec<(Fingerprint, u64)> = Vec::new();
         for shard in &self.shards {
-            let shard = lock(shard);
+            let shard = shard.lock();
             for (key, slot) in shard.iter() {
-                if let Ok(state) = slot.try_lock() {
+                if let Some(state) = slot.try_lock() {
                     if let Some(value) = &state.value {
                         if Arc::strong_count(value) == 1 {
                             candidates.push((*key, state.stamp));
@@ -254,11 +268,11 @@ impl<M> SharedStore<M> {
             if self.bytes.load(Ordering::Relaxed) <= budget {
                 break;
             }
-            let mut shard = lock(self.shard(&key));
+            let mut shard = self.shard(&key).lock();
             let Some(slot) = shard.get(&key).cloned() else {
                 continue;
             };
-            let Ok(state) = slot.try_lock() else {
+            let Some(state) = slot.try_lock() else {
                 continue;
             };
             // Re-check: a reader may have grabbed a reference since the
@@ -285,9 +299,9 @@ impl<M> SharedStore<M> {
     pub fn stats(&self) -> StoreStats {
         let (mut entries, mut referenced, mut bytes) = (0u64, 0u64, 0u64);
         for shard in &self.shards {
-            let shard = lock(shard);
+            let shard = shard.lock();
             for slot in shard.values() {
-                let Ok(state) = slot.try_lock() else {
+                let Some(state) = slot.try_lock() else {
                     // A build in flight: not a live entry yet.
                     continue;
                 };
@@ -314,11 +328,9 @@ impl<M> SharedStore<M> {
 }
 
 // Poisoning cannot corrupt a slot's invariants (a panicking builder
-// leaves the slot empty, which the error path already handles), so
-// recover rather than cascade panics across client threads.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+// leaves the slot empty, which the error path already handles); the
+// lockcheck wrappers recover poisoned guards rather than cascade
+// panics across client threads.
 
 #[cfg(test)]
 mod tests {

@@ -19,10 +19,14 @@ use crate::fingerprint::Fingerprint;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use whatif_obs::lockcheck::{Mutex, MutexGuard};
 
 /// Number of independent shards (a small power of two).
 pub const N_SHARDS: usize = 16;
+
+/// Lock class of the sharded result maps (debug-build lock-order
+/// checking; see [`whatif_obs::lockcheck`]).
+const SHARD_CLASS: &str = "cache.resultcache.shard";
 
 /// Fixed per-entry overhead charged on top of the value's own weight:
 /// the key (32 bytes), the hash-map slot, and the recency-queue node.
@@ -200,7 +204,9 @@ impl<V> ResultCache<V> {
     /// An enabled cache with the given byte budget.
     pub fn new(capacity_bytes: usize) -> ResultCache<V> {
         ResultCache {
-            shards: (0..N_SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            shards: (0..N_SHARDS)
+                .map(|_| Mutex::new(SHARD_CLASS, Shard::new()))
+                .collect(),
             capacity_bytes: AtomicUsize::new(capacity_bytes),
             enabled: AtomicBool::new(true),
             hits: AtomicU64::new(0),
@@ -223,10 +229,9 @@ impl<V> ResultCache<V> {
 
     fn shard(&self, key: &CacheKey) -> MutexGuard<'_, Shard<V>> {
         // An entry's invariants cannot be corrupted by a panic in
-        // another holder (no partial mutation escapes), so recover.
-        self.shards[key.shard_index()]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        // another holder (no partial mutation escapes), so the
+        // lockcheck wrapper's poison recovery is sound here.
+        self.shards[key.shard_index()].lock()
     }
 
     fn shard_budget(&self) -> usize {
@@ -299,10 +304,7 @@ impl<V> ResultCache<V> {
             let budget = self.shard_budget();
             let mut evicted = 0;
             for shard in &self.shards {
-                evicted += shard
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .evict_to(budget);
+                evicted += shard.lock().evict_to(budget);
             }
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
@@ -315,9 +317,7 @@ impl<V> ResultCache<V> {
     /// cache's lifetime, not its current contents).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = shard
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut shard = shard.lock();
             shard.entries.clear();
             shard.recency.clear();
             shard.tick = 0;
@@ -331,9 +331,7 @@ impl<V> ResultCache<V> {
     pub fn stats(&self) -> CacheStats {
         let (mut entries, mut bytes) = (0u64, 0u64);
         for shard in &self.shards {
-            let shard = shard
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let shard = shard.lock();
             entries += shard.entries.len() as u64;
             bytes += shard.bytes as u64;
         }
@@ -539,9 +537,7 @@ mod tests {
         }
         // One live entry: the recency queue must have compacted, not
         // accumulated one pair per hit.
-        let shard = cache.shards[k.shard_index()]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let shard = cache.shards[k.shard_index()].lock();
         assert_eq!(shard.entries.len(), 1);
         assert!(
             shard.recency.len() <= 65,

@@ -187,7 +187,9 @@ impl TrainedModel {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("scenario worker panicked"))
+                    // Propagate a worker's panic with its original
+                    // payload instead of minting a new one here.
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                     .collect()
             });
             chunks.into_iter().flatten().collect()

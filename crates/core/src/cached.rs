@@ -364,6 +364,7 @@ impl TrainedModel {
             .map(|(s, kpi)| ScenarioOutcome {
                 name: s.name.clone(),
                 perturbations: s.perturbations.clone(),
+                // lint:allow(panic-freedom): the miss loop above filled every None slot; a gap is a bug, not input
                 kpi: kpi.expect("every scenario scored or served"),
                 baseline_kpi: self.baseline_kpi(),
             })

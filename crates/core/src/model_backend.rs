@@ -224,6 +224,7 @@ impl TrainedModel {
             let take = |idx: &[usize]| -> (Matrix, Vec<f64>) {
                 let rows: Vec<Vec<f64>> = idx.iter().map(|&i| x.row(i).to_vec()).collect();
                 let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+                // lint:allow(panic-freedom): rows are slices of one matrix, uniform by construction
                 (Matrix::from_rows(&rows).expect("rows are uniform"), ys)
             };
             let (x_tr, y_tr) = take(&train_idx);
@@ -753,6 +754,7 @@ fn fit_one(
             m.fit(x, y)?;
             FittedModel::GbdtRegressor(m)
         }
+        // lint:allow(panic-freedom): resolve_kind replaced Auto before this match; reaching it is a bug
         (ModelKind::Auto, _) => unreachable!("Auto resolved before fit_one"),
     })
 }

@@ -1,0 +1,15 @@
+// Fixture: allocations sized straight from a wire-declared value, with
+// no cap in sight — the capped-allocation rule must catch all three
+// forms. Never compiled.
+
+fn seeded_with_capacity(n_from_wire: usize) -> Vec<u8> {
+    Vec::with_capacity(n_from_wire)
+}
+
+fn seeded_reserve(buf: &mut Vec<u8>, n_from_wire: usize) {
+    buf.reserve(n_from_wire);
+}
+
+fn seeded_vec_macro(n_from_wire: usize) -> Vec<u8> {
+    vec![0u8; n_from_wire]
+}

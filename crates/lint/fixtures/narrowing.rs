@@ -1,0 +1,10 @@
+// Fixture: raw narrowing casts the no-unchecked-narrowing rule must
+// catch in wire-decode scope. Never compiled.
+
+fn seeded_as_usize(n: u32) -> usize {
+    n as usize
+}
+
+fn seeded_as_u32(n: usize) -> u32 {
+    n as u32
+}

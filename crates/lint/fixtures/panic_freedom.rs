@@ -1,0 +1,27 @@
+// Fixture: every panic-capable form the panic-freedom rule must catch.
+// Linted under a synthetic in-scope path; never compiled.
+
+fn seeded_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn seeded_expect(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}
+
+fn seeded_panic(flag: bool) {
+    if flag {
+        panic!("fixture");
+    }
+}
+
+fn seeded_unreachable(v: u8) -> u8 {
+    match v {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+fn seeded_todo() {
+    todo!()
+}

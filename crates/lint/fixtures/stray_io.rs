@@ -1,0 +1,14 @@
+// Fixture: raw console writes the no-stray-io rule must catch outside
+// the structured logger. Never compiled.
+
+fn seeded_println(rows: usize) {
+    println!("loaded {rows} rows");
+}
+
+fn seeded_eprintln(err: &str) {
+    eprintln!("error: {err}");
+}
+
+fn seeded_dbg(x: u32) -> u32 {
+    dbg!(x)
+}

@@ -1,0 +1,27 @@
+// Fixture: one seeded violation per rule, each silenced by a justified
+// `lint:allow` comment. lint_source over this file (under an in-scope
+// path) must return zero violations. Never compiled.
+
+fn suppressed_unwrap(x: Option<u32>) -> u32 {
+    // lint:allow(panic-freedom): fixture proves justified allows suppress
+    x.unwrap()
+}
+
+fn suppressed_narrowing(n: u32) -> usize {
+    n as usize // lint:allow(no-unchecked-narrowing): fixture, same-line allow
+}
+
+fn suppressed_alloc(n_from_wire: usize) -> Vec<u8> {
+    // lint:allow(capped-allocation): fixture proves justified allows suppress
+    Vec::with_capacity(n_from_wire)
+}
+
+fn suppressed_syscall() -> std::time::SystemTime {
+    // lint:allow(no-hidden-syscalls): fixture proves justified allows suppress
+    std::time::SystemTime::now()
+}
+
+fn suppressed_io(rows: usize) {
+    // lint:allow(no-stray-io): fixture proves justified allows suppress
+    println!("loaded {rows} rows");
+}

@@ -1,0 +1,15 @@
+// Fixture: hidden clock/topology syscalls the no-hidden-syscalls rule
+// must catch outside obs::clock and forest::hardware_parallelism.
+// Never compiled.
+
+fn seeded_instant() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn seeded_system_time() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn seeded_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -1,0 +1,423 @@
+//! A minimal Rust tokenizer — just enough syntax to run token-stream
+//! lint passes with accurate line numbers.
+//!
+//! The lexer understands the constructs that would otherwise corrupt a
+//! naive text scan: line and (nested) block comments, string literals
+//! with escapes, raw strings (`r"…"`, `r#"…"#`, any `#` depth), byte
+//! strings and byte chars, char literals vs. lifetimes, raw idents
+//! (`r#match`), and numeric literals (including `0x…`, `1_000`, `2.5`,
+//! `1e-3`). Everything else is a single-char punctuation token.
+//!
+//! It does **not** build an AST: the lint rules pattern-match over the
+//! token stream (`ident "unwrap"` preceded by `.` and followed by `(`,
+//! `#[cfg(test)]` attribute regions, and so on), which keeps the pass
+//! dependency-free and fast while staying immune to comment/string
+//! false positives.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `as`, `r#match`).
+    Ident,
+    /// One punctuation character (`.`, `(`, `!`, …).
+    Punct,
+    /// Numeric literal (`42`, `0xFF`, `1e-3`, `8192u32`).
+    Num,
+    /// String literal of any flavor (normal/raw/byte), quotes included.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment (terminating newline excluded).
+    LineComment,
+    /// `/* … */` comment, possibly spanning lines (line = start line).
+    BlockComment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Verbatim source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Tokenize `source`. Never fails: unrecognized bytes become `Punct`
+/// tokens, unterminated literals run to end of input.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' if self.string_prefix().is_some() => {
+                    match self.string_prefix().expect("checked") {
+                        Prefix::Raw(hashes) => self.raw_string(hashes),
+                        Prefix::ByteStr => self.string(),
+                        Prefix::ByteChar => self.char_literal(),
+                        Prefix::RawIdent => self.ident(),
+                    }
+                }
+                '\'' => self.char_or_lifetime(),
+                c if is_ident_start(c) => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    self.push(TokenKind::Punct, start, self.line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        self.pos += 2;
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (None, _) => break,
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some('\n'), _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::BlockComment, start, start_line);
+    }
+
+    /// Classify an `r`/`b` run at the cursor, without consuming it.
+    fn string_prefix(&self) -> Option<Prefix> {
+        let mut j;
+        let mut raw = false;
+        match self.peek(0) {
+            Some('b') => {
+                j = 1;
+                if self.peek(1) == Some('r') {
+                    raw = true;
+                    j = 2;
+                }
+            }
+            Some('r') => {
+                raw = true;
+                j = 1;
+            }
+            _ => return None,
+        }
+        let mut hashes = 0usize;
+        while raw && self.peek(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        match self.peek(j) {
+            Some('"') if raw => Some(Prefix::Raw(hashes)),
+            Some('"') => Some(Prefix::ByteStr),
+            Some('\'') if !raw => Some(Prefix::ByteChar),
+            Some(c) if raw && hashes == 1 && is_ident_start(c) => Some(Prefix::RawIdent),
+            _ => None,
+        }
+    }
+
+    /// Normal or byte string with escapes; cursor on the prefix (if
+    /// any) or the opening quote.
+    fn string(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        while self.peek(0) != Some('"') {
+            self.pos += 1; // prefix chars (`b`)
+        }
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => self.pos += 2,
+                Some('"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some('\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, start_line);
+    }
+
+    /// Raw (byte) string; cursor on `r`/`b`, `hashes` pound signs.
+    fn raw_string(&mut self, hashes: usize) {
+        let (start, start_line) = (self.pos, self.line);
+        while self.peek(0) != Some('"') {
+            self.pos += 1; // prefix chars (`r`, `b`, `#`s)
+        }
+        self.pos += 1;
+        'body: loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    for k in 0..hashes {
+                        if self.peek(1 + k) != Some('#') {
+                            self.pos += 1;
+                            continue 'body;
+                        }
+                    }
+                    self.pos += 1 + hashes;
+                    break;
+                }
+                Some('\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, start_line);
+    }
+
+    /// Char or byte-char literal; cursor on `b` or the opening `'`.
+    fn char_literal(&mut self) {
+        let start = self.pos;
+        while self.peek(0) != Some('\'') {
+            self.pos += 1; // prefix chars (`b`)
+        }
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => self.pos += 2,
+                Some('\'') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Char, start, self.line);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime) at a `'`.
+    fn char_or_lifetime(&mut self) {
+        match self.peek(1) {
+            // `'\n'`, `'\u{7f}'` — escapes only occur in char literals.
+            Some('\\') => self.char_literal(),
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // Scan the ident run after the quote: a closing quote
+                // right after it means a char literal ('a', 'é'),
+                // anything else a lifetime ('a, 'static).
+                let mut j = 1;
+                while self.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.peek(j) == Some('\'') && j == 2 {
+                    self.char_literal();
+                } else {
+                    let start = self.pos;
+                    self.pos += j;
+                    self.push(TokenKind::Lifetime, start, self.line);
+                }
+            }
+            // `'('`, `'*'` and other punctuation chars.
+            _ => self.char_literal(),
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.pos += 2; // raw ident prefix
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, self.line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                // Digits, `_` separators, hex digits, type suffixes,
+                // exponent markers — all glued to the literal.
+                self.pos += 1;
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                self.pos += 1; // decimal point (but not `0..n` ranges)
+            } else if (c == '+' || c == '-')
+                && self
+                    .chars
+                    .get(self.pos - 1)
+                    .is_some_and(|&p| p == 'e' || p == 'E')
+            {
+                self.pos += 1; // exponent sign in 1e-3
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, start, self.line);
+    }
+}
+
+enum Prefix {
+    /// `r"…"` / `r#"…"#` / `br#"…"#` with the given `#` count.
+    Raw(usize),
+    /// `b"…"`.
+    ByteStr,
+    /// `b'…'`.
+    ByteChar,
+    /// `r#ident`.
+    RawIdent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = foo.unwrap(); y += 0xFF_u32;");
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap".into())));
+        assert!(toks.contains(&(TokenKind::Num, "0xFF_u32".into())));
+        assert!(toks.contains(&(TokenKind::Punct, ".".into())));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "a.unwrap() /* x */"; s.len();"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_and_hash_depth() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; x()"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(toks.contains(&(TokenKind::Ident, "x".into())));
+        let toks = kinds("let b = br\"bytes\"; y()");
+        assert!(toks.contains(&(TokenKind::Ident, "y".into())));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_keep_text_and_nest() {
+        let toks = kinds("a /* outer /* inner */ still */ b // tail\nc");
+        assert!(toks.contains(&(TokenKind::Ident, "a".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "b".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "c".into())));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("inner")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("tail")));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let toks = lex("a\nb\n\n  c /* x\ny */ d\ne");
+        let line_of = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("c"), 4);
+        assert_eq!(line_of("d"), 5, "block comment advanced the line");
+        assert_eq!(line_of("e"), 6);
+    }
+
+    #[test]
+    fn raw_idents_and_ranges() {
+        let toks = kinds("let r#match = 0..n; let f = 1e-3;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#match".into())));
+        assert!(toks.contains(&(TokenKind::Num, "0".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "n".into())));
+        assert!(toks.contains(&(TokenKind::Num, "1e-3".into())));
+    }
+
+    #[test]
+    fn numeric_float_and_tuple_index() {
+        let toks = kinds("let x = 2.5; let y = t.0;");
+        assert!(toks.contains(&(TokenKind::Num, "2.5".into())));
+        assert!(toks.contains(&(TokenKind::Num, "0".into())));
+    }
+}

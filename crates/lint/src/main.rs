@@ -1,0 +1,52 @@
+//! `whatif-lint` — run the in-tree rule passes over the workspace and
+//! report every unsuppressed violation.
+//!
+//! ```text
+//! cargo run -p whatif-lint            # lint the enclosing workspace
+//! cargo run -p whatif-lint -- <root>  # lint an explicit tree
+//! ```
+//!
+//! Exit status is 0 when clean, 1 when any violation survives
+//! suppression, 2 when the tree can't be read. Output is one
+//! `path:line: [rule] message` per finding, grep- and editor-friendly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // The crate lives at <root>/crates/lint; walk up two levels.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
+    let violations = match whatif_lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("whatif-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!(
+            "whatif-lint: clean ({} rules)",
+            whatif_lint::KNOWN_RULES.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    println!(
+        "whatif-lint: {} violation(s) — suppress deliberate sites with \
+         `// lint:allow(rule): reason` (see docs/LINTS.md)",
+        violations.len()
+    );
+    ExitCode::FAILURE
+}

@@ -10,6 +10,7 @@
 //! | [`span`] | a thread-local per-request span with named [`Stage`] timers (decode → … → encode) |
 //! | [`log`] | a leveled JSON-lines logger with an in-memory ring buffer and a slow-query threshold |
 //! | [`clock`] | a TSC-backed fast clock for per-request latency timing |
+//! | [`lockcheck`] | debug-build lock-order-checked `Mutex`/`RwLock` wrappers (release: transparent passthrough) |
 //!
 //! The whole subsystem has a global kill switch ([`set_enabled`]) so the
 //! instrumented-vs-uninstrumented overhead can be measured on the same
@@ -23,6 +24,7 @@
 //! suite pins that.
 
 pub mod clock;
+pub mod lockcheck;
 pub mod log;
 pub mod metrics;
 pub mod span;

@@ -1,0 +1,497 @@
+//! Debug-build lock-order checking.
+//!
+//! [`Mutex`] and [`RwLock`] are thin wrappers over their `std::sync`
+//! counterparts, constructed with a `&'static str` *lock class* (e.g.
+//! `"server.registry.shard"`). In debug builds every blocking
+//! acquisition:
+//!
+//! 1. checks the calling thread's held-lock set — re-acquiring a class
+//!    the thread already holds panics immediately (self-deadlock);
+//! 2. records a `held → acquiring` edge in a process-global
+//!    acquisition-order graph, and panics on the **first** acquisition
+//!    that closes a cycle, naming both acquisition sites — the one
+//!    executing now and the one that established the reverse order.
+//!
+//! Two threads that interleave `A→B` and `B→A` orderings only deadlock
+//! when their timing collides, so plain tests catch the bug rarely.
+//! The order graph is timing-independent: the *second ordering ever
+//! observed* trips the panic, even on a single thread, so every
+//! existing concurrency test doubles as a deadlock-ordering test.
+//!
+//! `try_lock`-style acquisitions never block, so they cannot deadlock;
+//! they are added to the held set (later blocking acquisitions must
+//! still order against them) but never create edges or panic.
+//!
+//! In release builds the wrappers compile to transparent passthrough:
+//! the class name is not even stored (`lockcheck::Mutex<T>` is the same
+//! size as `std::sync::Mutex<T>`) and every method is an inlined
+//! delegate. Both builds recover from poisoning
+//! (`PoisonError::into_inner`): the call sites this crate serves treat
+//! a panic under the lock as unable to corrupt invariants, and the
+//! checker itself panics *while holding* the just-ordered locks.
+//!
+//! Guards deliberately expose only `Deref`/`DerefMut`; a checked lock
+//! that needs `Condvar` or mapped guards should keep using `std::sync`
+//! directly.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+#[cfg(debug_assertions)]
+mod tracking {
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::panic::Location;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    type Site = &'static Location<'static>;
+
+    /// The first-observed pair of acquisition sites for a `from → to`
+    /// class ordering.
+    struct Edge {
+        from_site: Site,
+        to_site: Site,
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        edges: HashMap<(&'static str, &'static str), Edge>,
+        next: HashMap<&'static str, Vec<&'static str>>,
+    }
+
+    impl Graph {
+        /// Is `to` reachable from `from` over recorded orderings?
+        fn reaches(&self, from: &'static str, to: &'static str) -> bool {
+            let mut stack = vec![from];
+            let mut seen: HashSet<&'static str> = HashSet::new();
+            while let Some(node) = stack.pop() {
+                if node == to {
+                    return true;
+                }
+                if seen.insert(node) {
+                    if let Some(succ) = self.next.get(node) {
+                        stack.extend(succ.iter().copied());
+                    }
+                }
+            }
+            false
+        }
+    }
+
+    fn graph() -> &'static Mutex<Graph> {
+        static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+    }
+
+    thread_local! {
+        /// Classes this thread currently holds, oldest first, with the
+        /// site of each acquisition.
+        static HELD: RefCell<Vec<(&'static str, Site)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Removes its class from the thread's held set on drop. Guards
+    /// embed one, so the set tracks lexical lock scopes exactly.
+    pub struct Held {
+        class: &'static str,
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|&(c, _)| c == self.class) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Record a blocking acquisition of `class` at `site`: panic if it
+    /// self-deadlocks or closes an ordering cycle, otherwise add the
+    /// new ordering edges and push onto the held set.
+    pub fn acquire(class: &'static str, site: Site) -> Held {
+        HELD.with(|held| {
+            let held = held.borrow();
+            if held.is_empty() {
+                return; // nothing to order against — skip the graph
+            }
+            let mut graph = graph().lock().unwrap_or_else(PoisonError::into_inner);
+            for &(prev, prev_site) in held.iter() {
+                if prev == class {
+                    panic!(
+                        "lock-order violation: thread re-acquires lock class \
+                         \"{class}\" at {site} while already holding it \
+                         (acquired at {prev_site})"
+                    );
+                }
+                if graph.reaches(class, prev) {
+                    // Adding prev → class would close a cycle. Name the
+                    // first hop of the existing class → … → prev path:
+                    // for the common two-class inversion that is exactly
+                    // the earlier A-then-B acquisition pair.
+                    let (&(_, to), earlier) = graph
+                        .edges
+                        .iter()
+                        .find(|((f, t), _)| *f == class && graph.reaches(t, prev))
+                        .expect("reaches(class, prev) implies a first hop");
+                    panic!(
+                        "lock-order cycle: acquiring \"{class}\" at {site} while \
+                         holding \"{prev}\" (acquired at {prev_site}), but the \
+                         reverse order \"{class}\" -> \"{to}\" was established \
+                         earlier (\"{class}\" acquired at {}, \"{to}\" acquired \
+                         at {})",
+                        earlier.from_site, earlier.to_site
+                    );
+                }
+                if let std::collections::hash_map::Entry::Vacant(slot) =
+                    graph.edges.entry((prev, class))
+                {
+                    // Keep the *first* observed site pair per ordering:
+                    // that is the pair a later cycle report must name.
+                    slot.insert(Edge {
+                        from_site: prev_site,
+                        to_site: site,
+                    });
+                    graph.next.entry(prev).or_default().push(class);
+                }
+            }
+        });
+        hold(class, site)
+    }
+
+    /// Push onto the held set without ordering checks — for `try_*`
+    /// acquisitions, which never block and so never deadlock.
+    pub fn hold(class: &'static str, site: Site) -> Held {
+        HELD.with(|held| held.borrow_mut().push((class, site)));
+        Held { class }
+    }
+}
+
+/// A lock-order-checked [`std::sync::Mutex`]. See the module docs.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    #[cfg(debug_assertions)]
+    class: &'static str,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex::lock`]/[`Mutex::try_lock`].
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _held: tracking::Held,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex in lock class `class` (ignored in release builds).
+    #[inline]
+    pub fn new(class: &'static str, value: T) -> Mutex<T> {
+        let _ = class;
+        Mutex {
+            #[cfg(debug_assertions)]
+            class,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Blocking acquire, recovering from poisoning. Panics in debug
+    /// builds if the acquisition violates the recorded lock order.
+    #[inline]
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let _held = tracking::acquire(self.class, std::panic::Location::caller());
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            _held,
+        }
+    }
+
+    /// Non-blocking acquire; `None` when the lock is contended.
+    /// Exempt from order checking (a failed try cannot deadlock).
+    #[inline]
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _held: tracking::hold(self.class, std::panic::Location::caller()),
+        })
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A lock-order-checked [`std::sync::RwLock`]. Readers and writers
+/// share one lock class: a read acquisition can deadlock against a
+/// queued writer just like a write acquisition can, so both order
+/// identically. See the module docs.
+#[derive(Debug)]
+pub struct RwLock<T> {
+    #[cfg(debug_assertions)]
+    class: &'static str,
+    inner: std::sync::RwLock<T>,
+}
+
+/// RAII guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _held: tracking::Held,
+}
+
+/// RAII guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _held: tracking::Held,
+}
+
+impl<T> RwLock<T> {
+    /// A new rwlock in lock class `class` (ignored in release builds).
+    #[inline]
+    pub fn new(class: &'static str, value: T) -> RwLock<T> {
+        let _ = class;
+        RwLock {
+            #[cfg(debug_assertions)]
+            class,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Blocking shared acquire, recovering from poisoning. Panics in
+    /// debug builds on a lock-order violation.
+    #[inline]
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let _held = tracking::acquire(self.class, std::panic::Location::caller());
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            _held,
+        }
+    }
+
+    /// Blocking exclusive acquire, recovering from poisoning. Panics in
+    /// debug builds on a lock-order violation.
+    #[inline]
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let _held = tracking::acquire(self.class, std::panic::Location::caller());
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            _held,
+        }
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Every test uses its own class names: the order graph is
+    // process-global and tests run concurrently in one process, so
+    // shared names would couple unrelated tests.
+
+    #[test]
+    fn consistent_order_never_panics() {
+        let a = Mutex::new("test.consistent.a", 1);
+        let b = Mutex::new("test.consistent.b", 2);
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            assert_eq!(*ga + *gb, 3);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn inversion_panics_naming_both_sites() {
+        let a = std::sync::Arc::new(Mutex::new("test.invert.a", ()));
+        let b = std::sync::Arc::new(Mutex::new("test.invert.b", ()));
+        {
+            let _ga = a.lock(); // establishes a → b
+            let _gb = b.lock();
+        }
+        let err = {
+            let (a, b) = (a.clone(), b.clone());
+            // A fresh thread: the panic must come from the order graph
+            // (shared process-wide), not this thread's held set.
+            std::thread::spawn(move || {
+                let _gb = b.lock();
+                let _ga = a.lock(); // b → a closes the cycle
+            })
+            .join()
+            .unwrap_err()
+        };
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a formatted message");
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+        assert!(
+            msg.contains("test.invert.a") && msg.contains("test.invert.b"),
+            "{msg}"
+        );
+        // Both acquisition sites of the earlier a → b ordering, plus
+        // the acquiring site, are named — all in this file.
+        assert!(msg.matches("lockcheck.rs").count() >= 3, "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn reacquiring_a_held_class_panics() {
+        let outer = Mutex::new("test.reentrant", 0);
+        let inner = Mutex::new("test.reentrant", 0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g1 = outer.lock();
+            let _g2 = inner.lock(); // same class while held: self-deadlock shape
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted message");
+        assert!(msg.contains("re-acquires"), "{msg}");
+        assert!(msg.contains("test.reentrant"), "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn transitive_cycle_is_detected() {
+        let a = Mutex::new("test.chain.a", ());
+        let b = Mutex::new("test.chain.b", ());
+        let c = Mutex::new("test.chain.c", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a → b
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock(); // b → c
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gc = c.lock();
+            let _ga = a.lock(); // c → a closes a → b → c → a
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted message");
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+        assert!(msg.contains("test.chain.a"), "{msg}");
+    }
+
+    #[test]
+    fn try_lock_is_exempt_from_ordering() {
+        let a = Mutex::new("test.try.a", ());
+        let b = Mutex::new("test.try.b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a → b
+        }
+        {
+            let _gb = b.lock();
+            // b held, trying a: reverse order, but try_lock never
+            // blocks, so no check and no panic.
+            let ga = a.try_lock();
+            assert!(ga.is_some());
+        }
+        {
+            let ga = a.lock();
+            assert!(a.try_lock().is_none(), "contended try_lock is None");
+            drop(ga);
+        }
+    }
+
+    #[test]
+    fn rwlock_orders_like_mutex() {
+        let shard = RwLock::new("test.rw.shard", 5u64);
+        let entry = Mutex::new("test.rw.entry", 7u64);
+        // The registry pattern: read shard, drop, then lock entry.
+        let v = *shard.read();
+        let e = *entry.lock();
+        assert_eq!(v + e, 12);
+        *shard.write() = 6;
+        assert_eq!(*shard.read(), 6);
+    }
+
+    #[test]
+    fn guards_pass_through_mutation() {
+        let m = Mutex::new("test.deref", vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+        let rw = RwLock::new("test.deref.rw", String::from("a"));
+        rw.write().push('b');
+        assert_eq!(rw.read().as_str(), "ab");
+    }
+
+    /// In release builds the wrappers must be transparent passthrough:
+    /// no class field, same size as the std types.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_wrappers_are_zero_cost() {
+        use std::mem::size_of;
+        assert_eq!(
+            size_of::<Mutex<u64>>(),
+            size_of::<std::sync::Mutex<u64>>(),
+            "release Mutex stores nothing beyond the std mutex"
+        );
+        assert_eq!(
+            size_of::<RwLock<u64>>(),
+            size_of::<std::sync::RwLock<u64>>(),
+            "release RwLock stores nothing beyond the std rwlock"
+        );
+        // And an inverted acquisition order goes unchecked (the
+        // tracking machinery is compiled out entirely).
+        let a = Mutex::new("test.release.a", ());
+        let b = Mutex::new("test.release.b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+    }
+}

@@ -97,6 +97,7 @@ fn push_json_str(buf: &mut String, value: &str) {
 impl Record {
     /// Start a record: `{"ts_us":…,"level":"…","event":"…"`.
     pub fn new(level: Level, event: &str) -> Record {
+        // lint:allow(no-hidden-syscalls): log records need the wall-clock epoch, which the TSC-based obs::clock cannot provide
         let ts_us = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_micros().min(u64::MAX as u128) as u64)

@@ -479,10 +479,17 @@ impl Engine {
                         frame
                             .columns()
                             .iter()
-                            .map(|c| c.get(i).expect("row in range"))
+                            .map(|c| {
+                                c.get(i).map_err(|e| {
+                                    ApiError::new(
+                                        ErrorCode::Internal,
+                                        format!("row {i} unreadable: {e}"),
+                                    )
+                                })
+                            })
                             .collect()
                     })
-                    .collect();
+                    .collect::<Result<_, _>>()?;
                 Ok(Response::Table {
                     columns: frame
                         .column_names()

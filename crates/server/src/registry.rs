@@ -7,10 +7,23 @@
 //! so a long-running operation (training a forest, a goal-inversion
 //! search) serializes only requests for that same entry, never the
 //! shard or the registry.
+//!
+//! Both lock layers go through [`whatif_obs::lockcheck`], so debug
+//! builds panic on the first shard/entry acquisition that inverts the
+//! established order (release builds pay nothing). The wrappers also
+//! absorb poison recovery: a panic under either lock cannot corrupt
+//! the registry's invariants, so guards are recovered rather than
+//! cascading panics across unrelated client threads.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::Arc;
+use whatif_obs::lockcheck::{Mutex, RwLock};
+
+/// Lock class of the sharded id → entry maps.
+const SHARD_CLASS: &str = "server.registry.shard";
+/// Lock class of the per-entry (per-session) mutexes.
+const ENTRY_CLASS: &str = "server.registry.entry";
 
 /// Number of independent shards. A small power of two: enough to keep
 /// unrelated sessions off each other's locks, cheap to scan for `len`.
@@ -32,7 +45,9 @@ impl<T> Registry<T> {
     /// An empty registry; the first inserted entry gets id 0.
     pub fn new() -> Registry<T> {
         Registry {
-            shards: (0..N_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..N_SHARDS)
+                .map(|_| RwLock::new(SHARD_CLASS, HashMap::new()))
+                .collect(),
             next_id: AtomicU64::new(0),
         }
     }
@@ -44,7 +59,9 @@ impl<T> Registry<T> {
     /// Insert an entry, returning its freshly allocated id.
     pub fn insert(&self, entry: T) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        write_lock(self.shard(id)).insert(id, Arc::new(Mutex::new(entry)));
+        self.shard(id)
+            .write()
+            .insert(id, Arc::new(Mutex::new(ENTRY_CLASS, entry)));
         id
     }
 
@@ -52,25 +69,25 @@ impl<T> Registry<T> {
     /// `None` if the id is unknown. The shard lock is released before
     /// `f` runs, so long calls only block other users of the *same* id.
     pub fn with<R>(&self, id: u64, f: impl FnOnce(&mut T) -> R) -> Option<R> {
-        let arc = read_lock(self.shard(id)).get(&id).cloned()?;
-        let mut guard = lock(&arc);
+        let arc = self.shard(id).read().get(&id).cloned()?;
+        let mut guard = arc.lock();
         Some(f(&mut guard))
     }
 
     /// Remove an entry; true if it existed. An operation already running
     /// against the entry finishes on the detached state.
     pub fn remove(&self, id: u64) -> bool {
-        write_lock(self.shard(id)).remove(&id).is_some()
+        self.shard(id).write().remove(&id).is_some()
     }
 
     /// Number of live entries (scans all shards).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| read_lock(s).len()).sum()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when no entries exist.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| read_lock(s).is_empty())
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Live ids, ascending (diagnostic/listing use).
@@ -78,26 +95,11 @@ impl<T> Registry<T> {
         let mut ids: Vec<u64> = self
             .shards
             .iter()
-            .flat_map(|s| read_lock(s).keys().copied().collect::<Vec<_>>())
+            .flat_map(|s| s.read().keys().copied().collect::<Vec<_>>())
             .collect();
         ids.sort_unstable();
         ids
     }
-}
-
-// Poisoning cannot corrupt a registry entry's invariants from the
-// registry's point of view, so recover the guard rather than cascade
-// panics across unrelated client threads.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

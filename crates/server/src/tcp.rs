@@ -63,7 +63,9 @@ pub fn serve_with_engine(
                     if stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    eprintln!("whatif-server: accept error: {e}");
+                    logger().emit(
+                        Record::new(Level::Error, "accept_error").str("error", &e.to_string()),
+                    );
                     continue;
                 }
             };
@@ -77,7 +79,9 @@ pub fn serve_with_engine(
             std::thread::spawn(move || {
                 if let Err(e) = handle_client(stream, &engine, &stop, local) {
                     // A dropped client is not fatal to the server.
-                    eprintln!("whatif-server: client error: {e}");
+                    logger().emit(
+                        Record::new(Level::Error, "client_error").str("error", &e.to_string()),
+                    );
                 }
             });
         }

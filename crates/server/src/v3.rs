@@ -30,6 +30,7 @@ use whatif_core::perturbation::{Perturbation, PerturbationSet};
 use whatif_core::ErrorCode;
 use whatif_obs::span;
 use whatif_obs::Stage;
+use whatif_wire::codec::{len_to_u32, u32_to_usize};
 use whatif_wire::{
     read_event, write_frame, ComparisonReply, ComparisonRequest, Compression, DriverColumn,
     ErrorReply, Frame, FrameEvent, FrameType, OutcomeBlock, OutcomeStreamHead, PerturbKind,
@@ -76,7 +77,7 @@ fn grid_to_specs(grid: &ScenarioGridRequest) -> Result<Vec<ScenarioSpec>, ApiErr
             grid.n_scenarios
         )));
     }
-    let n = grid.n_scenarios as usize;
+    let n = u32_to_usize(grid.n_scenarios);
     if !grid.names.is_empty() && grid.names.len() != n {
         return Err(ApiError::bad_request(format!(
             "{} scenario names for {n} scenarios",
@@ -238,7 +239,7 @@ fn answer(
                     session: grid.session,
                     scenarios: specs,
                     record: grid.record,
-                    n_threads: (grid.n_threads > 0).then_some(grid.n_threads as usize),
+                    n_threads: (grid.n_threads > 0).then_some(u32_to_usize(grid.n_threads)),
                 },
             ));
             match (reply.result, reply.error) {
@@ -654,7 +655,11 @@ impl V3Client {
         // Clamp the pre-allocation: `head.total` is server-declared, so
         // trust it only up to a bounded number of blocks and let the
         // Vec grow from there (StreamEnd still verifies the row count).
-        let mut kpi = Vec::with_capacity(head.total.min(DEFAULT_BLOCK_ROWS as u64 * 16) as usize);
+        let mut kpi = Vec::with_capacity(
+            usize::try_from(head.total)
+                .unwrap_or(usize::MAX)
+                .min(DEFAULT_BLOCK_ROWS * 16),
+        );
         let mut recorded_ids = Vec::new();
         let mut blocks = 0u32;
         loop {
@@ -783,28 +788,29 @@ pub fn specs_to_grid(
                     (PerturbKind::Absolute, delta)
                 }
             };
-            let column = match columns
-                .iter_mut()
-                .find(|c| c.name == p.driver && c.kind == kind)
+            let idx = match columns
+                .iter()
+                .position(|c| c.name == p.driver && c.kind == kind)
             {
-                Some(column) => column,
+                Some(idx) => idx,
                 None => {
                     columns.push(DriverColumn {
                         name: p.driver.clone(),
                         kind,
+                        // lint:allow(capped-allocation): n is specs.len(), an in-memory row count, not a wire-declared size
                         values: vec![f64::NAN; n],
                     });
-                    columns.last_mut().expect("just pushed")
+                    columns.len() - 1
                 }
             };
-            column.values[row] = magnitude;
+            columns[idx].values[row] = magnitude;
         }
     }
     ScenarioGridRequest {
         session,
-        n_scenarios: n as u32,
+        n_scenarios: len_to_u32(n),
         record,
-        n_threads: n_threads.unwrap_or(0) as u32,
+        n_threads: len_to_u32(n_threads.unwrap_or(0)),
         names: specs.iter().map(|s| s.name.clone()).collect(),
         columns,
     }

@@ -20,7 +20,9 @@
 //! the table); malformed payloads yield [`WireError::Corrupt`], never a
 //! panic.
 
-use crate::codec::{put_f64_column, put_str, put_u32, put_u64, put_u8, Reader};
+use crate::codec::{
+    len_to_u32, put_f64_column, put_str, put_u32, put_u64, put_u8, u32_to_usize, Reader,
+};
 use crate::{WireError, MAX_GRID_SCENARIOS};
 
 /// Opcode for a request/reply carrying an embedded JSON body — the
@@ -141,29 +143,33 @@ impl WireRequest {
                 put_u8(&mut out, u8::from(grid.record));
                 put_u32(&mut out, grid.n_threads);
                 put_u32(&mut out, grid.n_scenarios);
-                put_u32(&mut out, grid.names.len() as u32);
+                put_u32(&mut out, len_to_u32(grid.names.len()));
                 for name in &grid.names {
                     put_str(&mut out, name);
                 }
                 // Name table: each driver string once, columns point at
-                // it by index.
+                // it by index. Interning and index lookup happen in one
+                // pass, so there is no "name missing from the table"
+                // state to defend against.
                 let mut table: Vec<&str> = Vec::new();
-                for col in &grid.columns {
-                    if !table.contains(&col.name.as_str()) {
-                        table.push(&col.name);
-                    }
-                }
-                put_u32(&mut out, table.len() as u32);
-                for name in &table {
-                    put_str(&mut out, name);
-                }
-                put_u32(&mut out, grid.columns.len() as u32);
+                let mut indices = Vec::with_capacity(grid.columns.len());
                 for col in &grid.columns {
                     let idx = table
                         .iter()
                         .position(|n| *n == col.name)
-                        .expect("every column name was just added to the table");
-                    put_u32(&mut out, idx as u32);
+                        .unwrap_or_else(|| {
+                            table.push(&col.name);
+                            table.len() - 1
+                        });
+                    indices.push(idx);
+                }
+                put_u32(&mut out, len_to_u32(table.len()));
+                for name in &table {
+                    put_str(&mut out, name);
+                }
+                put_u32(&mut out, len_to_u32(grid.columns.len()));
+                for (col, &idx) in grid.columns.iter().zip(&indices) {
+                    put_u32(&mut out, len_to_u32(idx));
                     put_u8(&mut out, col.kind as u8);
                     put_f64_column(&mut out, &col.values);
                 }
@@ -208,7 +214,7 @@ impl WireRequest {
                     )));
                 }
                 let n_names = r.checked_count(5, "scenario name count")?;
-                if n_names != 0 && n_names != n_scenarios as usize {
+                if n_names != 0 && n_names != u32_to_usize(n_scenarios) {
                     return Err(WireError::corrupt(format!(
                         "{n_names} scenario names for {n_scenarios} scenarios"
                     )));
@@ -225,7 +231,7 @@ impl WireRequest {
                 let n_cols = r.checked_count(13, "driver column count")?;
                 let mut columns = Vec::with_capacity(n_cols);
                 for _ in 0..n_cols {
-                    let idx = r.u32("driver name index")? as usize;
+                    let idx = u32_to_usize(r.u32("driver name index")?);
                     let name = table
                         .get(idx)
                         .ok_or_else(|| {
@@ -236,7 +242,7 @@ impl WireRequest {
                         .clone();
                     let kind = PerturbKind::from_u8(r.u8("perturbation kind")?)?;
                     let values = r.f64_column("driver column")?;
-                    if values.len() != n_scenarios as usize {
+                    if values.len() != u32_to_usize(n_scenarios) {
                         return Err(WireError::corrupt(format!(
                             "driver column '{name}' has {} values for {n_scenarios} scenarios",
                             values.len()
@@ -319,7 +325,7 @@ impl WireReply {
             ReplyBody::Comparison(cmp) => {
                 put_u8(&mut out, OP_COMPARISON);
                 put_f64_column(&mut out, &cmp.percentages);
-                put_u32(&mut out, cmp.drivers.len() as u32);
+                put_u32(&mut out, len_to_u32(cmp.drivers.len()));
                 for (driver, column) in cmp.drivers.iter().zip(&cmp.kpi_columns) {
                     put_str(&mut out, driver);
                     put_f64_column(&mut out, column);
@@ -480,7 +486,7 @@ impl OutcomeBlock {
         put_u8(&mut out, u8::from(!self.recorded_ids.is_empty()));
         put_f64_column(&mut out, &self.kpi);
         if !self.recorded_ids.is_empty() {
-            put_u32(&mut out, self.recorded_ids.len() as u32);
+            put_u32(&mut out, len_to_u32(self.recorded_ids.len()));
             for &rid in &self.recorded_ids {
                 put_u64(&mut out, rid);
             }

@@ -5,6 +5,27 @@
 
 use crate::WireError;
 
+// The decode paths widen u32 → usize without a runtime check; make the
+// platform assumption a compile error instead of a silent truncation.
+const _: () = assert!(usize::BITS >= 32, "whatif-wire requires usize >= 32 bits");
+
+/// Widen a wire-declared `u32` to `usize` with no `as` cast. Infallible
+/// on every supported target (see the compile-time guard above), so the
+/// fallback arm is unreachable rather than a panic path.
+#[inline]
+pub fn u32_to_usize(v: u32) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// Narrow an in-memory length to the wire's `u32`, saturating instead
+/// of wrapping. Payloads large enough to saturate are rejected by the
+/// frame layer's `MAX_FRAME_BYTES` check before any saturated length
+/// could reach a peer.
+#[inline]
+pub fn len_to_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 /// Append a `u8`.
 pub fn put_u8(out: &mut Vec<u8>, v: u8) {
     out.push(v);
@@ -29,13 +50,13 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
 
 /// Append a length-prefixed UTF-8 string (`u32` length + bytes).
 pub fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+    put_u32(out, len_to_u32(s.len()));
     out.extend_from_slice(s.as_bytes());
 }
 
 /// Append a contiguous `f64` column (count + raw bits).
 pub fn put_f64_column(out: &mut Vec<u8>, column: &[f64]) {
-    put_u32(out, column.len() as u32);
+    put_u32(out, len_to_u32(column.len()));
     out.reserve(column.len() * 8);
     for &v in column {
         put_f64(out, v);
@@ -131,7 +152,7 @@ impl<'a> Reader<'a> {
     /// are actually left, so a corrupt length can never trigger a huge
     /// allocation.
     pub fn checked_len(&mut self, what: &str) -> Result<usize, WireError> {
-        let len = self.u32(what)? as usize;
+        let len = u32_to_usize(self.u32(what)?);
         if len > self.remaining() {
             return Err(WireError::corrupt(format!(
                 "{what} declares {len} bytes but only {} remain",
@@ -144,7 +165,7 @@ impl<'a> Reader<'a> {
     /// Read a `u32` element count for elements of `elem_size` bytes,
     /// checked against the remaining payload.
     pub fn checked_count(&mut self, elem_size: usize, what: &str) -> Result<usize, WireError> {
-        let n = self.u32(what)? as usize;
+        let n = u32_to_usize(self.u32(what)?);
         if n.saturating_mul(elem_size) > self.remaining() {
             return Err(WireError::corrupt(format!(
                 "{what} declares {n} elements ({elem_size} B each) but only {} bytes remain",

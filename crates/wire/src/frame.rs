@@ -26,6 +26,7 @@
 
 use std::io::{BufRead, Write};
 
+use crate::codec::len_to_u32;
 use crate::{fnv1a64, lz4, WireError, MAX_FRAME_BYTES};
 
 /// The four magic bytes opening every v3 frame. `0xB3` mnemonically
@@ -156,8 +157,8 @@ pub fn encode_frame(
     out.push(frame_type as u8);
     out.push(0); // flags, reserved
     out.push(compression as u8);
-    out.extend_from_slice(&(wire_payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len_to_u32(wire_payload.len()).to_le_bytes());
+    out.extend_from_slice(&len_to_u32(payload.len()).to_le_bytes());
     out.extend_from_slice(&fnv1a64(wire_payload).to_le_bytes());
     out.extend_from_slice(wire_payload);
     Ok(out)
@@ -215,7 +216,8 @@ fn discard(r: &mut impl BufRead, mut n: u64) -> Result<(), WireError> {
                 context: "discarding a skipped payload",
             });
         }
-        let take = (buf.len() as u64).min(n) as usize;
+        // The min against buf.len() keeps the value in usize range.
+        let take = buf.len().min(usize::try_from(n).unwrap_or(usize::MAX));
         r.consume(take);
         n -= take as u64;
     }
@@ -296,10 +298,10 @@ pub fn read_event(r: &mut impl BufRead) -> Result<FrameEvent, WireError> {
 
     // Header-level rejections: the magic was real, so trust payload_len
     // enough to discard exactly that many bytes and stay aligned.
-    let header_error = if header[4] != WIRE_VERSION {
-        Some(WireError::BadVersion(header[4]))
+    let validated = if header[4] != WIRE_VERSION {
+        Err(WireError::BadVersion(header[4]))
     } else if payload_len > MAX_FRAME_BYTES as u64 || raw_len > MAX_FRAME_BYTES as u64 {
-        Some(WireError::Oversized {
+        Err(WireError::Oversized {
             declared: payload_len.max(raw_len),
             limit: MAX_FRAME_BYTES,
         })
@@ -308,21 +310,24 @@ pub fn read_event(r: &mut impl BufRead) -> Result<FrameEvent, WireError> {
             FrameType::from_u8(header[5]),
             Compression::from_u8(header[7]),
         ) {
-            (Err(e), _) | (_, Err(e)) => Some(e),
-            (Ok(_), Ok(_)) => None,
+            (Ok(frame_type), Ok(compression)) => Ok((frame_type, compression)),
+            (Err(e), _) | (_, Err(e)) => Err(e),
         }
     };
-    if let Some(error) = header_error {
-        discard(r, payload_len)?;
-        return Ok(FrameEvent::Skipped {
-            error,
-            skipped: HEADER_LEN as u64 + payload_len,
-        });
-    }
-    let frame_type = FrameType::from_u8(header[5]).expect("validated above");
-    let compression = Compression::from_u8(header[7]).expect("validated above");
+    let (frame_type, compression) = match validated {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            discard(r, payload_len)?;
+            return Ok(FrameEvent::Skipped {
+                error,
+                skipped: HEADER_LEN as u64 + payload_len,
+            });
+        }
+    };
 
-    let mut wire_payload = vec![0u8; payload_len as usize];
+    // payload_len was bounded by MAX_FRAME_BYTES above, so the widening
+    // fallback is unreachable and the allocation is capped.
+    let mut wire_payload = vec![0u8; usize::try_from(payload_len).unwrap_or(MAX_FRAME_BYTES)];
     read_exact_or_truncated(r, &mut wire_payload, "reading a frame payload")?;
 
     // From here on the frame is fully consumed: every failure is
@@ -346,7 +351,10 @@ pub fn read_event(r: &mut impl BufRead) -> Result<FrameEvent, WireError> {
             }
             wire_payload
         }
-        Compression::Lz4Like => match lz4::decompress(&wire_payload, raw_len as usize) {
+        Compression::Lz4Like => match lz4::decompress(
+            &wire_payload,
+            usize::try_from(raw_len).unwrap_or(MAX_FRAME_BYTES),
+        ) {
             Ok(raw) => raw,
             Err(error) => return Ok(FrameEvent::Skipped { error, skipped }),
         },

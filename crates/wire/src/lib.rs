@@ -59,7 +59,9 @@ pub const DEFAULT_BLOCK_ROWS: usize = 8192;
 /// (all-baseline rows), and row counts drive server-side allocation —
 /// without this cap a ~40-byte frame could declare `u32::MAX` rows and
 /// force a multi-hundred-GiB allocation before session validation.
+// lint:allow(no-unchecked-narrowing): const context (try_from is not const); the assert below proves the value fits
 pub const MAX_GRID_SCENARIOS: u32 = (MAX_FRAME_BYTES / 8) as u32;
+const _: () = assert!(MAX_FRAME_BYTES / 8 <= 0xFFFF_FFFF);
 
 /// Everything that can go wrong reading or decoding v3 traffic.
 ///

@@ -20,7 +20,8 @@
 //! yields a typed [`WireError`], never a panic or out-of-bounds copy —
 //! and round-trips are byte-exact (pinned by `tests/wire_roundtrip.rs`).
 
-use crate::WireError;
+use crate::codec::{len_to_u32, u32_to_usize};
+use crate::{WireError, MAX_FRAME_BYTES};
 
 /// Shortest back-reference worth encoding (the token's match nibble is
 /// biased by this).
@@ -38,7 +39,7 @@ const MAX_PROBES: usize = 16;
 #[inline]
 fn hash4(v: u32) -> usize {
     // Knuth multiplicative hash over the 4-byte window.
-    (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+    u32_to_usize(v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS))
 }
 
 #[inline]
@@ -68,7 +69,7 @@ pub fn compress(src: &[u8]) -> Vec<u8> {
         let mut cand = head[h];
         let mut probes = 0;
         while cand != u32::MAX && probes < MAX_PROBES {
-            let c = cand as usize;
+            let c = u32_to_usize(cand);
             if i - c > MAX_OFFSET {
                 break; // chains are position-ordered: older is farther
             }
@@ -83,7 +84,7 @@ pub fn compress(src: &[u8]) -> Vec<u8> {
             probes += 1;
         }
         chain[i] = head[h];
-        head[h] = i as u32;
+        head[h] = len_to_u32(i);
         if best_len >= MIN_MATCH {
             emit(&mut out, &src[anchor..i], Some((i - best_pos, best_len)));
             let end = i + best_len;
@@ -95,7 +96,7 @@ pub fn compress(src: &[u8]) -> Vec<u8> {
             while p + MIN_MATCH <= match_limit && p < insert_end {
                 let hp = hash4(read_u32(src, p));
                 chain[p] = head[hp];
-                head[hp] = p as u32;
+                head[hp] = len_to_u32(p);
                 p += 1;
             }
             i = end;
@@ -142,7 +143,7 @@ fn read_ext(src: &[u8], i: &mut usize) -> Result<usize, WireError> {
             .get(*i)
             .ok_or_else(|| WireError::corrupt("length extension past end of block"))?;
         *i += 1;
-        total += b as usize;
+        total += usize::from(b);
         if b != 255 {
             return Ok(total);
         }
@@ -157,7 +158,9 @@ fn read_ext(src: &[u8], i: &mut usize) -> Result<usize, WireError> {
 /// of the block, offsets before the start of the output, or an output
 /// that does not land on exactly `raw_len` bytes. Never panics.
 pub fn decompress(src: &[u8], raw_len: usize) -> Result<Vec<u8>, WireError> {
-    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    // Callers validate raw_len against the frame header, but this is a
+    // public entry point — cap the up-front allocation regardless.
+    let mut out: Vec<u8> = Vec::with_capacity(raw_len.min(MAX_FRAME_BYTES));
     let mut i = 0usize;
     if src.is_empty() && raw_len != 0 {
         return Err(WireError::corrupt("empty block for non-empty payload"));
@@ -166,7 +169,7 @@ pub fn decompress(src: &[u8], raw_len: usize) -> Result<Vec<u8>, WireError> {
         let token = src[i];
         i += 1;
         // Literal run.
-        let mut lit_len = (token >> 4) as usize;
+        let mut lit_len = usize::from(token >> 4);
         if lit_len == 15 {
             lit_len += read_ext(src, &mut i)?;
         }
@@ -187,12 +190,12 @@ pub fn decompress(src: &[u8], raw_len: usize) -> Result<Vec<u8>, WireError> {
         if src.len() - i < 2 {
             return Err(WireError::corrupt("truncated match offset"));
         }
-        let offset = u16::from_le_bytes([src[i], src[i + 1]]) as usize;
+        let offset = usize::from(u16::from_le_bytes([src[i], src[i + 1]]));
         i += 2;
         if offset == 0 || offset > out.len() {
             return Err(WireError::corrupt("match offset outside produced output"));
         }
-        let mut match_len = (token & 0x0F) as usize;
+        let mut match_len = usize::from(token & 0x0F);
         if match_len == 15 {
             match_len += read_ext(src, &mut i)?;
         }

@@ -1,0 +1,23 @@
+//! Tier-1 gate: the workspace's own sources must pass the in-tree
+//! lint rules (`crates/lint`). Run `cargo run -p whatif-lint` for the
+//! same report from the command line, and see `docs/LINTS.md` for the
+//! rule catalog and the suppression syntax.
+
+use std::path::Path;
+
+#[test]
+fn workspace_sources_are_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = whatif_lint::lint_workspace(root).expect("workspace sources are readable");
+    assert!(
+        violations.is_empty(),
+        "whatif-lint found {} violation(s):\n{}\n\
+         fix the site or justify it with `// lint:allow(rule): reason`",
+        violations.len(),
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
