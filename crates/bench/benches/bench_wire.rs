@@ -45,6 +45,7 @@ fn sample_grid(n: usize) -> WireRequest {
             names: Vec::new(),
             columns,
         }),
+        deadline_ms: 0,
     }
 }
 

@@ -1,0 +1,466 @@
+//! Deterministic fault injection behind named fault points.
+//!
+//! Production code tags its failure-prone sites with a stable name —
+//! `chaos::inject_io("tcp.read")`, `chaos::fails("engine.dispatch")`,
+//! `chaos::chunk("tcp.write", len)` — and tests *arm* those names with
+//! seeded, reproducible [`Policy`]s: inject `io::Error`s, clamp I/O
+//! transfers into short reads/partial writes, insert delays, force
+//! `Err` returns, or panic (to exercise `catch_unwind` isolation).
+//! Every registered point is enumerable, so a test matrix can prove
+//! that arming *each* site yields a typed error and a surviving
+//! connection instead of hoping the hand-crafted hostile inputs
+//! covered everything.
+//!
+//! # Zero cost in release
+//!
+//! Same discipline as `whatif_obs::lockcheck`: the registry, policies,
+//! and counters exist only under `#[cfg(debug_assertions)]`. Release
+//! builds compile every site to an inlined constant (`None`, `false`,
+//! `len`) — no branch on shared state, no registry, no way to inject.
+//! `tests/release_passthrough.rs` pins this: under `--release`, arming
+//! a point is a no-op and nothing ever fires.
+//!
+//! # Determinism
+//!
+//! A policy fires on a schedule derived from its seed via xorshift64,
+//! never from wall-clock time or thread scheduling: the same seed and
+//! the same sequence of consults produce the same injections. Points
+//! are process-global — arm them only in tests that own the process
+//! (or serialize access), and [`disarm_all`] between scenarios.
+
+use std::time::Duration;
+
+/// What an armed fault point injects at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The site fails: I/O sites return an injected `io::Error`
+    /// (`ErrorKind::Other`, message `"chaos: injected fault at
+    /// <name>"`), non-I/O sites observe `fails() == true` and map it to
+    /// their own error type.
+    Error,
+    /// The site sleeps this long, then proceeds normally.
+    Delay(Duration),
+    /// I/O sites clamp each transfer to at most this many bytes,
+    /// turning every read/write into a short read / partial write.
+    ChunkBytes(usize),
+    /// The site panics, exercising `catch_unwind` isolation above it.
+    Panic,
+}
+
+/// A seeded, deterministic arming policy for one fault point.
+// In release builds the consulting machinery is compiled out, so the
+// fields are written by the builders but never read.
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
+#[derive(Debug, Clone, Copy)]
+pub struct Policy {
+    kind: FaultKind,
+    /// Fire on roughly one in `one_in` matching consults (1 = every
+    /// consult), decided by a seeded xorshift64 draw.
+    one_in: u64,
+    seed: u64,
+    /// Total fires allowed; 0 = unlimited.
+    limit: u64,
+}
+
+impl Policy {
+    fn new(kind: FaultKind) -> Policy {
+        Policy {
+            kind,
+            one_in: 1,
+            seed: 0x9E37_79B9_7F4A_7C15,
+            limit: 0,
+        }
+    }
+
+    /// Fail the site (injected `io::Error` / forced `Err`).
+    #[must_use]
+    pub fn error() -> Policy {
+        Policy::new(FaultKind::Error)
+    }
+
+    /// Sleep `ms` milliseconds at the site, then proceed.
+    #[must_use]
+    pub fn delay_ms(ms: u64) -> Policy {
+        Policy::new(FaultKind::Delay(Duration::from_millis(ms)))
+    }
+
+    /// Clamp each I/O transfer at the site to `n` bytes (`n >= 1`).
+    #[must_use]
+    pub fn chunk_bytes(n: usize) -> Policy {
+        Policy::new(FaultKind::ChunkBytes(n.max(1)))
+    }
+
+    /// Panic at the site.
+    #[must_use]
+    pub fn panic() -> Policy {
+        Policy::new(FaultKind::Panic)
+    }
+
+    /// Fire on roughly one in `n` matching consults instead of every
+    /// one (seeded draw; `n <= 1` restores always-fire).
+    #[must_use]
+    pub fn one_in(mut self, n: u64) -> Policy {
+        self.one_in = n.max(1);
+        self
+    }
+
+    /// Reseed the fire-schedule PRNG.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Policy {
+        self.seed = seed;
+        self
+    }
+
+    /// Cap the total number of fires (0 = unlimited).
+    #[must_use]
+    pub fn limit(mut self, n: u64) -> Policy {
+        self.limit = n;
+        self
+    }
+}
+
+/// Run `f` at a tagged fault point: when the point is armed to fail,
+/// return the injected `io::Error` without calling `f`; when armed to
+/// delay, sleep first; otherwise (and always in release builds) just
+/// run `f`.
+///
+/// # Errors
+/// The injected error when armed, else whatever `f` returns.
+pub fn point<T>(name: &'static str, f: impl FnOnce() -> std::io::Result<T>) -> std::io::Result<T> {
+    if let Some(e) = inject_io(name) {
+        return Err(e);
+    }
+    f()
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::{FaultKind, Policy};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, PoisonError};
+
+    /// Process-wide injections fired, across every point.
+    static INJECTED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+    /// One registered fault point: its arming (if any) and counters.
+    #[derive(Debug, Default)]
+    struct Point {
+        armed: Option<Armed>,
+        /// Consults that observed an injection.
+        fires: u64,
+    }
+
+    #[derive(Debug)]
+    struct Armed {
+        policy: Policy,
+        /// xorshift64 state for the fire schedule.
+        rng: u64,
+        fired: u64,
+    }
+
+    fn registry() -> &'static Mutex<BTreeMap<&'static str, Point>> {
+        static REGISTRY: Mutex<BTreeMap<&'static str, Point>> = Mutex::new(BTreeMap::new());
+        &REGISTRY
+    }
+
+    /// splitmix64 finalizer: spreads adjacent seeds into unrelated
+    /// xorshift start states (`seed | 1` would alias 42 and 43).
+    fn mix(seed: u64) -> u64 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z | 1 // xorshift must not start at 0
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    /// Register `name` and, when it is armed with a kind `wants`
+    /// accepts, advance the fire schedule; `Some(kind)` means the site
+    /// must inject now. Kinds the site cannot express (e.g. a chunk
+    /// policy consulted through `fails`) neither fire nor advance the
+    /// schedule.
+    fn consult(name: &'static str, wants: impl Fn(FaultKind) -> bool) -> Option<FaultKind> {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        let point = reg.entry(name).or_default();
+        let armed = point.armed.as_mut()?;
+        if !wants(armed.policy.kind) {
+            return None;
+        }
+        if armed.policy.limit > 0 && armed.fired >= armed.policy.limit {
+            return None;
+        }
+        let fires = armed.policy.one_in <= 1
+            || xorshift(&mut armed.rng).is_multiple_of(armed.policy.one_in);
+        if !fires {
+            return None;
+        }
+        armed.fired += 1;
+        let kind = armed.policy.kind;
+        point.fires += 1;
+        INJECTED_TOTAL.fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+
+    /// Arm `name` with `policy`. Replaces any previous arming and
+    /// resets its schedule. No-op in release builds.
+    pub fn arm(name: &'static str, policy: Policy) {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.entry(name).or_default().armed = Some(Armed {
+            policy,
+            rng: mix(policy.seed),
+            fired: 0,
+        });
+    }
+
+    /// Disarm `name` (the point stays registered).
+    pub fn disarm(name: &'static str) {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(point) = reg.get_mut(name) {
+            point.armed = None;
+        }
+    }
+
+    /// Disarm every point (registrations and counters are kept).
+    pub fn disarm_all() {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        for point in reg.values_mut() {
+            point.armed = None;
+        }
+    }
+
+    /// Every fault-point name consulted or armed so far, sorted.
+    /// Always empty in release builds.
+    pub fn registered() -> Vec<String> {
+        let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.keys().map(|k| (*k).to_string()).collect()
+    }
+
+    /// Injections fired at `name` over the process lifetime.
+    pub fn fires(name: &str) -> u64 {
+        let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.get(name).map_or(0, |p| p.fires)
+    }
+
+    /// Injections fired across every point over the process lifetime.
+    /// Always 0 in release builds.
+    pub fn injected_total() -> u64 {
+        INJECTED_TOTAL.load(Ordering::Relaxed)
+    }
+
+    fn execute_simple(name: &'static str, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::Error => true,
+            FaultKind::Delay(d) => {
+                std::thread::sleep(d);
+                false
+            }
+            FaultKind::Panic => panic!("chaos: injected panic at {name}"),
+            FaultKind::ChunkBytes(_) => false, // filtered out by `wants`
+        }
+    }
+
+    /// Consult an I/O site: `Some(io::Error)` when armed to fail;
+    /// sleeps first when armed to delay; panics when armed to panic.
+    pub fn inject_io(name: &'static str) -> Option<std::io::Error> {
+        let kind = consult(name, |k| !matches!(k, FaultKind::ChunkBytes(_)))?;
+        execute_simple(name, kind)
+            .then(|| std::io::Error::other(format!("chaos: injected fault at {name}")))
+    }
+
+    /// Consult a non-I/O site: `true` when the site must return its own
+    /// `Err`; sleeps first when armed to delay; panics when armed to
+    /// panic.
+    pub fn fails(name: &'static str) -> bool {
+        match consult(name, |k| !matches!(k, FaultKind::ChunkBytes(_))) {
+            Some(kind) => execute_simple(name, kind),
+            None => false,
+        }
+    }
+
+    /// Consult an I/O site about transfer size: the clamped length when
+    /// armed with [`Policy::chunk_bytes`], else `len` unchanged. Never
+    /// clamps to 0 (a zero-length read means EOF to `std::io`).
+    pub fn chunk(name: &'static str, len: usize) -> usize {
+        match consult(name, |k| matches!(k, FaultKind::ChunkBytes(_))) {
+            Some(FaultKind::ChunkBytes(n)) => len.min(n.max(1)),
+            _ => len,
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    use super::Policy;
+
+    /// No-op in release builds: there is no registry to arm.
+    #[inline(always)]
+    pub fn arm(_name: &'static str, _policy: Policy) {}
+
+    /// No-op in release builds.
+    #[inline(always)]
+    pub fn disarm(_name: &'static str) {}
+
+    /// No-op in release builds.
+    #[inline(always)]
+    pub fn disarm_all() {}
+
+    /// Always empty in release builds: points compile to passthrough
+    /// and never register.
+    #[inline(always)]
+    pub fn registered() -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Always 0 in release builds.
+    #[inline(always)]
+    pub fn fires(_name: &str) -> u64 {
+        0
+    }
+
+    /// Always 0 in release builds.
+    #[inline(always)]
+    pub fn injected_total() -> u64 {
+        0
+    }
+
+    /// Always `None` in release builds.
+    #[inline(always)]
+    pub fn inject_io(_name: &'static str) -> Option<std::io::Error> {
+        None
+    }
+
+    /// Always `false` in release builds.
+    #[inline(always)]
+    pub fn fails(_name: &'static str) -> bool {
+        false
+    }
+
+    /// Always `len` in release builds.
+    #[inline(always)]
+    pub fn chunk(_name: &'static str, len: usize) -> usize {
+        len
+    }
+}
+
+pub use imp::{
+    arm, chunk, disarm, disarm_all, fails, fires, inject_io, injected_total, registered,
+};
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// Points are process-global; tests in this binary serialize their
+    /// armed sections through this lock.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn unarmed_points_pass_through_and_register() {
+        let _guard = serial();
+        assert!(inject_io("test.unarmed").is_none());
+        assert!(!fails("test.unarmed"));
+        assert_eq!(chunk("test.unarmed", 77), 77);
+        assert!(registered().contains(&"test.unarmed".to_string()));
+        assert_eq!(fires("test.unarmed"), 0);
+    }
+
+    #[test]
+    fn error_policies_fire_and_count() {
+        let _guard = serial();
+        let before = injected_total();
+        arm("test.err", Policy::error());
+        let e = inject_io("test.err").expect("armed point must fire");
+        assert!(e.to_string().contains("test.err"));
+        assert!(fails("test.err"));
+        assert_eq!(fires("test.err"), 2);
+        assert!(injected_total() >= before + 2);
+        disarm("test.err");
+        assert!(inject_io("test.err").is_none());
+    }
+
+    #[test]
+    fn limits_bound_total_fires() {
+        let _guard = serial();
+        arm("test.limited", Policy::error().limit(2));
+        assert!(fails("test.limited"));
+        assert!(fails("test.limited"));
+        assert!(!fails("test.limited"), "limit reached");
+        disarm("test.limited");
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let _guard = serial();
+        let run = |seed: u64| -> Vec<bool> {
+            arm("test.seeded", Policy::error().one_in(3).seed(seed));
+            let fired = (0..32).map(|_| fails("test.seeded")).collect();
+            disarm("test.seeded");
+            fired
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.iter().any(|&f| f), "one-in-3 fires sometimes");
+        assert!(a.iter().any(|&f| !f), "...but not always");
+    }
+
+    #[test]
+    fn chunk_policies_clamp_io_but_never_to_zero() {
+        let _guard = serial();
+        arm("test.chunky", Policy::chunk_bytes(1));
+        assert_eq!(chunk("test.chunky", 4096), 1);
+        assert_eq!(chunk("test.chunky", 1), 1);
+        // A chunk arming never turns error/fail sites on.
+        assert!(inject_io("test.chunky").is_none());
+        assert!(!fails("test.chunky"));
+        disarm("test.chunky");
+        assert_eq!(chunk("test.chunky", 4096), 4096);
+    }
+
+    #[test]
+    fn panic_policies_panic_at_the_site() {
+        let _guard = serial();
+        arm("test.boom", Policy::panic().limit(1));
+        let caught = std::panic::catch_unwind(|| fails("test.boom"));
+        disarm("test.boom");
+        let payload = caught.expect_err("armed panic point must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("test.boom"), "{message}");
+    }
+
+    #[test]
+    fn point_wraps_a_closure_site() {
+        let _guard = serial();
+        assert_eq!(point("test.point", || Ok(7)).unwrap(), 7);
+        arm("test.point", Policy::error());
+        assert!(point("test.point", || Ok(7)).is_err());
+        disarm("test.point");
+    }
+
+    #[test]
+    fn delay_policies_sleep_then_proceed() {
+        let _guard = serial();
+        arm("test.slow", Policy::delay_ms(1).limit(1));
+        assert!(!fails("test.slow"), "delay proceeds after sleeping");
+        assert_eq!(fires("test.slow"), 1);
+        disarm("test.slow");
+    }
+}

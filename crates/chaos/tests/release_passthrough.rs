@@ -1,0 +1,44 @@
+//! Pins the release contract: fault points compile to passthrough and
+//! cannot inject, no matter what tests arm. Run with
+//! `cargo test --release -p whatif-chaos` (CI does).
+
+#[cfg(not(debug_assertions))]
+mod release {
+    use whatif_chaos as chaos;
+
+    #[test]
+    fn arming_is_inert_in_release_builds() {
+        chaos::arm("release.err", chaos::Policy::error());
+        chaos::arm("release.chunk", chaos::Policy::chunk_bytes(1));
+        chaos::arm("release.boom", chaos::Policy::panic());
+
+        assert!(chaos::inject_io("release.err").is_none());
+        assert!(!chaos::fails("release.err"));
+        assert!(!chaos::fails("release.boom"), "no panic, no fire");
+        assert_eq!(chaos::chunk("release.chunk", 4096), 4096);
+        assert_eq!(chaos::point("release.err", || Ok(1)).unwrap(), 1);
+
+        assert_eq!(chaos::injected_total(), 0);
+        assert_eq!(chaos::fires("release.err"), 0);
+        assert!(
+            chaos::registered().is_empty(),
+            "release builds keep no registry at all"
+        );
+    }
+}
+
+#[cfg(debug_assertions)]
+mod debug {
+    use whatif_chaos as chaos;
+
+    /// The debug half of the contract, so this file always asserts
+    /// something: the same arming that is inert in release does inject
+    /// here.
+    #[test]
+    fn arming_injects_in_debug_builds() {
+        chaos::arm("debug.err", chaos::Policy::error());
+        assert!(chaos::inject_io("debug.err").is_some());
+        assert!(chaos::injected_total() > 0);
+        chaos::disarm("debug.err");
+    }
+}

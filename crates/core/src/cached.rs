@@ -133,6 +133,11 @@ impl EvalCache {
 
     fn get(&self, key: &CacheKey) -> Option<CachedOutcome> {
         let _stage = whatif_obs::span::stage(whatif_obs::Stage::CacheProbe);
+        // Armed "cache.lookup" degrades to a forced miss: the analysis
+        // recomputes and still succeeds, it just loses the cache win.
+        if whatif_chaos::fails("cache.lookup") {
+            return None;
+        }
         self.inner.get(key)
     }
 

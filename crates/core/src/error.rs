@@ -54,6 +54,12 @@ pub enum ErrorCode {
     Spec,
     /// Unexpected server-side failure.
     Internal,
+    /// The request's deadline expired before (or while) the server
+    /// produced a reply; partial stream output may precede this code.
+    DeadlineExceeded,
+    /// The server is at capacity and shed this request instead of
+    /// queueing it; safe to retry after backing off.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -71,11 +77,13 @@ impl ErrorCode {
             ErrorCode::Optim => "optim",
             ErrorCode::Spec => "spec",
             ErrorCode::Internal => "internal",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 
     /// Every code, for exhaustive wire-format tests.
-    pub fn all() -> [ErrorCode; 10] {
+    pub fn all() -> [ErrorCode; 12] {
         [
             ErrorCode::BadRequest,
             ErrorCode::UnknownSession,
@@ -87,6 +95,8 @@ impl ErrorCode {
             ErrorCode::Optim,
             ErrorCode::Spec,
             ErrorCode::Internal,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Overloaded,
         ]
     }
 }

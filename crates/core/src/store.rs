@@ -22,7 +22,7 @@
 //! configuration produces a new fingerprint; the old entry lingers
 //! until unreferenced and over budget, then ages out.
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::model_backend::{ModelConfig, SharedModel, TrainedModel};
 use crate::session::Session;
 use std::sync::Arc;
@@ -71,6 +71,11 @@ impl ModelStore {
         config: &ModelConfig,
     ) -> Result<(SharedModel, bool)> {
         let _stage = whatif_obs::span::stage(whatif_obs::Stage::TrainOrShare);
+        if whatif_chaos::fails("store.train") {
+            return Err(CoreError::Config(
+                "chaos: injected fault at store.train".to_string(),
+            ));
+        }
         // Extract the training inputs once: the fingerprint hashes the
         // same matrix/targets the builder consumes on a miss, instead
         // of re-extracting them (which would double transient memory on

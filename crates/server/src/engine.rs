@@ -20,6 +20,7 @@ use crate::protocol::{
     CURRENT_SESSION, PROTOCOL_VERSION,
 };
 use crate::registry::Registry;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use whatif_core::cached::EvalCache;
 use whatif_core::kpi::KpiKind;
 use whatif_core::model_backend::SharedModel;
@@ -31,7 +32,75 @@ use whatif_core::{ErrorCode, ModelKind, SpecOutcome};
 use whatif_datagen::{deal_closing, marketing_mix, retention};
 use whatif_frame::Frame;
 use whatif_obs::span::{self, Stage};
-use whatif_obs::MetricsSnapshot;
+use whatif_obs::{clock, MetricsSnapshot};
+
+/// Default cap on concurrently executing heavy requests (analyses,
+/// scenario grids, training). Generous on purpose: admission control
+/// exists to shed pathological floods, not to throttle normal
+/// concurrency.
+pub const DEFAULT_MAX_INFLIGHT: usize = 256;
+
+/// A per-request execution deadline, measured from dispatch start on
+/// the obs fast clock (the repo's only permitted time source).
+///
+/// A zero budget is an already-expired deadline; [`Deadline::expired`]
+/// is true from the first check.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: clock::Ticks,
+    budget_ms: u64,
+}
+
+impl Deadline {
+    /// A deadline whose budget starts counting now.
+    #[must_use]
+    pub fn starting_now(budget_ms: u64) -> Deadline {
+        Deadline {
+            start: clock::now(),
+            budget_ms,
+        }
+    }
+
+    /// True once the budget has elapsed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        clock::elapsed_us(self.start) / 1_000 >= self.budget_ms
+    }
+
+    /// The budget this deadline was created with.
+    #[must_use]
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+}
+
+/// The request kinds admission control guards: the ones that can hold a
+/// thread for a model-sized amount of work. Cheap metadata requests
+/// (stats, metrics, session bookkeeping) always pass, so an operator
+/// can still inspect an overloaded server.
+fn is_heavy(kind: RequestKind) -> bool {
+    matches!(
+        kind,
+        RequestKind::Train
+            | RequestKind::DriverImportanceView
+            | RequestKind::SensitivityView
+            | RequestKind::ComparisonView
+            | RequestKind::PerDataView
+            | RequestKind::GoalInversionView
+            | RequestKind::EvaluateScenarios
+    )
+}
+
+/// RAII in-flight slot from [`Engine::admit`]; releases on drop.
+struct InflightPermit<'a> {
+    engine: &'a Engine,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.engine.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 /// Per-session backend state. The model is a [`SharedModel`]
 /// (`Arc<TrainedModel>`): analyses clone the handle and release the
@@ -74,6 +143,11 @@ pub struct Engine {
     cache: EvalCache,
     models: ModelStore,
     obs: EngineObs,
+    /// Heavy requests currently executing (admission control).
+    inflight: AtomicUsize,
+    /// Cap on `inflight`; excess requests are shed with
+    /// [`ErrorCode::Overloaded`]. 0 sheds every heavy request.
+    max_inflight: AtomicUsize,
 }
 
 impl Default for Engine {
@@ -99,12 +173,28 @@ impl Engine {
     pub fn with_cache_and_store(cache: EvalCache, models: ModelStore) -> Engine {
         let obs = EngineObs::new();
         obs.register_cache_sources(cache.clone(), models.clone());
+        obs.register_chaos_source();
         Engine {
             sessions: Registry::new(),
             cache,
             models,
             obs,
+            inflight: AtomicUsize::new(0),
+            max_inflight: AtomicUsize::new(DEFAULT_MAX_INFLIGHT),
         }
+    }
+
+    /// Cap the number of concurrently executing heavy requests; excess
+    /// requests are shed with [`ErrorCode::Overloaded`] instead of
+    /// queueing. 0 sheds every heavy request (useful in tests and as an
+    /// emergency brake).
+    pub fn set_max_inflight(&self, max: usize) {
+        self.max_inflight.store(max, Ordering::Relaxed);
+    }
+
+    /// Heavy requests currently executing.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
     }
 
     /// The process-wide result cache handle.
@@ -141,7 +231,7 @@ impl Engine {
     /// A typed [`ApiError`]; the transport decides how to frame it.
     pub fn handle(&self, request: Request) -> Result<Response, ApiError> {
         match request {
-            Request::Batch(steps) => Ok(Response::Batch(self.run_batch_recorded(0, steps))),
+            Request::Batch(steps) => Ok(Response::Batch(self.run_batch_recorded(0, steps, None))),
             other => self.dispatch(other).map(|(response, _)| response),
         }
     }
@@ -156,10 +246,12 @@ impl Engine {
             version,
             body,
             trace_id,
+            deadline_ms,
         } = envelope;
         if let Some(trace) = trace_id.as_deref() {
             span::set_trace(trace);
         }
+        let deadline = deadline_ms.map(Deadline::starting_now);
         let reply = if version == 0 || version > PROTOCOL_VERSION {
             self.obs.record_error(ErrorCode::BadRequest);
             Reply::fail(
@@ -170,10 +262,11 @@ impl Engine {
             )
         } else {
             match body {
-                Request::Batch(steps) => {
-                    Reply::ok(id, Response::Batch(self.run_batch_recorded(id, steps)))
-                }
-                other => match self.dispatch(other) {
+                Request::Batch(steps) => Reply::ok(
+                    id,
+                    Response::Batch(self.run_batch_recorded(id, steps, deadline.as_ref())),
+                ),
+                other => match self.dispatch_with_deadline(other, deadline.as_ref()) {
                     Ok((response, cached)) => Reply::ok(id, response).with_cached(cached),
                     Err(error) => Reply::fail(id, error),
                 },
@@ -266,17 +359,25 @@ impl Engine {
     /// is timed and counted under the `batch` kind (steps also count
     /// individually through `dispatch`), and it claims the open span's
     /// kind so slow batches log as batches.
-    fn run_batch_recorded(&self, id: u64, steps: Vec<Request>) -> Vec<Reply> {
+    fn run_batch_recorded(
+        &self,
+        id: u64,
+        steps: Vec<Request>,
+        deadline: Option<&Deadline>,
+    ) -> Vec<Reply> {
         span::set_kind(RequestKind::Batch as u16);
         let started = self.obs.start_timer();
-        let replies = self.run_batch(id, steps);
+        let replies = self.run_batch(id, steps, deadline);
         self.obs.record_request(RequestKind::Batch, started, None);
         replies
     }
 
     /// Run batch steps in order, stopping at the first failure. Every
-    /// reply echoes the batch's correlation id.
-    fn run_batch(&self, id: u64, steps: Vec<Request>) -> Vec<Reply> {
+    /// reply echoes the batch's correlation id. The enclosing
+    /// envelope's deadline covers the whole batch: a step that starts
+    /// after expiry fails with [`ErrorCode::DeadlineExceeded`] and ends
+    /// the batch.
+    fn run_batch(&self, id: u64, steps: Vec<Request>, deadline: Option<&Deadline>) -> Vec<Reply> {
         let mut replies = Vec::with_capacity(steps.len());
         let mut last_session: Option<u64> = None;
         for mut step in steps {
@@ -293,7 +394,7 @@ impl Engine {
                 replies.push(Reply::fail(id, error));
                 break;
             }
-            match self.dispatch(step) {
+            match self.dispatch_with_deadline(step, deadline) {
                 Ok((response, cached)) => {
                     if let Response::SessionCreated { session, .. } = &response {
                         last_session = Some(*session);
@@ -315,13 +416,92 @@ impl Engine {
     /// per-kind counter and latency histogram always move together,
     /// for every outcome including errors.
     fn dispatch(&self, request: Request) -> Result<(Response, bool), ApiError> {
+        self.dispatch_with_deadline(request, None)
+    }
+
+    /// [`Engine::dispatch`] under an optional deadline: expired → fail
+    /// immediately with [`ErrorCode::DeadlineExceeded`], before any
+    /// work or admission accounting.
+    fn dispatch_with_deadline(
+        &self,
+        request: Request,
+        deadline: Option<&Deadline>,
+    ) -> Result<(Response, bool), ApiError> {
         let kind = request.kind();
         span::set_kind(kind as u16);
         let started = self.obs.start_timer();
-        let result = self.dispatch_inner(request);
+        let result = self.dispatch_guarded(request, deadline);
         self.obs
             .record_request(kind, started, result.as_ref().err().map(|e| e.code));
         result
+    }
+
+    /// The robustness boundary around [`Engine::dispatch_inner`]:
+    /// deadline check, chaos fault point, admission control for heavy
+    /// kinds, and panic isolation. A panicking analysis becomes a typed
+    /// [`ErrorCode::Internal`] reply (plus `panics_total`) instead of
+    /// unwinding into — and killing — the connection thread; session
+    /// locks absorb poisoning (`lockcheck` locks recover the guard), so
+    /// the engine stays serviceable afterwards.
+    fn dispatch_guarded(
+        &self,
+        request: Request,
+        deadline: Option<&Deadline>,
+    ) -> Result<(Response, bool), ApiError> {
+        if let Some(deadline) = deadline {
+            if deadline.expired() {
+                self.obs.deadline_exceeded_total.inc();
+                return Err(ApiError::deadline_exceeded(deadline.budget_ms()));
+            }
+        }
+        let _permit = if is_heavy(request.kind()) {
+            Some(self.admit()?)
+        } else {
+            None
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The chaos consult sits inside the panic guard so an armed
+            // `Policy::panic()` exercises the same isolation path as a
+            // genuinely panicking analysis.
+            if whatif_chaos::fails("engine.dispatch") {
+                return Err(ApiError::new(
+                    ErrorCode::Internal,
+                    "chaos: injected fault at engine.dispatch",
+                ));
+            }
+            self.dispatch_inner(request)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.obs.panics_total.inc();
+                let what = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                Err(ApiError::new(
+                    ErrorCode::Internal,
+                    format!("request panicked: {what}"),
+                ))
+            }
+        }
+    }
+
+    /// Reserve an in-flight slot for a heavy request, or shed with
+    /// [`ErrorCode::Overloaded`] when the server is at capacity. The
+    /// permit releases the slot on drop (including across the
+    /// `catch_unwind` boundary).
+    fn admit(&self) -> Result<InflightPermit<'_>, ApiError> {
+        let max = self.max_inflight.load(Ordering::Relaxed);
+        let previous = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if previous >= max {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.obs.shed_total.inc();
+            return Err(ApiError::overloaded(format!(
+                "server at capacity ({max} heavy requests in flight); retry with backoff"
+            )));
+        }
+        Ok(InflightPermit { engine: self })
     }
 
     fn dispatch_inner(&self, request: Request) -> Result<(Response, bool), ApiError> {

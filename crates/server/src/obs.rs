@@ -22,6 +22,8 @@
 //! | `v3.frames_in` / `v3.frames_skipped` | counters |
 //! | `v3.bytes_in_raw` / `v3.bytes_out_raw` / `v3.bytes_out_wire` | counters |
 //! | `cache.*` / `store.*` | pull-based sources over the live stats |
+//! | `shed_total` / `deadline_exceeded_total` / `panics_total` | counters |
+//! | `faults_injected_total` | pull-based source over the chaos registry |
 //!
 //! `req.{kind}.count` and `requests_total` are *derived* from the
 //! latency histograms at snapshot time rather than kept as separate
@@ -96,6 +98,15 @@ pub struct EngineObs {
     /// payload); `v3_bytes_out_wire / v3_bytes_out_raw` is the live
     /// compression ratio.
     pub v3_bytes_out_wire: Arc<Counter>,
+    /// Requests shed by admission control (connection cap or in-flight
+    /// dispatch limit) with [`ErrorCode::Overloaded`].
+    pub shed_total: Arc<Counter>,
+    /// Requests that failed with [`ErrorCode::DeadlineExceeded`] —
+    /// checked at dispatch and between v3 stream blocks.
+    pub deadline_exceeded_total: Arc<Counter>,
+    /// Request panics caught at the dispatch boundary and converted to
+    /// [`ErrorCode::Internal`] replies.
+    pub panics_total: Arc<Counter>,
 }
 
 impl Default for EngineObs {
@@ -143,8 +154,23 @@ impl EngineObs {
             v3_bytes_in_raw: registry.counter("v3.bytes_in_raw"),
             v3_bytes_out_raw: registry.counter("v3.bytes_out_raw"),
             v3_bytes_out_wire: registry.counter("v3.bytes_out_wire"),
+            shed_total: registry.counter("shed_total"),
+            deadline_exceeded_total: registry.counter("deadline_exceeded_total"),
+            panics_total: registry.counter("panics_total"),
             registry,
         }
+    }
+
+    /// Expose the chaos layer's injection counter as a
+    /// `faults_injected_total` snapshot counter. Always 0 in release
+    /// builds, where fault points compile to passthrough.
+    pub fn register_chaos_source(&self) {
+        self.registry.register_source(|| {
+            vec![(
+                "faults_injected_total".to_string(),
+                whatif_chaos::injected_total(),
+            )]
+        });
     }
 
     /// Expose the cache/store stats as `cache.*` / `store.*` snapshot

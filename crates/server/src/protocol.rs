@@ -562,6 +562,19 @@ impl ApiError {
     pub fn not_trained() -> ApiError {
         ApiError::new(ErrorCode::NotTrained, "no model trained; send Train first")
     }
+
+    /// The request's deadline expired before a reply was produced.
+    pub fn deadline_exceeded(budget_ms: u64) -> ApiError {
+        ApiError::new(
+            ErrorCode::DeadlineExceeded,
+            format!("deadline of {budget_ms}ms exceeded"),
+        )
+    }
+
+    /// The server shed this request instead of queueing it.
+    pub fn overloaded(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::Overloaded, message)
+    }
 }
 
 impl From<CoreError> for ApiError {
@@ -595,6 +608,14 @@ pub struct Envelope {
     /// follows one user interaction across systems.
     #[serde(default)]
     pub trace_id: Option<String>,
+    /// Optional per-request deadline budget in milliseconds, measured
+    /// from the moment the server starts dispatching. Absent (`None`)
+    /// means no deadline — exactly how every pre-deadline client
+    /// behaves, since serde defaults the field. `Some(0)` is an
+    /// already-expired deadline and fails immediately with
+    /// [`ErrorCode::DeadlineExceeded`].
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
 }
 
 fn default_version() -> u32 {
@@ -609,12 +630,19 @@ impl Envelope {
             version: PROTOCOL_VERSION,
             body,
             trace_id: None,
+            deadline_ms: None,
         }
     }
 
     /// Attach a trace id (builder style).
     pub fn with_trace(mut self, trace_id: impl Into<String>) -> Envelope {
         self.trace_id = Some(trace_id.into());
+        self
+    }
+
+    /// Attach a deadline budget in milliseconds (builder style).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Envelope {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 }
@@ -1032,6 +1060,23 @@ mod tests {
     }
 
     #[test]
+    fn deadline_ms_defaults_to_none_for_old_clients() {
+        // A pre-deadline client omits the field entirely: it must parse
+        // and behave exactly as before — no deadline.
+        let env: Envelope = serde_json::from_str(r#"{"id":3,"body":"ListUseCases"}"#).unwrap();
+        assert_eq!(env.deadline_ms, None);
+        // Explicit null is the same as absent.
+        let env: Envelope =
+            serde_json::from_str(r#"{"id":3,"body":"ListUseCases","deadline_ms":null}"#).unwrap();
+        assert_eq!(env.deadline_ms, None);
+        // And a deadline-carrying envelope round-trips.
+        let env = Envelope::new(4, Request::ListUseCases).with_deadline_ms(750);
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(json.contains("\"deadline_ms\":750"), "{json}");
+        assert_eq!(env, serde_json::from_str::<Envelope>(&json).unwrap());
+    }
+
+    #[test]
     fn metrics_requests_and_responses_roundtrip() {
         for req in [Request::MetricsSnapshot, Request::MetricsPrometheus] {
             let json = serde_json::to_string(&req).unwrap();
@@ -1121,6 +1166,8 @@ mod tests {
             (ErrorCode::Optim, "\"Optim\""),
             (ErrorCode::Spec, "\"Spec\""),
             (ErrorCode::Internal, "\"Internal\""),
+            (ErrorCode::DeadlineExceeded, "\"DeadlineExceeded\""),
+            (ErrorCode::Overloaded, "\"Overloaded\""),
         ];
         assert_eq!(
             expected.len(),

@@ -16,26 +16,156 @@
 //! locking inside the engine keeps long `Train`/`GoalInversionView`
 //! calls from serializing unrelated sessions.
 //!
-//! # Shutdown
+//! # Overload, timeouts, and shutdown
 //!
-//! Any client sending [`Request::Shutdown`] (bare or enveloped, even
-//! inside a batch) stops the server. The accept loop blocks in
-//! `accept()`, so the shutting-down connection raises the stop flag and
-//! then *self-connects* to the listener to unblock it — without that
-//! wake-up, a shutdown from a second client would only take effect at
-//! the next incidental connection.
+//! [`ServeOptions`] bounds what one server instance will take on:
+//!
+//! - a **connection cap**: connections over
+//!   [`ServeOptions::max_connections`] are answered with a typed
+//!   `Overloaded` error in whichever framing they opened with, then
+//!   closed, and `shed_total` is incremented;
+//! - **socket timeouts**: a connection idle (or wedged) past
+//!   [`ServeOptions::read_timeout`] / [`ServeOptions::write_timeout`]
+//!   is closed cleanly instead of pinning its thread forever;
+//! - **graceful drain**: any client sending [`Request::Shutdown`]
+//!   (bare, enveloped, or inside a batch) raises the stop flag. The
+//!   accept loop polls its listener instead of blocking in `accept()`,
+//!   so it observes the flag within one poll interval — the seed's racy
+//!   self-connect wake-up is gone. New connections are then refused,
+//!   requests already being served get up to
+//!   [`ServeOptions::drain_deadline_ms`] to finish, and whatever
+//!   remains is severed.
 
 use crate::engine::Engine;
-use crate::protocol::{Envelope, Reply, Request, Response};
+use crate::protocol::{ApiError, Envelope, Reply, Request, Response};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use whatif_obs::{logger, Counter, Level, Record};
+use std::time::Duration;
+use whatif_obs::lockcheck::Mutex;
+use whatif_obs::{clock, logger, Counter, Level, Record};
+
+/// How long the accept loop sleeps between polls of its nonblocking
+/// listener. Bounds both shutdown latency and idle CPU burn.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Socket budget for telling a shed connection why it was refused.
+/// A peer that cannot take delivery of one small error frame in this
+/// window is simply dropped.
+const SHED_REPLY_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Transport limits and shutdown behavior for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Per-connection socket read timeout; `None` waits forever (the
+    /// seed behavior). Expiry closes the connection cleanly.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout; `None` waits forever.
+    pub write_timeout: Option<Duration>,
+    /// Connections being served at once before new ones are shed with
+    /// a typed `Overloaded` error.
+    pub max_connections: usize,
+    /// How long shutdown waits for in-flight requests to finish before
+    /// severing their sockets.
+    pub drain_deadline_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_connections: 64,
+            drain_deadline_ms: 2_000,
+        }
+    }
+}
+
+/// RAII marker for one request currently being served: counted from
+/// the moment a complete request is in hand until its reply is flushed.
+/// Graceful drain waits on this count, not on open connections, so an
+/// idle keep-alive client cannot hold shutdown hostage.
+pub(crate) struct BusyGuard<'a> {
+    busy: &'a AtomicUsize,
+}
+
+impl<'a> BusyGuard<'a> {
+    pub(crate) fn hold(busy: &'a AtomicUsize) -> BusyGuard<'a> {
+        busy.fetch_add(1, Ordering::AcqRel);
+        BusyGuard { busy }
+    }
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.busy.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Every open connection's socket, keyed by an id private to this
+/// table. Registration hands back a [`ConnSlot`] whose drop removes the
+/// entry, so the table never outgrows the connection cap; drain severs
+/// whatever is still registered when the grace period ends.
+struct ConnTable {
+    next_id: AtomicU64,
+    open: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnTable {
+    fn new() -> ConnTable {
+        ConnTable {
+            next_id: AtomicU64::new(0),
+            open: Mutex::new("tcp.conns", HashMap::new()),
+        }
+    }
+
+    fn open_count(&self) -> usize {
+        self.open.lock().len()
+    }
+
+    /// Track `stream` (a `try_clone` of the served socket) until the
+    /// returned slot drops. `None` — the clone failed — serves the
+    /// connection untracked rather than refusing it.
+    fn register(self: &Arc<Self>, stream: Option<TcpStream>) -> ConnSlot {
+        let id = stream.map(|stream| {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            self.open.lock().insert(id, stream);
+            id
+        });
+        ConnSlot {
+            table: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Sever every registered socket in both directions; their handler
+    /// threads observe EOF/`BrokenPipe` and exit on their own.
+    fn sever_all(&self) {
+        for stream in self.open.lock().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+struct ConnSlot {
+    table: Arc<ConnTable>,
+    id: Option<u64>,
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            self.table.open.lock().remove(&id);
+        }
+    }
+}
 
 /// Start serving on `addr` (use port 0 for an ephemeral port) with a
-/// fresh engine. Returns the bound address and the accept-loop join
-/// handle; the server stops after a client sends [`Request::Shutdown`].
+/// fresh engine and default [`ServeOptions`]. Returns the bound address
+/// and the accept-loop join handle; the server stops after a client
+/// sends [`Request::Shutdown`].
 ///
 /// # Errors
 /// Propagates socket bind errors.
@@ -52,47 +182,136 @@ pub fn serve_with_engine(
     addr: &str,
     engine: Arc<Engine>,
 ) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    serve_with_options(addr, engine, ServeOptions::default())
+}
+
+/// Start serving on `addr` with explicit transport limits.
+///
+/// # Errors
+/// Propagates socket bind errors.
+pub fn serve_with_options(
+    addr: &str,
+    engine: Arc<Engine>,
+    options: ServeOptions,
+) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let busy = Arc::new(AtomicUsize::new(0));
+    let conns = Arc::new(ConnTable::new());
     let handle = std::thread::spawn(move || {
-        loop {
-            let stream = match listener.accept() {
-                Ok((stream, _peer)) => stream,
-                Err(e) => {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    logger().emit(
-                        Record::new(Level::Error, "accept_error").str("error", &e.to_string()),
-                    );
-                    continue;
-                }
-            };
-            if stop.load(Ordering::SeqCst) {
-                // This is (or races with) the shutdown wake-up
-                // connection; drop it and exit.
-                break;
-            }
-            let engine = Arc::clone(&engine);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                if let Err(e) = handle_client(stream, &engine, &stop, local) {
-                    // A dropped client is not fatal to the server.
-                    logger().emit(
-                        Record::new(Level::Error, "client_error").str("error", &e.to_string()),
-                    );
-                }
-            });
-        }
-        // Listener drops here; no new connections are accepted.
+        accept_loop(&listener, &engine, &stop, &busy, &conns, &options);
+        // Refuse new connections from this instant; the drain below
+        // only has to wait out requests already in flight.
+        drop(listener);
+        drain(&busy, &conns, options.drain_deadline_ms);
     });
     Ok((local, handle))
 }
 
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+    busy: &Arc<AtomicUsize>,
+    conns: &Arc<ConnTable>,
+    options: &ServeOptions,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(e) => {
+                logger()
+                    .emit(Record::new(Level::Error, "accept_error").str("error", &e.to_string()));
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        };
+        if conns.open_count() >= options.max_connections {
+            let engine = Arc::clone(engine);
+            let max = options.max_connections;
+            std::thread::spawn(move || shed_connection(stream, &engine, max));
+            continue;
+        }
+        // The listener is nonblocking; the served socket must not be.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let _ = stream.set_read_timeout(options.read_timeout);
+        let _ = stream.set_write_timeout(options.write_timeout);
+        let slot = conns.register(stream.try_clone().ok());
+        let engine = Arc::clone(engine);
+        let stop = Arc::clone(stop);
+        let busy = Arc::clone(busy);
+        std::thread::spawn(move || {
+            let _slot = slot;
+            if let Err(e) = handle_client(stream, &engine, &stop, &busy) {
+                // A dropped client is not fatal to the server.
+                logger()
+                    .emit(Record::new(Level::Error, "client_error").str("error", &e.to_string()));
+            }
+        });
+    }
+}
+
+/// Refuse one over-cap connection with a typed `Overloaded` error in
+/// whichever framing its first byte announces, then close it. Runs on
+/// its own short-lived thread so a peer slow to take delivery cannot
+/// stall the accept loop.
+fn shed_connection(mut stream: TcpStream, engine: &Engine, max: usize) {
+    let obs = engine.obs();
+    obs.shed_total.inc();
+    logger().emit(Record::new(Level::Warn, "connection_shed").u64("max_connections", max as u64));
+    let _ = stream.set_read_timeout(Some(SHED_REPLY_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SHED_REPLY_TIMEOUT));
+    let mut first = [0u8; 1];
+    let v3 = matches!(stream.peek(&mut first), Ok(1) if first[0] == whatif_wire::WIRE_MAGIC[0]);
+    let message = format!("server at capacity ({max} connections); retry with backoff");
+    if v3 {
+        let _ = stream.write_all(&crate::v3::overloaded_frame_bytes(&message));
+    } else if let Ok(line) = serde_json::to_string(&Response::Error(ApiError::overloaded(message)))
+    {
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.write_all(b"\n");
+    }
+    let _ = stream.flush();
+}
+
+/// Wait for in-flight requests to finish (up to `deadline_ms`), then
+/// sever every surviving socket so idle handler threads exit without
+/// waiting out their read timeout.
+fn drain(busy: &AtomicUsize, conns: &ConnTable, deadline_ms: u64) {
+    let start = clock::now();
+    loop {
+        let in_flight = busy.load(Ordering::Acquire);
+        if in_flight == 0 {
+            break;
+        }
+        if clock::elapsed_us(start) / 1_000 >= deadline_ms {
+            logger().emit(
+                Record::new(Level::Warn, "drain_deadline_expired")
+                    .u64("in_flight", in_flight as u64),
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    conns.sever_all();
+}
+
 /// `Read` wrapper feeding every socket byte into the process-wide
 /// `net.bytes_in` counter and a per-connection total. Sits *inside* the
-/// `BufReader`, so buffered refills are counted exactly once.
+/// `BufReader`, so buffered refills are counted exactly once. Carries
+/// the `tcp.read` fault point: chaos policies can fail the read or
+/// clamp it to a short fill.
 struct MeteredReader<R> {
     inner: R,
     process: Arc<Counter>,
@@ -101,7 +320,11 @@ struct MeteredReader<R> {
 
 impl<R: Read> Read for MeteredReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
+        if let Some(e) = whatif_chaos::inject_io("tcp.read") {
+            return Err(e);
+        }
+        let want = whatif_chaos::chunk("tcp.read", buf.len());
+        let n = self.inner.read(&mut buf[..want])?;
         self.process.add(n as u64);
         self.connection.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
@@ -109,7 +332,8 @@ impl<R: Read> Read for MeteredReader<R> {
 }
 
 /// `Write` twin of [`MeteredReader`]: counts bytes as the `BufWriter`
-/// flushes them to the socket.
+/// flushes them to the socket, and carries the `tcp.write` fault point
+/// (injected errors and short writes).
 struct MeteredWriter<W> {
     inner: W,
     process: Arc<Counter>,
@@ -118,7 +342,11 @@ struct MeteredWriter<W> {
 
 impl<W: Write> Write for MeteredWriter<W> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        let n = self.inner.write(buf)?;
+        if let Some(e) = whatif_chaos::inject_io("tcp.write") {
+            return Err(e);
+        }
+        let take = whatif_chaos::chunk("tcp.write", buf.len());
+        let n = self.inner.write(&buf[..take])?;
         self.process.add(n as u64);
         self.connection.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
@@ -129,18 +357,35 @@ impl<W: Write> Write for MeteredWriter<W> {
     }
 }
 
+/// A socket timeout surfaces as `WouldBlock` or `TimedOut` depending on
+/// the platform; either way the connection sat past its budget.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 fn handle_client(
     stream: TcpStream,
     engine: &Engine,
     stop: &AtomicBool,
-    local: SocketAddr,
+    busy: &AtomicUsize,
 ) -> std::io::Result<()> {
     let obs = engine.obs();
     obs.connections_total.inc();
     obs.connections_open.inc();
     let conn_in = Arc::new(AtomicU64::new(0));
     let conn_out = Arc::new(AtomicU64::new(0));
-    let result = serve_sniffed(stream, engine, stop, local, &conn_in, &conn_out);
+    let result = match serve_sniffed(stream, engine, stop, busy, &conn_in, &conn_out) {
+        // An idle connection hitting its socket timeout is a clean
+        // close, not a client error.
+        Err(e) if is_timeout(&e) => {
+            logger().emit(Record::new(Level::Debug, "connection_idle_timeout"));
+            Ok(())
+        }
+        other => other,
+    };
     obs.connections_open.dec();
     logger().emit(
         Record::new(Level::Debug, "connection_closed")
@@ -155,7 +400,7 @@ fn serve_sniffed(
     stream: TcpStream,
     engine: &Engine,
     stop: &AtomicBool,
-    local: SocketAddr,
+    busy: &AtomicUsize,
     conn_in: &Arc<AtomicU64>,
     conn_out: &Arc<AtomicU64>,
 ) -> std::io::Result<()> {
@@ -177,15 +422,14 @@ fn serve_sniffed(
         buf => buf[0],
     };
     let shutdown = if first == whatif_wire::WIRE_MAGIC[0] {
-        crate::v3::serve_connection(&mut reader, &mut writer, engine, stop)?
+        crate::v3::serve_connection(&mut reader, &mut writer, engine, stop, busy)?
     } else {
-        serve_json_lines(&mut reader, &mut writer, engine, stop)?
+        serve_json_lines(&mut reader, &mut writer, engine, stop, busy)?
     };
     if shutdown {
+        // The polling accept loop observes the flag within one poll
+        // interval; no wake-up connection is needed.
         stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop so the stop flag is observed now,
-        // not at the next incidental connection.
-        let _ = TcpStream::connect(wake_addr(local));
     }
     Ok(())
 }
@@ -197,6 +441,7 @@ fn serve_json_lines(
     writer: &mut impl Write,
     engine: &Engine,
     stop: &AtomicBool,
+    busy: &AtomicUsize,
 ) -> std::io::Result<bool> {
     loop {
         let line = match read_bounded_line(reader, whatif_wire::MAX_FRAME_BYTES)? {
@@ -220,10 +465,16 @@ fn serve_json_lines(
         if line.trim().is_empty() {
             continue;
         }
-        let (reply, shutdown) = engine.dispatch_line(&line);
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        // A complete request is in hand: count it against graceful
+        // drain until its reply is flushed.
+        let shutdown = {
+            let _busy = BusyGuard::hold(busy);
+            let (reply, shutdown) = engine.dispatch_line(&line);
+            writer.write_all(reply.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            shutdown
+        };
         if shutdown {
             return Ok(true);
         }
@@ -381,6 +632,23 @@ impl Client {
         decode_line(&response)
     }
 
+    /// Send one v2 envelope carrying a request deadline and wait for
+    /// its reply. A deadline of `0` is already expired on arrival.
+    ///
+    /// # Errors
+    /// Propagates socket/serialization errors; server-side failures
+    /// (including `DeadlineExceeded`) come back inside the [`Reply`].
+    pub fn call_v2_with_deadline(
+        &mut self,
+        id: u64,
+        request: Request,
+        deadline_ms: u64,
+    ) -> std::io::Result<Reply> {
+        let line = encode_line(&Envelope::new(id, request).with_deadline_ms(deadline_ms))?;
+        let response = self.send_raw(&line)?;
+        decode_line(&response)
+    }
+
     /// Execute a whole pipeline in one round trip via
     /// [`Request::Batch`], returning the per-step replies.
     ///
@@ -401,20 +669,6 @@ impl Client {
             )),
         }
     }
-}
-
-/// The address the shutdown wake-up connects to. A listener bound to a
-/// wildcard address (`0.0.0.0` / `::`) is not connectable on every
-/// platform, so substitute the loopback of the same family.
-fn wake_addr(local: SocketAddr) -> SocketAddr {
-    let mut addr = local;
-    if addr.ip().is_unspecified() {
-        match addr {
-            SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
-            SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
-        }
-    }
-    addr
 }
 
 fn encode_line<T: serde::Serialize>(value: &T) -> std::io::Result<String> {
@@ -546,18 +800,11 @@ mod tests {
 
     #[test]
     fn shutdown_works_on_a_wildcard_bind() {
-        // The wake-up must target loopback, not the unconnectable
-        // wildcard address the listener reports.
+        // A wildcard listener is not connectable at the address it
+        // reports; the loopback of the same family still reaches it.
         let (addr, handle) = serve("0.0.0.0:0").unwrap();
         assert!(addr.ip().is_unspecified());
-        assert!(wake_addr(addr).ip().is_loopback());
-        assert_eq!(wake_addr(addr).port(), addr.port());
-        let loopback = wake_addr(addr);
-        assert_eq!(
-            wake_addr(loopback),
-            loopback,
-            "already-connectable addresses pass through"
-        );
+        let loopback = SocketAddr::new(std::net::Ipv4Addr::LOCALHOST.into(), addr.port());
         let mut client = Client::connect(loopback).unwrap();
         assert_eq!(
             client.call(&Request::Shutdown).unwrap(),
@@ -588,6 +835,77 @@ mod tests {
         handle
             .join()
             .expect("accept loop exits without new clients");
+    }
+
+    #[test]
+    fn over_cap_connections_are_shed_with_a_typed_error() {
+        let engine = Arc::new(Engine::new());
+        let options = ServeOptions {
+            max_connections: 1,
+            ..ServeOptions::default()
+        };
+        let (addr, handle) =
+            serve_with_options("127.0.0.1:0", Arc::clone(&engine), options).unwrap();
+        let mut first = Client::connect(addr).unwrap();
+        // A completed call proves the first connection is registered,
+        // so the next accept is over the cap.
+        assert!(matches!(
+            first.call(&Request::ListUseCases).unwrap(),
+            Response::UseCases(_)
+        ));
+
+        let mut second = Client::connect(addr).unwrap();
+        match second.call(&Request::ListUseCases).unwrap() {
+            Response::Error(e) => {
+                assert_eq!(e.code, whatif_core::ErrorCode::Overloaded);
+                assert!(e.message.contains("capacity"), "message: {}", e.message);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(engine.obs().shed_total.get(), 1);
+
+        // The connection under the cap still works, and can shut down.
+        assert_eq!(
+            first.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_time_out_cleanly() {
+        let engine = Arc::new(Engine::new());
+        let options = ServeOptions {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ServeOptions::default()
+        };
+        let (addr, handle) =
+            serve_with_options("127.0.0.1:0", Arc::clone(&engine), options).unwrap();
+        let mut client = Client::connect(addr).unwrap();
+        assert!(matches!(
+            client.call(&Request::ListUseCases).unwrap(),
+            Response::UseCases(_)
+        ));
+        // Go idle past the read timeout: the server closes its end and
+        // the next exchange observes a dead socket, not a hang.
+        std::thread::sleep(Duration::from_millis(200));
+        let err = client.call(&Request::ListUseCases).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected error after idle timeout: {err:?}"
+        );
+
+        let mut fresh = Client::connect(addr).unwrap();
+        assert_eq!(
+            fresh.call(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        );
+        handle.join().unwrap();
     }
 
     #[test]

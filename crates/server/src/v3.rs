@@ -18,13 +18,15 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::AtomicBool;
 use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicUsize};
 use std::sync::Arc;
+use std::time::Duration;
 
-use crate::engine::Engine;
+use crate::engine::{Deadline, Engine};
 use crate::obs::EngineObs;
 use crate::protocol::{ApiError, Envelope, Reply, Request, Response};
+use crate::tcp::BusyGuard;
 use whatif_core::bulk::ScenarioSpec;
 use whatif_core::perturbation::{Perturbation, PerturbationSet};
 use whatif_core::ErrorCode;
@@ -61,6 +63,19 @@ fn error_frame(id: u64, code: ErrorCode, message: impl Into<String>) -> (FrameTy
 
 fn api_error_frame(id: u64, error: &ApiError) -> (FrameType, Vec<u8>) {
     error_frame(id, error.code, error.message.clone())
+}
+
+/// A fully encoded `Overloaded` error frame for connections shed by
+/// the accept loop, where no per-connection handler (and thus no
+/// metered writer or request span) exists yet.
+pub(crate) fn overloaded_frame_bytes(message: &str) -> Vec<u8> {
+    let (frame_type, payload) = error_frame(0, ErrorCode::Overloaded, message);
+    let mut out = Vec::new();
+    // Writing to a Vec cannot fail and the payload is far below the
+    // frame cap; an empty buffer on the impossible path just closes
+    // the shed connection without a goodbye.
+    let _ = write_frame(&mut out, frame_type, &payload, Compression::None);
+    out
 }
 
 /// Turn a columnar grid back into the engine's row-oriented
@@ -127,6 +142,9 @@ fn emit(
     prefer: Compression,
 ) -> Result<usize, WireError> {
     let _stage = span::stage(Stage::Encode);
+    if let Some(e) = whatif_chaos::inject_io("v3.encode") {
+        return Err(WireError::Io(e));
+    }
     let n = write_frame(w, frame_type, payload, prefer)?;
     obs.v3_bytes_out_raw.add(payload.len() as u64);
     obs.v3_bytes_out_wire.add(n as u64);
@@ -135,12 +153,19 @@ fn emit(
 
 /// Write a `ScenariosEvaluated` response as a bounded frame stream:
 /// head, `ceil(total / DEFAULT_BLOCK_ROWS)` KPI blocks, end marker.
+///
+/// The request's deadline (when it carried one) is re-checked between
+/// blocks: a slow or backpressured consumer cannot stretch an expired
+/// request indefinitely — the stream is cut short with a typed
+/// [`ErrorCode::DeadlineExceeded`] error frame in place of the
+/// remaining blocks, which the client surfaces as a server error.
 fn stream_outcomes(
     w: &mut impl Write,
     obs: &EngineObs,
     id: u64,
     response: &Response,
     prefer: Compression,
+    deadline: Option<&Deadline>,
 ) -> Result<(), WireError> {
     let Response::ScenariosEvaluated {
         outcomes,
@@ -182,6 +207,23 @@ fn stream_outcomes(
     emit(w, obs, FrameType::StreamHead, &head.encode(), prefer)?;
     let mut blocks = 0u32;
     for (chunk_index, chunk) in outcomes.chunks(DEFAULT_BLOCK_ROWS).enumerate() {
+        if let Some(deadline) = deadline {
+            if deadline.expired() {
+                obs.deadline_exceeded_total.inc();
+                obs.record_error(ErrorCode::DeadlineExceeded);
+                let (ft, payload) = error_frame(
+                    id,
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "deadline of {}ms exceeded after {blocks} of {} stream blocks",
+                        deadline.budget_ms(),
+                        outcomes.len().div_ceil(DEFAULT_BLOCK_ROWS)
+                    ),
+                );
+                emit(w, obs, ft, &payload, prefer)?;
+                return Ok(());
+            }
+        }
         let start = chunk_index * DEFAULT_BLOCK_ROWS;
         let block = OutcomeBlock {
             id,
@@ -211,10 +253,23 @@ fn answer(
 ) -> Result<bool, WireError> {
     let obs = engine.obs();
     let id = request.id;
+    // The v3 deadline starts when the frame is decoded. The envelope
+    // below re-derives its own deadline at dispatch (the budgets are
+    // measured from nearly the same instant); this one also paces the
+    // outcome stream between blocks.
+    let deadline = (request.deadline_ms > 0).then(|| Deadline::starting_now(request.deadline_ms));
+    let with_deadline = |mut envelope: Envelope| {
+        if request.deadline_ms > 0 {
+            envelope.deadline_ms = Some(request.deadline_ms);
+        }
+        envelope
+    };
     match request.body {
         RequestBody::Json(json) => {
             // The universal fallback: any v1/v2 request rides v3
-            // framing; the reply is the enveloped JSON line.
+            // framing; the reply is the enveloped JSON line. A JSON
+            // body carries its own envelope, so a frame-level deadline
+            // is not re-imposed here.
             let (line, shutdown) = engine.dispatch_line(&json);
             let reply = WireReply {
                 id,
@@ -233,7 +288,7 @@ fn answer(
                     return Ok(false);
                 }
             };
-            let reply = engine.handle_envelope(Envelope::new(
+            let reply = engine.handle_envelope(with_deadline(Envelope::new(
                 id,
                 Request::EvaluateScenarios {
                     session: grid.session,
@@ -241,9 +296,11 @@ fn answer(
                     record: grid.record,
                     n_threads: (grid.n_threads > 0).then_some(u32_to_usize(grid.n_threads)),
                 },
-            ));
+            )));
             match (reply.result, reply.error) {
-                (Some(response), _) => stream_outcomes(w, obs, id, &response, prefer)?,
+                (Some(response), _) => {
+                    stream_outcomes(w, obs, id, &response, prefer, deadline.as_ref())?;
+                }
                 (None, error) => {
                     let error = error.unwrap_or_else(|| {
                         ApiError::new(
@@ -258,18 +315,19 @@ fn answer(
             Ok(false)
         }
         RequestBody::LoadCsv { csv } => {
-            let reply = engine.handle_envelope(Envelope::new(id, Request::LoadCsv { csv }));
+            let reply =
+                engine.handle_envelope(with_deadline(Envelope::new(id, Request::LoadCsv { csv })));
             write_reply_or_error(w, obs, id, reply, prefer)?;
             Ok(false)
         }
         RequestBody::Comparison(cmp) => {
-            let reply = engine.handle_envelope(Envelope::new(
+            let reply = engine.handle_envelope(with_deadline(Envelope::new(
                 id,
                 Request::ComparisonView {
                     session: cmp.session,
                     percentages: cmp.percentages,
                 },
-            ));
+            )));
             match (reply.result, reply.error) {
                 (Some(Response::Comparison(curves)), _) => {
                     let body = ComparisonReply {
@@ -347,6 +405,7 @@ pub(crate) fn serve_connection(
     writer: &mut impl Write,
     engine: &Engine,
     stop: &AtomicBool,
+    busy: &AtomicUsize,
 ) -> std::io::Result<bool> {
     let obs = engine.obs();
     loop {
@@ -376,13 +435,22 @@ pub(crate) fn serve_connection(
             })) => {
                 obs.v3_frames_in.inc();
                 obs.v3_bytes_in_raw.add(payload.len() as u64);
+                // A complete request is in hand: count it against
+                // graceful drain until the reply is flushed.
+                let _busy = BusyGuard::hold(busy);
                 // One span per frame: the engine's own begin() inside
                 // dispatch is then inert, so decode + dispatch + encode
                 // land in a single per-request stage breakdown.
                 let _span = obs.begin_request();
                 let decoded = {
                     let _stage = span::stage(Stage::Decode);
-                    WireRequest::decode(&payload)
+                    if whatif_chaos::fails("v3.decode") {
+                        Err(WireError::Corrupt(
+                            "chaos: injected fault at v3.decode".to_string(),
+                        ))
+                    } else {
+                        WireRequest::decode(&payload)
+                    }
                 };
                 // Replies mirror the request's compression preference:
                 // clients that send plain frames get plain frames back
@@ -449,6 +517,8 @@ pub enum V3Error {
     Server(ErrorReply),
     /// The server answered with an unexpected frame or payload.
     Protocol(String),
+    /// A socket read/write timed out ([`V3Client::set_io_timeout`]).
+    Timeout(std::io::Error),
 }
 
 impl std::fmt::Display for V3Error {
@@ -457,21 +527,38 @@ impl std::fmt::Display for V3Error {
             V3Error::Wire(e) => write!(f, "wire: {e}"),
             V3Error::Server(e) => write!(f, "server error {}: {}", e.code, e.message),
             V3Error::Protocol(m) => write!(f, "protocol: {m}"),
+            V3Error::Timeout(e) => write!(f, "socket timeout: {e}"),
         }
     }
 }
 
 impl std::error::Error for V3Error {}
 
+/// Platform-dependently, a timed-out blocking socket op surfaces as
+/// `WouldBlock` (unix) or `TimedOut` (windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 impl From<WireError> for V3Error {
     fn from(e: WireError) -> V3Error {
-        V3Error::Wire(e)
+        match e {
+            WireError::Io(io) if is_timeout(&io) => V3Error::Timeout(io),
+            other => V3Error::Wire(other),
+        }
     }
 }
 
 impl From<std::io::Error> for V3Error {
     fn from(e: std::io::Error) -> V3Error {
-        V3Error::Wire(WireError::Io(e))
+        if is_timeout(&e) {
+            V3Error::Timeout(e)
+        } else {
+            V3Error::Wire(WireError::Io(e))
+        }
     }
 }
 
@@ -503,8 +590,81 @@ impl<R: std::io::Read> std::io::Read for CountingReader<R> {
     }
 }
 
+/// Dial `addr` with the given socket timeout and wrap the stream in the
+/// client's counted reader / buffered writer pair.
+fn open_counted(
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+    received: &Arc<std::sync::atomic::AtomicU64>,
+) -> std::io::Result<(BufReader<CountingReader<TcpStream>>, BufWriter<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let reader = BufReader::new(CountingReader {
+        inner: stream.try_clone()?,
+        count: Arc::clone(received),
+    });
+    Ok((reader, BufWriter::new(stream)))
+}
+
+/// Default socket read/write timeout for [`V3Client`]: generous enough
+/// for any real analysis, small enough that a wedged server cannot
+/// hang a bench or test run forever.
+pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Bounded retry-with-jittered-backoff contract for
+/// [`V3Client::call_json_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (1 = no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling.
+    pub max_delay_ms: u64,
+    /// Seed for the deterministic jitter draw.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+            seed: 0x5EED_BACC_0FF5_EED5,
+        }
+    }
+}
+
+/// Is this failure worth a reconnect-and-retry? Only connection-level
+/// transport faults qualify; typed server errors and protocol
+/// violations are answers, not outages.
+fn is_transient(error: &V3Error) -> bool {
+    use std::io::ErrorKind;
+    match error {
+        V3Error::Timeout(_) => true,
+        V3Error::Wire(WireError::Io(e)) => matches!(
+            e.kind(),
+            ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::ConnectionRefused
+                | ErrorKind::BrokenPipe
+                | ErrorKind::UnexpectedEof
+                | ErrorKind::Interrupted
+        ),
+        V3Error::Wire(WireError::Truncated { .. }) => true,
+        // The server closed the stream before answering (EOF in reply
+        // position) — e.g. it drained and shut down mid-handshake.
+        V3Error::Protocol(m) => m == "server closed the stream",
+        _ => false,
+    }
+}
+
 /// A minimal blocking v3 client: framed binary requests over TCP, with
-/// byte counters for traffic metering.
+/// byte counters for traffic metering, socket timeouts (default 30 s,
+/// surfacing as [`V3Error::Timeout`]), and bounded jittered retry for
+/// transient transport faults.
 pub struct V3Client {
     reader: BufReader<CountingReader<TcpStream>>,
     writer: BufWriter<TcpStream>,
@@ -512,28 +672,57 @@ pub struct V3Client {
     pub compression: Compression,
     bytes_sent: u64,
     bytes_received: Arc<std::sync::atomic::AtomicU64>,
+    /// Where `connect` dialed, for transparent reconnects.
+    addr: SocketAddr,
+    io_timeout: Option<Duration>,
 }
 
 impl V3Client {
     /// Connect to a running server. The first frame this client sends
     /// routes the connection to the v3 loop (the server sniffs the
-    /// magic byte).
+    /// magic byte). Read/write timeouts default to
+    /// [`DEFAULT_CLIENT_TIMEOUT`]; tune with
+    /// [`V3Client::set_io_timeout`].
     ///
     /// # Errors
     /// Propagates socket errors.
     pub fn connect(addr: SocketAddr) -> std::io::Result<V3Client> {
-        let stream = TcpStream::connect(addr)?;
         let bytes_received = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (reader, writer) = open_counted(addr, Some(DEFAULT_CLIENT_TIMEOUT), &bytes_received)?;
         Ok(V3Client {
-            reader: BufReader::new(CountingReader {
-                inner: stream.try_clone()?,
-                count: Arc::clone(&bytes_received),
-            }),
-            writer: BufWriter::new(stream),
+            reader,
+            writer,
             compression: Compression::Lz4Like,
             bytes_sent: 0,
             bytes_received,
+            addr,
+            io_timeout: Some(DEFAULT_CLIENT_TIMEOUT),
         })
+    }
+
+    /// Set the socket read/write timeout (`None` = block forever).
+    /// Timed-out operations surface as [`V3Error::Timeout`].
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        let stream = self.writer.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    /// Drop the current connection and dial the server again, keeping
+    /// the timeout configuration and byte counters.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let (reader, writer) = open_counted(self.addr, self.io_timeout, &self.bytes_received)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     /// Bytes this client has put on the wire (headers included).
@@ -606,6 +795,7 @@ impl V3Client {
         self.send(&WireRequest {
             id,
             body: RequestBody::Json(json),
+            deadline_ms: 0,
         })?;
         let frame = self.next_frame()?;
         match frame.frame_type {
@@ -626,6 +816,61 @@ impl V3Client {
         }
     }
 
+    /// [`V3Client::call_json`] with bounded reconnect-and-retry under
+    /// `policy` for transient transport faults (connection reset /
+    /// refused, broken pipe, EOF before a reply, timeouts). Backoff
+    /// doubles from `base_delay_ms` up to `max_delay_ms`, with a
+    /// seeded jitter draw so retry storms decorrelate and tests stay
+    /// reproducible.
+    ///
+    /// A retry is only attempted when **zero** reply bytes arrived for
+    /// the failed attempt — once any of the answer has been read the
+    /// request may have executed, and blindly resending a
+    /// non-idempotent request (Train, LoadCsv) would double-apply it.
+    ///
+    /// # Errors
+    /// The final attempt's error, or the first non-transient one.
+    pub fn call_json_with_retry(
+        &mut self,
+        id: u64,
+        request: &Request,
+        policy: RetryPolicy,
+    ) -> Result<Reply, V3Error> {
+        let mut delay_ms = policy.base_delay_ms.max(1);
+        let mut rng = policy.seed | 1;
+        let mut attempt = 1;
+        loop {
+            let received_before = self.bytes_received();
+            match self.call_json(id, request) {
+                Ok(reply) => return Ok(reply),
+                Err(error)
+                    if attempt < policy.attempts
+                        && is_transient(&error)
+                        && self.bytes_received() == received_before =>
+                {
+                    // xorshift64 jitter in [0, delay): deterministic in
+                    // the policy seed, different per retry.
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let jitter = rng % delay_ms.max(1);
+                    std::thread::sleep(Duration::from_millis(delay_ms + jitter));
+                    delay_ms = (delay_ms * 2).min(policy.max_delay_ms.max(1));
+                    // A failed dial is itself transient (the server may
+                    // still be restarting); keep the old connection's
+                    // error if the last allowed attempt cannot dial.
+                    if let Err(dial) = self.reconnect() {
+                        if attempt + 1 >= policy.attempts {
+                            return Err(V3Error::from(dial));
+                        }
+                    }
+                    attempt += 1;
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
     /// Evaluate a columnar scenario grid, collecting the streamed
     /// outcome blocks.
     ///
@@ -638,9 +883,27 @@ impl V3Client {
         id: u64,
         grid: ScenarioGridRequest,
     ) -> Result<StreamedOutcomes, V3Error> {
+        self.evaluate_grid_with_deadline(id, grid, 0)
+    }
+
+    /// [`V3Client::evaluate_grid`] carrying a server-side deadline
+    /// budget (milliseconds; 0 = none) on the request frame. The
+    /// server checks it at dispatch and between stream blocks; expiry
+    /// surfaces as a [`V3Error::Server`] frame with the
+    /// `DeadlineExceeded` code.
+    ///
+    /// # Errors
+    /// As [`V3Client::evaluate_grid`].
+    pub fn evaluate_grid_with_deadline(
+        &mut self,
+        id: u64,
+        grid: ScenarioGridRequest,
+        deadline_ms: u64,
+    ) -> Result<StreamedOutcomes, V3Error> {
         self.send(&WireRequest {
             id,
             body: RequestBody::Scenarios(grid),
+            deadline_ms,
         })?;
         let frame = self.next_frame()?;
         let head = match frame.frame_type {
@@ -716,6 +979,7 @@ impl V3Client {
         self.send(&WireRequest {
             id,
             body: RequestBody::LoadCsv { csv },
+            deadline_ms: 0,
         })?;
         let frame = self.next_frame()?;
         match frame.frame_type {
@@ -750,6 +1014,7 @@ impl V3Client {
                 session,
                 percentages,
             }),
+            deadline_ms: 0,
         })?;
         let frame = self.next_frame()?;
         match frame.frame_type {
@@ -889,7 +1154,15 @@ mod tests {
         };
         let engine = Engine::new();
         let mut out = Vec::new();
-        stream_outcomes(&mut out, engine.obs(), 3, &response, Compression::None).unwrap();
+        stream_outcomes(
+            &mut out,
+            engine.obs(),
+            3,
+            &response,
+            Compression::None,
+            None,
+        )
+        .unwrap();
         let mut r = std::io::Cursor::new(out);
         let FrameEvent::Frame(frame) = read_event(&mut r).unwrap() else {
             panic!("expected a frame");

@@ -124,6 +124,13 @@ pub struct WireRequest {
     pub id: u64,
     /// The request itself.
     pub body: RequestBody,
+    /// Server-side deadline budget in milliseconds; 0 means none.
+    ///
+    /// Encoded as an optional trailing field: omitted when 0, so
+    /// deadline-free frames stay byte-identical to the pre-deadline
+    /// format and old decoders (which reject trailing bytes) only
+    /// break on frames that actually carry a deadline.
+    pub deadline_ms: u64,
 }
 
 impl WireRequest {
@@ -183,6 +190,9 @@ impl WireRequest {
                 put_u64(&mut out, cmp.session);
                 put_f64_column(&mut out, &cmp.percentages);
             }
+        }
+        if self.deadline_ms != 0 {
+            put_u64(&mut out, self.deadline_ms);
         }
         out
     }
@@ -276,8 +286,17 @@ impl WireRequest {
                 )))
             }
         };
+        let deadline_ms = if r.remaining() > 0 {
+            r.u64("request deadline")?
+        } else {
+            0
+        };
         r.expect_end()?;
-        Ok(WireRequest { id, body })
+        Ok(WireRequest {
+            id,
+            body,
+            deadline_ms,
+        })
     }
 }
 
@@ -602,6 +621,7 @@ mod tests {
     fn scenario_grid_round_trips_with_nan_and_signed_zero() {
         let req = WireRequest {
             id: 99,
+            deadline_ms: 0,
             body: RequestBody::Scenarios(sample_grid()),
         };
         let back = WireRequest::decode(&req.encode()).unwrap();
@@ -626,6 +646,7 @@ mod tests {
     fn name_table_stores_each_driver_once() {
         let req = WireRequest {
             id: 1,
+            deadline_ms: 0,
             body: RequestBody::Scenarios(sample_grid()),
         };
         let bytes = req.encode();
@@ -647,8 +668,56 @@ mod tests {
                 percentages: vec![-50.0, 0.0, 50.0],
             }),
         ] {
-            let req = WireRequest { id: 5, body };
+            let req = WireRequest {
+                id: 5,
+                body,
+                deadline_ms: 0,
+            };
             assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn deadlines_are_an_optional_trailing_field() {
+        let plain = WireRequest {
+            id: 7,
+            body: RequestBody::Json("{}".into()),
+            deadline_ms: 0,
+        };
+        let with_deadline = WireRequest {
+            deadline_ms: 250,
+            ..plain.clone()
+        };
+        let plain_bytes = plain.encode();
+        let deadline_bytes = with_deadline.encode();
+        // Zero deadline stays byte-identical to the pre-deadline
+        // format; a real deadline appends exactly one trailing u64.
+        assert_eq!(deadline_bytes.len(), plain_bytes.len() + 8);
+        assert_eq!(&deadline_bytes[..plain_bytes.len()], &plain_bytes[..]);
+        // Old frames (no trailing field) decode as deadline 0.
+        assert_eq!(WireRequest::decode(&plain_bytes).unwrap(), plain);
+        assert_eq!(WireRequest::decode(&deadline_bytes).unwrap(), with_deadline);
+        // A truncated deadline is corrupt, not silently dropped.
+        assert!(WireRequest::decode(&deadline_bytes[..deadline_bytes.len() - 3]).is_err());
+        // Every body opcode round-trips its deadline.
+        for body in [
+            RequestBody::Json("{}".into()),
+            RequestBody::LoadCsv {
+                csv: "a\n1\n".into(),
+            },
+            RequestBody::Comparison(ComparisonRequest {
+                session: 3,
+                percentages: vec![0.0],
+            }),
+            RequestBody::Scenarios(sample_grid()),
+        ] {
+            let req = WireRequest {
+                id: 5,
+                body,
+                deadline_ms: 1_500,
+            };
+            let back = WireRequest::decode(&req.encode()).unwrap();
+            assert_eq!(back.deadline_ms, 1_500);
         }
     }
 
@@ -723,6 +792,7 @@ mod tests {
         };
         let bytes = WireRequest {
             id: 1,
+            deadline_ms: 0,
             body: RequestBody::Scenarios(grid(u32::MAX)),
         }
         .encode();
@@ -732,6 +802,7 @@ mod tests {
         // The boundary itself stays legal.
         let bytes = WireRequest {
             id: 1,
+            deadline_ms: 0,
             body: RequestBody::Scenarios(grid(MAX_GRID_SCENARIOS)),
         }
         .encode();
@@ -745,6 +816,7 @@ mod tests {
         grid.columns[0].values.pop();
         let bytes = WireRequest {
             id: 1,
+            deadline_ms: 0,
             body: RequestBody::Scenarios(grid),
         }
         .encode();
@@ -755,6 +827,7 @@ mod tests {
         grid.names = vec!["only-one".into()];
         let bytes = WireRequest {
             id: 1,
+            deadline_ms: 0,
             body: RequestBody::Scenarios(grid),
         }
         .encode();
@@ -772,6 +845,7 @@ mod tests {
         // Unknown opcode.
         let mut bytes = WireRequest {
             id: 1,
+            deadline_ms: 0,
             body: RequestBody::Json("{}".into()),
         }
         .encode();
@@ -781,6 +855,7 @@ mod tests {
         // Trailing garbage.
         let mut bytes = WireRequest {
             id: 1,
+            deadline_ms: 0,
             body: RequestBody::Json("{}".into()),
         }
         .encode();
@@ -792,6 +867,7 @@ mod tests {
     fn truncations_never_panic() {
         let req = WireRequest {
             id: 2,
+            deadline_ms: 0,
             body: RequestBody::Scenarios(sample_grid()),
         };
         let bytes = req.encode();

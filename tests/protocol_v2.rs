@@ -373,6 +373,7 @@ fn v3_connections_recover_from_mid_stream_garbage() {
     v3.send_raw(garbage).unwrap();
     v3.send(&WireRequest {
         id: 7,
+        deadline_ms: 0,
         body: RequestBody::Json(
             serde_json::to_string(&Envelope::new(7, Request::ListUseCases)).unwrap(),
         ),
@@ -411,6 +412,7 @@ fn v3_connections_recover_from_mid_stream_garbage() {
     // exactly one typed error, then the connection serves on.
     let payload = WireRequest {
         id: 8,
+        deadline_ms: 0,
         body: RequestBody::Json(
             serde_json::to_string(&Envelope::new(8, Request::ListUseCases)).unwrap(),
         ),

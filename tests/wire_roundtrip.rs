@@ -187,6 +187,7 @@ proptest! {
         };
         let request = WireRequest {
             id: session.wrapping_mul(31),
+            deadline_ms: 0,
             body: RequestBody::Scenarios(grid.clone()),
         };
         let back = WireRequest::decode(&request.encode()).unwrap();
